@@ -1,0 +1,55 @@
+"""Figure 6: (A) CDF of Token Edit Distance, ASR-only vs SpeakQL;
+(B) CDF of end-to-end runtime.
+
+Paper's shape: SpeakQL's TED curve dominates ASR's; ~90% of queries at
+TED <= 6; ~90% of runtimes under 2 seconds.
+"""
+
+from benchmarks.conftest import record_report
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+from repro.metrics.ted import token_edit_distance
+
+
+def test_fig06_ted_and_runtime_cdf(state, benchmark):
+    benchmark.extra_info["experiment"] = "fig06"
+    sample = state.test.queries[1]
+    benchmark(
+        lambda: state.pipeline.query_from_speech(sample.sql, seed=sample.seed)
+    )
+
+    asr_ted = Cdf.of(
+        token_edit_distance(r.query.sql, r.output.asr_text)
+        for r in state.test_runs
+    )
+    speakql_ted = Cdf.of(
+        token_edit_distance(r.query.sql, r.output.sql) for r in state.test_runs
+    )
+    runtime = Cdf.of(
+        r.output.timings.total_seconds for r in state.test_runs
+    )
+
+    points = [0, 2, 4, 6, 8, 10, 15, 20]
+    rows = [
+        [f"TED <= {p}", asr_ted.at(p), speakql_ted.at(p)] for p in points
+    ]
+    table_a = format_table(["", "ASR only", "SpeakQL"], rows)
+
+    time_points = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0]
+    rows_b = [[f"t <= {p:g}s", runtime.at(p)] for p in time_points]
+    table_b = format_table(["", "fraction of queries"], rows_b)
+
+    record_report(
+        "Figure 6A: CDF of Token Edit Distance (Employees test)",
+        table_a
+        + f"\nmean TED: ASR {asr_ted.mean:.2f} -> SpeakQL {speakql_ted.mean:.2f}",
+    )
+    record_report(
+        "Figure 6B: CDF of end-to-end runtime",
+        table_b + f"\nmedian {runtime.median * 1000:.0f} ms",
+    )
+
+    # Paper-shape assertions.
+    assert speakql_ted.mean < asr_ted.mean  # SpeakQL dominates ASR
+    assert speakql_ted.at(6) > 0.6  # most queries need a handful of touches
+    assert runtime.at(2.0) > 0.9  # interactive latency

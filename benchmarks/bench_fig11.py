@@ -1,0 +1,70 @@
+"""Figure 11: CDFs of all eight accuracy metrics, ASR-only vs SpeakQL.
+
+Paper's shape: the SpeakQL curve sits to the right of (dominates) the
+ASR curve on every metric, with the biggest gap on literal metrics.
+"""
+
+from benchmarks.conftest import record_report
+from repro.metrics import score_query
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+from repro.metrics.wer import word_error_rate
+
+
+def test_fig11_metric_cdfs(state, benchmark):
+    benchmark.extra_info["experiment"] = "fig11"
+    reference = state.test_runs[0].query.sql
+    hypothesis = state.test_runs[0].output.sql
+    benchmark(lambda: score_query(reference, hypothesis))
+
+    asr_scores = [
+        score_query(r.query.sql, r.output.asr_text) for r in state.test_runs
+    ]
+    speakql_scores = [
+        score_query(r.query.sql, r.output.sql) for r in state.test_runs
+    ]
+
+    metric_names = ["KPR", "SPR", "LPR", "WPR", "KRR", "SRR", "LRR", "WRR"]
+    rows = []
+    gaps = {}
+    for name in metric_names:
+        attr = name.lower()
+        asr_cdf = Cdf.of(getattr(m, attr) for m in asr_scores)
+        speakql_cdf = Cdf.of(getattr(m, attr) for m in speakql_scores)
+        gaps[name] = speakql_cdf.mean - asr_cdf.mean
+        rows.append(
+            [
+                name,
+                asr_cdf.mean,
+                speakql_cdf.mean,
+                # fraction of queries with a perfect score
+                1 - asr_cdf.at(0.999),
+                1 - speakql_cdf.at(0.999),
+            ]
+        )
+    # The figure's ninth panel: Word Error Rate (lower is better).
+    asr_wer = Cdf.of(
+        word_error_rate(r.query.sql, r.output.asr_text) for r in state.test_runs
+    )
+    speakql_wer = Cdf.of(
+        word_error_rate(r.query.sql, r.output.sql) for r in state.test_runs
+    )
+    rows.append(
+        ["WER", asr_wer.mean, speakql_wer.mean, asr_wer.at(0), speakql_wer.at(0)]
+    )
+    table = format_table(
+        ["Metric", "ASR mean", "SpeakQL mean", "ASR perfect", "SpeakQL perfect"],
+        rows,
+    )
+    record_report(
+        "Figure 11: accuracy-metric CDF summary (ASR vs SpeakQL, top-1)",
+        table + "\n(WER row: 'perfect' columns show the fraction at WER=0)",
+    )
+    assert speakql_wer.mean < asr_wer.mean  # WER drops after correction
+
+    # Paper-shape assertions: SpeakQL dominates on every metric; the
+    # literal lift is the largest.
+    for name in metric_names:
+        assert gaps[name] > -0.02, name
+    assert gaps["LRR"] >= max(gaps["KRR"], gaps["SRR"]) - 0.02
+    assert gaps["WRR"] > 0.05  # the paper's headline WRR lift

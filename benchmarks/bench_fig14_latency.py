@@ -1,0 +1,46 @@
+"""Figure 14 (Appendix F.4): structure determination latency CDF.
+
+Paper's shape: under 1.5 s for ~99% of queries.  We report the CDF of
+the structure-search component's wall-clock time over the test set plus
+a pytest-benchmark timing of a single search.
+"""
+
+from benchmarks.conftest import record_report
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import StructureSearchEngine
+
+
+def test_fig14_structure_latency(state, benchmark):
+    benchmark.extra_info["experiment"] = "fig14"
+    searcher = StructureSearchEngine(
+        index=state.pipeline.structure_index, cache_results=False
+    )
+    masked_inputs = [
+        preprocess_transcription(run.output.asr_text).masked
+        for run in state.test_runs
+    ]
+    benchmark(lambda: searcher.search(masked_inputs[0], k=1))
+
+    import time
+
+    latencies = []
+    for masked in masked_inputs:
+        start = time.perf_counter()
+        searcher.search(masked, k=1)
+        latencies.append(time.perf_counter() - start)
+    cdf = Cdf.of(latencies)
+
+    points = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5]
+    table = format_table(
+        ["", "fraction of queries"],
+        [[f"t <= {p:g}s", cdf.at(p)] for p in points],
+    )
+    record_report(
+        "Figure 14: structure determination latency CDF",
+        table + f"\nmedian {cdf.median * 1000:.1f} ms, "
+        f"p99 {cdf.quantile(0.99) * 1000:.1f} ms",
+    )
+
+    assert cdf.at(1.5) > 0.95  # the paper's 99%-under-1.5s shape

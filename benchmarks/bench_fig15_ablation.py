@@ -1,0 +1,168 @@
+"""Figure 15: structure determination ablation study.
+
+Configurations, as in Appendix F.5: SpeakQL Default (BDB on), Default
+without BDB, Default + DAP, Default + INV, Default + DAP + INV — each
+measured for accuracy (TED CDF vs the ground-truth structure) and
+runtime.  A sixth row ablates the SQL-specific weighting (WK/WS/WL vs
+uniform weights), a design choice DESIGN.md calls out.
+
+Paper's shape: BDB is accuracy-preserving and ~2x faster; DAP is the
+fastest but costs real accuracy (exact structures drop sharply); INV is
+faster with only a minor accuracy drop.
+"""
+
+import time
+
+from benchmarks.conftest import record_report
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+from repro.structure.edit_distance import UNIT_WEIGHTS, weighted_edit_distance
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import StructureSearchEngine
+
+
+def _evaluate(searcher, masked_inputs, truths):
+    teds = []
+    elapsed = 0.0
+    nodes = 0
+    for masked, truth in zip(masked_inputs, truths):
+        start = time.perf_counter()
+        results, stats = searcher.search(masked, k=1)
+        elapsed += time.perf_counter() - start
+        nodes += stats.nodes_visited + stats.candidates_scored
+        if results:
+            teds.append(
+                weighted_edit_distance(results[0].structure, truth, UNIT_WEIGHTS)
+            )
+        else:
+            teds.append(float(len(truth)))
+    return Cdf.of(teds), elapsed, nodes
+
+
+def test_fig15_ablation(state, benchmark):
+    benchmark.extra_info["experiment"] = "fig15"
+    index = state.pipeline.structure_index
+    masked_inputs = [
+        preprocess_transcription(run.output.asr_text).masked
+        for run in state.test_runs
+    ]
+    truths = [run.query.record.structure for run in state.test_runs]
+
+    configs = {
+        "SpeakQL Default": dict(use_bdb=True),
+        "Default - BDB": dict(use_bdb=False),
+        "Default + DAP": dict(use_bdb=True, use_dap=True),
+        "Default + INV": dict(use_bdb=True, use_inv=True),
+        "Default + DAP + INV": dict(use_bdb=True, use_dap=True, use_inv=True),
+        "Unweighted (WK=WS=WL)": dict(use_bdb=True, weights=UNIT_WEIGHTS),
+    }
+
+    def run_all():
+        rows = {}
+        for name, kwargs in configs.items():
+            searcher = StructureSearchEngine(
+                index=index, cache_results=False, **kwargs
+            )
+            rows[name] = _evaluate(searcher, masked_inputs, truths)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    default_cdf, default_time, _ = rows["SpeakQL Default"]
+    table_rows = []
+    for name, (cdf, elapsed, nodes) in rows.items():
+        table_rows.append(
+            [
+                name,
+                f"{cdf.at(0) * 100:.0f}%",
+                cdf.mean,
+                f"{elapsed:.2f}s",
+                f"{default_time / max(elapsed, 1e-9):.1f}x",
+                nodes,
+            ]
+        )
+    record_report(
+        "Figure 15: structure determination ablation",
+        format_table(
+            ["config", "TED=0", "mean TED", "time", "speedup vs default",
+             "nodes/candidates"],
+            table_rows,
+        ),
+    )
+
+    # The paper's abandoned alternative: error-correcting (probabilistic)
+    # parsing.  Run on a subset — being much slower is the point.
+    from repro.structure.earley import EarleyCorrector
+
+    subset = min(30, len(masked_inputs))
+    corrector = EarleyCorrector()
+    parse_teds = []
+    parse_start = time.perf_counter()
+    for masked, truth in zip(masked_inputs[:subset], truths[:subset]):
+        parsed = corrector.correct(masked)
+        if parsed is None:
+            parse_teds.append(float(len(truth)))
+        else:
+            parse_teds.append(
+                weighted_edit_distance(parsed[0], truth, UNIT_WEIGHTS)
+            )
+    parse_time = time.perf_counter() - parse_start
+    parse_cdf = Cdf.of(parse_teds)
+
+    default_subset = StructureSearchEngine(index=index, cache_results=False)
+    default_teds = []
+    subset_start = time.perf_counter()
+    for masked, truth in zip(masked_inputs[:subset], truths[:subset]):
+        results, _ = default_subset.search(masked, k=1)
+        default_teds.append(
+            weighted_edit_distance(results[0].structure, truth, UNIT_WEIGHTS)
+            if results
+            else float(len(truth))
+        )
+    default_subset_time = time.perf_counter() - subset_start
+    default_subset_cdf = Cdf.of(default_teds)
+
+    record_report(
+        "Figure 15 (extra): error-correcting parsing vs index search "
+        f"({subset} queries)",
+        format_table(
+            ["approach", "TED=0", "mean TED", "time"],
+            [
+                [
+                    "trie index search",
+                    f"{default_subset_cdf.at(0) * 100:.0f}%",
+                    default_subset_cdf.mean,
+                    f"{default_subset_time:.2f}s",
+                ],
+                [
+                    "error-correcting Earley",
+                    f"{parse_cdf.at(0) * 100:.0f}%",
+                    parse_cdf.mean,
+                    f"{parse_time:.2f}s",
+                ],
+            ],
+        )
+        + "\n(the paper abandoned parsing because it was slower — "
+        f"measured {parse_time / max(default_subset_time, 1e-9):.0f}x slower)",
+    )
+    # Parsing searches the unbounded language, so accuracy is comparable
+    # or better; the trie index is the faster engineering choice.
+    assert parse_time > default_subset_time
+
+    no_bdb_cdf, _no_bdb_time, no_bdb_nodes = rows["Default - BDB"]
+    dap_cdf, _dap_time, dap_nodes = rows["Default + DAP"]
+    inv_cdf, _inv_time, inv_nodes = rows["Default + INV"]
+    _, _, default_nodes = rows["SpeakQL Default"]
+
+    # Paper-shape assertions on *work done* (node visits are
+    # deterministic; wall-clock comparisons with small margins flake
+    # under machine load).
+    # BDB preserves accuracy exactly and reduces work.
+    assert no_bdb_cdf.mean == default_cdf.mean
+    assert default_nodes < no_bdb_nodes
+    # DAP trades accuracy for speed.
+    assert dap_nodes < default_nodes
+    assert dap_cdf.at(0) <= default_cdf.at(0)
+    # INV reduces work with at most a minor accuracy drop.
+    assert inv_nodes < default_nodes
+    assert inv_cdf.at(0) >= dap_cdf.at(0) - 0.05

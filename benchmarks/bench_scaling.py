@@ -1,0 +1,82 @@
+"""Index-scaling study (supporting Section 3.2's design discussion).
+
+The paper generates structures up to 50 tokens (~1.6M strings) and packs
+them into 50 tries; any cap trades index size (and search latency)
+against coverage of long queries.  This bench sweeps the cap and reports
+index size, build time, search latency, and structure accuracy on the
+test workload — the engineering curve behind the default cap.
+"""
+
+import time
+
+from benchmarks.conftest import record_report
+from repro.grammar.generator import StructureGenerator
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+from repro.structure.edit_distance import UNIT_WEIGHTS, weighted_edit_distance
+from repro.structure.indexer import StructureIndex
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import StructureSearchEngine
+
+CAPS = [12, 14, 16, 18, 20]
+
+
+def test_index_scaling(state, benchmark):
+    benchmark.extra_info["experiment"] = "scaling"
+    masked_inputs = [
+        preprocess_transcription(run.output.asr_text).masked
+        for run in state.test_runs
+    ]
+    truths = [run.query.record.structure for run in state.test_runs]
+
+    def sweep():
+        rows = []
+        for cap in CAPS:
+            build_start = time.perf_counter()
+            index = StructureIndex.build(StructureGenerator(max_tokens=cap))
+            build_seconds = time.perf_counter() - build_start
+            searcher = StructureSearchEngine(index=index, cache_results=False)
+            teds = []
+            search_start = time.perf_counter()
+            for masked, truth in zip(masked_inputs, truths):
+                results, _ = searcher.search(masked, k=1)
+                teds.append(
+                    weighted_edit_distance(
+                        results[0].structure, truth, UNIT_WEIGHTS
+                    )
+                    if results
+                    else float(len(truth))
+                )
+            search_seconds = time.perf_counter() - search_start
+            cdf = Cdf.of(teds)
+            rows.append(
+                [
+                    cap,
+                    len(index),
+                    index.node_count(),
+                    f"{build_seconds:.2f}s",
+                    f"{search_seconds / len(masked_inputs) * 1000:.1f}ms",
+                    f"{cdf.at(0) * 100:.0f}%",
+                    cdf.mean,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_report(
+        "Index scaling: structure cap vs size, latency, accuracy",
+        format_table(
+            [
+                "max tokens", "structures", "trie nodes", "build",
+                "search/query", "exact", "mean TED",
+            ],
+            rows,
+        ),
+    )
+
+    # Structure counts and accuracy must be monotone in the cap; the
+    # default cap (20) covers the whole test workload.
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes)
+    exact = [float(row[5].rstrip("%")) for row in rows]
+    assert exact[-1] >= exact[0]

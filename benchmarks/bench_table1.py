@@ -1,0 +1,50 @@
+"""Table 1: the ASR error taxonomy, measured on the test workload.
+
+The paper illustrates five error classes with hand-picked examples; here
+the same taxonomy is *measured*: every transcription error on the
+Employees test set is classified, counts per class reported, and one
+observed instance printed per class.
+"""
+
+from benchmarks.conftest import record_report
+from repro.asr.taxonomy import ERROR_KINDS, classify_errors
+from repro.metrics.report import format_table
+
+_LABELS = {
+    "keyword_to_literal": "Homophony (Keywords/SplChars to Literals)",
+    "literal_to_keyword": "Homophony (Literals to Keywords)",
+    "oov_split": "Unbounded vocabulary for Literals",
+    "number_split": "Splitting of numbers into multiple tokens",
+    "date_error": "Erroneously transcribed dates",
+}
+
+
+def test_table1_error_taxonomy(state, benchmark):
+    benchmark.extra_info["experiment"] = "table1"
+    sample = state.test_runs[0]
+    benchmark(lambda: classify_errors(sample.query.sql, sample.output.asr_text))
+
+    counts = {kind: 0 for kind in ERROR_KINDS}
+    examples: dict[str, tuple[str, str]] = {}
+    for run in state.test_runs:
+        for error in classify_errors(run.query.sql, run.output.asr_text):
+            counts[error.kind] += 1
+            if error.kind not in examples and error.heard:
+                examples[error.kind] = (error.reference, error.heard)
+
+    rows = []
+    for kind in ERROR_KINDS:
+        reference, heard = examples.get(kind, ("—", "—"))
+        rows.append([_LABELS[kind], counts[kind], reference, heard])
+    record_report(
+        "Table 1: ASR error taxonomy, measured on the Employees test set",
+        format_table(
+            ["Type of error", "count", "ground truth", "ASR transcription"],
+            rows,
+        ),
+    )
+
+    # Every class of the paper's taxonomy occurs in the simulated channel.
+    assert counts["keyword_to_literal"] > 0
+    assert counts["literal_to_keyword"] > 0
+    assert counts["date_error"] + counts["number_split"] > 0

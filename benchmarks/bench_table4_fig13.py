@@ -1,0 +1,49 @@
+"""Table 4 + Figure 13: generic (GCS-like) vs custom (ACS-like) ASR.
+
+Raw transcription quality of the two engines on the Employees test set
+(no SpeakQL correction).  Paper's shape: the custom model wins on
+keywords and literals (it was trained on spoken SQL) while the generic
+model with hints is at least as strong on special characters; word
+precision/recall improve with the custom model (0.62->0.67 WPR,
+0.65->0.73 WRR in the paper).
+"""
+
+from benchmarks.conftest import record_report
+from repro.metrics import aggregate_metrics, score_query
+from repro.metrics.report import format_table
+
+
+def test_table4_fig13_generic_vs_custom(state, benchmark):
+    benchmark.extra_info["experiment"] = "table4"
+    sample = state.test.queries[0]
+    benchmark(lambda: state.generic_engine.transcribe(sample.sql, seed=sample.seed))
+
+    custom_scores = []
+    generic_scores = []
+    for query in state.test.queries:
+        custom_text = state.engine.transcribe(query.sql, seed=query.seed).text
+        generic_text = state.generic_engine.transcribe(
+            query.sql, seed=query.seed
+        ).text
+        custom_scores.append(score_query(query.sql, custom_text))
+        generic_scores.append(score_query(query.sql, generic_text))
+    custom = aggregate_metrics(custom_scores)
+    generic = aggregate_metrics(generic_scores)
+
+    metric_names = ["KPR", "SPR", "LPR", "KRR", "SRR", "LRR", "WPR", "WRR"]
+    rows = [
+        ["GCS (generic + hints)"]
+        + [generic.as_dict()[name] for name in metric_names],
+        ["ACS (custom-trained)"]
+        + [custom.as_dict()[name] for name in metric_names],
+    ]
+    record_report(
+        "Table 4 / Figure 13: raw ASR accuracy, generic vs custom engine",
+        format_table([""] + metric_names, rows),
+    )
+
+    # Paper-shape assertions.
+    assert custom.wrr > generic.wrr  # custom model wins overall recall
+    assert custom.krr >= generic.krr  # and keyword recall
+    assert generic.spr >= custom.spr - 0.05  # hints keep GCS's SPR strong
+    assert custom.lrr > generic.lrr  # schema vocabulary helps literals

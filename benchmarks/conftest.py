@@ -1,0 +1,107 @@
+"""Shared state for the experiment benchmarks.
+
+Each bench module reproduces one table or figure of the paper; they all
+draw on a single end-to-end run over the spoken-query datasets, computed
+once per session here.  Dataset sizes default to a fraction of the
+paper's (750/500/500) so the whole suite finishes in minutes; set
+``REPRO_BENCH_SCALE=1.0`` for full-size runs.
+
+Printed tables are collected and emitted in the terminal summary (so
+they survive pytest's output capture).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.asr import make_custom_engine, make_generic_engine
+from repro.core import SpeakQL
+from repro.core.result import SpeakQLOutput
+from repro.dataset import build_employees_catalog, build_yelp_catalog
+from repro.dataset.spoken import SpokenDataset, SpokenQuery, make_spoken_dataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+N_TRAIN = max(int(750 * SCALE), 30)
+N_TEST = max(int(500 * SCALE), 20)
+N_YELP = max(int(500 * SCALE), 20)
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, body: str) -> None:
+    """Register a result table for the terminal summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter):
+    for title, body in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(body)
+
+
+@dataclass
+class PipelineRun:
+    """One query's full trace through the pipeline."""
+
+    query: SpokenQuery
+    output: SpeakQLOutput
+
+
+@dataclass
+class ExperimentState:
+    """Everything the benches share."""
+
+    employees_catalog: object
+    yelp_catalog: object
+    train: SpokenDataset
+    test: SpokenDataset
+    yelp: SpokenDataset
+    engine: object
+    generic_engine: object
+    pipeline: SpeakQL
+    yelp_pipeline: SpeakQL
+    test_runs: list[PipelineRun] = field(default_factory=list)
+    train_runs: list[PipelineRun] = field(default_factory=list)
+    yelp_runs: list[PipelineRun] = field(default_factory=list)
+
+
+@pytest.fixture(scope="session")
+def state() -> ExperimentState:
+    employees = build_employees_catalog()
+    yelp_catalog = build_yelp_catalog()
+    train = make_spoken_dataset("employees-train", employees, N_TRAIN, seed=7)
+    test = make_spoken_dataset("employees-test", employees, N_TEST, seed=8)
+    yelp = make_spoken_dataset("yelp-test", yelp_catalog, N_YELP, seed=9)
+
+    engine = make_custom_engine([q.sql for q in train.queries])
+    generic = make_generic_engine()
+    pipeline = SpeakQL(employees, engine=engine)
+    yelp_pipeline = SpeakQL(yelp_catalog, engine=engine)
+
+    st = ExperimentState(
+        employees_catalog=employees,
+        yelp_catalog=yelp_catalog,
+        train=train,
+        test=test,
+        yelp=yelp,
+        engine=engine,
+        generic_engine=generic,
+        pipeline=pipeline,
+        yelp_pipeline=yelp_pipeline,
+    )
+    st.test_runs = _run_all(pipeline, test)
+    st.train_runs = _run_all(pipeline, train)
+    st.yelp_runs = _run_all(yelp_pipeline, yelp)
+    return st
+
+
+def _run_all(pipeline: SpeakQL, dataset: SpokenDataset) -> list[PipelineRun]:
+    runs = []
+    for query in dataset.queries:
+        output = pipeline.query_from_speech(query.sql, seed=query.seed)
+        runs.append(PipelineRun(query=query, output=output))
+    return runs

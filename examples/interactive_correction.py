@@ -1,0 +1,71 @@
+"""Multimodal correction: the SQL Keyboard and clause re-dictation.
+
+Simulates the interface loop of paper Section 5: a complex query is
+dictated clause by clause, the display shows the (possibly wrong)
+result, and the user brings it to their intent with clause re-dictation
+plus SQL-keyboard touches — every interaction logged as the paper's
+units of effort.
+
+Run:  python examples/interactive_correction.py
+"""
+
+from repro import build_employees_catalog, make_custom_engine
+from repro.core.clauses import ClauseSpeakQL
+from repro.dataset.spoken import make_spoken_dataset
+from repro.interface.display import QueryDisplay
+from repro.interface.keyboard import SqlKeyboard
+from repro.interface.session import CorrectionSession
+from repro.grammar.vocabulary import tokenize_sql
+from repro.study.queries import STUDY_QUERIES
+
+
+def main() -> None:
+    catalog = build_employees_catalog()
+    training = make_spoken_dataset("train", catalog, 150, seed=7)
+    engine = make_custom_engine([q.sql for q in training.queries])
+    clause_pipeline = ClauseSpeakQL(catalog, engine=engine)
+    keyboard = SqlKeyboard(catalog)
+
+    # Q7 from the user study: a complex aggregate query.
+    target = STUDY_QUERIES[6]
+    print(f"Task: {target.description}")
+    print(f"Intended SQL:\n  {target.sql}\n")
+
+    # 1. Dictate clause by clause (what study participants did for
+    #    complex queries).
+    assembled, parts = clause_pipeline.dictate_query(target.sql, seed=77)
+    print("After clause-level dictation the display shows:")
+    print(f"  {assembled}\n")
+    for clause, text in parts.items():
+        print(f"  [{clause.value:9s}] {text}")
+
+    # 2. Interactive correction: re-dictate bad clauses, touch up strays.
+    display = QueryDisplay(tokens=tokenize_sql(assembled))
+    session = CorrectionSession(
+        keyboard=keyboard, display=display, reference=target.sql
+    )
+
+    from repro.study.simulator import StudySimulator
+
+    def redictate(clause_sql: str) -> str:
+        kind = StudySimulator._clause_kind_of(clause_sql)
+        return clause_pipeline.dictate_clause(clause_sql, kind, seed=78)
+
+    log = session.correct(redictate=redictate)
+    print("\nAfter interactive correction:")
+    print(f"  {display.text()}")
+    print(f"\nEffort: {log.units_of_effort} units "
+          f"({log.touches} touches, {log.dictations} re-dictations)")
+    print(f"Matches intent: {session.done}")
+
+    # Compare with raw typing effort on a tablet.
+    keystrokes = sum(
+        keyboard.raw_typing_keystrokes(t) for t in tokenize_sql(target.sql)
+    )
+    total_effort = log.units_of_effort + len(parts)  # incl. dictations
+    print(f"Raw typing would cost ~{keystrokes} keystrokes "
+          f"({keystrokes / max(total_effort, 1):.0f}x more effort).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: dictate a SQL query and let SpeakQL correct it.
+
+Builds the Employees database, trains the simulated ASR engine on a few
+spoken SQL queries (the paper trains Azure Custom Speech on 750), then
+dictates a query through the noisy speech channel and prints the raw
+transcription, the corrected SQL, and its execution result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SpeakQL, build_employees_catalog, make_custom_engine
+from repro.dataset.spoken import make_spoken_dataset
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+
+def main() -> None:
+    catalog = build_employees_catalog()
+
+    # Train the custom language model on generated spoken SQL queries.
+    training = make_spoken_dataset("train", catalog, 150, seed=7)
+    engine = make_custom_engine([q.sql for q in training.queries])
+
+    speakql = SpeakQL(catalog, engine=engine)
+
+    query = "SELECT AVG ( salary ) FROM Salaries WHERE FromDate > '1995-01-01'"
+    print(f"You say : {query}")
+
+    out = speakql.query_from_speech(query, seed=42)
+    print(f"ASR hears: {out.asr_text}")
+    print(f"SpeakQL  : {out.sql}")
+    print(f"Latency  : {out.timings.total_seconds * 1000:.0f} ms "
+          f"(structure {out.timings.structure_seconds * 1000:.0f} ms, "
+          f"literals {out.timings.literal_seconds * 1000:.0f} ms)")
+
+    print("\nTop-5 candidates:")
+    for rank, candidate in enumerate(out.top(5), start=1):
+        print(f"  {rank}. {candidate}")
+
+    result = execute(parse_select(out.sql), catalog)
+    print(f"\nExecuting the corrected query -> {result.columns}")
+    for row in result.rows[:5]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

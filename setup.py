@@ -1,0 +1,5 @@
+"""Setuptools entry point (legacy path: no `wheel` package offline)."""
+
+from setuptools import setup
+
+setup()

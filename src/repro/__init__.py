@@ -1,0 +1,66 @@
+"""SpeakQL reproduction: speech-driven multimodal querying of structured data.
+
+This library reproduces the SpeakQL system (Shah, Li, Kumar, Saul):
+an end-to-end pipeline that corrects ASR transcriptions of dictated SQL
+queries using the SQL grammar (structure determination) and a phonetic
+index of the queried database (literal determination), plus the
+multimodal correction interface, datasets, metrics, baselines, and the
+full experiment suite.
+
+Quickstart::
+
+    from repro import SpeakQL, build_employees_catalog, make_custom_engine
+
+    catalog = build_employees_catalog()
+    engine = make_custom_engine(["SELECT AVG ( salary ) FROM Salaries"])
+    speakql = SpeakQL(catalog, engine=engine)
+    out = speakql.query_from_speech("SELECT AVG ( salary ) FROM Salaries", seed=1)
+    print(out.sql)
+"""
+
+from repro.asr import (
+    AsrResult,
+    SimulatedAsrEngine,
+    make_custom_engine,
+    make_generic_engine,
+    verbalize_sql,
+)
+from repro.core import SpeakQL, SpeakQLConfig, SpeakQLOutput
+from repro.core.clauses import ClauseKind, ClauseSpeakQL
+from repro.core.nested import correct_nested_transcription
+from repro.dataset import (
+    QueryGenerator,
+    build_employees_catalog,
+    build_yelp_catalog,
+    build_spoken_datasets,
+)
+from repro.metrics import AccuracyMetrics, score_query, token_edit_distance
+from repro.sqlengine import Catalog, Table, execute, format_statement, parse_select
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AsrResult",
+    "SimulatedAsrEngine",
+    "make_custom_engine",
+    "make_generic_engine",
+    "verbalize_sql",
+    "SpeakQL",
+    "SpeakQLConfig",
+    "SpeakQLOutput",
+    "ClauseKind",
+    "ClauseSpeakQL",
+    "correct_nested_transcription",
+    "QueryGenerator",
+    "build_employees_catalog",
+    "build_yelp_catalog",
+    "build_spoken_datasets",
+    "AccuracyMetrics",
+    "score_query",
+    "token_edit_distance",
+    "Catalog",
+    "Table",
+    "execute",
+    "format_statement",
+    "parse_select",
+]

@@ -1,0 +1,35 @@
+"""Simulated speech pipeline (TTS + ASR substitution).
+
+The paper dictates queries via Amazon Polly and transcribes with Azure's
+Custom Speech (custom language model trained on 750 spoken SQL queries)
+and Google Cloud Speech (generic model with keyword hints).  Offline, we
+reproduce the *transcription behaviour* those services exhibit on SQL:
+
+- :mod:`repro.asr.verbalizer` renders a SQL string into the spoken word
+  sequence a TTS voice would say (numbers into words, dates into spoken
+  dates, ``*`` into "star", identifier splitting).
+- :mod:`repro.asr.channel` injects the acoustic error classes of paper
+  Table 1 (homophones, out-of-vocabulary splitting, drops).
+- :mod:`repro.asr.language_model` is a trainable vocabulary + bigram
+  model used at decode time; training it on SQL transcripts yields the
+  custom-model accuracy lift of paper Table 4 / Figure 13.
+- :mod:`repro.asr.engine` ties the three into ``SimulatedAsrEngine`` with
+  ``transcribe()`` returning an n-best list, mirroring a cloud ASR API.
+"""
+
+from repro.asr.verbalizer import Verbalizer, verbalize_sql
+from repro.asr.channel import AcousticChannel, ChannelProfile
+from repro.asr.language_model import LanguageModel
+from repro.asr.engine import AsrResult, SimulatedAsrEngine, make_custom_engine, make_generic_engine
+
+__all__ = [
+    "Verbalizer",
+    "verbalize_sql",
+    "AcousticChannel",
+    "ChannelProfile",
+    "LanguageModel",
+    "AsrResult",
+    "SimulatedAsrEngine",
+    "make_custom_engine",
+    "make_generic_engine",
+]

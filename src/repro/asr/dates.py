@@ -1,0 +1,136 @@
+"""Spoken dates: rendering and recognition.
+
+Amazon Polly reads ``1993-01-20`` as "January twentieth nineteen
+ninety three".  ASR reassembles dates from month/day/year words; the
+paper observes that it "either omits or wrongly transcribes one of these
+3 tokens" (Appendix F.6) and shows a mangled example
+``1991-05-07 -> may 07 90 91`` (Table 1).  The channel decides *whether*
+a date is mangled; this module knows *how* dates sound and how a decoder
+maps heard date words back to text.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.asr.numbers import number_to_words, words_to_number
+
+MONTH_NAMES = [
+    "january", "february", "march", "april", "may", "june", "july",
+    "august", "september", "october", "november", "december",
+]
+
+_ORDINALS = {
+    1: "first", 2: "second", 3: "third", 4: "fourth", 5: "fifth",
+    6: "sixth", 7: "seventh", 8: "eighth", 9: "ninth", 10: "tenth",
+    11: "eleventh", 12: "twelfth", 13: "thirteenth", 14: "fourteenth",
+    15: "fifteenth", 16: "sixteenth", 17: "seventeenth", 18: "eighteenth",
+    19: "nineteenth", 20: "twentieth", 30: "thirtieth",
+}
+
+_ORDINAL_VALUES = {word: value for value, word in _ORDINALS.items()}
+for _tens in (20, 30):
+    for _ones in range(1, 10):
+        if _tens + _ones > 31:
+            break
+        _tens_word = "twenty" if _tens == 20 else "thirty"
+        _ORDINAL_VALUES[f"{_tens_word} {_ORDINALS[_ones]}"] = _tens + _ones
+
+
+def day_to_ordinal_words(day: int) -> list[str]:
+    """Spoken ordinal for a day of month (20 -> ["twentieth"])."""
+    if day in _ORDINALS:
+        return [_ORDINALS[day]]
+    tens = (day // 10) * 10
+    ones = day % 10
+    tens_word = "twenty" if tens == 20 else "thirty"
+    return [tens_word, _ORDINALS[ones]]
+
+
+def year_to_words(year: int) -> list[str]:
+    """Spoken year, pairwise style: 1993 -> nineteen ninety three."""
+    if 1100 <= year <= 1999:
+        head = number_to_words(year // 100)
+        tail_value = year % 100
+        if tail_value == 0:
+            return head + ["hundred"]
+        if tail_value < 10:
+            return head + ["oh", number_to_words(tail_value)[0]]
+        return head + number_to_words(tail_value)
+    return number_to_words(year)
+
+
+def date_to_words(date: datetime.date) -> list[str]:
+    """Render a date the way Polly reads ``month-date-year`` values.
+
+    >>> " ".join(date_to_words(datetime.date(1993, 1, 20)))
+    'january twentieth nineteen ninety three'
+    """
+    words = [MONTH_NAMES[date.month - 1]]
+    words.extend(day_to_ordinal_words(date.day))
+    words.extend(year_to_words(date.year))
+    return words
+
+
+def is_date_word(word: str) -> bool:
+    word = word.lower()
+    return word in MONTH_NAMES or word in _ORDINAL_VALUES or word in {
+        w for key in _ORDINAL_VALUES for w in key.split()
+    }
+
+
+def words_to_date(words: list[str]) -> datetime.date | None:
+    """Parse heard date words back to a date; None on failure.
+
+    Accepts month name + ordinal day + spoken year in any reasonable
+    pairing ("nineteen ninety three" or "one thousand nine hundred
+    ninety three").
+    """
+    words = [w.lower() for w in words]
+    if not words or words[0] not in MONTH_NAMES:
+        return None
+    month = MONTH_NAMES.index(words[0]) + 1
+    rest = words[1:]
+    day, consumed = _parse_day(rest)
+    if day is None:
+        return None
+    year = _parse_year(rest[consumed:])
+    if year is None:
+        return None
+    try:
+        return datetime.date(year, month, day)
+    except ValueError:
+        return None
+
+
+def _parse_day(words: list[str]) -> tuple[int | None, int]:
+    if not words:
+        return None, 0
+    two = " ".join(words[:2])
+    if two in _ORDINAL_VALUES:
+        return _ORDINAL_VALUES[two], 2
+    if words[0] in _ORDINAL_VALUES:
+        return _ORDINAL_VALUES[words[0]], 1
+    # Day spoken as cardinal (ASR often hears "seventh" as "seven").
+    value = words_to_number(words[:1])
+    if value is not None and 1 <= int(value) <= 31:
+        return int(value), 1
+    return None, 0
+
+
+def _parse_year(words: list[str]) -> int | None:
+    if not words:
+        return None
+    value = words_to_number(words)
+    if value is not None and 1000 <= int(value) <= 2999:
+        return int(value)
+    # Pairwise year: "nineteen ninety three" = 19 | 93.
+    for split in range(1, len(words)):
+        head = words_to_number(words[:split])
+        tail = words_to_number(words[split:])
+        if head is None or tail is None:
+            continue
+        head, tail = int(head), int(tail)
+        if 10 <= head <= 29 and 0 <= tail <= 99:
+            return head * 100 + tail
+    return None

@@ -1,0 +1,86 @@
+"""Homophone and near-homophone confusion sets.
+
+Paper Table 1 catalogues the confusions a real ASR engine makes on spoken
+SQL: keywords to literals ("sum" -> "some"), literals to keywords
+("fromdate" -> "from date"), and generic English near-homophones
+("where" -> "wear", "Jon" for "John").  The acoustic channel draws
+substitutions from these sets; the language-model decoder uses the same
+sets as correction candidates, so a well-trained custom model can undo
+them while a generic model cannot.
+"""
+
+from __future__ import annotations
+
+#: Symmetric confusion groups.  Every word in a group sounds (nearly) the
+#: same as the others; ASR picks whichever its language model prefers.
+CONFUSION_GROUPS: list[list[str]] = [
+    ["sum", "some"],
+    ["where", "wear", "ware"],
+    ["from", "form"],
+    ["by", "buy", "bye"],
+    ["in", "inn"],
+    ["not", "knot"],
+    ["or", "oar", "ore"],
+    ["and", "end"],
+    ["min", "men"],
+    ["max", "macs"],
+    ["count", "counts"],
+    ["avg", "average"],
+    ["select", "selects"],
+    ["star", "store"],
+    ["equals", "equal"],
+    ["than", "then"],
+    ["to", "two", "too"],
+    ["for", "four", "fore"],
+    ["one", "won"],
+    ["eight", "ate"],
+    ["group", "grouped"],
+    ["order", "ordered"],
+    ["limit", "limits"],
+    ["between", "betweens"],
+    ["greater", "grader"],
+    ["employees", "employers"],
+    ["salaries", "celeries"],
+    ["salary", "celery"],
+    ["sales", "sails"],
+    ["name", "names"],
+    ["date", "data"],
+    ["number", "lumber"],
+    ["gender", "gander"],
+    ["title", "tidal"],
+    ["titles", "tidal's", "tidals"],
+    ["hire", "higher"],
+    ["birth", "berth"],
+    ["john", "jon"],
+    ["dept", "depth"],
+    ["department", "departments"],
+    ["manager", "managers"],
+    ["business", "busyness"],
+    ["review", "revue"],
+    ["stars", "stairs"],
+    ["city", "sidney"],
+    ["state", "stayed"],
+    ["user", "users"],
+    ["id", "eyed"],
+    ["cust", "custody", "cussed"],
+    ["engineer", "engineers"],
+    ["staff", "staffed"],
+    ["senior", "seniors"],
+]
+
+#: word -> the other members of its confusion group.
+CONFUSIONS: dict[str, list[str]] = {}
+for _group in CONFUSION_GROUPS:
+    for _word in _group:
+        CONFUSIONS.setdefault(_word, [])
+        CONFUSIONS[_word].extend(w for w in _group if w != _word)
+
+
+def confusable_with(word: str) -> list[str]:
+    """Words the channel may substitute for ``word`` (empty if none)."""
+    return list(CONFUSIONS.get(word.lower(), []))
+
+
+def confusion_candidates(word: str) -> list[str]:
+    """Decoder-side candidate set: the word itself plus its confusions."""
+    return [word.lower()] + confusable_with(word)

@@ -1,0 +1,191 @@
+"""Spoken English numbers: rendering and recognition.
+
+TTS reads ``45412`` as "forty five thousand four hundred twelve"; ASR
+turns number-word runs back into digits, and — as the paper observes
+(Table 1, Appendix F.6) — mis-groups them when the speaker pauses:
+"forty five thousand three hundred ten" can come back as "45000 310".
+``words_to_number_groups`` reproduces exactly that behaviour given the
+group boundaries the acoustic channel decides on.
+"""
+
+from __future__ import annotations
+
+_ONES = [
+    "zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+    "nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+    "sixteen", "seventeen", "eighteen", "nineteen",
+]
+_TENS = [
+    "", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy",
+    "eighty", "ninety",
+]
+_SCALES = {"thousand": 1_000, "million": 1_000_000, "billion": 1_000_000_000}
+
+_WORD_VALUES: dict[str, int] = {}
+for _i, _w in enumerate(_ONES):
+    _WORD_VALUES[_w] = _i
+for _i, _w in enumerate(_TENS):
+    if _w:
+        _WORD_VALUES[_w] = _i * 10
+_WORD_VALUES["hundred"] = 100
+_WORD_VALUES.update(_SCALES)
+
+#: Every word that can appear in a spoken cardinal number.
+NUMBER_WORDS = frozenset(_WORD_VALUES) | {"point", "and", "oh"}
+
+
+def number_to_words(value: int | float) -> list[str]:
+    """Render a number the way a US-English TTS voice reads it.
+
+    >>> " ".join(number_to_words(45310))
+    'forty five thousand three hundred ten'
+    >>> " ".join(number_to_words(70000))
+    'seventy thousand'
+    """
+    if isinstance(value, float) and not value.is_integer():
+        whole = int(value)
+        frac = f"{value}".split(".", 1)[1]
+        words = number_to_words(whole) + ["point"]
+        words.extend(_ONES[int(d)] for d in frac)
+        return words
+    value = int(value)
+    if value < 0:
+        return ["minus"] + number_to_words(-value)
+    if value == 0:
+        return ["zero"]
+    return _cardinal(value)
+
+
+def _cardinal(value: int) -> list[str]:
+    words: list[str] = []
+    for scale_word, scale in (
+        ("billion", 1_000_000_000),
+        ("million", 1_000_000),
+        ("thousand", 1_000),
+    ):
+        if value >= scale:
+            words.extend(_cardinal(value // scale))
+            words.append(scale_word)
+            value %= scale
+    if value >= 100:
+        words.append(_ONES[value // 100])
+        words.append("hundred")
+        value %= 100
+    if value >= 20:
+        words.append(_TENS[value // 10])
+        value %= 10
+        if value:
+            words.append(_ONES[value])
+    elif value:
+        words.append(_ONES[value])
+    return words
+
+
+def digits_to_words(text: str) -> list[str]:
+    """Read a digit string digit-by-digit ("1729" -> one seven two nine).
+
+    This is how TTS reads digit runs embedded in identifiers such as
+    ``CUSTID_1729A``.
+    """
+    return [_ONES[int(ch)] if ch.isdigit() else ch for ch in text]
+
+
+def is_number_word(word: str) -> bool:
+    return word.lower() in NUMBER_WORDS
+
+
+def words_to_number(words: list[str]) -> int | float | None:
+    """Parse one spoken cardinal back to a number; None if unparseable.
+
+    >>> words_to_number("forty five thousand three hundred ten".split())
+    45310
+    """
+    if not words:
+        return None
+    words = [w.lower() for w in words]
+    if "point" in words:
+        idx = words.index("point")
+        whole = words_to_number(words[:idx]) if idx else 0
+        if whole is None:
+            return None
+        frac_words = words[idx + 1 :]
+        digits = []
+        for word in frac_words:
+            value = _WORD_VALUES.get(word)
+            if value is None or value > 9:
+                return None
+            digits.append(str(value))
+        if not digits:
+            return None
+        return float(f"{int(whole)}.{''.join(digits)}")
+
+    total = 0
+    current = 0
+    for word in words:
+        if word in ("and",):
+            continue
+        if word == "oh":
+            word = "zero"
+        value = _WORD_VALUES.get(word)
+        if value is None:
+            return None
+        if value in _SCALES.values() and value >= 1000:
+            current = max(current, 1)
+            total += current * value
+            current = 0
+        elif value == 100:
+            current = max(current, 1) * 100
+        else:
+            current += value
+    return total + current
+
+
+def words_to_number_groups(
+    words: list[str], boundaries: list[int] | None = None
+) -> list[str]:
+    """Decode a run of number words into one-or-more digit tokens.
+
+    ``boundaries`` are indexes (into ``words``) where the decoder starts a
+    new number — the mis-grouping mechanism of paper Table 1: with a
+    boundary after "thousand", "forty five thousand three hundred ten"
+    decodes to ``["45000", "310"]`` instead of ``["45310"]``.
+
+    Unparseable segments fall back to per-word digit decoding.
+    """
+    if boundaries is None:
+        boundaries = []
+    cuts = sorted({b for b in boundaries if 0 < b < len(words)})
+    segments: list[list[str]] = []
+    start = 0
+    for cut in cuts:
+        segments.append(words[start:cut])
+        start = cut
+    segments.append(words[start:])
+
+    out: list[str] = []
+    for segment in segments:
+        if not segment:
+            continue
+        # A run of single-digit words is a spelled-out digit string; keep
+        # leading zeros ("zero zero two" -> "002", not 2).
+        lowered = [w.lower() for w in segment]
+        if len(lowered) > 1 and all(
+            w in ("zero", "oh") or _WORD_VALUES.get(w, 10) <= 9 for w in lowered
+        ):
+            out.append(
+                "".join(
+                    "0" if w in ("zero", "oh") else str(_WORD_VALUES[w])
+                    for w in lowered
+                )
+            )
+            continue
+        value = words_to_number(segment)
+        if value is None:
+            for word in segment:
+                single = words_to_number([word])
+                out.append(str(single) if single is not None else word)
+            continue
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        out.append(str(value))
+    return out

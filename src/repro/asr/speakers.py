@@ -1,0 +1,52 @@
+"""Speaker voice profiles (paper Section 6.1).
+
+Amazon Polly offers eight US-English voices, and the paper varies
+"pronunciation, volume, pitch, and speed rate" across them.  Each
+profile here scales the acoustic channel's error rates — fast or
+low-pitched voices transcribe slightly worse — and datasets assign
+voices round-robin, so every split mixes speakers the way the paper's
+synthesized audio does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asr.channel import AcousticChannel, ChannelProfile
+
+
+@dataclass(frozen=True)
+class SpeakerProfile:
+    """One synthesized voice."""
+
+    name: str
+    speed_rate: float  # relative speaking rate (1.0 = neutral)
+    noise_factor: float  # scales every channel error probability
+
+    def channel(self, base: ChannelProfile | None = None) -> AcousticChannel:
+        profile = (base or ChannelProfile()).scaled(self.noise_factor)
+        return AcousticChannel(profile)
+
+
+#: The eight US-English Polly voices of the paper's data generation.
+POLLY_VOICES: tuple[SpeakerProfile, ...] = (
+    SpeakerProfile("Joanna", speed_rate=1.00, noise_factor=0.85),
+    SpeakerProfile("Matthew", speed_rate=0.97, noise_factor=0.90),
+    SpeakerProfile("Ivy", speed_rate=1.05, noise_factor=1.05),
+    SpeakerProfile("Justin", speed_rate=1.08, noise_factor=1.10),
+    SpeakerProfile("Kendra", speed_rate=0.95, noise_factor=0.95),
+    SpeakerProfile("Kimberly", speed_rate=1.00, noise_factor=1.00),
+    SpeakerProfile("Salli", speed_rate=1.03, noise_factor=1.05),
+    SpeakerProfile("Joey", speed_rate=1.10, noise_factor=1.15),
+)
+
+
+def voice_for(index: int) -> SpeakerProfile:
+    """Round-robin voice assignment for dataset item ``index``."""
+    return POLLY_VOICES[index % len(POLLY_VOICES)]
+
+
+def speaking_seconds(word_count: int, voice: SpeakerProfile,
+                     base_words_per_second: float = 2.4) -> float:
+    """Utterance duration for a voice (drives study timing variation)."""
+    return word_count / (base_words_per_second * voice.speed_rate)

@@ -1,0 +1,135 @@
+"""Rendering SQL text into spoken words (the TTS side of the channel).
+
+Reproduces how Amazon Polly reads the paper's dataset queries:
+
+- keywords are read as words ("select", "order", "by");
+- special characters are dictated ("star", "equals", "less than",
+  "open parenthesis", ...) — the paper's users dictate all SplChars;
+- identifiers split at case/underscore/digit boundaries
+  (``FromDate`` -> "from date"; ``CUSTID_1729A`` -> "cust id one seven
+  two nine a");
+- numbers are read as cardinals, dates as "month day-ordinal year"
+  (Polly converts ``month-date-year`` automatically, paper §6.1).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+
+from repro.asr.dates import date_to_words
+from repro.asr.numbers import digits_to_words, number_to_words
+from repro.grammar.vocabulary import tokenize_sql
+
+#: Spoken rendering of each special character.
+SPLCHAR_WORDS: dict[str, list[str]] = {
+    "*": ["star"],
+    "=": ["equals"],
+    "<": ["less", "than"],
+    ">": ["greater", "than"],
+    "(": ["open", "parenthesis"],
+    ")": ["close", "parenthesis"],
+    ".": ["dot"],
+    ",": ["comma"],
+}
+
+#: Reverse map used by decoders and by SpeakQL's SplChar handling: a
+#: sequence of spoken words -> the symbol it denotes.  Longest first.
+WORDS_TO_SPLCHAR: list[tuple[tuple[str, ...], str]] = sorted(
+    (
+        (("open", "parenthesis"), "("),
+        (("close", "parenthesis"), ")"),
+        (("left", "parenthesis"), "("),
+        (("right", "parenthesis"), ")"),
+        (("open", "paren"), "("),
+        (("close", "paren"), ")"),
+        (("less", "than"), "<"),
+        (("greater", "than"), ">"),
+        (("not", "equal"), "<>"),
+        (("star",), "*"),
+        (("asterisk",), "*"),
+        (("equals",), "="),
+        (("equal",), "="),
+        (("dot",), "."),
+        (("period",), "."),
+        (("comma",), ","),
+    ),
+    key=lambda pair: -len(pair[0]),
+)
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_NUMBER_RE = re.compile(r"^\d+(?:\.\d+)?$")
+_IDENT_PIECE_RE = re.compile(r"[A-Z]+(?![a-z])|[A-Z][a-z]*|[a-z]+|\d+")
+
+
+def split_identifier(identifier: str) -> list[str]:
+    """Split an identifier into its spoken pieces.
+
+    >>> split_identifier("FromDate")
+    ['from', 'date']
+    >>> split_identifier("CUSTID_1729A")
+    ['custid', '1729', 'a']
+    """
+    pieces: list[str] = []
+    for part in identifier.replace("_", " ").replace("-", " ").split():
+        pieces.extend(m.group(0).lower() for m in _IDENT_PIECE_RE.finditer(part))
+    return pieces
+
+
+@dataclass
+class Verbalizer:
+    """Converts SQL text to the spoken word sequence a TTS voice reads.
+
+    ``speak_identifier_letters`` controls whether short all-caps pieces
+    are spelled out letter by letter (e.g. ``ID`` -> "i d"); Polly spells
+    unknown short acronyms.
+    """
+
+    speak_identifier_letters: bool = False
+    _cache: dict[str, list[str]] = field(default_factory=dict, repr=False)
+
+    def verbalize(self, sql_text: str) -> list[str]:
+        """Spoken words for a full SQL string."""
+        words: list[str] = []
+        for token in tokenize_sql(sql_text):
+            words.extend(self.verbalize_token(token))
+        return words
+
+    def verbalize_token(self, token: str) -> list[str]:
+        """Spoken words for a single SQL token."""
+        cached = self._cache.get(token)
+        if cached is not None:
+            return list(cached)
+        words = self._render(token)
+        self._cache[token] = list(words)
+        return words
+
+    def _render(self, token: str) -> list[str]:
+        if token in SPLCHAR_WORDS:
+            return list(SPLCHAR_WORDS[token])
+        if _DATE_RE.match(token):
+            return date_to_words(datetime.date.fromisoformat(token))
+        if _NUMBER_RE.match(token):
+            value = float(token) if "." in token else int(token)
+            return number_to_words(value)
+        # Identifier / keyword / free string: split into spoken pieces.
+        words: list[str] = []
+        for piece in split_identifier(token):
+            if piece.isdigit():
+                # Digit runs embedded in identifiers are read digit by
+                # digit, matching paper Table 1: CUSTID_1729A -> "1 7 2 9".
+                words.extend(digits_to_words(piece))
+            elif len(piece) == 1 and piece.isalpha():
+                words.append(piece)
+            else:
+                words.append(piece)
+        return words
+
+
+_DEFAULT_VERBALIZER = Verbalizer()
+
+
+def verbalize_sql(sql_text: str) -> list[str]:
+    """Module-level convenience: spoken words of ``sql_text``."""
+    return _DEFAULT_VERBALIZER.verbalize(sql_text)

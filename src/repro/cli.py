@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro`` or the ``speakql`` script.
+
+Subcommands:
+
+- ``dictate``  — simulate dictating a SQL query (verbalize, corrupt,
+  decode, correct) against a built-in schema and print every stage.
+- ``correct``  — run structure + literal determination on a raw
+  transcription text you provide.
+- ``schema``   — print a built-in schema (tables, columns, types).
+- ``speak``    — show the spoken-word rendering of a SQL query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asr import make_custom_engine, verbalize_sql
+from repro.core import SpeakQL
+from repro.dataset import build_employees_catalog, build_yelp_catalog
+from repro.dataset.spoken import make_spoken_dataset
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+_CATALOGS = {
+    "employees": build_employees_catalog,
+    "yelp": build_yelp_catalog,
+}
+
+
+def _build_pipeline(schema: str, train: int) -> SpeakQL:
+    catalog = _CATALOGS[schema]()
+    engine = None
+    if train > 0:
+        training = make_spoken_dataset("train", catalog, train, seed=7)
+        engine = make_custom_engine([q.sql for q in training.queries])
+    return SpeakQL(catalog, engine=engine)
+
+
+def _cmd_dictate(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args.schema, args.train)
+    out = pipeline.query_from_speech(args.sql, seed=args.seed)
+    print(f"spoken : {' '.join(verbalize_sql(args.sql))}")
+    print(f"heard  : {out.asr_text}")
+    print(f"output : {out.sql}")
+    print(f"latency: {out.timings.total_seconds * 1000:.0f} ms")
+    if args.execute:
+        _execute(out.sql, pipeline)
+    return 0
+
+
+def _cmd_correct(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args.schema, train=0)
+    out = pipeline.correct_transcription(args.transcription)
+    print(out.sql)
+    if args.execute:
+        _execute(out.sql, pipeline)
+    return 0
+
+
+def _cmd_schema(args: argparse.Namespace) -> int:
+    catalog = _CATALOGS[args.schema]()
+    for table_schema in catalog.schema():
+        print(table_schema.name)
+        for column in table_schema.columns:
+            print(f"  {column.name}: {column.type_name}")
+    return 0
+
+
+def _cmd_speak(args: argparse.Namespace) -> int:
+    print(" ".join(verbalize_sql(args.sql)))
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from repro.interface.repl import ReplSession
+
+    pipeline = _build_pipeline(args.schema, args.train)
+    ReplSession(pipeline=pipeline, seed=args.seed).run()
+    return 0
+
+
+def _execute(sql: str, pipeline: SpeakQL) -> None:
+    try:
+        result = execute(parse_select(sql), pipeline.catalog)
+    except Exception as error:
+        print(f"execution failed: {error}", file=sys.stderr)
+        return
+    print(f"-- {len(result.rows)} row(s): {result.columns}")
+    for row in result.rows[:10]:
+        print("  ", row)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="speakql",
+        description="SpeakQL reproduction: speech-driven SQL querying.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dictate = sub.add_parser("dictate", help="dictate a SQL query")
+    dictate.add_argument("sql")
+    dictate.add_argument("--schema", choices=_CATALOGS, default="employees")
+    dictate.add_argument("--seed", type=int, default=42)
+    dictate.add_argument("--train", type=int, default=100,
+                         help="training queries for the custom ASR model")
+    dictate.add_argument("--execute", action="store_true")
+    dictate.set_defaults(func=_cmd_dictate)
+
+    correct = sub.add_parser("correct", help="correct a transcription")
+    correct.add_argument("transcription")
+    correct.add_argument("--schema", choices=_CATALOGS, default="employees")
+    correct.add_argument("--execute", action="store_true")
+    correct.set_defaults(func=_cmd_correct)
+
+    schema = sub.add_parser("schema", help="print a built-in schema")
+    schema.add_argument("--schema", choices=_CATALOGS, default="employees")
+    schema.set_defaults(func=_cmd_schema)
+
+    speak = sub.add_parser("speak", help="spoken rendering of a query")
+    speak.add_argument("sql")
+    speak.set_defaults(func=_cmd_speak)
+
+    repl = sub.add_parser("repl", help="interactive SpeakQL session")
+    repl.add_argument("--schema", choices=_CATALOGS, default="employees")
+    repl.add_argument("--train", type=int, default=100)
+    repl.add_argument("--seed", type=int, default=1)
+    repl.set_defaults(func=_cmd_repl)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `speakql schema | head`) closed early:
+        # standard Unix behaviour is to exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 141
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

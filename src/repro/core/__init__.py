@@ -1,0 +1,6 @@
+"""SpeakQL core: the end-to-end pipeline of Figure 2."""
+
+from repro.core.pipeline import SpeakQL, SpeakQLConfig
+from repro.core.result import ComponentTimings, SpeakQLOutput
+
+__all__ = ["SpeakQL", "SpeakQLConfig", "SpeakQLOutput", "ComponentTimings"]

@@ -1,0 +1,178 @@
+"""Clause-level dictation (paper Section 5).
+
+The interface lets users dictate or re-dictate one clause at a time; the
+pilot study found this crucial for long queries (human working memory
+holds ~10 seconds of phrase, Appendix F.2).  Structure determination for
+a clause fragment uses a *clause grammar* — the subset grammar restarted
+at the clause's nonterminal (S, F, W, or the trailing-clause G) — so even
+queries whose full structure exceeds the whole-query index remain
+searchable clause by clause.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
+from repro.grammar.cfg import Grammar
+from repro.grammar.speakql_grammar import F, G, S, W, build_speakql_grammar
+from repro.grammar.vocabulary import tokenize_sql
+from repro.interface.display import Clause, split_clauses
+from repro.literal.determiner import LiteralDeterminer
+from repro.phonetics.phonetic_index import PhoneticIndex
+from repro.sqlengine.catalog import Catalog
+from repro.structure.indexer import StructureIndex
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import StructureSearchEngine
+
+
+class ClauseKind(enum.Enum):
+    """Grammar entry points for clause dictation."""
+
+    SELECT = "select"
+    FROM = "from"
+    WHERE = "where"
+    TAIL = "tail"  # GROUP BY / ORDER BY / LIMIT fragments
+
+
+_CLAUSE_TO_KIND = {
+    Clause.SELECT: ClauseKind.SELECT,
+    Clause.FROM: ClauseKind.FROM,
+    Clause.WHERE: ClauseKind.WHERE,
+    Clause.GROUP_BY: ClauseKind.TAIL,
+    Clause.ORDER_BY: ClauseKind.TAIL,
+    Clause.LIMIT: ClauseKind.TAIL,
+}
+
+_KIND_START = {
+    ClauseKind.SELECT: S,
+    ClauseKind.FROM: F,
+    ClauseKind.WHERE: W,
+    ClauseKind.TAIL: G,
+}
+
+
+def clause_grammar(kind: ClauseKind) -> Grammar:
+    """The subset grammar restarted at a clause nonterminal."""
+    full = build_speakql_grammar()
+    return Grammar(start=_KIND_START[kind], productions=full.productions)
+
+
+@dataclass
+class ClauseSpeakQL:
+    """Clause-by-clause dictation over per-clause structure indexes.
+
+    Indexes are built lazily per clause kind (the WHERE-clause language
+    is the largest; SELECT/FROM/TAIL are tiny).
+    """
+
+    catalog: Catalog
+    engine: SimulatedAsrEngine | None = None
+    max_clause_tokens: int = 18
+    _indexes: dict[ClauseKind, StructureIndex] = field(
+        default_factory=dict, repr=False
+    )
+    _searchers: dict[ClauseKind, StructureSearchEngine] = field(
+        default_factory=dict, repr=False
+    )
+    _determiner: LiteralDeterminer = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = make_custom_engine()
+        self._determiner = LiteralDeterminer(
+            catalog=self.catalog,
+            index=PhoneticIndex.from_catalog(self.catalog),
+        )
+
+    def _searcher(self, kind: ClauseKind) -> StructureSearchEngine:
+        searcher = self._searchers.get(kind)
+        if searcher is None:
+            grammar = clause_grammar(kind)
+            structures = grammar.enumerate_strings(self.max_clause_tokens)
+            index = StructureIndex.from_structures(structures)
+            searcher = StructureSearchEngine(index=index)
+            self._indexes[kind] = index
+            self._searchers[kind] = searcher
+        return searcher
+
+    # -- public API --------------------------------------------------------
+
+    def dictate_clause(
+        self,
+        clause_sql: str,
+        kind: ClauseKind,
+        seed: int,
+        tables_context: list[str] | None = None,
+    ) -> str:
+        """Dictate one clause and return its corrected text.
+
+        ``tables_context`` carries the FROM tables already on the display
+        so attribute candidates are narrowed exactly as in whole-query
+        mode.
+        """
+        assert self.engine is not None
+        asr = self.engine.transcribe(clause_sql, seed=seed, nbest=1)
+        return self.correct_clause_transcription(
+            asr.text, kind, tables_context=tables_context
+        )
+
+    def correct_clause_transcription(
+        self,
+        transcription: str,
+        kind: ClauseKind,
+        tables_context: list[str] | None = None,
+    ) -> str:
+        """Structure + literal determination for a clause fragment."""
+        masked = preprocess_transcription(transcription)
+        results, _ = self._searcher(kind).search(masked.masked, k=1)
+        if not results:
+            return transcription
+        structure = results[0].structure
+        literals = self._determiner.determine(list(masked.source), structure)
+        if tables_context:
+            # Re-run with the display's FROM tables as narrowing context:
+            # pass-2 narrowing inside determine() only sees this clause.
+            literals = self._determine_with_tables(
+                list(masked.source), structure, tables_context
+            )
+        return literals.sql()
+
+    def _determine_with_tables(self, tokens, structure, tables):
+        from repro.grammar.categorizer import assign_categories
+
+        categories = assign_categories(structure)
+        value_types = self._determiner._value_types(structure, categories)
+        filled = self._determiner._walk(
+            tokens, structure, categories, value_types, tables=tables
+        )
+        from repro.literal.determiner import LiteralResult
+
+        return LiteralResult(structure=structure, literals=filled)
+
+    def dictate_query(
+        self, sql_text: str, seed: int
+    ) -> tuple[str, dict[Clause, str]]:
+        """Dictate a full query clause by clause; returns the assembled
+        query plus each clause's corrected text."""
+        tokens = tokenize_sql(sql_text)
+        clauses = split_clauses(tokens)
+        outputs: dict[Clause, str] = {}
+        tables: list[str] = []
+        assembled: list[str] = []
+        for offset, (clause, clause_tokens) in enumerate(clauses.items()):
+            kind = _CLAUSE_TO_KIND[clause]
+            corrected = self.dictate_clause(
+                " ".join(clause_tokens),
+                kind,
+                seed=seed + offset,
+                tables_context=tables or None,
+            )
+            outputs[clause] = corrected
+            if clause is Clause.FROM:
+                tables = [
+                    t for t in tokenize_sql(corrected) if self.catalog.has_table(t)
+                ]
+            assembled.append(corrected)
+        return " ".join(assembled), outputs

@@ -1,0 +1,96 @@
+"""One-level nested query handling (paper Appendix F.8).
+
+The paper employs "a heuristic to detect if there exists a nested query
+inside a query": the nested substring is replaced with a placeholder,
+and structure + literal determination run independently on the outer
+and inner queries.  This module implements exactly that heuristic over
+transcription tokens: an inner region opening at the ``( select`` (or
+bare second ``select``) and closing at its matching parenthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import SpeakQL
+from repro.structure.masking import handle_splchars
+
+
+@dataclass(frozen=True)
+class NestedSplit:
+    """Outer/inner partition of a nested transcription."""
+
+    outer: list[str]  # inner region replaced by the sentinel below
+    inner: list[str]
+
+    SENTINEL = "__NESTED__"
+
+
+def split_nested(tokens: list[str]) -> NestedSplit | None:
+    """Detect and split a one-level nested query; None when not nested.
+
+    The inner region starts at the second SELECT and runs to its matching
+    close parenthesis (or end of string when ASR lost the parenthesis).
+    """
+    lowered = [t.lower() for t in tokens]
+    select_positions = [i for i, t in enumerate(lowered) if t == "select"]
+    if len(select_positions) < 2:
+        return None
+    start = select_positions[1]
+    depth = 0
+    end = len(tokens)
+    for i in range(start, len(tokens)):
+        if tokens[i] == "(":
+            depth += 1
+        elif tokens[i] == ")":
+            if depth == 0:
+                end = i
+                break
+            depth -= 1
+    inner = tokens[start:end]
+    outer = tokens[:start] + [NestedSplit.SENTINEL] + tokens[end:]
+    return NestedSplit(outer=outer, inner=inner)
+
+
+def correct_nested_transcription(pipeline: SpeakQL, transcription: str) -> str:
+    """Correct a (possibly nested) transcription with ``pipeline``.
+
+    Falls back to plain correction when no nesting is detected.  The
+    outer query is corrected with the inner region masked as a single
+    literal placeholder; the inner query is corrected independently and
+    substituted back into the outer query's IN-list slot.
+    """
+    tokens = handle_splchars(transcription.split())
+    split = split_nested(tokens)
+    if split is None:
+        return pipeline.correct_transcription(transcription).sql
+
+    inner_out = pipeline.correct_transcription(" ".join(split.inner)).sql
+    outer_text = " ".join(
+        "innerquery" if t == NestedSplit.SENTINEL else t for t in split.outer
+    )
+    outer_out = pipeline.correct_transcription(outer_text).sql
+    return _substitute_inner(outer_out, inner_out)
+
+
+def _substitute_inner(outer_sql: str, inner_sql: str) -> str:
+    """Replace the literal inside the outer IN ( ... ) with the inner SQL."""
+    tokens = outer_sql.split()
+    for i, token in enumerate(tokens):
+        if token.upper() != "IN":
+            continue
+        if i + 2 < len(tokens) and tokens[i + 1] == "(":
+            # Find the matching close parenthesis of this IN list.
+            depth = 0
+            for j in range(i + 1, len(tokens)):
+                if tokens[j] == "(":
+                    depth += 1
+                elif tokens[j] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return " ".join(
+                            tokens[: i + 2] + inner_sql.split() + tokens[j:]
+                        )
+            break
+    # No IN ( ... ) slot survived structure determination: append one.
+    return f"{outer_sql} IN ( {inner_sql} )"

@@ -1,0 +1,225 @@
+"""The SpeakQL end-to-end pipeline (paper Figure 2).
+
+``SpeakQL`` wires the four components together: a (simulated) ASR engine,
+structure determination over a grammar-generated index, literal
+determination over a phonetic index of the queried database, and an
+interactive display (in :mod:`repro.interface`).
+
+Typical use::
+
+    catalog = build_employees_catalog()
+    speakql = SpeakQL(catalog)
+    output = speakql.query_from_speech("SELECT Salary FROM Employees", seed=7)
+    output.sql              # corrected SQL string
+    output.queries[:5]      # top-5 candidates
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.asr.engine import AsrResult, SimulatedAsrEngine, make_custom_engine
+from repro.asr.speakers import SpeakerProfile
+from repro.core.result import ComponentTimings, SpeakQLOutput
+from repro.grammar.generator import DEFAULT_MAX_TOKENS, StructureGenerator
+from repro.literal.determiner import LiteralDeterminer
+from repro.phonetics.phonetic_index import PhoneticIndex
+from repro.sqlengine.catalog import Catalog
+from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
+from repro.structure.indexer import StructureIndex
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import StructureSearchEngine
+
+
+@dataclass(frozen=True)
+class SpeakQLConfig:
+    """Configuration knobs of the pipeline."""
+
+    max_structure_tokens: int = DEFAULT_MAX_TOKENS
+    top_k: int = 5
+    weights: TokenWeights = DEFAULT_WEIGHTS
+    use_bdb: bool = True
+    use_dap: bool = False
+    use_inv: bool = False
+    literal_window_size: int = 4
+    #: Optional path caching the generated structures on disk (the
+    #: paper's offline index-build step); rebuilt when the cap changes.
+    index_cache_path: str | None = None
+    #: Future-work mode (paper Section 8): collapse masked literal runs
+    #: before the structure search, de-emphasizing structure relative to
+    #: literals so ASR token-splitting cannot inflate the distance.
+    literal_focused: bool = False
+
+
+@dataclass
+class SpeakQL:
+    """The end-to-end speech-driven querying system.
+
+    Parameters
+    ----------
+    catalog:
+        The database being queried (drives the phonetic index and value
+        typing).
+    engine:
+        ASR engine; defaults to an untrained custom engine.  Train it on
+        spoken SQL (``engine.train_on_sql``) for the paper's accuracy.
+    structure_index:
+        Pre-built structure index; built from the subset grammar when
+        omitted (the offline step of Section 3.2/3.3).
+    """
+
+    catalog: Catalog
+    engine: SimulatedAsrEngine | None = None
+    structure_index: StructureIndex | None = None
+    config: SpeakQLConfig = field(default_factory=SpeakQLConfig)
+    _searcher: StructureSearchEngine = field(init=False, repr=False)
+    _determiner: LiteralDeterminer = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = make_custom_engine()
+        if self.structure_index is None:
+            if self.config.index_cache_path is not None:
+                from repro.structure.persistence import load_or_build
+
+                self.structure_index = load_or_build(
+                    self.config.index_cache_path,
+                    max_tokens=self.config.max_structure_tokens,
+                )
+            else:
+                generator = StructureGenerator(
+                    max_tokens=self.config.max_structure_tokens
+                )
+                self.structure_index = StructureIndex.build(generator)
+        self._searcher = StructureSearchEngine(
+            index=self.structure_index,
+            weights=self.config.weights,
+            use_bdb=self.config.use_bdb,
+            use_dap=self.config.use_dap,
+            use_inv=self.config.use_inv,
+        )
+        phonetic_index = PhoneticIndex.from_catalog(self.catalog)
+        self._determiner = LiteralDeterminer(
+            catalog=self.catalog,
+            index=phonetic_index,
+            window_size=self.config.literal_window_size,
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    def query_from_speech(
+        self,
+        sql_text: str,
+        seed: int,
+        nbest: int | None = None,
+        voice: "SpeakerProfile | None" = None,
+    ) -> SpeakQLOutput:
+        """Dictate ``sql_text`` through the simulated ASR and correct it.
+
+        ``voice`` optionally selects a synthesized speaker profile (one
+        of the eight Polly voices), which scales the acoustic channel.
+        """
+        assert self.engine is not None
+        nbest = nbest or self.config.top_k
+        channel = voice.channel(self.engine.channel.profile) if voice else None
+        asr = self.engine.transcribe(
+            sql_text, seed=seed, nbest=nbest, channel=channel
+        )
+        return self.process_asr_result(asr)
+
+    def process_asr_result(self, asr: AsrResult) -> SpeakQLOutput:
+        """Run structure + literal determination on an ASR result.
+
+        Each ASR alternative is corrected independently; the output's
+        query list is the deduplicated sequence of corrected candidates
+        (the "top 5 outputs" of Table 2).
+        """
+        queries: list[str] = []
+        top_structure = None
+        top_literals = None
+        top_stats = None
+        timings = ComponentTimings()
+        for rank, text in enumerate(asr.alternatives):
+            corrected, structure, literals, stats, step = self._correct_one(text)
+            if rank == 0:
+                top_structure = structure
+                top_literals = literals
+                top_stats = stats
+                timings = step
+            if corrected and corrected not in queries:
+                queries.append(corrected)
+        if len(queries) < self.config.top_k:
+            # Diversify with runner-up *structures* for the top ASR text
+            # (the n-best list often differs only in literals, so its
+            # corrections collapse to few distinct queries).
+            for candidate in self._structure_alternatives(
+                asr.text, skip=top_structure
+            ):
+                if candidate and candidate not in queries:
+                    queries.append(candidate)
+                if len(queries) >= self.config.top_k:
+                    break
+        return SpeakQLOutput(
+            asr_text=asr.text,
+            asr_alternatives=asr.alternatives,
+            queries=queries,
+            structure=top_structure,
+            literal_result=top_literals,
+            timings=timings,
+            search_stats=top_stats,
+        )
+
+    def correct_transcription(self, transcription: str) -> SpeakQLOutput:
+        """Correct a raw transcription text (no ASR step)."""
+        corrected, structure, literals, stats, timings = self._correct_one(
+            transcription
+        )
+        return SpeakQLOutput(
+            asr_text=transcription,
+            asr_alternatives=(transcription,),
+            queries=[corrected] if corrected else [],
+            structure=structure,
+            literal_result=literals,
+            timings=timings,
+            search_stats=stats,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _structure_alternatives(self, transcription: str, skip) -> list[str]:
+        """Corrected queries for the runner-up structures of one text."""
+        masked = preprocess_transcription(transcription)
+        results, _ = self._searcher.search(
+            self._search_tokens(masked), k=self.config.top_k
+        )
+        out: list[str] = []
+        for result in results:
+            if skip is not None and result.structure == skip.structure:
+                continue
+            literals = self._determiner.determine(
+                list(masked.source), result.structure
+            )
+            out.append(literals.sql())
+        return out
+
+    def _search_tokens(self, masked) -> tuple[str, ...]:
+        if self.config.literal_focused:
+            from repro.structure.masking import collapse_literal_runs
+
+            return collapse_literal_runs(masked.masked)
+        return masked.masked
+
+    def _correct_one(self, transcription: str):
+        masked = preprocess_transcription(transcription)
+        start = time.perf_counter()
+        results, stats = self._searcher.search(self._search_tokens(masked), k=1)
+        structure_seconds = time.perf_counter() - start
+        if not results:
+            return "", None, None, stats, ComponentTimings(structure_seconds, 0.0)
+        best = results[0]
+        start = time.perf_counter()
+        literals = self._determiner.determine(list(masked.source), best.structure)
+        literal_seconds = time.perf_counter() - start
+        timings = ComponentTimings(structure_seconds, literal_seconds)
+        return literals.sql(), best, literals, stats, timings

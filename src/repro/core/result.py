@@ -1,0 +1,45 @@
+"""Result types of the end-to-end pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.literal.determiner import LiteralResult
+from repro.structure.search import SearchResult, SearchStats
+
+
+@dataclass
+class ComponentTimings:
+    """Per-component wall-clock latency in seconds."""
+
+    structure_seconds: float = 0.0
+    literal_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.structure_seconds + self.literal_seconds
+
+
+@dataclass
+class SpeakQLOutput:
+    """End-to-end output for one dictated query.
+
+    ``queries`` is the ranked list of candidate SQL strings (top-1 first);
+    the interface displays ``queries[0]`` and offers the rest on demand.
+    """
+
+    asr_text: str
+    asr_alternatives: tuple[str, ...]
+    queries: list[str]
+    structure: SearchResult | None
+    literal_result: LiteralResult | None
+    timings: ComponentTimings = field(default_factory=ComponentTimings)
+    search_stats: SearchStats | None = None
+
+    @property
+    def sql(self) -> str:
+        """The top-1 corrected SQL string."""
+        return self.queries[0] if self.queries else ""
+
+    def top(self, k: int) -> list[str]:
+        return self.queries[:k]

@@ -1,0 +1,26 @@
+"""Datasets: schema instances, random query generation, spoken datasets.
+
+Implements the paper's Section 6.1 pipeline: two real-world schemas
+(MySQL's Employees sample database and the Yelp dataset), random SQL
+query generation from the subset CFG with literals bound from the
+database instance, and spoken renderings — plus synthetic WikiSQL-like
+and Spider-like NL/SQL pair sets for the Table 5 NLI comparison.
+"""
+
+from repro.dataset.schemas import build_employees_catalog, build_yelp_catalog
+from repro.dataset.datagen import QueryGenerator, QueryRecord
+from repro.dataset.spoken import SpokenDataset, SpokenQuery, build_spoken_datasets
+from repro.dataset.nl_pairs import NlSqlPair, generate_spider_like, generate_wikisql_like
+
+__all__ = [
+    "build_employees_catalog",
+    "build_yelp_catalog",
+    "QueryGenerator",
+    "QueryRecord",
+    "SpokenDataset",
+    "SpokenQuery",
+    "build_spoken_datasets",
+    "NlSqlPair",
+    "generate_spider_like",
+    "generate_wikisql_like",
+]

@@ -1,0 +1,415 @@
+"""Random SQL query generation over an arbitrary schema (paper §6.1).
+
+Implements steps 2-4 of the paper's dataset procedure:
+
+2. sample a random structure from the subset CFG;
+3. assign a category type to each literal placeholder;
+4. bind placeholders to literals of their category — tables first, then
+   attribute names, then attribute values — sampling values from the
+   actual database instance so generated queries are executable.
+
+The binder is schema-aware: natural-join chains are sampled from the
+catalog's joinable pairs, aggregate arguments get numeric columns, and
+dotted equality pairs become join predicates on shared columns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError
+from repro.grammar.categorizer import LiteralCategory, assign_categories
+from repro.grammar.cfg import Grammar, Symbol
+from repro.grammar.speakql_grammar import build_speakql_grammar
+from repro.grammar.vocabulary import AGGREGATE_KEYWORDS, LITERAL_PLACEHOLDER
+from repro.dataset.schemas import JOINABLE
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.formatter import format_literal
+from repro.sqlengine.ast_nodes import Literal
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One generated query with its provenance."""
+
+    sql: str
+    structure: tuple[str, ...]
+    categories: tuple[LiteralCategory, ...]
+    literals: tuple[str, ...]
+    tables: tuple[str, ...]
+
+    @property
+    def token_count(self) -> int:
+        return len(self.sql.split())
+
+
+@dataclass
+class QueryGenerator:
+    """Samples executable queries for a catalog.
+
+    Parameters
+    ----------
+    catalog:
+        Schema instance to bind literals from.
+    max_tokens:
+        Structure-length cap (queries above it are resampled).
+    seed:
+        Master seed; generation is fully deterministic.
+    """
+
+    catalog: Catalog
+    max_tokens: int = 20
+    seed: int = 0
+    grammar: Grammar = field(default_factory=build_speakql_grammar)
+
+    def generate(self, n: int) -> list[QueryRecord]:
+        """Generate ``n`` random bound queries."""
+        rng = random.Random(self.seed)
+        records: list[QueryRecord] = []
+        attempts = 0
+        while len(records) < n:
+            attempts += 1
+            if attempts > n * 200:
+                raise DatasetError("query generation failed to converge")
+            structure = self.random_structure(rng)
+            record = self.bind(structure, rng)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # -- structure sampling ---------------------------------------------------
+
+    def random_structure(self, rng: random.Random) -> tuple[str, ...]:
+        """Sample one structure from the CFG within the token budget.
+
+        A target length is drawn uniformly over the feasible range, and
+        the derivation is biased toward hitting it, so the dataset's
+        token-length distribution is spread out — the paper's key
+        difficulty metric for spoken querying is token count.
+        """
+        min_len = self.grammar.min_terminal_length(self.grammar.start)
+        for _ in range(200):
+            target = rng.randint(min_len, self.max_tokens)
+            tokens = self._try_derive(rng, target)
+            if tokens is not None and abs(len(tokens) - target) <= 2:
+                return tokens
+        raise DatasetError("structure sampling failed to converge")
+
+    def _try_derive(
+        self, rng: random.Random, target: int
+    ) -> tuple[str, ...] | None:
+        form: list[Symbol] = [self.grammar.start]
+        for _ in range(400):
+            idx = next((i for i, s in enumerate(form) if not s.terminal), None)
+            if idx is None:
+                return tuple(s.name for s in form)
+            fixed = (
+                idx
+                + sum(
+                    self.grammar.min_terminal_length(s) for s in form[idx + 1 :]
+                )
+            )
+            options = []
+            weights = []
+            for prod in self.grammar.productions_for(form[idx]):
+                need = sum(self.grammar.min_terminal_length(s) for s in prod.rhs)
+                if fixed + need > self.max_tokens:
+                    continue
+                options.append(prod)
+                # Bias toward expansions whose minimum completion stays
+                # close to the target length.
+                gap = abs((fixed + need) - target)
+                weights.append(1.0 / (1.0 + gap))
+            if not options:
+                return None
+            prod = rng.choices(options, weights=weights, k=1)[0]
+            form[idx : idx + 1] = list(prod.rhs)
+        return None
+
+    # -- binding ----------------------------------------------------------------
+
+    def bind(
+        self, structure: tuple[str, ...], rng: random.Random
+    ) -> QueryRecord | None:
+        """Bind the placeholders of ``structure`` to catalog literals.
+
+        Returns None when binding is unsatisfiable for this structure
+        (e.g. a natural-join chain longer than the schema supports).
+        """
+        if "*" in structure and "GROUP" in structure:
+            return None  # SELECT * with GROUP BY is not meaningful SQL
+        categories = assign_categories(structure)
+        binder = _Binder(self.catalog, structure, categories, rng)
+        try:
+            literals = binder.run()
+        except DatasetError:
+            return None
+        tokens: list[str] = []
+        fill = iter(literals)
+        for token in structure:
+            tokens.append(next(fill) if token == LITERAL_PLACEHOLDER else token)
+        return QueryRecord(
+            sql=" ".join(tokens),
+            structure=structure,
+            categories=tuple(categories),
+            literals=tuple(binder.raw_literals),
+            tables=tuple(binder.tables),
+        )
+
+
+class _Binder:
+    """Single-use binder for one structure."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        structure: tuple[str, ...],
+        categories: list[LiteralCategory],
+        rng: random.Random,
+    ):
+        self.catalog = catalog
+        self.structure = structure
+        self.categories = categories
+        self.rng = rng
+        self.tables: list[str] = []
+        self.raw_literals: list[str] = []
+        self._positions = [
+            pos for pos, tok in enumerate(structure) if tok == LITERAL_PLACEHOLDER
+        ]
+        self._forced: dict[int, str] = {}
+
+    def run(self) -> list[str]:
+        self._bind_tables()
+        self._bind_dotted_joins()
+        rendered: list[str] = []
+        last_attribute: str | None = None
+        dotted_table: str | None = None
+        pending_between: list[str] = []
+        for idx, category in enumerate(self.categories):
+            pos = self._positions[idx]
+            forced = self._forced.get(idx)
+            if forced is not None:
+                rendered.append(forced)
+                self.raw_literals.append(forced)
+                if category is LiteralCategory.ATTRIBUTE:
+                    last_attribute = forced
+                    dotted_table = None
+                else:
+                    dotted_table = forced
+                continue
+            if category is LiteralCategory.TABLE:
+                dotted_table = self._table_at(idx)
+                rendered.append(dotted_table)
+                continue
+            if category is LiteralCategory.ATTRIBUTE:
+                attribute = self._bind_attribute(pos, dotted_table)
+                dotted_table = None
+                last_attribute = attribute
+                rendered.append(attribute)
+                self.raw_literals.append(attribute)
+                continue
+            value = self._bind_value(pos, last_attribute, pending_between)
+            rendered.append(value)
+        return rendered
+
+    # -- dotted joins -----------------------------------------------------------
+
+    def _dotted_equality_groups(self) -> list[tuple[int, int, int, int]]:
+        """Placeholder-index quadruples of ``x . x = x . x`` patterns."""
+        pos_to_idx = {pos: idx for idx, pos in enumerate(self._positions)}
+        groups: list[tuple[int, int, int, int]] = []
+        s = self.structure
+        for p in range(len(s) - 6):
+            window = s[p : p + 7]
+            if (
+                window[0] == LITERAL_PLACEHOLDER
+                and window[1] == "."
+                and window[2] == LITERAL_PLACEHOLDER
+                and window[3] == "="
+                and window[4] == LITERAL_PLACEHOLDER
+                and window[5] == "."
+                and window[6] == LITERAL_PLACEHOLDER
+            ):
+                groups.append(
+                    (
+                        pos_to_idx[p],
+                        pos_to_idx[p + 2],
+                        pos_to_idx[p + 4],
+                        pos_to_idx[p + 6],
+                    )
+                )
+        return groups
+
+    def _bind_dotted_joins(self) -> None:
+        """Bind dotted equality patterns as join predicates on shared keys."""
+        groups = self._dotted_equality_groups()
+        if not groups:
+            return
+        for t1_idx, a1_idx, t2_idx, a2_idx in groups:
+            pair = self._shared_key_pair()
+            if pair is None:
+                raise DatasetError("no shared join key for dotted equality")
+            (table1, table2, key) = pair
+            self._forced[t1_idx] = table1
+            self._forced[a1_idx] = key
+            self._forced[t2_idx] = table2
+            self._forced[a2_idx] = key
+
+    def _shared_key_pair(self) -> tuple[str, str, str] | None:
+        if len(self.tables) < 2:
+            return None  # dotted joins need two FROM tables
+        tables = self.tables
+        candidates = []
+        for i, name1 in enumerate(tables):
+            for name2 in tables[i + 1 :]:
+                t1 = self.catalog.table(name1)
+                t2 = self.catalog.table(name2)
+                shared = [c for c in t1.columns if t2.has_column(c)]
+                for column in shared:
+                    candidates.append((name1, name2, column))
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    # -- tables ----------------------------------------------------------------
+
+    def _bind_tables(self) -> None:
+        """Choose the FROM tables (and keep them for dotted references)."""
+        from_tables = [
+            idx
+            for idx, cat in enumerate(self.categories)
+            if cat is LiteralCategory.TABLE and self._in_from_clause(idx)
+        ]
+        count = len(from_tables)
+        if count == 0:
+            raise DatasetError("structure without FROM tables")
+        natural = "NATURAL" in self.structure
+        joinable = JOINABLE.get(self.catalog.name, {})
+        names = self.catalog.table_names()
+        if count == 1:
+            self.tables = [self.rng.choice(names)]
+            return
+        if natural and joinable:
+            chain = self._join_chain(count, joinable)
+            if chain is None:
+                raise DatasetError("no joinable chain of that length")
+            self.tables = chain
+            return
+        if count > len(names):
+            raise DatasetError("more FROM tables than schema tables")
+        # Comma joins: without join predicates an N-way cross product is
+        # meaningless (and explosive); require at least count-1 dotted
+        # equality patterns for 3+ tables.
+        dotted = len(self._dotted_equality_groups())
+        if count > 2 and dotted < count - 1:
+            raise DatasetError("comma join without enough join predicates")
+        if joinable and count == 2:
+            base = self.rng.choice([t for t in names if joinable.get(t)])
+            other = self.rng.choice(joinable[base])
+            self.tables = [base, other]
+            return
+        self.tables = self.rng.sample(names, count)
+
+    def _join_chain(
+        self, count: int, joinable: dict[str, list[str]]
+    ) -> list[str] | None:
+        for _ in range(40):
+            start = self.rng.choice(list(joinable))
+            chain = [start]
+            while len(chain) < count:
+                options = [
+                    t for t in joinable.get(chain[-1], []) if t not in chain
+                ]
+                if not options:
+                    break
+                chain.append(self.rng.choice(options))
+            if len(chain) == count:
+                return chain
+        return None
+
+    def _in_from_clause(self, idx: int) -> bool:
+        """Table placeholders in FROM (vs dotted pairs elsewhere)."""
+        pos = self._positions[idx]
+        nxt = self.structure[pos + 1] if pos + 1 < len(self.structure) else ""
+        return nxt != "."
+
+    def _table_at(self, idx: int) -> str:
+        if self._in_from_clause(idx):
+            table = self.tables[self._from_rank(idx)]
+        else:
+            table = self.rng.choice(self.tables) if self.tables else (
+                self.rng.choice(self.catalog.table_names())
+            )
+        self.raw_literals.append(table)
+        return table
+
+    def _from_rank(self, idx: int) -> int:
+        rank = 0
+        for j in range(idx):
+            if self.categories[j] is LiteralCategory.TABLE and self._in_from_clause(j):
+                rank += 1
+        return rank
+
+    # -- attributes ---------------------------------------------------------------
+
+    def _bind_attribute(self, pos: int, dotted_table: str | None) -> str:
+        numeric_needed = self._inside_numeric_aggregate(pos)
+        if dotted_table is not None:
+            columns = self.catalog.attribute_names_of(dotted_table)
+        else:
+            columns = []
+            for table in self.tables:
+                columns.extend(self.catalog.attribute_names_of(table))
+        if not columns:
+            columns = self.catalog.attribute_names()
+        if numeric_needed:
+            numeric = [c for c in columns if self._column_type(c) in ("int", "float")]
+            if not numeric:
+                raise DatasetError("aggregate needs a numeric column")
+            columns = numeric
+        return self.rng.choice(columns)
+
+    def _inside_numeric_aggregate(self, pos: int) -> bool:
+        if pos < 2:
+            return False
+        prev, prev2 = self.structure[pos - 1], self.structure[pos - 2]
+        return prev == "(" and prev2 in AGGREGATE_KEYWORDS and prev2 != "COUNT"
+
+    def _column_type(self, column: str) -> str:
+        for schema in self.catalog.schema():
+            for col in schema.columns:
+                if col.name.lower() == column.lower():
+                    return col.type_name
+        return "string"
+
+    # -- values -------------------------------------------------------------------
+
+    def _bind_value(
+        self, pos: int, attribute: str | None, pending_between: list[str]
+    ) -> str:
+        if pos > 0 and self.structure[pos - 1].upper() == "LIMIT":
+            value = str(self.rng.randint(1, 20))
+            self.raw_literals.append(value)
+            return value
+        sample = self._sample_column_value(attribute)
+        self.raw_literals.append(str(sample.value))
+        return format_literal(sample)
+
+    def _sample_column_value(self, attribute: str | None) -> Literal:
+        if attribute is not None:
+            for table_name in self.tables or self.catalog.table_names():
+                table = self.catalog.table(table_name)
+                if table.has_column(attribute):
+                    values = [
+                        v
+                        for v in table.column_values(attribute)
+                        if v is not None
+                    ]
+                    if values:
+                        return Literal(self.rng.choice(values))
+        # No governing attribute resolved: sample any string value.
+        pool = self.catalog.string_attribute_values()
+        if not pool:
+            raise DatasetError("catalog has no sampleable values")
+        return Literal(self.rng.choice(pool))

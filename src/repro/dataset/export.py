@@ -1,0 +1,88 @@
+"""Dataset export/import (the paper publishes its spoken-SQL dataset).
+
+Serializes a :class:`~repro.dataset.spoken.SpokenDataset` — ground-truth
+SQL, structures, categories, spoken word sequences, acoustic seeds — to
+a JSON file, and loads it back against a catalog.  The format is stable
+and human-readable so released datasets can be versioned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dataset.datagen import QueryRecord
+from repro.dataset.spoken import SpokenDataset, SpokenQuery
+from repro.errors import DatasetError
+from repro.grammar.categorizer import LiteralCategory
+from repro.sqlengine.catalog import Catalog
+
+FORMAT_VERSION = 1
+
+
+def dataset_to_dict(dataset: SpokenDataset) -> dict:
+    """JSON-serializable representation of a spoken dataset."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "catalog": dataset.catalog.name,
+        "queries": [
+            {
+                "sql": q.record.sql,
+                "structure": list(q.record.structure),
+                "categories": [c.value for c in q.record.categories],
+                "literals": list(q.record.literals),
+                "tables": list(q.record.tables),
+                "spoken": list(q.spoken),
+                "seed": q.seed,
+                "voice": q.voice,
+            }
+            for q in dataset.queries
+        ],
+    }
+
+
+def save_dataset(dataset: SpokenDataset, path: str | Path) -> None:
+    """Write a spoken dataset to a JSON file."""
+    payload = dataset_to_dict(dataset)
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def dataset_from_dict(payload: dict, catalog: Catalog) -> SpokenDataset:
+    """Rebuild a spoken dataset from its dict form."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DatasetError(f"unsupported dataset format version: {version!r}")
+    if payload.get("catalog") != catalog.name:
+        raise DatasetError(
+            f"dataset was built for catalog {payload.get('catalog')!r}, "
+            f"got {catalog.name!r}"
+        )
+    queries = []
+    for item in payload["queries"]:
+        record = QueryRecord(
+            sql=item["sql"],
+            structure=tuple(item["structure"]),
+            categories=tuple(
+                LiteralCategory(value) for value in item["categories"]
+            ),
+            literals=tuple(item["literals"]),
+            tables=tuple(item["tables"]),
+        )
+        queries.append(
+            SpokenQuery(
+                record=record,
+                spoken=tuple(item["spoken"]),
+                seed=int(item["seed"]),
+                voice=item.get("voice", "Kimberly"),
+            )
+        )
+    return SpokenDataset(
+        name=payload["name"], catalog=catalog, queries=queries
+    )
+
+
+def load_dataset(path: str | Path, catalog: Catalog) -> SpokenDataset:
+    """Read a spoken dataset from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    return dataset_from_dict(payload, catalog)

@@ -1,0 +1,204 @@
+"""Synthetic NL/SQL pair datasets (WikiSQL-like and Spider-like).
+
+The paper compares SpeakQL against NLIs on WikiSQL and Spider (Table 5,
+Appendix F.9).  Offline, we generate pair sets with the same structural
+profiles:
+
+- **WikiSQL-like**: single table, at most one aggregate, conjunctive
+  WHERE with equality/inequality conditions — the restrictions the paper
+  notes for WikiSQL's state of the art.
+- **Spider-like**: multi-table joins, GROUP BY / ORDER BY, and one-level
+  nested ``IN (SELECT ...)`` queries (used for Figure 18's nested-query
+  evaluation too).
+
+Each pair carries a natural-language question produced from templates,
+the ground-truth SQL, and the spoken forms of both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dataset.schemas import JOINABLE
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.formatter import format_literal
+from repro.sqlengine.ast_nodes import Literal
+
+_AGG_PHRASES = {
+    "AVG": "the average",
+    "SUM": "the total",
+    "MAX": "the highest",
+    "MIN": "the lowest",
+    "COUNT": "the number of",
+}
+_OP_PHRASES = {"=": "is", ">": "is greater than", "<": "is less than"}
+
+
+@dataclass(frozen=True)
+class NlSqlPair:
+    """One natural-language question with its ground-truth SQL."""
+
+    question: str
+    sql: str
+    table: str
+    nested: bool = False
+
+    @property
+    def token_count(self) -> int:
+        return len(self.sql.split())
+
+
+def _spell(identifier: str) -> str:
+    """Human-readable phrase for an identifier (FirstName -> first name)."""
+    out: list[str] = []
+    prev = ""
+    for ch in identifier:
+        if ch == "_":
+            out.append(" ")
+        elif ch.isupper() and prev.islower():
+            out.append(" ")
+            out.append(ch.lower())
+        else:
+            out.append(ch.lower())
+        prev = ch
+    return "".join(out)
+
+
+def _sample_condition(
+    catalog: Catalog, table_name: str, rng: random.Random
+) -> tuple[str, str, Literal]:
+    table = catalog.table(table_name)
+    column = rng.choice(table.columns)
+    values = [v for v in table.column_values(column) if v is not None]
+    value = Literal(rng.choice(values))
+    if isinstance(value.value, str):
+        op = "="
+    else:
+        op = rng.choice(["=", ">", "<"])
+    return column, op, value
+
+
+def generate_wikisql_like(
+    catalog: Catalog, n: int, seed: int = 11
+) -> list[NlSqlPair]:
+    """Single-table aggregate/projection questions with simple WHEREs."""
+    rng = random.Random(seed)
+    pairs: list[NlSqlPair] = []
+    names = catalog.table_names()
+    while len(pairs) < n:
+        table_name = rng.choice(names)
+        table = catalog.table(table_name)
+        column = rng.choice(table.columns)
+        cond_col, op, value = _sample_condition(catalog, table_name, rng)
+        use_agg = rng.random() < 0.45
+        if use_agg:
+            numeric = [
+                c
+                for c in table.columns
+                if any(isinstance(v, (int, float)) for v in table.column_values(c))
+            ]
+            func = rng.choice(list(_AGG_PHRASES))
+            if func == "COUNT" or not numeric:
+                func = "COUNT"
+                select_sql = f"COUNT ( {column} )"
+                select_nl = f"the number of {_spell(column)} entries"
+            else:
+                target = rng.choice(numeric)
+                select_sql = f"{func} ( {target} )"
+                select_nl = f"{_AGG_PHRASES[func]} {_spell(target)}"
+        else:
+            select_sql = column
+            select_nl = f"the {_spell(column)}"
+        value_sql = format_literal(value)
+        sql = (
+            f"SELECT {select_sql} FROM {table_name} "
+            f"WHERE {cond_col} {op} {value_sql}"
+        )
+        question = (
+            f"What is {select_nl} in {_spell(table_name)} where "
+            f"{_spell(cond_col)} {_OP_PHRASES[op]} {value.value}?"
+        )
+        pairs.append(NlSqlPair(question=question, sql=sql, table=table_name))
+    return pairs
+
+
+def generate_spider_like(
+    catalog: Catalog, n: int, seed: int = 13, nested_fraction: float = 0.35
+) -> list[NlSqlPair]:
+    """Multi-table questions with joins, grouping, and nesting."""
+    rng = random.Random(seed)
+    pairs: list[NlSqlPair] = []
+    joinable = JOINABLE.get(catalog.name, {})
+    bases = [t for t in catalog.table_names() if joinable.get(t)]
+    while len(pairs) < n:
+        if rng.random() < nested_fraction and bases:
+            pairs.append(_nested_pair(catalog, joinable, rng))
+        elif bases:
+            pairs.append(_join_pair(catalog, joinable, rng))
+        else:
+            pairs.extend(generate_wikisql_like(catalog, 1, seed=rng.randrange(1 << 30)))
+    return pairs[:n]
+
+
+def _join_pair(
+    catalog: Catalog, joinable: dict[str, list[str]], rng: random.Random
+) -> NlSqlPair:
+    base = rng.choice([t for t in catalog.table_names() if joinable.get(t)])
+    other = rng.choice(joinable[base])
+    base_table = catalog.table(base)
+    other_table = catalog.table(other)
+    column = rng.choice(base_table.columns)
+    cond_col, op, value = _sample_condition(catalog, other, rng)
+    group = rng.random() < 0.4
+    value_sql = format_literal(value)
+    if group:
+        numeric = [
+            c
+            for c in other_table.columns
+            if any(isinstance(v, (int, float)) for v in other_table.column_values(c))
+        ]
+        agg_col = rng.choice(numeric) if numeric else cond_col
+        sql = (
+            f"SELECT {column} , AVG ( {agg_col} ) FROM {base} natural join "
+            f"{other} GROUP BY {column}"
+        )
+        question = (
+            f"Show each {_spell(column)} with the average {_spell(agg_col)} "
+            f"joining {_spell(base)} and {_spell(other)}."
+        )
+    else:
+        sql = (
+            f"SELECT {column} FROM {base} natural join {other} "
+            f"WHERE {cond_col} {op} {value_sql}"
+        )
+        question = (
+            f"What is the {_spell(column)} of {_spell(base)} joined with "
+            f"{_spell(other)} where {_spell(cond_col)} "
+            f"{_OP_PHRASES[op]} {value.value}?"
+        )
+    return NlSqlPair(question=question, sql=sql, table=base)
+
+
+def _nested_pair(
+    catalog: Catalog, joinable: dict[str, list[str]], rng: random.Random
+) -> NlSqlPair:
+    base = rng.choice([t for t in catalog.table_names() if joinable.get(t)])
+    other = rng.choice(joinable[base])
+    base_table = catalog.table(base)
+    other_table = catalog.table(other)
+    shared = [c for c in base_table.columns if other_table.has_column(c)]
+    key = shared[0] if shared else base_table.columns[0]
+    column = rng.choice(base_table.columns)
+    cond_col, op, value = _sample_condition(catalog, other, rng)
+    value_sql = format_literal(value)
+    sql = (
+        f"SELECT {column} FROM {base} WHERE {key} IN "
+        f"( SELECT {key} FROM {other} WHERE {cond_col} {op} {value_sql} )"
+    )
+    question = (
+        f"What is the {_spell(column)} of {_spell(base)} whose {_spell(key)} "
+        f"appears in {_spell(other)} where {_spell(cond_col)} "
+        f"{_OP_PHRASES[op]} {value.value}?"
+    )
+    return NlSqlPair(question=question, sql=sql, table=base, nested=True)

@@ -1,0 +1,253 @@
+"""Synthetic instances of the paper's two evaluation schemas.
+
+- **Employees**: the MySQL Employees sample database, with the table and
+  attribute names the paper's Table 6 queries use (Employees, Salaries,
+  Titles, Departments, DepartmentEmployee, DepartmentManager).
+- **Yelp**: the Kaggle Yelp dataset's relational shape (Business, Review,
+  Users, Checkin, Tip).
+
+Rows are generated deterministically from a seed; values (names, dates,
+salaries, cities) are drawn from realistic pools so the phonetic index
+and the ASR channel see natural English literals.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.table import Table
+
+FIRST_NAMES = [
+    "Karsten", "Tomokazu", "Goh", "Narain", "Perla", "Shimshon", "Georgi",
+    "Bezalel", "Parto", "Chirstian", "Kyoichi", "Anneke", "Sumant",
+    "Duangkaew", "Mary", "Patricio", "Eberhardt", "Berni", "Guoxiang",
+    "Kazuhito", "Cristinel", "Kazuhide", "Lillian", "Mayuko", "Ramzi",
+    "Sanjiv", "Saniya", "Jungsoon", "Sudharsan", "Kendra", "Amabile",
+    "Valdiodio", "Sailaja", "Tse", "Kwee", "Claudi", "Charlene", "Margareta",
+    "Reuven", "Hisao", "Hironoby", "Jungwon", "Domenick", "Otmar",
+]
+LAST_NAMES = [
+    "Joslin", "Facello", "Simmel", "Bamford", "Koblick", "Maliniak",
+    "Preusig", "Zielinski", "Kalloufi", "Peac", "Piveteau", "Sluis",
+    "Bridgland", "Nooteboom", "Cappelletti", "Bouloucos", "Peha", "Haddadi",
+    "Pettey", "Heyers", "Berztiss", "Reistad", "Baek", "Swan", "Leonhardt",
+    "Cusworth", "Casley", "Benzmuller", "Brender", "Syrzycki",
+]
+TITLES = [
+    "Engineer", "Senior Engineer", "Staff", "Senior Staff",
+    "Assistant Engineer", "Technique Leader", "Manager",
+]
+DEPARTMENT_NAMES = [
+    "Marketing", "Finance", "Human Resources", "Production", "Development",
+    "Quality Management", "Sales", "Research", "Customer Service",
+]
+
+CITIES = [
+    "Phoenix", "Las Vegas", "Toronto", "Charlotte", "Scottsdale",
+    "Pittsburgh", "Montreal", "Mesa", "Henderson", "Tempe", "Chandler",
+    "Cleveland", "Madison", "Glendale", "Gilbert", "Peoria",
+]
+STATES = ["AZ", "NV", "ON", "NC", "PA", "QC", "OH", "WI", "IL", "SC"]
+BUSINESS_WORDS_A = [
+    "Golden", "Silver", "Happy", "Royal", "Sunny", "Blue", "Red", "Green",
+    "Grand", "Little", "Corner", "Village", "Harbor", "Garden", "Crystal",
+]
+BUSINESS_WORDS_B = [
+    "Dragon", "Kitchen", "Diner", "Bistro", "Grill", "Bakery", "Cafe",
+    "Tavern", "Palace", "House", "Deli", "Pizzeria", "Lounge", "Market",
+]
+USER_NAMES = [
+    "Walker", "Daniel", "Sophie", "Carlos", "Amelia", "Marcus", "Elena",
+    "Victor", "Nadia", "Oscar", "Priya", "Hassan", "Yuki", "Ingrid",
+]
+
+
+def _random_date(rng: random.Random, start_year: int, end_year: int) -> datetime.date:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return datetime.date(year, month, day)
+
+
+def build_employees_catalog(
+    n_employees: int = 120, seed: int = 2019
+) -> Catalog:
+    """Deterministic instance of the MySQL Employees sample schema."""
+    rng = random.Random(seed)
+    catalog = Catalog("employees")
+
+    employees = Table(
+        "Employees",
+        ["EmployeeNumber", "BirthDate", "FirstName", "LastName", "Gender", "HireDate"],
+    )
+    salaries = Table("Salaries", ["EmployeeNumber", "salary", "FromDate", "ToDate"])
+    titles = Table("Titles", ["EmployeeNumber", "title", "FromDate", "ToDate"])
+    departments = Table("Departments", ["DepartmentNumber", "DepartmentName"])
+    dept_emp = Table(
+        "DepartmentEmployee",
+        ["EmployeeNumber", "DepartmentNumber", "FromDate", "ToDate"],
+    )
+    dept_mgr = Table(
+        "DepartmentManager",
+        ["EmployeeNumber", "DepartmentNumber", "FromDate", "ToDate"],
+    )
+
+    for i, name in enumerate(DEPARTMENT_NAMES):
+        departments.insert(
+            {"DepartmentNumber": f"d{i + 1:03d}", "DepartmentName": name}
+        )
+
+    for emp_no in range(10001, 10001 + n_employees):
+        birth = _random_date(rng, 1952, 1970)
+        hire = _random_date(rng, 1985, 2000)
+        employees.insert(
+            {
+                "EmployeeNumber": emp_no,
+                "BirthDate": birth,
+                "FirstName": rng.choice(FIRST_NAMES),
+                "LastName": rng.choice(LAST_NAMES),
+                "Gender": rng.choice(["M", "F"]),
+                "HireDate": hire,
+            }
+        )
+        # One to three salary periods per employee.
+        from_date = hire
+        for _ in range(rng.randint(1, 3)):
+            to_date = from_date + datetime.timedelta(days=365 * rng.randint(1, 3))
+            salaries.insert(
+                {
+                    "EmployeeNumber": emp_no,
+                    "salary": rng.randrange(40000, 130001, 10),
+                    "FromDate": from_date,
+                    "ToDate": to_date,
+                }
+            )
+            from_date = to_date
+        titles.insert(
+            {
+                "EmployeeNumber": emp_no,
+                "title": rng.choice(TITLES),
+                "FromDate": hire,
+                "ToDate": _random_date(rng, 2000, 2002),
+            }
+        )
+        dept = f"d{rng.randint(1, len(DEPARTMENT_NAMES)):03d}"
+        dept_emp.insert(
+            {
+                "EmployeeNumber": emp_no,
+                "DepartmentNumber": dept,
+                "FromDate": hire,
+                "ToDate": _random_date(rng, 2000, 2002),
+            }
+        )
+        if rng.random() < 0.12:
+            dept_mgr.insert(
+                {
+                    "EmployeeNumber": emp_no,
+                    "DepartmentNumber": dept,
+                    "FromDate": hire,
+                    "ToDate": _random_date(rng, 2000, 2002),
+                }
+            )
+
+    for table in (employees, salaries, titles, departments, dept_emp, dept_mgr):
+        catalog.add_table(table)
+    return catalog
+
+
+def build_yelp_catalog(n_businesses: int = 300, seed: int = 2020) -> Catalog:
+    """Deterministic instance of the Yelp dataset's relational shape."""
+    rng = random.Random(seed)
+    catalog = Catalog("yelp")
+
+    business = Table(
+        "Business",
+        ["BusinessId", "BusinessName", "City", "State", "Stars", "ReviewCount"],
+    )
+    review = Table(
+        "Review",
+        ["ReviewId", "BusinessId", "UserId", "Stars", "ReviewDate", "Useful"],
+    )
+    users = Table("Users", ["UserId", "UserName", "ReviewCount", "YelpingSince"])
+    checkin = Table("Checkin", ["BusinessId", "CheckinDate", "CheckinCount"])
+    tip = Table("Tip", ["BusinessId", "UserId", "TipDate", "ComplimentCount"])
+
+    n_users = max(n_businesses // 2, 10)
+    for user_id in range(1, n_users + 1):
+        users.insert(
+            {
+                "UserId": user_id,
+                "UserName": rng.choice(USER_NAMES),
+                "ReviewCount": rng.randint(1, 500),
+                "YelpingSince": _random_date(rng, 2006, 2016),
+            }
+        )
+
+    review_id = 1
+    for biz_id in range(1, n_businesses + 1):
+        name = f"{rng.choice(BUSINESS_WORDS_A)} {rng.choice(BUSINESS_WORDS_B)}"
+        business.insert(
+            {
+                "BusinessId": biz_id,
+                "BusinessName": name,
+                "City": rng.choice(CITIES),
+                "State": rng.choice(STATES),
+                "Stars": rng.randint(1, 5),
+                "ReviewCount": rng.randint(3, 900),
+            }
+        )
+        for _ in range(rng.randint(1, 4)):
+            review.insert(
+                {
+                    "ReviewId": review_id,
+                    "BusinessId": biz_id,
+                    "UserId": rng.randint(1, n_users),
+                    "Stars": rng.randint(1, 5),
+                    "ReviewDate": _random_date(rng, 2010, 2018),
+                    "Useful": rng.randint(0, 50),
+                }
+            )
+            review_id += 1
+        if rng.random() < 0.7:
+            checkin.insert(
+                {
+                    "BusinessId": biz_id,
+                    "CheckinDate": _random_date(rng, 2012, 2018),
+                    "CheckinCount": rng.randint(1, 40),
+                }
+            )
+        if rng.random() < 0.5:
+            tip.insert(
+                {
+                    "BusinessId": biz_id,
+                    "UserId": rng.randint(1, n_users),
+                    "TipDate": _random_date(rng, 2012, 2018),
+                    "ComplimentCount": rng.randint(0, 10),
+                }
+            )
+
+    for table in (business, review, users, checkin, tip):
+        catalog.add_table(table)
+    return catalog
+
+
+#: Natural-join compatibility: table -> tables it shares a key with.
+JOINABLE: dict[str, dict[str, list[str]]] = {
+    "employees": {
+        "Employees": ["Salaries", "Titles", "DepartmentEmployee", "DepartmentManager"],
+        "Salaries": ["Employees", "Titles"],
+        "Titles": ["Employees", "Salaries"],
+        "Departments": ["DepartmentEmployee", "DepartmentManager"],
+        "DepartmentEmployee": ["Employees", "Departments"],
+        "DepartmentManager": ["Employees", "Departments"],
+    },
+    "yelp": {
+        "Business": ["Review", "Checkin", "Tip"],
+        "Review": ["Business", "Users"],
+        "Users": ["Review", "Tip"],
+        "Checkin": ["Business"],
+        "Tip": ["Business", "Users"],
+    },
+}

@@ -1,0 +1,92 @@
+"""Spoken SQL query datasets (paper §6.1 steps 5-6).
+
+Bundles generated queries with their spoken renderings, partitioned the
+way the paper partitions them: 750 Employees training queries (used to
+customize the ASR engine), 500 Employees test queries, and 500 Yelp test
+queries (never seen by the custom model, probing schema generalization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asr.verbalizer import Verbalizer
+from repro.dataset.datagen import QueryGenerator, QueryRecord
+from repro.dataset.schemas import build_employees_catalog, build_yelp_catalog
+from repro.sqlengine.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class SpokenQuery:
+    """One dataset item: ground-truth SQL plus its spoken form."""
+
+    record: QueryRecord
+    spoken: tuple[str, ...]
+    seed: int  # acoustic seed: fixes the noise realization
+    voice: str = "Kimberly"  # synthesized speaker (paper: 8 Polly voices)
+
+    @property
+    def sql(self) -> str:
+        return self.record.sql
+
+
+@dataclass
+class SpokenDataset:
+    """A named split of spoken queries over one catalog."""
+
+    name: str
+    catalog: Catalog
+    queries: list[SpokenQuery] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def sql_texts(self) -> list[str]:
+        return [q.sql for q in self.queries]
+
+
+def make_spoken_dataset(
+    name: str,
+    catalog: Catalog,
+    n: int,
+    seed: int,
+    max_tokens: int = 20,
+) -> SpokenDataset:
+    """Generate ``n`` spoken queries for ``catalog``."""
+    from repro.asr.speakers import voice_for
+
+    generator = QueryGenerator(catalog, max_tokens=max_tokens, seed=seed)
+    verbalizer = Verbalizer()
+    records = generator.generate(n)
+    queries = [
+        SpokenQuery(
+            record=record,
+            spoken=tuple(verbalizer.verbalize(record.sql)),
+            seed=seed * 100003 + i,
+            voice=voice_for(i).name,
+        )
+        for i, record in enumerate(records)
+    ]
+    return SpokenDataset(name=name, catalog=catalog, queries=queries)
+
+
+def build_spoken_datasets(
+    n_train: int = 750,
+    n_test: int = 500,
+    n_yelp: int = 500,
+    seed: int = 7,
+    max_tokens: int = 20,
+) -> tuple[SpokenDataset, SpokenDataset, SpokenDataset]:
+    """The paper's three splits: Employees train/test and Yelp test."""
+    employees = build_employees_catalog()
+    yelp = build_yelp_catalog()
+    train = make_spoken_dataset(
+        "employees-train", employees, n_train, seed=seed, max_tokens=max_tokens
+    )
+    test = make_spoken_dataset(
+        "employees-test", employees, n_test, seed=seed + 1, max_tokens=max_tokens
+    )
+    yelp_test = make_spoken_dataset(
+        "yelp-test", yelp, n_yelp, seed=seed + 2, max_tokens=max_tokens
+    )
+    return train, test, yelp_test

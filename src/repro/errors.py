@@ -1,0 +1,31 @@
+"""Exception hierarchy for the SpeakQL reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text does not belong to the supported SQL subset."""
+
+
+class SqlSemanticError(SqlError):
+    """The query references unknown tables/columns or mistypes values."""
+
+
+class ExecutionError(SqlError):
+    """The query failed during evaluation."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation was asked for something unsatisfiable."""
+
+
+class AsrError(ReproError):
+    """Simulated speech pipeline failure."""

@@ -1,0 +1,48 @@
+"""SQL grammar substrate for SpeakQL.
+
+This package implements the grammar-side machinery the paper's structure
+determination component depends on:
+
+- :mod:`repro.grammar.vocabulary`: the fixed dictionaries of SQL keywords
+  and special characters (paper Section 3.1) and token classification.
+- :mod:`repro.grammar.cfg`: generic context-free grammar machinery
+  (symbols, productions, bounded enumeration).
+- :mod:`repro.grammar.speakql_grammar`: the paper's Box 1 production rules
+  for the supported SQL subset.
+- :mod:`repro.grammar.generator`: the offline Structure Generator that
+  enumerates ground-truth SQL structures up to a token budget
+  (paper Section 3.2).
+- :mod:`repro.grammar.categorizer`: assignment of placeholder categories
+  (table name / attribute name / attribute value; paper Section 4.1).
+"""
+
+from repro.grammar.vocabulary import (
+    KEYWORD_DICT,
+    SPLCHAR_DICT,
+    TokenClass,
+    classify_token,
+    is_keyword,
+    is_splchar,
+    tokenize_sql,
+)
+from repro.grammar.cfg import Grammar, Production, Symbol
+from repro.grammar.speakql_grammar import build_speakql_grammar
+from repro.grammar.generator import StructureGenerator
+from repro.grammar.categorizer import LiteralCategory, assign_categories
+
+__all__ = [
+    "KEYWORD_DICT",
+    "SPLCHAR_DICT",
+    "TokenClass",
+    "classify_token",
+    "is_keyword",
+    "is_splchar",
+    "tokenize_sql",
+    "Grammar",
+    "Production",
+    "Symbol",
+    "build_speakql_grammar",
+    "StructureGenerator",
+    "LiteralCategory",
+    "assign_categories",
+]

@@ -1,0 +1,138 @@
+"""Placeholder category assignment (paper Section 4.1).
+
+Each placeholder variable in a SQL structure is a table name (type ``T``),
+an attribute name (type ``A``), or an attribute value (type ``V``).  The
+paper assigns the category "using SQL grammar"; because the supported
+subset has an unambiguous clause layout, category assignment reduces to a
+deterministic scan over the structure tokens:
+
+- placeholders in the FROM list (comma- or NATURAL JOIN-separated) are
+  table names;
+- placeholders in the SELECT list (including inside aggregate parentheses)
+  and on the left of comparison operators, after ORDER BY / GROUP BY, and
+  as the probe of BETWEEN / IN are attribute names;
+- placeholders on the right of comparison operators, inside IN lists,
+  as BETWEEN bounds, and after LIMIT are attribute values;
+- in a dotted pair ``x . x`` the left placeholder is a table name and the
+  right one an attribute name.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.grammar.vocabulary import LITERAL_PLACEHOLDER
+
+
+class LiteralCategory(enum.Enum):
+    """Category type of a literal placeholder."""
+
+    TABLE = "T"
+    ATTRIBUTE = "A"
+    VALUE = "V"
+
+
+class _Clause(enum.Enum):
+    SELECT = enum.auto()
+    FROM = enum.auto()
+    WHERE = enum.auto()
+    ORDER_GROUP = enum.auto()
+    LIMIT = enum.auto()
+
+
+def assign_categories(structure: list[str] | tuple[str, ...]) -> list[LiteralCategory]:
+    """Assign a category to each placeholder in ``structure``, in order.
+
+    ``structure`` is a token sequence where every literal is the
+    placeholder token ``x`` (as produced by the Structure Generator or by
+    literal masking).
+
+    >>> cats = assign_categories("SELECT x FROM x WHERE x = x".split())
+    >>> [c.value for c in cats]
+    ['A', 'T', 'A', 'V']
+    """
+    tokens = list(structure)
+    categories: list[LiteralCategory] = []
+    clause = _Clause.SELECT
+    i = 0
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        upper = token.upper()
+        if upper == "SELECT":
+            clause = _Clause.SELECT
+            i += 1
+            continue
+        if upper == "FROM":
+            clause = _Clause.FROM
+            i += 1
+            continue
+        if upper == "WHERE":
+            clause = _Clause.WHERE
+            i += 1
+            continue
+        if upper in ("ORDER", "GROUP") and i + 1 < n and tokens[i + 1].upper() == "BY":
+            clause = _Clause.ORDER_GROUP
+            i += 2
+            continue
+        if upper == "LIMIT":
+            clause = _Clause.LIMIT
+            i += 1
+            continue
+        if token != LITERAL_PLACEHOLDER:
+            i += 1
+            continue
+
+        # token is a placeholder; decide by clause and local context.
+        category = _categorize_placeholder(tokens, i, clause)
+        categories.append(category)
+        i += 1
+    return categories
+
+
+def _categorize_placeholder(
+    tokens: list[str], i: int, clause: _Clause
+) -> LiteralCategory:
+    nxt = tokens[i + 1].upper() if i + 1 < len(tokens) else ""
+    prev = tokens[i - 1].upper() if i > 0 else ""
+
+    # Dotted pair handling applies in any clause: x . x
+    if nxt == ".":
+        return LiteralCategory.TABLE
+    if prev == ".":
+        return LiteralCategory.ATTRIBUTE
+
+    if clause is _Clause.SELECT:
+        return LiteralCategory.ATTRIBUTE
+    if clause is _Clause.FROM:
+        return LiteralCategory.TABLE
+    if clause is _Clause.ORDER_GROUP:
+        return LiteralCategory.ATTRIBUTE
+    if clause is _Clause.LIMIT:
+        return LiteralCategory.VALUE
+
+    # WHERE clause: position relative to operators decides.
+    if prev in ("=", "<", ">"):
+        return LiteralCategory.VALUE
+    if nxt in ("=", "<", ">"):
+        return LiteralCategory.ATTRIBUTE
+    if nxt in ("BETWEEN", "IN", "NOT"):
+        # probe of BETWEEN / NOT BETWEEN / IN predicates
+        return LiteralCategory.ATTRIBUTE
+    if prev in ("BETWEEN", ","):
+        return LiteralCategory.VALUE
+    if prev == "AND" and _is_between_bound(tokens, i):
+        return LiteralCategory.VALUE
+    if prev == "(" or nxt in (")", ","):
+        # inside an IN list (aggregate parens never reach WHERE clause)
+        return LiteralCategory.VALUE
+    if prev in ("AND", "OR") or nxt in ("AND", "OR"):
+        # start of a fresh predicate: attribute side
+        return LiteralCategory.ATTRIBUTE
+    return LiteralCategory.VALUE
+
+
+def _is_between_bound(tokens: list[str], i: int) -> bool:
+    """True when tokens[i] is the upper bound of ``x BETWEEN x AND x``."""
+    # Walk left past "AND x BETWEEN" pattern: i-1=AND, i-2=x, i-3=BETWEEN.
+    return i >= 3 and tokens[i - 3].upper() == "BETWEEN"

@@ -1,0 +1,261 @@
+"""Generic context-free grammar machinery.
+
+The Structure Generator (paper Section 3.2) "uses the production rules in
+the grammar recursively to generate a sequence of tokens" — i.e. it
+enumerates the language of the grammar up to a token budget.  This module
+provides the grammar representation plus a bounded breadth-first
+enumeration that is exact: it yields *every* terminal string of the
+language whose length does not exceed the budget, each exactly once.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A grammar symbol: terminal (a concrete token) or nonterminal."""
+
+    name: str
+    terminal: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"'{self.name}'" if self.terminal else self.name
+
+
+@dataclass(frozen=True)
+class Production:
+    """A production rule ``lhs -> rhs`` with an ordered right-hand side."""
+
+    lhs: Symbol
+    rhs: tuple[Symbol, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rhs = " ".join(repr(s) for s in self.rhs)
+        return f"{self.lhs.name} -> {rhs}"
+
+
+class GrammarError(ValueError):
+    """Raised for malformed grammars (unknown symbols, no productions)."""
+
+
+@dataclass(eq=False)
+class Grammar:
+    """A context-free grammar with bounded exact enumeration.
+
+    Parameters
+    ----------
+    start:
+        The start nonterminal.
+    productions:
+        All production rules.  Every nonterminal reachable from ``start``
+        must have at least one production.
+    """
+
+    start: Symbol
+    productions: list[Production]
+    _by_lhs: dict[Symbol, list[Production]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_lhs = defaultdict(list)
+        for prod in self.productions:
+            if prod.lhs.terminal:
+                raise GrammarError(f"terminal on LHS: {prod.lhs.name}")
+            self._by_lhs[prod.lhs].append(prod)
+        self._validate()
+
+    def _validate(self) -> None:
+        seen: set[Symbol] = set()
+        frontier = [self.start]
+        while frontier:
+            sym = frontier.pop()
+            if sym in seen or sym.terminal:
+                continue
+            seen.add(sym)
+            if sym not in self._by_lhs:
+                raise GrammarError(f"nonterminal without productions: {sym.name}")
+            for prod in self._by_lhs[sym]:
+                frontier.extend(prod.rhs)
+
+    def productions_for(self, symbol: Symbol) -> list[Production]:
+        """Productions whose left-hand side is ``symbol``."""
+        return self._by_lhs.get(symbol, [])
+
+    @functools.cache
+    def min_terminal_length(self, symbol: Symbol) -> int:
+        """Shortest terminal string derivable from ``symbol`` (in tokens).
+
+        Computed by fixed-point iteration so that left-recursive rules
+        (e.g. ``C -> C COM L``) terminate.
+        """
+        if symbol.terminal:
+            return 1
+        best: dict[Symbol, int] = {}
+        inf = float("inf")
+
+        def length_of(sym: Symbol) -> float:
+            if sym.terminal:
+                return 1
+            return best.get(sym, inf)
+
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.productions:
+                total = sum(length_of(s) for s in prod.rhs)
+                if total < best.get(prod.lhs, inf):
+                    best[prod.lhs] = int(total)
+                    changed = True
+        if symbol not in best:
+            raise GrammarError(f"symbol derives no terminal string: {symbol.name}")
+        return best[symbol]
+
+    def enumerate_strings(
+        self, max_tokens: int, max_strings: int | None = None
+    ) -> Iterator[tuple[str, ...]]:
+        """Enumerate terminal strings of the language, shortest-first.
+
+        Yields every distinct terminal string with at most ``max_tokens``
+        tokens.  Enumeration proceeds by iterative deepening over
+        sentential forms: a worklist of partially-expanded forms is
+        expanded leftmost-nonterminal-first, and forms whose minimum
+        completion length exceeds the budget are pruned.  ``max_strings``
+        optionally caps the number of yielded strings.
+
+        The paper caps structures at 50 tokens, producing ~1.6M strings;
+        callers choose smaller budgets for interactive use.
+        """
+        if max_tokens < 1:
+            return
+        emitted = 0
+        seen: set[tuple[str, ...]] = set()
+        # A sentential form is a tuple of Symbols; expand leftmost
+        # nonterminal.  Depth-first with explicit stack keeps memory
+        # proportional to the derivation depth times branching.
+        stack: list[tuple[Symbol, ...]] = [(self.start,)]
+        while stack:
+            form = stack.pop()
+            idx = next(
+                (i for i, s in enumerate(form) if not s.terminal),
+                None,
+            )
+            if idx is None:
+                tokens = tuple(s.name for s in form)
+                if len(tokens) <= max_tokens and tokens not in seen:
+                    seen.add(tokens)
+                    yield tokens
+                    emitted += 1
+                    if max_strings is not None and emitted >= max_strings:
+                        return
+                continue
+            nonterminal = form[idx]
+            prefix, suffix = form[:idx], form[idx + 1 :]
+            # Minimum tokens already committed outside the expansion point.
+            fixed = len(prefix) + sum(
+                self.min_terminal_length(s) for s in suffix
+            )
+            for prod in self.productions_for(nonterminal):
+                expansion_min = sum(self.min_terminal_length(s) for s in prod.rhs)
+                if fixed + expansion_min > max_tokens:
+                    continue
+                stack.append(prefix + prod.rhs + suffix)
+
+    def derives(self, tokens: Iterable[str], max_tokens: int | None = None) -> bool:
+        """Check membership of a token string via CYK on a binarized copy.
+
+        Used in tests to validate that generated structures belong to the
+        language.  Suitable for short strings only (cubic time).
+        """
+        tokens = list(tokens)
+        if not tokens:
+            return False
+        if max_tokens is not None and len(tokens) > max_tokens:
+            return False
+        return self._cyk(tuple(tokens))
+
+    @functools.cached_property
+    def _cnf(self) -> tuple[dict[str, set[Symbol]], dict[tuple[Symbol, Symbol], set[Symbol]], set[Symbol]]:
+        """Chomsky-normal-form tables: terminal map, pair map, nullable-free."""
+        term_map: dict[str, set[Symbol]] = defaultdict(set)
+        pair_map: dict[tuple[Symbol, Symbol], set[Symbol]] = defaultdict(set)
+        unit_edges: dict[Symbol, set[Symbol]] = defaultdict(set)
+        counter = [0]
+
+        def fresh() -> Symbol:
+            counter[0] += 1
+            return Symbol(f"_B{counter[0]}")
+
+        def symbol_of(sym: Symbol) -> Symbol:
+            if not sym.terminal:
+                return sym
+            proxy = Symbol(f"_T[{sym.name}]")
+            term_map[sym.name].add(proxy)
+            return proxy
+
+        for prod in self.productions:
+            rhs = [symbol_of(s) for s in prod.rhs]
+            if len(rhs) == 1:
+                first = prod.rhs[0]
+                if first.terminal:
+                    term_map[first.name].add(prod.lhs)
+                else:
+                    unit_edges[prod.lhs].add(rhs[0])
+                continue
+            # Binarize A -> X1 X2 ... Xn left-to-right: each fresh symbol
+            # derives the pair (accumulated-prefix, next-symbol).
+            left = rhs[0]
+            for i in range(1, len(rhs) - 1):
+                nxt = fresh()
+                pair_map[(left, rhs[i])].add(nxt)
+                left = nxt
+            pair_map[(left, rhs[-1])].add(prod.lhs)
+
+        # Close unit productions into term/pair maps.
+        closure: dict[Symbol, set[Symbol]] = {}
+
+        def ancestors(sym: Symbol) -> set[Symbol]:
+            if sym in closure:
+                return closure[sym]
+            result = {sym}
+            closure[sym] = result
+            for parent, children in unit_edges.items():
+                if sym in children:
+                    result |= ancestors(parent)
+            closure[sym] = result
+            return result
+
+        for word in list(term_map):
+            expanded: set[Symbol] = set()
+            for sym in term_map[word]:
+                expanded |= ancestors(sym)
+            term_map[word] = expanded
+        for key in list(pair_map):
+            expanded = set()
+            for sym in pair_map[key]:
+                expanded |= ancestors(sym)
+            pair_map[key] = expanded
+        return dict(term_map), dict(pair_map), set()
+
+    def _cyk(self, tokens: tuple[str, ...]) -> bool:
+        term_map, pair_map, _ = self._cnf
+        n = len(tokens)
+        if n == 1:
+            return self.start in term_map.get(tokens[0], set())
+        table: list[list[set[Symbol]]] = [
+            [set() for _ in range(n)] for _ in range(n)
+        ]
+        for i, word in enumerate(tokens):
+            table[i][i] = set(term_map.get(word, set()))
+        for span in range(2, n + 1):
+            for i in range(n - span + 1):
+                j = i + span - 1
+                cell = table[i][j]
+                for k in range(i, j):
+                    for left in table[i][k]:
+                        for right in table[k + 1][j]:
+                            cell |= pair_map.get((left, right), set())
+        return self.start in table[0][n - 1]

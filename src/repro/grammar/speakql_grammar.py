@@ -1,0 +1,184 @@
+"""The paper's SQL subset grammar (Box 1) plus documented extensions.
+
+Box 1 of the paper gives the production rules of the supported SQL subset
+in a compact form where every literal is the placeholder terminal ``x``.
+We reproduce those rules verbatim in :func:`box1_productions`.
+
+Two small, documented extensions are enabled by default because the
+paper's *own* evaluation queries (Table 6) require them while Box 1 as
+printed does not derive them:
+
+- ``NATURAL JOIN`` in the FROM clause (used by Q2, Q4, Q10, Q11); Box 1
+  only lists comma-separated FROM lists.
+- A trailing GROUP BY / ORDER BY / LIMIT clause *without* a WHERE clause
+  (used by Q6); Box 1 attaches CLS/LMT only inside the WHERE-derived
+  ``AGG`` nonterminal.
+
+Pass ``extensions=False`` to get the verbatim Box 1 language.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.cfg import Grammar, Production, Symbol
+
+# --- terminals -----------------------------------------------------------
+
+T_SELECT = Symbol("SELECT", terminal=True)
+T_FROM = Symbol("FROM", terminal=True)
+T_WHERE = Symbol("WHERE", terminal=True)
+T_STAR = Symbol("*", terminal=True)
+T_LITERAL = Symbol("x", terminal=True)
+T_EQ = Symbol("=", terminal=True)
+T_LT = Symbol("<", terminal=True)
+T_GT = Symbol(">", terminal=True)
+T_AND = Symbol("AND", terminal=True)
+T_OR = Symbol("OR", terminal=True)
+T_NOT = Symbol("NOT", terminal=True)
+T_BETWEEN = Symbol("BETWEEN", terminal=True)
+T_DOT = Symbol(".", terminal=True)
+T_COMMA = Symbol(",", terminal=True)
+T_ORDER = Symbol("ORDER", terminal=True)
+T_GROUP = Symbol("GROUP", terminal=True)
+T_BY = Symbol("BY", terminal=True)
+T_LIMIT = Symbol("LIMIT", terminal=True)
+T_AVG = Symbol("AVG", terminal=True)
+T_SUM = Symbol("SUM", terminal=True)
+T_MAX = Symbol("MAX", terminal=True)
+T_MIN = Symbol("MIN", terminal=True)
+T_COUNT = Symbol("COUNT", terminal=True)
+T_LPAREN = Symbol("(", terminal=True)
+T_RPAREN = Symbol(")", terminal=True)
+T_IN = Symbol("IN", terminal=True)
+T_NATURAL = Symbol("NATURAL", terminal=True)
+T_JOIN = Symbol("JOIN", terminal=True)
+
+# --- nonterminals --------------------------------------------------------
+
+Q = Symbol("Q")
+S = Symbol("S")
+C = Symbol("C")
+CF = Symbol("CF")
+F = Symbol("F")
+W = Symbol("W")
+WD = Symbol("WD")
+EXP = Symbol("EXP")
+WDD = Symbol("WDD")
+AGG = Symbol("AGG")
+CS = Symbol("CS")
+CLS = Symbol("CLS")
+LST = Symbol("LST")
+OP = Symbol("OP")
+SEL_OP = Symbol("SEL_OP")
+NJ = Symbol("NJ")  # extension: chain of NATURAL JOIN <table>
+G = Symbol("G")  # extension: trailing clause without WHERE
+
+L = T_LITERAL
+ST = T_STAR
+
+
+def box1_productions() -> list[Production]:
+    """The verbatim production rules of the paper's Box 1."""
+    rules: list[tuple[Symbol, tuple[Symbol, ...]]] = [
+        # 1: Q -> S F | S F W
+        (Q, (S, F)),
+        (Q, (S, F, W)),
+        # 2: S -> SEL LST | SEL L C | SEL SEL_OP ( L ) | SEL SEL_OP ( L ) C
+        #        | SEL COUNT ( * ) | SEL COUNT ( * ) C
+        (S, (T_SELECT, LST)),
+        (S, (T_SELECT, L, C)),
+        (S, (T_SELECT, SEL_OP, T_LPAREN, L, T_RPAREN)),
+        (S, (T_SELECT, SEL_OP, T_LPAREN, L, T_RPAREN, C)),
+        (S, (T_SELECT, T_COUNT, T_LPAREN, ST, T_RPAREN)),
+        (S, (T_SELECT, T_COUNT, T_LPAREN, ST, T_RPAREN, C)),
+        # 3: C -> , L | C , L | , SEL_OP ( L ) | C , SEL_OP ( L )
+        (C, (T_COMMA, L)),
+        (C, (C, T_COMMA, L)),
+        (C, (T_COMMA, SEL_OP, T_LPAREN, L, T_RPAREN)),
+        (C, (C, T_COMMA, SEL_OP, T_LPAREN, L, T_RPAREN)),
+        # 4: CF -> , L | CF , L
+        (CF, (T_COMMA, L)),
+        (CF, (CF, T_COMMA, L)),
+        # 5: F -> FROM L | FROM L CF
+        (F, (T_FROM, L)),
+        (F, (T_FROM, L, CF)),
+        # 6: W -> WHERE WD | WHERE AGG
+        (W, (T_WHERE, WD)),
+        (W, (T_WHERE, AGG)),
+        # 7: WD -> EXP | EXP AND WD | EXP OR WD
+        (WD, (EXP,)),
+        (WD, (EXP, T_AND, WD)),
+        (WD, (EXP, T_OR, WD)),
+        # 8: EXP -> L OP L | WDD OP L | WDD OP WDD | L OP WDD
+        (EXP, (L, OP, L)),
+        (EXP, (WDD, OP, L)),
+        (EXP, (WDD, OP, WDD)),
+        (EXP, (L, OP, WDD)),
+        # 9: WDD -> L . L
+        (WDD, (L, T_DOT, L)),
+        # 10: AGG -> WD CLS L | WD CLS WDD | WD LIMIT L | L BETWEEN L AND L
+        #          | L NOT BETWEEN L AND L | L IN ( L ) | L IN ( L CS )
+        (AGG, (WD, CLS, L)),
+        (AGG, (WD, CLS, WDD)),
+        (AGG, (WD, T_LIMIT, L)),
+        (AGG, (L, T_BETWEEN, L, T_AND, L)),
+        (AGG, (L, T_NOT, T_BETWEEN, L, T_AND, L)),
+        (AGG, (L, T_IN, T_LPAREN, L, T_RPAREN)),
+        (AGG, (L, T_IN, T_LPAREN, L, CS, T_RPAREN)),
+        # 11: CS -> , L | CS , L
+        (CS, (T_COMMA, L)),
+        (CS, (CS, T_COMMA, L)),
+        # 12: CLS -> ORDER BY | GROUP BY
+        (CLS, (T_ORDER, T_BY)),
+        (CLS, (T_GROUP, T_BY)),
+        # 13: LST -> L | *
+        (LST, (L,)),
+        (LST, (ST,)),
+        # 19: OP -> = | < | >
+        (OP, (T_EQ,)),
+        (OP, (T_LT,)),
+        (OP, (T_GT,)),
+        # 30: SEL_OP -> AVG | SUM | MAX | MIN | COUNT
+        (SEL_OP, (T_AVG,)),
+        (SEL_OP, (T_SUM,)),
+        (SEL_OP, (T_MAX,)),
+        (SEL_OP, (T_MIN,)),
+        (SEL_OP, (T_COUNT,)),
+    ]
+    return [Production(lhs, rhs) for lhs, rhs in rules]
+
+
+def extension_productions() -> list[Production]:
+    """Natural-join FROM clauses and WHERE-less trailing clauses."""
+    rules: list[tuple[Symbol, tuple[Symbol, ...]]] = [
+        # FROM L NATURAL JOIN L [NATURAL JOIN L ...]
+        (F, (T_FROM, L, NJ)),
+        (NJ, (T_NATURAL, T_JOIN, L)),
+        (NJ, (NJ, T_NATURAL, T_JOIN, L)),
+        # Q -> S F G : trailing clause with no WHERE.
+        (Q, (S, F, G)),
+        (G, (CLS, L)),
+        (G, (CLS, WDD)),
+        (G, (T_LIMIT, L)),
+        (G, (CLS, L, T_LIMIT, L)),
+        (G, (CLS, WDD, T_LIMIT, L)),
+        # Inside WHERE: ORDER/GROUP BY followed by LIMIT (Q10-style tails).
+        (AGG, (WD, CLS, L, T_LIMIT, L)),
+        (AGG, (WD, CLS, WDD, T_LIMIT, L)),
+    ]
+    return [Production(lhs, rhs) for lhs, rhs in rules]
+
+
+def build_speakql_grammar(extensions: bool = True) -> Grammar:
+    """Build the SpeakQL SQL-subset grammar.
+
+    Parameters
+    ----------
+    extensions:
+        When True (default) the grammar includes natural joins and
+        WHERE-less trailing clauses (see module docstring).  When False
+        the language is exactly Box 1 as printed in the paper.
+    """
+    productions = box1_productions()
+    if extensions:
+        productions += extension_productions()
+    return Grammar(start=Q, productions=productions)

@@ -1,0 +1,32 @@
+"""The multimodal interface (paper Section 5), modeled programmatically.
+
+The browser UI of the paper exposes three interaction surfaces: the
+query display, clause-level (re)dictation, and the "SQL Keyboard".  This
+package models each surface and its *cost* in touches, which is what the
+user study measures (units of effort = touches/clicks + dictation
+attempts):
+
+- :mod:`repro.interface.display` — the editable query display state.
+- :mod:`repro.interface.keyboard` — the SQL keyboard layout and the
+  touch cost of entering any token with/without it.
+- :mod:`repro.interface.session` — a correction session that brings a
+  SpeakQL output to the ground truth via minimal edits and clause
+  re-dictation, logging every interaction.
+- :mod:`repro.interface.effort` — the effort log (touches, keystrokes,
+  dictation attempts).
+"""
+
+from repro.interface.display import Clause, QueryDisplay, split_clauses
+from repro.interface.effort import EffortLog, Interaction
+from repro.interface.keyboard import SqlKeyboard
+from repro.interface.session import CorrectionSession
+
+__all__ = [
+    "Clause",
+    "QueryDisplay",
+    "split_clauses",
+    "EffortLog",
+    "Interaction",
+    "SqlKeyboard",
+    "CorrectionSession",
+]

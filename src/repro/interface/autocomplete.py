@@ -1,0 +1,92 @@
+"""Value autocomplete for the SQL Keyboard (paper Section 5).
+
+Attribute values "can be potentially infinite, [so] they cannot be seen
+in a list view. But the user can type with the help of an auto complete
+feature."  This module provides that feature over a catalog's string
+values: a character-trie answers prefix queries, and the keyboard's
+touch-cost model asks how many keystrokes are needed before the wanted
+value appears in a short suggestion list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine.catalog import Catalog
+
+
+@dataclass
+class _Node:
+    children: dict[str, "_Node"] = field(default_factory=dict)
+    terminal: str | None = None  # original-cased value ending here
+    count: int = 0  # values below this node
+
+
+class Autocomplete:
+    """Prefix completion over a fixed vocabulary of values."""
+
+    def __init__(self, values: list[str] | None = None):
+        self._root = _Node()
+        self._size = 0
+        for value in values or []:
+            self.add(value)
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog) -> "Autocomplete":
+        """Index every distinct string attribute value of ``catalog``."""
+        return cls(catalog.string_attribute_values())
+
+    def add(self, value: str) -> None:
+        node = self._root
+        node.count += 1
+        for char in value.lower():
+            node = node.children.setdefault(char, _Node())
+            node.count += 1
+        if node.terminal is None:
+            self._size += 1
+        node.terminal = value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def complete(self, prefix: str, limit: int = 8) -> list[str]:
+        """Up to ``limit`` values starting with ``prefix`` (sorted)."""
+        node = self._root
+        for char in prefix.lower():
+            node = node.children.get(char)
+            if node is None:
+                return []
+        out: list[str] = []
+        stack = [node]
+        while stack and len(out) < limit + node.count:
+            current = stack.pop()
+            if current.terminal is not None:
+                out.append(current.terminal)
+            for char in sorted(current.children, reverse=True):
+                stack.append(current.children[char])
+        out.sort(key=str.lower)
+        return out[:limit]
+
+    def keystrokes_until_visible(
+        self, value: str, list_size: int = 8
+    ) -> int | None:
+        """Keystrokes typed before ``value`` shows in the suggestion list.
+
+        Returns the smallest prefix length whose completion list (of
+        ``list_size``) contains the value, plus one touch to tap it; None
+        when the value is not in the vocabulary at all.
+        """
+        lowered = value.lower()
+        node = self._root
+        if self.complete("", limit=list_size) and value in self.complete(
+            "", limit=list_size
+        ):
+            return 1  # visible immediately; one touch selects it
+        for depth, char in enumerate(lowered, start=1):
+            node = node.children.get(char)
+            if node is None:
+                return None
+            suggestions = self.complete(lowered[:depth], limit=list_size)
+            if value in suggestions:
+                return depth + 1  # typed chars + the selection touch
+        return len(lowered) + 1 if node.terminal == value else None

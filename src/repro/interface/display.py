@@ -1,0 +1,103 @@
+"""The interactive query display (paper Figure 5A).
+
+Holds the rendered query as an editable token list and supports the
+clause decomposition the clause-level dictation buttons operate on
+(SELECT / FROM / WHERE / GROUP BY / ORDER BY / LIMIT).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.grammar.vocabulary import tokenize_sql
+
+
+class Clause(enum.Enum):
+    """The clauses the interface exposes record buttons for."""
+
+    SELECT = "SELECT"
+    FROM = "FROM"
+    WHERE = "WHERE"
+    GROUP_BY = "GROUP BY"
+    ORDER_BY = "ORDER BY"
+    LIMIT = "LIMIT"
+
+
+_CLAUSE_HEADS = {
+    "SELECT": Clause.SELECT,
+    "FROM": Clause.FROM,
+    "WHERE": Clause.WHERE,
+    "GROUP": Clause.GROUP_BY,
+    "ORDER": Clause.ORDER_BY,
+    "LIMIT": Clause.LIMIT,
+}
+
+
+def split_clauses(tokens: list[str]) -> dict[Clause, list[str]]:
+    """Partition query tokens into clauses (head keyword included).
+
+    Only top-level clause heads split; heads inside a parenthesized
+    subquery stay within the enclosing clause.
+    """
+    out: dict[Clause, list[str]] = {}
+    current: Clause | None = None
+    depth = 0
+    for token in tokens:
+        upper = token.upper()
+        if token == "(":
+            depth += 1
+        elif token == ")":
+            depth = max(depth - 1, 0)
+        if depth == 0 and upper in _CLAUSE_HEADS:
+            current = _CLAUSE_HEADS[upper]
+            out.setdefault(current, [])
+        if current is not None:
+            out[current].append(token)
+    return out
+
+
+@dataclass
+class QueryDisplay:
+    """Editable token view of the displayed query."""
+
+    tokens: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_sql(cls, sql: str) -> "QueryDisplay":
+        return cls(tokens=tokenize_sql(sql))
+
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def clauses(self) -> dict[Clause, list[str]]:
+        return split_clauses(self.tokens)
+
+    # -- edits (each maps to interface touches; costing lives in session) --
+
+    def replace_token(self, index: int, token: str) -> None:
+        self.tokens[index] = token
+
+    def insert_token(self, index: int, token: str) -> None:
+        self.tokens.insert(index, token)
+
+    def delete_token(self, index: int) -> None:
+        del self.tokens[index]
+
+    def replace_clause(self, clause: Clause, new_tokens: list[str]) -> None:
+        """Swap one clause's tokens (the clause re-dictation effect)."""
+        parts = self.clauses()
+        parts[clause] = list(new_tokens)
+        ordered = [
+            Clause.SELECT,
+            Clause.FROM,
+            Clause.WHERE,
+            Clause.GROUP_BY,
+            Clause.ORDER_BY,
+            Clause.LIMIT,
+        ]
+        self.tokens = [t for c in ordered for t in parts.get(c, [])]
+
+    def set_query(self, tokens: list[str]) -> None:
+        """Full re-dictation: replace everything."""
+        self.tokens = list(tokens)

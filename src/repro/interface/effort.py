@@ -1,0 +1,49 @@
+"""Effort accounting for the interface model.
+
+The paper defines *units of effort* as "number of touches/clicks
+(including keyboard strokes) or dictation/re-dictation attempts made when
+composing a query" (Section 6.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Interaction(enum.Enum):
+    """One class of user interaction."""
+
+    TOUCH = "touch"  # a tap on the SQL keyboard or display
+    KEYSTROKE = "keystroke"  # one character typed on the soft keyboard
+    DICTATION = "dictation"  # a full-query dictation attempt
+    CLAUSE_DICTATION = "clause_dictation"  # a clause-level (re)dictation
+
+
+@dataclass
+class EffortLog:
+    """Running log of interactions during a session."""
+
+    events: list[tuple[Interaction, str]] = field(default_factory=list)
+
+    def record(self, kind: Interaction, detail: str = "", count: int = 1) -> None:
+        for _ in range(count):
+            self.events.append((kind, detail))
+
+    def count(self, kind: Interaction) -> int:
+        return sum(1 for k, _ in self.events if k is kind)
+
+    @property
+    def touches(self) -> int:
+        return self.count(Interaction.TOUCH) + self.count(Interaction.KEYSTROKE)
+
+    @property
+    def dictations(self) -> int:
+        return self.count(Interaction.DICTATION) + self.count(
+            Interaction.CLAUSE_DICTATION
+        )
+
+    @property
+    def units_of_effort(self) -> int:
+        """The paper's metric: touches + keystrokes + dictation attempts."""
+        return self.touches + self.dictations

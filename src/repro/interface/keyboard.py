@@ -1,0 +1,85 @@
+"""The SQL Keyboard (paper Figure 5B).
+
+The keyboard lists every SQL keyword, table name, and attribute name as
+a single-touch key; attribute values are typed with autocomplete, dates
+picked on a scrollable picker.  ``touches_for_token`` is the cost model
+the user study's effort metric rests on: a listed token costs one touch,
+an autocompleted value a few, a raw-typed token one keystroke per
+character.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.grammar.vocabulary import KEYWORD_DICT, SPLCHAR_DICT
+from repro.sqlengine.catalog import Catalog
+
+#: Touches to select a value via autocomplete: a few characters plus the
+#: completion tap (the paper's keyboard autocompletes attribute values).
+AUTOCOMPLETE_TOUCHES = 4
+
+#: Touches to pick a date on the scrollable picker (year/month/day).
+DATE_PICKER_TOUCHES = 3
+
+
+def _is_date(token: str) -> bool:
+    try:
+        datetime.date.fromisoformat(token)
+        return True
+    except ValueError:
+        return False
+
+
+@dataclass
+class SqlKeyboard:
+    """Schema-aware keyboard layout over a catalog."""
+
+    catalog: Catalog
+    _keys: set[str] = field(default_factory=set, repr=False)
+    _values: set[str] = field(default_factory=set, repr=False)
+    _value_casing: dict[str, str] = field(default_factory=dict, repr=False)
+    _autocomplete: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        from repro.interface.autocomplete import Autocomplete
+
+        self._keys = {k.lower() for k in KEYWORD_DICT}
+        self._keys |= set(SPLCHAR_DICT)
+        self._keys |= {t.lower() for t in self.catalog.table_names()}
+        self._keys |= {a.lower() for a in self.catalog.attribute_names()}
+        values = self.catalog.string_attribute_values()
+        self._values = {v.lower() for v in values}
+        self._value_casing = {v.lower(): v for v in values}
+        self._autocomplete = Autocomplete.from_catalog(self.catalog)
+
+    def has_key(self, token: str) -> bool:
+        """Is ``token`` a single-touch key (keyword/splchar/table/attr)?"""
+        return token.lower().strip("'\"") in self._keys
+
+    def autocompletes(self, token: str) -> bool:
+        """Is ``token`` a known attribute value (autocompletable)?"""
+        return token.lower().strip("'\"") in self._values
+
+    def touches_for_token(self, token: str) -> int:
+        """Touch cost of entering one token via the SQL keyboard."""
+        bare = token.strip("'\"")
+        if self.has_key(bare):
+            return 1
+        if _is_date(bare):
+            return DATE_PICKER_TOUCHES
+        if self.autocompletes(bare):
+            # Measured: keystrokes until the value surfaces in the
+            # suggestion list, plus the selection tap.
+            original = self._value_casing.get(bare.lower(), bare)
+            cost = self._autocomplete.keystrokes_until_visible(original)
+            if cost is not None:
+                return cost
+            return min(AUTOCOMPLETE_TOUCHES, max(len(bare), 1))
+        # Free text: typed character by character on the soft keyboard.
+        return max(len(bare), 1)
+
+    def raw_typing_keystrokes(self, token: str) -> int:
+        """Keystroke cost of the same token with *no* SQL keyboard."""
+        return max(len(token.strip("'\"")), 1)

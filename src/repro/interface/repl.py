@@ -1,0 +1,131 @@
+"""Interactive SpeakQL session for a terminal.
+
+A text stand-in for the browser interface of paper Figure 5: you type
+what the ASR "heard" (or prefix with ``!`` to dictate actual SQL through
+the simulated speech channel), SpeakQL corrects it, displays the query,
+and executes it on request.
+
+Commands inside the session:
+
+- ``<transcription>``  — correct a raw transcription
+- ``!<sql>``           — dictate SQL through the noisy channel first
+- ``:run``             — execute the displayed query
+- ``:top``             — show the current n-best candidates
+- ``:schema``          — print the schema
+- ``:quit``            — leave
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, TextIO
+
+import sys
+
+from repro.core.pipeline import SpeakQL
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+
+@dataclass
+class ReplSession:
+    """A scriptable interactive session (stdin/stdout injectable)."""
+
+    pipeline: SpeakQL
+    stdin: TextIO = field(default_factory=lambda: sys.stdin)
+    stdout: TextIO = field(default_factory=lambda: sys.stdout)
+    seed: int = 1
+    _current: str = ""
+    _candidates: list[str] = field(default_factory=list)
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    # -- I/O -----------------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _prompt(self) -> str | None:
+        self.stdout.write("speakql> ")
+        self.stdout.flush()
+        line = self.stdin.readline()
+        if not line:
+            return None
+        return line.strip()
+
+    # -- loop ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run until :quit or EOF."""
+        self._say("SpeakQL interactive session. :quit to leave.")
+        while True:
+            line = self._prompt()
+            if line is None or line == ":quit":
+                self._say("bye")
+                return
+            if not line:
+                continue
+            self.handle(line)
+
+    def handle(self, line: str) -> None:
+        """Process one input line."""
+        if line == ":run":
+            self._run_query()
+        elif line == ":top":
+            self._show_candidates()
+        elif line == ":schema":
+            self._show_schema()
+        elif line.startswith(":"):
+            self._say(f"unknown command {line}")
+        elif line.startswith("!"):
+            self._dictate(line[1:].strip())
+        else:
+            self._correct(line)
+
+    # -- actions ------------------------------------------------------------------
+
+    def _dictate(self, sql: str) -> None:
+        out = self.pipeline.query_from_speech(
+            sql, seed=self._rng.randrange(1 << 30)
+        )
+        self._say(f"heard  : {out.asr_text}")
+        self._set_result(out.queries)
+
+    def _correct(self, transcription: str) -> None:
+        out = self.pipeline.correct_transcription(transcription)
+        self._set_result(out.queries)
+
+    def _set_result(self, queries: list[str]) -> None:
+        self._candidates = list(queries)
+        self._current = queries[0] if queries else ""
+        self._say(f"query  : {self._current}")
+
+    def _run_query(self) -> None:
+        if not self._current:
+            self._say("nothing to run")
+            return
+        try:
+            result = execute(parse_select(self._current), self.pipeline.catalog)
+        except Exception as error:
+            self._say(f"error  : {error}")
+            return
+        self._say(f"columns: {result.columns}")
+        for row in result.rows[:10]:
+            self._say(f"  {row}")
+        if len(result.rows) > 10:
+            self._say(f"  ... {len(result.rows) - 10} more row(s)")
+
+    def _show_candidates(self) -> None:
+        if not self._candidates:
+            self._say("no candidates yet")
+            return
+        for rank, candidate in enumerate(self._candidates, start=1):
+            self._say(f"  {rank}. {candidate}")
+
+    def _show_schema(self) -> None:
+        for schema in self.pipeline.catalog.schema():
+            columns = ", ".join(c.name for c in schema.columns)
+            self._say(f"{schema.name}({columns})")

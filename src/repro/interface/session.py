@@ -1,0 +1,148 @@
+"""Interactive correction session.
+
+Models how a study participant brings the displayed query to their
+intended query: badly wrong clauses are re-dictated (the clause record
+buttons), stray tokens are fixed in place with the SQL keyboard.  All
+interactions are logged as effort units.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.grammar.vocabulary import normalize_token, tokenize_sql
+from repro.interface.display import Clause, QueryDisplay, split_clauses
+from repro.interface.effort import EffortLog, Interaction
+from repro.interface.keyboard import SqlKeyboard
+
+#: A clause this many token-edits wrong is faster to re-dictate than to
+#: fix token by token.
+REDICTATE_THRESHOLD = 5
+
+#: Re-dictation callback: takes the clause's SQL text, returns the new
+#: transcription produced by dictating it (pipeline output).
+RedictateFn = Callable[[str], str]
+
+
+def edit_script(
+    hypothesis: list[str], reference: list[str]
+) -> list[tuple[str, str]]:
+    """Minimal insert/delete script turning hypothesis into reference.
+
+    Returns ("keep"|"delete"|"insert", token) operations, computed via
+    LCS (case-normalized comparison, original reference casing kept for
+    inserts).
+    """
+    hyp = [normalize_token(t) for t in hypothesis]
+    ref = [normalize_token(t) for t in reference]
+    n, m = len(hyp), len(ref)
+    lcs = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if hyp[i] == ref[j]:
+                lcs[i][j] = lcs[i + 1][j + 1] + 1
+            else:
+                lcs[i][j] = max(lcs[i + 1][j], lcs[i][j + 1])
+    ops: list[tuple[str, str]] = []
+    i = j = 0
+    while i < n and j < m:
+        if hyp[i] == ref[j]:
+            ops.append(("keep", reference[j]))
+            i += 1
+            j += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            ops.append(("delete", hypothesis[i]))
+            i += 1
+        else:
+            ops.append(("insert", reference[j]))
+            j += 1
+    ops.extend(("delete", t) for t in hypothesis[i:])
+    ops.extend(("insert", t) for t in reference[j:])
+    return ops
+
+
+@dataclass
+class CorrectionSession:
+    """Brings a displayed query to the reference, logging effort."""
+
+    keyboard: SqlKeyboard
+    display: QueryDisplay
+    reference: str
+    log: EffortLog = field(default_factory=EffortLog)
+    use_sql_keyboard: bool = True
+
+    def __post_init__(self) -> None:
+        self._reference_tokens = tokenize_sql(self.reference)
+
+    @property
+    def done(self) -> bool:
+        hyp = [normalize_token(t) for t in self.display.tokens]
+        ref = [normalize_token(t) for t in self._reference_tokens]
+        return hyp == ref
+
+    def remaining_edits(self) -> int:
+        """Token inserts+deletes still needed (the TED to the reference)."""
+        ops = edit_script(self.display.tokens, self._reference_tokens)
+        return sum(1 for op, _ in ops if op != "keep")
+
+    def correct(
+        self,
+        redictate: RedictateFn | None = None,
+        max_redictations: int = 2,
+    ) -> EffortLog:
+        """Run the full correction loop; returns the effort log."""
+        if redictate is not None:
+            self._redictate_bad_clauses(redictate, max_redictations)
+        self._fix_tokens()
+        return self.log
+
+    # -- clause re-dictation -----------------------------------------------
+
+    def _redictate_bad_clauses(
+        self, redictate: RedictateFn, max_redictations: int
+    ) -> None:
+        used = 0
+        ref_clauses = split_clauses(self._reference_tokens)
+        for clause, ref_tokens in ref_clauses.items():
+            if used >= max_redictations:
+                break
+            hyp_tokens = self.display.clauses().get(clause, [])
+            ops = edit_script(hyp_tokens, ref_tokens)
+            wrong = sum(1 for op, _ in ops if op != "keep")
+            if wrong < REDICTATE_THRESHOLD:
+                continue
+            spoken = " ".join(ref_tokens)
+            new_text = redictate(spoken)
+            self.display.replace_clause(clause, tokenize_sql(new_text))
+            self.log.record(Interaction.CLAUSE_DICTATION, clause.value)
+            used += 1
+
+    # -- token edits -----------------------------------------------------------
+
+    def _fix_tokens(self) -> None:
+        ops = edit_script(self.display.tokens, self._reference_tokens)
+        result: list[str] = []
+        for op, token in ops:
+            if op == "keep":
+                result.append(token)
+            elif op == "delete":
+                # Select the stray token, then hit delete: two touches.
+                self.log.record(Interaction.TOUCH, f"select {token}")
+                self.log.record(Interaction.TOUCH, f"delete {token}")
+            else:  # insert
+                result.append(token)
+                # One touch to place the cursor, then the token entry.
+                self.log.record(Interaction.TOUCH, f"position for {token}")
+                self._cost_insert(token)
+        self.display.set_query(result)
+
+    def _cost_insert(self, token: str) -> None:
+        if self.use_sql_keyboard:
+            touches = self.keyboard.touches_for_token(token)
+            self.log.record(Interaction.TOUCH, f"insert {token}", count=touches)
+        else:
+            keystrokes = self.keyboard.raw_typing_keystrokes(token)
+            self.log.record(
+                Interaction.KEYSTROKE, f"type {token}", count=keystrokes
+            )

@@ -1,0 +1,34 @@
+"""Literal determination (paper Section 4).
+
+Fills the placeholder variables of the best structure with literals:
+
+- :mod:`repro.literal.segmentation` — windowed enumeration of candidate
+  sub-token concatenations from the raw transcription (Box 3's
+  ``EnumerateStrings``).
+- :mod:`repro.literal.voting` — the phonetic voting assignment (Box 3's
+  ``LiteralAssignment``; Appendix E.2's FROMDATE/TODATE examples are unit
+  tests).
+- :mod:`repro.literal.values` — recovery of typed attribute values:
+  numbers split by ASR regrouping, mangled spoken dates.
+- :mod:`repro.literal.determiner` — the orchestrating ``LiteralFinder``
+  walk over the best structure (Box 3).
+"""
+
+from repro.literal.segmentation import Segment, enumerate_strings, literal_window
+from repro.literal.voting import VoteOutcome, literal_assignment
+from repro.literal.values import merge_number_tokens, recover_date, recover_value
+from repro.literal.determiner import FilledLiteral, LiteralDeterminer, LiteralResult
+
+__all__ = [
+    "Segment",
+    "enumerate_strings",
+    "literal_window",
+    "VoteOutcome",
+    "literal_assignment",
+    "merge_number_tokens",
+    "recover_date",
+    "recover_value",
+    "FilledLiteral",
+    "LiteralDeterminer",
+    "LiteralResult",
+]

@@ -1,0 +1,147 @@
+"""Structure-guided windows for literal determination.
+
+Box 3 walks the transcription with a greedy running index; when ASR
+errors shift tokens (an absorbed homophone, a split table name), greedy
+windows drift and every later placeholder misbinds.  The structure
+search already *aligned* the masked transcription against the chosen
+structure — this module recovers that alignment (weighted LCS traceback)
+and derives each placeholder's window from it:
+
+- a masked literal token matched to a placeholder belongs to that
+  placeholder's window;
+- an unmatched (deleted) literal token is absorbed into the nearest
+  preceding placeholder's window (or the next one at the start);
+- a placeholder with no matched token gets an empty window and falls
+  back to candidate-set defaults downstream.
+
+Greedy Box 3 windows remain available in the determiner for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.vocabulary import LITERAL_PLACEHOLDER
+from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
+
+
+@dataclass(frozen=True)
+class AlignmentOp:
+    """One traceback step: kind in {match, delete, insert}.
+
+    ``source_index`` is set for match/delete; ``target_index`` for
+    match/insert.
+    """
+
+    kind: str
+    source_index: int = -1
+    target_index: int = -1
+
+
+def align_tokens(
+    source: list[str] | tuple[str, ...],
+    target: list[str] | tuple[str, ...],
+    weights: TokenWeights = DEFAULT_WEIGHTS,
+) -> list[AlignmentOp]:
+    """Optimal insert/delete alignment of ``source`` onto ``target``.
+
+    Matches are preferred where possible (ties broken toward matching),
+    so shared tokens anchor the alignment exactly as the search engine's
+    distance computation implies.
+    """
+    n, m = len(source), len(target)
+    w_src = [weights.of(t) for t in source]
+    w_tgt = [weights.of(t) for t in target]
+    dp = [[0.0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        dp[i][0] = dp[i - 1][0] + w_src[i - 1]
+    for j in range(1, m + 1):
+        dp[0][j] = dp[0][j - 1] + w_tgt[j - 1]
+    for i in range(1, n + 1):
+        row = dp[i]
+        prev = dp[i - 1]
+        src = source[i - 1]
+        for j in range(1, m + 1):
+            if src == target[j - 1]:
+                row[j] = prev[j - 1]
+            else:
+                row[j] = min(prev[j] + w_src[i - 1], row[j - 1] + w_tgt[j - 1])
+
+    ops: list[AlignmentOp] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        # Among equally-optimal alignments prefer inserts at the back,
+        # i.e. source tokens match the *earliest* possible target
+        # positions — a lone literal fills the first open placeholder,
+        # not the last.
+        if j > 0 and dp[i][j] == dp[i][j - 1] + w_tgt[j - 1]:
+            ops.append(AlignmentOp("insert", target_index=j - 1))
+            j -= 1
+        elif i > 0 and j > 0 and source[i - 1] == target[j - 1] and (
+            dp[i][j] == dp[i - 1][j - 1]
+        ):
+            ops.append(AlignmentOp("match", i - 1, j - 1))
+            i -= 1
+            j -= 1
+        else:
+            ops.append(AlignmentOp("delete", source_index=i - 1))
+            i -= 1
+    ops.reverse()
+    return ops
+
+
+def placeholder_windows(
+    masked: list[str] | tuple[str, ...],
+    structure: list[str] | tuple[str, ...],
+    weights: TokenWeights = DEFAULT_WEIGHTS,
+) -> list[tuple[int, int]]:
+    """Per-placeholder source windows ``[begin, end)`` from the alignment.
+
+    Returns one window per placeholder of ``structure``, in order.  An
+    empty window is returned as ``(i, i)``.
+    """
+    ops = align_tokens(masked, structure, weights)
+    placeholder_positions = [
+        j for j, token in enumerate(structure) if token == LITERAL_PLACEHOLDER
+    ]
+    rank_of = {j: idx for idx, j in enumerate(placeholder_positions)}
+    spans: list[list[int]] = [[] for _ in placeholder_positions]
+
+    current: int | None = None  # rank of the last placeholder seen
+    pending: list[int] = []  # deleted literal tokens before any placeholder
+    for op in ops:
+        if op.kind == "insert":
+            if op.target_index in rank_of:
+                current = rank_of[op.target_index]
+            continue
+        if op.kind == "match":
+            j = op.target_index
+            if j in rank_of:
+                current = rank_of[j]
+                spans[current].append(op.source_index)
+                if pending:
+                    spans[current].extend(pending)
+                    pending.clear()
+            else:
+                current = current  # keyword anchor: window boundary
+            continue
+        # delete of a source token
+        if masked[op.source_index] != LITERAL_PLACEHOLDER:
+            continue  # stray keyword/splchar in transcription: ignore
+        if current is not None:
+            spans[current].append(op.source_index)
+        else:
+            pending.append(op.source_index)
+    if pending and spans:
+        spans[0].extend(pending)
+
+    windows: list[tuple[int, int]] = []
+    cursor = 0
+    for span in spans:
+        if span:
+            begin, end = min(span), max(span) + 1
+            cursor = end
+        else:
+            begin = end = cursor
+        windows.append((begin, end))
+    return windows

@@ -1,0 +1,26 @@
+"""Accuracy metrics (paper Section 6.2).
+
+Token multiset precision/recall per class (Keyword, SplChar, Literal,
+Word), Token Edit Distance, and CDF/report helpers used by every
+benchmark.
+"""
+
+from repro.metrics.token_metrics import (
+    AccuracyMetrics,
+    aggregate_metrics,
+    token_multiset,
+    score_query,
+)
+from repro.metrics.ted import token_edit_distance
+from repro.metrics.cdf import Cdf
+from repro.metrics.report import format_table
+
+__all__ = [
+    "AccuracyMetrics",
+    "aggregate_metrics",
+    "token_multiset",
+    "score_query",
+    "token_edit_distance",
+    "Cdf",
+    "format_table",
+]

@@ -1,0 +1,54 @@
+"""Empirical CDFs — the paper reports most results as CDF plots."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass
+class Cdf:
+    """Empirical cumulative distribution of a sample."""
+
+    values: list[float]
+
+    def __post_init__(self) -> None:
+        self.values = sorted(float(v) for v in self.values)
+        if not self.values:
+            raise ValueError("empty sample")
+
+    @classmethod
+    def of(cls, sample: Iterable[float]) -> "Cdf":
+        return cls(list(sample))
+
+    def at(self, x: float) -> float:
+        """Fraction of the sample that is <= x."""
+        return bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """The smallest x with CDF(x) >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        idx = max(0, -(-int(q * len(self.values)) // 1) - 1)
+        idx = min(int(q * len(self.values) + 0.999999) - 1, len(self.values) - 1)
+        return self.values[max(idx, 0)]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, points: Iterable[float]) -> list[tuple[float, float]]:
+        """(x, CDF(x)) pairs for plotting/printing."""
+        return [(x, self.at(x)) for x in points]
+
+    def render(self, points: Iterable[float], label: str = "") -> str:
+        """Printable one-metric CDF row set, e.g. for benchmark output."""
+        rows = [f"  {label}" if label else ""]
+        for x, y in self.series(points):
+            rows.append(f"    CDF({x:g}) = {y:.2f}")
+        return "\n".join(r for r in rows if r)

@@ -1,0 +1,25 @@
+"""Token Edit Distance (TED) — paper Section 6.2.
+
+Insertion/deletion-only distance between the token sequences of the
+reference and hypothesis queries.  TED is the paper's surrogate for user
+correction effort: each unit is roughly one touch.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.vocabulary import normalize_token, tokenize_sql
+from repro.structure.edit_distance import UNIT_WEIGHTS, weighted_edit_distance
+
+
+def token_edit_distance(reference: str, hypothesis: str) -> int:
+    """TED between two query texts (insert/delete of tokens)."""
+    ref = [normalize_token(t) for t in tokenize_sql(reference)]
+    hyp = [normalize_token(t) for t in tokenize_sql(hypothesis)]
+    return int(round(weighted_edit_distance(hyp, ref, UNIT_WEIGHTS)))
+
+
+def best_of_ted(reference: str, hypotheses: list[str]) -> int:
+    """Minimum TED over an n-best list."""
+    if not hypotheses:
+        return token_edit_distance(reference, "")
+    return min(token_edit_distance(reference, h) for h in hypotheses)

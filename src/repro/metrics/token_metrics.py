@@ -1,0 +1,110 @@
+"""Per-class token precision/recall (paper Section 6.2).
+
+A query text is tokenized into a multiset of tokens; comparing the
+reference multiset A against the hypothesis multiset B yields:
+
+    WPR = |A ∩ B| / |B|        WRR = |A ∩ B| / |A|
+
+and the class-restricted variants KPR/KRR (keywords), SPR/SRR
+(SplChars), LPR/LRR (literals).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, fields
+
+from repro.grammar.vocabulary import (
+    TokenClass,
+    classify_token,
+    normalize_token,
+    tokenize_sql,
+)
+
+
+def token_multiset(text: str) -> Counter:
+    """Tokenize ``text`` into a normalized token multiset."""
+    return Counter(normalize_token(t) for t in tokenize_sql(text))
+
+
+def _class_filter(counter: Counter, cls: TokenClass) -> Counter:
+    return Counter(
+        {t: c for t, c in counter.items() if classify_token(t) is cls}
+    )
+
+
+def _precision_recall(ref: Counter, hyp: Counter) -> tuple[float, float]:
+    overlap = sum((ref & hyp).values())
+    ref_size = sum(ref.values())
+    hyp_size = sum(hyp.values())
+    # Empty-set conventions: an empty hypothesis makes no false-positive
+    # claims (precision vacuously 1); an empty reference is fully
+    # recalled (recall vacuously 1).
+    precision = overlap / hyp_size if hyp_size else 1.0
+    recall = overlap / ref_size if ref_size else 1.0
+    return precision, recall
+
+
+@dataclass(frozen=True)
+class AccuracyMetrics:
+    """The eight accuracy metrics of the paper."""
+
+    kpr: float
+    spr: float
+    lpr: float
+    wpr: float
+    krr: float
+    srr: float
+    lrr: float
+    wrr: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name.upper(): getattr(self, f.name) for f in fields(self)}
+
+
+def score_query(reference: str, hypothesis: str) -> AccuracyMetrics:
+    """All eight metrics for one (reference, hypothesis) pair."""
+    ref = token_multiset(reference)
+    hyp = token_multiset(hypothesis)
+    wpr, wrr = _precision_recall(ref, hyp)
+    kpr, krr = _precision_recall(
+        _class_filter(ref, TokenClass.KEYWORD), _class_filter(hyp, TokenClass.KEYWORD)
+    )
+    spr, srr = _precision_recall(
+        _class_filter(ref, TokenClass.SPLCHAR), _class_filter(hyp, TokenClass.SPLCHAR)
+    )
+    lpr, lrr = _precision_recall(
+        _class_filter(ref, TokenClass.LITERAL), _class_filter(hyp, TokenClass.LITERAL)
+    )
+    return AccuracyMetrics(
+        kpr=kpr, spr=spr, lpr=lpr, wpr=wpr, krr=krr, srr=srr, lrr=lrr, wrr=wrr
+    )
+
+
+def best_of(reference: str, hypotheses: Iterable[str]) -> AccuracyMetrics:
+    """Best-of-n metrics: the hypothesis with the highest WRR wins.
+
+    This is the paper's "top 5" evaluation: the best of the top five
+    outputs per query.
+    """
+    best: AccuracyMetrics | None = None
+    for hypothesis in hypotheses:
+        metrics = score_query(reference, hypothesis)
+        if best is None or (metrics.wrr, metrics.wpr) > (best.wrr, best.wpr):
+            best = metrics
+    if best is None:
+        return score_query(reference, "")
+    return best
+
+
+def aggregate_metrics(per_query: list[AccuracyMetrics]) -> AccuracyMetrics:
+    """Mean of each metric over queries (the paper reports means)."""
+    if not per_query:
+        raise ValueError("no metrics to aggregate")
+    n = len(per_query)
+    sums = {f.name: 0.0 for f in fields(AccuracyMetrics)}
+    for metrics in per_query:
+        for name in sums:
+            sums[name] += getattr(metrics, name)
+    return AccuracyMetrics(**{name: total / n for name, total in sums.items()})

@@ -1,0 +1,72 @@
+"""Word Error Rate (WER) — the classic ASR metric.
+
+Figure 11 of the paper includes a Word Error Rate panel alongside the
+precision/recall CDFs.  WER is the Levenshtein distance over token
+sequences (substitutions, insertions, deletions all cost 1) divided by
+the reference length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.vocabulary import normalize_token, tokenize_sql
+
+
+@dataclass(frozen=True)
+class WerBreakdown:
+    """WER with its operation counts."""
+
+    substitutions: int
+    insertions: int
+    deletions: int
+    reference_length: int
+
+    @property
+    def errors(self) -> int:
+        return self.substitutions + self.insertions + self.deletions
+
+    @property
+    def rate(self) -> float:
+        if self.reference_length == 0:
+            return 0.0 if self.errors == 0 else float(self.errors)
+        return self.errors / self.reference_length
+
+
+def word_error_breakdown(reference: str, hypothesis: str) -> WerBreakdown:
+    """Levenshtein alignment counts between two query texts."""
+    ref = [normalize_token(t) for t in tokenize_sql(reference)]
+    hyp = [normalize_token(t) for t in tokenize_sql(hypothesis)]
+    n, m = len(ref), len(hyp)
+    # dp[i][j] = (cost, subs, ins, dels)
+    dp = [[(0, 0, 0, 0)] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        dp[i][0] = (i, 0, 0, i)
+    for j in range(1, m + 1):
+        dp[0][j] = (j, 0, j, 0)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if ref[i - 1] == hyp[j - 1]:
+                dp[i][j] = dp[i - 1][j - 1]
+                continue
+            sub_cost, subs, ins, dels = dp[i - 1][j - 1]
+            options = [
+                (sub_cost + 1, subs + 1, ins, dels),
+            ]
+            del_cost, subs_d, ins_d, dels_d = dp[i - 1][j]
+            options.append((del_cost + 1, subs_d, ins_d, dels_d + 1))
+            ins_cost, subs_i, ins_i, dels_i = dp[i][j - 1]
+            options.append((ins_cost + 1, subs_i, ins_i + 1, dels_i))
+            dp[i][j] = min(options)
+    cost, subs, ins, dels = dp[n][m]
+    return WerBreakdown(
+        substitutions=subs,
+        insertions=ins,
+        deletions=dels,
+        reference_length=n,
+    )
+
+
+def word_error_rate(reference: str, hypothesis: str) -> float:
+    """WER between two query texts (0.0 = perfect; can exceed 1.0)."""
+    return word_error_breakdown(reference, hypothesis).rate

@@ -1,0 +1,16 @@
+"""Natural-language-interface baselines and their evaluation (Table 5).
+
+- :mod:`repro.nli.nalir` — a NaLIR-like rule-based NLI (dependency-free
+  keyword matching; weak, as the paper measures).
+- :mod:`repro.nli.sota` — a sketch-based semantic parser in the style of
+  SQLova/IRNet slot filling: strong on clean typed questions, fragile
+  under ASR noise.
+- :mod:`repro.nli.eval` — Spider-style component-match accuracy and
+  execution accuracy.
+"""
+
+from repro.nli.nalir import NalirNli
+from repro.nli.sota import SketchNli
+from repro.nli.eval import component_match, execution_match
+
+__all__ = ["NalirNli", "SketchNli", "component_match", "execution_match"]

@@ -1,0 +1,130 @@
+"""NLI evaluation metrics (paper Appendix F.9).
+
+- **Component match** ("Spider accuracy"): decompose both queries into
+  clause component sets (select items, from tables, where predicates,
+  group/order columns, limit) and require every set to match.
+- **Execution accuracy**: both queries execute on the catalog and
+  return the same result multiset.  Queries that fail to parse or
+  execute score zero.
+"""
+
+from __future__ import annotations
+
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    SelectStatement,
+    Star,
+)
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+
+def _normalize_operand(op) -> tuple:
+    if isinstance(op, Literal):
+        return ("lit", str(op.value).lower())
+    if isinstance(op, ColumnRef):
+        return ("col", op.column.lower())
+    return ("star",)
+
+
+def _predicates(condition) -> frozenset:
+    if condition is None:
+        return frozenset()
+    out = set()
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryCondition):
+            stack.extend([node.left, node.right])
+        elif isinstance(node, Comparison):
+            out.add(
+                ("cmp", _normalize_operand(node.left), node.op,
+                 _normalize_operand(node.right))
+            )
+        elif isinstance(node, BetweenPredicate):
+            out.add(
+                (
+                    "between",
+                    node.probe.column.lower(),
+                    str(node.low.value).lower(),
+                    str(node.high.value).lower(),
+                    node.negated,
+                )
+            )
+        elif isinstance(node, InPredicate):
+            if node.subquery is not None:
+                out.add(("in-sub", node.probe.column.lower(),
+                         _components(node.subquery)))
+            else:
+                out.add(
+                    (
+                        "in",
+                        node.probe.column.lower(),
+                        frozenset(str(v.value).lower() for v in node.values),
+                    )
+                )
+    return frozenset(out)
+
+
+def _select_items(stmt: SelectStatement) -> frozenset:
+    out = set()
+    for item in stmt.select_items:
+        if isinstance(item, Star):
+            out.add(("star",))
+        elif isinstance(item, Aggregate):
+            arg = (
+                "*"
+                if isinstance(item.argument, Star)
+                else item.argument.column.lower()
+            )
+            out.add(("agg", item.func.upper(), arg))
+        else:
+            out.add(("col", item.column.lower()))
+    return frozenset(out)
+
+
+def _components(stmt: SelectStatement) -> tuple:
+    return (
+        _select_items(stmt),
+        frozenset(t.name.lower() for t in stmt.from_tables),
+        _predicates(stmt.where),
+        frozenset(c.column.lower() for c in stmt.group_by),
+        frozenset(c.column.lower() for c in stmt.order_by),
+        stmt.limit,
+    )
+
+
+def component_match(gold_sql: str, predicted_sql: str | None) -> bool:
+    """Spider-style exact component-set match."""
+    if predicted_sql is None:
+        return False
+    try:
+        gold = parse_select(gold_sql)
+        pred = parse_select(predicted_sql)
+    except Exception:
+        return False
+    return _components(gold) == _components(pred)
+
+
+def execution_match(
+    gold_sql: str, predicted_sql: str | None, catalog: Catalog
+) -> bool:
+    """Execution accuracy: identical result multisets."""
+    if predicted_sql is None:
+        return False
+    try:
+        gold_result = execute(parse_select(gold_sql), catalog)
+    except Exception:
+        return False
+    try:
+        pred_result = execute(parse_select(predicted_sql), catalog)
+    except Exception:
+        return False
+    return gold_result == pred_result

@@ -1,0 +1,78 @@
+"""NaLIR-like rule-based NLI baseline.
+
+NaLIR maps a dependency-parsed question to SQL through handcrafted node
+mappings; without interactive disambiguation it fails on most open
+questions (the paper measures 12.8% / 2.2% accuracy typed).  This
+baseline reproduces that profile: strict lexical mapping of question
+words onto exactly one table and one column, no fuzziness, statement
+phrasing required, bail-out on anything ambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.sqlengine.catalog import Catalog
+
+
+def _spell_words(identifier: str) -> set[str]:
+    out: list[str] = []
+    prev = ""
+    for ch in identifier:
+        if ch == "_":
+            out.append(" ")
+        elif ch.isupper() and prev.islower():
+            out.append(" ")
+            out.append(ch.lower())
+        else:
+            out.append(ch.lower())
+        prev = ch
+    return set("".join(out).split())
+
+
+@dataclass
+class NalirNli:
+    """Strict rule-based NLI: exact word hits only, no disambiguation."""
+
+    catalog: Catalog
+
+    def to_sql(self, question: str) -> str | None:
+        text = question.lower().rstrip("?.! ")
+        words = set(re.findall(r"[a-z]+", text))
+        # Exactly one table must be mentioned verbatim.
+        tables = [
+            name
+            for name in self.catalog.table_names()
+            if _spell_words(name) <= words
+        ]
+        if len(tables) != 1:
+            return None
+        table = tables[0]
+        columns = [
+            column
+            for column in self.catalog.attribute_names_of(table)
+            if _spell_words(column) <= words
+        ]
+        if not columns:
+            return None
+        select_column = columns[0]
+        condition = self._condition(text, table, columns)
+        sql = f"SELECT {select_column} FROM {table}"
+        if condition:
+            sql += f" WHERE {condition}"
+        return sql
+
+    def _condition(self, text: str, table: str, columns: list[str]) -> str | None:
+        match = re.search(r"where\s+(.*)$", text)
+        if match is None or len(columns) < 2:
+            return None
+        tail = match.group(1)
+        column = columns[-1]
+        value_match = re.search(r"is\s+([\w./-]+)", tail)
+        if value_match is None:
+            return None
+        value = value_match.group(1)
+        if re.fullmatch(r"\d+(\.\d+)?", value):
+            return f"{column} = {value}"
+        return f"{column} = '{value}'"

@@ -1,0 +1,49 @@
+"""Spoken-input adapter for NLIs (paper Appendix F.9).
+
+"There does not exist any general-purpose open-source spoken NLI for
+evaluation.  Thus, we adapt existing typed NLI for speech-based inputs"
+— the question is synthesized, transcribed, and the transcription fed
+to the typed NLI.  This adapter packages that pipeline: any object with
+``to_sql(question)`` becomes speech-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.asr.engine import SimulatedAsrEngine, make_generic_engine
+
+
+class TypedNli(Protocol):
+    """Anything that maps a question string to SQL (or None)."""
+
+    def to_sql(self, question: str) -> str | None: ...
+
+
+@dataclass
+class SpokenNli:
+    """A typed NLI driven through the speech channel.
+
+    ``nli`` may be omitted when only :meth:`transcribe_question` is
+    needed (e.g. preparing spoken question sets).
+    """
+
+    nli: TypedNli | None = None
+    engine: SimulatedAsrEngine | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            # Spoken NLIs ride generic dictation models (no SQL training).
+            self.engine = make_generic_engine()
+
+    def transcribe_question(self, question: str, seed: int) -> str:
+        assert self.engine is not None
+        return self.engine.transcribe(question, seed=seed, nbest=1).text
+
+    def to_sql_spoken(self, question: str, seed: int) -> str | None:
+        """Speak the question, transcribe it, parse the transcription."""
+        if self.nli is None:
+            raise ValueError("SpokenNli needs a typed NLI to produce SQL")
+        heard = self.transcribe_question(question, seed=seed)
+        return self.nli.to_sql(heard)

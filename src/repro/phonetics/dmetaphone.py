@@ -1,0 +1,361 @@
+"""Double Metaphone (Lawrence Philips, 2000) — primary/secondary codes.
+
+An upgraded encoder for the literal-matching ablation: Double Metaphone
+emits *two* codes per word so that ambiguous spellings ("Schmidt" —
+Germanic vs anglicized) can match under either pronunciation.  This is
+a pragmatic implementation of the published rule set covering the cases
+that arise in schema/value vocabulary; exotic language-specific branches
+(Slavo-Germanic heuristics, Italian -CCi-) follow the original where
+they matter for English-ish identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALPHA_RE = re.compile(r"[^A-Z]")
+_VOWELS = frozenset("AEIOUY")
+
+
+def double_metaphone(word: str, max_length: int = 12) -> tuple[str, str]:
+    """Return (primary, secondary) Double Metaphone codes for ``word``.
+
+    The secondary equals the primary when no alternate pronunciation
+    applies.
+    """
+    text = _ALPHA_RE.sub("", word.upper())
+    if not text:
+        return "", ""
+    return _Encoder(text, max_length).encode()
+
+
+def dmetaphone_primary(word: str) -> str:
+    """Primary code only (drop-in encoder for the phonetic index)."""
+    return double_metaphone(word)[0]
+
+
+class _Encoder:
+    def __init__(self, text: str, max_length: int):
+        self.text = text
+        self.max_length = max_length
+        self.primary: list[str] = []
+        self.secondary: list[str] = []
+        self.i = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _char(self, offset: int = 0) -> str:
+        idx = self.i + offset
+        if 0 <= idx < len(self.text):
+            return self.text[idx]
+        return ""
+
+    def _is_vowel(self, offset: int = 0) -> bool:
+        return self._char(offset) in _VOWELS
+
+    def _window(self, start_offset: int, *options: str) -> bool:
+        idx = self.i + start_offset
+        for option in options:
+            if self.text[max(idx, 0) : idx + len(option)] == option and idx >= 0:
+                return True
+        return False
+
+    def _slavo_germanic(self) -> bool:
+        return any(s in self.text for s in ("W", "K", "CZ", "WITZ"))
+
+    def add(self, primary: str, secondary: str | None = None) -> None:
+        self.primary.append(primary)
+        self.secondary.append(primary if secondary is None else secondary)
+
+    # -- main loop ---------------------------------------------------------
+
+    def encode(self) -> tuple[str, str]:
+        text = self.text
+        # Initial exceptions.
+        if text[:2] in ("GN", "KN", "PN", "WR", "PS"):
+            self.i = 1
+        if text[:1] == "X":
+            self.add("S")
+            self.i = 1
+
+        while self.i < len(text) and (
+            len(self.primary) < self.max_length
+            or len(self.secondary) < self.max_length
+        ):
+            self._step()
+
+        primary = "".join(self.primary)[: self.max_length]
+        secondary = "".join(self.secondary)[: self.max_length]
+        return primary, secondary
+
+    def _step(self) -> None:
+        ch = self._char()
+        if ch in _VOWELS:
+            if self.i == 0:
+                self.add("A")
+            self.i += 1
+            return
+        handler = getattr(self, f"_h_{ch.lower()}", None)
+        if handler is None:
+            self.i += 1
+            return
+        handler()
+
+    # -- per-letter handlers -------------------------------------------------
+
+    def _h_b(self) -> None:
+        self.add("P")
+        self.i += 2 if self._char(1) == "B" else 1
+
+    def _h_c(self) -> None:
+        if self._window(0, "CH"):
+            if self.i > 0 and self._window(0, "CHAE"):
+                self.add("K", "X")
+            elif self.i == 0 and (
+                self._window(1, "HARAC", "HARIS")
+                or self._window(1, "HOR", "HYM", "HIA", "HEM")
+            ):
+                self.add("K")
+            elif self._window(-2, "SCH") or self._window(1, "HT", "HS"):
+                self.add("K")
+            else:
+                self.add("X", "K" if self.i > 0 else "X")
+            self.i += 2
+            return
+        if self._window(0, "CZ") and not self._window(-2, "WICZ"):
+            self.add("S", "X")
+            self.i += 2
+            return
+        if self._window(0, "CC") and not (self.i == 1 and self._char(-1) == "M"):
+            if self._char(2) in ("I", "E", "H") and not self._window(2, "HU"):
+                self.add("KS")
+                self.i += 3
+                return
+            self.add("K")
+            self.i += 2
+            return
+        if self._window(0, "CK", "CG", "CQ"):
+            self.add("K")
+            self.i += 2
+            return
+        if self._window(0, "CI", "CE", "CY"):
+            if self._window(0, "CIO", "CIE", "CIA"):
+                self.add("S", "X")
+            else:
+                self.add("S")
+            self.i += 2
+            return
+        self.add("K")
+        if self._window(1, " C", " Q", " G"):
+            self.i += 3
+        else:
+            self.i += 2 if self._char(1) in ("C", "K", "Q") else 1
+
+    def _h_d(self) -> None:
+        if self._window(0, "DG"):
+            if self._char(2) in ("I", "E", "Y"):
+                self.add("J")
+                self.i += 3
+            else:
+                self.add("TK")
+                self.i += 2
+            return
+        self.add("T")
+        self.i += 2 if self._char(1) in ("D", "T") else 1
+
+    def _h_f(self) -> None:
+        self.add("F")
+        self.i += 2 if self._char(1) == "F" else 1
+
+    def _h_g(self) -> None:
+        nxt = self._char(1)
+        if nxt == "H":
+            if self.i > 0 and not self._is_vowel(-1):
+                self.add("K")
+            elif self.i == 0:
+                if self._char(2) == "I":
+                    self.add("J")
+                else:
+                    self.add("K")
+            else:
+                # -GH- mostly silent in English.
+                self.add("")
+            self.i += 2
+            return
+        if nxt == "N":
+            if self.i == 1 and self._is_vowel(-1) and not self._slavo_germanic():
+                self.add("KN", "N")
+            elif not self._window(2, "EY") and not self._slavo_germanic():
+                self.add("N", "KN")
+            else:
+                self.add("KN")
+            self.i += 2
+            return
+        if self._window(1, "LI") and not self._slavo_germanic():
+            self.add("KL", "L")
+            self.i += 2
+            return
+        if nxt in ("I", "E", "Y") or self._window(1, "ER"):
+            self.add("K", "J")
+            self.i += 2
+            return
+        self.add("K")
+        self.i += 2 if nxt == "G" else 1
+
+    def _h_h(self) -> None:
+        if (self.i == 0 or self._is_vowel(-1)) and self._is_vowel(1):
+            self.add("H")
+            self.i += 2
+        else:
+            self.i += 1
+
+    def _h_j(self) -> None:
+        if self._window(0, "JOSE") or "SAN " in self.text:
+            self.add("H")
+        elif self.i == 0:
+            self.add("J", "A")
+        elif self._is_vowel(-1) and not self._slavo_germanic() and self._char(1) in ("A", "O"):
+            self.add("J", "H")
+        else:
+            self.add("J")
+        self.i += 2 if self._char(1) == "J" else 1
+
+    def _h_k(self) -> None:
+        self.add("K")
+        self.i += 2 if self._char(1) == "K" else 1
+
+    def _h_l(self) -> None:
+        self.add("L")
+        self.i += 2 if self._char(1) == "L" else 1
+
+    def _h_m(self) -> None:
+        self.add("M")
+        if self._window(-1, "UMB") and (
+            self.i + 1 == len(self.text) - 1 or self._window(2, "ER")
+        ):
+            self.i += 2
+        else:
+            self.i += 2 if self._char(1) == "M" else 1
+
+    def _h_n(self) -> None:
+        self.add("N")
+        self.i += 2 if self._char(1) == "N" else 1
+
+    def _h_p(self) -> None:
+        if self._char(1) == "H":
+            self.add("F")
+            self.i += 2
+            return
+        self.add("P")
+        self.i += 2 if self._char(1) in ("P", "B") else 1
+
+    def _h_q(self) -> None:
+        self.add("K")
+        self.i += 2 if self._char(1) == "Q" else 1
+
+    def _h_r(self) -> None:
+        self.add("R")
+        self.i += 2 if self._char(1) == "R" else 1
+
+    def _h_s(self) -> None:
+        if self._window(-1, "ISL", "YSL"):
+            self.i += 1
+            return
+        if self.i == 0 and self._window(0, "SUGAR"):
+            self.add("X", "S")
+            self.i += 1
+            return
+        if self._window(0, "SH"):
+            if self._window(1, "HEIM", "HOEK", "HOLM", "HOLZ"):
+                self.add("S")
+            else:
+                self.add("X")
+            self.i += 2
+            return
+        if self._window(0, "SIO", "SIA"):
+            self.add("S" if self._slavo_germanic() else "X", "S")
+            self.i += 1
+            return
+        if self._window(0, "SC"):
+            if self._char(2) == "H":
+                if self._window(3, "OO", "ER", "EN", "UY", "ED", "EM"):
+                    self.add("SK")
+                else:
+                    self.add("X", "SK")
+                self.i += 3
+                return
+            if self._char(2) in ("I", "E", "Y"):
+                self.add("S")
+                self.i += 3
+                return
+            self.add("SK")
+            self.i += 3
+            return
+        self.add("S")
+        self.i += 2 if self._char(1) in ("S", "Z") else 1
+
+    def _h_t(self) -> None:
+        if self._window(0, "TION") or self._window(0, "TIA", "TCH"):
+            if self._window(0, "TCH"):
+                self.add("X")
+                self.i += 3
+            else:
+                self.add("X")
+                self.i += 1
+            return
+        if self._window(0, "TH") or self._window(0, "TTH"):
+            if self._window(2, "OM", "AM") or self._window(0, "VAN ", "VON "):
+                self.add("T")
+            else:
+                self.add("0", "T")
+            self.i += 2
+            return
+        self.add("T")
+        self.i += 2 if self._char(1) in ("T", "D") else 1
+
+    def _h_v(self) -> None:
+        self.add("F")
+        self.i += 2 if self._char(1) == "V" else 1
+
+    def _h_w(self) -> None:
+        if self._window(0, "WR"):
+            self.add("R")
+            self.i += 2
+            return
+        if self.i == 0 and (self._is_vowel(1) or self._window(0, "WH")):
+            if self._is_vowel(1):
+                self.add("A", "F")
+            else:
+                self.add("A")
+        self.i += 1
+
+    def _h_x(self) -> None:
+        if self.i != len(self.text) - 1 or not self._window(-3, "IAU", "EAU"):
+            self.add("KS")
+        self.i += 2 if self._char(1) in ("C", "X") else 1
+
+    def _h_y(self) -> None:
+        self.i += 1
+
+    def _h_z(self) -> None:
+        if self._char(1) == "H":
+            self.add("J")
+            self.i += 2
+            return
+        if self._window(1, "ZO", "ZI", "ZA") or (
+            self._slavo_germanic() and self.i > 0 and self._char(-1) != "T"
+        ):
+            self.add("S", "TS")
+        else:
+            self.add("S")
+        self.i += 2 if self._char(1) == "Z" else 1
+
+
+def codes_match(a: str, b: str) -> bool:
+    """True when any pairing of primary/secondary codes matches —
+    the standard Double Metaphone comparison rule."""
+    pa, sa = double_metaphone(a)
+    pb, sb = double_metaphone(b)
+    return bool(
+        (pa and pa in (pb, sb)) or (sa and sa in (pb, sb))
+    )

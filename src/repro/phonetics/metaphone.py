@@ -1,0 +1,259 @@
+"""The original Metaphone phonetic algorithm (Lawrence Philips, 1990).
+
+Metaphone reduces an English word to a code over 16 consonant symbols
+``B X S K J T F H L M N P R 0 W Y`` (``0`` is the *th* sound, ``X`` the
+*sh* sound); vowels are kept only word-initially.  The paper indexes every
+database literal with Metaphone, e.g.::
+
+    Employees -> EMPLYS      Salaries -> SLRS
+    FirstName -> FRSTNM      LastName -> LSTNM
+    FROMDATE  -> FRMTT       TODATE   -> TTT
+
+These examples are covered by unit tests.
+"""
+
+from __future__ import annotations
+
+import re
+
+_VOWELS = frozenset("AEIOU")
+_ALPHA_RE = re.compile(r"[^A-Z]")
+
+
+def metaphone(word: str, max_length: int | None = None) -> str:
+    """Return the Metaphone code of ``word``.
+
+    Non-alphabetic characters are ignored.  ``max_length`` optionally
+    truncates the code (original implementations used 4; the paper's
+    literal matching needs full-length codes and that is the default).
+    """
+    text = _ALPHA_RE.sub("", word.upper())
+    if not text:
+        return ""
+    text = _transform_initial(text)
+    code: list[str] = []
+    n = len(text)
+    i = 0
+    while i < n:
+        char = text[i]
+        # Skip doubled letters, except C (e.g. "ACCIDENT" keeps both Cs'
+        # logic via lookahead; classic rule: drop duplicates unless C).
+        if i > 0 and char == text[i - 1] and char != "C":
+            i += 1
+            continue
+        handler = _HANDLERS.get(char)
+        if handler is None:
+            i += 1
+            continue
+        emitted, consumed = handler(text, i)
+        if emitted:
+            code.append(emitted)
+        i += consumed
+    result = "".join(code)
+    if max_length is not None:
+        result = result[:max_length]
+    return result
+
+
+def _transform_initial(text: str) -> str:
+    """Apply word-initial exceptions."""
+    if text[:2] in ("AE", "GN", "KN", "PN", "WR"):
+        return text[1:]
+    if text.startswith("X"):
+        return "S" + text[1:]
+    if text.startswith("WH"):
+        return "W" + text[1:]
+    return text
+
+
+def _at(text: str, i: int) -> str:
+    return text[i] if 0 <= i < len(text) else ""
+
+
+def _is_vowel(text: str, i: int) -> bool:
+    return _at(text, i) in _VOWELS
+
+
+# Each handler returns (emitted code, characters consumed).
+
+
+def _handle_vowel(text: str, i: int) -> tuple[str, int]:
+    return (text[i], 1) if i == 0 else ("", 1)
+
+
+def _handle_b(text: str, i: int) -> tuple[str, int]:
+    # Silent in terminal -MB (e.g. "DUMB").
+    if i == len(text) - 1 and _at(text, i - 1) == "M":
+        return "", 1
+    return "B", 1
+
+
+def _handle_c(text: str, i: int) -> tuple[str, int]:
+    nxt = _at(text, i + 1)
+    if text[i : i + 3] == "CIA":
+        return "X", 1
+    if nxt == "H":
+        # -SCH- is hard (K); otherwise CH is X (church).
+        if _at(text, i - 1) == "S":
+            return "K", 1
+        return "X", 2
+    if nxt in ("I", "E", "Y"):
+        # SCI/SCE/SCY: the C is silent after S (e.g. "SCIENCE").
+        if _at(text, i - 1) == "S":
+            return "", 1
+        return "S", 1
+    return "K", 1
+
+
+def _handle_d(text: str, i: int) -> tuple[str, int]:
+    if _at(text, i + 1) == "G" and _at(text, i + 2) in ("E", "Y", "I"):
+        return "J", 2
+    return "T", 1
+
+
+def _handle_f(text: str, i: int) -> tuple[str, int]:
+    return "F", 1
+
+
+def _handle_g(text: str, i: int) -> tuple[str, int]:
+    nxt = _at(text, i + 1)
+    if nxt == "H":
+        # GH: silent unless followed by a vowel (e.g. "NIGHT" vs "GHOST").
+        if _is_vowel(text, i + 2):
+            return "K", 2
+        return "", 2
+    if nxt == "N":
+        # GN / GNED: G silent ("GNAW", "SIGNED").
+        return "", 1
+    if nxt in ("I", "E", "Y"):
+        return "J", 1
+    return "K", 1
+
+
+def _handle_h(text: str, i: int) -> tuple[str, int]:
+    # Silent after a vowel when not followed by a vowel ("AH", "OH").
+    if _is_vowel(text, i - 1) and not _is_vowel(text, i + 1):
+        return "", 1
+    # Silent after C/S/P/T/G — those digraphs emit their own sound.
+    if _at(text, i - 1) in ("C", "S", "P", "T", "G"):
+        return "", 1
+    return "H", 1
+
+
+def _handle_j(text: str, i: int) -> tuple[str, int]:
+    return "J", 1
+
+
+def _handle_k(text: str, i: int) -> tuple[str, int]:
+    if _at(text, i - 1) == "C":
+        return "", 1
+    return "K", 1
+
+
+def _handle_l(text: str, i: int) -> tuple[str, int]:
+    return "L", 1
+
+
+def _handle_m(text: str, i: int) -> tuple[str, int]:
+    return "M", 1
+
+
+def _handle_n(text: str, i: int) -> tuple[str, int]:
+    return "N", 1
+
+
+def _handle_p(text: str, i: int) -> tuple[str, int]:
+    if _at(text, i + 1) == "H":
+        return "F", 2
+    return "P", 1
+
+
+def _handle_q(text: str, i: int) -> tuple[str, int]:
+    return "K", 1
+
+
+def _handle_r(text: str, i: int) -> tuple[str, int]:
+    return "R", 1
+
+
+def _handle_s(text: str, i: int) -> tuple[str, int]:
+    if _at(text, i + 1) == "H":
+        return "X", 2
+    if text[i : i + 3] in ("SIO", "SIA"):
+        return "X", 1
+    return "S", 1
+
+
+def _handle_t(text: str, i: int) -> tuple[str, int]:
+    if text[i : i + 3] in ("TIA", "TIO"):
+        return "X", 1
+    if _at(text, i + 1) == "H":
+        return "0", 2
+    if text[i : i + 3] == "TCH":
+        # Silent in -TCH- ("WATCH"): the CH handles the sound.
+        return "", 1
+    return "T", 1
+
+
+def _handle_v(text: str, i: int) -> tuple[str, int]:
+    return "F", 1
+
+
+def _handle_w(text: str, i: int) -> tuple[str, int]:
+    if _is_vowel(text, i + 1):
+        return "W", 1
+    return "", 1
+
+
+def _handle_x(text: str, i: int) -> tuple[str, int]:
+    return "KS", 1
+
+
+def _handle_y(text: str, i: int) -> tuple[str, int]:
+    if _is_vowel(text, i + 1):
+        return "Y", 1
+    return "", 1
+
+
+def _handle_z(text: str, i: int) -> tuple[str, int]:
+    return "S", 1
+
+
+_HANDLERS = {
+    "A": _handle_vowel,
+    "E": _handle_vowel,
+    "I": _handle_vowel,
+    "O": _handle_vowel,
+    "U": _handle_vowel,
+    "B": _handle_b,
+    "C": _handle_c,
+    "D": _handle_d,
+    "F": _handle_f,
+    "G": _handle_g,
+    "H": _handle_h,
+    "J": _handle_j,
+    "K": _handle_k,
+    "L": _handle_l,
+    "M": _handle_m,
+    "N": _handle_n,
+    "P": _handle_p,
+    "Q": _handle_q,
+    "R": _handle_r,
+    "S": _handle_s,
+    "T": _handle_t,
+    "V": _handle_v,
+    "W": _handle_w,
+    "X": _handle_x,
+    "Y": _handle_y,
+    "Z": _handle_z,
+}
+
+
+def metaphone_phrase(text: str) -> str:
+    """Metaphone of a multi-word phrase: concatenation of per-word codes.
+
+    ASR splits out-of-vocabulary literals into several words; comparing
+    the concatenated code against single-token codes is exactly how the
+    paper merges sub-tokens (``first``+``name`` vs ``FirstName``).
+    """
+    return "".join(metaphone(word) for word in text.split())

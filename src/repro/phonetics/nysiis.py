@@ -1,0 +1,109 @@
+"""NYSIIS — the New York State Identification and Intelligence System
+phonetic algorithm (Taft, 1970).
+
+A third phonetic encoder (alongside Metaphone and Soundex) for the
+literal-matching ablation: NYSIIS retains more vowel structure than
+Soundex while staying simpler than Metaphone.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALPHA_RE = re.compile(r"[^A-Z]")
+_VOWELS = frozenset("AEIOU")
+
+
+def nysiis(word: str) -> str:
+    """Return the NYSIIS code of ``word`` (standard, untruncated)."""
+    text = _ALPHA_RE.sub("", word.upper())
+    if not text:
+        return ""
+
+    # Initial transformations.
+    for prefix, replacement in (
+        ("MAC", "MCC"),
+        ("KN", "NN"),
+        ("K", "C"),
+        ("PH", "FF"),
+        ("PF", "FF"),
+        ("SCH", "SSS"),
+    ):
+        if text.startswith(prefix):
+            text = replacement + text[len(prefix):]
+            break
+
+    # Terminal transformations.
+    for suffix, replacement in (
+        ("EE", "Y"),
+        ("IE", "Y"),
+        ("DT", "D"),
+        ("RT", "D"),
+        ("RD", "D"),
+        ("NT", "D"),
+        ("ND", "D"),
+    ):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)] + replacement
+            break
+
+    first = text[0]
+    key = [first]
+    i = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        nxt2 = text[i + 2] if i + 2 < n else ""
+        if ch in _VOWELS:
+            if ch == "E" and nxt == "V":
+                chunk = "AF"
+                i += 2
+            else:
+                chunk = "A"
+                i += 1
+        elif ch == "Q":
+            chunk = "G"
+            i += 1
+        elif ch == "Z":
+            chunk = "S"
+            i += 1
+        elif ch == "M":
+            chunk = "N"
+            i += 1
+        elif ch == "K":
+            if nxt == "N":
+                chunk = "N"
+                i += 2
+            else:
+                chunk = "C"
+                i += 1
+        elif ch == "S" and nxt == "C" and nxt2 == "H":
+            chunk = "SSS"
+            i += 3
+        elif ch == "P" and nxt == "H":
+            chunk = "FF"
+            i += 2
+        elif ch == "H" and (
+            key[-1] not in _VOWELS or (nxt and nxt not in _VOWELS)
+        ):
+            chunk = key[-1]
+            i += 1
+        elif ch == "W" and key[-1] in _VOWELS:
+            chunk = key[-1]
+            i += 1
+        else:
+            chunk = ch
+            i += 1
+        for out_ch in chunk:
+            if key[-1] != out_ch:
+                key.append(out_ch)
+
+    # Terminal cleanup.
+    if key[-1] in ("S",) and len(key) > 1:
+        key.pop()
+    if len(key) >= 2 and key[-2:] == ["A", "Y"]:
+        key = key[:-2] + ["Y"]
+    if key and key[-1] == "A" and len(key) > 1:
+        key.pop()
+    return "".join(key)

@@ -1,0 +1,138 @@
+"""Pre-computed phonetic representation of a database (Figure 2).
+
+Indexes table names, attribute names, and *string* attribute values
+(excluding numbers and dates, as in the paper) by their Metaphone code.
+The literal determination component retrieves the candidate set ``B`` for
+a placeholder's category from this index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.grammar.categorizer import LiteralCategory
+from repro.phonetics.metaphone import metaphone
+from repro.sqlengine.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class PhoneticEntry:
+    """One indexed literal: original text plus its phonetic code."""
+
+    literal: str
+    code: str
+
+
+@dataclass
+class PhoneticIndex:
+    """Phonetic dictionary over a catalog's literals.
+
+    Parameters
+    ----------
+    encoder:
+        Phonetic encoder (defaults to Metaphone; Soundex pluggable for
+        the ablation).
+    value_limit_per_column:
+        Cap on distinct string values indexed per column, bounding index
+        size on large instances.
+    """
+
+    encoder: Callable[[str], str] = metaphone
+    value_limit_per_column: int | None = None
+    _tables: list[PhoneticEntry] = field(default_factory=list, repr=False)
+    _attributes: list[PhoneticEntry] = field(default_factory=list, repr=False)
+    _values: list[PhoneticEntry] = field(default_factory=list, repr=False)
+    _attributes_by_table: dict[str, list[PhoneticEntry]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: Catalog,
+        encoder: Callable[[str], str] = metaphone,
+        value_limit_per_column: int | None = None,
+    ) -> "PhoneticIndex":
+        """Build the index for every literal in ``catalog``."""
+        index = cls(encoder=encoder, value_limit_per_column=value_limit_per_column)
+        index._tables = index._encode_all(catalog.table_names())
+        index._attributes = index._encode_all(catalog.attribute_names())
+        index._values = index._encode_all(
+            catalog.string_attribute_values(value_limit_per_column)
+        )
+        for table in catalog.tables():
+            index._attributes_by_table[table.name.lower()] = index._encode_all(
+                table.columns
+            )
+        return index
+
+    def _encode_all(self, literals: Iterable[str]) -> list[PhoneticEntry]:
+        return [
+            PhoneticEntry(literal=lit, code=self.encoder(_splittable(lit)))
+            for lit in literals
+        ]
+
+    # -- candidate retrieval ----------------------------------------------
+
+    def candidates(
+        self, category: LiteralCategory, tables: Iterable[str] | None = None
+    ) -> list[PhoneticEntry]:
+        """The set ``B`` of relevant literals for a placeholder category.
+
+        When ``tables`` is given for ATTRIBUTE lookups, only attributes of
+        those tables are returned — the paper narrows attribute candidates
+        once the FROM tables are known.
+        """
+        if category is LiteralCategory.TABLE:
+            return list(self._tables)
+        if category is LiteralCategory.ATTRIBUTE:
+            if tables:
+                out: list[PhoneticEntry] = []
+                seen: set[str] = set()
+                for name in tables:
+                    for entry in self._attributes_by_table.get(name.lower(), []):
+                        if entry.literal.lower() not in seen:
+                            seen.add(entry.literal.lower())
+                            out.append(entry)
+                if out:
+                    return out
+            return list(self._attributes)
+        return list(self._values)
+
+    @property
+    def table_entries(self) -> list[PhoneticEntry]:
+        return list(self._tables)
+
+    @property
+    def attribute_entries(self) -> list[PhoneticEntry]:
+        return list(self._attributes)
+
+    @property
+    def value_entries(self) -> list[PhoneticEntry]:
+        return list(self._values)
+
+    def size(self) -> int:
+        """Total number of indexed literals."""
+        return len(self._tables) + len(self._attributes) + len(self._values)
+
+
+def _splittable(identifier: str) -> str:
+    """Insert spaces at camel-case and underscore boundaries.
+
+    ``FirstName`` encodes like the phrase "first name", which is how it is
+    spoken and how ASR transcribes it — keeping the index comparable with
+    transcription segments.  (Metaphone itself strips the spaces.)
+    """
+    out: list[str] = []
+    prev = ""
+    for char in identifier:
+        if char == "_":
+            out.append(" ")
+        elif char.isupper() and prev.islower():
+            out.append(" ")
+            out.append(char)
+        else:
+            out.append(char)
+        prev = char
+    return "".join(out)

@@ -1,0 +1,44 @@
+"""Classic American Soundex.
+
+Provided as an alternative phonetic encoder for the literal-determination
+ablation (Metaphone vs Soundex vs raw strings).
+"""
+
+from __future__ import annotations
+
+import re
+
+_CODES = {
+    "B": "1", "F": "1", "P": "1", "V": "1",
+    "C": "2", "G": "2", "J": "2", "K": "2",
+    "Q": "2", "S": "2", "X": "2", "Z": "2",
+    "D": "3", "T": "3",
+    "L": "4",
+    "M": "5", "N": "5",
+    "R": "6",
+}
+
+_ALPHA_RE = re.compile(r"[^A-Z]")
+
+
+def soundex(word: str, length: int = 4) -> str:
+    """Return the Soundex code of ``word`` (default classic length 4).
+
+    H and W are ignored between consonants of the same code; vowels break
+    runs of identical codes, per the standard algorithm.
+    """
+    text = _ALPHA_RE.sub("", word.upper())
+    if not text:
+        return ""
+    first = text[0]
+    digits: list[str] = []
+    prev = _CODES.get(first, "")
+    for char in text[1:]:
+        if char in ("H", "W"):
+            continue
+        code = _CODES.get(char, "")
+        if code and code != prev:
+            digits.append(code)
+        prev = code
+    code = (first + "".join(digits))[:length]
+    return code.ljust(length, "0")

@@ -1,0 +1,61 @@
+"""In-memory SQL engine substrate.
+
+The paper evaluates execution accuracy (Table 5) and binds literal values
+against real database instances; both require an actual SQL engine for the
+supported subset.  This package provides:
+
+- :mod:`repro.sqlengine.lexer` / :mod:`repro.sqlengine.parser`: a
+  recursive-descent parser for the paper's SQL subset (Box 1 + natural
+  joins + one-level nested ``IN (SELECT ...)``).
+- :mod:`repro.sqlengine.ast_nodes`: the typed AST.
+- :mod:`repro.sqlengine.formatter`: canonical SQL rendering (the display
+  form shown in the SpeakQL interface).
+- :mod:`repro.sqlengine.catalog` / :mod:`repro.sqlengine.table`: schema
+  metadata and in-memory tables.
+- :mod:`repro.sqlengine.executor`: SPJA execution with GROUP BY,
+  ORDER BY, LIMIT, BETWEEN/IN predicates, natural and comma joins, and
+  one level of nesting.
+"""
+
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sqlengine.catalog import Catalog, ColumnSchema, TableSchema
+from repro.sqlengine.executor import execute
+from repro.sqlengine.formatter import format_statement
+from repro.sqlengine.lexer import Lexer, SqlToken, SqlTokenKind
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.table import Row, Table
+
+__all__ = [
+    "Aggregate",
+    "BetweenPredicate",
+    "BinaryCondition",
+    "ColumnRef",
+    "Comparison",
+    "InPredicate",
+    "Literal",
+    "SelectStatement",
+    "Star",
+    "TableRef",
+    "Catalog",
+    "ColumnSchema",
+    "TableSchema",
+    "execute",
+    "format_statement",
+    "Lexer",
+    "SqlToken",
+    "SqlTokenKind",
+    "parse_select",
+    "Row",
+    "Table",
+]

@@ -1,0 +1,186 @@
+"""Typed AST for the supported SQL subset."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Union
+
+#: Python value types a SQL literal can carry.
+SqlValue = Union[str, int, float, datetime.date]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value: string, number, or date."""
+
+    value: SqlValue
+
+    @property
+    def is_string(self) -> bool:
+        return isinstance(self.value, str)
+
+    @property
+    def is_number(self) -> bool:
+        return isinstance(self.value, (int, float))
+
+    @property
+    def is_date(self) -> bool:
+        return isinstance(self.value, datetime.date)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    column: str
+    table: str | None = None
+
+    def key(self) -> str:
+        """Case-insensitive lookup key."""
+        return self.column.lower()
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` select item (or ``COUNT(*)`` argument)."""
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call, e.g. ``AVG(salary)`` or ``COUNT(*)``."""
+
+    func: str  # AVG | SUM | MAX | MIN | COUNT
+    argument: ColumnRef | Star
+
+    def __post_init__(self) -> None:
+        if self.func.upper() not in ("AVG", "SUM", "MAX", "MIN", "COUNT"):
+            raise ValueError(f"unsupported aggregate: {self.func}")
+
+
+#: Anything that can appear in the SELECT list.
+SelectItem = Union[Star, ColumnRef, Aggregate]
+
+#: Operand of a comparison.
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A binary comparison predicate ``left op right`` (op in = < >)."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "<", ">"):
+            raise ValueError(f"unsupported comparison operator: {self.op}")
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``probe [NOT] BETWEEN low AND high``."""
+
+    probe: ColumnRef
+    low: Literal
+    high: Literal
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``probe IN (v1, v2, ...)`` or ``probe IN (SELECT ...)``."""
+
+    probe: ColumnRef
+    values: tuple[Literal, ...] = ()
+    subquery: "SelectStatement | None" = None
+
+    def __post_init__(self) -> None:
+        if bool(self.values) == (self.subquery is not None):
+            raise ValueError("InPredicate needs values xor a subquery")
+
+
+@dataclass(frozen=True)
+class BinaryCondition:
+    """Boolean combination ``left AND/OR right``."""
+
+    left: "Condition"
+    op: str  # AND | OR
+    right: "Condition"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("AND", "OR"):
+            raise ValueError(f"unsupported boolean operator: {self.op}")
+
+
+Condition = Union[Comparison, BetweenPredicate, InPredicate, BinaryCondition]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause."""
+
+    name: str
+
+    def key(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT statement of the supported subset.
+
+    ``natural_join`` distinguishes ``FROM a NATURAL JOIN b`` (equi-join on
+    shared column names) from ``FROM a, b`` (cross product filtered by
+    WHERE predicates).
+    """
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    natural_join: bool = False
+    where: Condition | None = None
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[ColumnRef, ...] = ()
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.select_items:
+            raise ValueError("SELECT list must not be empty")
+        if not self.from_tables:
+            raise ValueError("FROM list must not be empty")
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, Aggregate) for item in self.select_items)
+
+
+def iter_conditions(condition: Condition | None):
+    """Yield every leaf predicate of a condition tree, left-to-right."""
+    if condition is None:
+        return
+    if isinstance(condition, BinaryCondition):
+        yield from iter_conditions(condition.left)
+        yield from iter_conditions(condition.right)
+    else:
+        yield condition
+
+
+def statement_literals(stmt: SelectStatement) -> list[Literal]:
+    """Collect every value literal in the statement, in syntactic order."""
+    out: list[Literal] = []
+    for pred in iter_conditions(stmt.where):
+        if isinstance(pred, Comparison):
+            for side in (pred.left, pred.right):
+                if isinstance(side, Literal):
+                    out.append(side)
+        elif isinstance(pred, BetweenPredicate):
+            out.extend([pred.low, pred.high])
+        elif isinstance(pred, InPredicate):
+            if pred.subquery is not None:
+                out.extend(statement_literals(pred.subquery))
+            else:
+                out.extend(pred.values)
+    if stmt.limit is not None:
+        out.append(Literal(stmt.limit))
+    return out

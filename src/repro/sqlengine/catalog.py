@@ -1,0 +1,109 @@
+"""Database catalog: schema metadata over in-memory tables.
+
+The catalog is the "Database Metadata" box of the paper's architecture
+(Figure 2): it exposes table names, attribute names, and attribute values,
+which literal determination indexes phonetically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SqlSemanticError
+from repro.sqlengine.table import Table, infer_column_type
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Schema entry for one column."""
+
+    name: str
+    type_name: str  # string | int | float | date
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema entry for one table."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...]
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass
+class Catalog:
+    """A named collection of tables with case-insensitive lookup."""
+
+    name: str = "db"
+    _tables: dict[str, Table] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise SqlSemanticError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise SqlSemanticError(f"unknown table {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        """Original-cased table names."""
+        return [t.name for t in self._tables.values()]
+
+    def attribute_names(self) -> list[str]:
+        """Original-cased attribute names across all tables, de-duplicated."""
+        seen: dict[str, str] = {}
+        for table in self._tables.values():
+            for column in table.columns:
+                seen.setdefault(column.lower(), column)
+        return list(seen.values())
+
+    def attribute_names_of(self, table_name: str) -> list[str]:
+        return list(self.table(table_name).columns)
+
+    def tables_with_column(self, column: str) -> list[Table]:
+        key = column.lower()
+        return [t for t in self._tables.values() if t.has_column(key)]
+
+    def string_attribute_values(self, limit_per_column: int | None = None) -> list[str]:
+        """Distinct string attribute values across the database.
+
+        The paper indexes "attribute values (only strings, excluding
+        numbers or dates)" phonetically; this is the corpus it indexes.
+        ``limit_per_column`` optionally caps values per column to bound
+        index size on large instances.
+        """
+        seen: dict[str, None] = {}
+        for table in self._tables.values():
+            for column in table.column_keys:
+                values = table.distinct_strings(column)
+                if limit_per_column is not None:
+                    values = values[:limit_per_column]
+                for value in values:
+                    seen.setdefault(value)
+        return list(seen)
+
+    def schema(self) -> list[TableSchema]:
+        """Inferred schema of every table."""
+        out = []
+        for table in self._tables.values():
+            columns = tuple(
+                ColumnSchema(
+                    name=column,
+                    type_name=infer_column_type(table.column_values(column)),
+                )
+                for column in table.columns
+            )
+            out.append(TableSchema(name=table.name, columns=columns))
+        return out

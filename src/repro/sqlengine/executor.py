@@ -1,0 +1,563 @@
+"""Query execution over in-memory tables.
+
+Supports the paper's subset: select-project-join-aggregate queries with
+natural joins, comma joins, WHERE conjunctions/disjunctions, BETWEEN and
+IN predicates (including one-level nested subqueries), GROUP BY, ORDER BY,
+and LIMIT.
+
+Semantics notes:
+
+- Natural join equi-joins on all shared column names (as in the paper's
+  Employees queries, which natural-join on ``EmployeeNumber``).
+- Comparison between incompatible types (e.g. a string against a number)
+  evaluates to False instead of raising: SpeakQL-predicted queries can
+  carry mistranscribed values and execution accuracy treats such queries
+  as returning a (wrong) result rather than crashing the harness.
+- With GROUP BY, non-aggregate select items are evaluated on the first
+  row of each group (MySQL-style permissiveness); ORDER BY sorts groups
+  by their key when possible, otherwise by first-row values.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ExecutionError, SqlSemanticError
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    Literal,
+    Operand,
+    SelectStatement,
+    Star,
+)
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.table import Row, Table
+
+
+@dataclass
+class ResultSet:
+    """Execution output: column headers plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def as_multiset(self) -> dict[tuple, int]:
+        """Bag view used for execution-accuracy comparison."""
+        bag: dict[tuple, int] = {}
+        for row in self.rows:
+            bag[row] = bag.get(row, 0) + 1
+        return bag
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return self.as_multiset() == other.as_multiset()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class _Env:
+    """A joined row: per-table sub-rows, with column resolution."""
+
+    tables: dict[str, Row]  # table key -> row
+
+    def resolve(self, ref: ColumnRef) -> object:
+        column = ref.key()
+        if ref.table is not None:
+            table_key = ref.table.lower()
+            if table_key not in self.tables:
+                raise SqlSemanticError(f"unknown table alias {ref.table!r}")
+            row = self.tables[table_key]
+            if column not in row:
+                raise SqlSemanticError(
+                    f"no column {ref.column!r} in {ref.table!r}"
+                )
+            return row[column]
+        hits = [row[column] for row in self.tables.values() if column in row]
+        if not hits:
+            raise SqlSemanticError(f"unknown column {ref.column!r}")
+        # In a natural join, shared columns are equal by construction, so
+        # any hit works; in a comma join an ambiguous bare name resolves to
+        # the first table, matching the permissive display-oriented engine.
+        return hits[0]
+
+
+#: Safety cap on intermediate join size; realistic for the in-memory
+#: engine and prevents mistranscribed queries from exploding the harness.
+MAX_JOIN_ROWS = 1_000_000
+
+
+def execute(stmt: SelectStatement, catalog: Catalog) -> ResultSet:
+    """Execute ``stmt`` against ``catalog`` and return its result set."""
+    tables = [catalog.table(ref.name) for ref in stmt.from_tables]
+    conjuncts = _conjuncts(stmt.where)
+    envs, applied = _join(tables, natural=stmt.natural_join, conjuncts=conjuncts)
+    remaining = [c for c in conjuncts if id(c) not in applied]
+    if stmt.where is not None:
+        if conjuncts:
+            envs = [
+                env
+                for env in envs
+                if all(_eval_condition(c, env, catalog) for c in remaining)
+            ]
+        else:
+            envs = [
+                env for env in envs if _eval_condition(stmt.where, env, catalog)
+            ]
+    if stmt.group_by or stmt.has_aggregates:
+        result = _execute_grouped(stmt, envs)
+    else:
+        result = _execute_plain(stmt, envs, tables)
+    if stmt.limit is not None:
+        result.rows = result.rows[: max(stmt.limit, 0)]
+    return result
+
+
+# -- joins ----------------------------------------------------------------
+
+
+def _conjuncts(condition: Condition | None) -> list[Condition]:
+    """Top-level AND conjuncts of a condition (empty for OR trees)."""
+    if condition is None:
+        return []
+    if isinstance(condition, BinaryCondition):
+        if condition.op != "AND":
+            return []
+        left = _conjuncts(condition.left)
+        right = _conjuncts(condition.right)
+        if not left or not right:
+            return []
+        return left + right
+    return [condition]
+
+
+def _join(
+    tables: list[Table], natural: bool, conjuncts: list[Condition]
+) -> tuple[list[_Env], set[int]]:
+    """Join tables left-to-right with predicate pushdown.
+
+    Single-table conjuncts filter a table's rows before it joins;
+    cross-table equality conjuncts become hash joins.  Returns the joined
+    envs plus the ids of conjuncts already applied.
+    """
+    applied: set[int] = set()
+    joined_tables: list[Table] = [tables[0]]
+    rows = _filtered_rows(tables[0], conjuncts, applied)
+    envs = [_Env({tables[0].name.lower(): row}) for row in rows]
+    for table in tables[1:]:
+        key = table.name.lower()
+        rows = _filtered_rows(table, conjuncts, applied)
+        if natural:
+            shared = _shared_columns(envs, table)
+            index = _build_index_rows(rows, shared)
+            joined: list[_Env] = []
+            for env in envs:
+                probe = tuple(env.resolve(ColumnRef(c)) for c in shared)
+                for row in index.get(probe, []):
+                    joined.append(_Env({**env.tables, key: row}))
+                    _check_join_cap(joined)
+        else:
+            equi = _equi_join_conjuncts(conjuncts, joined_tables, table, applied)
+            if equi:
+                joined = _hash_join(envs, rows, key, equi)
+            else:
+                joined = []
+                for env, row in product(envs, rows):
+                    joined.append(_Env({**env.tables, key: row}))
+                    _check_join_cap(joined)
+        envs = joined
+        joined_tables.append(table)
+    return envs, applied
+
+
+def _check_join_cap(joined: list[_Env]) -> None:
+    if len(joined) > MAX_JOIN_ROWS:
+        raise ExecutionError(
+            f"intermediate join exceeds {MAX_JOIN_ROWS} rows"
+        )
+
+
+def _filtered_rows(
+    table: Table, conjuncts: list[Condition], applied: set[int]
+) -> list[Row]:
+    """Apply single-table conjuncts to ``table`` before joining."""
+    predicates = []
+    for conjunct in conjuncts:
+        if id(conjunct) in applied:
+            continue
+        if _is_single_table(conjunct, table):
+            predicates.append(conjunct)
+            applied.add(id(conjunct))
+    if not predicates:
+        return table.rows
+    out = []
+    for row in table.rows:
+        env = _Env({table.name.lower(): row})
+        if all(_eval_condition(p, env, _EMPTY_CATALOG) for p in predicates):
+            out.append(row)
+    return out
+
+
+def _is_single_table(condition: Condition, table: Table) -> bool:
+    """True if every column the predicate touches lives in ``table`` only.
+
+    Subquery predicates are never pushed down (they need the catalog).
+    """
+    if isinstance(condition, InPredicate) and condition.subquery is not None:
+        return False
+    refs = _column_refs(condition)
+    if not refs:
+        return False
+    for ref in refs:
+        if ref.table is not None and ref.table.lower() != table.name.lower():
+            return False
+        if not table.has_column(ref.column):
+            return False
+    return True
+
+
+def _column_refs(condition: Condition) -> list[ColumnRef]:
+    if isinstance(condition, Comparison):
+        return [s for s in (condition.left, condition.right) if isinstance(s, ColumnRef)]
+    if isinstance(condition, BetweenPredicate):
+        return [condition.probe]
+    if isinstance(condition, InPredicate):
+        return [condition.probe]
+    if isinstance(condition, BinaryCondition):
+        return _column_refs(condition.left) + _column_refs(condition.right)
+    return []
+
+
+def _equi_join_conjuncts(
+    conjuncts: list[Condition],
+    joined_tables: list[Table],
+    new_table: Table,
+    applied: set[int],
+) -> list[tuple[ColumnRef, ColumnRef]]:
+    """Equality conjuncts linking already-joined tables to ``new_table``.
+
+    Returns (probe-on-joined-side, key-on-new-table) pairs and marks the
+    conjuncts applied.
+    """
+    joined_names = {t.name.lower() for t in joined_tables}
+    pairs: list[tuple[ColumnRef, ColumnRef]] = []
+    for conjunct in conjuncts:
+        if id(conjunct) in applied or not isinstance(conjunct, Comparison):
+            continue
+        if conjunct.op != "=":
+            continue
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            continue
+        sides = {}
+        for ref in (left, right):
+            owner = _owner_of(ref, joined_tables, new_table)
+            if owner is None:
+                sides = {}
+                break
+            sides[id(ref)] = owner
+        if not sides:
+            continue
+        left_owner, right_owner = sides[id(left)], sides[id(right)]
+        new_name = new_table.name.lower()
+        if left_owner in joined_names and right_owner == new_name:
+            pairs.append((left, right))
+            applied.add(id(conjunct))
+        elif right_owner in joined_names and left_owner == new_name:
+            pairs.append((right, left))
+            applied.add(id(conjunct))
+    return pairs
+
+
+def _owner_of(
+    ref: ColumnRef, joined_tables: list[Table], new_table: Table
+) -> str | None:
+    if ref.table is not None:
+        name = ref.table.lower()
+        for table in joined_tables + [new_table]:
+            if table.name.lower() == name and table.has_column(ref.column):
+                return name
+        return None
+    owners = [
+        t.name.lower()
+        for t in joined_tables + [new_table]
+        if t.has_column(ref.column)
+    ]
+    return owners[0] if len(owners) == 1 else None
+
+
+def _hash_join(
+    envs: list[_Env],
+    rows: list[Row],
+    key: str,
+    equi: list[tuple[ColumnRef, ColumnRef]],
+) -> list[_Env]:
+    new_side_cols = [pair[1].key() for pair in equi]
+    index = _build_index_rows(rows, new_side_cols)
+    joined: list[_Env] = []
+    for env in envs:
+        probe = tuple(env.resolve(pair[0]) for pair in equi)
+        for row in index.get(probe, []):
+            joined.append(_Env({**env.tables, key: row}))
+            _check_join_cap(joined)
+    return joined
+
+
+def _shared_columns(envs: list[_Env], table: Table) -> list[str]:
+    existing: set[str] = set()
+    if envs:
+        for row in envs[0].tables.values():
+            existing |= set(row)
+    else:
+        return []
+    return [c for c in table.column_keys if c in existing]
+
+
+def _build_index_rows(rows: list[Row], cols: list[str]) -> dict[tuple, list[Row]]:
+    index: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row[c] for c in cols)
+        index.setdefault(key, []).append(row)
+    return index
+
+
+#: Catalog stub used when evaluating pushed-down single-table predicates
+#: (they never contain subqueries, so the catalog is never consulted).
+_EMPTY_CATALOG = Catalog("__pushdown__")
+
+
+# -- evaluation -----------------------------------------------------------
+
+
+def _eval_condition(condition: Condition, env: _Env, catalog: Catalog) -> bool:
+    if isinstance(condition, BinaryCondition):
+        left = _eval_condition(condition.left, env, catalog)
+        if condition.op == "AND":
+            return left and _eval_condition(condition.right, env, catalog)
+        return left or _eval_condition(condition.right, env, catalog)
+    if isinstance(condition, Comparison):
+        left = _eval_operand(condition.left, env)
+        right = _eval_operand(condition.right, env)
+        return _compare(left, condition.op, right)
+    if isinstance(condition, BetweenPredicate):
+        value = env.resolve(condition.probe)
+        low, high = condition.low.value, condition.high.value
+        inside = _compare(value, ">", low) or _compare(value, "=", low)
+        inside = inside and (
+            _compare(value, "<", high) or _compare(value, "=", high)
+        )
+        return inside != condition.negated
+    if isinstance(condition, InPredicate):
+        value = env.resolve(condition.probe)
+        if condition.subquery is not None:
+            sub = execute(condition.subquery, catalog)
+            members = {row[0] for row in sub.rows if len(row) >= 1}
+        else:
+            members = {v.value for v in condition.values}
+        return any(_compare(value, "=", member) for member in members)
+    raise TypeError(f"unknown condition node: {condition!r}")
+
+
+def _eval_operand(operand: Operand, env: _Env) -> object:
+    if isinstance(operand, Literal):
+        return operand.value
+    return env.resolve(operand)
+
+
+def _coerce_pair(left: object, right: object) -> tuple[object, object] | None:
+    """Bring two values to a comparable pair, or None if incomparable."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return None
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    # date vs ISO-looking string
+    if isinstance(left, datetime.date) and isinstance(right, str):
+        parsed = _try_date(right)
+        return (left, parsed) if parsed else None
+    if isinstance(right, datetime.date) and isinstance(left, str):
+        parsed = _try_date(left)
+        return (parsed, right) if parsed else None
+    # number vs numeric string
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        parsed = _try_number(right)
+        return (left, parsed) if parsed is not None else None
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        parsed = _try_number(left)
+        return (parsed, right) if parsed is not None else None
+    return None
+
+
+def _compare(left: object, op: str, right: object) -> bool:
+    if left is None or right is None:
+        return False
+    pair = _coerce_pair(left, right)
+    if pair is None:
+        return False
+    lhs, rhs = pair
+    if op == "=":
+        return lhs == rhs
+    if op == "<":
+        return lhs < rhs  # type: ignore[operator]
+    if op == ">":
+        return lhs > rhs  # type: ignore[operator]
+    raise SqlSemanticError(f"unsupported operator {op!r}")
+
+
+def _try_date(text: str) -> datetime.date | None:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        return None
+
+
+def _try_number(text: str) -> float | None:
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+# -- projection -----------------------------------------------------------
+
+
+def _expand_star(tables: list[Table]) -> list[ColumnRef]:
+    refs: list[ColumnRef] = []
+    seen: set[str] = set()
+    for table in tables:
+        for column in table.columns:
+            if column.lower() in seen:
+                continue
+            seen.add(column.lower())
+            refs.append(ColumnRef(column))
+    return refs
+
+
+def _execute_plain(
+    stmt: SelectStatement, envs: list[_Env], tables: list[Table]
+) -> ResultSet:
+    items: list[ColumnRef] = []
+    for item in stmt.select_items:
+        if isinstance(item, Star):
+            items.extend(_expand_star(tables))
+        elif isinstance(item, ColumnRef):
+            items.append(item)
+        else:  # pragma: no cover - guarded by has_aggregates
+            raise AssertionError("aggregate in plain execution")
+    if stmt.order_by:
+        envs = sorted(
+            envs,
+            key=lambda env: tuple(
+                _sort_key(env.resolve(ref)) for ref in stmt.order_by
+            ),
+        )
+    rows = [tuple(env.resolve(ref) for ref in items) for env in envs]
+    return ResultSet(columns=[_header(ref) for ref in items], rows=rows)
+
+
+def _execute_grouped(stmt: SelectStatement, envs: list[_Env]) -> ResultSet:
+    groups: dict[tuple, list[_Env]] = {}
+    if stmt.group_by:
+        for env in envs:
+            key = tuple(env.resolve(ref) for ref in stmt.group_by)
+            groups.setdefault(key, []).append(env)
+    else:
+        groups[()] = envs
+
+    headers: list[str] = []
+    for item in stmt.select_items:
+        if isinstance(item, Aggregate):
+            arg = "*" if isinstance(item.argument, Star) else item.argument.column
+            headers.append(f"{item.func.upper()}({arg})")
+        elif isinstance(item, ColumnRef):
+            headers.append(_header(item))
+        else:
+            raise SqlSemanticError("SELECT * cannot be combined with GROUP BY")
+
+    out_rows: list[tuple[tuple, tuple]] = []  # (sort key, row)
+    for key, members in groups.items():
+        row = []
+        for item in stmt.select_items:
+            if isinstance(item, Aggregate):
+                row.append(_eval_aggregate(item, members))
+            else:
+                assert isinstance(item, ColumnRef)
+                row.append(members[0].resolve(item) if members else None)
+        sort_key = _group_sort_key(stmt, key, members)
+        out_rows.append((sort_key, tuple(row)))
+
+    if stmt.order_by:
+        out_rows.sort(key=lambda pair: pair[0])
+    return ResultSet(columns=headers, rows=[row for _, row in out_rows])
+
+
+def _group_sort_key(stmt: SelectStatement, key: tuple, members: list[_Env]) -> tuple:
+    if not stmt.order_by:
+        return ()
+    parts = []
+    group_cols = [ref.key() for ref in stmt.group_by]
+    for ref in stmt.order_by:
+        if ref.key() in group_cols:
+            parts.append(_sort_key(key[group_cols.index(ref.key())]))
+        elif members:
+            parts.append(_sort_key(members[0].resolve(ref)))
+        else:
+            parts.append(_sort_key(None))
+    return tuple(parts)
+
+
+def _eval_aggregate(agg: Aggregate, members: list[_Env]) -> object:
+    func = agg.func.upper()
+    if isinstance(agg.argument, Star):
+        if func != "COUNT":
+            raise SqlSemanticError(f"{func}(*) is not supported")
+        return len(members)
+    values = [env.resolve(agg.argument) for env in members]
+    values = [v for v in values if v is not None]
+    if func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if func in ("SUM", "AVG") and not all(
+        isinstance(v, (int, float)) and not isinstance(v, bool) for v in values
+    ):
+        raise ExecutionError(f"{func} over non-numeric column")
+    if func == "SUM":
+        return sum(values)  # type: ignore[arg-type]
+    if func == "AVG":
+        return sum(values) / len(values)  # type: ignore[arg-type]
+    if func == "MAX":
+        return max(values, key=_sort_key)
+    if func == "MIN":
+        return min(values, key=_sort_key)
+    raise SqlSemanticError(f"unsupported aggregate {func}")
+
+
+def _sort_key(value: object) -> tuple:
+    """Total order over heterogeneous values: rank by type, then value."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, datetime.date):
+        return (2, value.toordinal())
+    return (3, str(value))
+
+
+def _header(ref: ColumnRef) -> str:
+    return f"{ref.table}.{ref.column}" if ref.table else ref.column

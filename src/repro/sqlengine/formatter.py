@@ -1,0 +1,113 @@
+"""Canonical SQL rendering.
+
+The SpeakQL interface displays queries in a spaced, canonical style (see
+paper Table 6): every token separated by a space, string values in single
+quotes, dates as quoted ISO dates.  The formatter renders ASTs in exactly
+that style, so ``parse_select(format_statement(stmt)) == stmt`` holds for
+every statement of the subset (round-trip property, covered by tests).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    Literal,
+    Operand,
+    SelectItem,
+    SelectStatement,
+    Star,
+)
+
+
+def format_statement(stmt: SelectStatement) -> str:
+    """Render a statement as canonical SQL text."""
+    parts = ["SELECT", _format_select_list(stmt.select_items)]
+    parts.append("FROM")
+    if stmt.natural_join:
+        parts.append(" natural join ".join(t.name for t in stmt.from_tables))
+    else:
+        parts.append(" , ".join(t.name for t in stmt.from_tables))
+    if stmt.where is not None:
+        parts.extend(["WHERE", format_condition(stmt.where)])
+    if stmt.group_by:
+        parts.extend(
+            ["GROUP BY", " , ".join(_format_colref(c) for c in stmt.group_by)]
+        )
+    if stmt.order_by:
+        parts.extend(
+            ["ORDER BY", " , ".join(_format_colref(c) for c in stmt.order_by)]
+        )
+    if stmt.limit is not None:
+        parts.extend(["LIMIT", str(stmt.limit)])
+    return " ".join(parts)
+
+
+def _format_select_list(items: tuple[SelectItem, ...]) -> str:
+    return " , ".join(_format_select_item(item) for item in items)
+
+
+def _format_select_item(item: SelectItem) -> str:
+    if isinstance(item, Star):
+        return "*"
+    if isinstance(item, Aggregate):
+        arg = "*" if isinstance(item.argument, Star) else _format_colref(item.argument)
+        return f"{item.func.upper()} ( {arg} )"
+    return _format_colref(item)
+
+
+def _format_colref(ref: ColumnRef) -> str:
+    if ref.table is not None:
+        return f"{ref.table} . {ref.column}"
+    return ref.column
+
+
+def format_condition(condition: Condition) -> str:
+    """Render a WHERE condition tree."""
+    if isinstance(condition, BinaryCondition):
+        left = format_condition(condition.left)
+        right = format_condition(condition.right)
+        return f"{left} {condition.op} {right}"
+    if isinstance(condition, Comparison):
+        return (
+            f"{_format_operand(condition.left)} {condition.op} "
+            f"{_format_operand(condition.right)}"
+        )
+    if isinstance(condition, BetweenPredicate):
+        keyword = "NOT BETWEEN" if condition.negated else "BETWEEN"
+        return (
+            f"{_format_colref(condition.probe)} {keyword} "
+            f"{format_literal(condition.low)} AND {format_literal(condition.high)}"
+        )
+    if isinstance(condition, InPredicate):
+        if condition.subquery is not None:
+            inner = format_statement(condition.subquery)
+        else:
+            inner = " , ".join(format_literal(v) for v in condition.values)
+        return f"{_format_colref(condition.probe)} IN ( {inner} )"
+    raise TypeError(f"unknown condition node: {condition!r}")
+
+
+def _format_operand(operand: Operand) -> str:
+    if isinstance(operand, Literal):
+        return format_literal(operand)
+    return _format_colref(operand)
+
+
+def format_literal(literal: Literal) -> str:
+    """Render a literal value: quoted strings/dates, bare numbers."""
+    value = literal.value
+    if isinstance(value, datetime.date):
+        return f"'{value.isoformat()}'"
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,119 @@
+"""Lexer for the supported SQL subset."""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+from repro.grammar.vocabulary import KEYWORD_DICT, SPLCHAR_DICT
+
+
+class SqlTokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    SPLCHAR = "splchar"
+    IDENTIFIER = "identifier"
+    STRING = "string"
+    NUMBER = "number"
+    DATE = "date"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    kind: SqlTokenKind
+    text: str
+    value: object = None
+    position: int = 0
+
+    def matches(self, kind: SqlTokenKind, text: str | None = None) -> bool:
+        if self.kind is not kind:
+            return False
+        if text is None:
+            return True
+        if kind is SqlTokenKind.KEYWORD:
+            return self.text.upper() == text.upper()
+        return self.text == text
+
+
+_LEX_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<date>\d{4}-\d{2}-\d{2})
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<word>[A-Za-z_][\w$#-]*)
+  | (?P<splchar>[*=<>().,])
+    """,
+    re.VERBOSE,
+)
+
+
+class Lexer:
+    """Tokenizes SQL text of the supported subset.
+
+    Dates must be ISO ``YYYY-MM-DD`` (unquoted or quoted); quoted strings
+    that look like ISO dates are lexed as dates, matching how the paper's
+    dataset renders date attribute values.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+
+    def tokens(self) -> list[SqlToken]:
+        out: list[SqlToken] = []
+        pos = 0
+        n = len(self.text)
+        while pos < n:
+            match = _LEX_RE.match(self.text, pos)
+            if match is None:
+                raise SqlSyntaxError(
+                    f"unexpected character {self.text[pos]!r} at offset {pos}"
+                )
+            pos = match.end()
+            if match.lastgroup == "ws":
+                continue
+            out.append(self._token_from(match))
+        out.append(SqlToken(SqlTokenKind.EOF, "", position=pos))
+        return out
+
+    def _token_from(self, match: re.Match) -> SqlToken:
+        kind = match.lastgroup
+        text = match.group(0)
+        start = match.start()
+        if kind == "string":
+            inner = text[1:-1]
+            date = _try_parse_date(inner)
+            if date is not None:
+                return SqlToken(SqlTokenKind.DATE, inner, date, start)
+            return SqlToken(SqlTokenKind.STRING, inner, inner, start)
+        if kind == "date":
+            date = _try_parse_date(text)
+            if date is None:
+                raise SqlSyntaxError(f"invalid date {text!r} at offset {start}")
+            return SqlToken(SqlTokenKind.DATE, text, date, start)
+        if kind == "number":
+            value: object = float(text) if "." in text else int(text)
+            return SqlToken(SqlTokenKind.NUMBER, text, value, start)
+        if kind == "word":
+            if text.upper() in KEYWORD_DICT:
+                return SqlToken(SqlTokenKind.KEYWORD, text.upper(), None, start)
+            return SqlToken(SqlTokenKind.IDENTIFIER, text, text, start)
+        if kind == "splchar":
+            assert text in SPLCHAR_DICT
+            return SqlToken(SqlTokenKind.SPLCHAR, text, None, start)
+        raise AssertionError(f"unhandled lex group {kind}")  # pragma: no cover
+
+
+def _try_parse_date(text: str) -> datetime.date | None:
+    try:
+        return datetime.date.fromisoformat(text)
+    except ValueError:
+        return None
+
+
+def lex(text: str) -> list[SqlToken]:
+    """Convenience wrapper: tokenize ``text``."""
+    return Lexer(text).tokens()

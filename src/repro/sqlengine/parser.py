@@ -1,0 +1,279 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (runtime form — literals are concrete values, unlike the
+placeholder structures of :mod:`repro.grammar`):
+
+.. code-block:: text
+
+    select_stmt := SELECT select_list FROM from_list [WHERE condition]
+                   [GROUP BY colrefs] [ORDER BY colrefs] [LIMIT number]
+    select_list := '*' | select_item (',' select_item)*
+    select_item := (AVG|SUM|MAX|MIN|COUNT) '(' (colref|'*') ')' | colref
+    from_list   := table (NATURAL JOIN table)* | table (',' table)*
+    condition   := and_expr (OR and_expr)*
+    and_expr    := predicate (AND predicate)*
+    predicate   := operand ('='|'<'|'>') operand
+                 | colref [NOT] BETWEEN literal AND literal
+                 | colref IN '(' (literal (',' literal)* | select_stmt) ')'
+    operand     := colref | literal
+    colref      := identifier ['.' identifier]
+
+One level of nesting is supported via ``IN (SELECT ...)``; a nested query
+may not itself contain a subquery, matching the paper's supported subset.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    Literal,
+    Operand,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sqlengine.lexer import SqlToken, SqlTokenKind, lex
+
+_AGGREGATES = ("AVG", "SUM", "MAX", "MIN", "COUNT")
+
+
+class _Parser:
+    def __init__(self, tokens: list[SqlToken], depth: int = 0):
+        self._tokens = tokens
+        self._pos = 0
+        self._depth = depth
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> SqlToken:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def _advance(self) -> SqlToken:
+        token = self._tokens[self._pos]
+        if token.kind is not SqlTokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> SqlToken:
+        token = self._advance()
+        if not token.matches(SqlTokenKind.KEYWORD, word):
+            raise SqlSyntaxError(f"expected {word}, found {token.text!r}")
+        return token
+
+    def _expect_splchar(self, char: str) -> SqlToken:
+        token = self._advance()
+        if not token.matches(SqlTokenKind.SPLCHAR, char):
+            raise SqlSyntaxError(f"expected {char!r}, found {token.text!r}")
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches(SqlTokenKind.KEYWORD, word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_splchar(self, char: str) -> bool:
+        if self._peek().matches(SqlTokenKind.SPLCHAR, char):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_statement(self, subquery: bool = False) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        select_items = self._select_list()
+        self._expect_keyword("FROM")
+        tables, natural = self._from_list()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._condition()
+        group_by = self._by_clause("GROUP")
+        order_by = self._by_clause("ORDER")
+        limit = self._limit_clause()
+        if not subquery:
+            trailing = self._peek()
+            if trailing.kind is not SqlTokenKind.EOF:
+                raise SqlSyntaxError(f"trailing input at {trailing.text!r}")
+        return SelectStatement(
+            select_items=tuple(select_items),
+            from_tables=tuple(tables),
+            natural_join=natural,
+            where=where,
+            group_by=tuple(group_by),
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _select_list(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self._accept_splchar(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.matches(SqlTokenKind.SPLCHAR, "*"):
+            self._advance()
+            return Star()
+        if token.kind is SqlTokenKind.KEYWORD and token.text in _AGGREGATES:
+            func = self._advance().text
+            self._expect_splchar("(")
+            if self._accept_splchar("*"):
+                argument: ColumnRef | Star = Star()
+            else:
+                argument = self._column_ref()
+            self._expect_splchar(")")
+            return Aggregate(func=func, argument=argument)
+        return self._column_ref()
+
+    def _from_list(self) -> tuple[list[TableRef], bool]:
+        tables = [self._table_ref()]
+        if self._peek().matches(SqlTokenKind.KEYWORD, "NATURAL"):
+            while self._accept_keyword("NATURAL"):
+                self._expect_keyword("JOIN")
+                tables.append(self._table_ref())
+            return tables, True
+        while self._accept_splchar(","):
+            tables.append(self._table_ref())
+        return tables, False
+
+    def _table_ref(self) -> TableRef:
+        token = self._advance()
+        if token.kind is not SqlTokenKind.IDENTIFIER:
+            raise SqlSyntaxError(f"expected table name, found {token.text!r}")
+        return TableRef(token.text)
+
+    def _column_ref(self) -> ColumnRef:
+        token = self._advance()
+        if token.kind is not SqlTokenKind.IDENTIFIER:
+            raise SqlSyntaxError(f"expected column name, found {token.text!r}")
+        if self._accept_splchar("."):
+            second = self._advance()
+            if second.kind is not SqlTokenKind.IDENTIFIER:
+                raise SqlSyntaxError(
+                    f"expected column after '.', found {second.text!r}"
+                )
+            return ColumnRef(column=second.text, table=token.text)
+        return ColumnRef(column=token.text)
+
+    def _condition(self) -> Condition:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            right = self._and_expr()
+            left = BinaryCondition(left, "OR", right)
+        return left
+
+    def _and_expr(self) -> Condition:
+        left = self._predicate()
+        while self._peek().matches(SqlTokenKind.KEYWORD, "AND"):
+            # Do not consume the AND of a BETWEEN bound: _predicate handles
+            # BETWEEN internally, so any AND seen here is a conjunction.
+            self._advance()
+            right = self._predicate()
+            left = BinaryCondition(left, "AND", right)
+        return left
+
+    def _predicate(self) -> Condition:
+        probe_token = self._peek()
+        operand = self._operand()
+        nxt = self._peek()
+        if nxt.kind is SqlTokenKind.SPLCHAR and nxt.text in ("=", "<", ">"):
+            op = self._advance().text
+            right = self._operand()
+            return Comparison(operand, op, right)
+        if not isinstance(operand, ColumnRef):
+            raise SqlSyntaxError(
+                f"predicate starting at {probe_token.text!r} needs a column"
+            )
+        negated = self._accept_keyword("NOT")
+        if self._accept_keyword("BETWEEN"):
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return BetweenPredicate(operand, low, high, negated=negated)
+        if negated:
+            raise SqlSyntaxError("NOT is only supported before BETWEEN")
+        if self._accept_keyword("IN"):
+            return self._in_predicate(operand)
+        raise SqlSyntaxError(f"incomplete predicate after {operand.column!r}")
+
+    def _in_predicate(self, probe: ColumnRef) -> InPredicate:
+        self._expect_splchar("(")
+        if self._peek().matches(SqlTokenKind.KEYWORD, "SELECT"):
+            if self._depth >= 1:
+                raise SqlSyntaxError("only one level of nesting is supported")
+            sub = _Parser(self._tokens[self._pos :], depth=self._depth + 1)
+            statement = sub.parse_statement(subquery=True)
+            self._pos += sub._pos
+            self._expect_splchar(")")
+            return InPredicate(probe, subquery=statement)
+        values = [self._literal()]
+        while self._accept_splchar(","):
+            values.append(self._literal())
+        self._expect_splchar(")")
+        return InPredicate(probe, values=tuple(values))
+
+    def _operand(self) -> Operand:
+        token = self._peek()
+        if token.kind in (
+            SqlTokenKind.STRING,
+            SqlTokenKind.NUMBER,
+            SqlTokenKind.DATE,
+        ):
+            return self._literal()
+        if token.kind is SqlTokenKind.IDENTIFIER:
+            return self._column_ref()
+        raise SqlSyntaxError(f"expected operand, found {token.text!r}")
+
+    def _literal(self) -> Literal:
+        token = self._advance()
+        if token.kind is SqlTokenKind.STRING:
+            return Literal(str(token.value))
+        if token.kind is SqlTokenKind.NUMBER:
+            assert isinstance(token.value, (int, float))
+            return Literal(token.value)
+        if token.kind is SqlTokenKind.DATE:
+            assert isinstance(token.value, datetime.date)
+            return Literal(token.value)
+        raise SqlSyntaxError(f"expected literal value, found {token.text!r}")
+
+    def _by_clause(self, head: str) -> list[ColumnRef]:
+        if not self._peek().matches(SqlTokenKind.KEYWORD, head):
+            return []
+        self._advance()
+        self._expect_keyword("BY")
+        cols = [self._column_ref()]
+        while self._accept_splchar(","):
+            cols.append(self._column_ref())
+        return cols
+
+    def _limit_clause(self) -> int | None:
+        if not self._accept_keyword("LIMIT"):
+            return None
+        token = self._advance()
+        if token.kind is not SqlTokenKind.NUMBER or not isinstance(
+            token.value, int
+        ):
+            raise SqlSyntaxError(f"LIMIT needs an integer, found {token.text!r}")
+        return token.value
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse ``text`` into a :class:`SelectStatement`.
+
+    Raises :class:`~repro.errors.SqlSyntaxError` when the text is outside
+    the supported subset.
+    """
+    return _Parser(lex(text)).parse_statement()

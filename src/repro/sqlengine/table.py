@@ -1,0 +1,109 @@
+"""In-memory table representation."""
+
+from __future__ import annotations
+
+import datetime
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import SqlSemanticError
+
+#: A row is a mapping from lowercase column name to value.
+Row = dict[str, object]
+
+#: Supported column type names.
+COLUMN_TYPES = ("string", "int", "float", "date")
+
+
+@dataclass
+class Table:
+    """A named in-memory table with case-insensitive column access.
+
+    Parameters
+    ----------
+    name:
+        Table name as displayed (original casing preserved).
+    columns:
+        Column names in declaration order (original casing preserved).
+    rows:
+        Row dictionaries; keys may use any casing, normalized on insert.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lower = [c.lower() for c in self.columns]
+        if len(set(lower)) != len(lower):
+            raise SqlSemanticError(f"duplicate columns in table {self.name}")
+        self._column_keys = lower
+        self.rows = [self._normalize(row) for row in self.rows]
+
+    def _normalize(self, row: Row) -> Row:
+        normalized = {str(k).lower(): v for k, v in row.items()}
+        missing = set(self._column_keys) - set(normalized)
+        if missing:
+            raise SqlSemanticError(
+                f"row for {self.name} missing columns: {sorted(missing)}"
+            )
+        return {key: normalized[key] for key in self._column_keys}
+
+    @property
+    def column_keys(self) -> list[str]:
+        """Lowercase column lookup keys, in declaration order."""
+        return list(self._column_keys)
+
+    def has_column(self, column: str) -> bool:
+        return column.lower() in self._column_keys
+
+    def display_name(self, column: str) -> str:
+        """Original-cased column name for a lookup key."""
+        idx = self._column_keys.index(column.lower())
+        return self.columns[idx]
+
+    def insert(self, row: Row) -> None:
+        """Append a row (validates column completeness)."""
+        self.rows.append(self._normalize(row))
+
+    def extend(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def column_values(self, column: str) -> list[object]:
+        """All values of a column, in row order."""
+        key = column.lower()
+        if key not in self._column_keys:
+            raise SqlSemanticError(f"no column {column!r} in {self.name}")
+        return [row[key] for row in self.rows]
+
+    def distinct_strings(self, column: str) -> list[str]:
+        """Distinct string values of a column (used by the phonetic index)."""
+        seen: dict[str, None] = {}
+        for value in self.column_values(column):
+            if isinstance(value, str):
+                seen.setdefault(value)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+
+def infer_column_type(values: Iterable[object]) -> str:
+    """Infer a column type name from sample values."""
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return "int"
+        if isinstance(value, datetime.date):
+            return "date"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "float"
+        return "string"
+    return "string"

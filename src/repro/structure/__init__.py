@@ -1,0 +1,46 @@
+"""Structure determination (paper Section 3).
+
+Recovers a syntactically correct SQL structure from an error-laden ASR
+transcription:
+
+- :mod:`repro.structure.masking` — SplChar handling + literal masking
+  (Section 3.1): spoken operator words become symbols, every token not in
+  KeywordDict/SplCharDict becomes the placeholder ``x``.
+- :mod:`repro.structure.edit_distance` — the SQL-weighted
+  insert/delete-only edit distance of Algorithm 1 (WK=1.2, WS=1.1, WL=1).
+- :mod:`repro.structure.trie` — the token trie storing ground-truth
+  structures (Section 3.3).
+- :mod:`repro.structure.indexer` — 50 length-partitioned tries.
+- :mod:`repro.structure.search` — branch-and-bound similarity search with
+  bidirectional bounds (Proposition 1, Box 2) plus the two approximate
+  optimizations: Diversity-Aware Pruning and Inverted Indexes
+  (Appendix D.3).
+"""
+
+from repro.structure.masking import MaskedTranscription, handle_splchars, mask_literals, preprocess_transcription
+from repro.structure.edit_distance import (
+    TokenWeights,
+    edit_distance_bounds,
+    token_weight,
+    weighted_edit_distance,
+)
+from repro.structure.trie import TokenTrie, TrieNode
+from repro.structure.indexer import StructureIndex
+from repro.structure.search import SearchResult, SearchStats, StructureSearchEngine
+
+__all__ = [
+    "MaskedTranscription",
+    "handle_splchars",
+    "mask_literals",
+    "preprocess_transcription",
+    "TokenWeights",
+    "edit_distance_bounds",
+    "token_weight",
+    "weighted_edit_distance",
+    "TokenTrie",
+    "TrieNode",
+    "StructureIndex",
+    "SearchResult",
+    "SearchStats",
+    "StructureSearchEngine",
+]

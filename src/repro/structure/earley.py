@@ -1,0 +1,253 @@
+"""Error-correcting Earley parsing — the paper's abandoned alternative.
+
+Section 3.2: "Early on, we also tried a probabilistic CFG and
+probabilistic parsing but it turned out to be impractical because
+configuring all the probabilities correctly is tricky and parsing was
+slower."  This module implements that alternative faithfully so the
+ablation can measure it: an Earley parser over the SpeakQL grammar
+extended with weighted error operations (Aho-Peterson style):
+
+- **match**   — the expected terminal equals the input token (cost 0);
+- **substitute** — expected terminal != input token (delete + insert:
+  ``W(input) + W(terminal)``, the LCS-consistent substitution cost);
+- **insert**  — the parse hypothesizes a terminal with no input token
+  (cost ``W(terminal)``);
+- **delete**  — an input token is skipped entirely (cost ``W(input)``).
+
+``EarleyCorrector.correct`` returns the minimum-cost grammatical
+structure for a masked transcription, i.e. exactly what the trie search
+computes — found by parsing instead of index search.  On the same
+grammar the two agree on cost; the parser is the slower path, which is
+the paper's reported reason for choosing the index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.speakql_grammar import build_speakql_grammar
+from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
+
+#: Item key: (rule index, dot position, origin chart).
+_Item = tuple[int, int, int]
+
+
+@dataclass
+class _BackPointer:
+    """How an item's best cost was reached (for structure recovery)."""
+
+    kind: str  # predict | match | substitute | insert | delete | complete
+    prev: tuple[int, _Item] | None = None  # (chart index, item)
+    child: tuple[int, _Item] | None = None  # completed child, for complete
+    emitted: str | None = None  # terminal emitted by match/substitute/insert
+
+
+@dataclass
+class EarleyCorrector:
+    """Minimum-cost error-correcting parser for the SpeakQL grammar."""
+
+    grammar: Grammar = field(default_factory=build_speakql_grammar)
+    weights: TokenWeights = DEFAULT_WEIGHTS
+    #: Safety valve: abandon inputs whose best cost exceeds this (the
+    #: corrected structure would be useless anyway).
+    max_cost: float = 40.0
+
+    def __post_init__(self) -> None:
+        self._rules = list(self.grammar.productions)
+        self._rules_by_lhs: dict = {}
+        for idx, rule in enumerate(self._rules):
+            self._rules_by_lhs.setdefault(rule.lhs, []).append(idx)
+
+    # -- public API --------------------------------------------------------
+
+    def correct(
+        self, tokens: list[str] | tuple[str, ...]
+    ) -> tuple[tuple[str, ...], float] | None:
+        """Minimum-cost grammatical structure for ``tokens``.
+
+        Returns (structure, cost), or None when no structure is reachable
+        within ``max_cost``.
+        """
+        tokens = list(tokens)
+        n = len(tokens)
+        charts: list[dict[_Item, float]] = [dict() for _ in range(n + 1)]
+        backs: list[dict[_Item, _BackPointer]] = [dict() for _ in range(n + 1)]
+
+        start_items = [
+            ((idx, 0, 0), 0.0) for idx in self._rules_by_lhs[self.grammar.start]
+        ]
+        for item, cost in start_items:
+            charts[0][item] = cost
+            backs[0][item] = _BackPointer("predict")
+
+        for i in range(n + 1):
+            self._close_chart(i, charts, backs, tokens)
+            if i == n:
+                break
+            self._advance_chart(i, charts, backs, tokens)
+
+        best: tuple[float, _Item] | None = None
+        for item, cost in charts[n].items():
+            rule_idx, dot, origin = item
+            rule = self._rules[rule_idx]
+            if (
+                origin == 0
+                and dot == len(rule.rhs)
+                and rule.lhs == self.grammar.start
+            ):
+                if best is None or cost < best[0]:
+                    best = (cost, item)
+        if best is None:
+            return None
+        structure = tuple(self._reconstruct(n, best[1], charts, backs))
+        return structure, best[0]
+
+    def parses(self, tokens: list[str] | tuple[str, ...]) -> bool:
+        """True when ``tokens`` parses with zero corrections."""
+        result = self.correct(tokens)
+        return result is not None and result[1] == 0.0
+
+    # -- chart construction ----------------------------------------------------
+
+    def _close_chart(self, i, charts, backs, tokens) -> None:
+        """Fixpoint over in-chart edges: predict, insert, complete.
+
+        Processed as a Dijkstra relaxation since completions compose
+        costs and inserts add weight without consuming input.
+        """
+        chart = charts[i]
+        back = backs[i]
+        heap: list[tuple[float, _Item]] = [
+            (cost, item) for item, cost in chart.items()
+        ]
+        heapq.heapify(heap)
+
+        def relax(item: _Item, cost: float, pointer: _BackPointer) -> None:
+            if cost > self.max_cost:
+                return
+            old = chart.get(item)
+            if old is None or cost < old:
+                chart[item] = cost
+                back[item] = pointer
+                heapq.heappush(heap, (cost, item))
+
+        while heap:
+            cost, item = heapq.heappop(heap)
+            if cost > chart.get(item, _INF):
+                continue
+            rule_idx, dot, origin = item
+            rule = self._rules[rule_idx]
+            if dot < len(rule.rhs):
+                symbol = rule.rhs[dot]
+                if symbol.terminal:
+                    # Insert: hypothesize the terminal without input.
+                    relax(
+                        (rule_idx, dot + 1, origin),
+                        cost + self.weights.of(symbol.name),
+                        _BackPointer(
+                            "insert", prev=(i, item), emitted=symbol.name
+                        ),
+                    )
+                else:
+                    # Predict: a child item's cost covers only its own
+                    # span (the parent's prefix cost is added back at
+                    # completion), so it starts at zero.
+                    for child_idx in self._rules_by_lhs.get(symbol, ()):
+                        relax(
+                            (child_idx, 0, i),
+                            0.0,
+                            _BackPointer("predict"),
+                        )
+            else:
+                # Complete: finish ``rule`` spanning origin..i.
+                for parent, parent_cost in list(charts[origin].items()):
+                    p_rule_idx, p_dot, p_origin = parent
+                    p_rule = self._rules[p_rule_idx]
+                    if p_dot >= len(p_rule.rhs):
+                        continue
+                    if p_rule.rhs[p_dot] != rule.lhs:
+                        continue
+                    relax(
+                        (p_rule_idx, p_dot + 1, p_origin),
+                        parent_cost + cost,
+                        _BackPointer(
+                            "complete",
+                            prev=(origin, parent),
+                            child=(i, item),
+                        ),
+                    )
+
+    def _advance_chart(self, i, charts, backs, tokens) -> None:
+        """Input-consuming edges into chart i+1: match/substitute/delete."""
+        token = tokens[i]
+        token_weight = self.weights.of(token)
+        next_chart = charts[i + 1]
+        next_back = backs[i + 1]
+
+        def relax(item: _Item, cost: float, pointer: _BackPointer) -> None:
+            if cost > self.max_cost:
+                return
+            old = next_chart.get(item)
+            if old is None or cost < old:
+                next_chart[item] = cost
+                next_back[item] = pointer
+
+        for item, cost in charts[i].items():
+            rule_idx, dot, origin = item
+            rule = self._rules[rule_idx]
+            # Delete the input token, keeping the item.
+            relax(
+                item,
+                cost + token_weight,
+                _BackPointer("delete", prev=(i, item)),
+            )
+            if dot < len(rule.rhs) and rule.rhs[dot].terminal:
+                expected = rule.rhs[dot].name
+                advanced = (rule_idx, dot + 1, origin)
+                if expected == token:
+                    relax(
+                        advanced,
+                        cost,
+                        _BackPointer("match", prev=(i, item), emitted=expected),
+                    )
+                else:
+                    relax(
+                        advanced,
+                        cost + token_weight + self.weights.of(expected),
+                        _BackPointer(
+                            "substitute", prev=(i, item), emitted=expected
+                        ),
+                    )
+
+    # -- reconstruction ----------------------------------------------------------
+
+    def _reconstruct(self, chart_idx, item, charts, backs) -> list[str]:
+        """Emit the corrected terminal string along the best parse."""
+        out: list[str] = []
+        stack: list[tuple[int, _Item]] = [(chart_idx, item)]
+        while stack:
+            idx, current = stack.pop()
+            pointer = backs[idx][current]
+            if pointer.kind == "predict":
+                continue
+            if pointer.kind == "complete":
+                # Output is assembled in reverse: process the completed
+                # child first so the parent's prefix precedes it after
+                # the final reversal.
+                assert pointer.prev is not None and pointer.child is not None
+                stack.append(pointer.prev)
+                stack.append(pointer.child)
+                continue
+            assert pointer.prev is not None
+            if pointer.kind in ("match", "substitute", "insert"):
+                out.append(pointer.emitted or "")
+                stack.append(pointer.prev)
+            elif pointer.kind == "delete":
+                stack.append(pointer.prev)
+        out.reverse()
+        return out
+
+
+_INF = float("inf")

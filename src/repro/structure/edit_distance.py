@@ -1,0 +1,121 @@
+"""SQL-weighted token edit distance (paper Section 3.4, Algorithm 1).
+
+A weighted longest-common-subsequence distance: only insertions and
+deletions, at the token level.  Each operation costs the weight of the
+token involved — keywords are weighted highest (ASR gets them right most
+often, so a keyword mismatch is strong evidence against a candidate
+structure), SplChars next, literals lowest:
+
+    WK = 1.2      WS = 1.1      WL = 1.0
+
+The paper notes the exact values matter less than the ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.vocabulary import TokenClass, classify_token
+
+
+@dataclass(frozen=True)
+class TokenWeights:
+    """Per-class operation weights."""
+
+    keyword: float = 1.2
+    splchar: float = 1.1
+    literal: float = 1.0
+
+    def of(self, token: str) -> float:
+        cls = classify_token(token)
+        if cls is TokenClass.KEYWORD:
+            return self.keyword
+        if cls is TokenClass.SPLCHAR:
+            return self.splchar
+        return self.literal
+
+    @property
+    def max_weight(self) -> float:
+        return max(self.keyword, self.splchar, self.literal)
+
+    @property
+    def min_weight(self) -> float:
+        return min(self.keyword, self.splchar, self.literal)
+
+
+DEFAULT_WEIGHTS = TokenWeights()
+
+#: Unweighted variant, used by the weighted-vs-unweighted ablation and by
+#: Token Edit Distance (TED) evaluation, which the paper defines as plain
+#: insert/delete counting.
+UNIT_WEIGHTS = TokenWeights(1.0, 1.0, 1.0)
+
+
+def token_weight(token: str, weights: TokenWeights = DEFAULT_WEIGHTS) -> float:
+    """Operation weight of one token."""
+    return weights.of(token)
+
+
+def weighted_edit_distance(
+    source: list[str] | tuple[str, ...],
+    target: list[str] | tuple[str, ...],
+    weights: TokenWeights = DEFAULT_WEIGHTS,
+) -> float:
+    """Insert/delete-only edit distance between token sequences.
+
+    Matches compare tokens case-insensitively for keywords and exactly
+    otherwise (placeholders and symbols are single canonical tokens).
+
+    >>> weighted_edit_distance(["SELECT", "x"], ["SELECT", "x"])
+    0.0
+    >>> weighted_edit_distance(["SELECT"], ["SELECT", "x"])
+    1.0
+    """
+    a = [_canonical(t) for t in source]
+    b = [_canonical(t) for t in target]
+    n, m = len(a), len(b)
+    weights_a = [weights.of(t) for t in a]
+    weights_b = [weights.of(t) for t in b]
+
+    # Column-by-column DP over the target; prev[i] = dp(i, j-1).
+    prev = [0.0] * (n + 1)
+    for i in range(1, n + 1):
+        prev[i] = prev[i - 1] + weights_a[i - 1]
+    for j in range(1, m + 1):
+        cur = [prev[0] + weights_b[j - 1]]
+        for i in range(1, n + 1):
+            if a[i - 1] == b[j - 1]:
+                cur.append(prev[i - 1])
+            else:
+                insert_cost = prev[i] + weights_b[j - 1]
+                delete_cost = cur[i - 1] + weights_a[i - 1]
+                cur.append(min(insert_cost, delete_cost))
+        prev = cur
+    return prev[n]
+
+
+def token_edit_distance(
+    source: list[str] | tuple[str, ...],
+    target: list[str] | tuple[str, ...],
+) -> float:
+    """Unweighted insert/delete token distance (the paper's TED metric)."""
+    return weighted_edit_distance(source, target, UNIT_WEIGHTS)
+
+
+def edit_distance_bounds(
+    n: int, m: int, weights: TokenWeights = DEFAULT_WEIGHTS
+) -> tuple[float, float]:
+    """Proposition 1: bounds on the distance of two structures.
+
+    Given structures with ``n`` and ``m`` tokens, the distance ``d``
+    satisfies ``|m - n| * WL <= d <= (m + n) * WK``.
+    """
+    lower = abs(m - n) * weights.min_weight
+    upper = (m + n) * weights.max_weight
+    return lower, upper
+
+
+def _canonical(token: str) -> str:
+    from repro.grammar.vocabulary import is_keyword
+
+    return token.upper() if is_keyword(token) else token

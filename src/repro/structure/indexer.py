@@ -1,0 +1,103 @@
+"""Length-partitioned structure index (paper Section 3.3).
+
+The paper stores one trie per structure length — 50 disjoint tries — so
+the bidirectional bounds of Proposition 1 can skip whole tries.  An
+inverted keyword index over the stored structures supports the INV
+approximation (Appendix D.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.grammar.generator import StructureGenerator
+from repro.grammar.vocabulary import KEYWORD_DICT
+from repro.structure.trie import TokenTrie
+
+#: Keywords excluded from the inverted index (they occur in virtually
+#: every structure, so their postings are useless for narrowing).
+_INV_EXCLUDED = frozenset({"SELECT", "FROM", "WHERE"})
+
+
+@dataclass
+class StructureIndex:
+    """Tries keyed by structure length, plus an inverted keyword index."""
+
+    tries: dict[int, TokenTrie] = field(default_factory=dict)
+    inverted: dict[str, list[tuple[str, ...]]] = field(default_factory=dict)
+    _size: int = 0
+
+    @classmethod
+    def build(cls, generator: StructureGenerator | None = None) -> "StructureIndex":
+        """Build the index from a structure generator (offline step)."""
+        index = cls()
+        generator = generator or StructureGenerator()
+        index.add_all(generator.generate())
+        return index
+
+    @classmethod
+    def from_structures(
+        cls, structures: Iterable[tuple[str, ...]]
+    ) -> "StructureIndex":
+        index = cls()
+        index.add_all(structures)
+        return index
+
+    def add_all(self, structures: Iterable[tuple[str, ...]]) -> None:
+        for tokens in structures:
+            self.add(tokens)
+
+    def add(self, tokens: tuple[str, ...]) -> None:
+        """Insert one structure."""
+        length = len(tokens)
+        trie = self.tries.get(length)
+        if trie is None:
+            trie = TokenTrie()
+            self.tries[length] = trie
+        before = len(trie)
+        trie.insert(tokens)
+        if len(trie) == before:
+            return  # duplicate
+        self._size += 1
+        for keyword in set(tokens):
+            if keyword in KEYWORD_DICT and keyword not in _INV_EXCLUDED:
+                self.inverted.setdefault(keyword, []).append(tokens)
+
+    def __len__(self) -> int:
+        """Total number of indexed structures."""
+        return self._size
+
+    @property
+    def lengths(self) -> list[int]:
+        """Stored structure lengths, ascending."""
+        return sorted(self.tries)
+
+    @property
+    def max_length(self) -> int:
+        return max(self.tries) if self.tries else 0
+
+    def node_count(self) -> int:
+        """Total trie nodes across all lengths."""
+        return sum(trie.node_count for trie in self.tries.values())
+
+    def largest_trie_nodes(self) -> int:
+        """Nodes in the largest trie (the ``p`` of the complexity bound)."""
+        if not self.tries:
+            return 0
+        return max(trie.node_count for trie in self.tries.values())
+
+    def inverted_postings(self, keywords: Iterable[str]) -> list[tuple[str, ...]] | None:
+        """INV candidate retrieval: postings of the rarest present keyword.
+
+        Returns None when no indexed keyword is present (the caller falls
+        back to full search).
+        """
+        best: list[tuple[str, ...]] | None = None
+        for keyword in keywords:
+            postings = self.inverted.get(keyword.upper())
+            if postings is None:
+                continue
+            if best is None or len(postings) < len(best):
+                best = postings
+        return best

@@ -1,0 +1,80 @@
+"""Structure-index persistence.
+
+Building the structure index is the paper's *offline* step (Section
+3.2/3.3: generate ~1.6M structures, pack them into 50 tries).  This
+module caches the generated structures on disk so interactive sessions
+skip regeneration; the trie is rebuilt on load (it is faster to rebuild
+than to deserialize a pointer-heavy trie).
+
+The file format is a compact text file: one structure per line,
+space-separated tokens, with a short header recording the generator
+parameters for cache validation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.grammar.generator import StructureGenerator
+from repro.structure.indexer import StructureIndex
+
+_MAGIC = "speakql-structures"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """Raised for unreadable or mismatched index files."""
+
+
+def save_structures(index: StructureIndex, path: str | Path, max_tokens: int) -> None:
+    """Write every indexed structure to ``path``."""
+    lines = [f"{_MAGIC} v{FORMAT_VERSION} max_tokens={max_tokens}"]
+    for length in index.lengths:
+        for sentence in index.tries[length].sentences():
+            lines.append(" ".join(sentence))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_structures(path: str | Path) -> tuple[StructureIndex, int]:
+    """Read a structure file; returns (index, max_tokens)."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    if not lines:
+        raise PersistenceError("empty structure file")
+    header = lines[0].split()
+    if len(header) != 3 or header[0] != _MAGIC:
+        raise PersistenceError(f"not a structure file: {lines[0]!r}")
+    if header[1] != f"v{FORMAT_VERSION}":
+        raise PersistenceError(f"unsupported version: {header[1]}")
+    try:
+        max_tokens = int(header[2].split("=", 1)[1])
+    except (IndexError, ValueError) as error:
+        raise PersistenceError(f"bad header: {lines[0]!r}") from error
+    index = StructureIndex()
+    for line in lines[1:]:
+        tokens = tuple(line.split())
+        if tokens:
+            index.add(tokens)
+    return index, max_tokens
+
+
+def load_or_build(
+    cache_path: str | Path, max_tokens: int
+) -> StructureIndex:
+    """Load the index from ``cache_path`` if valid, else build and cache.
+
+    A cached file built with a different ``max_tokens`` is rebuilt.
+    """
+    path = Path(cache_path)
+    if path.exists():
+        try:
+            index, cached_tokens = load_structures(path)
+            if cached_tokens == max_tokens:
+                return index
+        except PersistenceError:
+            pass  # fall through to rebuild
+    index = StructureIndex.build(StructureGenerator(max_tokens=max_tokens))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_structures(index, path, max_tokens)
+    return index

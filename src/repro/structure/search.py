@@ -1,0 +1,266 @@
+"""Trie similarity search with bidirectional bounds (paper Section 3.4).
+
+Implements the search procedure of Box 2: for each candidate trie (one
+per structure length), a depth-first traversal computes one dynamic-
+programming column per node, pruning subtrees whose column minimum
+already exceeds the best distance found; whole tries are skipped when
+Proposition 1's lower bound beats the current best (BDB).
+
+Two approximate accuracy-latency trade-offs from Appendix D.3 are
+available as flags:
+
+- **DAP** (Diversity-Aware Pruning): among sibling branches that differ
+  only in a token from the *prime superset* ({AVG,COUNT,SUM,MAX,MIN},
+  {AND,OR}, {=,<,>}), only the locally best branch is explored.
+- **INV** (Inverted Indexes): when the masked transcription contains an
+  indexed keyword, the search runs over a (lazily built) trie subindex
+  holding only the structures containing the rarest present keyword.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.vocabulary import PRIME_SUPERSET
+from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
+from repro.structure.indexer import StructureIndex
+from repro.structure.trie import TrieNode
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One matched structure with its weighted edit distance."""
+
+    structure: tuple[str, ...]
+    distance: float
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for the ablation study (Figure 15)."""
+
+    nodes_visited: int = 0
+    dp_cells: int = 0
+    tries_searched: int = 0
+    tries_skipped: int = 0
+    candidates_scored: int = 0
+
+
+@dataclass
+class _TopK:
+    """Bounded best-k list of (distance, structure)."""
+
+    k: int
+    entries: list[tuple[float, tuple[str, ...]]] = field(default_factory=list)
+
+    def threshold(self) -> float:
+        if len(self.entries) < self.k:
+            return _INF
+        return self.entries[-1][0]
+
+    def offer(self, distance: float, structure: tuple[str, ...]) -> None:
+        if distance >= self.threshold():
+            return
+        if any(s == structure for _, s in self.entries):
+            return
+        self.entries.append((distance, structure))
+        self.entries.sort(key=lambda e: e[0])
+        del self.entries[self.k :]
+
+    def results(self) -> list[SearchResult]:
+        return [SearchResult(structure=s, distance=d) for d, s in self.entries]
+
+
+@dataclass
+class StructureSearchEngine:
+    """Similarity search over a :class:`StructureIndex`.
+
+    Parameters
+    ----------
+    index:
+        The length-partitioned structure index.
+    weights:
+        Edit-distance weights (WK/WS/WL).
+    use_bdb:
+        Apply Proposition 1's bidirectional bounds to skip tries
+        (accuracy-preserving; on by default).
+    use_dap / use_inv:
+        The approximate optimizations (off by default, as in the paper).
+    """
+
+    index: StructureIndex
+    weights: TokenWeights = DEFAULT_WEIGHTS
+    use_bdb: bool = True
+    use_dap: bool = False
+    use_inv: bool = False
+    cache_results: bool = True
+    _cache: dict = field(default_factory=dict, repr=False)
+    _inv_subindexes: dict = field(default_factory=dict, repr=False)
+
+    def search(
+        self, masked: tuple[str, ...] | list[str], k: int = 1
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Find the ``k`` structures closest to ``masked``.
+
+        Returns the results (ascending distance) and search statistics.
+        With ``use_dap``/``use_inv`` off, results are exact: identical to
+        scoring every indexed structure.  Repeated searches for the same
+        masked string are served from a cache (masked transcriptions
+        repeat heavily across a workload's n-best alternatives).
+        """
+        masked = tuple(masked)
+        if self.cache_results:
+            cached = self._cache.get((masked, k))
+            if cached is not None:
+                return cached
+        results, stats = self._search_uncached(masked, k)
+        if self.cache_results:
+            self._cache[(masked, k)] = (results, stats)
+        return results, stats
+
+    def _search_uncached(
+        self, masked: tuple[str, ...], k: int
+    ) -> tuple[list[SearchResult], SearchStats]:
+        stats = SearchStats()
+        top = _TopK(k=max(k, 1))
+
+        if self.use_inv:
+            subindex = self._rarest_keyword_subindex(masked)
+            if subindex is not None:
+                stats.candidates_scored = len(subindex)
+                self._search_index(subindex, masked, top, stats)
+                return top.results(), stats
+
+        self._search_index(self.index, masked, top, stats)
+        return top.results(), stats
+
+    def _rarest_keyword_subindex(
+        self, masked: tuple[str, ...]
+    ) -> StructureIndex | None:
+        """INV: lazy per-keyword trie subindex over the rarest present
+        keyword's postings (Appendix D.3)."""
+        best_keyword = None
+        best_size = None
+        for token in masked:
+            postings = self.index.inverted.get(token.upper())
+            if postings is None:
+                continue
+            if best_size is None or len(postings) < best_size:
+                best_keyword, best_size = token.upper(), len(postings)
+        if best_keyword is None:
+            return None
+        subindex = self._inv_subindexes.get(best_keyword)
+        if subindex is None:
+            subindex = StructureIndex.from_structures(
+                self.index.inverted[best_keyword]
+            )
+            self._inv_subindexes[best_keyword] = subindex
+        return subindex
+
+    def _search_index(
+        self,
+        index: StructureIndex,
+        masked: tuple[str, ...],
+        top: _TopK,
+        stats: SearchStats,
+    ) -> None:
+        """Box 2's two-pass length ordering with BDB pruning over any
+        length-partitioned index."""
+        lengths = self._search_order(len(masked), index)
+        min_literal_weight = self.weights.min_weight
+        for length in lengths:
+            lower = abs(len(masked) - length) * min_literal_weight
+            if self.use_bdb and lower >= top.threshold():
+                stats.tries_skipped += 1
+                continue
+            stats.tries_searched += 1
+            self._search_trie(index.tries[length].root, masked, top, stats)
+
+    def _search_order(self, m: int, index: StructureIndex) -> list[int]:
+        """Lengths closest to ``m`` first (Box 2's two passes)."""
+        lengths = index.lengths
+        down = [j for j in reversed(lengths) if j <= m]
+        up = [j for j in lengths if j > m]
+        return down + up
+
+    # -- trie traversal -----------------------------------------------------
+
+    def _search_trie(
+        self,
+        root: TrieNode,
+        masked: tuple[str, ...],
+        top: _TopK,
+        stats: SearchStats,
+    ) -> None:
+        n = len(masked)
+        weights_of = self.weights.of
+        mask_weights = [weights_of(t) for t in masked]
+        first_col = [0.0] * (n + 1)
+        for i in range(1, n + 1):
+            first_col[i] = first_col[i - 1] + mask_weights[i - 1]
+        token_weight_cache: dict[str, float] = {}
+        nodes = 0
+        cells = 0
+
+        def next_column(prev_col: list[float], token: str) -> list[float]:
+            tw = token_weight_cache.get(token)
+            if tw is None:
+                tw = weights_of(token)
+                token_weight_cache[token] = tw
+            col = [prev_col[0] + tw]
+            append = col.append
+            for i in range(1, n + 1):
+                if masked[i - 1] == token:
+                    append(prev_col[i - 1])
+                else:
+                    insert_cost = prev_col[i] + tw
+                    delete_cost = col[i - 1] + mask_weights[i - 1]
+                    append(
+                        insert_cost if insert_cost < delete_cost else delete_cost
+                    )
+            return col
+
+        def expand(node: TrieNode, col: list[float]):
+            nonlocal nodes, cells
+            out = []
+            for token, child in node.children.items():
+                child_col = next_column(col, token)
+                nodes += 1
+                cells += n + 1
+                out.append((child, child_col))
+            if self.use_dap:
+                out = self._dap_filter(out)
+            return out
+
+        stack = expand(root, first_col)
+        while stack:
+            node, col = stack.pop()
+            if node.terminal and node.sentence is not None:
+                top.offer(col[n], node.sentence)
+            if min(col) > top.threshold():
+                continue
+            stack.extend(expand(node, col))
+        stats.nodes_visited += nodes
+        stats.dp_cells += cells
+
+    def _dap_filter(
+        self, expanded: list[tuple[TrieNode, list[float]]]
+    ) -> list[tuple[TrieNode, list[float]]]:
+        """Keep only the best branch among prime-superset siblings."""
+        prime = [
+            (child, col)
+            for child, col in expanded
+            if child.token in PRIME_SUPERSET
+        ]
+        if len(prime) <= 1:
+            return expanded
+        best = min(prime, key=lambda pair: pair[1][-1])
+        others = [
+            (child, col)
+            for child, col in expanded
+            if child.token not in PRIME_SUPERSET
+        ]
+        return others + [best]
+

@@ -1,0 +1,78 @@
+"""Token trie for ground-truth SQL structures (paper Section 3.3).
+
+A path from root to a terminal node is one structure; every node is one
+token.  Structures sharing prefixes share nodes, which both saves memory
+and lets the search engine share dynamic-programming columns across all
+structures with a common prefix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrieNode:
+    """One trie node: a token plus children, terminal iff a structure ends
+    here (with length-partitioned tries only leaves are terminal, but the
+    trie supports interior terminals for generality)."""
+
+    token: str = ""
+    children: dict[str, "TrieNode"] = field(default_factory=dict)
+    terminal: bool = False
+    sentence: tuple[str, ...] | None = None
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+@dataclass
+class TokenTrie:
+    """A trie over token sequences."""
+
+    root: TrieNode = field(default_factory=TrieNode)
+    _size: int = 0
+    _node_count: int = 1
+
+    def insert(self, tokens: Iterable[str]) -> None:
+        """Insert one structure (token sequence)."""
+        node = self.root
+        tokens = tuple(tokens)
+        for token in tokens:
+            child = node.children.get(token)
+            if child is None:
+                child = TrieNode(token=token)
+                node.children[token] = child
+                self._node_count += 1
+            node = child
+        if not node.terminal:
+            node.terminal = True
+            node.sentence = tokens
+            self._size += 1
+
+    def __contains__(self, tokens: Iterable[str]) -> bool:
+        node = self.root
+        for token in tokens:
+            node = node.children.get(token)
+            if node is None:
+                return False
+        return node.terminal
+
+    def __len__(self) -> int:
+        """Number of stored structures."""
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Number of trie nodes (the ``p`` of the complexity analysis)."""
+        return self._node_count
+
+    def sentences(self) -> Iterator[tuple[str, ...]]:
+        """Iterate every stored structure (DFS order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.terminal and node.sentence is not None:
+                yield node.sentence
+            stack.extend(node.children.values())

@@ -1,0 +1,28 @@
+"""User study simulation (paper Section 6.4, Figures 7 and 12).
+
+- :mod:`repro.study.queries` — the 12 study queries of paper Table 6.
+- :mod:`repro.study.user_model` — per-participant interaction rates.
+- :mod:`repro.study.simulator` — the within-subjects speak-vs-type study.
+"""
+
+from repro.study.queries import STUDY_QUERIES, StudyQuery, complex_queries, simple_queries
+from repro.study.user_model import Participant, sample_participants
+from repro.study.simulator import (
+    ConditionResult,
+    QueryTrial,
+    StudyResults,
+    StudySimulator,
+)
+
+__all__ = [
+    "STUDY_QUERIES",
+    "StudyQuery",
+    "simple_queries",
+    "complex_queries",
+    "Participant",
+    "sample_participants",
+    "ConditionResult",
+    "QueryTrial",
+    "StudyResults",
+    "StudySimulator",
+]

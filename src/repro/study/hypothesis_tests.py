@@ -1,0 +1,76 @@
+"""Statistical tests for the user study (paper Section 6.4).
+
+The paper reports that "the time to complete a query, the time spent
+editing a query, and the total units of effort with SpeakQL is
+statistically significantly lower than the typing condition".  This
+module runs the corresponding paired tests over the simulator's trials:
+the Wilcoxon signed-rank test (the standard choice for within-subjects
+designs with non-normal timing data) and a paired sign test as a
+distribution-free cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.study.simulator import StudyResults
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """One paired comparison across trials."""
+
+    name: str
+    n: int
+    wilcoxon_statistic: float
+    wilcoxon_p: float
+    sign_test_p: float
+    median_difference: float
+
+    @property
+    def significant(self) -> bool:
+        """Significance at the conventional 0.05 level."""
+        return self.wilcoxon_p < 0.05
+
+
+def _paired_test(name: str, typing: list[float], speakql: list[float]) -> PairedTestResult:
+    differences = [t - s for t, s in zip(typing, speakql)]
+    nonzero = [d for d in differences if d != 0]
+    if len(nonzero) < 5:
+        raise ValueError("too few non-tied pairs for a meaningful test")
+    statistic, p_value = stats.wilcoxon(typing, speakql)
+    positives = sum(d > 0 for d in nonzero)
+    sign_p = stats.binomtest(positives, len(nonzero), 0.5).pvalue
+    sorted_diffs = sorted(differences)
+    median = sorted_diffs[len(sorted_diffs) // 2]
+    return PairedTestResult(
+        name=name,
+        n=len(differences),
+        wilcoxon_statistic=float(statistic),
+        wilcoxon_p=float(p_value),
+        sign_test_p=float(sign_p),
+        median_difference=median,
+    )
+
+
+def run_hypothesis_tests(results: StudyResults) -> list[PairedTestResult]:
+    """The paper's three comparisons, typing vs SpeakQL, paired by trial.
+
+    Returns results for: time to completion, units of effort, and
+    keyboard/editing time (SpeakQL's keyboard time vs the typing
+    condition's full time, the closest observable to the paper's
+    "time spent editing").
+    """
+    typing_time = [t.typing.seconds for t in results.trials]
+    speakql_time = [t.speakql.seconds for t in results.trials]
+    typing_effort = [float(t.typing.effort) for t in results.trials]
+    speakql_effort = [float(t.speakql.effort) for t in results.trials]
+    editing_typing = [t.typing.seconds for t in results.trials]
+    editing_speakql = [t.speakql.keyboard_seconds for t in results.trials]
+    return [
+        _paired_test("time to completion (s)", typing_time, speakql_time),
+        _paired_test("units of effort", typing_effort, speakql_effort),
+        _paired_test("editing time (s)", editing_typing, editing_speakql),
+    ]

@@ -1,0 +1,139 @@
+"""The pilot user study (paper Appendix F.2).
+
+The paper's first study produced only a 1.2x speedup and taught the
+lessons that shaped the final interface: participants were not vetted
+for SQL skill (so they re-dictated whole queries repeatedly), there was
+no clause-level dictation (whole-query-only, overflowing working
+memory), and corrections used a drag-and-drop surface that cost far
+more per edit than the SQL keyboard.
+
+This module simulates that configuration so the pilot-vs-final contrast
+is reproducible: same pipeline, same queries, different interaction
+model.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+
+from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
+from repro.asr.verbalizer import Verbalizer
+from repro.core.pipeline import SpeakQL
+from repro.grammar.vocabulary import SPLCHAR_DICT, tokenize_sql
+from repro.interface.display import QueryDisplay
+from repro.interface.session import edit_script
+from repro.metrics.ted import token_edit_distance
+from repro.sqlengine.catalog import Catalog
+from repro.study.queries import STUDY_QUERIES, StudyQuery
+from repro.study.user_model import Participant, sample_participants
+
+#: Drag-and-drop cost per token edit (select source, drag, drop): the
+#: pilot's correction surface (Appendix F.2 lesson 3).
+DRAG_DROP_SECONDS = 6.0
+
+#: Whole-query re-dictation threshold: with no clause dictation and weak
+#: SQL recall, pilot users re-dictated when more than this many edits
+#: remained.
+REDICTATE_THRESHOLD = 6
+
+#: Unvetted participants: many "had little experience composing SQL
+#: queries", slowing both conditions and adding re-dictations.
+SQL_SKILL_PENALTY = 1.6
+
+
+@dataclass(frozen=True)
+class PilotTrial:
+    participant: Participant
+    query: StudyQuery
+    typing_seconds: float
+    speakql_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.typing_seconds / max(self.speakql_seconds, 1e-9)
+
+
+@dataclass
+class PilotSimulator:
+    """The Appendix F.2 pilot configuration."""
+
+    catalog: Catalog
+    engine: SimulatedAsrEngine | None = None
+    seed: int = 1717
+    _pipeline: SpeakQL = field(init=False, repr=False)
+    _verbalizer: Verbalizer = field(default_factory=Verbalizer, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = make_custom_engine([q.sql for q in STUDY_QUERIES])
+        self._pipeline = SpeakQL(self.catalog, engine=self.engine)
+
+    def run(
+        self,
+        participants: list[Participant] | None = None,
+        queries: list[StudyQuery] | None = None,
+    ) -> list[PilotTrial]:
+        participants = participants or sample_participants(15, seed=self.seed)
+        queries = queries or STUDY_QUERIES
+        trials = []
+        for participant in participants:
+            for query in queries:
+                trials.append(self._trial(participant, query))
+        return trials
+
+    def _trial(self, participant: Participant, query: StudyQuery) -> PilotTrial:
+        rng = random.Random(
+            self.seed * 31 + participant.participant_id * 7 + query.number
+        )
+        typing = self._typing_seconds(participant, query)
+        speakql = self._pilot_speakql_seconds(participant, query, rng)
+        return PilotTrial(
+            participant=participant,
+            query=query,
+            typing_seconds=typing,
+            speakql_seconds=speakql,
+        )
+
+    def _typing_seconds(self, participant: Participant, query: StudyQuery) -> float:
+        text = query.sql
+        chars = len(text.replace(" ", ""))
+        symbols = sum(1 for ch in text if ch in SPLCHAR_DICT or ch in "'\"")
+        base = participant.think_seconds + participant.typing_seconds(
+            chars, symbols
+        )
+        # Unvetted users compose SQL slowly in *both* conditions, but
+        # typing lets them see and fix as they go, so the penalty is
+        # smaller than on dictation.
+        return base * (1.0 + (SQL_SKILL_PENALTY - 1.0) / 2.0)
+
+    def _pilot_speakql_seconds(
+        self, participant: Participant, query: StudyQuery, rng: random.Random
+    ) -> float:
+        total = participant.think_seconds * SQL_SKILL_PENALTY
+        display = QueryDisplay()
+        spoken_words = len(self._verbalizer.verbalize(query.sql))
+        attempts = 0
+        # Whole-query dictation only; re-dictate while badly wrong
+        # ("many users dictated the entire query twice or thrice").
+        while attempts < 3:
+            attempts += 1
+            total += spoken_words / participant.speech_words_per_second
+            out = self._pipeline.query_from_speech(
+                query.sql, seed=rng.randrange(1 << 30)
+            )
+            total += out.timings.total_seconds + 4.0  # review pause
+            display.set_query(tokenize_sql(out.sql))
+            remaining = token_edit_distance(query.sql, out.sql)
+            if remaining <= REDICTATE_THRESHOLD:
+                break
+        # Drag-and-drop correction for whatever remains.
+        ops = edit_script(display.tokens, tokenize_sql(query.sql))
+        edits = sum(1 for op, _ in ops if op != "keep")
+        total += edits * (DRAG_DROP_SECONDS + participant.locate_seconds)
+        return total
+
+
+def median_speedup(trials: list[PilotTrial]) -> float:
+    return statistics.median(t.speedup for t in trials)

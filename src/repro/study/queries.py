@@ -1,0 +1,126 @@
+"""The 12 user-study queries (paper Table 6, verbatim).
+
+Queries 1-6 are *simple* (< 20 tokens); 7-12 are *complex*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.vocabulary import tokenize_sql
+
+
+@dataclass(frozen=True)
+class StudyQuery:
+    """One study task: NL description plus the ground-truth SQL."""
+
+    number: int
+    description: str
+    sql: str
+
+    @property
+    def token_count(self) -> int:
+        return len(tokenize_sql(self.sql))
+
+    @property
+    def is_simple(self) -> bool:
+        """The paper's split: simple queries have fewer than 20 tokens."""
+        return self.token_count < 20
+
+
+STUDY_QUERIES: list[StudyQuery] = [
+    StudyQuery(
+        1,
+        "What is the average salary of all employees?",
+        "SELECT AVG ( salary ) FROM Salaries",
+    ),
+    StudyQuery(
+        2,
+        "Get the lastname of employees with salary more than 70000",
+        "SELECT LastName FROM Employees natural join Salaries WHERE salary > 70000",
+    ),
+    StudyQuery(
+        3,
+        "Get the starting dates of the employees who are working in "
+        "department number d002",
+        "SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'",
+    ),
+    StudyQuery(
+        4,
+        "Get the starting dates of the department managers with the first "
+        "name Karsten, sorted by hiring date",
+        "SELECT FromDate FROM Employees natural join DepartmentManager "
+        "WHERE FirstName = 'Karsten' ORDER BY HireDate",
+    ),
+    StudyQuery(
+        5,
+        "What is the total salary of all the employees who joined on "
+        "January 20th 1993?",
+        "SELECT SUM ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'",
+    ),
+    StudyQuery(
+        6,
+        "What is the ending date and number of salaries for each ending "
+        "date of the employees?",
+        "SELECT ToDate , COUNT ( salary ) FROM Salaries GROUP BY ToDate",
+    ),
+    StudyQuery(
+        7,
+        "Fetch the ending date, highest salary, least salary and number of "
+        "salaries for each ending date of the employees whose joining date "
+        "is March 20th 1990",
+        "SELECT ToDate , MAX ( salary ) , COUNT ( salary ) , MIN ( salary ) "
+        "FROM Salaries WHERE FromDate = '1990-03-20' GROUP BY ToDate",
+    ),
+    StudyQuery(
+        8,
+        "Fetch the joining date, ending date and salary of the employees "
+        "with first name either Tomokazu or Goh or Narain or Perla or "
+        "Shimshon",
+        "SELECT FromDate , salary , ToDate FROM Employees natural join "
+        "Salaries WHERE FirstName IN ( 'Tomokazu' , 'Goh' , 'Narain' , "
+        "'Perla' , 'Shimshon' )",
+    ),
+    StudyQuery(
+        9,
+        "What is the first name and average salary for each first name of "
+        "the department managers?",
+        "SELECT FirstName , AVG ( salary ) FROM Employees , Salaries , "
+        "DepartmentManager WHERE Employees . EmployeeNumber = Salaries . "
+        "EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager "
+        ". EmployeeNumber GROUP BY Employees . FirstName",
+    ),
+    StudyQuery(
+        10,
+        "Fetch all fields of the employees whose ending date is October "
+        "9th 2001 or whose hiring date is May 10th 1996 or whose title is "
+        "Engineer. Get only the first 10 records",
+        "SELECT * FROM Employees natural join Titles WHERE ToDate = "
+        "'2001-10-09' OR HireDate = '1996-05-10' OR title = 'Engineer' "
+        "LIMIT 10",
+    ),
+    StudyQuery(
+        11,
+        "What is the gender, average salary, highest salary for each "
+        "gender type of the employees?",
+        "SELECT Gender , AVG ( salary ) , MAX ( salary ) FROM Employees "
+        "natural join Salaries GROUP BY Employees . Gender",
+    ),
+    StudyQuery(
+        12,
+        "Fetch the gender, birth date and salary of the department "
+        "managers, sorted by the first name",
+        "SELECT Gender , BirthDate , salary FROM Employees , Salaries , "
+        "DepartmentManager WHERE Employees . EmployeeNumber = Salaries . "
+        "EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager "
+        ". EmployeeNumber ORDER BY Employees . FirstName",
+    ),
+]
+
+
+def simple_queries() -> list[StudyQuery]:
+    return [q for q in STUDY_QUERIES if q.is_simple]
+
+
+def complex_queries() -> list[StudyQuery]:
+    return [q for q in STUDY_QUERIES if not q.is_simple]

@@ -1,0 +1,261 @@
+"""Within-subjects user study simulation (paper Section 6.4).
+
+Each (participant, query) trial runs both conditions:
+
+- **typing**: the participant types the ground-truth SQL from scratch on
+  the tablet soft keyboard (time from the participant's typing rate;
+  effort = keystrokes).
+- **speakql**: the participant dictates the query (whole-query for
+  simple queries, clause-by-clause for complex ones — what the paper's
+  participants did, Figure 12), then corrects the displayed result via
+  clause re-dictation and the SQL keyboard.  Correction need is driven
+  by the *actual* output of the pipeline, not an assumed error rate.
+
+Results aggregate to the quantities of Figures 7 and 12: median time to
+completion, median units of effort, per-query speedup, effort reduction,
+and the speaking/keyboard time split.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
+from repro.asr.verbalizer import Verbalizer
+from repro.core.clauses import _CLAUSE_TO_KIND, ClauseSpeakQL
+from repro.core.pipeline import SpeakQL
+from repro.grammar.vocabulary import SPLCHAR_DICT, tokenize_sql
+from repro.interface.display import Clause, QueryDisplay, split_clauses
+from repro.interface.effort import Interaction
+from repro.interface.keyboard import SqlKeyboard
+from repro.interface.session import CorrectionSession
+from repro.sqlengine.catalog import Catalog
+from repro.study.queries import STUDY_QUERIES, StudyQuery
+from repro.study.user_model import Participant, sample_participants
+
+#: Seconds the participant spends reviewing the display after each
+#: dictation before deciding on corrections.
+REVIEW_SECONDS = 4.0
+
+
+@dataclass
+class ConditionResult:
+    """One condition of one trial."""
+
+    seconds: float
+    effort: int
+    speaking_seconds: float = 0.0
+    keyboard_seconds: float = 0.0
+
+
+@dataclass
+class QueryTrial:
+    participant: Participant
+    query: StudyQuery
+    typing: ConditionResult
+    speakql: ConditionResult
+
+    @property
+    def speedup(self) -> float:
+        return self.typing.seconds / max(self.speakql.seconds, 1e-9)
+
+    @property
+    def effort_reduction(self) -> float:
+        return self.typing.effort / max(self.speakql.effort, 1)
+
+
+@dataclass
+class StudyResults:
+    trials: list[QueryTrial]
+
+    def for_query(self, number: int) -> list[QueryTrial]:
+        return [t for t in self.trials if t.query.number == number]
+
+    def median_time(self, number: int) -> float:
+        return statistics.median(t.speakql.seconds for t in self.for_query(number))
+
+    def median_effort(self, number: int) -> float:
+        return statistics.median(t.speakql.effort for t in self.for_query(number))
+
+    def median_speedup(self, number: int) -> float:
+        return statistics.median(t.speedup for t in self.for_query(number))
+
+    def median_effort_reduction(self, number: int) -> float:
+        return statistics.median(t.effort_reduction for t in self.for_query(number))
+
+    def speaking_fraction(self, number: int) -> float:
+        trials = self.for_query(number)
+        return statistics.median(
+            t.speakql.speaking_seconds / max(t.speakql.seconds, 1e-9)
+            for t in trials
+        )
+
+    def keyboard_fraction(self, number: int) -> float:
+        trials = self.for_query(number)
+        return statistics.median(
+            t.speakql.keyboard_seconds / max(t.speakql.seconds, 1e-9)
+            for t in trials
+        )
+
+    def average_speedup(self, numbers: list[int] | None = None) -> float:
+        numbers = numbers or sorted({t.query.number for t in self.trials})
+        return statistics.mean(self.median_speedup(n) for n in numbers)
+
+    def average_effort_reduction(self, numbers: list[int] | None = None) -> float:
+        numbers = numbers or sorted({t.query.number for t in self.trials})
+        return statistics.mean(self.median_effort_reduction(n) for n in numbers)
+
+
+@dataclass
+class StudySimulator:
+    """Runs the within-subjects study over a catalog."""
+
+    catalog: Catalog
+    engine: SimulatedAsrEngine | None = None
+    seed: int = 2021
+    _pipeline: SpeakQL = field(init=False, repr=False)
+    _clause_pipeline: ClauseSpeakQL = field(init=False, repr=False)
+    _keyboard: SqlKeyboard = field(init=False, repr=False)
+    _verbalizer: Verbalizer = field(default_factory=Verbalizer, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = make_custom_engine([q.sql for q in STUDY_QUERIES])
+        self._pipeline = SpeakQL(self.catalog, engine=self.engine)
+        self._clause_pipeline = ClauseSpeakQL(self.catalog, engine=self.engine)
+        self._keyboard = SqlKeyboard(self.catalog)
+
+    def run(
+        self,
+        participants: list[Participant] | None = None,
+        queries: list[StudyQuery] | None = None,
+    ) -> StudyResults:
+        participants = participants or sample_participants(15, seed=self.seed)
+        queries = queries or STUDY_QUERIES
+        trials = []
+        for participant in participants:
+            for query in queries:
+                trials.append(self._run_trial(participant, query))
+        return StudyResults(trials=trials)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def _run_trial(self, participant: Participant, query: StudyQuery) -> QueryTrial:
+        typing = self._typing_condition(participant, query)
+        speakql = self._speakql_condition(participant, query)
+        return QueryTrial(
+            participant=participant, query=query, typing=typing, speakql=speakql
+        )
+
+    def _typing_condition(
+        self, participant: Participant, query: StudyQuery
+    ) -> ConditionResult:
+        text = query.sql
+        chars = len(text.replace(" ", ""))
+        symbols = sum(1 for ch in text if ch in SPLCHAR_DICT or ch in "'\"")
+        seconds = participant.think_seconds + participant.typing_seconds(
+            chars, symbols
+        )
+        effort = chars + symbols  # keystrokes incl. layer switches
+        return ConditionResult(seconds=seconds, effort=effort)
+
+    def _speakql_condition(
+        self, participant: Participant, query: StudyQuery
+    ) -> ConditionResult:
+        seed = self.seed * 1009 + participant.participant_id * 37 + query.number
+        speaking = 0.0
+        keyboard = 0.0
+        latency = 0.0
+        display = QueryDisplay()
+        from repro.interface.effort import EffortLog
+
+        log = EffortLog()
+
+        if query.is_simple:
+            spoken_words = len(self._verbalizer.verbalize(query.sql))
+            speaking += participant.speaking_seconds(spoken_words)
+            out = self._pipeline.query_from_speech(query.sql, seed=seed)
+            latency += out.timings.total_seconds
+            display.set_query(tokenize_sql(out.sql))
+            log.record(Interaction.TOUCH, "record button")
+            log.record(Interaction.DICTATION, "full query")
+        else:
+            # Complex queries: clause-level dictation from the start.
+            clauses = split_clauses(tokenize_sql(query.sql))
+            tables: list[str] = []
+            assembled: list[str] = []
+            for offset, (clause, clause_tokens) in enumerate(clauses.items()):
+                clause_sql = " ".join(clause_tokens)
+                spoken_words = len(self._verbalizer.verbalize(clause_sql))
+                speaking += participant.speaking_seconds(spoken_words)
+                corrected = self._clause_pipeline.dictate_clause(
+                    clause_sql,
+                    _CLAUSE_TO_KIND[clause],
+                    seed=seed + offset,
+                    tables_context=tables or None,
+                )
+                if clause is Clause.FROM:
+                    tables = [
+                        t
+                        for t in tokenize_sql(corrected)
+                        if self.catalog.has_table(t)
+                    ]
+                assembled.extend(tokenize_sql(corrected))
+                log.record(Interaction.TOUCH, f"record {clause.value}")
+                log.record(Interaction.CLAUSE_DICTATION, clause.value)
+            display.set_query(assembled)
+
+        # Review + interactive correction.
+        review = REVIEW_SECONDS
+        session = CorrectionSession(
+            keyboard=self._keyboard,
+            display=display,
+            reference=query.sql,
+            log=log,
+        )
+
+        redictate_seconds = [0.0]
+
+        def redictate(clause_sql: str) -> str:
+            words = len(self._verbalizer.verbalize(clause_sql))
+            redictate_seconds[0] += participant.speaking_seconds(words)
+            kind = self._clause_kind_of(clause_sql)
+            return self._clause_pipeline.dictate_clause(
+                clause_sql, kind, seed=seed + 101
+            )
+
+        session.correct(redictate=redictate)
+        log.record(Interaction.TOUCH, "run query")
+        speaking += redictate_seconds[0]
+        touches = log.touches
+        keyboard += touches * (
+            participant.touch_seconds
+            + participant.locate_seconds / 2.0
+        )
+        total = (
+            participant.think_seconds
+            + speaking
+            + latency
+            + review * max(log.dictations, 1)
+            + keyboard
+        )
+        return ConditionResult(
+            seconds=total,
+            effort=log.units_of_effort,
+            speaking_seconds=speaking,
+            keyboard_seconds=keyboard,
+        )
+
+    @staticmethod
+    def _clause_kind_of(clause_sql: str):
+        head = clause_sql.split()[0].upper() if clause_sql.split() else "SELECT"
+        mapping = {
+            "SELECT": Clause.SELECT,
+            "FROM": Clause.FROM,
+            "WHERE": Clause.WHERE,
+            "GROUP": Clause.GROUP_BY,
+            "ORDER": Clause.ORDER_BY,
+            "LIMIT": Clause.LIMIT,
+        }
+        return _CLAUSE_TO_KIND[mapping.get(head, Clause.SELECT)]

@@ -1,0 +1,54 @@
+"""Participant interaction model.
+
+Rates are drawn from published human-performance ranges: tablet soft-
+keyboard typing runs ~20-25 WPM and drops sharply for symbol-heavy text
+like SQL; conversational speech runs ~130-160 WPM; a deliberate touch on
+a tablet takes ~1-2 s including visual search.  Each participant gets a
+deterministic sample from those ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Participant:
+    """Per-participant interaction rates."""
+
+    participant_id: int
+    typing_chars_per_second: float  # SQL on a tablet soft keyboard
+    speech_words_per_second: float  # dictation rate
+    touch_seconds: float  # one deliberate touch (incl. locating the key)
+    locate_seconds: float  # finding a wrong token on the display
+    think_seconds: float  # composing the query in the head
+    typo_rate: float  # probability a typed character needs redoing
+
+    def typing_seconds(self, char_count: int, symbol_count: int) -> float:
+        """Time to type ``char_count`` characters with ``symbol_count``
+        layer switches (symbols/uppercase need an extra keystroke each)."""
+        effective = char_count * (1.0 + 2.0 * self.typo_rate) + 2.0 * symbol_count
+        return effective / self.typing_chars_per_second
+
+    def speaking_seconds(self, word_count: int) -> float:
+        return word_count / self.speech_words_per_second
+
+
+def sample_participants(n: int = 15, seed: int = 99) -> list[Participant]:
+    """Deterministic cohort of ``n`` participants."""
+    rng = random.Random(seed)
+    out = []
+    for pid in range(1, n + 1):
+        out.append(
+            Participant(
+                participant_id=pid,
+                typing_chars_per_second=rng.uniform(1.0, 2.0),
+                speech_words_per_second=rng.uniform(2.0, 2.8),
+                touch_seconds=rng.uniform(1.0, 2.0),
+                locate_seconds=rng.uniform(1.5, 3.5),
+                think_seconds=rng.uniform(4.0, 12.0),
+                typo_rate=rng.uniform(0.02, 0.08),
+            )
+        )
+    return out

@@ -1,0 +1,55 @@
+"""Tests for channel calibration."""
+
+import pytest
+
+from repro.asr.calibration import calibrate_channel, measure_raw_wrr
+from repro.asr.channel import NOISELESS, AcousticChannel
+from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
+from repro.asr.language_model import LanguageModel
+from repro.dataset.spoken import make_spoken_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    catalog = request.getfixturevalue("employees_catalog")
+    return make_spoken_dataset("calib", catalog, 25, seed=33)
+
+
+class TestMeasure:
+    def test_noiseless_is_high(self, dataset):
+        engine = SimulatedAsrEngine(
+            lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+        )
+        engine.train_on_sql(dataset.sql_texts())
+        # Not 1.0 even without noise: identifier splitting ("FromDate" ->
+        # "from date") is inherent to speech, not channel corruption.
+        assert measure_raw_wrr(engine, dataset, limit=10) > 0.65
+
+    def test_noise_lowers_wrr(self, dataset):
+        engine = make_custom_engine(dataset.sql_texts())
+        noisy = measure_raw_wrr(engine, dataset, limit=10)
+        engine_clean = SimulatedAsrEngine(
+            lm=engine.lm, channel=AcousticChannel(NOISELESS)
+        )
+        clean = measure_raw_wrr(engine_clean, dataset, limit=10)
+        assert clean > noisy
+
+
+class TestCalibration:
+    def test_hits_target(self, dataset):
+        engine = make_custom_engine(dataset.sql_texts())
+        result = calibrate_channel(
+            engine, dataset, target_wrr=0.80, limit=15, tolerance=0.03
+        )
+        assert result.error <= 0.08  # bisection lands close
+        assert 0.0 < result.scale < 4.0
+
+    def test_engine_channel_updated(self, dataset):
+        engine = make_custom_engine(dataset.sql_texts())
+        result = calibrate_channel(
+            engine, dataset, target_wrr=0.9, limit=10, tolerance=0.05
+        )
+        # The calibrated profile is live on the engine.
+        assert engine.channel.profile.substitution_prob == pytest.approx(
+            min(0.06 * result.scale, 1.0)
+        )

@@ -1,0 +1,95 @@
+"""Tests for the acoustic noise channel."""
+
+import random
+
+from repro.asr.channel import NOISELESS, PAUSE, AcousticChannel, ChannelProfile
+
+
+def _rng(seed=0):
+    return random.Random(seed)
+
+
+class TestNoiselessChannel:
+    def test_identity(self):
+        channel = AcousticChannel(NOISELESS)
+        words = "select salary from employees".split()
+        assert channel.corrupt(words, _rng()) == words
+
+    def test_identity_with_numbers_and_dates(self):
+        channel = AcousticChannel(NOISELESS)
+        words = "january twentieth nineteen ninety three".split()
+        assert channel.corrupt(words, _rng()) == words
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        channel = AcousticChannel()
+        words = "select sum open parenthesis salary close parenthesis".split()
+        a = channel.corrupt(words, _rng(42))
+        b = channel.corrupt(words, _rng(42))
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        channel = AcousticChannel(ChannelProfile().scaled(3.0))
+        words = ("select salary from employees where first name equals "
+                 "john and last name equals smith").split()
+        outputs = {tuple(channel.corrupt(words, _rng(s))) for s in range(20)}
+        assert len(outputs) > 1
+
+
+class TestErrorClasses:
+    def test_substitutions_from_confusion_groups(self):
+        profile = ChannelProfile(
+            substitution_prob=1.0, jitter_prob=0.0, deletion_prob=0.0,
+            merge_prob=0.0, number_regroup_prob=0.0, date_mangle_prob=0.0,
+        )
+        channel = AcousticChannel(profile)
+        out = channel.corrupt(["sum"], _rng(1))
+        assert out[0] in ("some",)
+
+    def test_deletion(self):
+        profile = ChannelProfile(0.0, 0.0, 1.0, 0.0, 0.0, 0.0)
+        channel = AcousticChannel(profile)
+        assert channel.corrupt(["select", "salary"], _rng()) == []
+
+    def test_number_regrouping_inserts_pause(self):
+        profile = ChannelProfile(0.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+        channel = AcousticChannel(profile)
+        words = "forty five thousand three hundred ten".split()
+        out = channel.corrupt(words, _rng(3))
+        assert PAUSE in out
+        assert [w for w in out if w != PAUSE] == words
+
+    def test_short_number_runs_not_regrouped(self):
+        profile = ChannelProfile(0.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+        channel = AcousticChannel(profile)
+        assert PAUSE not in channel.corrupt(["seventy", "two"], _rng())
+
+    def test_date_mangling_changes_run(self):
+        profile = ChannelProfile(0.0, 0.0, 0.0, 0.0, 0.0, 1.0)
+        channel = AcousticChannel(profile)
+        words = "january twentieth nineteen ninety three".split()
+        changed = False
+        for seed in range(10):
+            out = channel.corrupt(words, _rng(seed))
+            if out != words:
+                changed = True
+        assert changed
+
+    def test_jitter_preserves_short_words(self):
+        profile = ChannelProfile(0.0, 1.0, 0.0, 0.0, 0.0, 0.0)
+        channel = AcousticChannel(profile)
+        assert channel.corrupt(["of"], _rng()) == ["of"]
+
+
+class TestProfileScaling:
+    def test_scaled_caps_at_one(self):
+        profile = ChannelProfile(0.8, 0.8, 0.8, 0.8, 0.8, 0.8).scaled(10)
+        assert profile.substitution_prob == 1.0
+        assert profile.date_mangle_prob == 1.0
+
+    def test_scaled_zero_is_noiseless(self):
+        profile = ChannelProfile().scaled(0.0)
+        channel = AcousticChannel(profile)
+        words = "select salary from employees".split()
+        assert channel.corrupt(words, _rng()) == words

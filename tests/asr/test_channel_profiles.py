@@ -1,0 +1,40 @@
+"""Channel profile behaviour across noise scales."""
+
+import random
+
+from repro.asr.channel import AcousticChannel, ChannelProfile
+from repro.asr.verbalizer import verbalize_sql
+
+
+def _corruption_rate(profile: ChannelProfile, n_seeds: int = 30) -> float:
+    channel = AcousticChannel(profile)
+    words = verbalize_sql(
+        "SELECT LastName , FirstName FROM Employees WHERE salary > 45310"
+    )
+    changed = 0
+    for seed in range(n_seeds):
+        heard = channel.corrupt(words, random.Random(seed))
+        if heard != words:
+            changed += 1
+    return changed / n_seeds
+
+
+class TestNoiseMonotonicity:
+    def test_more_noise_more_corruption(self):
+        quiet = _corruption_rate(ChannelProfile().scaled(0.2))
+        loud = _corruption_rate(ChannelProfile().scaled(2.0))
+        assert loud >= quiet
+
+    def test_zero_scale_never_corrupts(self):
+        assert _corruption_rate(ChannelProfile().scaled(0.0)) == 0.0
+
+    def test_default_profile_corrupts_sometimes(self):
+        rate = _corruption_rate(ChannelProfile())
+        assert 0.0 < rate <= 1.0
+
+    def test_output_words_are_strings(self):
+        channel = AcousticChannel(ChannelProfile().scaled(3.0))
+        words = verbalize_sql("SELECT * FROM Employees LIMIT 45310")
+        for seed in range(10):
+            heard = channel.corrupt(words, random.Random(seed))
+            assert all(isinstance(w, str) and w for w in heard)

@@ -1,0 +1,60 @@
+"""Tests for spoken-date rendering and recognition."""
+
+import datetime
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.dates import (
+    date_to_words,
+    day_to_ordinal_words,
+    words_to_date,
+    year_to_words,
+)
+
+
+class TestRendering:
+    def test_paper_style(self):
+        words = date_to_words(datetime.date(1993, 1, 20))
+        assert words == ["january", "twentieth", "nineteen", "ninety", "three"]
+
+    def test_compound_ordinal(self):
+        assert day_to_ordinal_words(21) == ["twenty", "first"]
+        assert day_to_ordinal_words(7) == ["seventh"]
+        assert day_to_ordinal_words(31) == ["thirty", "first"]
+
+    def test_year_pairwise(self):
+        assert year_to_words(1993) == ["nineteen", "ninety", "three"]
+        assert year_to_words(1905) == ["nineteen", "oh", "five"]
+        assert year_to_words(1900) == ["nineteen", "hundred"]
+        assert year_to_words(2004) == ["two", "thousand", "four"]
+
+
+class TestRecognition:
+    def test_roundtrip_example(self):
+        date = datetime.date(1991, 5, 7)
+        assert words_to_date(date_to_words(date)) == date
+
+    def test_cardinal_day(self):
+        assert words_to_date(
+            "may seven nineteen ninety one".split()
+        ) == datetime.date(1991, 5, 7)
+
+    def test_not_a_date(self):
+        assert words_to_date(["banana"]) is None
+        assert words_to_date([]) is None
+        assert words_to_date(["seventh", "may"]) is None
+
+    def test_missing_year(self):
+        assert words_to_date(["may", "seventh"]) is None
+
+
+class TestRoundTripProperty:
+    @given(
+        st.dates(
+            min_value=datetime.date(1900, 1, 1),
+            max_value=datetime.date(2030, 12, 31),
+        )
+    )
+    def test_roundtrip(self, date):
+        assert words_to_date(date_to_words(date)) == date

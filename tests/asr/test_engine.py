@@ -1,0 +1,116 @@
+"""Tests for the simulated ASR engines."""
+
+import pytest
+
+from repro.asr.channel import NOISELESS, AcousticChannel, ChannelProfile
+from repro.asr.engine import (
+    SimulatedAsrEngine,
+    make_custom_engine,
+    make_generic_engine,
+)
+from repro.asr.language_model import LanguageModel
+from repro.metrics import score_query
+
+
+def _noiseless_engine(training=None):
+    engine = SimulatedAsrEngine(
+        lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+    )
+    if training:
+        engine.train_on_sql(training)
+    return engine
+
+
+class TestNoiselessTranscription:
+    def test_symbols_recovered(self):
+        engine = _noiseless_engine(["SELECT AVG ( salary ) FROM Salaries"])
+        result = engine.transcribe("SELECT AVG ( salary ) FROM Salaries", seed=0)
+        assert result.text == "select avg ( salary ) from salaries"
+
+    def test_numbers_recovered(self):
+        engine = _noiseless_engine()
+        result = engine.transcribe("SELECT a FROM t WHERE b > 45310", seed=0)
+        assert "45310" in result.text
+
+    def test_dates_recovered(self):
+        engine = _noiseless_engine()
+        result = engine.transcribe(
+            "SELECT a FROM t WHERE b = '1993-01-20'", seed=0
+        )
+        assert "1993-01-20" in result.text
+
+    def test_identifiers_split(self):
+        # FromDate comes back as the two words ASR hears (Table 1).
+        engine = _noiseless_engine()
+        result = engine.transcribe("SELECT FromDate FROM t", seed=0)
+        assert "from date" in result.text
+
+
+class TestDeterminism:
+    def test_same_seed(self):
+        engine = make_custom_engine(["SELECT a FROM t"])
+        a = engine.transcribe("SELECT a FROM t WHERE b = 'x'", seed=5)
+        b = engine.transcribe("SELECT a FROM t WHERE b = 'x'", seed=5)
+        assert a == b
+
+
+class TestNBest:
+    def test_alternatives_count(self):
+        engine = make_custom_engine()
+        result = engine.transcribe("SELECT salary FROM Employees", seed=1, nbest=5)
+        assert 1 <= len(result.alternatives) <= 5
+        assert result.alternatives[0] == result.text
+
+    def test_alternatives_distinct(self):
+        engine = make_custom_engine()
+        result = engine.transcribe(
+            "SELECT salary FROM Employees WHERE Gender = 'M'", seed=2, nbest=5
+        )
+        assert len(set(result.alternatives)) == len(result.alternatives)
+
+
+class TestCustomVsGeneric:
+    @pytest.fixture(scope="class")
+    def queries(self):
+        return [
+            "SELECT SUM ( salary ) FROM Salaries",
+            "SELECT FirstName FROM Employees WHERE Gender = 'M'",
+            "SELECT COUNT ( * ) FROM Titles WHERE title = 'Engineer'",
+            "SELECT MAX ( salary ) FROM Salaries WHERE ToDate > '1999-01-01'",
+            "SELECT LastName , FirstName FROM Employees ORDER BY HireDate",
+        ]
+
+    def test_custom_beats_generic_on_average(self, queries):
+        custom = make_custom_engine(queries)
+        generic = make_generic_engine()
+        custom_wrr = generic_wrr = 0.0
+        n = 0
+        for query in queries:
+            for seed in range(8):
+                custom_wrr += score_query(
+                    query, custom.transcribe(query, seed=seed).text
+                ).wrr
+                generic_wrr += score_query(
+                    query, generic.transcribe(query, seed=seed).text
+                ).wrr
+                n += 1
+        assert custom_wrr / n > generic_wrr / n
+
+    def test_training_injects_vocabulary(self):
+        engine = make_custom_engine(["SELECT FromDate FROM Salaries"])
+        assert engine.lm.in_vocab("fromdate")
+
+
+class TestSnapCandidates:
+    def test_exact_code_snap(self):
+        engine = make_generic_engine()
+        assert "parenthesis" in engine._snap_candidates("parenthesis")  # identity
+
+    def test_consonant_swap_snap(self):
+        engine = make_generic_engine()
+        # 'barenthesis' is one voiced/unvoiced swap from 'parenthesis'.
+        assert "parenthesis" in engine._snap_candidates("barenthesis")
+
+    def test_empty_for_non_alpha(self):
+        engine = make_generic_engine()
+        assert engine._snap_candidates("12345") == []

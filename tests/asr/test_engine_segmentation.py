@@ -1,0 +1,76 @@
+"""Unit tests for the ASR decoder's segmentation stage."""
+
+import pytest
+
+from repro.asr.channel import NOISELESS, PAUSE, AcousticChannel
+from repro.asr.engine import SimulatedAsrEngine
+from repro.asr.language_model import LanguageModel
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return SimulatedAsrEngine(
+        lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+    )
+
+
+def decode(engine, words):
+    return engine.transcribe_words(words, seed=0, nbest=1).text
+
+
+class TestNumberUnits:
+    def test_simple_cardinal(self, engine):
+        assert decode(engine, "seventy thousand".split()) == "70000"
+
+    def test_pause_regroups(self, engine):
+        words = ["forty", "five", "thousand", PAUSE, "three", "hundred", "ten"]
+        assert decode(engine, words) == "45000 310"
+
+    def test_digit_run(self, engine):
+        assert decode(engine, "zero zero two".split()) == "002"
+
+    def test_number_then_word(self, engine):
+        assert decode(engine, "five from".split()) == "5 from"
+
+
+class TestDateUnits:
+    def test_full_date(self, engine):
+        words = "january twentieth nineteen ninety three".split()
+        assert decode(engine, words) == "1993-01-20"
+
+    def test_pause_breaks_year_pairing(self, engine):
+        words = ["january", "twentieth", "nineteen", "ninety", PAUSE, "three"]
+        out = decode(engine, words)
+        # The pause truncates the year pairing: the decoder hears 1990
+        # plus a stray "3" — exactly Table 1's mangled-date behaviour.
+        assert out != "1993-01-20"
+
+    def test_month_alone(self, engine):
+        out = decode(engine, ["may"])
+        assert out == "may"
+
+
+class TestSplCharUnits:
+    def test_symbols_formed(self, engine):
+        words = "open parenthesis salary close parenthesis".split()
+        assert decode(engine, words) == "( salary )"
+
+    def test_less_than(self, engine):
+        assert decode(engine, "salary less than five".split()) == "salary < 5"
+
+    def test_fidelity_zero_keeps_words(self):
+        wordy = SimulatedAsrEngine(
+            lm=LanguageModel(),
+            channel=AcousticChannel(NOISELESS),
+            splchar_fidelity=0.0,
+        )
+        out = wordy.transcribe_words(["star"], seed=0, nbest=1).text
+        assert out == "star"
+
+
+class TestWordUnits:
+    def test_in_vocab_kept(self, engine):
+        assert decode(engine, ["where"]) == "where"
+
+    def test_empty_input(self, engine):
+        assert decode(engine, []) == ""

@@ -1,0 +1,30 @@
+"""Tests for the confusion tables."""
+
+from repro.asr.homophones import CONFUSIONS, confusable_with, confusion_candidates
+
+
+class TestConfusions:
+    def test_paper_table1_pairs(self):
+        assert "some" in confusable_with("sum")
+        assert "wear" in confusable_with("where")
+        assert "form" in confusable_with("from")
+
+    def test_symmetry(self):
+        for word, others in CONFUSIONS.items():
+            for other in others:
+                assert word in CONFUSIONS[other], (word, other)
+
+    def test_no_self_confusion(self):
+        for word, others in CONFUSIONS.items():
+            assert word not in others
+
+    def test_unknown_word_empty(self):
+        assert confusable_with("xylophone") == []
+
+    def test_candidates_include_self_first(self):
+        cands = confusion_candidates("Sum")
+        assert cands[0] == "sum"
+        assert "some" in cands
+
+    def test_case_insensitive(self):
+        assert confusable_with("WHERE") == confusable_with("where")

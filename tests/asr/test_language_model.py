@@ -1,0 +1,51 @@
+"""Tests for the trainable language model."""
+
+import math
+
+from repro.asr.language_model import LanguageModel
+
+
+class TestPrior:
+    def test_generic_prefers_common_homophone(self):
+        lm = LanguageModel()
+        # A generic dictation model prefers "some" to "sum".
+        assert lm.unigram_logprob("some") > lm.unigram_logprob("sum")
+
+    def test_vocab_membership(self):
+        lm = LanguageModel()
+        assert lm.in_vocab("where")
+        assert not lm.in_vocab("custid")
+
+    def test_unknown_word_floor(self):
+        lm = LanguageModel()
+        assert lm.unigram_logprob("zzzzz") < lm.unigram_logprob("the")
+
+
+class TestTraining:
+    def test_training_flips_preference(self):
+        lm = LanguageModel()
+        lm.train([["select", "sum", "(", "salary", ")"]] * 50)
+        assert lm.unigram_logprob("sum") > lm.unigram_logprob("some")
+
+    def test_bigram_context(self):
+        lm = LanguageModel()
+        lm.train([["select", "sum"], ["select", "sum"], ["select", "count"]])
+        assert lm.score("select", "sum") > lm.score("select", "some")
+
+    def test_trained_flag(self):
+        lm = LanguageModel()
+        assert not lm.trained
+        lm.train([["a", "b"]])
+        assert lm.trained
+
+    def test_vocabulary_grows(self):
+        lm = LanguageModel()
+        before = len(lm.vocabulary())
+        lm.train([["employeenumber", "fromdate"]])
+        assert len(lm.vocabulary()) == before + 2
+
+    def test_scores_are_logprobs(self):
+        lm = LanguageModel()
+        lm.train([["select", "sum"]])
+        assert lm.score("select", "sum") <= 0.0
+        assert math.isfinite(lm.score("banana", "zzz"))

@@ -1,0 +1,92 @@
+"""Tests for spoken-number rendering and recognition."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.numbers import (
+    digits_to_words,
+    is_number_word,
+    number_to_words,
+    words_to_number,
+    words_to_number_groups,
+)
+
+
+class TestRendering:
+    def test_paper_example(self):
+        assert " ".join(number_to_words(45310)) == (
+            "forty five thousand three hundred ten"
+        )
+
+    def test_basic(self):
+        assert number_to_words(0) == ["zero"]
+        assert number_to_words(7) == ["seven"]
+        assert number_to_words(15) == ["fifteen"]
+        assert number_to_words(20) == ["twenty"]
+        assert number_to_words(42) == ["forty", "two"]
+        assert number_to_words(100) == ["one", "hundred"]
+        assert number_to_words(70000) == ["seventy", "thousand"]
+
+    def test_large(self):
+        assert " ".join(number_to_words(1_000_000)) == "one million"
+        assert " ".join(number_to_words(2_300_045)) == (
+            "two million three hundred thousand forty five"
+        )
+
+    def test_float(self):
+        assert " ".join(number_to_words(4.5)) == "four point five"
+
+    def test_digits_to_words(self):
+        assert digits_to_words("1729") == ["one", "seven", "two", "nine"]
+        assert digits_to_words("002") == ["zero", "zero", "two"]
+
+
+class TestRecognition:
+    def test_paper_example(self):
+        assert words_to_number(
+            "forty five thousand three hundred ten".split()
+        ) == 45310
+
+    def test_unparseable(self):
+        assert words_to_number(["banana"]) is None
+        assert words_to_number([]) is None
+
+    def test_float(self):
+        assert words_to_number("four point five".split()) == 4.5
+
+    def test_oh_as_zero(self):
+        assert words_to_number(["oh"]) == 0
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=999_999_999))
+    def test_int_roundtrip(self, value):
+        assert words_to_number(number_to_words(value)) == value
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_words_are_number_words(self, value):
+        assert all(is_number_word(w) for w in number_to_words(value))
+
+
+class TestGrouping:
+    def test_no_boundary(self):
+        words = "forty five thousand three hundred ten".split()
+        assert words_to_number_groups(words) == ["45310"]
+
+    def test_paper_regrouping(self):
+        # Table 1: "45412" heard with a pause -> "45000 412"-style split.
+        words = "forty five thousand three hundred ten".split()
+        assert words_to_number_groups(words, boundaries=[3]) == ["45000", "310"]
+
+    def test_digit_run_preserves_zeros(self):
+        assert words_to_number_groups("zero zero two".split()) == ["002"]
+
+    def test_digit_run_concatenates(self):
+        assert words_to_number_groups("one seven two nine".split()) == ["1729"]
+
+    def test_single_word(self):
+        assert words_to_number_groups(["five"]) == ["5"]
+
+    def test_garbage_falls_back_per_word(self):
+        out = words_to_number_groups(["seven", "banana"])
+        assert out == ["7", "banana"]

@@ -1,0 +1,58 @@
+"""Tests for speaker voice profiles."""
+
+from repro.asr.channel import ChannelProfile, NOISELESS
+from repro.asr.engine import make_custom_engine
+from repro.asr.speakers import POLLY_VOICES, speaking_seconds, voice_for
+
+
+class TestVoices:
+    def test_eight_voices(self):
+        # The paper's data generation uses 8 US-English Polly voices.
+        assert len(POLLY_VOICES) == 8
+        assert len({v.name for v in POLLY_VOICES}) == 8
+
+    def test_round_robin(self):
+        assert voice_for(0) == POLLY_VOICES[0]
+        assert voice_for(8) == POLLY_VOICES[0]
+        assert voice_for(3) == POLLY_VOICES[3]
+
+    def test_channel_scaling(self):
+        quiet = min(POLLY_VOICES, key=lambda v: v.noise_factor)
+        loud = max(POLLY_VOICES, key=lambda v: v.noise_factor)
+        base = ChannelProfile()
+        assert (
+            quiet.channel(base).profile.substitution_prob
+            < loud.channel(base).profile.substitution_prob
+        )
+
+    def test_noiseless_base_stays_noiseless(self):
+        voice = POLLY_VOICES[0]
+        channel = voice.channel(NOISELESS)
+        assert channel.profile.substitution_prob == 0.0
+
+    def test_speaking_seconds(self):
+        fast = max(POLLY_VOICES, key=lambda v: v.speed_rate)
+        slow = min(POLLY_VOICES, key=lambda v: v.speed_rate)
+        assert speaking_seconds(20, fast) < speaking_seconds(20, slow)
+
+
+class TestEngineIntegration:
+    def test_channel_override(self):
+        engine = make_custom_engine(["SELECT salary FROM Salaries"])
+        sql = "SELECT salary FROM Salaries WHERE salary > 70000"
+        default = engine.transcribe(sql, seed=5)
+        overridden = engine.transcribe(
+            sql, seed=5, channel=POLLY_VOICES[0].channel(NOISELESS)
+        )
+        # A noiseless channel yields a clean decode regardless of seed.
+        assert "salary" in overridden.text
+        assert default.text != "" and overridden.text != ""
+
+    def test_voices_vary_output(self):
+        engine = make_custom_engine(["SELECT salary FROM Salaries"])
+        sql = "SELECT LastName , FirstName FROM Employees ORDER BY HireDate"
+        texts = set()
+        for voice in POLLY_VOICES:
+            scaled = voice.channel(ChannelProfile().scaled(2.0))
+            texts.add(engine.transcribe(sql, seed=11, channel=scaled).text)
+        assert len(texts) > 1  # different voices, different transcriptions

@@ -1,0 +1,84 @@
+"""Tests for the Table 1 error-taxonomy classifier."""
+
+from repro.asr.taxonomy import ERROR_KINDS, classify_errors, error_profile
+
+
+class TestClassification:
+    def test_clean_transcription_no_errors(self):
+        errors = classify_errors(
+            "SELECT salary FROM Salaries",
+            "select salary from salaries",
+        )
+        assert errors == []
+
+    def test_keyword_homophone(self):
+        # Table 1 row 1: sum -> some.
+        errors = classify_errors(
+            "SELECT SUM ( salary ) FROM Salaries",
+            "select some salary from salaries",
+        )
+        kinds = {e.kind for e in errors}
+        assert "keyword_to_literal" in kinds
+        sum_error = next(e for e in errors if e.reference == "SUM")
+        assert sum_error.heard == "some"
+
+    def test_literal_to_keyword_split(self):
+        # Table 1 row 2: fromdate -> "from date".
+        errors = classify_errors(
+            "SELECT FromDate FROM Salaries",
+            "select from date from salaries",
+        )
+        assert any(
+            e.kind == "literal_to_keyword" and e.reference == "FromDate"
+            for e in errors
+        )
+
+    def test_oov_split(self):
+        # Table 1 row 3: CUSTID_1729A splits into pieces.
+        errors = classify_errors(
+            "SELECT a FROM t WHERE c = CUSTID_1729A",
+            "select a from t where c equals custid 1 7 2 9 a",
+        )
+        assert any(
+            e.kind == "oov_split" and e.reference == "CUSTID_1729A"
+            for e in errors
+        )
+
+    def test_number_split(self):
+        # Table 1 row 4: 45412 -> "45000 412".
+        errors = classify_errors(
+            "SELECT a FROM t WHERE b = 45412",
+            "select a from t where b equals 45000 412",
+        )
+        number_error = next(e for e in errors if e.reference == "45412")
+        assert number_error.kind == "number_split"
+        assert number_error.heard == "45000 412"
+
+    def test_date_error(self):
+        # Table 1 row 5: 1991-05-07 -> "may 07 90 91".
+        errors = classify_errors(
+            "SELECT a FROM t WHERE b = '1991-05-07'",
+            "select a from t where b equals may 07 90 91",
+        )
+        date_error = next(e for e in errors if e.reference == "1991-05-07")
+        assert date_error.kind == "date_error"
+        assert date_error.heard.startswith("may")
+
+
+class TestProfile:
+    def test_counts_all_kinds(self):
+        profile = error_profile(
+            [
+                ("SELECT SUM ( a ) FROM t", "select some a from t"),
+                ("SELECT FromDate FROM t", "select from date from t"),
+            ]
+        )
+        assert set(profile) == set(ERROR_KINDS)
+        assert profile["keyword_to_literal"] >= 1
+        assert profile["literal_to_keyword"] >= 1
+
+    def test_clean_profile_is_zero(self):
+        profile = error_profile(
+            [("SELECT a FROM t", "select a from t")] * 3
+        )
+        assert sum(profile.values()) == 0

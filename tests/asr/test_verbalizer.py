@@ -1,0 +1,70 @@
+"""Tests for SQL-to-spoken-words rendering."""
+
+from repro.asr.verbalizer import (
+    SPLCHAR_WORDS,
+    Verbalizer,
+    split_identifier,
+    verbalize_sql,
+)
+
+
+class TestIdentifierSplitting:
+    def test_camel_case(self):
+        assert split_identifier("FromDate") == ["from", "date"]
+        assert split_identifier("FirstName") == ["first", "name"]
+
+    def test_paper_oov_example(self):
+        assert split_identifier("CUSTID_1729A") == ["custid", "1729", "a"]
+
+    def test_underscores(self):
+        assert split_identifier("table_123") == ["table", "123"]
+
+    def test_all_caps(self):
+        assert split_identifier("TODATE") == ["todate"]
+
+    def test_mixed(self):
+        assert split_identifier("d002") == ["d", "002"]
+
+
+class TestVerbalization:
+    def test_keywords_lowercased(self):
+        assert verbalize_sql("SELECT FROM") == ["select", "from"]
+
+    def test_splchars_spoken(self):
+        assert verbalize_sql("*") == ["star"]
+        assert verbalize_sql("<") == ["less", "than"]
+        assert verbalize_sql("(") == ["open", "parenthesis"]
+
+    def test_all_splchars_covered(self):
+        for symbol in "*=<>().,":
+            assert SPLCHAR_WORDS[symbol]
+
+    def test_numbers_as_cardinals(self):
+        assert verbalize_sql("70000") == ["seventy", "thousand"]
+
+    def test_dates_spoken(self):
+        words = verbalize_sql("'1993-01-20'")
+        assert words[0] == "january"
+
+    def test_identifier_digits_spoken_individually(self):
+        # Table 1: CUSTID_1729A digits come out one at a time.
+        words = verbalize_sql("CUSTID_1729A")
+        assert words == ["custid", "one", "seven", "two", "nine", "a"]
+
+    def test_full_query(self):
+        words = verbalize_sql("SELECT Salary FROM Employees WHERE Name = 'John'")
+        assert words == [
+            "select", "salary", "from", "employees", "where", "name",
+            "equals", "john",
+        ]
+
+    def test_quoted_multiword_value(self):
+        words = verbalize_sql("WHERE title = 'Senior Engineer'")
+        assert "senior" in words and "engineer" in words
+
+    def test_cache_consistency(self):
+        verbalizer = Verbalizer()
+        first = verbalizer.verbalize_token("FromDate")
+        second = verbalizer.verbalize_token("FromDate")
+        assert first == second
+        assert first is not second  # defensive copy

@@ -1,0 +1,102 @@
+"""Shared fixtures: catalogs, indexes, engines (session-scoped, they are
+deterministic and moderately expensive to build)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.dataset import build_employees_catalog, build_yelp_catalog
+from repro.grammar.generator import StructureGenerator
+from repro.sqlengine import Catalog, Table
+from repro.structure.indexer import StructureIndex
+
+
+@pytest.fixture(scope="session")
+def employees_catalog() -> Catalog:
+    return build_employees_catalog()
+
+
+@pytest.fixture(scope="session")
+def yelp_catalog() -> Catalog:
+    return build_yelp_catalog()
+
+
+@pytest.fixture(scope="session")
+def small_catalog() -> Catalog:
+    """A tiny two-table catalog with known contents."""
+    catalog = Catalog("small")
+    employees = Table(
+        "Employees",
+        ["EmployeeNumber", "FirstName", "LastName", "Gender", "HireDate"],
+    )
+    employees.extend(
+        [
+            {
+                "EmployeeNumber": 1,
+                "FirstName": "Karsten",
+                "LastName": "Joslin",
+                "Gender": "M",
+                "HireDate": datetime.date(1990, 1, 1),
+            },
+            {
+                "EmployeeNumber": 2,
+                "FirstName": "Goh",
+                "LastName": "Facello",
+                "Gender": "F",
+                "HireDate": datetime.date(1992, 5, 2),
+            },
+            {
+                "EmployeeNumber": 3,
+                "FirstName": "Perla",
+                "LastName": "Koblick",
+                "Gender": "F",
+                "HireDate": datetime.date(1995, 7, 9),
+            },
+        ]
+    )
+    salaries = Table("Salaries", ["EmployeeNumber", "salary", "FromDate", "ToDate"])
+    salaries.extend(
+        [
+            {
+                "EmployeeNumber": 1,
+                "salary": 80000,
+                "FromDate": datetime.date(1993, 1, 20),
+                "ToDate": datetime.date(1995, 1, 1),
+            },
+            {
+                "EmployeeNumber": 2,
+                "salary": 60000,
+                "FromDate": datetime.date(1993, 1, 20),
+                "ToDate": datetime.date(1996, 1, 1),
+            },
+            {
+                "EmployeeNumber": 2,
+                "salary": 65000,
+                "FromDate": datetime.date(1994, 1, 20),
+                "ToDate": datetime.date(1997, 1, 1),
+            },
+            {
+                "EmployeeNumber": 3,
+                "salary": 72000,
+                "FromDate": datetime.date(1996, 2, 1),
+                "ToDate": datetime.date(1999, 1, 1),
+            },
+        ]
+    )
+    catalog.add_table(employees)
+    catalog.add_table(salaries)
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def small_index() -> StructureIndex:
+    """Structure index capped at 12 tokens (fast, exact)."""
+    return StructureIndex.build(StructureGenerator(max_tokens=12))
+
+
+@pytest.fixture(scope="session")
+def medium_index() -> StructureIndex:
+    """Structure index capped at 16 tokens."""
+    return StructureIndex.build(StructureGenerator(max_tokens=16))

@@ -1,0 +1,80 @@
+"""Tests for clause-level dictation."""
+
+import pytest
+
+from repro.asr.channel import NOISELESS, AcousticChannel
+from repro.asr.engine import SimulatedAsrEngine
+from repro.asr.language_model import LanguageModel
+from repro.core.clauses import ClauseKind, ClauseSpeakQL, clause_grammar
+from repro.metrics.ted import token_edit_distance
+
+
+class TestClauseGrammars:
+    def test_select_clause_language(self):
+        grammar = clause_grammar(ClauseKind.SELECT)
+        assert grammar.derives("SELECT x , AVG ( x )".split())
+        assert not grammar.derives("FROM x".split())
+
+    def test_from_clause_language(self):
+        grammar = clause_grammar(ClauseKind.FROM)
+        assert grammar.derives("FROM x NATURAL JOIN x".split())
+        assert grammar.derives("FROM x , x".split())
+
+    def test_where_clause_language(self):
+        grammar = clause_grammar(ClauseKind.WHERE)
+        assert grammar.derives("WHERE x = x AND x < x".split())
+        assert grammar.derives("WHERE x IN ( x , x )".split())
+
+    def test_tail_clause_language(self):
+        grammar = clause_grammar(ClauseKind.TAIL)
+        assert grammar.derives("ORDER BY x".split())
+        assert grammar.derives("GROUP BY x . x".split())
+        assert grammar.derives("LIMIT x".split())
+
+
+@pytest.fixture(scope="module")
+def clause_pipeline(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    engine = SimulatedAsrEngine(
+        lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+    )
+    engine.train_on_sql(["SELECT FirstName FROM Employees WHERE salary > 5"])
+    return ClauseSpeakQL(small_catalog, engine=engine)
+
+
+class TestClauseDictation:
+    def test_select_clause(self, clause_pipeline):
+        out = clause_pipeline.dictate_clause(
+            "SELECT FirstName , LastName", ClauseKind.SELECT, seed=0
+        )
+        assert out == "SELECT FirstName , LastName"
+
+    def test_where_clause(self, clause_pipeline):
+        out = clause_pipeline.dictate_clause(
+            "WHERE salary > 70000", ClauseKind.WHERE, seed=0
+        )
+        assert out == "WHERE salary > 70000"
+
+    def test_tables_context_narrows(self, clause_pipeline):
+        out = clause_pipeline.dictate_clause(
+            "WHERE salary > 70000",
+            ClauseKind.WHERE,
+            seed=0,
+            tables_context=["Salaries"],
+        )
+        assert "salary" in out
+
+    def test_full_query_assembly(self, clause_pipeline):
+        sql = (
+            "SELECT FirstName FROM Employees natural join Salaries "
+            "WHERE salary > 70000 ORDER BY FirstName"
+        )
+        out, parts = clause_pipeline.dictate_query(sql, seed=0)
+        assert token_edit_distance(sql, out) == 0
+        assert len(parts) == 4
+
+    def test_indexes_cached(self, clause_pipeline):
+        clause_pipeline.dictate_clause("LIMIT 5", ClauseKind.TAIL, seed=0)
+        first = clause_pipeline._indexes[ClauseKind.TAIL]
+        clause_pipeline.dictate_clause("LIMIT 9", ClauseKind.TAIL, seed=0)
+        assert clause_pipeline._indexes[ClauseKind.TAIL] is first

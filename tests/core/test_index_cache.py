@@ -1,0 +1,41 @@
+"""Tests for pipeline index caching."""
+
+from repro.core import SpeakQL, SpeakQLConfig
+
+
+class TestIndexCache:
+    def test_cache_created_and_reused(self, small_catalog, tmp_path):
+        cache = tmp_path / "structures.txt"
+        config = SpeakQLConfig(max_structure_tokens=10, index_cache_path=str(cache))
+        first = SpeakQL(small_catalog, config=config)
+        assert cache.exists()
+        size = len(first.structure_index)
+        second = SpeakQL(small_catalog, config=config)
+        assert len(second.structure_index) == size
+
+    def test_cache_invalidated_by_cap_change(self, small_catalog, tmp_path):
+        cache = tmp_path / "structures.txt"
+        small = SpeakQL(
+            small_catalog,
+            config=SpeakQLConfig(
+                max_structure_tokens=8, index_cache_path=str(cache)
+            ),
+        )
+        bigger = SpeakQL(
+            small_catalog,
+            config=SpeakQLConfig(
+                max_structure_tokens=10, index_cache_path=str(cache)
+            ),
+        )
+        assert len(bigger.structure_index) > len(small.structure_index)
+
+    def test_cached_pipeline_works(self, small_catalog, tmp_path):
+        cache = tmp_path / "structures.txt"
+        pipeline = SpeakQL(
+            small_catalog,
+            config=SpeakQLConfig(
+                max_structure_tokens=12, index_cache_path=str(cache)
+            ),
+        )
+        out = pipeline.correct_transcription("select salary from celeries")
+        assert out.sql == "SELECT salary FROM Salaries"

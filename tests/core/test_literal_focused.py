@@ -1,0 +1,43 @@
+"""Tests for the literal-focused (future work, paper §8) search mode."""
+
+from repro.core import SpeakQL, SpeakQLConfig
+from repro.structure.masking import collapse_literal_runs
+
+
+class TestCollapse:
+    def test_runs_collapse(self):
+        assert collapse_literal_runs(("SELECT", "x", "x", "x", "FROM", "x")) == (
+            "SELECT", "x", "FROM", "x",
+        )
+
+    def test_separated_placeholders_kept(self):
+        masked = ("SELECT", "x", ",", "x", "FROM", "x")
+        assert collapse_literal_runs(masked) == masked
+
+    def test_empty(self):
+        assert collapse_literal_runs(()) == ()
+
+
+class TestPipelineMode:
+    def test_split_literal_finds_simple_structure(
+        self, small_catalog, medium_index
+    ):
+        pipeline = SpeakQL(
+            small_catalog,
+            structure_index=medium_index,
+            config=SpeakQLConfig(literal_focused=True),
+        )
+        # "first name" splits into two masked tokens; collapsed search
+        # maps them onto a single placeholder with zero distance.
+        out = pipeline.correct_transcription("select first name from employees")
+        assert out.structure is not None
+        assert out.structure.structure == ("SELECT", "x", "FROM", "x")
+        assert out.structure.distance == 0.0
+        assert out.sql == "SELECT FirstName FROM Employees"
+
+    def test_default_mode_pays_for_splits(self, small_catalog, medium_index):
+        pipeline = SpeakQL(small_catalog, structure_index=medium_index)
+        out = pipeline.correct_transcription("select first name from employees")
+        # Without collapsing, the extra masked token costs distance.
+        assert out.structure is not None
+        assert out.structure.distance > 0.0

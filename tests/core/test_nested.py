@@ -1,0 +1,74 @@
+"""Tests for one-level nested query handling (Appendix F.8)."""
+
+import pytest
+
+from repro.asr.channel import NOISELESS, AcousticChannel
+from repro.asr.engine import SimulatedAsrEngine
+from repro.asr.language_model import LanguageModel
+from repro.core import SpeakQL
+from repro.core.nested import (
+    NestedSplit,
+    correct_nested_transcription,
+    split_nested,
+)
+from repro.sqlengine.parser import parse_select
+
+
+class TestSplit:
+    def test_not_nested(self):
+        tokens = "select a from t where b = 1".split()
+        assert split_nested(tokens) is None
+
+    def test_detects_inner_select(self):
+        tokens = (
+            "select a from t where b in ( select b from u where c = 1 )".split()
+        )
+        split = split_nested(tokens)
+        assert split is not None
+        assert split.inner[0] == "select"
+        assert split.inner[-1] == "1"
+        assert NestedSplit.SENTINEL in split.outer
+
+    def test_missing_close_paren(self):
+        tokens = "select a from t where b in ( select b from u".split()
+        split = split_nested(tokens)
+        assert split is not None
+        assert split.inner == "select b from u".split()
+
+    def test_inner_parens_balanced(self):
+        tokens = (
+            "select a from t where b in "
+            "( select count ( b ) from u )".split()
+        )
+        split = split_nested(tokens)
+        assert split is not None
+        assert split.inner == "select count ( b ) from u".split()
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    medium_index = request.getfixturevalue("medium_index")
+    engine = SimulatedAsrEngine(
+        lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+    )
+    return SpeakQL(small_catalog, engine=engine, structure_index=medium_index)
+
+
+class TestNestedCorrection:
+    def test_nested_query_corrected(self, pipeline):
+        transcription = (
+            "select first name from employees where employee number in "
+            "( select employee number from salaries where salary greater "
+            "than 70000 )"
+        )
+        out = correct_nested_transcription(pipeline, transcription)
+        stmt = parse_select(out)  # parseable => valid nested SQL
+        assert stmt.where is not None
+        assert "IN ( SELECT" in out
+
+    def test_plain_query_falls_back(self, pipeline):
+        out = correct_nested_transcription(
+            pipeline, "select salary from salaries"
+        )
+        assert out == "SELECT salary FROM Salaries"

@@ -1,0 +1,37 @@
+"""Tests for the pipeline result types."""
+
+from repro.core.result import ComponentTimings, SpeakQLOutput
+
+
+class TestTimings:
+    def test_total(self):
+        timings = ComponentTimings(structure_seconds=0.2, literal_seconds=0.1)
+        assert timings.total_seconds == 0.30000000000000004 or abs(
+            timings.total_seconds - 0.3
+        ) < 1e-12
+
+    def test_defaults_zero(self):
+        assert ComponentTimings().total_seconds == 0.0
+
+
+class TestOutput:
+    def _output(self, queries):
+        return SpeakQLOutput(
+            asr_text="asr",
+            asr_alternatives=("asr",),
+            queries=queries,
+            structure=None,
+            literal_result=None,
+        )
+
+    def test_sql_is_top1(self):
+        out = self._output(["A", "B"])
+        assert out.sql == "A"
+
+    def test_sql_empty_when_no_queries(self):
+        assert self._output([]).sql == ""
+
+    def test_top(self):
+        out = self._output(["A", "B", "C"])
+        assert out.top(2) == ["A", "B"]
+        assert out.top(10) == ["A", "B", "C"]

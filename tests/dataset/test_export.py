@@ -1,0 +1,58 @@
+"""Tests for dataset export/import."""
+
+import json
+
+import pytest
+
+from repro.dataset.export import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset,
+    save_dataset,
+)
+from repro.dataset.spoken import make_spoken_dataset
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset(request):
+    catalog = request.getfixturevalue("employees_catalog")
+    return make_spoken_dataset("test-export", catalog, 6, seed=13)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, dataset, employees_catalog):
+        payload = dataset_to_dict(dataset)
+        rebuilt = dataset_from_dict(payload, employees_catalog)
+        assert rebuilt.name == dataset.name
+        assert len(rebuilt) == len(dataset)
+        for original, loaded in zip(dataset.queries, rebuilt.queries):
+            assert loaded.record == original.record
+            assert loaded.spoken == original.spoken
+            assert loaded.seed == original.seed
+
+    def test_file_roundtrip(self, dataset, employees_catalog, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        rebuilt = load_dataset(path, employees_catalog)
+        assert rebuilt.queries == dataset.queries
+
+    def test_json_is_human_readable(self, dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["queries"][0]["sql"] == dataset.queries[0].sql
+
+
+class TestValidation:
+    def test_wrong_catalog_rejected(self, dataset, yelp_catalog):
+        payload = dataset_to_dict(dataset)
+        with pytest.raises(DatasetError):
+            dataset_from_dict(payload, yelp_catalog)
+
+    def test_wrong_version_rejected(self, dataset, employees_catalog):
+        payload = dataset_to_dict(dataset)
+        payload["format_version"] = 999
+        with pytest.raises(DatasetError):
+            dataset_from_dict(payload, employees_catalog)

@@ -1,0 +1,56 @@
+"""Tests for the synthetic WikiSQL-like / Spider-like pair sets."""
+
+from repro.dataset.nl_pairs import generate_spider_like, generate_wikisql_like
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+
+class TestWikiSqlLike:
+    def test_single_table(self, employees_catalog):
+        pairs = generate_wikisql_like(employees_catalog, 25, seed=4)
+        for pair in pairs:
+            stmt = parse_select(pair.sql)
+            assert len(stmt.from_tables) == 1
+
+    def test_executable(self, employees_catalog):
+        pairs = generate_wikisql_like(employees_catalog, 25, seed=4)
+        for pair in pairs:
+            execute(parse_select(pair.sql), employees_catalog)
+
+    def test_questions_mention_schema(self, employees_catalog):
+        pairs = generate_wikisql_like(employees_catalog, 10, seed=4)
+        for pair in pairs:
+            assert "?" in pair.question
+            assert "where" in pair.question.lower()
+
+    def test_deterministic(self, employees_catalog):
+        a = generate_wikisql_like(employees_catalog, 5, seed=4)
+        b = generate_wikisql_like(employees_catalog, 5, seed=4)
+        assert [p.sql for p in a] == [p.sql for p in b]
+
+
+class TestSpiderLike:
+    def test_contains_nested(self, employees_catalog):
+        pairs = generate_spider_like(employees_catalog, 30, seed=4)
+        assert any(p.nested for p in pairs)
+        assert any(not p.nested for p in pairs)
+
+    def test_nested_pairs_parse_with_subquery(self, employees_catalog):
+        pairs = generate_spider_like(employees_catalog, 30, seed=4)
+        for pair in pairs:
+            stmt = parse_select(pair.sql)
+            if pair.nested:
+                assert "IN ( SELECT" in pair.sql
+
+    def test_executable(self, employees_catalog):
+        pairs = generate_spider_like(employees_catalog, 20, seed=4)
+        for pair in pairs:
+            execute(parse_select(pair.sql), employees_catalog)
+
+    def test_multi_table_present(self, employees_catalog):
+        pairs = generate_spider_like(employees_catalog, 20, seed=4)
+        assert any(
+            len(parse_select(p.sql).from_tables) > 1
+            for p in pairs
+            if not p.nested
+        )

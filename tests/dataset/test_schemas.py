@@ -1,0 +1,80 @@
+"""Tests for the schema instances."""
+
+from repro.dataset.schemas import JOINABLE, build_employees_catalog, build_yelp_catalog
+
+
+class TestEmployees:
+    def test_paper_tables_present(self, employees_catalog):
+        names = set(employees_catalog.table_names())
+        assert names == {
+            "Employees", "Salaries", "Titles", "Departments",
+            "DepartmentEmployee", "DepartmentManager",
+        }
+
+    def test_table6_attributes_present(self, employees_catalog):
+        attrs = {a.lower() for a in employees_catalog.attribute_names()}
+        for needed in (
+            "salary", "lastname", "fromdate", "todate", "departmentnumber",
+            "firstname", "hiredate", "gender", "birthdate", "title",
+            "employeenumber",
+        ):
+            assert needed in attrs
+
+    def test_deterministic(self):
+        a = build_employees_catalog(seed=1)
+        b = build_employees_catalog(seed=1)
+        assert a.table("Employees").rows == b.table("Employees").rows
+
+    def test_seed_changes_data(self):
+        a = build_employees_catalog(seed=1)
+        b = build_employees_catalog(seed=2)
+        assert a.table("Employees").rows != b.table("Employees").rows
+
+    def test_referential_integrity(self, employees_catalog):
+        employee_numbers = set(
+            employees_catalog.table("Employees").column_values("EmployeeNumber")
+        )
+        for table in ("Salaries", "Titles", "DepartmentEmployee"):
+            refs = set(
+                employees_catalog.table(table).column_values("EmployeeNumber")
+            )
+            assert refs <= employee_numbers
+
+    def test_department_codes(self, employees_catalog):
+        codes = employees_catalog.table("Departments").column_values(
+            "DepartmentNumber"
+        )
+        assert all(str(c).startswith("d") for c in codes)
+
+
+class TestYelp:
+    def test_tables(self, yelp_catalog):
+        assert set(yelp_catalog.table_names()) == {
+            "Business", "Review", "Users", "Checkin", "Tip",
+        }
+
+    def test_review_references_business(self, yelp_catalog):
+        business_ids = set(
+            yelp_catalog.table("Business").column_values("BusinessId")
+        )
+        refs = set(yelp_catalog.table("Review").column_values("BusinessId"))
+        assert refs <= business_ids
+
+    def test_sized(self):
+        catalog = build_yelp_catalog(n_businesses=10, seed=3)
+        assert len(catalog.table("Business")) == 10
+
+
+class TestJoinable:
+    def test_joinable_pairs_share_columns(self):
+        for schema, build in (
+            ("employees", build_employees_catalog),
+            ("yelp", build_yelp_catalog),
+        ):
+            catalog = build()
+            for left, rights in JOINABLE[schema].items():
+                for right in rights:
+                    shared = set(catalog.table(left).column_keys) & set(
+                        catalog.table(right).column_keys
+                    )
+                    assert shared, (left, right)

@@ -1,0 +1,36 @@
+"""Tests for spoken dataset construction."""
+
+from repro.dataset.spoken import build_spoken_datasets, make_spoken_dataset
+
+
+class TestSpokenDataset:
+    def test_small_splits(self):
+        train, test, yelp = build_spoken_datasets(
+            n_train=8, n_test=6, n_yelp=5, seed=3
+        )
+        assert (len(train), len(test), len(yelp)) == (8, 6, 5)
+        assert train.catalog.name == "employees"
+        assert yelp.catalog.name == "yelp"
+
+    def test_spoken_forms_present(self, employees_catalog):
+        dataset = make_spoken_dataset("d", employees_catalog, 5, seed=1)
+        for query in dataset.queries:
+            assert query.spoken
+            assert all(isinstance(w, str) for w in query.spoken)
+
+    def test_unique_acoustic_seeds(self, employees_catalog):
+        dataset = make_spoken_dataset("d", employees_catalog, 10, seed=1)
+        seeds = [q.seed for q in dataset.queries]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_train_and_test_disjoint_seeds(self):
+        train, test, _ = build_spoken_datasets(
+            n_train=5, n_test=5, n_yelp=1, seed=3
+        )
+        assert set(q.sql for q in train.queries) != set(
+            q.sql for q in test.queries
+        )
+
+    def test_sql_texts(self, employees_catalog):
+        dataset = make_spoken_dataset("d", employees_catalog, 3, seed=1)
+        assert dataset.sql_texts() == [q.sql for q in dataset.queries]

@@ -1,0 +1,74 @@
+"""Tests for placeholder category assignment (paper Section 4.1)."""
+
+import pytest
+
+from repro.grammar.categorizer import LiteralCategory, assign_categories
+from repro.grammar.generator import StructureGenerator
+
+
+def cats(text: str) -> str:
+    return "".join(c.value for c in assign_categories(text.split()))
+
+
+class TestPaperExamples:
+    def test_running_example(self):
+        # Paper §6.1: SELECT x1 FROM x2 WHERE x3 = x4 ->
+        # x2 table, x1/x3 attributes, x4 value.
+        assert cats("SELECT x FROM x WHERE x = x") == "ATAV"
+
+    def test_figure4(self):
+        assert cats("SELECT x FROM x") == "AT"
+
+
+class TestClauses:
+    def test_select_list(self):
+        assert cats("SELECT x , x , x FROM x") == "AAAT"
+
+    def test_aggregates(self):
+        assert cats("SELECT AVG ( x ) FROM x") == "AT"
+        assert cats("SELECT COUNT ( * ) , x FROM x") == "AT"
+
+    def test_from_list(self):
+        assert cats("SELECT x FROM x , x , x") == "ATTT"
+
+    def test_natural_join(self):
+        assert cats("SELECT x FROM x NATURAL JOIN x") == "ATT"
+
+    def test_order_group_by(self):
+        assert cats("SELECT x FROM x WHERE x = x ORDER BY x") == "ATAVA"
+        assert cats("SELECT x FROM x GROUP BY x") == "ATA"
+
+    def test_limit(self):
+        assert cats("SELECT x FROM x LIMIT x") == "ATV"
+        assert cats("SELECT x FROM x WHERE x = x LIMIT x") == "ATAVV"
+
+
+class TestWherePredicates:
+    def test_comparison_sides(self):
+        assert cats("SELECT x FROM x WHERE x < x") == "ATAV"
+        assert cats("SELECT x FROM x WHERE x > x AND x = x") == "ATAVAV"
+        assert cats("SELECT x FROM x WHERE x = x OR x = x") == "ATAVAV"
+
+    def test_between(self):
+        assert cats("SELECT x FROM x WHERE x BETWEEN x AND x") == "ATAVV"
+
+    def test_not_between(self):
+        assert cats("SELECT x FROM x WHERE x NOT BETWEEN x AND x") == "ATAVV"
+
+    def test_in_list(self):
+        assert cats("SELECT x FROM x WHERE x IN ( x , x , x )") == "ATAVVV"
+
+    def test_dotted_pair(self):
+        assert cats("SELECT x FROM x , x WHERE x . x = x . x") == "ATTTATA"
+
+    def test_dotted_in_group_by(self):
+        assert cats("SELECT x FROM x GROUP BY x . x") == "ATTA"
+
+
+class TestTotalCoverage:
+    @pytest.mark.parametrize("cap", [8, 10])
+    def test_every_generated_structure_categorizable(self, cap):
+        for structure in StructureGenerator(max_tokens=cap).generate():
+            categories = assign_categories(structure)
+            assert len(categories) == structure.count("x")
+            assert all(isinstance(c, LiteralCategory) for c in categories)

@@ -1,0 +1,105 @@
+"""Tests for the generic CFG machinery."""
+
+import pytest
+
+from repro.grammar.cfg import Grammar, GrammarError, Production, Symbol
+
+
+def _simple_grammar() -> Grammar:
+    # S -> 'a' | 'a' S  : the language a, aa, aaa, ...
+    s = Symbol("S")
+    a = Symbol("a", terminal=True)
+    return Grammar(start=s, productions=[
+        Production(s, (a,)),
+        Production(s, (a, s)),
+    ])
+
+
+def _balanced_grammar() -> Grammar:
+    # S -> '(' S ')' | '' is not allowed (no epsilon); use S -> () | (S)
+    s = Symbol("S")
+    lp = Symbol("(", terminal=True)
+    rp = Symbol(")", terminal=True)
+    return Grammar(start=s, productions=[
+        Production(s, (lp, rp)),
+        Production(s, (lp, s, rp)),
+    ])
+
+
+class TestValidation:
+    def test_missing_productions_rejected(self):
+        s, t = Symbol("S"), Symbol("T")
+        with pytest.raises(GrammarError):
+            Grammar(start=s, productions=[Production(s, (t,))])
+
+    def test_terminal_lhs_rejected(self):
+        a = Symbol("a", terminal=True)
+        with pytest.raises(GrammarError):
+            Grammar(start=a, productions=[Production(a, (a,))])
+
+
+class TestMinLength:
+    def test_simple(self):
+        g = _simple_grammar()
+        assert g.min_terminal_length(g.start) == 1
+
+    def test_balanced(self):
+        g = _balanced_grammar()
+        assert g.min_terminal_length(g.start) == 2
+
+    def test_left_recursive(self):
+        # C -> C ',' 'x' | ',' 'x'  (the paper's list rules)
+        c = Symbol("C")
+        comma = Symbol(",", terminal=True)
+        x = Symbol("x", terminal=True)
+        g = Grammar(start=c, productions=[
+            Production(c, (c, comma, x)),
+            Production(c, (comma, x)),
+        ])
+        assert g.min_terminal_length(c) == 2
+
+
+class TestEnumeration:
+    def test_exact_count_simple(self):
+        g = _simple_grammar()
+        strings = set(g.enumerate_strings(5))
+        assert strings == {tuple(["a"] * n) for n in range(1, 6)}
+
+    def test_exact_count_balanced(self):
+        g = _balanced_grammar()
+        strings = set(g.enumerate_strings(6))
+        assert strings == {
+            ("(", ")"),
+            ("(", "(", ")", ")"),
+            ("(", "(", "(", ")", ")", ")"),
+        }
+
+    def test_max_strings_cap(self):
+        g = _simple_grammar()
+        assert len(list(g.enumerate_strings(50, max_strings=7))) == 7
+
+    def test_no_duplicates(self):
+        g = _balanced_grammar()
+        strings = list(g.enumerate_strings(8))
+        assert len(strings) == len(set(strings))
+
+    def test_zero_budget(self):
+        g = _simple_grammar()
+        assert list(g.enumerate_strings(0)) == []
+
+
+class TestMembership:
+    def test_derives_positive(self):
+        g = _balanced_grammar()
+        assert g.derives(["(", "(", ")", ")"])
+
+    def test_derives_negative(self):
+        g = _balanced_grammar()
+        assert not g.derives(["(", ")", ")"])
+        assert not g.derives([")"])
+        assert not g.derives([])
+
+    def test_derives_matches_enumeration(self):
+        g = _balanced_grammar()
+        for tokens in g.enumerate_strings(8):
+            assert g.derives(tokens)

@@ -1,0 +1,34 @@
+"""Tests for the offline Structure Generator."""
+
+from repro.grammar.generator import StructureGenerator
+
+
+class TestGenerator:
+    def test_respects_token_cap(self):
+        gen = StructureGenerator(max_tokens=10)
+        assert all(len(s) <= 10 for s in gen.generate())
+
+    def test_distinct(self):
+        gen = StructureGenerator(max_tokens=10)
+        structures = list(gen.generate())
+        assert len(structures) == len(set(structures))
+
+    def test_max_structures(self):
+        gen = StructureGenerator(max_tokens=14, max_structures=25)
+        assert gen.count() == 25
+
+    def test_strings_join_tokens(self):
+        gen = StructureGenerator(max_tokens=8)
+        for text, tokens in zip(gen.generate_strings(), gen.generate()):
+            assert text == " ".join(tokens)
+
+    def test_contains_running_example(self):
+        gen = StructureGenerator(max_tokens=8)
+        assert ("SELECT", "x", "FROM", "x", "WHERE", "x", "=", "x") in set(
+            gen.generate()
+        )
+
+    def test_monotone_in_cap(self):
+        small = set(StructureGenerator(max_tokens=8).generate())
+        large = set(StructureGenerator(max_tokens=10).generate())
+        assert small <= large

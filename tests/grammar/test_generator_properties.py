@@ -1,0 +1,51 @@
+"""Property tests for the structure generator and grammar enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar.categorizer import assign_categories
+from repro.grammar.generator import StructureGenerator
+from repro.grammar.speakql_grammar import build_speakql_grammar
+from repro.grammar.vocabulary import classify_token, TokenClass
+
+
+class TestStructureInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(cap=st.integers(min_value=4, max_value=12))
+    def test_structures_start_with_select(self, cap):
+        for structure in StructureGenerator(max_tokens=cap).generate():
+            assert structure[0] == "SELECT"
+
+    @settings(max_examples=10, deadline=None)
+    @given(cap=st.integers(min_value=4, max_value=11))
+    def test_structures_contain_from(self, cap):
+        for structure in StructureGenerator(max_tokens=cap).generate():
+            assert "FROM" in structure
+
+    def test_tokens_are_keywords_splchars_or_placeholder(self):
+        for structure in StructureGenerator(max_tokens=10).generate():
+            for token in structure:
+                if token == "x":
+                    continue
+                assert classify_token(token) in (
+                    TokenClass.KEYWORD,
+                    TokenClass.SPLCHAR,
+                ), token
+
+    def test_balanced_parentheses(self):
+        for structure in StructureGenerator(max_tokens=14).generate():
+            depth = 0
+            for token in structure:
+                if token == "(":
+                    depth += 1
+                elif token == ")":
+                    depth -= 1
+                    assert depth >= 0, structure
+            assert depth == 0, structure
+
+    def test_placeholders_categorized_consistently(self):
+        grammar = build_speakql_grammar()
+        for structure in StructureGenerator(max_tokens=10).generate():
+            categories = assign_categories(structure)
+            assert len(categories) == structure.count("x")
+            assert grammar.derives(structure)

@@ -1,0 +1,79 @@
+"""Tests for the Box 1 grammar and its extensions."""
+
+import pytest
+
+from repro.grammar.speakql_grammar import build_speakql_grammar
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return build_speakql_grammar()
+
+
+@pytest.fixture(scope="module")
+def box1():
+    return build_speakql_grammar(extensions=False)
+
+
+# Structures straight from the paper's examples and Table 6 queries.
+PAPER_STRUCTURES = [
+    "SELECT x FROM x",
+    "SELECT x FROM x WHERE x = x",
+    "SELECT * FROM x",
+    "SELECT AVG ( x ) FROM x",
+    "SELECT COUNT ( * ) FROM x",
+    "SELECT x FROM x WHERE x = x ORDER BY x",  # Q4 shape
+    "SELECT SUM ( x ) FROM x WHERE x = x",  # Q5 shape
+    "SELECT x , COUNT ( x ) FROM x GROUP BY x",  # Q6 shape (extension)
+    "SELECT x FROM x NATURAL JOIN x WHERE x > x",  # Q2 shape (extension)
+    "SELECT x FROM x WHERE x IN ( x , x , x )",
+    "SELECT x FROM x WHERE x BETWEEN x AND x",
+    "SELECT x FROM x WHERE x NOT BETWEEN x AND x",
+    "SELECT x FROM x , x WHERE x . x = x . x",
+    "SELECT x FROM x WHERE x = x AND x < x",
+    "SELECT x FROM x WHERE x = x OR x = x LIMIT x",
+    "SELECT * FROM x LIMIT x",  # extension tail
+]
+
+NON_STRUCTURES = [
+    "FROM x SELECT x",
+    "SELECT FROM x",
+    "SELECT x WHERE x = x",
+    "SELECT x FROM x WHERE = x",
+    "SELECT x FROM x WHERE x x x",
+    "SELECT x FROM x GROUP BY",  # missing operand
+]
+
+
+class TestLanguage:
+    @pytest.mark.parametrize("text", PAPER_STRUCTURES)
+    def test_derives_paper_structures(self, grammar, text):
+        assert grammar.derives(text.split())
+
+    @pytest.mark.parametrize("text", NON_STRUCTURES)
+    def test_rejects_non_structures(self, grammar, text):
+        assert not grammar.derives(text.split())
+
+    def test_box1_lacks_natural_join(self, box1):
+        assert not box1.derives("SELECT x FROM x NATURAL JOIN x".split())
+
+    def test_box1_lacks_bare_group_by(self, box1):
+        assert not box1.derives("SELECT x FROM x GROUP BY x".split())
+
+    def test_box1_core_retained(self, box1):
+        assert box1.derives("SELECT x FROM x WHERE x = x".split())
+
+
+class TestEnumerationAgreesWithMembership:
+    def test_enumerated_strings_derive(self, grammar):
+        for tokens in grammar.enumerate_strings(10):
+            assert grammar.derives(tokens), tokens
+
+    def test_minimum_structure(self, grammar):
+        shortest = min(grammar.enumerate_strings(8), key=len)
+        assert len(shortest) == 4  # SELECT <item> FROM <table>
+
+    def test_counts_grow_with_budget(self, grammar):
+        n8 = sum(1 for _ in grammar.enumerate_strings(8))
+        n12 = sum(1 for _ in grammar.enumerate_strings(12))
+        assert n12 > n8 > 0

@@ -1,0 +1,90 @@
+"""Tests for the token vocabulary and SQL tokenizer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar.vocabulary import (
+    KEYWORD_DICT,
+    SPLCHAR_DICT,
+    TokenClass,
+    classify_token,
+    is_keyword,
+    is_splchar,
+    normalize_token,
+    tokenize_sql,
+)
+
+
+class TestDictionaries:
+    def test_paper_keywords_present(self):
+        for word in (
+            "SELECT FROM WHERE ORDER GROUP BY NATURAL JOIN AND OR NOT "
+            "LIMIT BETWEEN IN SUM COUNT MAX AVG MIN"
+        ).split():
+            assert word in KEYWORD_DICT
+
+    def test_paper_splchars_present(self):
+        assert SPLCHAR_DICT == frozenset("*=<>()., ".replace(" ", ""))
+
+    def test_dictionaries_disjoint(self):
+        assert not KEYWORD_DICT & SPLCHAR_DICT
+
+
+class TestClassification:
+    def test_keywords_case_insensitive(self):
+        assert is_keyword("select")
+        assert is_keyword("Select")
+        assert classify_token("fRoM") is TokenClass.KEYWORD
+
+    def test_splchars_exact(self):
+        assert is_splchar("*")
+        assert not is_splchar("star")
+        assert classify_token("=") is TokenClass.SPLCHAR
+
+    def test_literals(self):
+        for token in ("Employees", "salary", "CUSTID_1729A", "45412", "d002"):
+            assert classify_token(token) is TokenClass.LITERAL
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1))
+    def test_every_token_classified(self, token):
+        assert classify_token(token) in TokenClass
+
+
+class TestTokenizer:
+    def test_simple(self):
+        assert tokenize_sql("SELECT AVG ( salary ) FROM Salaries") == [
+            "SELECT", "AVG", "(", "salary", ")", "FROM", "Salaries",
+        ]
+
+    def test_quoted_strings_stripped(self):
+        assert tokenize_sql("WHERE name = 'John'") == ["WHERE", "name", "=", "John"]
+
+    def test_dates(self):
+        assert tokenize_sql("FromDate = '1993-01-20'") == [
+            "FromDate", "=", "1993-01-20",
+        ]
+
+    def test_unpacked_punctuation(self):
+        assert tokenize_sql("SELECT a,b FROM t") == [
+            "SELECT", "a", ",", "b", "FROM", "t",
+        ]
+
+    def test_identifiers_with_digits(self):
+        assert tokenize_sql("x = CUSTID_1729A") == ["x", "=", "CUSTID_1729A"]
+
+    def test_decimal_number(self):
+        assert tokenize_sql("salary > 4.5") == ["salary", ">", "4.5"]
+
+    def test_empty(self):
+        assert tokenize_sql("") == []
+
+
+class TestNormalization:
+    def test_keywords_uppercased(self):
+        assert normalize_token("select") == "SELECT"
+
+    def test_literals_lowercased(self):
+        assert normalize_token("Employees") == "employees"
+
+    def test_splchars_unchanged(self):
+        assert normalize_token("*") == "*"

@@ -1,0 +1,52 @@
+"""Determinism guarantees: identical seeds, identical everything."""
+
+from repro.asr import make_custom_engine
+from repro.core import SpeakQL
+from repro.dataset import QueryGenerator, build_employees_catalog
+from repro.dataset.spoken import build_spoken_datasets
+from repro.study import StudySimulator, sample_participants
+from repro.study.queries import STUDY_QUERIES
+
+
+class TestDeterminism:
+    def test_catalog_bitwise(self):
+        a = build_employees_catalog(seed=4)
+        b = build_employees_catalog(seed=4)
+        for ta, tb in zip(a.tables(), b.tables()):
+            assert ta.rows == tb.rows
+
+    def test_dataset_splits(self):
+        a = build_spoken_datasets(n_train=5, n_test=5, n_yelp=3, seed=12)
+        b = build_spoken_datasets(n_train=5, n_test=5, n_yelp=3, seed=12)
+        for split_a, split_b in zip(a, b):
+            assert split_a.queries == split_b.queries
+
+    def test_generation_order_independent_of_count(self, employees_catalog):
+        few = QueryGenerator(employees_catalog, seed=3).generate(5)
+        many = QueryGenerator(employees_catalog, seed=3).generate(10)
+        assert [r.sql for r in few] == [r.sql for r in many[:5]]
+
+    def test_pipeline_outputs(self, employees_catalog, medium_index):
+        engine = make_custom_engine(["SELECT salary FROM Salaries"])
+        a = SpeakQL(employees_catalog, engine=engine, structure_index=medium_index)
+        b = SpeakQL(employees_catalog, engine=engine, structure_index=medium_index)
+        sql = "SELECT MAX ( salary ) FROM Salaries WHERE ToDate > '1999-01-01'"
+        out_a = a.query_from_speech(sql, seed=77)
+        out_b = b.query_from_speech(sql, seed=77)
+        assert out_a.asr_text == out_b.asr_text
+        assert out_a.queries == out_b.queries
+
+    def test_study_trials(self, employees_catalog):
+        participants = sample_participants(2, seed=8)
+        queries = STUDY_QUERIES[:3]
+        a = StudySimulator(employees_catalog, seed=5).run(participants, queries)
+        b = StudySimulator(employees_catalog, seed=5).run(participants, queries)
+        for trial_a, trial_b in zip(a.trials, b.trials):
+            # Efforts and typing times are exactly reproducible; SpeakQL
+            # wall-clock includes measured pipeline latency, so compare
+            # within a small tolerance.
+            assert trial_a.speakql.effort == trial_b.speakql.effort
+            assert trial_a.typing.seconds == trial_b.typing.seconds
+            assert abs(
+                trial_a.speakql.seconds - trial_b.speakql.seconds
+            ) < 2.0

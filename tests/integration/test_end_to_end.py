@@ -1,0 +1,138 @@
+"""Cross-module integration tests: the paper's headline claims in-the-small.
+
+These run the full stack — dataset generation, simulated speech, the
+SpeakQL pipeline, metrics, and execution — and assert the *shape* of the
+paper's results: SpeakQL improves on raw ASR on every metric class, most
+queries end within a handful of touches, and corrected queries execute.
+"""
+
+import pytest
+
+from repro.asr import make_custom_engine, make_generic_engine
+from repro.core import SpeakQL
+from repro.dataset import build_employees_catalog, build_yelp_catalog
+from repro.dataset.spoken import make_spoken_dataset
+from repro.metrics import aggregate_metrics, score_query
+from repro.metrics.ted import token_edit_distance
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def employees_run():
+    catalog = build_employees_catalog()
+    train = make_spoken_dataset("train", catalog, 60, seed=71)
+    test = make_spoken_dataset("test", catalog, 30, seed=72)
+    engine = make_custom_engine([q.sql for q in train.queries])
+    pipeline = SpeakQL(catalog, engine=engine)
+    outputs = [
+        (q, pipeline.query_from_speech(q.sql, seed=q.seed))
+        for q in test.queries
+    ]
+    return catalog, outputs
+
+
+class TestHeadlineClaims:
+    def test_speakql_beats_asr_on_every_class(self, employees_run):
+        _, outputs = employees_run
+        asr = aggregate_metrics(
+            [score_query(q.sql, out.asr_text) for q, out in outputs]
+        )
+        speakql = aggregate_metrics(
+            [score_query(q.sql, out.sql) for q, out in outputs]
+        )
+        assert speakql.wrr > asr.wrr
+        assert speakql.lrr > asr.lrr
+        assert speakql.kpr >= asr.kpr
+        assert speakql.srr >= asr.srr
+
+    def test_substantial_wrr_lift(self, employees_run):
+        # Paper: average lift of 21% in Word Recall Rate.
+        _, outputs = employees_run
+        asr = aggregate_metrics(
+            [score_query(q.sql, out.asr_text) for q, out in outputs]
+        )
+        speakql = aggregate_metrics(
+            [score_query(q.sql, out.sql) for q, out in outputs]
+        )
+        assert speakql.wrr - asr.wrr > 0.05
+
+    def test_keywords_near_ceiling(self, employees_run):
+        _, outputs = employees_run
+        speakql = aggregate_metrics(
+            [score_query(q.sql, out.sql) for q, out in outputs]
+        )
+        assert speakql.kpr > 0.9
+        assert speakql.spr > 0.9
+
+    def test_most_queries_few_touches(self, employees_run):
+        # Paper Figure 6A: ~90% of queries have TED < 6.
+        _, outputs = employees_run
+        teds = [token_edit_distance(q.sql, out.sql) for q, out in outputs]
+        assert sum(t <= 6 for t in teds) / len(teds) > 0.6
+
+    def test_outputs_are_valid_sql(self, employees_run):
+        catalog, outputs = employees_run
+        parseable = 0
+        for _, out in outputs:
+            try:
+                execute(parse_select(out.sql), catalog)
+                parseable += 1
+            except Exception:
+                pass
+        assert parseable / len(outputs) > 0.8
+
+    def test_top5_at_least_as_good_as_top1(self, employees_run):
+        from repro.metrics.token_metrics import best_of
+
+        _, outputs = employees_run
+        top1 = aggregate_metrics(
+            [score_query(q.sql, out.sql) for q, out in outputs]
+        )
+        top5 = aggregate_metrics(
+            [best_of(q.sql, out.top(5)) for q, out in outputs]
+        )
+        assert top5.wrr >= top1.wrr
+
+    def test_latency_interactive(self, employees_run):
+        _, outputs = employees_run
+        latencies = [out.timings.total_seconds for _, out in outputs]
+        assert sum(lat < 2.0 for lat in latencies) / len(latencies) > 0.8
+
+
+class TestSchemaGeneralization:
+    def test_yelp_without_retraining(self):
+        # The custom model is trained on Employees only (paper §6.1):
+        # Yelp recall is lower but the pipeline still improves on ASR.
+        employees = build_employees_catalog()
+        yelp = build_yelp_catalog()
+        train = make_spoken_dataset("train", employees, 40, seed=73)
+        test = make_spoken_dataset("yelp", yelp, 20, seed=74)
+        engine = make_custom_engine([q.sql for q in train.queries])
+        pipeline = SpeakQL(yelp, engine=engine)
+        asr_metrics, speakql_metrics = [], []
+        for q in test.queries:
+            out = pipeline.query_from_speech(q.sql, seed=q.seed)
+            asr_metrics.append(score_query(q.sql, out.asr_text))
+            speakql_metrics.append(score_query(q.sql, out.sql))
+        asr = aggregate_metrics(asr_metrics)
+        speakql = aggregate_metrics(speakql_metrics)
+        assert speakql.wrr > asr.wrr
+
+
+class TestEngineComparison:
+    def test_custom_engine_beats_generic_downstream(self):
+        catalog = build_employees_catalog()
+        train = make_spoken_dataset("train", catalog, 40, seed=75)
+        test = make_spoken_dataset("test", catalog, 15, seed=76)
+        custom = make_custom_engine([q.sql for q in train.queries])
+        generic = make_generic_engine()
+        custom_wrr = generic_wrr = 0.0
+        for q in test.queries:
+            custom_wrr += score_query(
+                q.sql, custom.transcribe(q.sql, seed=q.seed).text
+            ).wrr
+            generic_wrr += score_query(
+                q.sql, generic.transcribe(q.sql, seed=q.seed).text
+            ).wrr
+        assert custom_wrr > generic_wrr

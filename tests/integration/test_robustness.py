@@ -1,0 +1,109 @@
+"""Failure-injection and robustness tests.
+
+The pipeline must degrade gracefully, never crash: empty transcriptions,
+pure gibberish, extreme channel noise, queries far outside the supported
+subset, adversarial literal content.
+"""
+
+import pytest
+
+from repro.asr.channel import AcousticChannel, ChannelProfile
+from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
+from repro.asr.language_model import LanguageModel
+from repro.core import SpeakQL
+from repro.sqlengine.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    medium_index = request.getfixturevalue("medium_index")
+    return SpeakQL(small_catalog, structure_index=medium_index)
+
+
+class TestDegenerateTranscriptions:
+    def test_empty_transcription(self, pipeline):
+        out = pipeline.correct_transcription("")
+        assert out.sql  # a minimal valid structure is still produced
+        parse_select(out.sql)
+
+    def test_single_token(self, pipeline):
+        out = pipeline.correct_transcription("select")
+        parse_select(out.sql)
+
+    def test_gibberish(self, pipeline):
+        out = pipeline.correct_transcription(
+            "florble wug snark blib vorpal quux"
+        )
+        parse_select(out.sql)  # output is always syntactically valid
+
+    def test_keywords_only(self, pipeline):
+        out = pipeline.correct_transcription("select from where and or not")
+        parse_select(out.sql)
+
+    def test_splchars_only(self, pipeline):
+        out = pipeline.correct_transcription(
+            "equals equals less than greater than comma"
+        )
+        parse_select(out.sql)
+
+    def test_very_long_transcription(self, pipeline):
+        out = pipeline.correct_transcription(
+            "select " + "salary " * 60 + "from employees"
+        )
+        parse_select(out.sql)
+
+    def test_repeated_correction_is_stable(self, pipeline):
+        text = "select salary from celeries wear salary greater than 70000"
+        first = pipeline.correct_transcription(text).sql
+        second = pipeline.correct_transcription(text).sql
+        assert first == second
+
+
+class TestExtremeNoise:
+    def test_maximum_noise_never_crashes(self, small_catalog, medium_index):
+        engine = SimulatedAsrEngine(
+            lm=LanguageModel(),
+            channel=AcousticChannel(
+                ChannelProfile(0.9, 0.9, 0.3, 0.9, 1.0, 1.0)
+            ),
+        )
+        pipeline = SpeakQL(
+            small_catalog, engine=engine, structure_index=medium_index
+        )
+        for seed in range(5):
+            out = pipeline.query_from_speech(
+                "SELECT AVG ( salary ) FROM Salaries WHERE FromDate = "
+                "'1993-01-20'",
+                seed=seed,
+            )
+            parse_select(out.sql)
+
+    def test_total_deletion(self, small_catalog, medium_index):
+        engine = SimulatedAsrEngine(
+            lm=LanguageModel(),
+            channel=AcousticChannel(ChannelProfile(0, 0, 1.0, 0, 0, 0)),
+        )
+        pipeline = SpeakQL(
+            small_catalog, engine=engine, structure_index=medium_index
+        )
+        out = pipeline.query_from_speech("SELECT salary FROM Salaries", seed=0)
+        # Everything was deleted; the pipeline still emits valid SQL.
+        parse_select(out.sql)
+
+
+class TestAdversarialLiterals:
+    def test_keyword_valued_literal(self, pipeline):
+        # A value that IS a keyword word ("Select" as a name).
+        out = pipeline.correct_transcription(
+            "select first name from employees where last name equals joslin"
+        )
+        parse_select(out.sql)
+
+    def test_numeric_table_position(self, pipeline):
+        out = pipeline.correct_transcription("select salary from 12345")
+        parse_select(out.sql)
+
+    def test_unicodeish_input(self, pipeline):
+        out = pipeline.correct_transcription("select salary from employeés")
+        parse_select(out.sql)

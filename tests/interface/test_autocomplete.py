@@ -1,0 +1,72 @@
+"""Tests for SQL-keyboard value autocomplete."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interface.autocomplete import Autocomplete
+
+VALUES = ["Karsten", "Kendra", "Kazuhito", "Goh", "Georgi", "Engineer",
+          "Senior Engineer", "d001", "d002"]
+
+_words = st.lists(
+    st.text(alphabet="abcdefg", min_size=1, max_size=6),
+    min_size=1,
+    max_size=15,
+    unique=True,
+)
+
+
+class TestComplete:
+    def test_prefix_matching(self):
+        ac = Autocomplete(VALUES)
+        assert ac.complete("ka") == ["Karsten", "Kazuhito"]
+
+    def test_case_insensitive(self):
+        ac = Autocomplete(VALUES)
+        assert ac.complete("KA") == ac.complete("ka")
+
+    def test_limit(self):
+        ac = Autocomplete(VALUES)
+        assert len(ac.complete("", limit=3)) == 3
+
+    def test_no_match(self):
+        ac = Autocomplete(VALUES)
+        assert ac.complete("zzz") == []
+
+    def test_exact_value_included(self):
+        ac = Autocomplete(VALUES)
+        assert "d002" in ac.complete("d00")
+
+    def test_size_deduplicates(self):
+        ac = Autocomplete(["A", "a", "A"])
+        assert len(ac) == 1
+
+    @given(_words)
+    def test_every_value_completable(self, words):
+        ac = Autocomplete(words)
+        for word in words:
+            assert word in ac.complete(word, limit=len(words))
+
+
+class TestKeystrokeCost:
+    def test_unique_prefix_is_cheap(self):
+        ac = Autocomplete(VALUES)
+        cost = ac.keystrokes_until_visible("Goh", list_size=2)
+        assert cost is not None
+        assert cost <= len("Goh") + 1
+
+    def test_small_vocab_is_immediate(self):
+        ac = Autocomplete(["Alpha", "Beta"])
+        assert ac.keystrokes_until_visible("Beta", list_size=8) == 1
+
+    def test_unknown_value_is_none(self):
+        ac = Autocomplete(VALUES)
+        assert ac.keystrokes_until_visible("Zebra") is None
+
+    @given(_words)
+    def test_cost_bounded_by_length(self, words):
+        ac = Autocomplete(words)
+        for word in words:
+            cost = ac.keystrokes_until_visible(word, list_size=4)
+            assert cost is not None
+            assert 1 <= cost <= len(word) + 1

@@ -1,0 +1,58 @@
+"""Tests for the query display and clause splitting."""
+
+from repro.interface.display import Clause, QueryDisplay, split_clauses
+from repro.grammar.vocabulary import tokenize_sql
+
+
+class TestSplitClauses:
+    def test_basic(self):
+        tokens = tokenize_sql(
+            "SELECT a FROM t WHERE b = 1 GROUP BY a ORDER BY a LIMIT 5"
+        )
+        clauses = split_clauses(tokens)
+        assert clauses[Clause.SELECT] == ["SELECT", "a"]
+        assert clauses[Clause.FROM] == ["FROM", "t"]
+        assert clauses[Clause.WHERE] == ["WHERE", "b", "=", "1"]
+        assert clauses[Clause.GROUP_BY] == ["GROUP", "BY", "a"]
+        assert clauses[Clause.ORDER_BY] == ["ORDER", "BY", "a"]
+        assert clauses[Clause.LIMIT] == ["LIMIT", "5"]
+
+    def test_subquery_stays_in_where(self):
+        tokens = tokenize_sql(
+            "SELECT a FROM t WHERE b IN ( SELECT b FROM u LIMIT 3 )"
+        )
+        clauses = split_clauses(tokens)
+        assert Clause.LIMIT not in clauses
+        assert clauses[Clause.WHERE].count("SELECT") == 1
+
+    def test_missing_clauses_absent(self):
+        clauses = split_clauses(tokenize_sql("SELECT a FROM t"))
+        assert set(clauses) == {Clause.SELECT, Clause.FROM}
+
+
+class TestDisplay:
+    def test_edits(self):
+        display = QueryDisplay.from_sql("SELECT a FROM t")
+        display.replace_token(1, "b")
+        assert display.text() == "SELECT b FROM t"
+        display.insert_token(2, ",")
+        display.insert_token(3, "c")
+        assert display.text() == "SELECT b , c FROM t"
+        display.delete_token(1)
+        display.delete_token(1)
+        assert display.text() == "SELECT c FROM t"
+
+    def test_replace_clause(self):
+        display = QueryDisplay.from_sql("SELECT a FROM t WHERE b = 1")
+        display.replace_clause(Clause.WHERE, ["WHERE", "c", ">", "2"])
+        assert display.text() == "SELECT a FROM t WHERE c > 2"
+
+    def test_replace_clause_keeps_order(self):
+        display = QueryDisplay.from_sql("SELECT a FROM t LIMIT 5")
+        display.replace_clause(Clause.WHERE, ["WHERE", "b", "=", "1"])
+        assert display.text() == "SELECT a FROM t WHERE b = 1 LIMIT 5"
+
+    def test_set_query(self):
+        display = QueryDisplay()
+        display.set_query(["SELECT", "*", "FROM", "t"])
+        assert display.text() == "SELECT * FROM t"

@@ -1,0 +1,44 @@
+"""Tests for the SQL keyboard cost model."""
+
+from repro.interface.keyboard import SqlKeyboard
+
+
+class TestKeys:
+    def test_keywords_single_touch(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.touches_for_token("SELECT") == 1
+        assert keyboard.touches_for_token("natural") == 1
+
+    def test_splchars_single_touch(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.touches_for_token("*") == 1
+
+    def test_schema_names_single_touch(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.touches_for_token("Employees") == 1
+        assert keyboard.touches_for_token("FirstName") == 1
+
+    def test_values_autocomplete(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.autocompletes("'Karsten'")
+        assert keyboard.touches_for_token("'Karsten'") <= 4
+
+    def test_dates_picker(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.touches_for_token("'1993-01-20'") == 3
+
+    def test_free_text_per_character(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.touches_for_token("zzzzzz") == 6
+
+    def test_raw_typing_cost(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        assert keyboard.raw_typing_keystrokes("SELECT") == 6
+        assert keyboard.raw_typing_keystrokes("'Goh'") == 3
+
+    def test_keyboard_cheaper_than_typing(self, small_catalog):
+        keyboard = SqlKeyboard(small_catalog)
+        for token in ("SELECT", "Employees", "FirstName", "'Karsten'"):
+            assert keyboard.touches_for_token(token) <= (
+                keyboard.raw_typing_keystrokes(token)
+            )

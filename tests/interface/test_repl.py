@@ -1,0 +1,72 @@
+"""Tests for the interactive session (scripted stdin/stdout)."""
+
+import io
+
+import pytest
+
+from repro.core import SpeakQL
+from repro.interface.repl import ReplSession
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    medium_index = request.getfixturevalue("medium_index")
+    return SpeakQL(small_catalog, structure_index=medium_index)
+
+
+def run_session(pipeline, script: str) -> str:
+    stdout = io.StringIO()
+    session = ReplSession(
+        pipeline=pipeline, stdin=io.StringIO(script), stdout=stdout
+    )
+    session.run()
+    return stdout.getvalue()
+
+
+class TestSession:
+    def test_quit(self, pipeline):
+        out = run_session(pipeline, ":quit\n")
+        assert "bye" in out
+
+    def test_eof_ends(self, pipeline):
+        out = run_session(pipeline, "")
+        assert "bye" in out
+
+    def test_correct_and_run(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n:run\n:quit\n",
+        )
+        assert "SELECT FirstName FROM Employees" in out
+        assert "columns: ['FirstName']" in out
+        assert "Karsten" in out
+
+    def test_top_candidates(self, pipeline):
+        out = run_session(
+            pipeline, "select salary from salaries\n:top\n:quit\n"
+        )
+        assert "1. SELECT" in out
+
+    def test_schema(self, pipeline):
+        out = run_session(pipeline, ":schema\n:quit\n")
+        assert "Employees(" in out
+        assert "Salaries(" in out
+
+    def test_run_without_query(self, pipeline):
+        out = run_session(pipeline, ":run\n:quit\n")
+        assert "nothing to run" in out
+
+    def test_unknown_command(self, pipeline):
+        out = run_session(pipeline, ":bogus\n:quit\n")
+        assert "unknown command" in out
+
+    def test_dictation_mode(self, pipeline):
+        out = run_session(pipeline, "!SELECT salary FROM Salaries\n:quit\n")
+        assert "heard" in out
+        assert "query" in out
+
+    def test_bad_query_execution_error(self, pipeline):
+        out = run_session(pipeline, "select zzz from employees\n:run\n:quit\n")
+        # whatever literal got picked, either runs or reports an error
+        assert "query  :" in out

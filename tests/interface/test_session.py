@@ -1,0 +1,103 @@
+"""Tests for the correction session."""
+
+from repro.interface.display import QueryDisplay
+from repro.interface.effort import EffortLog, Interaction
+from repro.interface.keyboard import SqlKeyboard
+from repro.interface.session import CorrectionSession, edit_script
+
+
+class TestEditScript:
+    def test_identity(self):
+        ops = edit_script(["a", "b"], ["a", "b"])
+        assert all(op == "keep" for op, _ in ops)
+
+    def test_insert_delete(self):
+        ops = edit_script(["a", "x", "c"], ["a", "b", "c"])
+        kinds = [op for op, _ in ops]
+        assert kinds.count("delete") == 1
+        assert kinds.count("insert") == 1
+
+    def test_applying_script_reaches_reference(self):
+        hyp = "SELECT a FROM t".split()
+        ref = "SELECT b , c FROM t LIMIT 5".split()
+        result = []
+        for op, token in edit_script(hyp, ref):
+            if op in ("keep", "insert"):
+                result.append(token)
+        assert result == ref
+
+    def test_case_normalized_match(self):
+        ops = edit_script(["select"], ["SELECT"])
+        assert ops == [("keep", "SELECT")]
+
+
+def make_session(small_catalog, displayed, reference):
+    return CorrectionSession(
+        keyboard=SqlKeyboard(small_catalog),
+        display=QueryDisplay.from_sql(displayed),
+        reference=reference,
+        log=EffortLog(),
+    )
+
+
+class TestCorrection:
+    def test_already_correct(self, small_catalog):
+        session = make_session(
+            small_catalog, "SELECT salary FROM Salaries", "SELECT salary FROM Salaries"
+        )
+        assert session.done
+        log = session.correct()
+        assert log.touches == 0
+
+    def test_fixes_to_reference(self, small_catalog):
+        session = make_session(
+            small_catalog,
+            "SELECT celery FROM Salaries",
+            "SELECT salary FROM Salaries",
+        )
+        session.correct()
+        assert session.done
+        assert session.log.touches > 0
+
+    def test_remaining_edits_is_ted(self, small_catalog):
+        session = make_session(
+            small_catalog, "SELECT celery FROM Salaries", "SELECT salary FROM Salaries"
+        )
+        assert session.remaining_edits() == 2
+
+    def test_redictation_for_bad_clause(self, small_catalog):
+        session = make_session(
+            small_catalog,
+            "SELECT salary FROM Salaries WHERE a b c d e f",
+            "SELECT salary FROM Salaries WHERE salary > 70000 AND FromDate "
+            "= '1993-01-20'",
+        )
+        calls = []
+
+        def redictate(clause_sql: str) -> str:
+            calls.append(clause_sql)
+            return clause_sql  # perfect re-dictation
+
+        session.correct(redictate=redictate)
+        assert session.done
+        assert calls  # the WHERE clause was re-dictated
+        assert session.log.count(Interaction.CLAUSE_DICTATION) == len(calls)
+
+    def test_small_errors_fixed_by_touch(self, small_catalog):
+        session = make_session(
+            small_catalog,
+            "SELECT celery FROM Salaries",
+            "SELECT salary FROM Salaries",
+        )
+        calls = []
+        session.correct(redictate=lambda sql: calls.append(sql) or sql)
+        assert not calls  # below the re-dictation threshold
+
+    def test_effort_log_units(self, small_catalog):
+        log = EffortLog()
+        log.record(Interaction.DICTATION)
+        log.record(Interaction.TOUCH, count=3)
+        log.record(Interaction.KEYSTROKE, count=2)
+        assert log.units_of_effort == 6
+        assert log.touches == 5
+        assert log.dictations == 1

@@ -1,0 +1,85 @@
+"""Tests for structure-guided placeholder windows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.literal.alignment import align_tokens, placeholder_windows
+from repro.structure.edit_distance import weighted_edit_distance
+
+
+class TestAlign:
+    def test_identity(self):
+        tokens = "SELECT x FROM x".split()
+        ops = align_tokens(tokens, tokens)
+        assert all(op.kind == "match" for op in ops)
+
+    def test_delete_and_insert(self):
+        ops = align_tokens(
+            "SELECT x x FROM x".split(), "SELECT x FROM x WHERE x = x".split()
+        )
+        kinds = [op.kind for op in ops]
+        assert kinds.count("delete") == 1
+        assert kinds.count("insert") == 4
+
+    def test_cost_matches_edit_distance(self):
+        source = "SELECT x FROM x x x = x".split()
+        target = "SELECT x FROM x WHERE x = x".split()
+        ops = align_tokens(source, target)
+        from repro.structure.edit_distance import DEFAULT_WEIGHTS
+
+        cost = sum(
+            DEFAULT_WEIGHTS.of(
+                source[op.source_index]
+                if op.kind == "delete"
+                else target[op.target_index]
+            )
+            for op in ops
+            if op.kind != "match"
+        )
+        assert cost == weighted_edit_distance(source, target)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.sampled_from(["SELECT", "FROM", "x", "="]), max_size=8),
+        st.lists(st.sampled_from(["SELECT", "FROM", "x", "="]), max_size=8),
+    )
+    def test_ops_reconstruct_both_sides(self, source, target):
+        ops = align_tokens(source, target)
+        src_indices = [op.source_index for op in ops if op.kind != "insert"]
+        tgt_indices = [op.target_index for op in ops if op.kind != "delete"]
+        assert src_indices == list(range(len(source)))
+        assert tgt_indices == list(range(len(target)))
+
+
+class TestWindows:
+    def test_exact_alignment(self):
+        masked = "SELECT x FROM x WHERE x = x".split()
+        windows = placeholder_windows(masked, masked)
+        assert windows == [(1, 2), (3, 4), (5, 6), (7, 8)]
+
+    def test_absorbed_junk_token(self):
+        # "wear" masked as an extra x between FROM-table and attribute.
+        masked = "SELECT x FROM x x x = x".split()
+        structure = "SELECT x FROM x WHERE x = x".split()
+        windows = placeholder_windows(masked, structure)
+        assert len(windows) == 4
+        # every masked literal is covered by some window
+        covered = set()
+        for begin, end in windows:
+            covered.update(range(begin, end))
+        literal_positions = {i for i, t in enumerate(masked) if t == "x"}
+        assert literal_positions <= covered
+
+    def test_missing_placeholder_gets_empty_window(self):
+        masked = "SELECT x FROM x".split()
+        structure = "SELECT x FROM x WHERE x = x".split()
+        windows = placeholder_windows(masked, structure)
+        assert len(windows) == 4
+        assert windows[2][0] == windows[2][1]  # empty
+        assert windows[3][0] == windows[3][1]  # empty
+
+    def test_window_count_matches_placeholders(self):
+        masked = "SELECT x x x FROM x".split()
+        structure = "SELECT x , x FROM x".split()
+        windows = placeholder_windows(masked, structure)
+        assert len(windows) == structure.count("x")

@@ -1,0 +1,63 @@
+"""Tests for transcription segmentation (Section 4.2, Figure 4)."""
+
+from repro.literal.segmentation import enumerate_strings, literal_window
+from repro.phonetics.metaphone import metaphone
+
+
+class TestWindow:
+    def test_skips_leading_keywords(self):
+        tokens = "select first name from employers".split()
+        assert literal_window(tokens, 0) == (1, 3)
+
+    def test_window_ends_at_keyword(self):
+        tokens = "first name from employers".split()
+        assert literal_window(tokens, 0) == (0, 2)
+
+    def test_window_ends_at_splchar(self):
+        tokens = "employees . first name".split()
+        assert literal_window(tokens, 0) == (0, 1)
+
+    def test_empty_at_end(self):
+        tokens = ["select"]
+        assert literal_window(tokens, 0) == (1, 1)
+
+    def test_begin_past_end(self):
+        assert literal_window(["a"], 5) == (5, 5)
+
+
+class TestEnumeration:
+    def test_figure4_example(self):
+        # Window "first name" -> A = {first, name, firstname}
+        tokens = "select first name from employers".split()
+        segments = enumerate_strings(tokens, 1, 3)
+        texts = {s.text for s in segments}
+        assert texts == {"first", "name", "firstname"}
+
+    def test_codes_are_phonetic(self):
+        tokens = ["first", "name"]
+        segments = enumerate_strings(tokens, 0, 2)
+        by_text = {s.text: s.code for s in segments}
+        assert by_text["firstname"] == metaphone("first name")
+
+    def test_positions(self):
+        tokens = ["first", "name"]
+        segments = enumerate_strings(tokens, 0, 2)
+        spans = {(s.text, s.start, s.end) for s in segments}
+        assert ("first", 0, 0) in spans
+        assert ("name", 1, 1) in spans
+        assert ("firstname", 0, 1) in spans
+
+    def test_window_size_cap(self):
+        tokens = ["a", "b", "c", "d"]
+        segments = enumerate_strings(tokens, 0, 4, window_size=2)
+        assert max(s.width for s in segments) == 2
+        assert len(segments) == 4 + 3  # singles + adjacent pairs
+
+    def test_keywords_break_runs(self):
+        tokens = ["first", "from", "name"]
+        segments = enumerate_strings(tokens, 0, 3)
+        texts = {s.text for s in segments}
+        assert texts == {"first", "name"}
+
+    def test_empty_window(self):
+        assert enumerate_strings(["a"], 1, 1) == []

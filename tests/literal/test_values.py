@@ -1,0 +1,91 @@
+"""Tests for typed value recovery (numbers, dates)."""
+
+import datetime
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asr.numbers import number_to_words, words_to_number_groups
+from repro.literal.values import merge_number_tokens, recover_date, recover_value
+
+
+class TestNumberMerging:
+    def test_paper_regrouping_recovered(self):
+        # "45412" -> "45000 412" (Table 1); merging reconstructs it.
+        assert merge_number_tokens(["45000", "412"]) == "45412"
+        assert merge_number_tokens(["45000", "310"]) == "45310"
+
+    def test_single_token(self):
+        assert merge_number_tokens(["70000"]) == "70000"
+
+    def test_digit_run_concatenates(self):
+        assert merge_number_tokens(["1", "7", "2", "9"]) == "1729"
+
+    def test_overlapping_fragments_not_summed(self):
+        # 450 + 27: 27 does not fit in 450's zero suffix -> keep first.
+        assert merge_number_tokens(["450", "27"]) == "450"
+
+    def test_non_numeric_prefix(self):
+        assert merge_number_tokens(["banana"]) is None
+        assert merge_number_tokens([]) is None
+
+    def test_stops_at_non_numeric(self):
+        assert merge_number_tokens(["45000", "310", "group"]) == "45310"
+
+    def test_float_kept_verbatim(self):
+        assert merge_number_tokens(["4.5", "3"]) == "4.5"
+
+    @given(st.integers(min_value=0, max_value=10**7))
+    def test_unsplit_numbers_survive(self, value):
+        tokens = words_to_number_groups(number_to_words(value))
+        assert merge_number_tokens(tokens) == str(value)
+
+    @given(st.integers(min_value=1000, max_value=10**6))
+    def test_scale_split_recovered(self, value):
+        # Split exactly at the thousands boundary, as speakers pause.
+        head, tail = divmod(value, 1000)
+        if tail == 0:
+            return
+        tokens = [str(head * 1000), str(tail)]
+        assert merge_number_tokens(tokens) == str(value)
+
+
+class TestDateRecovery:
+    def test_iso_token(self):
+        assert recover_date(["1993-01-20"]) == datetime.date(1993, 1, 20)
+
+    def test_month_and_fragments(self):
+        assert recover_date(["may", "7", "1991"]) == datetime.date(1991, 5, 7)
+
+    def test_paper_mangled_example(self):
+        # "may 07 90 91": day 7, then pair 90/91 is not a valid pairing,
+        # but 90 alone maps to 1990.
+        result = recover_date(["may", "07", "90", "91"])
+        assert result is not None
+        assert result.month == 5
+        assert result.day == 7
+
+    def test_pairwise_year(self):
+        assert recover_date(["may", "7", "19", "91"]) == datetime.date(1991, 5, 7)
+
+    def test_unrecoverable(self):
+        assert recover_date(["banana"]) is None
+        assert recover_date([]) is None
+        assert recover_date(["may"]) is None
+
+
+class TestRecoverValue:
+    def test_int_type(self):
+        assert recover_value(["45000", "310"], "int") == "45310"
+
+    def test_date_type(self):
+        assert recover_value(["1993-01-20"], "date") == "1993-01-20"
+
+    def test_unknown_type_number(self):
+        assert recover_value(["42"], None) == "42"
+
+    def test_unknown_type_string_returns_none(self):
+        assert recover_value(["john"], None) is None
+
+    def test_empty(self):
+        assert recover_value([], "int") is None

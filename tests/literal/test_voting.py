@@ -1,0 +1,108 @@
+"""Tests for the literal voting algorithm, anchored on Appendix E.2.
+
+The two paper examples show why voting beats the all-pairs minimum:
+the FROMDATE/TODATE pairs where the closest single pair points at the
+wrong literal.
+"""
+
+from repro.literal.segmentation import Segment
+from repro.literal.voting import VoteOutcome, char_edit_distance, literal_assignment
+from repro.phonetics.metaphone import metaphone
+from repro.phonetics.phonetic_index import PhoneticEntry
+
+
+def seg(text: str, start: int = 0, end: int = 0) -> Segment:
+    return Segment(text=text, code=metaphone(text), start=start, end=end)
+
+
+def entry(literal: str) -> PhoneticEntry:
+    return PhoneticEntry(literal=literal, code=metaphone(literal))
+
+
+class TestCharEditDistance:
+    def test_known(self):
+        assert char_edit_distance("FRNT", "FRMTT") == 2
+        assert char_edit_distance("", "abc") == 3
+        assert char_edit_distance("abc", "abc") == 0
+
+    def test_symmetric(self):
+        assert char_edit_distance("TT", "TTT") == char_edit_distance("TTT", "TT")
+
+
+class TestPaperExampleOne:
+    """E.2 Example 1: A={FRONT, DATE, FRONTDATE}, B={FROMDATE, TODATE}.
+
+    The all-pairs minimum is (DATE, TODATE) — wrong; voting picks
+    FROMDATE because FRONT and FRONTDATE both vote for it.
+    """
+
+    def test_voting_picks_fromdate(self):
+        segments = [seg("front", 0, 0), seg("date", 1, 1), seg("frontdate", 0, 1)]
+        candidates = [entry("FROMDATE"), entry("TODATE")]
+        outcome = literal_assignment(segments, candidates)
+        assert outcome.winner is not None
+        assert outcome.winner.literal == "FROMDATE"
+
+    def test_all_pairs_minimum_would_be_wrong(self):
+        # Confirm the premise: min single-pair distance is DATE->TODATE.
+        pairs = {}
+        for a in ("FRONT", "DATE", "FRONTDATE"):
+            for b in ("FROMDATE", "TODATE"):
+                pairs[(a, b)] = char_edit_distance(metaphone(a), metaphone(b))
+        best = min(pairs, key=pairs.get)
+        assert best == ("DATE", "TODATE")
+
+
+class TestPaperExampleTwo:
+    """E.2 Example 2: A={RUM, DATE, RUMDATE}, B={FROMDATE, TODATE}."""
+
+    def test_voting_picks_fromdate(self):
+        segments = [seg("rum", 0, 0), seg("date", 1, 1), seg("rumdate", 0, 1)]
+        candidates = [entry("FROMDATE"), entry("TODATE")]
+        outcome = literal_assignment(segments, candidates)
+        assert outcome.winner.literal == "FROMDATE"
+
+
+class TestMechanics:
+    def test_empty_candidates(self):
+        outcome = literal_assignment([seg("x")], [])
+        assert outcome.winner is None
+        assert outcome.location == -1
+
+    def test_empty_segments_ranking_still_full(self):
+        outcome = literal_assignment([], [entry("Alpha"), entry("Beta")])
+        assert len(outcome.ranking) == 2
+
+    def test_location_tracks_winner_span(self):
+        segments = [seg("first", 4, 4), seg("name", 5, 5), seg("firstname", 4, 5)]
+        outcome = literal_assignment(segments, [entry("FirstName"), entry("Gender")])
+        assert outcome.winner.literal == "FirstName"
+        assert outcome.location == 5
+
+    def test_raw_string_tiebreak(self):
+        # d001..d003 are phonetically identical; raw distance decides.
+        segments = [seg("d002")]
+        candidates = [entry("d001"), entry("d002"), entry("d003")]
+        outcome = literal_assignment(segments, candidates)
+        assert outcome.winner.literal == "d002"
+
+    def test_lexicographic_final_tiebreak(self):
+        segments = [seg("zzz")]
+        candidates = [entry("bb"), entry("aa")]
+        outcome = literal_assignment(segments, candidates)
+        # equal votes, equal raw distance -> lexicographic
+        assert outcome.winner.literal == "aa"
+
+    def test_top_k(self):
+        segments = [seg("first")]
+        candidates = [entry("FirstName"), entry("LastName"), entry("Gender")]
+        outcome = literal_assignment(segments, candidates)
+        assert len(outcome.top(2)) == 2
+        assert outcome.top(2)[0] == outcome.winner.literal
+
+    def test_returns_vote_counts(self):
+        segments = [seg("front"), seg("frontdate")]
+        candidates = [entry("FROMDATE"), entry("TODATE")]
+        outcome = literal_assignment(segments, candidates)
+        assert sum(outcome.votes.values()) >= len(segments)
+        assert isinstance(outcome, VoteOutcome)

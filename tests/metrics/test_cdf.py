@@ -1,0 +1,57 @@
+"""Tests for the empirical CDF helper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import Cdf
+
+_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestCdf:
+    def test_at(self):
+        cdf = Cdf.of([1, 2, 3, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_quantile(self):
+        cdf = Cdf.of([10, 20, 30, 40])
+        assert cdf.quantile(0.25) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+
+    def test_mean_median(self):
+        cdf = Cdf.of([1, 2, 3])
+        assert cdf.mean == 2.0
+        assert cdf.median == 2
+
+    def test_series(self):
+        cdf = Cdf.of([1, 2])
+        assert cdf.series([1, 2]) == [(1, 0.5), (2, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.of([])
+
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Cdf.of([1]).quantile(0)
+
+    @given(_samples)
+    def test_monotone(self, sample):
+        cdf = Cdf.of(sample)
+        points = sorted(set(sample))
+        values = [cdf.at(x) for x in points]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    @given(_samples, st.floats(min_value=0.01, max_value=1.0))
+    def test_quantile_inverts_cdf(self, sample, q):
+        cdf = Cdf.of(sample)
+        x = cdf.quantile(q)
+        assert cdf.at(x) >= q - 1e-9

@@ -1,0 +1,24 @@
+"""Tests for text table rendering."""
+
+from repro.metrics.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        header_cols = lines[1].index("value")
+        assert lines[3].rstrip().endswith("1")
+        assert lines[3][header_cols] == "1"
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456]])
+        assert "0.12" in table
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table

@@ -1,0 +1,43 @@
+"""Tests for Token Edit Distance."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.ted import best_of_ted, token_edit_distance
+
+_queries = st.lists(
+    st.sampled_from(["SELECT", "FROM", "salary", "Employees", "=", "5"]),
+    min_size=1,
+    max_size=8,
+).map(" ".join)
+
+
+class TestTed:
+    def test_identity(self):
+        assert token_edit_distance("SELECT a FROM t", "select a from t") == 0
+
+    def test_single_insert(self):
+        assert token_edit_distance("SELECT a FROM t", "SELECT FROM t") == 1
+
+    def test_substitution_counts_two(self):
+        assert token_edit_distance("SELECT a FROM t", "SELECT b FROM t") == 2
+
+    def test_empty_hypothesis(self):
+        assert token_edit_distance("SELECT a FROM t", "") == 4
+
+    @given(_queries, _queries)
+    def test_symmetric(self, a, b):
+        assert token_edit_distance(a, b) == token_edit_distance(b, a)
+
+    @given(_queries, _queries)
+    def test_integer_valued(self, a, b):
+        assert isinstance(token_edit_distance(a, b), int)
+
+
+class TestBestOf:
+    def test_minimum(self):
+        ref = "SELECT a FROM t"
+        assert best_of_ted(ref, ["SELECT b FROM t", ref]) == 0
+
+    def test_empty(self):
+        assert best_of_ted("SELECT a FROM t", []) == 4

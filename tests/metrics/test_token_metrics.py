@@ -1,0 +1,104 @@
+"""Tests for the eight accuracy metrics (Section 6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.token_metrics import (
+    aggregate_metrics,
+    best_of,
+    score_query,
+    token_multiset,
+)
+
+_queries = st.lists(
+    st.sampled_from(
+        ["SELECT", "FROM", "WHERE", "salary", "Employees", "=", "70000", ","]
+    ),
+    min_size=1,
+    max_size=10,
+).map(" ".join)
+
+
+class TestMultiset:
+    def test_keywords_normalized(self):
+        assert token_multiset("select SELECT Select")["SELECT"] == 3
+
+    def test_literals_lowercased(self):
+        assert token_multiset("Employees")["employees"] == 1
+
+    def test_quotes_stripped(self):
+        assert token_multiset("WHERE a = 'John'")["john"] == 1
+
+
+class TestScoreQuery:
+    def test_perfect(self):
+        metrics = score_query(
+            "SELECT salary FROM Employees", "select salary from employees"
+        )
+        for value in metrics.as_dict().values():
+            assert value == 1.0
+
+    def test_paper_definitions(self):
+        # reference: 2 keywords, 2 literals; hypothesis gets 1 literal wrong.
+        ref = "SELECT salary FROM Employees"
+        hyp = "SELECT salary FROM employers"
+        metrics = score_query(ref, hyp)
+        assert metrics.kpr == 1.0 and metrics.krr == 1.0
+        assert metrics.lpr == 0.5 and metrics.lrr == 0.5
+        assert metrics.wpr == 0.75 and metrics.wrr == 0.75
+
+    def test_splchar_class(self):
+        metrics = score_query("SELECT * FROM t", "SELECT FROM t")
+        assert metrics.srr == 0.0
+        assert metrics.spr == 1.0  # no splchars in hypothesis: vacuous 1.0
+
+    def test_precision_vs_recall_asymmetry(self):
+        ref = "SELECT a FROM t"
+        hyp = "SELECT a a a FROM t"
+        metrics = score_query(ref, hyp)
+        assert metrics.wrr == 1.0
+        assert metrics.wpr < 1.0
+
+    def test_empty_hypothesis(self):
+        metrics = score_query("SELECT a FROM t", "")
+        assert metrics.wrr == 0.0
+
+    @given(_queries)
+    def test_self_score_perfect(self, query):
+        metrics = score_query(query, query)
+        assert metrics.wpr == metrics.wrr == 1.0
+
+    @given(_queries, _queries)
+    def test_bounded(self, ref, hyp):
+        for value in score_query(ref, hyp).as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    @given(_queries, _queries)
+    def test_precision_recall_duality(self, ref, hyp):
+        forward = score_query(ref, hyp)
+        backward = score_query(hyp, ref)
+        assert forward.wpr == pytest.approx(backward.wrr)
+        assert forward.wrr == pytest.approx(backward.wpr)
+
+
+class TestBestOf:
+    def test_picks_best(self):
+        ref = "SELECT a FROM t"
+        metrics = best_of(ref, ["SELECT b FROM t", "SELECT a FROM t"])
+        assert metrics.wrr == 1.0
+
+    def test_empty_list(self):
+        assert best_of("SELECT a FROM t", []).wrr == 0.0
+
+
+class TestAggregation:
+    def test_mean(self):
+        a = score_query("SELECT a FROM t", "SELECT a FROM t")
+        b = score_query("SELECT a FROM t", "SELECT b FROM t")
+        mean = aggregate_metrics([a, b])
+        assert mean.wrr == pytest.approx((a.wrr + b.wrr) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])

@@ -1,0 +1,54 @@
+"""Tests for Word Error Rate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.wer import word_error_breakdown, word_error_rate
+
+_queries = st.lists(
+    st.sampled_from(["SELECT", "FROM", "salary", "Employees", "=", "5"]),
+    min_size=1,
+    max_size=8,
+).map(" ".join)
+
+
+class TestWer:
+    def test_perfect(self):
+        assert word_error_rate("SELECT a FROM t", "select a from t") == 0.0
+
+    def test_substitution(self):
+        breakdown = word_error_breakdown("SELECT a FROM t", "SELECT b FROM t")
+        assert breakdown.substitutions == 1
+        assert breakdown.insertions == breakdown.deletions == 0
+        assert breakdown.rate == 0.25
+
+    def test_deletion(self):
+        breakdown = word_error_breakdown("SELECT a FROM t", "SELECT FROM t")
+        assert breakdown.deletions == 1
+        assert breakdown.rate == 0.25
+
+    def test_insertion(self):
+        breakdown = word_error_breakdown("SELECT a FROM t", "SELECT a a FROM t")
+        assert breakdown.insertions == 1
+
+    def test_can_exceed_one(self):
+        assert word_error_rate("a", "x y z") > 1.0
+
+    def test_empty_reference(self):
+        assert word_error_rate("", "") == 0.0
+        assert word_error_rate("", "a") > 0.0
+
+    @given(_queries)
+    def test_self_is_zero(self, query):
+        assert word_error_rate(query, query) == 0.0
+
+    @given(_queries, _queries)
+    def test_non_negative(self, ref, hyp):
+        assert word_error_rate(ref, hyp) >= 0.0
+
+    @given(_queries, _queries)
+    def test_errors_bounded_by_lengths(self, ref, hyp):
+        breakdown = word_error_breakdown(ref, hyp)
+        assert breakdown.errors <= max(
+            breakdown.reference_length, len(hyp.split())
+        ) + len(hyp.split())

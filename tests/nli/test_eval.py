@@ -1,0 +1,75 @@
+"""Tests for NLI evaluation metrics."""
+
+from repro.nli.eval import component_match, execution_match
+
+
+class TestComponentMatch:
+    def test_identical(self):
+        sql = "SELECT a FROM t WHERE b = 1"
+        assert component_match(sql, sql)
+
+    def test_order_insensitive_sets(self):
+        assert component_match(
+            "SELECT a , b FROM t", "SELECT b , a FROM t"
+        )
+        assert component_match(
+            "SELECT a FROM t WHERE b = 1 AND c = 2",
+            "SELECT a FROM t WHERE c = 2 AND b = 1",
+        )
+
+    def test_value_difference_detected(self):
+        assert not component_match(
+            "SELECT a FROM t WHERE b = 1", "SELECT a FROM t WHERE b = 2"
+        )
+
+    def test_aggregate_difference_detected(self):
+        assert not component_match(
+            "SELECT AVG ( a ) FROM t", "SELECT SUM ( a ) FROM t"
+        )
+
+    def test_unparseable_prediction(self):
+        assert not component_match("SELECT a FROM t", "SELECT FROM WHERE")
+        assert not component_match("SELECT a FROM t", None)
+
+    def test_case_insensitive(self):
+        assert component_match("SELECT A FROM T", "select a from t")
+
+    def test_nested_compared(self):
+        gold = "SELECT a FROM t WHERE b IN ( SELECT b FROM u )"
+        assert component_match(gold, gold)
+        assert not component_match(
+            gold, "SELECT a FROM t WHERE b IN ( SELECT b FROM t )"
+        )
+
+
+class TestExecutionMatch:
+    def test_equivalent_queries(self, small_catalog):
+        assert execution_match(
+            "SELECT FirstName FROM Employees WHERE EmployeeNumber < 3",
+            "SELECT FirstName FROM Employees WHERE EmployeeNumber IN ( 1 , 2 )",
+            small_catalog,
+        )
+
+    def test_different_results(self, small_catalog):
+        assert not execution_match(
+            "SELECT FirstName FROM Employees",
+            "SELECT LastName FROM Employees",
+            small_catalog,
+        )
+
+    def test_prediction_error_is_miss(self, small_catalog):
+        assert not execution_match(
+            "SELECT FirstName FROM Employees",
+            "SELECT Nope FROM Employees",
+            small_catalog,
+        )
+        assert not execution_match(
+            "SELECT FirstName FROM Employees", None, small_catalog
+        )
+
+    def test_gold_must_execute(self, small_catalog):
+        assert not execution_match(
+            "SELECT Nope FROM Employees",
+            "SELECT FirstName FROM Employees",
+            small_catalog,
+        )

@@ -1,0 +1,65 @@
+"""Tests for the sketch-based NLI baseline."""
+
+import pytest
+
+from repro.dataset.nl_pairs import generate_wikisql_like
+from repro.nli.sota import SketchNli
+from repro.nli.eval import component_match, execution_match
+
+
+@pytest.fixture(scope="module")
+def nli(request):
+    return SketchNli(request.getfixturevalue("employees_catalog"))
+
+
+class TestSlotFilling:
+    def test_simple_projection(self, nli):
+        sql = nli.to_sql("What is the salary in salaries where to date is 1999-01-01?")
+        assert sql is not None
+        assert sql.startswith("SELECT salary FROM Salaries")
+
+    def test_aggregate_cues(self, nli):
+        sql = nli.to_sql(
+            "What is the average salary in salaries where from date is 1993-01-20?"
+        )
+        assert sql is not None and sql.startswith("SELECT AVG ( salary )")
+
+    def test_count_cue(self, nli):
+        sql = nli.to_sql(
+            "What is the number of gender entries in employees where "
+            "gender is M?"
+        )
+        assert sql is not None and "COUNT" in sql
+
+    def test_comparison_cue(self, nli):
+        sql = nli.to_sql(
+            "What is the last name in employees where employee number "
+            "is greater than 10050?"
+        )
+        assert sql is not None and "> 10050" in sql
+
+    def test_unknown_table_fails(self, nli):
+        assert nli.to_sql("What is the foo in bargle where x is 1?") is None
+
+
+class TestOnDataset:
+    def test_strong_on_clean_questions(self, employees_catalog, nli):
+        pairs = generate_wikisql_like(employees_catalog, 40, seed=21)
+        hits = sum(
+            execution_match(p.sql, nli.to_sql(p.question), employees_catalog)
+            for p in pairs
+        )
+        assert hits / len(pairs) > 0.7
+
+    def test_degrades_with_token_noise(self, employees_catalog, nli):
+        pairs = generate_wikisql_like(employees_catalog, 30, seed=22)
+        # Simulate the paper's single-token failure mode: "is" -> "in".
+        noisy = [p.question.replace(" is ", " in ") for p in pairs]
+        clean_hits = sum(
+            component_match(p.sql, nli.to_sql(p.question)) for p in pairs
+        )
+        noisy_hits = sum(
+            component_match(p.sql, nli.to_sql(q))
+            for p, q in zip(pairs, noisy)
+        )
+        assert noisy_hits < clean_hits

@@ -1,0 +1,51 @@
+"""Tests for the spoken-NLI adapter."""
+
+import pytest
+
+from repro.asr.channel import NOISELESS, AcousticChannel
+from repro.asr.engine import SimulatedAsrEngine
+from repro.asr.language_model import LanguageModel
+from repro.dataset.nl_pairs import generate_wikisql_like
+from repro.nli.eval import component_match
+from repro.nli.spoken import SpokenNli
+from repro.nli.sota import SketchNli
+
+
+class TestSpokenAdapter:
+    def test_noiseless_channel_matches_typed(self, employees_catalog):
+        nli = SketchNli(employees_catalog)
+        engine = SimulatedAsrEngine(
+            lm=LanguageModel(), channel=AcousticChannel(NOISELESS)
+        )
+        spoken = SpokenNli(nli=nli, engine=engine)
+        pairs = generate_wikisql_like(employees_catalog, 10, seed=61)
+        # With a perfect channel most questions survive verbatim enough
+        # for the NLI to behave as if typed.
+        typed_hits = sum(
+            component_match(p.sql, nli.to_sql(p.question)) for p in pairs
+        )
+        spoken_hits = sum(
+            component_match(p.sql, spoken.to_sql_spoken(p.question, seed=i))
+            for i, p in enumerate(pairs)
+        )
+        assert spoken_hits >= typed_hits - 4
+
+    def test_noise_degrades(self, employees_catalog):
+        nli = SketchNli(employees_catalog)
+        spoken = SpokenNli(nli=nli)  # default: noisy generic engine
+        pairs = generate_wikisql_like(employees_catalog, 25, seed=62)
+        typed_hits = sum(
+            component_match(p.sql, nli.to_sql(p.question)) for p in pairs
+        )
+        spoken_hits = sum(
+            component_match(p.sql, spoken.to_sql_spoken(p.question, seed=i))
+            for i, p in enumerate(pairs)
+        )
+        assert spoken_hits < typed_hits  # the paper's central observation
+
+    def test_transcription_exposed(self, employees_catalog):
+        spoken = SpokenNli(nli=SketchNli(employees_catalog))
+        heard = spoken.transcribe_question(
+            "What is the salary in salaries where gender is M?", seed=1
+        )
+        assert isinstance(heard, str) and heard

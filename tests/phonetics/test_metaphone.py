@@ -1,0 +1,124 @@
+"""Metaphone tests, anchored on the paper's own examples."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phonetics.metaphone import metaphone, metaphone_phrase
+
+#: The encodings the paper prints (Sections 4, Appendix E.2).
+PAPER_EXAMPLES = {
+    "Employees": "EMPLYS",
+    "Salaries": "SLRS",
+    "FirstName": "FRSTNM",
+    "LastName": "LSTNM",
+    "FROMDATE": "FRMTT",
+    "TODATE": "TTT",
+    "DATE": "TT",
+    "FRONT": "FRNT",
+    "RUM": "RM",
+    "FRONTDATE": "FRNTTT",
+    "RUMDATE": "RMTT",
+}
+
+
+class TestPaperExamples:
+    def test_all_paper_encodings(self):
+        for word, code in PAPER_EXAMPLES.items():
+            assert metaphone(word) == code, word
+
+
+class TestClassicRules:
+    def test_initial_exceptions(self):
+        assert metaphone("Knight") == metaphone("Night")
+        assert metaphone("Xavier").startswith("S")
+        assert metaphone("Wrack") == metaphone("Rack")
+        assert metaphone("Gnome")[0] == "N"
+
+    def test_ph_is_f(self):
+        assert "F" in metaphone("Phone")
+        assert metaphone("Phone") == metaphone("Fone")
+
+    def test_th_is_0(self):
+        assert "0" in metaphone("Thin")
+
+    def test_sh_is_x(self):
+        assert metaphone("Shame")[0] == "X"
+
+    def test_ck_collapses(self):
+        assert metaphone("Back") == "BK"
+
+    def test_doubled_letters(self):
+        assert metaphone("Bass") == metaphone("Bas")
+
+    def test_silent_b_after_m(self):
+        assert metaphone("Dumb") == "TM"
+
+    def test_soft_c(self):
+        assert metaphone("Cell")[0] == "S"
+        assert metaphone("Cat")[0] == "K"
+
+    def test_soft_g(self):
+        assert metaphone("Gem")[0] == "J"
+        assert metaphone("Gum")[0] == "K"
+
+    def test_dge_is_j(self):
+        assert "J" in metaphone("Edge")
+
+    def test_v_is_f(self):
+        assert metaphone("Vat")[0] == "F"
+
+    def test_x_is_ks(self):
+        assert metaphone("Box") == "BKS"
+
+    def test_q_is_k(self):
+        assert metaphone("Queen")[0] == "K"
+
+    def test_z_is_s(self):
+        assert metaphone("Zoo")[0] == "S"
+
+    def test_initial_vowel_kept(self):
+        assert metaphone("Apple")[0] == "A"
+
+    def test_interior_vowels_dropped(self):
+        assert metaphone("banana") == "BNN"
+
+
+class TestProperties:
+    @given(st.text(alphabet=string.ascii_letters, max_size=20))
+    def test_case_insensitive(self, word):
+        assert metaphone(word) == metaphone(word.upper()) == metaphone(word.lower())
+
+    @given(st.text(alphabet=string.ascii_letters, max_size=20))
+    def test_code_alphabet(self, word):
+        code = metaphone(word)
+        assert set(code) <= set("ABCDEFGHIJKLMNOPQRSTUVWXYZ0")
+
+    @given(st.text(max_size=20))
+    def test_never_crashes(self, text):
+        metaphone(text)
+
+    @given(
+        st.text(
+            alphabet="BCDFJKLMNPRSTVZbcdfjklmnprstvz", min_size=1, max_size=20
+        )
+    )
+    def test_plain_consonants_give_code(self, word):
+        # Words of unconditionally-sounded consonants always encode.
+        assert metaphone(word) != ""
+
+    def test_max_length_truncates(self):
+        assert metaphone("Mississippi", max_length=4) == metaphone("Mississippi")[:4]
+
+    def test_non_alpha_ignored(self):
+        assert metaphone("d-0+0_2") == metaphone("d")
+
+
+class TestPhrase:
+    def test_phrase_concatenates(self):
+        assert metaphone_phrase("first name") == metaphone("first") + metaphone("name")
+
+    def test_phrase_matches_merged_identifier(self):
+        # "first name" spoken == FirstName indexed (paper Figure 4).
+        assert metaphone_phrase("first name") == metaphone("FirstName")

@@ -1,0 +1,51 @@
+"""Tests for the NYSIIS phonetic algorithm."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phonetics.nysiis import nysiis
+
+
+class TestKnownBehaviour:
+    def test_homophones_share_codes(self):
+        assert nysiis("MacDonald") == nysiis("McDonald")
+        assert nysiis("Philip") == nysiis("Filip")
+        assert nysiis("Knight") == nysiis("Night")
+
+    def test_distinct_names_differ(self):
+        assert nysiis("Washington") != nysiis("Lee")
+
+    def test_first_letter_rule(self):
+        # The first letter survives (after prefix transforms).
+        assert nysiis("Brown")[0] == "B"
+        assert nysiis("Knuth")[0] == "N"
+
+    def test_trailing_s_dropped(self):
+        assert nysiis("Williams") == nysiis("William")
+
+    def test_empty(self):
+        assert nysiis("") == ""
+        assert nysiis("123") == ""
+
+
+class TestProperties:
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_case_insensitive(self, word):
+        assert nysiis(word) == nysiis(word.upper())
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_uppercase_alpha_output(self, word):
+        code = nysiis(word)
+        assert code == code.upper()
+        assert code.isalpha() or code == ""
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_no_adjacent_duplicates(self, word):
+        code = nysiis(word)
+        assert all(a != b for a, b in zip(code, code[1:]))
+
+    @given(st.text(max_size=20))
+    def test_never_crashes(self, text):
+        nysiis(text)

@@ -1,0 +1,42 @@
+"""Soundex tests (standard published examples)."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phonetics.soundex import soundex
+
+
+class TestKnownCodes:
+    def test_classic_examples(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Ashcroft") == "A261"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+        assert soundex("Honeyman") == "H555"
+
+    def test_padding(self):
+        assert soundex("Lee") == "L000"
+
+    def test_length_parameter(self):
+        assert soundex("Washington", length=6) == "W25235"
+
+
+class TestProperties:
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_shape(self, word):
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0].isalpha()
+        assert all(c.isdigit() for c in code[1:])
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_case_insensitive(self, word):
+        assert soundex(word) == soundex(word.swapcase())
+
+    def test_empty(self):
+        assert soundex("") == ""
+        assert soundex("123") == ""

@@ -1,0 +1,58 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.sqlengine import Catalog, Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog("test")
+    t1 = Table("Employees", ["EmployeeNumber", "FirstName"])
+    t1.extend([{"EmployeeNumber": 1, "FirstName": "Ann"}])
+    t2 = Table("Salaries", ["EmployeeNumber", "salary"])
+    t2.extend([{"EmployeeNumber": 1, "salary": 10}])
+    cat.add_table(t1)
+    cat.add_table(t2)
+    return cat
+
+
+class TestCatalog:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.table("employees").name == "Employees"
+        assert catalog.has_table("SALARIES")
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            catalog.table("nope")
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(SqlSemanticError):
+            catalog.add_table(Table("EMPLOYEES", ["x"]))
+
+    def test_table_names(self, catalog):
+        assert catalog.table_names() == ["Employees", "Salaries"]
+
+    def test_attribute_names_deduplicated(self, catalog):
+        names = catalog.attribute_names()
+        assert names.count("EmployeeNumber") == 1
+        assert set(names) == {"EmployeeNumber", "FirstName", "salary"}
+
+    def test_tables_with_column(self, catalog):
+        tables = catalog.tables_with_column("employeenumber")
+        assert {t.name for t in tables} == {"Employees", "Salaries"}
+
+    def test_string_values(self, catalog):
+        assert catalog.string_attribute_values() == ["Ann"]
+
+    def test_string_values_limit(self, catalog):
+        catalog.table("Employees").insert(
+            {"EmployeeNumber": 2, "FirstName": "Bob"}
+        )
+        assert len(catalog.string_attribute_values(limit_per_column=1)) == 1
+
+    def test_schema_types(self, catalog):
+        schema = {s.name: s for s in catalog.schema()}
+        emp = {c.name: c.type_name for c in schema["Employees"].columns}
+        assert emp == {"EmployeeNumber": "int", "FirstName": "string"}

@@ -1,0 +1,219 @@
+"""Executor tests over the small fixture catalog."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqlengine.executor import ResultSet, execute
+from repro.sqlengine.parser import parse_select
+
+
+def run(sql, catalog):
+    return execute(parse_select(sql), catalog)
+
+
+class TestProjection:
+    def test_single_column(self, small_catalog):
+        result = run("SELECT FirstName FROM Employees", small_catalog)
+        assert result.rows == [("Karsten",), ("Goh",), ("Perla",)]
+
+    def test_star(self, small_catalog):
+        result = run("SELECT * FROM Employees", small_catalog)
+        assert result.columns[0] == "EmployeeNumber"
+        assert len(result.rows) == 3
+        assert len(result.rows[0]) == 5
+
+    def test_qualified(self, small_catalog):
+        result = run(
+            "SELECT Employees . FirstName FROM Employees", small_catalog
+        )
+        assert result.columns == ["Employees.FirstName"]
+
+
+class TestWhere:
+    def test_equality(self, small_catalog):
+        result = run(
+            "SELECT LastName FROM Employees WHERE FirstName = 'Goh'",
+            small_catalog,
+        )
+        assert result.rows == [("Facello",)]
+
+    def test_numeric_comparison(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries WHERE salary > 70000", small_catalog
+        )
+        assert sorted(result.rows) == [(72000,), (80000,)]
+
+    def test_date_comparison(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries WHERE FromDate = '1993-01-20'",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(60000,), (80000,)]
+
+    def test_and_or(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries WHERE salary > 70000 OR salary < 62000",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(60000,), (72000,), (80000,)]
+
+    def test_between(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries WHERE salary BETWEEN 60000 AND 70000",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(60000,), (65000,)]
+
+    def test_not_between(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries WHERE salary NOT BETWEEN 60000 AND 70000",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(72000,), (80000,)]
+
+    def test_in_list(self, small_catalog):
+        result = run(
+            "SELECT LastName FROM Employees WHERE FirstName IN "
+            "( 'Karsten' , 'Perla' )",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [("Joslin",), ("Koblick",)]
+
+    def test_in_subquery(self, small_catalog):
+        result = run(
+            "SELECT FirstName FROM Employees WHERE EmployeeNumber IN "
+            "( SELECT EmployeeNumber FROM Salaries WHERE salary > 70000 )",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [("Karsten",), ("Perla",)]
+
+    def test_type_mismatch_is_false(self, small_catalog):
+        result = run(
+            "SELECT FirstName FROM Employees WHERE FirstName = 42",
+            small_catalog,
+        )
+        assert result.rows == []
+
+
+class TestJoins:
+    def test_natural_join(self, small_catalog):
+        result = run(
+            "SELECT LastName FROM Employees natural join Salaries "
+            "WHERE salary > 70000",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [("Joslin",), ("Koblick",)]
+
+    def test_comma_join_with_predicate(self, small_catalog):
+        result = run(
+            "SELECT LastName FROM Employees , Salaries WHERE "
+            "Employees . EmployeeNumber = Salaries . EmployeeNumber "
+            "AND salary = 65000",
+            small_catalog,
+        )
+        assert result.rows == [("Facello",)]
+
+    def test_cross_product_size(self, small_catalog):
+        result = run("SELECT LastName FROM Employees , Salaries", small_catalog)
+        assert len(result.rows) == 3 * 4
+
+    def test_join_cap(self):
+        from repro.sqlengine import Catalog, Table
+
+        catalog = Catalog("big")
+        for name in ("A", "B", "C"):
+            table = Table(name, [f"{name.lower()}_id"])
+            table.extend([{f"{name.lower()}_id": i} for i in range(120)])
+            catalog.add_table(table)
+        with pytest.raises(ExecutionError):
+            run("SELECT a_id FROM A , B , C", catalog)
+
+
+class TestAggregates:
+    def test_avg(self, small_catalog):
+        result = run("SELECT AVG ( salary ) FROM Salaries", small_catalog)
+        assert result.rows == [(69250.0,)]
+
+    def test_sum_min_max(self, small_catalog):
+        result = run(
+            "SELECT SUM ( salary ) , MIN ( salary ) , MAX ( salary ) "
+            "FROM Salaries",
+            small_catalog,
+        )
+        assert result.rows == [(277000, 60000, 80000)]
+
+    def test_count_star(self, small_catalog):
+        result = run("SELECT COUNT ( * ) FROM Salaries", small_catalog)
+        assert result.rows == [(4,)]
+
+    def test_count_star_empty(self, small_catalog):
+        result = run(
+            "SELECT COUNT ( * ) FROM Salaries WHERE salary > 999999",
+            small_catalog,
+        )
+        assert result.rows == [(0,)]
+
+    def test_sum_string_rejected(self, small_catalog):
+        with pytest.raises(ExecutionError):
+            run("SELECT SUM ( FirstName ) FROM Employees", small_catalog)
+
+    def test_group_by(self, small_catalog):
+        result = run(
+            "SELECT EmployeeNumber , COUNT ( salary ) FROM Salaries "
+            "GROUP BY EmployeeNumber",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(1, 1), (2, 2), (3, 1)]
+
+    def test_group_by_with_where(self, small_catalog):
+        result = run(
+            "SELECT EmployeeNumber , MAX ( salary ) FROM Salaries "
+            "WHERE salary > 60000 GROUP BY EmployeeNumber",
+            small_catalog,
+        )
+        assert sorted(result.rows) == [(1, 80000), (2, 65000), (3, 72000)]
+
+
+class TestOrderLimit:
+    def test_order_by(self, small_catalog):
+        result = run(
+            "SELECT salary FROM Salaries ORDER BY salary", small_catalog
+        )
+        assert result.rows == [(60000,), (65000,), (72000,), (80000,)]
+
+    def test_order_by_date(self, small_catalog):
+        result = run(
+            "SELECT FromDate FROM Salaries ORDER BY FromDate LIMIT 1",
+            small_catalog,
+        )
+        assert result.rows == [(datetime.date(1993, 1, 20),)]
+
+    def test_limit(self, small_catalog):
+        result = run("SELECT salary FROM Salaries LIMIT 2", small_catalog)
+        assert len(result.rows) == 2
+
+    def test_limit_zero(self, small_catalog):
+        result = run("SELECT salary FROM Salaries LIMIT 0", small_catalog)
+        assert result.rows == []
+
+    def test_group_order_by_key(self, small_catalog):
+        result = run(
+            "SELECT EmployeeNumber , COUNT ( salary ) FROM Salaries "
+            "GROUP BY EmployeeNumber ORDER BY EmployeeNumber",
+            small_catalog,
+        )
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+
+
+class TestResultSet:
+    def test_multiset_equality(self):
+        a = ResultSet(columns=["x"], rows=[(1,), (2,), (1,)])
+        b = ResultSet(columns=["y"], rows=[(2,), (1,), (1,)])
+        assert a == b
+
+    def test_multiset_inequality(self):
+        a = ResultSet(columns=["x"], rows=[(1,), (1,)])
+        b = ResultSet(columns=["x"], rows=[(1,)])
+        assert a != b

@@ -1,0 +1,189 @@
+"""Formatter tests including the parse/format round-trip property."""
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sqlengine.formatter import format_literal, format_statement
+from repro.sqlengine.parser import parse_select
+
+
+class TestLiteralRendering:
+    def test_string_quoted(self):
+        assert format_literal(Literal("John")) == "'John'"
+
+    def test_date_quoted_iso(self):
+        assert format_literal(Literal(datetime.date(1993, 1, 20))) == "'1993-01-20'"
+
+    def test_int_bare(self):
+        assert format_literal(Literal(42)) == "42"
+
+    def test_integral_float_collapses(self):
+        assert format_literal(Literal(42.0)) == "42"
+
+    def test_fractional_float(self):
+        assert format_literal(Literal(4.5)) == "4.5"
+
+
+class TestStatementRendering:
+    def test_paper_q1(self):
+        stmt = parse_select("SELECT AVG ( salary ) FROM Salaries")
+        assert format_statement(stmt) == "SELECT AVG ( salary ) FROM Salaries"
+
+    def test_natural_join_style(self):
+        stmt = parse_select("SELECT a FROM t NATURAL JOIN u")
+        assert "natural join" in format_statement(stmt)
+
+    def test_comma_join_spacing(self):
+        stmt = parse_select("SELECT a FROM t , u")
+        assert format_statement(stmt) == "SELECT a FROM t , u"
+
+
+# -- round-trip property ------------------------------------------------------
+
+_names = st.sampled_from(["t", "u", "Employees", "Salaries"])
+_columns = st.sampled_from(["a", "b", "salary", "FirstName", "ToDate"])
+_values = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz ",
+        min_size=1,
+        max_size=12,
+    ).map(str.strip).filter(bool),
+    st.dates(
+        min_value=datetime.date(1950, 1, 1), max_value=datetime.date(2030, 1, 1)
+    ),
+).map(Literal)
+
+_colrefs = st.builds(
+    ColumnRef,
+    column=_columns,
+    table=st.one_of(st.none(), _names),
+)
+_select_items = st.one_of(
+    st.just(Star()),
+    _colrefs,
+    st.builds(
+        Aggregate,
+        func=st.sampled_from(["AVG", "SUM", "MAX", "MIN", "COUNT"]),
+        argument=_colrefs,
+    ),
+)
+_comparisons = st.builds(
+    Comparison,
+    left=_colrefs,
+    op=st.sampled_from(["=", "<", ">"]),
+    right=_values,
+)
+_predicates = st.one_of(
+    _comparisons,
+    st.builds(
+        BetweenPredicate,
+        probe=st.builds(ColumnRef, column=_columns),
+        low=_values,
+        high=_values,
+        negated=st.booleans(),
+    ),
+    st.builds(
+        InPredicate,
+        probe=st.builds(ColumnRef, column=_columns),
+        values=st.lists(_values, min_size=1, max_size=4).map(tuple),
+    ),
+)
+def _parser_shaped_tree(predicates, ops):
+    """Build the condition tree the parser would produce for the flat
+    sequence p0 op0 p1 op1 p2 ... (AND binds tighter, both left-assoc).
+
+    The subset grammar has no parentheses in WHERE, so only these trees
+    are expressible; arbitrary trees (e.g. OR nested under AND) cannot
+    round-trip through text.
+    """
+    groups = [[predicates[0]]]
+    for op, pred in zip(ops, predicates[1:]):
+        if op == "AND":
+            groups[-1].append(pred)
+        else:
+            groups.append([pred])
+
+    def fold(items, op):
+        tree = items[0]
+        for item in items[1:]:
+            tree = BinaryCondition(tree, op, item)
+        return tree
+
+    ands = [fold(group, "AND") for group in groups]
+    return fold(ands, "OR")
+
+
+@st.composite
+def _condition_strategy(draw):
+    predicates = draw(st.lists(_predicates, min_size=1, max_size=4))
+    ops = draw(
+        st.lists(
+            st.sampled_from(["AND", "OR"]),
+            min_size=len(predicates) - 1,
+            max_size=len(predicates) - 1,
+        )
+    )
+    return _parser_shaped_tree(predicates, ops)
+
+
+_conditions = _condition_strategy()
+
+_from_lists = st.lists(
+    st.builds(TableRef, name=_names),
+    min_size=1,
+    max_size=3,
+    unique_by=lambda t: t.name,
+).map(tuple)
+
+
+@st.composite
+def _statement_strategy(draw):
+    from_tables = draw(_from_lists)
+    # natural_join is only observable (and parseable back) with 2+ tables
+    natural = draw(st.booleans()) if len(from_tables) > 1 else False
+    return SelectStatement(
+        select_items=tuple(draw(st.lists(_select_items, min_size=1, max_size=3))),
+        from_tables=from_tables,
+        natural_join=natural,
+        where=draw(st.one_of(st.none(), _conditions)),
+        group_by=tuple(
+            draw(st.lists(st.builds(ColumnRef, column=_columns), max_size=2))
+        ),
+        order_by=tuple(
+            draw(st.lists(st.builds(ColumnRef, column=_columns), max_size=2))
+        ),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=0, max_value=100))),
+    )
+
+
+_statements = _statement_strategy()
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_statements)
+    def test_parse_format_roundtrip(self, stmt):
+        text = format_statement(stmt)
+        reparsed = parse_select(text)
+        assert reparsed == stmt
+
+    @settings(max_examples=100, deadline=None)
+    @given(_statements)
+    def test_format_is_stable(self, stmt):
+        text = format_statement(stmt)
+        assert format_statement(parse_select(text)) == text

@@ -1,0 +1,71 @@
+"""Tests for the SQL lexer."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.lexer import SqlTokenKind, lex
+
+
+def kinds(text: str) -> list[SqlTokenKind]:
+    return [t.kind for t in lex(text)][:-1]  # drop EOF
+
+
+class TestKinds:
+    def test_keywords(self):
+        assert kinds("SELECT FROM WHERE") == [SqlTokenKind.KEYWORD] * 3
+
+    def test_keywords_lowercase(self):
+        tokens = lex("select from")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "FROM"
+
+    def test_identifiers(self):
+        assert kinds("Employees salary d002") == [SqlTokenKind.IDENTIFIER] * 3
+
+    def test_numbers(self):
+        tokens = lex("42 4.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 4.5
+        assert isinstance(tokens[0].value, int)
+        assert isinstance(tokens[1].value, float)
+
+    def test_strings(self):
+        tokens = lex("'John' \"Jane\"")
+        assert tokens[0].kind is SqlTokenKind.STRING
+        assert tokens[0].value == "John"
+        assert tokens[1].value == "Jane"
+
+    def test_dates_quoted_and_bare(self):
+        tokens = lex("'1993-01-20' 1993-01-20")
+        for token in tokens[:2]:
+            assert token.kind is SqlTokenKind.DATE
+            assert token.value == datetime.date(1993, 1, 20)
+
+    def test_invalid_date_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            lex("1993-13-45")
+
+    def test_quoted_non_date_is_string(self):
+        tokens = lex("'1993-13-45'")
+        assert tokens[0].kind is SqlTokenKind.STRING
+
+    def test_splchars(self):
+        assert kinds("* = < > ( ) . ,") == [SqlTokenKind.SPLCHAR] * 8
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            lex("SELECT ;")
+
+    def test_eof_terminates(self):
+        tokens = lex("SELECT")
+        assert tokens[-1].kind is SqlTokenKind.EOF
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = lex("SELECT")[0]
+        assert token.matches(SqlTokenKind.KEYWORD, "select")
+        assert not token.matches(SqlTokenKind.KEYWORD, "FROM")
+        assert not token.matches(SqlTokenKind.IDENTIFIER)

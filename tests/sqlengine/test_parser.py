@@ -1,0 +1,165 @@
+"""Tests for the recursive-descent SQL parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Aggregate,
+    BetweenPredicate,
+    BinaryCondition,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    Literal,
+    Star,
+)
+from repro.sqlengine.parser import parse_select
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert stmt.select_items == (Star(),)
+
+    def test_columns(self):
+        stmt = parse_select("SELECT a , b FROM t")
+        assert stmt.select_items == (ColumnRef("a"), ColumnRef("b"))
+
+    def test_aggregate(self):
+        stmt = parse_select("SELECT AVG ( salary ) FROM t")
+        assert stmt.select_items == (Aggregate("AVG", ColumnRef("salary")),)
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT ( * ) FROM t")
+        assert stmt.select_items == (Aggregate("COUNT", Star()),)
+
+    def test_qualified_column(self):
+        stmt = parse_select("SELECT t . a FROM t")
+        assert stmt.select_items == (ColumnRef("a", table="t"),)
+
+
+class TestFrom:
+    def test_comma_join(self):
+        stmt = parse_select("SELECT a FROM t , u , v")
+        assert [t.name for t in stmt.from_tables] == ["t", "u", "v"]
+        assert not stmt.natural_join
+
+    def test_natural_join(self):
+        stmt = parse_select("SELECT a FROM t NATURAL JOIN u")
+        assert stmt.natural_join
+        assert [t.name for t in stmt.from_tables] == ["t", "u"]
+
+    def test_natural_join_lowercase(self):
+        stmt = parse_select("SELECT a FROM t natural join u natural join v")
+        assert len(stmt.from_tables) == 3
+
+
+class TestWhere:
+    def test_comparison(self):
+        stmt = parse_select("SELECT a FROM t WHERE b = 3")
+        assert stmt.where == Comparison(ColumnRef("b"), "=", Literal(3))
+
+    def test_string_value(self):
+        stmt = parse_select("SELECT a FROM t WHERE b = 'x y'")
+        assert stmt.where == Comparison(ColumnRef("b"), "=", Literal("x y"))
+
+    def test_date_value(self):
+        stmt = parse_select("SELECT a FROM t WHERE b > '1993-01-20'")
+        assert stmt.where.right == Literal(datetime.date(1993, 1, 20))
+
+    def test_and_or_precedence(self):
+        stmt = parse_select("SELECT a FROM t WHERE b = 1 AND c = 2 OR d = 3")
+        # OR binds loosest: (b=1 AND c=2) OR d=3
+        assert isinstance(stmt.where, BinaryCondition)
+        assert stmt.where.op == "OR"
+        assert isinstance(stmt.where.left, BinaryCondition)
+        assert stmt.where.left.op == "AND"
+
+    def test_between(self):
+        stmt = parse_select("SELECT a FROM t WHERE b BETWEEN 1 AND 5")
+        assert stmt.where == BetweenPredicate(
+            ColumnRef("b"), Literal(1), Literal(5)
+        )
+
+    def test_not_between(self):
+        stmt = parse_select("SELECT a FROM t WHERE b NOT BETWEEN 1 AND 5")
+        assert stmt.where.negated
+
+    def test_between_and_conjunction(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND c = 2"
+        )
+        assert isinstance(stmt.where, BinaryCondition)
+        assert isinstance(stmt.where.left, BetweenPredicate)
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT a FROM t WHERE b IN ( 'x' , 'y' )")
+        assert stmt.where == InPredicate(
+            ColumnRef("b"), values=(Literal("x"), Literal("y"))
+        )
+
+    def test_in_subquery(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE b IN ( SELECT b FROM u WHERE c = 1 )"
+        )
+        assert isinstance(stmt.where, InPredicate)
+        assert stmt.where.subquery is not None
+        assert stmt.where.subquery.from_tables[0].name == "u"
+
+    def test_nested_nesting_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select(
+                "SELECT a FROM t WHERE b IN ( SELECT b FROM u WHERE c IN "
+                "( SELECT c FROM v ) )"
+            )
+
+    def test_column_to_column(self):
+        stmt = parse_select("SELECT a FROM t , u WHERE t . k = u . k")
+        assert stmt.where == Comparison(
+            ColumnRef("k", "t"), "=", ColumnRef("k", "u")
+        )
+
+
+class TestTrailingClauses:
+    def test_group_by(self):
+        stmt = parse_select("SELECT a , COUNT ( b ) FROM t GROUP BY a")
+        assert stmt.group_by == (ColumnRef("a"),)
+
+    def test_order_by(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a , b")
+        assert stmt.order_by == (ColumnRef("a"), ColumnRef("b"))
+
+    def test_limit(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 10")
+        assert stmt.limit == 10
+
+    def test_all_clauses(self):
+        stmt = parse_select(
+            "SELECT a , AVG ( b ) FROM t WHERE c = 1 GROUP BY a ORDER BY a LIMIT 5"
+        )
+        assert stmt.group_by and stmt.order_by and stmt.limit == 5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE b =",
+            "SELECT a FROM t WHERE b",
+            "SELECT a FROM t LIMIT b",
+            "SELECT a FROM t LIMIT 1.5",
+            "SELECT a FROM t trailing",
+            "SELECT a FROM t WHERE NOT b = 1",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(SqlSyntaxError):
+            parse_select(text)

@@ -1,0 +1,69 @@
+"""Tests for in-memory tables."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SqlSemanticError
+from repro.sqlengine.table import Table, infer_column_type
+
+
+class TestTable:
+    def test_case_insensitive_columns(self):
+        table = Table("T", ["FirstName"])
+        table.insert({"firstname": "Ann"})
+        assert table.has_column("FIRSTNAME")
+        assert table.column_values("firstName") == ["Ann"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlSemanticError):
+            Table("T", ["a", "A"])
+
+    def test_missing_column_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(SqlSemanticError):
+            table.insert({"a": 1})
+
+    def test_unknown_column_values(self):
+        table = Table("T", ["a"])
+        with pytest.raises(SqlSemanticError):
+            table.column_values("nope")
+
+    def test_display_name(self):
+        table = Table("T", ["FirstName"])
+        assert table.display_name("firstname") == "FirstName"
+
+    def test_distinct_strings(self):
+        table = Table("T", ["a"])
+        table.extend([{"a": "x"}, {"a": "y"}, {"a": "x"}, {"a": 3}])
+        assert table.distinct_strings("a") == ["x", "y"]
+
+    def test_len_and_iter(self):
+        table = Table("T", ["a"], rows=[{"a": 1}, {"a": 2}])
+        assert len(table) == 2
+        assert [row["a"] for row in table] == [1, 2]
+
+    def test_extra_row_keys_ignored_columns_preserved(self):
+        table = Table("T", ["a"])
+        table.insert({"a": 1, "b": 2})
+        assert table.rows[0] == {"a": 1}
+
+
+class TestTypeInference:
+    def test_int(self):
+        assert infer_column_type([1, 2, None]) == "int"
+
+    def test_float(self):
+        assert infer_column_type([1.5]) == "float"
+
+    def test_date(self):
+        assert infer_column_type([datetime.date(2020, 1, 1)]) == "date"
+
+    def test_string(self):
+        assert infer_column_type(["x"]) == "string"
+
+    def test_skips_none(self):
+        assert infer_column_type([None, None, 7]) == "int"
+
+    def test_empty_defaults_string(self):
+        assert infer_column_type([]) == "string"

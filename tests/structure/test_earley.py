@@ -1,0 +1,90 @@
+"""Tests for the error-correcting Earley parser (the paper's abandoned
+probabilistic-parsing alternative)."""
+
+import random
+
+import pytest
+
+from repro.grammar.speakql_grammar import build_speakql_grammar
+from repro.structure.earley import EarleyCorrector
+from repro.structure.edit_distance import weighted_edit_distance
+from repro.structure.search import StructureSearchEngine
+
+
+@pytest.fixture(scope="module")
+def corrector():
+    return EarleyCorrector()
+
+
+class TestExactParsing:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT x FROM x",
+            "SELECT * FROM x",
+            "SELECT x FROM x WHERE x = x",
+            "SELECT AVG ( x ) FROM x",
+            "SELECT x FROM x NATURAL JOIN x WHERE x BETWEEN x AND x",
+            "SELECT x , COUNT ( x ) FROM x GROUP BY x",
+        ],
+    )
+    def test_grammatical_inputs_parse_at_zero_cost(self, corrector, text):
+        assert corrector.parses(text.split())
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "FROM x SELECT x",
+            "SELECT FROM x",
+            "SELECT x WHERE x = x",
+            "SELECT x FROM x WHERE = x",
+        ],
+    )
+    def test_ungrammatical_inputs_cost_more(self, corrector, text):
+        assert not corrector.parses(text.split())
+
+
+class TestCorrection:
+    def test_running_example(self, corrector):
+        result = corrector.correct("SELECT x FROM x x x = x".split())
+        assert result is not None
+        structure, cost = result
+        assert structure == tuple("SELECT x FROM x WHERE x = x".split())
+        assert cost == pytest.approx(2.2)
+
+    def test_correction_emits_grammatical_structure(self, corrector):
+        grammar = build_speakql_grammar()
+        rng = random.Random(5)
+        vocab = ["SELECT", "FROM", "WHERE", "x", "=", ",", "(", ")", "AVG"]
+        for _ in range(8):
+            masked = tuple(rng.choice(vocab) for _ in range(rng.randint(2, 8)))
+            result = corrector.correct(masked)
+            assert result is not None
+            structure, cost = result
+            assert grammar.derives(structure)
+            # claimed cost is achievable by the emitted structure
+            assert weighted_edit_distance(masked, structure) <= cost + 1e-9
+
+    def test_agrees_with_trie_search(self, corrector, small_index):
+        engine = StructureSearchEngine(small_index, cache_results=False)
+        rng = random.Random(6)
+        vocab = ["SELECT", "FROM", "WHERE", "x", "=", ",", "AVG", "("]
+        for _ in range(8):
+            masked = tuple(rng.choice(vocab) for _ in range(rng.randint(2, 9)))
+            parse = corrector.correct(masked)
+            results, _ = engine.search(masked)
+            assert parse is not None
+            # The parser searches the unbounded language; the index is
+            # length-capped, so the parse can only be as good or better.
+            assert parse[1] <= results[0].distance + 1e-9
+
+    def test_unreachable_cost_returns_none(self):
+        tight = EarleyCorrector(max_cost=0.5)
+        assert tight.correct(["AVG", "AVG", "AVG"]) is None
+
+    def test_empty_input(self, corrector):
+        result = corrector.correct([])
+        assert result is not None
+        structure, cost = result
+        assert structure == tuple("SELECT x FROM x".split())
+        assert cost == pytest.approx(1.2 + 1.0 + 1.2 + 1.0)

@@ -1,0 +1,110 @@
+"""Tests for the SQL-weighted edit distance (Algorithm 1, Prop. 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structure.edit_distance import (
+    DEFAULT_WEIGHTS,
+    UNIT_WEIGHTS,
+    TokenWeights,
+    edit_distance_bounds,
+    token_edit_distance,
+    token_weight,
+    weighted_edit_distance,
+)
+
+_tokens = st.lists(
+    st.sampled_from(["SELECT", "FROM", "WHERE", "x", "=", ",", "(", ")", "AVG"]),
+    max_size=8,
+)
+
+
+class TestWeights:
+    def test_paper_values(self):
+        assert token_weight("SELECT") == 1.2
+        assert token_weight("=") == 1.1
+        assert token_weight("x") == 1.0
+
+    def test_ordering(self):
+        w = DEFAULT_WEIGHTS
+        assert w.keyword > w.splchar > w.literal
+
+
+class TestKnownDistances:
+    def test_identity(self):
+        assert weighted_edit_distance(["SELECT", "x"], ["SELECT", "x"]) == 0.0
+
+    def test_single_literal_insert(self):
+        assert weighted_edit_distance(["SELECT"], ["SELECT", "x"]) == 1.0
+
+    def test_single_keyword_insert(self):
+        assert weighted_edit_distance(["x"], ["WHERE", "x"]) == 1.2
+
+    def test_single_splchar_insert(self):
+        assert weighted_edit_distance(["x"], ["x", "="]) == pytest.approx(1.1)
+
+    def test_substitution_is_delete_plus_insert(self):
+        # insert/delete-only: swapping a keyword for a literal costs both.
+        assert weighted_edit_distance(["WHERE"], ["x"]) == pytest.approx(2.2)
+
+    def test_figure9_memo_corner(self):
+        # Figure 9: MaskOut = SELECT x x FROM x vs GrndTrth = SELECT * FROM x
+        source = "SELECT x x FROM x".split()
+        target = "SELECT * FROM x".split()
+        assert weighted_edit_distance(source, target) == pytest.approx(3.1)
+
+    def test_running_example(self):
+        masked = "SELECT x FROM x x x = x".split()
+        structure = "SELECT x FROM x WHERE x = x".split()
+        # One literal delete (1.0) + one WHERE insert (1.2)
+        assert weighted_edit_distance(masked, structure) == pytest.approx(2.2)
+
+    def test_keyword_case_insensitive(self):
+        assert weighted_edit_distance(["select"], ["SELECT"]) == 0.0
+
+
+class TestProperties:
+    @given(_tokens)
+    def test_identity_property(self, tokens):
+        assert weighted_edit_distance(tokens, tokens) == 0.0
+
+    @given(_tokens, _tokens)
+    def test_symmetry(self, a, b):
+        assert weighted_edit_distance(a, b) == pytest.approx(
+            weighted_edit_distance(b, a)
+        )
+
+    @given(_tokens, _tokens)
+    def test_non_negative(self, a, b):
+        assert weighted_edit_distance(a, b) >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(_tokens, _tokens, _tokens)
+    def test_triangle_inequality(self, a, b, c):
+        ab = weighted_edit_distance(a, b)
+        bc = weighted_edit_distance(b, c)
+        ac = weighted_edit_distance(a, c)
+        assert ac <= ab + bc + 1e-9
+
+    @given(_tokens, _tokens)
+    def test_proposition1_bounds(self, a, b):
+        lower, upper = edit_distance_bounds(len(a), len(b))
+        d = weighted_edit_distance(a, b)
+        assert lower - 1e-9 <= d <= upper + 1e-9
+
+    @given(_tokens, _tokens)
+    def test_unit_weights_bound_weighted(self, a, b):
+        unit = weighted_edit_distance(a, b, UNIT_WEIGHTS)
+        weighted = weighted_edit_distance(a, b)
+        assert unit <= weighted + 1e-9
+        assert weighted <= unit * DEFAULT_WEIGHTS.max_weight + 1e-9
+
+
+class TestTed:
+    def test_unweighted(self):
+        assert token_edit_distance(["WHERE"], ["x"]) == 2.0
+
+    def test_custom_weights(self):
+        weights = TokenWeights(2.0, 1.5, 1.0)
+        assert weighted_edit_distance(["x"], ["WHERE", "x"], weights) == 2.0

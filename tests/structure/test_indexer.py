@@ -1,0 +1,53 @@
+"""Tests for the length-partitioned structure index."""
+
+from repro.grammar.generator import StructureGenerator
+from repro.structure.indexer import StructureIndex
+
+
+class TestBuild:
+    def test_partitioned_by_length(self, small_index):
+        for length, trie in small_index.tries.items():
+            for sentence in trie.sentences():
+                assert len(sentence) == length
+
+    def test_size_matches_generator(self, small_index):
+        expected = StructureGenerator(max_tokens=12).count()
+        assert len(small_index) == expected
+
+    def test_duplicates_ignored(self):
+        index = StructureIndex()
+        index.add(("SELECT", "x", "FROM", "x"))
+        index.add(("SELECT", "x", "FROM", "x"))
+        assert len(index) == 1
+
+    def test_lengths_sorted(self, small_index):
+        assert small_index.lengths == sorted(small_index.lengths)
+
+    def test_node_counts(self, small_index):
+        assert small_index.largest_trie_nodes() <= small_index.node_count()
+
+
+class TestInvertedIndex:
+    def test_keyword_postings(self):
+        index = StructureIndex()
+        with_avg = ("SELECT", "AVG", "(", "x", ")", "FROM", "x")
+        without = ("SELECT", "x", "FROM", "x")
+        index.add(with_avg)
+        index.add(without)
+        assert index.inverted["AVG"] == [with_avg]
+
+    def test_common_keywords_excluded(self, small_index):
+        for keyword in ("SELECT", "FROM", "WHERE"):
+            assert keyword not in small_index.inverted
+
+    def test_rarest_posting_chosen(self):
+        index = StructureIndex()
+        index.add(("SELECT", "x", "FROM", "x", "LIMIT", "x"))
+        index.add(("SELECT", "x", "FROM", "x", "ORDER", "BY", "x"))
+        index.add(("SELECT", "x", "FROM", "x", "ORDER", "BY", "x", "LIMIT", "x"))
+        postings = index.inverted_postings(["LIMIT", "ORDER"])
+        assert postings is not None
+        assert len(postings) == 2  # LIMIT appears in 2 < ORDER's 2... equal
+
+    def test_no_indexed_keyword_returns_none(self, small_index):
+        assert small_index.inverted_postings(["x"]) is None

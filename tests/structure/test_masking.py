@@ -1,0 +1,75 @@
+"""Tests for SplChar handling and literal masking (Section 3.1)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.grammar.vocabulary import LITERAL_PLACEHOLDER, is_keyword, is_splchar
+from repro.structure.masking import (
+    handle_splchars,
+    mask_literals,
+    preprocess_transcription,
+)
+
+
+class TestSplCharHandling:
+    def test_basic_replacements(self):
+        assert handle_splchars("a equals b".split()) == ["a", "=", "b"]
+        assert handle_splchars("a less than b".split()) == ["a", "<", "b"]
+        assert handle_splchars("star".split()) == ["*"]
+        assert handle_splchars("open parenthesis x close parenthesis".split()) == [
+            "(", "x", ")",
+        ]
+
+    def test_longest_match_wins(self):
+        # "less than" must not leave a stray "than".
+        out = handle_splchars("salary less than seventy".split())
+        assert out == ["salary", "<", "seventy"]
+
+    def test_fuzzy_long_words(self):
+        # Garbled "parenthesis" still collapses (paper's ASR noise).
+        out = handle_splchars("open barenthesis".split())
+        assert out == ["("]
+
+    def test_short_words_exact_only(self):
+        # "store" must not become "*" even though it confuses with "star".
+        assert handle_splchars(["store"]) == ["store"]
+
+    def test_passthrough(self):
+        words = "select salary from employees".split()
+        assert handle_splchars(words) == words
+
+
+class TestMasking:
+    def test_paper_running_example(self):
+        # "select sales from employers wear name equals Jon"
+        tokens = handle_splchars(
+            "select sales from employers wear name equals Jon".split()
+        )
+        masked = mask_literals(tokens)
+        assert " ".join(masked.masked) == "SELECT x FROM x x x = x"
+
+    def test_spans_point_at_literals(self):
+        masked = preprocess_transcription("select sales from employers")
+        assert masked.literal_spans == (1, 3)
+        assert masked.source[1] == "sales"
+
+    def test_placeholder_count(self):
+        masked = preprocess_transcription("select a b c from t")
+        assert masked.placeholder_count == 4
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["select", "from", "where", "=", "salary", "employees", "x1"]
+            ),
+            max_size=12,
+        )
+    )
+    def test_masking_invariants(self, tokens):
+        masked = mask_literals(tokens)
+        assert len(masked.masked) == len(tokens)
+        assert masked.placeholder_count == sum(
+            1 for t in tokens if not (is_keyword(t) or is_splchar(t))
+        )
+        for position, token in zip(masked.literal_spans, range(len(tokens))):
+            assert masked.masked[position] == LITERAL_PLACEHOLDER

@@ -1,0 +1,66 @@
+"""Tests for structure-index persistence."""
+
+import pytest
+
+from repro.grammar.generator import StructureGenerator
+from repro.structure.indexer import StructureIndex
+from repro.structure.persistence import (
+    PersistenceError,
+    load_or_build,
+    load_structures,
+    save_structures,
+)
+
+
+class TestRoundTrip:
+    def test_save_load(self, small_index, tmp_path):
+        path = tmp_path / "structures.txt"
+        save_structures(small_index, path, max_tokens=12)
+        loaded, max_tokens = load_structures(path)
+        assert max_tokens == 12
+        assert len(loaded) == len(small_index)
+        assert set(loaded.lengths) == set(small_index.lengths)
+        for length in small_index.lengths:
+            assert set(loaded.tries[length].sentences()) == set(
+                small_index.tries[length].sentences()
+            )
+
+    def test_load_or_build_caches(self, tmp_path):
+        path = tmp_path / "cache.txt"
+        first = load_or_build(path, max_tokens=8)
+        assert path.exists()
+        second = load_or_build(path, max_tokens=8)
+        assert len(second) == len(first)
+
+    def test_load_or_build_rebuilds_on_mismatch(self, tmp_path):
+        path = tmp_path / "cache.txt"
+        load_or_build(path, max_tokens=8)
+        bigger = load_or_build(path, max_tokens=10)
+        expected = StructureIndex.build(StructureGenerator(max_tokens=10))
+        assert len(bigger) == len(expected)
+
+    def test_matches_fresh_build(self, tmp_path):
+        path = tmp_path / "cache.txt"
+        cached = load_or_build(path, max_tokens=8)
+        fresh = StructureIndex.build(StructureGenerator(max_tokens=8))
+        assert len(cached) == len(fresh)
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("")
+        with pytest.raises(PersistenceError):
+            load_structures(path)
+
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("something else v1 max_tokens=5\n")
+        with pytest.raises(PersistenceError):
+            load_structures(path)
+
+    def test_corrupt_cache_rebuilt(self, tmp_path):
+        path = tmp_path / "cache.txt"
+        path.write_text("garbage\n")
+        index = load_or_build(path, max_tokens=8)
+        assert len(index) > 0

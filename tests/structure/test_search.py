@@ -1,0 +1,172 @@
+"""Tests for the structure search engine (Box 2, BDB, DAP, INV)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structure.edit_distance import weighted_edit_distance
+from repro.structure.indexer import StructureIndex
+from repro.structure.search import StructureSearchEngine
+
+
+def brute_force(index, masked, k=1):
+    scored = []
+    for trie in index.tries.values():
+        for sentence in trie.sentences():
+            scored.append((weighted_edit_distance(masked, sentence), sentence))
+    scored.sort(key=lambda pair: pair[0])
+    return scored[:k]
+
+
+class TestExactness:
+    def test_paper_running_example(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        masked = tuple("SELECT x FROM x x x = x".split())
+        results, _ = engine.search(masked)
+        assert results[0].structure == tuple("SELECT x FROM x WHERE x = x".split())
+        assert results[0].distance == pytest.approx(2.2)
+
+    def test_exact_match_distance_zero(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        masked = tuple("SELECT x FROM x WHERE x = x".split())
+        results, _ = engine.search(masked)
+        assert results[0].structure == masked
+        assert results[0].distance == 0.0
+
+    def test_matches_brute_force_distance(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        rng = random.Random(0)
+        vocab = ["SELECT", "FROM", "WHERE", "x", "=", ",", "(", ")", "AVG", "<"]
+        for _ in range(25):
+            masked = tuple(
+                rng.choice(vocab) for _ in range(rng.randint(1, 10))
+            )
+            results, _ = engine.search(masked)
+            expected = brute_force(small_index, masked)
+            assert results[0].distance == pytest.approx(expected[0][0])
+
+    def test_topk_distances_match_brute_force(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        masked = tuple("SELECT x FROM x x = x".split())
+        results, _ = engine.search(masked, k=5)
+        expected = brute_force(small_index, masked, k=5)
+        assert [r.distance for r in results] == pytest.approx(
+            [d for d, _ in expected]
+        )
+
+    def test_topk_sorted_and_distinct(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        results, _ = engine.search(tuple("SELECT x FROM x".split()), k=10)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+        assert len({r.structure for r in results}) == len(results)
+
+
+class TestBdb:
+    def test_bdb_preserves_result(self, small_index):
+        with_bdb = StructureSearchEngine(small_index, use_bdb=True)
+        without = StructureSearchEngine(small_index, use_bdb=False)
+        masked = tuple("SELECT x FROM x WHERE x < x".split())
+        r1, s1 = with_bdb.search(masked)
+        r2, s2 = without.search(masked)
+        assert r1[0] == r2[0]
+
+    def test_bdb_skips_tries(self, small_index):
+        engine = StructureSearchEngine(small_index, use_bdb=True)
+        _, stats = engine.search(tuple("SELECT x FROM x".split()))
+        assert stats.tries_skipped > 0
+
+    def test_bdb_reduces_work(self, small_index):
+        with_bdb = StructureSearchEngine(small_index, use_bdb=True, cache_results=False)
+        without = StructureSearchEngine(small_index, use_bdb=False, cache_results=False)
+        masked = tuple("SELECT x FROM x".split())
+        _, s1 = with_bdb.search(masked)
+        _, s2 = without.search(masked)
+        assert s1.nodes_visited < s2.nodes_visited
+
+
+class TestApproximations:
+    def test_dap_returns_valid_structure(self, small_index):
+        engine = StructureSearchEngine(small_index, use_dap=True)
+        masked = tuple("SELECT AVG ( x ) FROM x".split())
+        results, _ = engine.search(masked)
+        assert results
+        assert results[0].distance >= 0
+
+    def test_dap_prunes_prime_superset_siblings(self):
+        # Structures differing only in the aggregate keyword: DAP explores
+        # one branch where the default explores all five.
+        index = StructureIndex()
+        for func in ("AVG", "SUM", "MAX", "MIN", "COUNT"):
+            index.add(("SELECT", func, "(", "x", ")", "FROM", "x"))
+        masked = tuple("SELECT AVG ( x ) FROM x".split())
+        default = StructureSearchEngine(index, cache_results=False)
+        dap = StructureSearchEngine(index, use_dap=True, cache_results=False)
+        _, s1 = default.search(masked)
+        _, s2 = dap.search(masked)
+        assert s2.nodes_visited < s1.nodes_visited
+
+    def test_dap_can_lose_accuracy(self):
+        # The pruned branch may hold the true best: DAP trades accuracy.
+        index = StructureIndex()
+        index.add(("SELECT", "AVG", "(", "x", ")", "FROM", "x"))
+        index.add(("SELECT", "SUM", "(", "x", ")", "FROM", "x"))
+        dap = StructureSearchEngine(index, use_dap=True, cache_results=False)
+        results, _ = dap.search(tuple("SELECT SUM ( x ) FROM x".split()))
+        # Whatever branch survives, a result is always returned.
+        assert len(results) == 1
+
+    def test_inv_uses_postings(self, small_index):
+        engine = StructureSearchEngine(small_index, use_inv=True)
+        masked = tuple("SELECT x FROM x LIMIT x".split())
+        results, stats = engine.search(masked)
+        assert stats.candidates_scored > 0  # searched a keyword subindex
+        assert stats.candidates_scored < len(small_index)
+        assert results[0].structure == masked
+
+    def test_inv_subindex_cached(self, small_index):
+        engine = StructureSearchEngine(
+            small_index, use_inv=True, cache_results=False
+        )
+        masked = tuple("SELECT x FROM x LIMIT x".split())
+        engine.search(masked)
+        subindexes = dict(engine._inv_subindexes)
+        engine.search(masked)
+        assert engine._inv_subindexes == subindexes
+
+    def test_inv_falls_back_without_keywords(self, small_index):
+        engine = StructureSearchEngine(small_index, use_inv=True)
+        masked = tuple("SELECT x FROM x".split())
+        _, stats = engine.search(masked)
+        assert stats.candidates_scored == 0
+        assert stats.nodes_visited > 0
+
+
+class TestCache:
+    def test_cache_hit_returns_same(self, small_index):
+        engine = StructureSearchEngine(small_index)
+        masked = tuple("SELECT x FROM x WHERE x = x".split())
+        first_results, first_stats = engine.search(masked)
+        second_results, second_stats = engine.search(masked)
+        assert first_results is second_results  # served from cache
+        assert first_stats == second_stats
+
+
+class TestRandomizedAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["SELECT", "FROM", "WHERE", "x", "=", "<", ",", "(", ")", "SUM"]
+            ),
+            min_size=1,
+            max_size=9,
+        )
+    )
+    def test_search_equals_brute_force(self, small_index, masked):
+        engine = StructureSearchEngine(small_index, cache_results=False)
+        results, _ = engine.search(tuple(masked))
+        expected = brute_force(small_index, tuple(masked))
+        assert results[0].distance == pytest.approx(expected[0][0])

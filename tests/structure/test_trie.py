@@ -1,0 +1,56 @@
+"""Tests for the token trie."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.structure.trie import TokenTrie
+
+_sentences = st.lists(
+    st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=5).map(tuple),
+    max_size=12,
+)
+
+
+class TestTrie:
+    def test_insert_contains(self):
+        trie = TokenTrie()
+        trie.insert(("SELECT", "x"))
+        assert ("SELECT", "x") in trie
+        assert ("SELECT",) not in trie
+        assert ("SELECT", "x", "FROM") not in trie
+
+    def test_duplicate_insert_idempotent(self):
+        trie = TokenTrie()
+        trie.insert(("a", "b"))
+        trie.insert(("a", "b"))
+        assert len(trie) == 1
+
+    def test_prefix_sharing_saves_nodes(self):
+        trie = TokenTrie()
+        trie.insert(("SELECT", "x", "FROM", "x"))
+        trie.insert(("SELECT", "x", "FROM", "y"))
+        # 1 root + 4 + 1 shared-prefix extra
+        assert trie.node_count == 6
+
+    def test_sentences_roundtrip(self):
+        trie = TokenTrie()
+        inputs = {("a",), ("a", "b"), ("c", "b", "a")}
+        for sentence in inputs:
+            trie.insert(sentence)
+        assert set(trie.sentences()) == inputs
+
+    @given(_sentences)
+    def test_size_matches_distinct(self, sentences):
+        trie = TokenTrie()
+        for sentence in sentences:
+            trie.insert(sentence)
+        assert len(trie) == len(set(sentences))
+        assert set(trie.sentences()) == set(sentences)
+
+    @given(_sentences)
+    def test_membership_complete(self, sentences):
+        trie = TokenTrie()
+        for sentence in sentences:
+            trie.insert(sentence)
+        for sentence in sentences:
+            assert sentence in trie

@@ -1,0 +1,35 @@
+"""Tests for the user-study statistical tests."""
+
+import pytest
+
+from repro.study import StudySimulator, sample_participants
+from repro.study.hypothesis_tests import run_hypothesis_tests
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    catalog = request.getfixturevalue("employees_catalog")
+    simulator = StudySimulator(catalog)
+    return simulator.run(participants=sample_participants(4, seed=17))
+
+
+class TestHypothesisTests:
+    def test_three_comparisons(self, results):
+        tests = run_hypothesis_tests(results)
+        assert [t.name for t in tests] == [
+            "time to completion (s)",
+            "units of effort",
+            "editing time (s)",
+        ]
+
+    def test_paper_conclusion_reproduced(self, results):
+        # Paper: all three significantly lower with SpeakQL.
+        for test in run_hypothesis_tests(results):
+            assert test.significant, test
+            assert test.median_difference > 0  # typing minus speakql
+
+    def test_p_values_valid(self, results):
+        for test in run_hypothesis_tests(results):
+            assert 0.0 <= test.wilcoxon_p <= 1.0
+            assert 0.0 <= test.sign_test_p <= 1.0
+            assert test.n == len(results.trials)

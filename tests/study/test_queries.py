@@ -1,0 +1,31 @@
+"""Tests for the Table 6 query set."""
+
+from repro.sqlengine.executor import execute
+from repro.sqlengine.parser import parse_select
+from repro.study.queries import STUDY_QUERIES, complex_queries, simple_queries
+
+
+class TestTable6:
+    def test_twelve_queries(self):
+        assert len(STUDY_QUERIES) == 12
+        assert [q.number for q in STUDY_QUERIES] == list(range(1, 13))
+
+    def test_split_six_six(self):
+        # Paper: queries 1-6 simple (< 20 tokens), 7-12 complex.
+        assert [q.number for q in simple_queries()] == [1, 2, 3, 4, 5, 6]
+        assert [q.number for q in complex_queries()] == [7, 8, 9, 10, 11, 12]
+
+    def test_all_parseable(self):
+        for query in STUDY_QUERIES:
+            parse_select(query.sql)
+
+    def test_all_executable(self, employees_catalog):
+        for query in STUDY_QUERIES:
+            execute(parse_select(query.sql), employees_catalog)
+
+    def test_descriptions_present(self):
+        for query in STUDY_QUERIES:
+            assert len(query.description) > 10
+
+    def test_q1_verbatim(self):
+        assert STUDY_QUERIES[0].sql == "SELECT AVG ( salary ) FROM Salaries"

@@ -1,0 +1,58 @@
+"""Tests for the user-study simulator (Figure 7's shape)."""
+
+import pytest
+
+from repro.study import STUDY_QUERIES, StudySimulator, sample_participants
+from repro.study.queries import complex_queries, simple_queries
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    catalog = request.getfixturevalue("employees_catalog")
+    simulator = StudySimulator(catalog)
+    return simulator.run(participants=sample_participants(4, seed=11))
+
+
+class TestShape:
+    def test_all_trials_present(self, results):
+        assert len(results.trials) == 4 * 12
+
+    def test_speakql_faster_on_average(self, results):
+        numbers = [q.number for q in STUDY_QUERIES]
+        assert results.average_speedup(numbers) > 1.5
+
+    def test_effort_reduction_substantial(self, results):
+        numbers = [q.number for q in STUDY_QUERIES]
+        assert results.average_effort_reduction(numbers) > 5.0
+
+    def test_complex_slower_than_simple(self, results):
+        simple_time = max(
+            results.median_time(q.number) for q in simple_queries()
+        )
+        complex_time = max(
+            results.median_time(q.number) for q in complex_queries()
+        )
+        assert complex_time > simple_time
+
+    def test_complex_more_effort(self, results):
+        simple_effort = sum(
+            results.median_effort(q.number) for q in simple_queries()
+        )
+        complex_effort = sum(
+            results.median_effort(q.number) for q in complex_queries()
+        )
+        assert complex_effort > simple_effort
+
+    def test_fractions_bounded(self, results):
+        for q in STUDY_QUERIES:
+            speaking = results.speaking_fraction(q.number)
+            keyboard = results.keyboard_fraction(q.number)
+            assert 0.0 <= speaking <= 1.0
+            assert 0.0 <= keyboard <= 1.0
+            assert speaking + keyboard <= 1.0 + 1e-9
+
+    def test_typing_effort_is_keystrokes(self, results):
+        trial = results.trials[0]
+        assert trial.typing.effort >= len(
+            trial.query.sql.replace(" ", "")
+        )

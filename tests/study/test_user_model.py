@@ -1,0 +1,30 @@
+"""Tests for the participant model."""
+
+from repro.study.user_model import sample_participants
+
+
+class TestParticipants:
+    def test_count_and_ids(self):
+        cohort = sample_participants(15, seed=1)
+        assert len(cohort) == 15
+        assert [p.participant_id for p in cohort] == list(range(1, 16))
+
+    def test_deterministic(self):
+        assert sample_participants(5, seed=2) == sample_participants(5, seed=2)
+
+    def test_rates_in_published_ranges(self):
+        for p in sample_participants(20, seed=3):
+            assert 1.0 <= p.typing_chars_per_second <= 2.0
+            assert 2.0 <= p.speech_words_per_second <= 2.8
+            assert 0.0 < p.typo_rate < 0.1
+
+    def test_speaking_faster_than_typing(self):
+        # ~6 chars/word: speaking words beats typing them for everyone.
+        for p in sample_participants(20, seed=4):
+            spoken = p.speaking_seconds(10)
+            typed = p.typing_seconds(60, symbol_count=0)
+            assert spoken < typed
+
+    def test_typing_time_grows_with_symbols(self):
+        p = sample_participants(1, seed=5)[0]
+        assert p.typing_seconds(50, 10) > p.typing_seconds(50, 0)

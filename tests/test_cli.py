@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_speak_args(self):
+        args = build_parser().parse_args(["speak", "SELECT a FROM t"])
+        assert args.sql == "SELECT a FROM t"
+
+
+class TestCommands:
+    def test_speak(self, capsys):
+        assert main(["speak", "SELECT * FROM Employees"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "select star from employees"
+
+    def test_schema(self, capsys):
+        assert main(["schema", "--schema", "yelp"]) == 0
+        out = capsys.readouterr().out
+        assert "Business" in out
+        assert "Stars: int" in out
+
+    def test_correct(self, capsys):
+        code = main(
+            ["correct", "select salary from celeries", "--schema", "employees"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT salary FROM Salaries" in out
+
+    def test_correct_execute(self, capsys):
+        code = main(
+            [
+                "correct",
+                "select count open parenthesis star close parenthesis "
+                "from employees",
+                "--schema",
+                "employees",
+                "--execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 row(s)" in out
+
+    def test_dictate(self, capsys):
+        code = main(
+            [
+                "dictate",
+                "SELECT AVG ( salary ) FROM Salaries",
+                "--seed",
+                "3",
+                "--train",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heard" in out and "output" in out

@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in module docstrings.
+
+The public modules carry ``>>>`` examples; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.asr.dates
+import repro.asr.numbers
+import repro.asr.verbalizer
+import repro.grammar.categorizer
+import repro.grammar.vocabulary
+import repro.literal.values
+import repro.structure.edit_distance
+import repro.structure.masking
+
+MODULES = [
+    repro.asr.dates,
+    repro.asr.numbers,
+    repro.asr.verbalizer,
+    repro.grammar.categorizer,
+    repro.grammar.vocabulary,
+    repro.literal.values,
+    repro.structure.edit_distance,
+    repro.structure.masking,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, "module has no doctest examples"
