@@ -1,11 +1,14 @@
 """Figure 14 (Appendix F.4): structure determination latency CDF.
 
-Paper's shape: under 1.5 s for ~99% of queries.  We report the CDF of
-the structure-search component's wall-clock time over the test set plus
-a pytest-benchmark timing of a single search.
+Paper's shape: under 1.5 s for ~99% of queries.  The CDF reads the
+structure-search stage timing each query's ``QueryContext`` accumulated
+during the shared end-to-end run (the online serving view, including
+the search cache); a pytest-benchmark timing of a single cold search is
+reported alongside.
 """
 
 from benchmarks.conftest import record_report
+from repro.core.result import STRUCTURE_STAGE
 from repro.metrics.cdf import Cdf
 from repro.metrics.report import format_table
 from repro.structure.masking import preprocess_transcription
@@ -17,20 +20,13 @@ def test_fig14_structure_latency(state, benchmark):
     searcher = StructureSearchEngine(
         index=state.pipeline.structure_index, cache_results=False
     )
-    masked_inputs = [
-        preprocess_transcription(run.output.asr_text).masked
+    sample = preprocess_transcription(state.test_runs[0].output.asr_text).masked
+    benchmark(lambda: searcher.search(sample, k=1))
+
+    cdf = Cdf.of(
+        run.output.timings.stage_seconds(STRUCTURE_STAGE)
         for run in state.test_runs
-    ]
-    benchmark(lambda: searcher.search(masked_inputs[0], k=1))
-
-    import time
-
-    latencies = []
-    for masked in masked_inputs:
-        start = time.perf_counter()
-        searcher.search(masked, k=1)
-        latencies.append(time.perf_counter() - start)
-    cdf = Cdf.of(latencies)
+    )
 
     points = [0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5]
     table = format_table(

@@ -4,7 +4,9 @@ Each bench module reproduces one table or figure of the paper; they all
 draw on a single end-to-end run over the spoken-query datasets, computed
 once per session here.  Dataset sizes default to a fraction of the
 paper's (750/500/500) so the whole suite finishes in minutes; set
-``REPRO_BENCH_SCALE=1.0`` for full-size runs.
+``REPRO_BENCH_SCALE=1.0`` for full-size runs and
+``REPRO_BENCH_WORKERS=N`` to fan the end-to-end runs over N threads
+(results are bit-identical to the serial default).
 
 Printed tables are collected and emitted in the terminal summary (so
 they survive pytest's output capture).
@@ -18,12 +20,16 @@ from dataclasses import dataclass, field
 import pytest
 
 from repro.asr import make_custom_engine, make_generic_engine
-from repro.core import SpeakQL
+from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLService
 from repro.core.result import SpeakQLOutput
 from repro.dataset import build_employees_catalog, build_yelp_catalog
 from repro.dataset.spoken import SpokenDataset, SpokenQuery, make_spoken_dataset
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+#: Worker threads for the end-to-end runs; 1 (default) is the serial,
+#: paper-faithful path.  Results are bit-identical at any worker count.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 N_TRAIN = max(int(750 * SCALE), 30)
 N_TEST = max(int(500 * SCALE), 20)
@@ -62,8 +68,11 @@ class ExperimentState:
     yelp: SpokenDataset
     engine: object
     generic_engine: object
+    artifacts: SpeakQLArtifacts
     pipeline: SpeakQL
     yelp_pipeline: SpeakQL
+    service: SpeakQLService
+    yelp_service: SpeakQLService
     test_runs: list[PipelineRun] = field(default_factory=list)
     train_runs: list[PipelineRun] = field(default_factory=list)
     yelp_runs: list[PipelineRun] = field(default_factory=list)
@@ -79,8 +88,14 @@ def state() -> ExperimentState:
 
     engine = make_custom_engine([q.sql for q in train.queries])
     generic = make_generic_engine()
-    pipeline = SpeakQL(employees, engine=engine)
-    yelp_pipeline = SpeakQL(yelp_catalog, engine=engine)
+    # One shared bundle: the grammar-derived structure index is
+    # catalog-independent, so the Employees and Yelp pipelines share a
+    # single build (the paper's offline step happens exactly once).
+    artifacts = SpeakQLArtifacts.build(engine=engine)
+    pipeline = SpeakQL(employees, artifacts=artifacts)
+    yelp_pipeline = SpeakQL(yelp_catalog, artifacts=artifacts)
+    service = SpeakQLService.from_pipeline(pipeline)
+    yelp_service = SpeakQLService.from_pipeline(yelp_pipeline)
 
     st = ExperimentState(
         employees_catalog=employees,
@@ -90,18 +105,21 @@ def state() -> ExperimentState:
         yelp=yelp,
         engine=engine,
         generic_engine=generic,
+        artifacts=artifacts,
         pipeline=pipeline,
         yelp_pipeline=yelp_pipeline,
+        service=service,
+        yelp_service=yelp_service,
     )
-    st.test_runs = _run_all(pipeline, test)
-    st.train_runs = _run_all(pipeline, train)
-    st.yelp_runs = _run_all(yelp_pipeline, yelp)
+    st.test_runs = _run_all(service, test)
+    st.train_runs = _run_all(service, train)
+    st.yelp_runs = _run_all(yelp_service, yelp)
     return st
 
 
-def _run_all(pipeline: SpeakQL, dataset: SpokenDataset) -> list[PipelineRun]:
-    runs = []
-    for query in dataset.queries:
-        output = pipeline.query_from_speech(query.sql, seed=query.seed)
-        runs.append(PipelineRun(query=query, output=output))
-    return runs
+def _run_all(service: SpeakQLService, dataset: SpokenDataset) -> list[PipelineRun]:
+    outputs = service.run_batch(dataset.queries, workers=WORKERS)
+    return [
+        PipelineRun(query=query, output=output)
+        for query, output in zip(dataset.queries, outputs)
+    ]

@@ -25,7 +25,14 @@ from repro.asr import (
     make_generic_engine,
     verbalize_sql,
 )
-from repro.core import SpeakQL, SpeakQLConfig, SpeakQLOutput
+from repro.core import (
+    BatchRequest,
+    SpeakQL,
+    SpeakQLArtifacts,
+    SpeakQLConfig,
+    SpeakQLOutput,
+    SpeakQLService,
+)
 from repro.core.clauses import ClauseKind, ClauseSpeakQL
 from repro.core.nested import correct_nested_transcription
 from repro.dataset import (
@@ -48,6 +55,9 @@ __all__ = [
     "SpeakQL",
     "SpeakQLConfig",
     "SpeakQLOutput",
+    "SpeakQLArtifacts",
+    "SpeakQLService",
+    "BatchRequest",
     "ClauseKind",
     "ClauseSpeakQL",
     "correct_nested_transcription",

@@ -4,8 +4,8 @@ Subcommands:
 
 - ``dictate``  — simulate dictating a SQL query (verbalize, corrupt,
   decode, correct) against a built-in schema and print every stage.
-- ``correct``  — run structure + literal determination on a raw
-  transcription text you provide.
+- ``correct``  — run structure + literal determination on one or more
+  raw transcription texts (``--workers N`` fans a batch over threads).
 - ``schema``   — print a built-in schema (tables, columns, types).
 - ``speak``    — show the spoken-word rendering of a SQL query.
 """
@@ -16,7 +16,7 @@ import argparse
 import sys
 
 from repro.asr import make_custom_engine, verbalize_sql
-from repro.core import SpeakQL
+from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLService
 from repro.dataset import build_employees_catalog, build_yelp_catalog
 from repro.dataset.spoken import make_spoken_dataset
 from repro.sqlengine.executor import execute
@@ -34,7 +34,8 @@ def _build_pipeline(schema: str, train: int) -> SpeakQL:
     if train > 0:
         training = make_spoken_dataset("train", catalog, train, seed=7)
         engine = make_custom_engine([q.sql for q in training.queries])
-    return SpeakQL(catalog, engine=engine)
+    artifacts = SpeakQLArtifacts.build(engine=engine)
+    return SpeakQL(catalog, artifacts=artifacts)
 
 
 def _cmd_dictate(args: argparse.Namespace) -> int:
@@ -51,10 +52,12 @@ def _cmd_dictate(args: argparse.Namespace) -> int:
 
 def _cmd_correct(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args.schema, train=0)
-    out = pipeline.correct_transcription(args.transcription)
-    print(out.sql)
-    if args.execute:
-        _execute(out.sql, pipeline)
+    service = SpeakQLService.from_pipeline(pipeline)
+    outputs = service.correct_batch(args.transcriptions, workers=args.workers)
+    for out in outputs:
+        print(out.sql)
+        if args.execute:
+            _execute(out.sql, pipeline)
     return 0
 
 
@@ -107,10 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
     dictate.add_argument("--execute", action="store_true")
     dictate.set_defaults(func=_cmd_dictate)
 
-    correct = sub.add_parser("correct", help="correct a transcription")
-    correct.add_argument("transcription")
+    correct = sub.add_parser("correct", help="correct transcription(s)")
+    correct.add_argument("transcriptions", nargs="+",
+                         metavar="transcription")
     correct.add_argument("--schema", choices=_CATALOGS, default="employees")
     correct.add_argument("--execute", action="store_true")
+    correct.add_argument("--workers", type=int, default=1,
+                         help="worker threads for batch correction "
+                              "(1 = serial, paper-faithful)")
     correct.set_defaults(func=_cmd_correct)
 
     schema = sub.add_parser("schema", help="print a built-in schema")

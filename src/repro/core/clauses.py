@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
 from repro.grammar.cfg import Grammar
@@ -25,6 +26,9 @@ from repro.sqlengine.catalog import Catalog
 from repro.structure.indexer import StructureIndex
 from repro.structure.masking import preprocess_transcription
 from repro.structure.search import StructureSearchEngine
+
+if TYPE_CHECKING:
+    from repro.core.artifacts import SpeakQLArtifacts
 
 
 class ClauseKind(enum.Enum):
@@ -64,12 +68,16 @@ class ClauseSpeakQL:
     """Clause-by-clause dictation over per-clause structure indexes.
 
     Indexes are built lazily per clause kind (the WHERE-clause language
-    is the largest; SELECT/FROM/TAIL are tiny).
+    is the largest; SELECT/FROM/TAIL are tiny).  Pass a shared
+    ``artifacts`` bundle to reuse its per-clause indexes, engine, and
+    per-catalog phonetic index across pipelines.
     """
 
     catalog: Catalog
     engine: SimulatedAsrEngine | None = None
     max_clause_tokens: int = 18
+    phonetic_index: PhoneticIndex | None = None
+    artifacts: "SpeakQLArtifacts | None" = None
     _indexes: dict[ClauseKind, StructureIndex] = field(
         default_factory=dict, repr=False
     )
@@ -80,20 +88,34 @@ class ClauseSpeakQL:
 
     def __post_init__(self) -> None:
         if self.engine is None:
-            self.engine = make_custom_engine()
+            self.engine = (
+                self.artifacts.engine if self.artifacts else make_custom_engine()
+            )
+        if self.phonetic_index is None:
+            if self.artifacts is not None:
+                self.phonetic_index = self.artifacts.phonetic_index(self.catalog)
+            else:
+                self.phonetic_index = PhoneticIndex.from_catalog(self.catalog)
         self._determiner = LiteralDeterminer(
             catalog=self.catalog,
-            index=PhoneticIndex.from_catalog(self.catalog),
+            index=self.phonetic_index,
         )
+
+    def _clause_index(self, kind: ClauseKind) -> StructureIndex:
+        if self.artifacts is not None:
+            return self.artifacts.clause_index(kind, self.max_clause_tokens)
+        index = self._indexes.get(kind)
+        if index is None:
+            grammar = clause_grammar(kind)
+            structures = grammar.enumerate_strings(self.max_clause_tokens)
+            index = StructureIndex.from_structures(structures)
+            self._indexes[kind] = index
+        return index
 
     def _searcher(self, kind: ClauseKind) -> StructureSearchEngine:
         searcher = self._searchers.get(kind)
         if searcher is None:
-            grammar = clause_grammar(kind)
-            structures = grammar.enumerate_strings(self.max_clause_tokens)
-            index = StructureIndex.from_structures(structures)
-            searcher = StructureSearchEngine(index=index)
-            self._indexes[kind] = index
+            searcher = StructureSearchEngine(index=self._clause_index(kind))
             self._searchers[kind] = searcher
         return searcher
 

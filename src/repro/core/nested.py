@@ -11,9 +11,17 @@ bare second ``select``) and closing at its matching parenthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
-from repro.core.pipeline import SpeakQL
+from repro.core.result import SpeakQLOutput
 from repro.structure.masking import handle_splchars
+
+
+class TranscriptionCorrector(Protocol):
+    """Anything that corrects a raw transcription — the :class:`SpeakQL`
+    facade or a :class:`~repro.core.service.SpeakQLService`."""
+
+    def correct_transcription(self, transcription: str) -> SpeakQLOutput: ...
 
 
 @dataclass(frozen=True)
@@ -52,7 +60,9 @@ def split_nested(tokens: list[str]) -> NestedSplit | None:
     return NestedSplit(outer=outer, inner=inner)
 
 
-def correct_nested_transcription(pipeline: SpeakQL, transcription: str) -> str:
+def correct_nested_transcription(
+    pipeline: TranscriptionCorrector, transcription: str
+) -> str:
     """Correct a (possibly nested) transcription with ``pipeline``.
 
     Falls back to plain correction when no nesting is detected.  The

@@ -1,9 +1,11 @@
 """The SpeakQL end-to-end pipeline (paper Figure 2).
 
-``SpeakQL`` wires the four components together: a (simulated) ASR engine,
-structure determination over a grammar-generated index, literal
-determination over a phonetic index of the queried database, and an
-interactive display (in :mod:`repro.interface`).
+``SpeakQL`` is a thin facade over the layered core: immutable compiled
+assets live in a shared :class:`~repro.core.artifacts.SpeakQLArtifacts`
+bundle (the paper's offline step), each query runs through the
+composable stages of :mod:`repro.core.stages` (the online step), and
+:class:`~repro.core.service.SpeakQLService` fans batches of queries over
+worker threads sharing one bundle.
 
 Typical use::
 
@@ -12,23 +14,38 @@ Typical use::
     output = speakql.query_from_speech("SELECT Salary FROM Employees", seed=7)
     output.sql              # corrected SQL string
     output.queries[:5]      # top-5 candidates
+
+To amortize the offline step across pipelines (several catalogs, worker
+threads, repeated sessions), build the artifacts once and pass them in::
+
+    artifacts = SpeakQLArtifacts.build()
+    employees_speakql = SpeakQL(employees, artifacts=artifacts)
+    yelp_speakql = SpeakQL(yelp, artifacts=artifacts)   # index shared
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.asr.engine import AsrResult, SimulatedAsrEngine, make_custom_engine
+from repro.asr.engine import AsrResult, SimulatedAsrEngine
 from repro.asr.speakers import SpeakerProfile
-from repro.core.result import ComponentTimings, SpeakQLOutput
-from repro.grammar.generator import DEFAULT_MAX_TOKENS, StructureGenerator
+from repro.core.artifacts import SpeakQLArtifacts
+from repro.core.result import SpeakQLOutput
+from repro.core.stages import (
+    CorrectedQuery,
+    LiteralStage,
+    MaskStage,
+    QueryContext,
+    StructureSearchStage,
+    TranscribeStage,
+    run_stages,
+)
+from repro.grammar.generator import DEFAULT_MAX_TOKENS
 from repro.literal.determiner import LiteralDeterminer
 from repro.phonetics.phonetic_index import PhoneticIndex
 from repro.sqlengine.catalog import Catalog
 from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
 from repro.structure.indexer import StructureIndex
-from repro.structure.masking import preprocess_transcription
 from repro.structure.search import StructureSearchEngine
 
 
@@ -62,36 +79,43 @@ class SpeakQL:
         The database being queried (drives the phonetic index and value
         typing).
     engine:
-        ASR engine; defaults to an untrained custom engine.  Train it on
-        spoken SQL (``engine.train_on_sql``) for the paper's accuracy.
+        ASR engine; defaults to the artifacts' engine (an untrained
+        custom engine when no artifacts are given).  Train it on spoken
+        SQL (``engine.train_on_sql``) for the paper's accuracy.
     structure_index:
         Pre-built structure index; built from the subset grammar when
         omitted (the offline step of Section 3.2/3.3).
+    phonetic_index:
+        Pre-built phonetic index of ``catalog``; derived from the
+        catalog (via the artifacts bundle) when omitted.
+    artifacts:
+        Shared compiled-asset bundle.  Pass one bundle to many pipelines
+        to build the structure index once and share per-catalog phonetic
+        indexes.
     """
 
     catalog: Catalog
     engine: SimulatedAsrEngine | None = None
     structure_index: StructureIndex | None = None
     config: SpeakQLConfig = field(default_factory=SpeakQLConfig)
+    phonetic_index: PhoneticIndex | None = None
+    artifacts: SpeakQLArtifacts | None = None
     _searcher: StructureSearchEngine = field(init=False, repr=False)
     _determiner: LiteralDeterminer = field(init=False, repr=False)
+    _mask_stage: MaskStage = field(init=False, repr=False)
+    _search_stage: StructureSearchStage = field(init=False, repr=False)
+    _literal_stage: LiteralStage = field(init=False, repr=False)
+    _transcribe_stage: TranscribeStage = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        if self.artifacts is None:
+            self.artifacts = self._build_artifacts()
         if self.engine is None:
-            self.engine = make_custom_engine()
+            self.engine = self.artifacts.engine
         if self.structure_index is None:
-            if self.config.index_cache_path is not None:
-                from repro.structure.persistence import load_or_build
-
-                self.structure_index = load_or_build(
-                    self.config.index_cache_path,
-                    max_tokens=self.config.max_structure_tokens,
-                )
-            else:
-                generator = StructureGenerator(
-                    max_tokens=self.config.max_structure_tokens
-                )
-                self.structure_index = StructureIndex.build(generator)
+            self.structure_index = self.artifacts.structure_index
+        if self.phonetic_index is None:
+            self.phonetic_index = self.artifacts.phonetic_index(self.catalog)
         self._searcher = StructureSearchEngine(
             index=self.structure_index,
             weights=self.config.weights,
@@ -99,11 +123,32 @@ class SpeakQL:
             use_dap=self.config.use_dap,
             use_inv=self.config.use_inv,
         )
-        phonetic_index = PhoneticIndex.from_catalog(self.catalog)
         self._determiner = LiteralDeterminer(
             catalog=self.catalog,
-            index=phonetic_index,
+            index=self.phonetic_index,
             window_size=self.config.literal_window_size,
+        )
+        self._transcribe_stage = TranscribeStage(
+            engine=self.engine, default_nbest=self.config.top_k
+        )
+        self._mask_stage = MaskStage(literal_focused=self.config.literal_focused)
+        self._search_stage = StructureSearchStage(searcher=self._searcher, k=1)
+        self._literal_stage = LiteralStage(determiner=self._determiner)
+
+    def _build_artifacts(self) -> SpeakQLArtifacts:
+        """Resolve the compiled assets this facade was configured with."""
+        index = self.structure_index
+        if index is None and self.config.index_cache_path is not None:
+            from repro.structure.persistence import load_or_build
+
+            index = load_or_build(
+                self.config.index_cache_path,
+                max_tokens=self.config.max_structure_tokens,
+            )
+        return SpeakQLArtifacts.build(
+            max_structure_tokens=self.config.max_structure_tokens,
+            engine=self.engine,
+            structure_index=index,
         )
 
     # -- public API ---------------------------------------------------------
@@ -120,42 +165,38 @@ class SpeakQL:
         ``voice`` optionally selects a synthesized speaker profile (one
         of the eight Polly voices), which scales the acoustic channel.
         """
-        assert self.engine is not None
-        nbest = nbest or self.config.top_k
-        channel = voice.channel(self.engine.channel.profile) if voice else None
-        asr = self.engine.transcribe(
-            sql_text, seed=seed, nbest=nbest, channel=channel
+        ctx = QueryContext(
+            seed=seed, nbest=nbest or self.config.top_k, voice=voice
         )
-        return self.process_asr_result(asr)
+        asr = run_stages([self._transcribe_stage], sql_text, ctx)
+        return self.process_asr_result(asr, ctx=ctx)
 
-    def process_asr_result(self, asr: AsrResult) -> SpeakQLOutput:
+    def process_asr_result(
+        self, asr: AsrResult, ctx: QueryContext | None = None
+    ) -> SpeakQLOutput:
         """Run structure + literal determination on an ASR result.
 
         Each ASR alternative is corrected independently; the output's
         query list is the deduplicated sequence of corrected candidates
         (the "top 5 outputs" of Table 2).
         """
+        ctx = ctx or QueryContext()
         queries: list[str] = []
-        top_structure = None
-        top_literals = None
-        top_stats = None
-        timings = ComponentTimings()
+        top: CorrectedQuery | None = None
         for rank, text in enumerate(asr.alternatives):
-            corrected, structure, literals, stats, step = self._correct_one(text)
+            step_ctx = QueryContext()
+            corrected = self._correct_one(text, step_ctx)
             if rank == 0:
-                top_structure = structure
-                top_literals = literals
-                top_stats = stats
-                timings = step
-            if corrected and corrected not in queries:
-                queries.append(corrected)
+                top = corrected
+                ctx.merge(step_ctx)
+            if corrected.sql and corrected.sql not in queries:
+                queries.append(corrected.sql)
         if len(queries) < self.config.top_k:
             # Diversify with runner-up *structures* for the top ASR text
             # (the n-best list often differs only in literals, so its
             # corrections collapse to few distinct queries).
-            for candidate in self._structure_alternatives(
-                asr.text, skip=top_structure
-            ):
+            skip = top.structure if top is not None else None
+            for candidate in self._structure_alternatives(asr.text, skip=skip):
                 if candidate and candidate not in queries:
                     queries.append(candidate)
                 if len(queries) >= self.config.top_k:
@@ -164,37 +205,45 @@ class SpeakQL:
             asr_text=asr.text,
             asr_alternatives=asr.alternatives,
             queries=queries,
-            structure=top_structure,
-            literal_result=top_literals,
-            timings=timings,
-            search_stats=top_stats,
+            structure=top.structure if top else None,
+            literal_result=top.literals if top else None,
+            timings=ctx.timings(),
+            search_stats=ctx.search_stats,
         )
 
     def correct_transcription(self, transcription: str) -> SpeakQLOutput:
         """Correct a raw transcription text (no ASR step)."""
-        corrected, structure, literals, stats, timings = self._correct_one(
-            transcription
-        )
+        ctx = QueryContext()
+        corrected = self._correct_one(transcription, ctx)
         return SpeakQLOutput(
             asr_text=transcription,
             asr_alternatives=(transcription,),
-            queries=[corrected] if corrected else [],
-            structure=structure,
-            literal_result=literals,
-            timings=timings,
-            search_stats=stats,
+            queries=[corrected.sql] if corrected.sql else [],
+            structure=corrected.structure,
+            literal_result=corrected.literals,
+            timings=ctx.timings(),
+            search_stats=ctx.search_stats,
         )
 
     # -- internals ------------------------------------------------------------
 
+    def _correct_one(self, transcription: str, ctx: QueryContext) -> CorrectedQuery:
+        """Mask → structure search → literal determination for one text."""
+        return run_stages(
+            [self._mask_stage, self._search_stage, self._literal_stage],
+            transcription,
+            ctx,
+        )
+
     def _structure_alternatives(self, transcription: str, skip) -> list[str]:
         """Corrected queries for the runner-up structures of one text."""
-        masked = preprocess_transcription(transcription)
-        results, _ = self._searcher.search(
-            self._search_tokens(masked), k=self.config.top_k
-        )
+        ctx = QueryContext()
+        masked = self._mask_stage.run(transcription, ctx)
+        matches = StructureSearchStage(
+            searcher=self._searcher, k=self.config.top_k
+        ).run(masked, ctx)
         out: list[str] = []
-        for result in results:
+        for result in matches.results:
             if skip is not None and result.structure == skip.structure:
                 continue
             literals = self._determiner.determine(
@@ -202,24 +251,3 @@ class SpeakQL:
             )
             out.append(literals.sql())
         return out
-
-    def _search_tokens(self, masked) -> tuple[str, ...]:
-        if self.config.literal_focused:
-            from repro.structure.masking import collapse_literal_runs
-
-            return collapse_literal_runs(masked.masked)
-        return masked.masked
-
-    def _correct_one(self, transcription: str):
-        masked = preprocess_transcription(transcription)
-        start = time.perf_counter()
-        results, stats = self._searcher.search(self._search_tokens(masked), k=1)
-        structure_seconds = time.perf_counter() - start
-        if not results:
-            return "", None, None, stats, ComponentTimings(structure_seconds, 0.0)
-        best = results[0]
-        start = time.perf_counter()
-        literals = self._determiner.determine(list(masked.source), best.structure)
-        literal_seconds = time.perf_counter() - start
-        timings = ComponentTimings(structure_seconds, literal_seconds)
-        return literals.sql(), best, literals, stats, timings

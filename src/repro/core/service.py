@@ -1,0 +1,152 @@
+"""Parallel batch serving over one shared artifact bundle.
+
+:class:`SpeakQLService` is the online serving layer: it owns a
+:class:`~repro.core.pipeline.SpeakQL` facade backed by a read-only
+:class:`~repro.core.artifacts.SpeakQLArtifacts` bundle and fans batches
+of queries over worker threads.  All per-query state lives in a
+:class:`~repro.core.stages.QueryContext` and all randomness flows
+through explicit per-query seeds, so ``run_batch(..., workers=N)``
+returns results in input order, bit-identical to the serial loop —
+parallelism changes wall-clock time, never output.
+
+Typical use::
+
+    service = SpeakQLService(catalog, artifacts=artifacts)
+    outputs = service.run_batch(
+        [("SELECT Salary FROM Employees", 7), ...], workers=4
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.artifacts import SpeakQLArtifacts
+from repro.core.pipeline import SpeakQL, SpeakQLConfig
+from repro.core.result import SpeakQLOutput
+from repro.phonetics.phonetic_index import PhoneticIndex
+from repro.sqlengine.catalog import Catalog
+
+if TYPE_CHECKING:
+    from repro.asr.engine import SimulatedAsrEngine
+    from repro.asr.speakers import SpeakerProfile
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One unit of batch work.
+
+    ``seed`` selects the dictation path (``query_from_speech``); when it
+    is ``None``, ``text`` is treated as a raw ASR transcription and only
+    corrected (``correct_transcription``).
+    """
+
+    text: str
+    seed: int | None = None
+    nbest: int | None = None
+    voice: "SpeakerProfile | None" = None
+
+
+class SpeakQLService:
+    """Batch front-end sharing one read-only artifact bundle."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        *,
+        pipeline: SpeakQL | None = None,
+        artifacts: SpeakQLArtifacts | None = None,
+        config: SpeakQLConfig | None = None,
+        engine: "SimulatedAsrEngine | None" = None,
+        phonetic_index: PhoneticIndex | None = None,
+    ) -> None:
+        if pipeline is None:
+            if catalog is None:
+                raise ValueError("SpeakQLService needs a catalog or a pipeline")
+            pipeline = SpeakQL(
+                catalog,
+                engine=engine,
+                config=config or SpeakQLConfig(),
+                phonetic_index=phonetic_index,
+                artifacts=artifacts,
+            )
+        self.pipeline = pipeline
+        self.artifacts = pipeline.artifacts
+
+    @classmethod
+    def from_pipeline(cls, pipeline: SpeakQL) -> "SpeakQLService":
+        """Wrap an existing pipeline (shares its artifacts)."""
+        return cls(pipeline=pipeline)
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.pipeline.catalog
+
+    # -- single-query passthroughs -----------------------------------------
+
+    def correct_transcription(self, transcription: str) -> SpeakQLOutput:
+        return self.pipeline.correct_transcription(transcription)
+
+    def query_from_speech(self, sql_text: str, seed: int, **kwargs) -> SpeakQLOutput:
+        return self.pipeline.query_from_speech(sql_text, seed=seed, **kwargs)
+
+    # -- batch API ----------------------------------------------------------
+
+    def run_batch(
+        self,
+        spoken_queries: Iterable[object],
+        *,
+        workers: int = 1,
+    ) -> list[SpeakQLOutput]:
+        """Run a batch of queries, fanning over ``workers`` threads.
+
+        Accepts :class:`BatchRequest` objects, ``(sql_text, seed)``
+        pairs, bare transcription strings (corrected without an ASR
+        step), or any object with ``sql``/``seed`` attributes (e.g.
+        :class:`~repro.dataset.spoken.SpokenQuery`).  Results come back
+        in input order and are bit-identical to the serial loop;
+        ``workers=1`` (the default) is the paper-faithful serial path.
+        """
+        requests = [self._normalize(query) for query in spoken_queries]
+        if workers <= 1 or len(requests) <= 1:
+            return [self._run_one(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self._run_one, requests))
+
+    def correct_batch(
+        self, transcriptions: Sequence[str], *, workers: int = 1
+    ) -> list[SpeakQLOutput]:
+        """Correct raw transcriptions (no ASR step) as a batch."""
+        return self.run_batch(
+            [BatchRequest(text=text) for text in transcriptions],
+            workers=workers,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _normalize(query: object) -> BatchRequest:
+        if isinstance(query, BatchRequest):
+            return query
+        if isinstance(query, str):
+            return BatchRequest(text=query)
+        if isinstance(query, tuple) and len(query) == 2:
+            text, seed = query
+            return BatchRequest(text=text, seed=seed)
+        sql = getattr(query, "sql", None)
+        if isinstance(sql, str):
+            return BatchRequest(text=sql, seed=getattr(query, "seed", None))
+        raise TypeError(f"cannot interpret batch request: {query!r}")
+
+    def _run_one(self, request: BatchRequest) -> SpeakQLOutput:
+        if request.seed is None:
+            return self.pipeline.correct_transcription(request.text)
+        return self.pipeline.query_from_speech(
+            request.text,
+            seed=request.seed,
+            nbest=request.nbest,
+            voice=request.voice,
+        )

@@ -1,0 +1,196 @@
+"""Composable pipeline stages over a per-query context.
+
+The online half of the paper's Figure 2 is a short chain of stages —
+transcribe → mask → structure search → literal determination — each a
+cheap pass over one query.  This module expresses them as small,
+immutable :class:`PipelineStage` objects sharing nothing but the
+read-only compiled assets they wrap (see
+:mod:`repro.core.artifacts`), plus a mutable per-query
+:class:`QueryContext` that accumulates stage timings and search
+statistics.  :func:`run_stages` threads a value through a stage chain,
+timing each stage into the context.
+
+Because stages hold only immutable state and the context is per query,
+the same stage objects can serve many queries concurrently (see
+:class:`repro.core.service.SpeakQLService`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from repro.asr.engine import AsrResult, SimulatedAsrEngine
+from repro.core.result import (
+    LITERAL_STAGE,
+    MASK_STAGE,
+    STRUCTURE_STAGE,
+    TRANSCRIBE_STAGE,
+    ComponentTimings,
+)
+from repro.literal.determiner import LiteralDeterminer, LiteralResult
+from repro.structure.masking import (
+    MaskedTranscription,
+    collapse_literal_runs,
+    preprocess_transcription,
+)
+from repro.structure.search import SearchResult, SearchStats, StructureSearchEngine
+
+if TYPE_CHECKING:
+    from repro.asr.speakers import SpeakerProfile
+
+
+@dataclass
+class QueryContext:
+    """Mutable per-query state threaded through the stages.
+
+    One context serves one query (or one ASR alternative); contexts are
+    never shared across queries, which is what keeps the batch service's
+    parallel path bit-identical to the serial one.
+    """
+
+    seed: int | None = None
+    nbest: int | None = None
+    voice: "SpeakerProfile | None" = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    search_stats: SearchStats | None = None
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` against ``stage``."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def merge(self, other: "QueryContext") -> None:
+        """Fold another context's timings and stats into this one."""
+        for stage, seconds in other.stage_seconds.items():
+            self.record(stage, seconds)
+        if other.search_stats is not None:
+            self.search_stats = other.search_stats
+
+    def timings(self) -> ComponentTimings:
+        return ComponentTimings(stages=self.stage_seconds)
+
+
+@runtime_checkable
+class PipelineStage(Protocol):
+    """One step of the online pipeline: ``run(value, ctx) -> value``."""
+
+    name: str
+
+    def run(self, value: Any, ctx: QueryContext) -> Any: ...
+
+
+def run_stages(stages: list[PipelineStage], value: Any, ctx: QueryContext) -> Any:
+    """Thread ``value`` through ``stages``, timing each into ``ctx``."""
+    for stage in stages:
+        start = time.perf_counter()
+        value = stage.run(value, ctx)
+        ctx.record(stage.name, time.perf_counter() - start)
+    return value
+
+
+# -- intermediate values -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MaskedQuery:
+    """A preprocessed transcription plus the tokens fed to the search."""
+
+    masked: MaskedTranscription
+    search_tokens: tuple[str, ...]
+
+    @property
+    def source(self) -> tuple[str, ...]:
+        return self.masked.source
+
+
+@dataclass(frozen=True)
+class StructureMatches:
+    """Search results for one masked transcription."""
+
+    masked: MaskedQuery
+    results: tuple[SearchResult, ...]
+
+    @property
+    def best(self) -> SearchResult | None:
+        return self.results[0] if self.results else None
+
+
+@dataclass(frozen=True)
+class CorrectedQuery:
+    """Final per-alternative correction: SQL plus its evidence."""
+
+    sql: str
+    structure: SearchResult | None
+    literals: LiteralResult | None
+
+
+# -- stages ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TranscribeStage:
+    """Dictate SQL text through the simulated ASR engine."""
+
+    engine: SimulatedAsrEngine
+    default_nbest: int = 5
+    name: str = TRANSCRIBE_STAGE
+
+    def run(self, value: str, ctx: QueryContext) -> AsrResult:
+        if ctx.seed is None:
+            raise ValueError("TranscribeStage requires ctx.seed")
+        channel = None
+        if ctx.voice is not None:
+            channel = ctx.voice.channel(self.engine.channel.profile)
+        return self.engine.transcribe(
+            value,
+            seed=ctx.seed,
+            nbest=ctx.nbest or self.default_nbest,
+            channel=channel,
+        )
+
+
+@dataclass(frozen=True)
+class MaskStage:
+    """SplChar handling + literal masking of a raw transcription."""
+
+    literal_focused: bool = False
+    name: str = MASK_STAGE
+
+    def run(self, value: str, ctx: QueryContext) -> MaskedQuery:
+        masked = preprocess_transcription(value)
+        tokens = masked.masked
+        if self.literal_focused:
+            tokens = collapse_literal_runs(tokens)
+        return MaskedQuery(masked=masked, search_tokens=tuple(tokens))
+
+
+@dataclass(frozen=True)
+class StructureSearchStage:
+    """Similarity search over the shared structure index."""
+
+    searcher: StructureSearchEngine
+    k: int = 1
+    name: str = STRUCTURE_STAGE
+
+    def run(self, value: MaskedQuery, ctx: QueryContext) -> StructureMatches:
+        results, stats = self.searcher.search(value.search_tokens, k=self.k)
+        ctx.search_stats = stats
+        return StructureMatches(masked=value, results=tuple(results))
+
+
+@dataclass(frozen=True)
+class LiteralStage:
+    """Fill the best structure's placeholders from the phonetic index."""
+
+    determiner: LiteralDeterminer
+    name: str = LITERAL_STAGE
+
+    def run(self, value: StructureMatches, ctx: QueryContext) -> CorrectedQuery:
+        best = value.best
+        if best is None:
+            return CorrectedQuery(sql="", structure=None, literals=None)
+        literals = self.determiner.determine(
+            list(value.masked.source), best.structure
+        )
+        return CorrectedQuery(sql=literals.sql(), structure=best, literals=literals)

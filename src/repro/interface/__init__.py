@@ -19,7 +19,7 @@ attempts):
 from repro.interface.display import Clause, QueryDisplay, split_clauses
 from repro.interface.effort import EffortLog, Interaction
 from repro.interface.keyboard import SqlKeyboard
-from repro.interface.session import CorrectionSession
+from repro.interface.session import CorrectionSession, clause_redictator
 
 __all__ = [
     "Clause",
@@ -29,4 +29,5 @@ __all__ = [
     "Interaction",
     "SqlKeyboard",
     "CorrectionSession",
+    "clause_redictator",
 ]

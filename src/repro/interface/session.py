@@ -25,6 +25,31 @@ REDICTATE_THRESHOLD = 5
 RedictateFn = Callable[[str], str]
 
 
+def clause_redictator(clause_pipeline, *, seed: int) -> RedictateFn:
+    """A :data:`RedictateFn` over a shared ``ClauseSpeakQL`` pipeline.
+
+    Each re-dictation infers the clause kind from the clause's leading
+    keyword and dictates through the pipeline (and therefore through its
+    shared artifact bundle) with a fresh derived seed per call.
+    """
+    from repro.core.clauses import ClauseKind  # deferred: interface <-> core
+
+    counter = iter(range(1, 1 << 30))
+
+    def redictate(clause_sql: str) -> str:
+        leading = clause_sql.split()[0].upper() if clause_sql.split() else ""
+        kind = {
+            "SELECT": ClauseKind.SELECT,
+            "FROM": ClauseKind.FROM,
+            "WHERE": ClauseKind.WHERE,
+        }.get(leading, ClauseKind.TAIL)
+        return clause_pipeline.dictate_clause(
+            clause_sql, kind, seed=seed + next(counter)
+        )
+
+    return redictate
+
+
 def edit_script(
     hypothesis: list[str], reference: list[str]
 ) -> list[tuple[str, str]]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.asr.engine import SimulatedAsrEngine, make_custom_engine
 from repro.asr.verbalizer import Verbalizer
+from repro.core.artifacts import SpeakQLArtifacts
 from repro.core.clauses import _CLAUSE_TO_KIND, ClauseSpeakQL
 from repro.core.pipeline import SpeakQL
 from repro.grammar.vocabulary import SPLCHAR_DICT, tokenize_sql
@@ -122,8 +123,13 @@ class StudySimulator:
     def __post_init__(self) -> None:
         if self.engine is None:
             self.engine = make_custom_engine([q.sql for q in STUDY_QUERIES])
-        self._pipeline = SpeakQL(self.catalog, engine=self.engine)
-        self._clause_pipeline = ClauseSpeakQL(self.catalog, engine=self.engine)
+        # One artifact bundle: the whole-query and clause pipelines share
+        # the structure index, engine, and per-catalog phonetic index.
+        artifacts = SpeakQLArtifacts.build(engine=self.engine)
+        self._pipeline = SpeakQL(self.catalog, artifacts=artifacts)
+        self._clause_pipeline = ClauseSpeakQL(
+            self.catalog, engine=self.engine, artifacts=artifacts
+        )
         self._keyboard = SqlKeyboard(self.catalog)
 
     def run(

@@ -1,0 +1,136 @@
+"""Tests for the parallel batch service.
+
+The acceptance bar: ``run_batch(queries, workers=4)`` must be
+output-for-output identical to the serial loop on a fixed seed set —
+parallelism changes wall-clock time, never results.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.asr.engine import make_custom_engine
+from repro.core import BatchRequest, SpeakQL, SpeakQLArtifacts, SpeakQLService
+
+WORKLOAD = [
+    ("SELECT AVG ( salary ) FROM Salaries", 3),
+    ("SELECT FirstName FROM Employees WHERE Gender = 'M'", 5),
+    ("SELECT LastName FROM Employees natural join Salaries", 7),
+    ("SELECT salary FROM Salaries WHERE salary > 70000", 11),
+    ("SELECT * FROM Employees", 13),
+    ("SELECT FirstName FROM Employees WHERE LastName = 'Facello'", 17),
+    ("SELECT AVG ( salary ) FROM Salaries", 3),  # duplicate on purpose
+]
+
+TRANSCRIPTIONS = [
+    "select last name from employers wear first name equals Karsten",
+    "select star from employees where salary greater than 70000",
+    "select salary from celeries",
+]
+
+
+@pytest.fixture(scope="module")
+def artifacts(request):
+    medium_index = request.getfixturevalue("medium_index")
+    engine = make_custom_engine([sql for sql, _ in WORKLOAD])
+    return SpeakQLArtifacts.build(engine=engine, structure_index=medium_index)
+
+
+@pytest.fixture(scope="module")
+def serial_pipeline(request, artifacts):
+    small_catalog = request.getfixturevalue("small_catalog")
+    return SpeakQL(small_catalog, artifacts=artifacts)
+
+
+@pytest.fixture(scope="module")
+def service(request, artifacts):
+    # A distinct pipeline instance over the same artifacts, so the
+    # parallel run shares compiled assets but no warm per-query caches.
+    small_catalog = request.getfixturevalue("small_catalog")
+    return SpeakQLService(small_catalog, artifacts=artifacts)
+
+
+def assert_outputs_identical(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert got.asr_text == want.asr_text
+        assert got.asr_alternatives == want.asr_alternatives
+        assert got.queries == want.queries
+        assert got.structure == want.structure
+        if want.literal_result is None:
+            assert got.literal_result is None
+        else:
+            assert got.literal_result.structure == want.literal_result.structure
+            assert got.literal_result.literals == want.literal_result.literals
+
+
+class TestRunBatchDeterminism:
+    def test_parallel_identical_to_serial(self, serial_pipeline, service):
+        serial = [
+            serial_pipeline.query_from_speech(sql, seed=seed)
+            for sql, seed in WORKLOAD
+        ]
+        batch = service.run_batch(WORKLOAD, workers=4)
+        assert_outputs_identical(batch, serial)
+
+    def test_worker_counts_agree(self, service):
+        one = service.run_batch(WORKLOAD, workers=1)
+        two = service.run_batch(WORKLOAD, workers=2)
+        eight = service.run_batch(WORKLOAD, workers=8)
+        assert_outputs_identical(two, one)
+        assert_outputs_identical(eight, one)
+
+    def test_results_in_input_order(self, service):
+        outputs = service.run_batch(WORKLOAD, workers=4)
+        for (sql, seed), out in zip(WORKLOAD, outputs):
+            reference = service.pipeline.query_from_speech(sql, seed=seed)
+            assert out.asr_text == reference.asr_text
+            assert out.queries == reference.queries
+
+    def test_correct_batch_matches_serial(self, serial_pipeline, service):
+        serial = [
+            serial_pipeline.correct_transcription(t) for t in TRANSCRIPTIONS
+        ]
+        batch = service.correct_batch(TRANSCRIPTIONS, workers=3)
+        assert_outputs_identical(batch, serial)
+
+
+class TestRequestNormalization:
+    def test_accepts_mixed_request_shapes(self, service):
+        sql, seed = WORKLOAD[0]
+        outputs = service.run_batch(
+            [
+                (sql, seed),
+                BatchRequest(text=sql, seed=seed),
+                SimpleNamespace(sql=sql, seed=seed),
+            ],
+            workers=2,
+        )
+        assert outputs[0].queries == outputs[1].queries == outputs[2].queries
+
+    def test_bare_string_is_corrected_without_asr(self, service):
+        [out] = service.run_batch(["select salary from celeries"])
+        assert out.sql == "SELECT salary FROM Salaries"
+        assert out.asr_text == "select salary from celeries"
+
+    def test_rejects_unknown_shapes(self, service):
+        with pytest.raises(TypeError):
+            service.run_batch([42])
+
+
+class TestServiceConstruction:
+    def test_from_pipeline_shares_artifacts(self, serial_pipeline):
+        service = SpeakQLService.from_pipeline(serial_pipeline)
+        assert service.pipeline is serial_pipeline
+        assert service.artifacts is serial_pipeline.artifacts
+
+    def test_needs_catalog_or_pipeline(self):
+        with pytest.raises(ValueError):
+            SpeakQLService()
+
+    def test_passthroughs(self, service):
+        sql, seed = WORKLOAD[0]
+        direct = service.pipeline.query_from_speech(sql, seed=seed)
+        assert service.query_from_speech(sql, seed=seed).queries == direct.queries
+        corrected = service.correct_transcription("select salary from celeries")
+        assert corrected.sql == "SELECT salary FROM Salaries"

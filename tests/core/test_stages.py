@@ -1,0 +1,106 @@
+"""Tests for the composable stages and the generalized timings."""
+
+import pytest
+
+from repro.core import SpeakQL
+from repro.core.result import (
+    LITERAL_STAGE,
+    MASK_STAGE,
+    STRUCTURE_STAGE,
+    TRANSCRIBE_STAGE,
+    ComponentTimings,
+)
+from repro.core.stages import (
+    LiteralStage,
+    MaskStage,
+    QueryContext,
+    StructureSearchStage,
+    run_stages,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    medium_index = request.getfixturevalue("medium_index")
+    return SpeakQL(small_catalog, structure_index=medium_index)
+
+
+class TestComponentTimings:
+    def test_legacy_constructor(self):
+        timings = ComponentTimings(structure_seconds=0.2, literal_seconds=0.1)
+        assert timings.structure_seconds == 0.2
+        assert timings.literal_seconds == 0.1
+        assert abs(timings.total_seconds - 0.3) < 1e-9
+
+    def test_stage_mapping(self):
+        timings = ComponentTimings(
+            stages={TRANSCRIBE_STAGE: 0.5, STRUCTURE_STAGE: 0.25}
+        )
+        assert timings[TRANSCRIBE_STAGE] == 0.5
+        assert timings.structure_seconds == 0.25
+        assert timings.stage_seconds("missing") == 0.0
+        assert timings.total_seconds == 0.75
+
+    def test_equality_by_stages(self):
+        assert ComponentTimings(stages={STRUCTURE_STAGE: 0.2}) == ComponentTimings(
+            structure_seconds=0.2
+        )
+
+
+class TestQueryContext:
+    def test_record_accumulates(self):
+        ctx = QueryContext()
+        ctx.record("stage", 0.25)
+        ctx.record("stage", 0.25)
+        assert ctx.timings().stage_seconds("stage") == 0.5
+
+    def test_merge_folds_timings_and_stats(self):
+        a = QueryContext()
+        a.record("stage", 1.0)
+        b = QueryContext()
+        b.record("stage", 0.5)
+        b.search_stats = object()
+        a.merge(b)
+        assert a.stage_seconds["stage"] == 1.5
+        assert a.search_stats is b.search_stats
+
+
+class TestStageChain:
+    def test_manual_chain_matches_facade(self, pipeline):
+        text = "select last name from employers wear first name equals Karsten"
+        ctx = QueryContext()
+        corrected = run_stages(
+            [
+                MaskStage(),
+                StructureSearchStage(searcher=pipeline._searcher, k=1),
+                LiteralStage(determiner=pipeline._determiner),
+            ],
+            text,
+            ctx,
+        )
+        out = pipeline.correct_transcription(text)
+        assert corrected.sql == out.sql
+        assert corrected.structure == out.structure
+
+    def test_context_collects_stage_timings(self, pipeline):
+        out = pipeline.correct_transcription("select salary from celeries")
+        stages = out.timings.stages
+        assert MASK_STAGE in stages
+        assert STRUCTURE_STAGE in stages
+        assert LITERAL_STAGE in stages
+        assert all(seconds >= 0 for seconds in stages.values())
+
+    def test_dictation_records_transcribe_stage(self, pipeline):
+        out = pipeline.query_from_speech("SELECT * FROM Employees", seed=2)
+        assert TRANSCRIBE_STAGE in out.timings.stages
+        assert out.timings.total_seconds >= out.timings.structure_seconds
+
+    def test_search_stage_records_stats(self, pipeline):
+        ctx = QueryContext()
+        masked = MaskStage().run("select star from employees", ctx)
+        matches = StructureSearchStage(searcher=pipeline._searcher, k=1).run(
+            masked, ctx
+        )
+        assert ctx.search_stats is not None
+        assert matches.best is not None

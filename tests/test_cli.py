@@ -35,6 +35,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SELECT salary FROM Salaries" in out
 
+    def test_correct_batch_with_workers(self, capsys):
+        transcriptions = [
+            "select salary from celeries",
+            "select star from employees",
+        ]
+        assert main(["correct", *transcriptions, "--workers", "2"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+        assert out[0] == "SELECT salary FROM Salaries"
+        assert out[1].startswith("SELECT * FROM Employees")
+        # The parallel path must match the serial one line for line.
+        assert main(["correct", *transcriptions, "--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out.strip().splitlines()
+        assert serial_out == out
+
     def test_correct_execute(self, capsys):
         code = main(
             [
