@@ -25,18 +25,24 @@ def _evaluate(searcher, masked_inputs, truths):
     teds = []
     elapsed = 0.0
     nodes = 0
+    candidates = 0
     for masked, truth in zip(masked_inputs, truths):
         start = time.perf_counter()
         results, stats = searcher.search(masked, k=1)
         elapsed += time.perf_counter() - start
-        nodes += stats.nodes_visited + stats.candidates_scored
+        nodes += stats.nodes_visited
+        candidates += stats.candidates_scored
         if results:
             teds.append(
                 weighted_edit_distance(results[0].structure, truth, UNIT_WEIGHTS)
             )
         else:
             teds.append(float(len(truth)))
-    return Cdf.of(teds), elapsed, nodes
+    # Scored candidates are counted on every path (with or without the
+    # INV subindex) — a zero here would mean broken instrumentation,
+    # not a fast configuration.
+    assert candidates > 0, "candidates_scored not incremented"
+    return Cdf.of(teds), elapsed, nodes + candidates
 
 
 def test_fig15_ablation(state, benchmark):

@@ -1,0 +1,197 @@
+"""Structure-search kernel benchmark: compiled vs reference.
+
+Measures the level-synchronous compiled kernel against the node-object
+reference on one shared index, over perturbed real structures (the
+workload the online pipeline sees).  Every query is first parity-checked
+— the compiled kernel must return bit-identical results — so the
+speedup numbers can never come from a divergent kernel.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_search_perf.py \
+        --max-tokens 20 --queries 100 --out BENCH_structure_search.json
+
+Emits a JSON report (queries/sec, median and p95 per-search latency,
+nodes visited, DP cells, compile time) per k, and exits non-zero when
+the compiled kernel's median speedup at the pipeline's default k falls
+below ``--min-speedup`` — which is how CI smoke-tests the fast path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.pipeline import SpeakQLConfig
+from repro.grammar.generator import StructureGenerator
+from repro.structure.indexer import StructureIndex
+from repro.structure.search import StructureSearchEngine
+
+#: k values measured: the pipeline's default top-k (primary metric) and
+#: the k=1 used by clause dictation and per-alternative rescoring.
+DEFAULT_KS = (SpeakQLConfig().top_k, 1)
+
+
+def make_queries(index: StructureIndex, count: int, seed: int) -> list[tuple[str, ...]]:
+    """Perturbed index sentences: pops and noise-token insertions."""
+    sentences = [s for trie in index.tries.values() for s in trie.sentences()]
+    rng = random.Random(seed)
+    noise = ["x", "AND", ",", "WHERE"]
+    queries = []
+    for _ in range(count):
+        tokens = list(rng.choice(sentences))
+        for _ in range(rng.randint(0, 3)):
+            if rng.random() < 0.5 and len(tokens) > 1:
+                tokens.pop(rng.randrange(len(tokens)))
+            else:
+                tokens.insert(rng.randrange(len(tokens) + 1), rng.choice(noise))
+        queries.append(tuple(tokens))
+    return queries
+
+
+def check_parity(
+    index: StructureIndex, queries: list[tuple[str, ...]], ks: tuple[int, ...]
+) -> int:
+    """Bit-identical results across kernels; returns queries checked."""
+    ref = StructureSearchEngine(index, kernel="reference", cache_results=False)
+    comp = StructureSearchEngine(index, kernel="compiled", cache_results=False)
+    for masked in queries:
+        for k in ks:
+            expected, _ = ref.search(masked, k=k)
+            got, _ = comp.search(masked, k=k)
+            if got != expected:
+                raise AssertionError(
+                    f"kernel divergence at k={k} for {' '.join(masked)!r}"
+                )
+    return len(queries)
+
+
+def measure(
+    engine: StructureSearchEngine,
+    queries: list[tuple[str, ...]],
+    k: int,
+) -> dict:
+    latencies = []
+    nodes = 0
+    cells = 0
+    candidates = 0
+    for masked in queries:
+        start = time.perf_counter()
+        _, stats = engine.search(masked, k=k)
+        latencies.append(time.perf_counter() - start)
+        nodes += stats.nodes_visited
+        cells += stats.dp_cells
+        candidates += stats.candidates_scored
+    total = sum(latencies)
+    latencies.sort()
+    return {
+        "queries": len(queries),
+        "queries_per_sec": len(queries) / total,
+        "median_ms": statistics.median(latencies) * 1e3,
+        "p95_ms": latencies[min(len(latencies) - 1, int(len(latencies) * 0.95))]
+        * 1e3,
+        "total_s": total,
+        "nodes_visited": nodes,
+        "dp_cells": cells,
+        "candidates_scored": candidates,
+    }
+
+
+def run(args: argparse.Namespace) -> dict:
+    build_start = time.perf_counter()
+    index = StructureIndex.build(StructureGenerator(max_tokens=args.max_tokens))
+    build_s = time.perf_counter() - build_start
+
+    compile_start = time.perf_counter()
+    compiled = index.compiled()
+    compile_s = time.perf_counter() - compile_start
+    for trie in compiled.tries.values():
+        trie.levels()  # include the level-plan build in compile cost
+    level_s = time.perf_counter() - compile_start - compile_s
+
+    queries = make_queries(index, args.queries, args.seed)
+    ks = tuple(dict.fromkeys(DEFAULT_KS))  # primary k first, deduplicated
+    parity_checked = check_parity(index, queries, ks)
+
+    report = {
+        "benchmark": "structure_search_kernels",
+        "max_tokens": args.max_tokens,
+        "structures": len(index),
+        "node_count": index.node_count(),
+        "seed": args.seed,
+        "index_build_s": build_s,
+        "compile_s": compile_s,
+        "level_plan_s": level_s,
+        "parity_checked_queries": parity_checked,
+        "results": {},
+    }
+    primary_k = ks[0]
+    for k in ks:
+        per_k = {}
+        for kernel in ("reference", "compiled"):
+            engine = StructureSearchEngine(
+                index, kernel=kernel, cache_results=False
+            )
+            for masked in queries[: min(10, len(queries))]:
+                engine.search(masked, k=k)  # warm-up
+            per_k[kernel] = measure(engine, queries, k)
+        per_k["median_speedup"] = (
+            per_k["reference"]["median_ms"] / per_k["compiled"]["median_ms"]
+        )
+        per_k["p95_speedup"] = (
+            per_k["reference"]["p95_ms"] / per_k["compiled"]["p95_ms"]
+        )
+        report["results"][f"k={k}"] = per_k
+    report["primary_k"] = primary_k
+    report["primary_median_speedup"] = report["results"][f"k={primary_k}"][
+        "median_speedup"
+    ]
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-tokens", type=int, default=20,
+                        help="structure-generator token cap (index size)")
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_structure_search.json")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero if the primary median speedup "
+                        "falls below this (CI gate)")
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for label, per_k in report["results"].items():
+        ref, comp = per_k["reference"], per_k["compiled"]
+        print(
+            f"{label}: reference {ref['median_ms']:.2f}ms median / "
+            f"{ref['p95_ms']:.2f}ms p95, compiled {comp['median_ms']:.2f}ms "
+            f"median / {comp['p95_ms']:.2f}ms p95 -> "
+            f"{per_k['median_speedup']:.2f}x median, "
+            f"{per_k['p95_speedup']:.2f}x p95"
+        )
+    speedup = report["primary_median_speedup"]
+    print(
+        f"primary (k={report['primary_k']}): {speedup:.2f}x median speedup, "
+        f"{report['parity_checked_queries']} queries parity-checked, "
+        f"report written to {args.out}"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: {speedup:.2f}x < required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

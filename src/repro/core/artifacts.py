@@ -8,7 +8,10 @@ and a cheap *online* phase that runs per dictated query.
 effectively immutable assets:
 
 - the grammar-derived (catalog-independent) :class:`StructureIndex`,
-  plus the per-clause indexes used by clause-level dictation;
+  pre-lowered to its flat-array compiled form (see
+  :mod:`repro.structure.compiled`) so search workers share the
+  immutable arrays read-only, plus the per-clause indexes used by
+  clause-level dictation;
 - one :class:`PhoneticIndex` per catalog, built on first use;
 - the trained ASR engine / language model.
 
@@ -86,6 +89,10 @@ class SpeakQLArtifacts:
             structure_index = StructureIndex.build(
                 StructureGenerator(max_tokens=max_structure_tokens)
             )
+        # Lower the index to its compiled form here, in the offline step:
+        # the flat arrays are immutable, so batch workers share them
+        # read-only instead of racing on a lazy first compile.
+        structure_index.compiled()
         return cls(
             structure_index=structure_index,
             engine=engine,

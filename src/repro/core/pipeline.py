@@ -59,6 +59,10 @@ class SpeakQLConfig:
     use_bdb: bool = True
     use_dap: bool = False
     use_inv: bool = False
+    #: Search kernel: ``"compiled"`` (level-synchronous numpy, default),
+    #: ``"flat"`` (scalar flat-array), or ``"reference"`` (node-object
+    #: spec kernel).  All three return bit-identical results.
+    search_kernel: str = "compiled"
     literal_window_size: int = 4
     #: Optional path caching the generated structures on disk (the
     #: paper's offline index-build step); rebuilt when the cap changes.
@@ -122,6 +126,7 @@ class SpeakQL:
             use_bdb=self.config.use_bdb,
             use_dap=self.config.use_dap,
             use_inv=self.config.use_inv,
+            kernel=self.config.search_kernel,
         )
         self._determiner = LiteralDeterminer(
             catalog=self.catalog,

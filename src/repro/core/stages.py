@@ -167,7 +167,12 @@ class MaskStage:
 
 @dataclass(frozen=True)
 class StructureSearchStage:
-    """Similarity search over the shared structure index."""
+    """Similarity search over the shared structure index.
+
+    The wrapped engine runs the compiled (flat-array) kernel by default
+    against arrays lowered once in the offline step, so concurrent
+    queries share the index without copying or locking.
+    """
 
     searcher: StructureSearchEngine
     k: int = 1

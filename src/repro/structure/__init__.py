@@ -11,10 +11,15 @@ transcription:
 - :mod:`repro.structure.trie` — the token trie storing ground-truth
   structures (Section 3.3).
 - :mod:`repro.structure.indexer` — 50 length-partitioned tries.
+- :mod:`repro.structure.compiled` — the offline compile step: interned
+  tokens, per-id weight vectors, and flat first-child/next-sibling trie
+  arrays the fast search kernel runs on.
 - :mod:`repro.structure.search` — branch-and-bound similarity search with
   bidirectional bounds (Proposition 1, Box 2) plus the two approximate
   optimizations: Diversity-Aware Pruning and Inverted Indexes
-  (Appendix D.3).
+  (Appendix D.3).  Three kernels — level-synchronous numpy ``compiled``
+  (default), scalar flat-array ``flat``, and node-object ``reference``
+  — return bit-identical results.
 """
 
 from repro.structure.masking import MaskedTranscription, handle_splchars, mask_literals, preprocess_transcription
@@ -25,10 +30,13 @@ from repro.structure.edit_distance import (
     weighted_edit_distance,
 )
 from repro.structure.trie import TokenTrie, TrieNode
+from repro.structure.compiled import CompiledStructureIndex, CompiledTrie
 from repro.structure.indexer import StructureIndex
 from repro.structure.search import SearchResult, SearchStats, StructureSearchEngine
 
 __all__ = [
+    "CompiledStructureIndex",
+    "CompiledTrie",
     "MaskedTranscription",
     "handle_splchars",
     "mask_literals",

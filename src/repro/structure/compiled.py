@@ -1,0 +1,465 @@
+"""Compiled structure index: interned tokens over flat-array tries.
+
+Building the :class:`~repro.structure.indexer.StructureIndex` is the
+paper's offline step; this module adds a second offline step that
+*lowers* the built index into an immutable, cache-friendly form the
+search engine's hot loop can run on without touching a single dict or
+string:
+
+- a global **intern table** mapping every distinct trie token to a small
+  integer id, with a precomputed per-id operation-weight vector (so the
+  inner DP loop never calls ``classify_token`` or hashes a string);
+- each per-length trie flattened into contiguous **first-child /
+  next-sibling arrays** (``array('i')`` / ``array('d')``) carrying node
+  token ids, per-node operation weights, and terminal sentence ids.
+
+The compiled form is weight-specific (the per-id/per-node weight vectors
+bake in one :class:`TokenWeights`); :meth:`CompiledStructureIndex.reweighted`
+derives a variant for different weights while sharing every structural
+array.  ``repro.structure.persistence`` serializes the flat arrays
+directly, so a cached index loads without re-inserting token sequences
+into pointer-heavy tries.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.grammar.vocabulary import PRIME_SUPERSET
+from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
+from repro.structure.trie import TokenTrie
+
+if TYPE_CHECKING:
+    from repro.structure.indexer import StructureIndex
+
+#: Sentinel for "no child" / "no sibling" / "not terminal".
+NO_NODE = -1
+
+
+def weights_key(weights: TokenWeights) -> tuple[float, float, float]:
+    """Hashable identity of a weight setting (used as a cache key)."""
+    return (weights.keyword, weights.splchar, weights.literal)
+
+
+@dataclass(frozen=True)
+class TrieLevel:
+    """One breadth-first level of a compiled trie, as numpy arrays.
+
+    Nodes appear parent-major (children of the previous level's first
+    node first), siblings in first-child/next-sibling order — so the
+    level's left-to-right order equals the depth-first left-to-right
+    order restricted to this depth.  The level-synchronous search kernel
+    consumes these directly.
+    """
+
+    #: Node indexes at this depth, parent-major.
+    order: np.ndarray
+    #: For each node, the row of its parent within the previous level.
+    parent_pos: np.ndarray
+    #: Interned token id per node.
+    token_id: np.ndarray
+    #: Sentence id per node (−1 for non-terminals).
+    sentence_id: np.ndarray
+    #: Whether any node at this depth is a terminal.
+    has_terminals: bool
+    #: Children of this level's node j occupy rows
+    #: ``child_start[j] : child_start[j] + child_count[j]`` of the next
+    #: level (the layout is parent-major, so sibling runs are contiguous).
+    child_start: np.ndarray
+    child_count: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompiledTrie:
+    """One length's trie as contiguous first-child/next-sibling arrays.
+
+    Node 0 is the root (empty prefix; ``token_id`` −1, weight 0).  For a
+    node ``i``, ``first_child[i]`` / ``next_sibling[i]`` are node indexes
+    (or :data:`NO_NODE`), ``token_id[i]`` indexes the owning index's
+    intern table, ``node_weight[i]`` is the token's operation weight
+    under the compiled :class:`TokenWeights`, and ``sentence_id[i]`` is
+    the terminal structure's id (or :data:`NO_NODE`).
+    """
+
+    length: int
+    first_child: array
+    next_sibling: array
+    token_id: array
+    node_weight: array
+    sentence_id: array
+
+    @property
+    def node_count(self) -> int:
+        return len(self.first_child)
+
+    def levels(self) -> tuple[TrieLevel, ...]:
+        """Breadth-first level plan, built lazily and cached.
+
+        Purely structural (no weights), so a rebuild after
+        :meth:`reweighted` yields identical arrays.  The lazy build is
+        idempotent, which keeps concurrent first calls benign.
+        """
+        plan = getattr(self, "_levels", None)
+        if plan is None:
+            plan = _build_levels(self)
+            object.__setattr__(self, "_levels", plan)
+        return plan
+
+    def reweighted(self, token_weight: array) -> "CompiledTrie":
+        """The same trie with node weights from ``token_weight`` (per id)."""
+        tid = self.token_id
+        node_weight = array(
+            "d", (token_weight[t] if t >= 0 else 0.0 for t in tid)
+        )
+        return CompiledTrie(
+            length=self.length,
+            first_child=self.first_child,
+            next_sibling=self.next_sibling,
+            token_id=tid,
+            node_weight=node_weight,
+            sentence_id=self.sentence_id,
+        )
+
+
+@dataclass(frozen=True)
+class CompiledStructureIndex:
+    """An immutable lowered :class:`StructureIndex`.
+
+    Shared read-only across worker threads: nothing in it mutates after
+    :meth:`compile` returns.
+    """
+
+    #: Intern table: id -> token, token -> id.
+    tokens: tuple[str, ...]
+    token_ids: dict[str, int]
+    #: Operation weight per token id, under ``weights``.
+    token_weight: array
+    #: True per token id iff the token is in the DAP prime superset.
+    prime: tuple[bool, ...]
+    weights: TokenWeights
+    #: Flat tries keyed by structure length.
+    tries: dict[int, CompiledTrie]
+    #: Terminal structures by sentence id (DFS discovery order).
+    sentences: tuple[tuple[str, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.sentences)
+
+    @property
+    def lengths(self) -> list[int]:
+        return sorted(self.tries)
+
+    @property
+    def weights_key(self) -> tuple[float, float, float]:
+        return weights_key(self.weights)
+
+    def node_count(self) -> int:
+        return sum(trie.node_count for trie in self.tries.values())
+
+    def largest_trie_nodes(self) -> int:
+        if not self.tries:
+            return 0
+        return max(trie.node_count for trie in self.tries.values())
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        index: "StructureIndex",
+        weights: TokenWeights = DEFAULT_WEIGHTS,
+    ) -> "CompiledStructureIndex":
+        """Lower a built index into the flat-array form.
+
+        Tokens are interned in first-encounter order (lengths ascending,
+        preorder within each trie), which makes compilation — and
+        everything derived from it — deterministic.
+        """
+        tokens: list[str] = []
+        token_ids: dict[str, int] = {}
+        sentences: list[tuple[str, ...]] = []
+        tries: dict[int, CompiledTrie] = {}
+        for length in sorted(index.tries):
+            tries[length] = _compile_trie(
+                length, index.tries[length], tokens, token_ids, sentences
+            )
+        token_weight = array("d", (weights.of(t) for t in tokens))
+        prime = tuple(t in PRIME_SUPERSET for t in tokens)
+        compiled = cls(
+            tokens=tuple(tokens),
+            token_ids=token_ids,
+            token_weight=token_weight,
+            prime=prime,
+            weights=weights,
+            tries=tries,
+            sentences=tuple(sentences),
+        )
+        return _with_node_weights(compiled)
+
+    def reweighted(self, weights: TokenWeights) -> "CompiledStructureIndex":
+        """A compiled variant for different weights.
+
+        Structural arrays (children, siblings, token ids, sentence ids)
+        are shared; only the weight vectors are recomputed.
+        """
+        if weights_key(weights) == self.weights_key:
+            return self
+        token_weight = array("d", (weights.of(t) for t in self.tokens))
+        tries = {
+            length: trie.reweighted(token_weight)
+            for length, trie in self.tries.items()
+        }
+        return CompiledStructureIndex(
+            tokens=self.tokens,
+            token_ids=self.token_ids,
+            token_weight=token_weight,
+            prime=self.prime,
+            weights=weights,
+            tries=tries,
+            sentences=self.sentences,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_lines(self) -> list[str]:
+        """Serialize the structural arrays as text lines.
+
+        Weight vectors are derived data and are not persisted; a load
+        recompiles them for the weights in effect.
+        """
+        lines = [f"tokens {len(self.tokens)}", " ".join(self.tokens)]
+        lines.append(f"structures {len(self.sentences)}")
+        for length in sorted(self.tries):
+            trie = self.tries[length]
+            lines.append(f"trie {length} {trie.node_count}")
+            lines.append(" ".join(map(str, trie.first_child)))
+            lines.append(" ".join(map(str, trie.next_sibling)))
+            lines.append(" ".join(map(str, trie.token_id)))
+            lines.append(" ".join(map(str, trie.sentence_id)))
+        return lines
+
+    @classmethod
+    def from_lines(
+        cls,
+        lines: list[str],
+        weights: TokenWeights = DEFAULT_WEIGHTS,
+    ) -> "CompiledStructureIndex":
+        """Rebuild a compiled index from :meth:`to_lines` output.
+
+        Raises ``ValueError`` on any structural inconsistency.
+        """
+        pos = 0
+
+        def take() -> str:
+            nonlocal pos
+            if pos >= len(lines):
+                raise ValueError("truncated compiled index")
+            line = lines[pos]
+            pos += 1
+            return line
+
+        head = take().split()
+        if len(head) != 2 or head[0] != "tokens":
+            raise ValueError(f"expected token table, got {head!r}")
+        n_tokens = int(head[1])
+        tokens = tuple(take().split())
+        if len(tokens) != n_tokens:
+            raise ValueError("token table length mismatch")
+        head = take().split()
+        if len(head) != 2 or head[0] != "structures":
+            raise ValueError(f"expected structure count, got {head!r}")
+        n_sentences = int(head[1])
+        token_ids = {token: i for i, token in enumerate(tokens)}
+        sentences: list[tuple[str, ...] | None] = [None] * n_sentences
+        tries: dict[int, CompiledTrie] = {}
+        while pos < len(lines):
+            head = take().split()
+            if len(head) != 3 or head[0] != "trie":
+                raise ValueError(f"expected trie header, got {head!r}")
+            length, node_count = int(head[1]), int(head[2])
+            first_child = array("i", map(int, take().split()))
+            next_sibling = array("i", map(int, take().split()))
+            token_id = array("i", map(int, take().split()))
+            sentence_id = array("i", map(int, take().split()))
+            arrays = (first_child, next_sibling, token_id, sentence_id)
+            if any(len(a) != node_count for a in arrays):
+                raise ValueError(f"trie {length}: array length mismatch")
+            tries[length] = CompiledTrie(
+                length=length,
+                first_child=first_child,
+                next_sibling=next_sibling,
+                token_id=token_id,
+                node_weight=array("d"),
+                sentence_id=sentence_id,
+            )
+            _collect_sentences(tries[length], tokens, sentences)
+        if any(s is None for s in sentences):
+            raise ValueError("missing terminal structures")
+        token_weight = array("d", (weights.of(t) for t in tokens))
+        prime = tuple(t in PRIME_SUPERSET for t in tokens)
+        compiled = cls(
+            tokens=tokens,
+            token_ids=token_ids,
+            token_weight=token_weight,
+            prime=prime,
+            weights=weights,
+            tries=tries,
+            sentences=tuple(sentences),  # type: ignore[arg-type]
+        )
+        return _with_node_weights(compiled)
+
+
+def _compile_trie(
+    length: int,
+    trie: TokenTrie,
+    tokens: list[str],
+    token_ids: dict[str, int],
+    sentences: list[tuple[str, ...]],
+) -> CompiledTrie:
+    """Flatten one dict-of-dicts trie, interning tokens as encountered."""
+    first_child = [NO_NODE]
+    next_sibling = [NO_NODE]
+    token_id = [NO_NODE]
+    sentence_id = [NO_NODE]
+
+    def emit(node) -> int:
+        my = len(first_child)
+        tid = token_ids.get(node.token)
+        if tid is None:
+            tid = len(tokens)
+            token_ids[node.token] = tid
+            tokens.append(node.token)
+        sid = NO_NODE
+        if node.terminal and node.sentence is not None:
+            sid = len(sentences)
+            sentences.append(node.sentence)
+        first_child.append(NO_NODE)
+        next_sibling.append(NO_NODE)
+        token_id.append(tid)
+        sentence_id.append(sid)
+        prev = NO_NODE
+        for child in node.children.values():
+            cid = emit(child)
+            if prev == NO_NODE:
+                first_child[my] = cid
+            else:
+                next_sibling[prev] = cid
+            prev = cid
+        return my
+
+    prev = NO_NODE
+    for child in trie.root.children.values():
+        cid = emit(child)
+        if prev == NO_NODE:
+            first_child[0] = cid
+        else:
+            next_sibling[prev] = cid
+        prev = cid
+    return CompiledTrie(
+        length=length,
+        first_child=array("i", first_child),
+        next_sibling=array("i", next_sibling),
+        token_id=array("i", token_id),
+        node_weight=array("d"),
+        sentence_id=array("i", sentence_id),
+    )
+
+
+def _with_node_weights(compiled: CompiledStructureIndex) -> CompiledStructureIndex:
+    """Fill every trie's per-node weight vector from the per-id vector."""
+    tries = {
+        length: trie.reweighted(compiled.token_weight)
+        for length, trie in compiled.tries.items()
+    }
+    return CompiledStructureIndex(
+        tokens=compiled.tokens,
+        token_ids=compiled.token_ids,
+        token_weight=compiled.token_weight,
+        prime=compiled.prime,
+        weights=compiled.weights,
+        tries=tries,
+        sentences=compiled.sentences,
+    )
+
+
+def _build_levels(trie: CompiledTrie) -> tuple[TrieLevel, ...]:
+    """Lay the trie out breadth-first for the level-synchronous kernel."""
+    fc = trie.first_child
+    ns = trie.next_sibling
+    tid = trie.token_id
+    sid = trie.sentence_id
+    raw: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    frontier = [0]
+    while True:
+        order: list[int] = []
+        parent_pos: list[int] = []
+        for p, node in enumerate(frontier):
+            child = fc[node]
+            while child != NO_NODE:
+                order.append(child)
+                parent_pos.append(p)
+                child = ns[child]
+        if not order:
+            break
+        raw.append(
+            (
+                np.array(order, dtype=np.intp),
+                np.array(parent_pos, dtype=np.intp),
+                np.array([tid[c] for c in order], dtype=np.intp),
+                np.array([sid[c] for c in order], dtype=np.intp),
+            )
+        )
+        frontier = order
+    levels: list[TrieLevel] = []
+    for d, (order_a, parent_a, tid_a, sid_a) in enumerate(raw):
+        if d + 1 < len(raw):
+            counts = np.bincount(raw[d + 1][1], minlength=order_a.size)
+            counts = counts.astype(np.intp)
+        else:
+            counts = np.zeros(order_a.size, dtype=np.intp)
+        starts = np.cumsum(counts) - counts
+        levels.append(
+            TrieLevel(
+                order=order_a,
+                parent_pos=parent_a,
+                token_id=tid_a,
+                sentence_id=sid_a,
+                has_terminals=bool((sid_a >= 0).any()),
+                child_start=starts,
+                child_count=counts,
+            )
+        )
+    return tuple(levels)
+
+
+def _collect_sentences(
+    trie: CompiledTrie,
+    tokens: tuple[str, ...],
+    sentences: list,
+) -> None:
+    """Reconstruct terminal structures by walking root-to-terminal paths."""
+    fc, ns, tid, sid = (
+        trie.first_child,
+        trie.next_sibling,
+        trie.token_id,
+        trie.sentence_id,
+    )
+
+    def walk(node: int, path: list[str]) -> None:
+        child = fc[node]
+        while child != NO_NODE:
+            path.append(tokens[tid[child]])
+            s = sid[child]
+            if s != NO_NODE:
+                if s >= len(sentences):
+                    raise ValueError(f"sentence id {s} out of range")
+                sentences[s] = tuple(path)
+            walk(child, path)
+            path.pop()
+            child = ns[child]
+
+    walk(0, [])

@@ -14,8 +14,9 @@ The paper notes the exact values matter less than the ordering.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.grammar.vocabulary import TokenClass, classify_token
+from repro.grammar.vocabulary import TokenClass, classify_token, is_keyword
 
 
 @dataclass(frozen=True)
@@ -115,7 +116,11 @@ def edit_distance_bounds(
     return lower, upper
 
 
+@lru_cache(maxsize=65536)
 def _canonical(token: str) -> str:
-    from repro.grammar.vocabulary import is_keyword
+    """Canonical comparison form of one token, memoized.
 
+    Bounded cache: the keyword/SplChar vocabulary is tiny and literal
+    placeholders dominate real workloads, so hits are near-universal.
+    """
     return token.upper() if is_keyword(token) else token

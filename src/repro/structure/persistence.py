@@ -2,13 +2,18 @@
 
 Building the structure index is the paper's *offline* step (Section
 3.2/3.3: generate ~1.6M structures, pack them into 50 tries).  This
-module caches the generated structures on disk so interactive sessions
-skip regeneration; the trie is rebuilt on load (it is faster to rebuild
-than to deserialize a pointer-heavy trie).
+module caches the *compiled* index on disk so interactive sessions skip
+both regeneration and trie construction: the file stores the intern
+table and each flat trie's first-child/next-sibling/token-id/sentence-id
+arrays (see :mod:`repro.structure.compiled`), and a load reconstructs a
+ready-to-search :class:`CompiledStructureIndex` directly from them —
+no token sequence is ever re-inserted into a pointer-heavy trie.  The
+dict-of-dicts tries materialize lazily only if the reference search
+kernel (or a direct trie walk) asks for them.
 
-The file format is a compact text file: one structure per line,
-space-separated tokens, with a short header recording the generator
-parameters for cache validation.
+The file format is a compact text file with a short header recording
+the generator parameters for cache validation; format v1 (one structure
+per line) is no longer readable and simply triggers a rebuild.
 """
 
 from __future__ import annotations
@@ -17,10 +22,11 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.grammar.generator import StructureGenerator
+from repro.structure.compiled import CompiledStructureIndex
 from repro.structure.indexer import StructureIndex
 
 _MAGIC = "speakql-structures"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class PersistenceError(ReproError):
@@ -28,16 +34,18 @@ class PersistenceError(ReproError):
 
 
 def save_structures(index: StructureIndex, path: str | Path, max_tokens: int) -> None:
-    """Write every indexed structure to ``path``."""
+    """Write the compiled form of ``index`` to ``path``."""
     lines = [f"{_MAGIC} v{FORMAT_VERSION} max_tokens={max_tokens}"]
-    for length in index.lengths:
-        for sentence in index.tries[length].sentences():
-            lines.append(" ".join(sentence))
+    lines.extend(index.compiled().to_lines())
     Path(path).write_text("\n".join(lines) + "\n")
 
 
 def load_structures(path: str | Path) -> tuple[StructureIndex, int]:
-    """Read a structure file; returns (index, max_tokens)."""
+    """Read a structure file; returns (index, max_tokens).
+
+    The returned index wraps the deserialized compiled arrays; its node
+    tries are built lazily on first access.
+    """
     text = Path(path).read_text()
     lines = text.splitlines()
     if not lines:
@@ -51,12 +59,11 @@ def load_structures(path: str | Path) -> tuple[StructureIndex, int]:
         max_tokens = int(header[2].split("=", 1)[1])
     except (IndexError, ValueError) as error:
         raise PersistenceError(f"bad header: {lines[0]!r}") from error
-    index = StructureIndex()
-    for line in lines[1:]:
-        tokens = tuple(line.split())
-        if tokens:
-            index.add(tokens)
-    return index, max_tokens
+    try:
+        compiled = CompiledStructureIndex.from_lines(lines[1:])
+    except ValueError as error:
+        raise PersistenceError(f"corrupt structure file: {error}") from error
+    return StructureIndex.from_compiled(compiled), max_tokens
 
 
 def load_or_build(
@@ -64,7 +71,8 @@ def load_or_build(
 ) -> StructureIndex:
     """Load the index from ``cache_path`` if valid, else build and cache.
 
-    A cached file built with a different ``max_tokens`` is rebuilt.
+    A cached file built with a different ``max_tokens`` — or in the old
+    v1 structure-per-line format — is rebuilt.
     """
     path = Path(cache_path)
     if path.exists():

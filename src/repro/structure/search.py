@@ -4,7 +4,31 @@ Implements the search procedure of Box 2: for each candidate trie (one
 per structure length), a depth-first traversal computes one dynamic-
 programming column per node, pruning subtrees whose column minimum
 already exceeds the best distance found; whole tries are skipped when
-Proposition 1's lower bound beats the current best (BDB).
+Proposition 1's lower bound beats the current best (BDB).  Candidate
+lengths are visited closest-to-``m`` first, so the best-so-far tightens
+quickly and BDB skips fire as early as possible.
+
+Three search kernels produce bit-identical results:
+
+- ``kernel="compiled"`` (default) is the fast path: a level-synchronous
+  kernel over the :class:`~repro.structure.compiled.CompiledStructureIndex`
+  breadth-first level plan.  It vectorizes the DP across every node of a
+  level with numpy while keeping the sequential per-position recurrence,
+  so each cell sees exactly the arithmetic (same operations, same order)
+  the reference performs — distances are bit-identical, not just close.
+  It trades the node-level branch-and-bound prune for trie-level BDB
+  plus C-speed columns, which is a large net win (see
+  ``benchmarks/bench_search_perf.py``).  Because it forgoes the
+  depth-first walk it cannot reproduce DAP's traversal-dependent tie
+  order, so engines with ``use_dap`` drop to the flat kernel.
+- ``kernel="flat"`` is the scalar lowering: a depth-first walk over the
+  compiled first-child/next-sibling arrays — interned token ids,
+  array-indexed weights, and a running column minimum so the
+  ``min(col)`` prune needs no second pass.  Traversal, pruning, and all
+  statistics match the reference exactly.
+- ``kernel="reference"`` walks the original dict-of-dicts
+  :class:`~repro.structure.trie.TrieNode` objects — the readable
+  specification the compiled kernels are property-tested against.
 
 Two approximate accuracy-latency trade-offs from Appendix D.3 are
 available as flags:
@@ -19,14 +43,23 @@ available as flags:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.grammar.vocabulary import PRIME_SUPERSET
+from repro.structure.compiled import CompiledStructureIndex, CompiledTrie
 from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
 from repro.structure.indexer import StructureIndex
 from repro.structure.trie import TrieNode
 
 _INF = float("inf")
+
+#: Search-kernel names (see module docstring).
+KERNEL_COMPILED = "compiled"
+KERNEL_FLAT = "flat"
+KERNEL_REFERENCE = "reference"
 
 
 @dataclass(frozen=True)
@@ -39,7 +72,21 @@ class SearchResult:
 
 @dataclass
 class SearchStats:
-    """Instrumentation for the ablation study (Figure 15)."""
+    """Instrumentation for the ablation study (Figure 15).
+
+    ``candidates_scored`` counts the terminal structures whose full
+    distance was computed and offered to the top-k — on every path,
+    with or without the INV subindex.
+
+    All counters measure *work actually done*, so their values are
+    kernel-specific: ``flat`` and ``reference`` agree exactly (same
+    depth-first walk, same prunes), while the level-synchronous
+    ``compiled`` kernel computes every column of each searched trie
+    (no node-level prune) and therefore reports higher
+    ``nodes_visited`` / ``dp_cells`` / ``candidates_scored`` for the
+    same bit-identical results.  ``tries_searched`` / ``tries_skipped``
+    agree across all three kernels.
+    """
 
     nodes_visited: int = 0
     dp_cells: int = 0
@@ -88,6 +135,15 @@ class StructureSearchEngine:
         (accuracy-preserving; on by default).
     use_dap / use_inv:
         The approximate optimizations (off by default, as in the paper).
+    kernel:
+        ``"compiled"`` (level-synchronous fast path, default),
+        ``"flat"`` (scalar walk over the same compiled arrays), or
+        ``"reference"`` (node-object specification); results are
+        bit-identical across all three.
+    max_cached_results / max_inv_subindexes:
+        LRU bounds on the per-engine result cache and the per-keyword
+        INV subindex cache, so long-running service batches cannot grow
+        memory without limit.
     """
 
     index: StructureIndex
@@ -96,8 +152,15 @@ class StructureSearchEngine:
     use_dap: bool = False
     use_inv: bool = False
     cache_results: bool = True
-    _cache: dict = field(default_factory=dict, repr=False)
-    _inv_subindexes: dict = field(default_factory=dict, repr=False)
+    kernel: str = KERNEL_COMPILED
+    max_cached_results: int = 4096
+    max_inv_subindexes: int = 64
+    _cache: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _inv_subindexes: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in (KERNEL_COMPILED, KERNEL_FLAT, KERNEL_REFERENCE):
+            raise ValueError(f"unknown search kernel: {self.kernel!r}")
 
     def search(
         self, masked: tuple[str, ...] | list[str], k: int = 1
@@ -107,17 +170,21 @@ class StructureSearchEngine:
         Returns the results (ascending distance) and search statistics.
         With ``use_dap``/``use_inv`` off, results are exact: identical to
         scoring every indexed structure.  Repeated searches for the same
-        masked string are served from a cache (masked transcriptions
-        repeat heavily across a workload's n-best alternatives).
+        masked string are served from a bounded LRU cache (masked
+        transcriptions repeat heavily across a workload's n-best
+        alternatives).
         """
         masked = tuple(masked)
         if self.cache_results:
             cached = self._cache.get((masked, k))
             if cached is not None:
+                self._cache.move_to_end((masked, k))
                 return cached
         results, stats = self._search_uncached(masked, k)
         if self.cache_results:
             self._cache[(masked, k)] = (results, stats)
+            while len(self._cache) > self.max_cached_results:
+                self._cache.popitem(last=False)
         return results, stats
 
     def _search_uncached(
@@ -129,7 +196,6 @@ class StructureSearchEngine:
         if self.use_inv:
             subindex = self._rarest_keyword_subindex(masked)
             if subindex is not None:
-                stats.candidates_scored = len(subindex)
                 self._search_index(subindex, masked, top, stats)
                 return top.results(), stats
 
@@ -140,7 +206,7 @@ class StructureSearchEngine:
         self, masked: tuple[str, ...]
     ) -> StructureIndex | None:
         """INV: lazy per-keyword trie subindex over the rarest present
-        keyword's postings (Appendix D.3)."""
+        keyword's postings (Appendix D.3), kept in a bounded LRU."""
         best_keyword = None
         best_size = None
         for token in masked:
@@ -157,6 +223,10 @@ class StructureSearchEngine:
                 self.index.inverted[best_keyword]
             )
             self._inv_subindexes[best_keyword] = subindex
+            while len(self._inv_subindexes) > self.max_inv_subindexes:
+                self._inv_subindexes.popitem(last=False)
+        else:
+            self._inv_subindexes.move_to_end(best_keyword)
         return subindex
 
     def _search_index(
@@ -166,9 +236,20 @@ class StructureSearchEngine:
         top: _TopK,
         stats: SearchStats,
     ) -> None:
-        """Box 2's two-pass length ordering with BDB pruning over any
-        length-partitioned index."""
-        lengths = self._search_order(len(masked), index)
+        """Box 2's closest-length-first ordering with BDB pruning over
+        any length-partitioned index, dispatched to the active kernel."""
+        if self.kernel != KERNEL_REFERENCE:
+            compiled = index.compiled(self.weights)
+            # DAP's result depends on depth-first traversal order (the
+            # surviving prime branch is explored first), which the
+            # level-synchronous kernel cannot reproduce; keep results
+            # bit-identical by using the scalar flat walk for DAP.
+            if self.kernel == KERNEL_FLAT or self.use_dap:
+                self._search_flat(compiled, masked, top, stats)
+            else:
+                self._search_vector(compiled, masked, top, stats)
+            return
+        lengths = self._search_order(len(masked), index.lengths)
         min_literal_weight = self.weights.min_weight
         for length in lengths:
             lower = abs(len(masked) - length) * min_literal_weight
@@ -178,14 +259,412 @@ class StructureSearchEngine:
             stats.tries_searched += 1
             self._search_trie(index.tries[length].root, masked, top, stats)
 
-    def _search_order(self, m: int, index: StructureIndex) -> list[int]:
-        """Lengths closest to ``m`` first (Box 2's two passes)."""
-        lengths = index.lengths
-        down = [j for j in reversed(lengths) if j <= m]
-        up = [j for j in lengths if j > m]
-        return down + up
+    def _search_order(self, m: int, lengths: list[int]) -> list[int]:
+        """Lengths interleaved by true distance from ``m``, closest first
+        (ties prefer the shorter length), so the Proposition 1 lower
+        bound — monotone in ``|j - m|`` — starts skipping as soon as the
+        best-so-far allows."""
+        return sorted(lengths, key=lambda j: (abs(j - m), j))
 
-    # -- trie traversal -----------------------------------------------------
+    # -- level-synchronous kernel (kernel="compiled") -----------------------
+
+    def _search_vector(
+        self,
+        compiled: CompiledStructureIndex,
+        masked: tuple[str, ...],
+        top: _TopK,
+        stats: SearchStats,
+    ) -> None:
+        """Breadth-first DP over whole trie levels with numpy.
+
+        The recurrence stays sequential along the masked positions but
+        runs across all nodes of a level at once; every cell performs
+        the reference's exact operations in the reference's exact order
+        (a masked copy for matches, one add + one min otherwise), so
+        distances are bit-identical.  Box 2's column-minimum prune is
+        applied per *level* — rows whose minimum exceeds the best-so-far
+        are compacted away before the next level — which prunes a subset
+        of what the depth-first reference prunes (the threshold here
+        only tightens at trie boundaries), never more.  Surviving
+        terminals are offered in reversed level order — the same
+        left-to-right mirror the reference's stack walk uses — which
+        yields the identical top-k: every terminal this kernel scores
+        but the reference pruned is strictly worse than the final
+        threshold, and tie acceptance at the threshold depends only on
+        the shared offer order of the remaining candidates.
+        """
+        m = len(masked)
+        m1 = m + 1
+        min_literal_weight = self.weights.min_weight
+        token_ids = compiled.token_ids
+        mw = np.array([self.weights.of(t) for t in masked], dtype=np.float64)
+        # match_tab[i, tid]: does masked position i hold interned token tid?
+        match_tab = np.zeros((m, max(len(compiled.tokens), 1)), dtype=bool)
+        for i, token in enumerate(masked):
+            tid = token_ids.get(token, -1)
+            if tid >= 0:
+                match_tab[i, tid] = True
+        first_col = np.empty(m1, dtype=np.float64)
+        first_col[0] = 0.0
+        np.add.accumulate(mw, out=first_col[1:])
+        sentences = compiled.sentences
+        threshold = top.threshold
+        offer = top.offer
+        mask_weights = list(mw)
+        masked_ids = [token_ids.get(t, -1) for t in masked]
+        buf = np.empty(0, dtype=np.float64)
+        cbuf = np.empty(0, dtype=np.float64)
+        # Upper bound on the final k-th best distance, seeded by a cheap
+        # scalar beam probe of the first searched trie.  Pruning against
+        # it (never offering with it) is exact: a row whose column
+        # minimum exceeds a valid bound on the k-th best distance cannot
+        # produce a top-k terminal.  BDB skip decisions deliberately use
+        # only the true threshold so ``tries_*`` stats match the
+        # reference exactly.
+        bound = _INF
+        for length in self._search_order(m, compiled.lengths):
+            lower = abs(m - length) * min_literal_weight
+            if self.use_bdb and lower >= threshold():
+                stats.tries_skipped += 1
+                continue
+            stats.tries_searched += 1
+            trie = compiled.tries[length]
+            if bound == _INF:
+                bound = self._beam_bound(
+                    trie, masked_ids, mask_weights, list(first_col), top.k
+                )
+            # DP band for this trie: a cell at masked position i and trie
+            # depth d has true value >= |i - d| * min_weight, so cells
+            # outside the band can keep their insert-only initialization
+            # (an upper bound); every cell whose true value is <= the
+            # band cutoff stays bit-exact because a <=-cutoff path never
+            # leaves the band.  Offers are filtered to values <= the
+            # cutoff below, which loses nothing: all true top-k
+            # distances are.  Thresholds only tighten mid-trie, so the
+            # cutoff fixed here stays valid for the whole trie.
+            band_cut = threshold()
+            if bound < band_cut:
+                band_cut = bound
+            banded = band_cut != _INF and min_literal_weight > 0
+            delta = int(band_cut / min_literal_weight) if banded else 0
+            node_weight = np.frombuffer(trie.node_weight)
+            prev = first_col.reshape(m1, 1)
+            # Static rows of the previous level whose columns survived,
+            # sorted, aligned with ``prev``'s columns; None while every
+            # row is alive.  The layout is parent-major, so each node's
+            # children are a contiguous span of the next level — the
+            # surviving rows' children are gathered by span arithmetic,
+            # O(alive + children), never O(level).
+            alive_idx = None
+            plevel = None
+            for depth, level in enumerate(trie.levels(), start=1):
+                if alive_idx is None:
+                    parent_cols = level.parent_pos
+                    order = level.order
+                    token_id = level.token_id
+                    sentence_id = level.sentence_id
+                    idx = None
+                else:
+                    counts = plevel.child_count[alive_idx]
+                    total = int(counts.sum())
+                    if total == 0:
+                        break
+                    starts = plevel.child_start[alive_idx]
+                    ends = np.cumsum(counts)
+                    idx = np.repeat(starts - ends + counts, counts)
+                    idx += np.arange(total)
+                    parent_cols = np.repeat(np.arange(alive_idx.size), counts)
+                    order = level.order[idx]
+                    token_id = level.token_id[idx]
+                    sentence_id = level.sentence_id[idx]
+                plevel = level
+                width = len(order)
+                if banded:
+                    blo = depth - delta
+                    if blo < 0:
+                        blo = 0
+                    hi = depth + delta
+                    if hi > m:
+                        hi = m
+                    if blo > hi:
+                        # The whole level (and everything deeper) lies
+                        # outside the band: every true value exceeds the
+                        # cutoff, hence exceeds any current or future
+                        # prune threshold for this trie.
+                        break
+                else:
+                    blo = 0
+                    hi = m
+                parent = prev[:, parent_cols]
+                col = parent + node_weight[order]  # rows start as inserts
+                match = match_tab[:, token_id]
+                if len(buf) < width:
+                    buf = np.empty(width, dtype=np.float64)
+                    cbuf = np.empty(width, dtype=np.float64)
+                dele = buf[:width]
+                rows = list(col)
+                parent_rows = list(parent)
+                match_rows = list(match)
+                lo = blo if blo > 0 else 1
+                # Running minimum over the band rows, maintained inline
+                # so the prune below never re-reduces a strided column.
+                cmin = cbuf[:width]
+                have_cmin = blo == 0
+                if have_cmin:
+                    np.copyto(cmin, rows[0])
+                for i in range(lo, hi + 1):
+                    row = rows[i]
+                    np.add(rows[i - 1], mask_weights[i - 1], out=dele)
+                    np.minimum(row, dele, out=row)
+                    np.copyto(row, parent_rows[i - 1], where=match_rows[i - 1])
+                    if have_cmin:
+                        np.minimum(cmin, row, out=cmin)
+                    else:
+                        np.copyto(cmin, row)
+                        have_cmin = True
+                stats.nodes_visited += width
+                stats.dp_cells += width * m1
+                if level.has_terminals:
+                    term_rows = (sentence_id >= 0).nonzero()[0]
+                    if term_rows.size:
+                        stats.candidates_scored += int(term_rows.size)
+                        dists = col[m, term_rows]
+                        term_sids = sentence_id[term_rows]
+                        # Offers below the current threshold are the only
+                        # ones that can mutate the top-k (offer() rejects
+                        # the rest and the threshold only tightens), so
+                        # the prefilter is exact; refreshing it every
+                        # chunk keeps the Python offer loop short once
+                        # the top-k fills.
+                        pos = int(term_rows.size)
+                        while pos > 0:
+                            at = pos - 256 if pos > 256 else 0
+                            cut = threshold()
+                            chunk = dists[at:pos]
+                            sel = chunk < cut
+                            if band_cut != _INF:
+                                sel &= chunk <= band_cut
+                            for j in sel.nonzero()[0][::-1]:
+                                offer(
+                                    float(chunk[j]),
+                                    sentences[term_sids[at + j]],
+                                )
+                            pos = at
+                # Column-minimum prune (Box 2) for the next level,
+                # against the tighter of the true threshold and the
+                # seeded bound.  The minimum is taken over band rows
+                # only: a completion with true distance <= the cut runs
+                # through a cell whose true value is <= the cut <= the
+                # band cutoff, and such a cell is in-band and computed
+                # exactly, so it is seen here.
+                cut = threshold()
+                if bound < cut:
+                    cut = bound
+                if cut != _INF:
+                    keep = cmin <= cut
+                    kidx = keep.nonzero()[0]
+                    if kidx.size == 0:
+                        break
+                    if kidx.size < width:
+                        alive_idx = kidx if idx is None else idx[kidx]
+                        prev = col[:, kidx]
+                        continue
+                alive_idx = idx
+                prev = col
+
+    def _beam_bound(
+        self,
+        trie: CompiledTrie,
+        masked_ids: list[int],
+        mask_weights: list[float],
+        first_col: list[float],
+        k: int,
+    ) -> float:
+        """Upper bound on the k-th best distance via a width-``k`` beam.
+
+        Walks one trie level by level keeping the ``k`` most promising
+        partial columns (scalar DP, a few thousand cells at most).  Any
+        ``k`` genuine terminal distances bound the k-th best overall
+        from above, so the result is a valid prune cutoff no matter how
+        the beam chose — accuracy is never at stake, only prune power.
+        Returns ``inf`` when fewer than ``k`` terminals are reached.
+        """
+        fc = trie.first_child
+        ns = trie.next_sibling
+        tids = trie.token_id
+        node_w = trie.node_weight
+        sids = trie.sentence_id
+        n = len(masked_ids)
+        found: list[float] = []
+        beam: list[tuple[float, int, list[float]]] = [(0.0, 0, first_col)]
+        while beam:
+            expanded: list[tuple[float, int, list[float]]] = []
+            for _, node, col in beam:
+                child = fc[node]
+                while child >= 0:
+                    w = node_w[child]
+                    t = tids[child]
+                    prev_im1 = col[0]
+                    v = prev_im1 + w
+                    ncol = [v]
+                    append = ncol.append
+                    for i in range(1, n + 1):
+                        prev_i = col[i]
+                        if masked_ids[i - 1] == t:
+                            v = prev_im1
+                        else:
+                            a = prev_i + w
+                            b = v + mask_weights[i - 1]
+                            v = a if a < b else b
+                        append(v)
+                        prev_im1 = prev_i
+                    if sids[child] >= 0:
+                        found.append(v)
+                    expanded.append((v, child, ncol))
+                    child = ns[child]
+            expanded.sort(key=lambda e: e[0])
+            beam = expanded[:k]
+        if len(found) < k:
+            return _INF
+        found.sort()
+        return found[k - 1]
+
+    # -- flat scalar kernel (kernel="flat", and DAP) ------------------------
+
+    def _search_flat(
+        self,
+        compiled: CompiledStructureIndex,
+        masked: tuple[str, ...],
+        top: _TopK,
+        stats: SearchStats,
+    ) -> None:
+        m = len(masked)
+        lengths = self._search_order(m, compiled.lengths)
+        min_literal_weight = self.weights.min_weight
+        token_ids = compiled.token_ids
+        weights_of = self.weights.of
+        masked_ids = [token_ids.get(t, -1) for t in masked]
+        mask_weights = [weights_of(t) for t in masked]
+        # Per-id flag: does the id occur in the masked input?  Nodes whose
+        # token cannot match anywhere take a comparison-free DP loop.
+        matchable = bytearray(len(compiled.tokens))
+        for tid in masked_ids:
+            if tid >= 0:
+                matchable[tid] = 1
+        for length in lengths:
+            lower = abs(m - length) * min_literal_weight
+            if self.use_bdb and lower >= top.threshold():
+                stats.tries_skipped += 1
+                continue
+            stats.tries_searched += 1
+            self._search_flat_trie(
+                compiled, compiled.tries[length],
+                masked_ids, mask_weights, matchable, top, stats,
+            )
+
+    def _search_flat_trie(
+        self,
+        compiled: CompiledStructureIndex,
+        trie: CompiledTrie,
+        masked_ids: list[int],
+        mask_weights: list[float],
+        matchable: bytearray,
+        top: _TopK,
+        stats: SearchStats,
+    ) -> None:
+        """The flat-array DP kernel.
+
+        Traversal order, pruning decisions, and all statistics are
+        bit-identical to :meth:`_search_trie`; the loop body differs only
+        in representation: interned integer ids instead of strings,
+        array-indexed weights instead of dict lookups, and a running
+        column minimum instead of a second ``min(col)`` pass.
+        """
+        n = len(masked_ids)
+        n1 = n + 1
+        fc = trie.first_child
+        ns = trie.next_sibling
+        tids = trie.token_id
+        node_w = trie.node_weight
+        sids = trie.sentence_id
+        sentences = compiled.sentences
+        prime = compiled.prime
+        use_dap = self.use_dap
+        offer = top.offer
+        threshold = top.threshold
+        pairs = list(zip(masked_ids, mask_weights))
+        nodes = 0
+        cells = 0
+
+        first_col = [0.0] * n1
+        acc = 0.0
+        for i in range(n):
+            acc += mask_weights[i]
+            first_col[i + 1] = acc
+
+        def descend(node: int, col: list[float]) -> None:
+            nonlocal nodes, cells
+            out = []
+            child = fc[node]
+            while child >= 0:
+                w = node_w[child]
+                t = tids[child]
+                col_iter = iter(col)
+                prev_im1 = next(col_iter)
+                v = prev_im1 + w
+                ncol = [v]
+                append = ncol.append
+                cmin = v
+                if matchable[t]:
+                    for (mi, mw), prev_i in zip(pairs, col_iter):
+                        if mi == t:
+                            v = prev_im1
+                        else:
+                            a = prev_i + w
+                            b = v + mw
+                            v = a if a < b else b
+                        append(v)
+                        if v < cmin:
+                            cmin = v
+                        prev_im1 = prev_i
+                else:
+                    for mw, prev_i in zip(mask_weights, col_iter):
+                        a = prev_i + w
+                        b = v + mw
+                        v = a if a < b else b
+                        append(v)
+                        if v < cmin:
+                            cmin = v
+                out.append((child, ncol, cmin))
+                child = ns[child]
+            nodes += len(out)
+            cells += len(out) * n1
+            if use_dap:
+                out = self._dap_filter_flat(out, tids, prime)
+            for entry in reversed(out):
+                c, ncol, cmin = entry
+                sid = sids[c]
+                if sid >= 0:
+                    stats.candidates_scored += 1
+                    offer(ncol[n], sentences[sid])
+                if cmin > threshold():
+                    continue
+                descend(c, ncol)
+
+        descend(0, first_col)
+        stats.nodes_visited += nodes
+        stats.dp_cells += cells
+
+    def _dap_filter_flat(self, expanded, tids, prime):
+        """Keep only the best branch among prime-superset siblings."""
+        prime_entries = [e for e in expanded if prime[tids[e[0]]]]
+        if len(prime_entries) <= 1:
+            return expanded
+        best = min(prime_entries, key=lambda e: e[1][-1])
+        others = [e for e in expanded if not prime[tids[e[0]]]]
+        return others + [best]
+
+    # -- reference kernel ---------------------------------------------------
 
     def _search_trie(
         self,
@@ -238,6 +717,7 @@ class StructureSearchEngine:
         while stack:
             node, col = stack.pop()
             if node.terminal and node.sentence is not None:
+                stats.candidates_scored += 1
                 top.offer(col[n], node.sentence)
             if min(col) > top.threshold():
                 continue
@@ -263,4 +743,3 @@ class StructureSearchEngine:
             if child.token not in PRIME_SUPERSET
         ]
         return others + [best]
-

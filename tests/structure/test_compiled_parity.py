@@ -1,0 +1,141 @@
+"""Randomized parity: compiled kernels vs the reference vs brute force.
+
+The compiled (level-synchronous) and flat (scalar) kernels promise
+*bit-identical* results — equal distances (as floats, not approximately),
+equal structures, equal top-k order — under every flag combination and
+weight setting.  The flat kernel additionally promises identical search
+statistics; the compiled kernel promises identical ``tries_searched`` /
+``tries_skipped`` (its nodes/cells/candidates counters measure its own
+work, see :class:`repro.structure.search.SearchStats`).
+"""
+
+import random
+
+import pytest
+
+from repro.structure.edit_distance import TokenWeights, weighted_edit_distance
+from repro.structure.search import StructureSearchEngine
+
+#: Every optimization-flag combination exercised by the parity sweep.
+FLAG_COMBOS = [
+    {"use_bdb": True, "use_dap": False, "use_inv": False},
+    {"use_bdb": False, "use_dap": False, "use_inv": False},
+    {"use_bdb": True, "use_dap": True, "use_inv": False},
+    {"use_bdb": True, "use_dap": False, "use_inv": True},
+    {"use_bdb": True, "use_dap": True, "use_inv": True},
+]
+
+KS = (1, 3, 5)
+
+
+def _queries(index, seed, count):
+    """Perturbed index sentences plus token soup — canonical tokens only."""
+    sentences = [s for t in index.tries.values() for s in t.sentences()]
+    vocab = ["SELECT", "FROM", "WHERE", "x", "=", "<", ",", "(", ")", "SUM",
+             "AVG", "AND", "LIMIT", "GROUP", "BY"]
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        if rng.random() < 0.7:
+            s = list(rng.choice(sentences))
+            for _ in range(rng.randint(0, 3)):
+                if rng.random() < 0.5 and len(s) > 1:
+                    s.pop(rng.randrange(len(s)))
+                else:
+                    s.insert(rng.randrange(len(s) + 1), rng.choice(vocab))
+        else:
+            s = [rng.choice(vocab) for _ in range(rng.randint(1, 10))]
+        queries.append(tuple(s))
+    return queries
+
+
+def _engines(index, weights=None, **flags):
+    kwargs = dict(flags, cache_results=False)
+    if weights is not None:
+        kwargs["weights"] = weights
+    return (
+        StructureSearchEngine(index, kernel="reference", **kwargs),
+        StructureSearchEngine(index, kernel="flat", **kwargs),
+        StructureSearchEngine(index, kernel="compiled", **kwargs),
+    )
+
+
+def _assert_parity(ref, flat, comp, masked, k):
+    r_ref, s_ref = ref.search(masked, k=k)
+    r_flat, s_flat = flat.search(masked, k=k)
+    r_comp, s_comp = comp.search(masked, k=k)
+    # Bit-identical results: same structures, same float distances,
+    # same order.  No pytest.approx on purpose.
+    assert r_flat == r_ref, (masked, k)
+    assert r_comp == r_ref, (masked, k)
+    # The flat kernel replays the reference walk; all stats agree.
+    assert s_flat == s_ref, (masked, k)
+    # The compiled kernel agrees on trie-level decisions.
+    assert s_comp.tries_searched == s_ref.tries_searched, (masked, k)
+    assert s_comp.tries_skipped == s_ref.tries_skipped, (masked, k)
+    return r_ref
+
+
+def _brute_force(index, masked, k, weights):
+    scored = []
+    for trie in index.tries.values():
+        for sentence in trie.sentences():
+            scored.append(
+                (weighted_edit_distance(masked, sentence, weights), sentence)
+            )
+    scored.sort(key=lambda pair: pair[0])
+    return scored[:k]
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize(
+        "flags", FLAG_COMBOS, ids=lambda f: "-".join(
+            name for name, on in f.items() if on
+        ) or "none",
+    )
+    def test_all_kernels_agree(self, small_index, flags):
+        ref, flat, comp = _engines(small_index, **flags)
+        for masked in _queries(small_index, seed=7, count=12):
+            for k in KS:
+                _assert_parity(ref, flat, comp, masked, k)
+
+    def test_exact_configs_match_brute_force(self, small_index):
+        # DAP and INV are approximate by design; every other combination
+        # must return exactly the brute-force top-k distances.
+        weights = TokenWeights()
+        for use_bdb in (True, False):
+            ref, flat, comp = _engines(small_index, use_bdb=use_bdb)
+            for masked in _queries(small_index, seed=11, count=8):
+                for k in KS:
+                    results = _assert_parity(ref, flat, comp, masked, k)
+                    expected = _brute_force(small_index, masked, k, weights)
+                    assert [r.distance for r in results] == [
+                        d for d, _ in expected
+                    ], (masked, k)
+
+    def test_parity_under_random_weights(self, small_index):
+        rng = random.Random(23)
+        for _ in range(4):
+            weights = TokenWeights(
+                keyword=round(rng.uniform(0.5, 3.0), 2),
+                splchar=round(rng.uniform(0.5, 3.0), 2),
+                literal=round(rng.uniform(0.5, 3.0), 2),
+            )
+            ref, flat, comp = _engines(small_index, weights=weights)
+            for masked in _queries(small_index, seed=29, count=6):
+                for k in KS:
+                    results = _assert_parity(ref, flat, comp, masked, k)
+                    expected = _brute_force(small_index, masked, k, weights)
+                    assert [r.distance for r in results] == [
+                        d for d, _ in expected
+                    ], (masked, k, weights)
+
+    def test_compiled_counts_its_own_work(self, small_index):
+        # The compiled kernel's work counters are its own (documented)
+        # semantics, but they must still be populated on every search.
+        _, _, comp = _engines(small_index)
+        for masked in _queries(small_index, seed=37, count=5):
+            _, stats = comp.search(masked, k=3)
+            assert stats.nodes_visited > 0
+            assert stats.dp_cells > 0
+            assert stats.candidates_scored > 0

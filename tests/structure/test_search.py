@@ -102,7 +102,10 @@ class TestApproximations:
         for func in ("AVG", "SUM", "MAX", "MIN", "COUNT"):
             index.add(("SELECT", func, "(", "x", ")", "FROM", "x"))
         masked = tuple("SELECT AVG ( x ) FROM x".split())
-        default = StructureSearchEngine(index, cache_results=False)
+        # DAP engines run the flat kernel (the level-synchronous one
+        # cannot reproduce DAP's traversal order); pin the baseline to
+        # the same kernel so the node counts are comparable.
+        default = StructureSearchEngine(index, kernel="flat", cache_results=False)
         dap = StructureSearchEngine(index, use_dap=True, cache_results=False)
         _, s1 = default.search(masked)
         _, s2 = dap.search(masked)
@@ -140,7 +143,13 @@ class TestApproximations:
         engine = StructureSearchEngine(small_index, use_inv=True)
         masked = tuple("SELECT x FROM x".split())
         _, stats = engine.search(masked)
-        assert stats.candidates_scored == 0
+        # No indexed keyword present: the full index is searched (every
+        # length either visited or BDB-skipped), and scored candidates
+        # are still counted.
+        assert stats.tries_searched + stats.tries_skipped == len(
+            small_index.lengths
+        )
+        assert stats.candidates_scored > 0
         assert stats.nodes_visited > 0
 
 
@@ -152,6 +161,31 @@ class TestCache:
         second_results, second_stats = engine.search(masked)
         assert first_results is second_results  # served from cache
         assert first_stats == second_stats
+
+    def test_result_cache_evicts_least_recent(self, small_index):
+        engine = StructureSearchEngine(small_index, max_cached_results=2)
+        a = tuple("SELECT x FROM x".split())
+        b = tuple("SELECT x FROM x WHERE x = x".split())
+        c = tuple("SELECT x FROM x LIMIT x".split())
+        engine.search(a)
+        engine.search(b)
+        engine.search(a)  # refresh a: b is now least recent
+        engine.search(c)  # evicts b
+        assert len(engine._cache) == 2
+        assert (a, 1) in engine._cache
+        assert (c, 1) in engine._cache
+        assert (b, 1) not in engine._cache
+
+    def test_inv_subindex_cache_evicts_least_recent(self, small_index):
+        engine = StructureSearchEngine(
+            small_index, use_inv=True, cache_results=False, max_inv_subindexes=1
+        )
+        engine.search(tuple("SELECT x FROM x LIMIT x".split()))
+        assert list(engine._inv_subindexes) == ["LIMIT"]
+        engine.search(tuple("SELECT x FROM x GROUP BY x".split()))
+        # Only the most recent keyword's subindex is retained.
+        assert len(engine._inv_subindexes) == 1
+        assert "LIMIT" not in engine._inv_subindexes
 
 
 class TestRandomizedAgainstBruteForce:
