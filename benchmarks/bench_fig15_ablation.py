@@ -6,32 +6,36 @@ measured for accuracy (TED CDF vs the ground-truth structure) and
 runtime.  A sixth row ablates the SQL-specific weighting (WK/WS/WL vs
 uniform weights), a design choice DESIGN.md calls out.
 
+All instrumentation flows through one
+:class:`~repro.observability.metrics.MetricsRegistry`: per-search wall
+time lands in the ``speakql_search_seconds{config=...}`` histogram via
+``registry.time`` and the work counters accumulate per configuration —
+no hand-rolled timers.
+
 Paper's shape: BDB is accuracy-preserving and ~2x faster; DAP is the
 fastest but costs real accuracy (exact structures drop sharply); INV is
 faster with only a minor accuracy drop.
 """
 
-import time
-
 from benchmarks.conftest import record_report
 from repro.metrics.cdf import Cdf
 from repro.metrics.report import format_table
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
 from repro.structure.edit_distance import UNIT_WEIGHTS, weighted_edit_distance
 from repro.structure.masking import preprocess_transcription
 from repro.structure.search import StructureSearchEngine
 
 
-def _evaluate(searcher, masked_inputs, truths):
+def _evaluate(searcher, masked_inputs, truths, registry, config):
     teds = []
-    elapsed = 0.0
-    nodes = 0
-    candidates = 0
+    nodes = registry.counter(obs_names.SEARCH_NODES_VISITED, config=config)
+    scored = registry.counter(obs_names.SEARCH_CANDIDATES_SCORED, config=config)
     for masked, truth in zip(masked_inputs, truths):
-        start = time.perf_counter()
-        results, stats = searcher.search(masked, k=1)
-        elapsed += time.perf_counter() - start
-        nodes += stats.nodes_visited
-        candidates += stats.candidates_scored
+        with registry.time(obs_names.SEARCH_SECONDS, config=config):
+            results, stats = searcher.search(masked, k=1)
+        nodes.inc(stats.nodes_visited)
+        scored.inc(stats.candidates_scored)
         if results:
             teds.append(
                 weighted_edit_distance(results[0].structure, truth, UNIT_WEIGHTS)
@@ -41,8 +45,9 @@ def _evaluate(searcher, masked_inputs, truths):
     # Scored candidates are counted on every path (with or without the
     # INV subindex) — a zero here would mean broken instrumentation,
     # not a fast configuration.
-    assert candidates > 0, "candidates_scored not incremented"
-    return Cdf.of(teds), elapsed, nodes + candidates
+    assert scored.value > 0, "candidates_scored not incremented"
+    elapsed = registry.histogram(obs_names.SEARCH_SECONDS, config=config).sum
+    return Cdf.of(teds), elapsed, int(nodes.value + scored.value)
 
 
 def test_fig15_ablation(state, benchmark):
@@ -53,6 +58,7 @@ def test_fig15_ablation(state, benchmark):
         for run in state.test_runs
     ]
     truths = [run.query.record.structure for run in state.test_runs]
+    registry = MetricsRegistry()
 
     configs = {
         "SpeakQL Default": dict(use_bdb=True),
@@ -69,7 +75,9 @@ def test_fig15_ablation(state, benchmark):
             searcher = StructureSearchEngine(
                 index=index, cache_results=False, **kwargs
             )
-            rows[name] = _evaluate(searcher, masked_inputs, truths)
+            rows[name] = _evaluate(
+                searcher, masked_inputs, truths, registry, name
+            )
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -103,29 +111,33 @@ def test_fig15_ablation(state, benchmark):
     subset = min(30, len(masked_inputs))
     corrector = EarleyCorrector()
     parse_teds = []
-    parse_start = time.perf_counter()
     for masked, truth in zip(masked_inputs[:subset], truths[:subset]):
-        parsed = corrector.correct(masked)
+        with registry.time(obs_names.SEARCH_SECONDS, config="earley-parse"):
+            parsed = corrector.correct(masked)
         if parsed is None:
             parse_teds.append(float(len(truth)))
         else:
             parse_teds.append(
                 weighted_edit_distance(parsed[0], truth, UNIT_WEIGHTS)
             )
-    parse_time = time.perf_counter() - parse_start
+    parse_time = registry.histogram(
+        obs_names.SEARCH_SECONDS, config="earley-parse"
+    ).sum
     parse_cdf = Cdf.of(parse_teds)
 
     default_subset = StructureSearchEngine(index=index, cache_results=False)
     default_teds = []
-    subset_start = time.perf_counter()
     for masked, truth in zip(masked_inputs[:subset], truths[:subset]):
-        results, _ = default_subset.search(masked, k=1)
+        with registry.time(obs_names.SEARCH_SECONDS, config="trie-subset"):
+            results, _ = default_subset.search(masked, k=1)
         default_teds.append(
             weighted_edit_distance(results[0].structure, truth, UNIT_WEIGHTS)
             if results
             else float(len(truth))
         )
-    default_subset_time = time.perf_counter() - subset_start
+    default_subset_time = registry.histogram(
+        obs_names.SEARCH_SECONDS, config="trie-subset"
+    ).sum
     default_subset_cdf = Cdf.of(default_teds)
 
     record_report(

@@ -82,8 +82,25 @@ class AcousticChannel:
 
     profile: ChannelProfile = ChannelProfile()
 
-    def corrupt(self, words: list[str], rng: random.Random) -> list[str]:
-        """Return the heard word sequence for ``words``."""
+    def corrupt(
+        self, words: list[str], rng: random.Random, tracer=None
+    ) -> list[str]:
+        """Return the heard word sequence for ``words``.
+
+        With an enabled ``tracer`` the corruption runs inside an
+        ``asr.channel.corrupt`` span carrying ``words_in``/``words_out``
+        attributes; noise realization is unaffected either way.
+        """
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "asr.channel.corrupt", words_in=len(words)
+            ) as span:
+                heard = self._corrupt(words, rng)
+                span.set("words_out", len(heard))
+            return heard
+        return self._corrupt(words, rng)
+
+    def _corrupt(self, words: list[str], rng: random.Random) -> list[str]:
         heard = self._corrupt_dates(list(words), rng)
         heard = self._corrupt_numbers(heard, rng)
         heard = self._merge_pieces(heard, rng)

@@ -106,16 +106,19 @@ class SimulatedAsrEngine:
         seed: int,
         nbest: int = 5,
         channel: AcousticChannel | None = None,
+        tracer=None,
     ) -> AsrResult:
         """Dictate ``sql_text`` and return its transcription.
 
         ``seed`` fixes the acoustic realization; ``channel`` optionally
         overrides the engine's acoustic channel (per-speaker voices).
         The decode itself is deterministic given the heard words.
+        ``tracer`` (a :class:`repro.observability.trace.Tracer`) scopes
+        the channel corruption in an ``asr.channel.corrupt`` span.
         """
         spoken = self.verbalizer.verbalize(sql_text)
         return self.transcribe_words(
-            spoken, seed=seed, nbest=nbest, channel=channel
+            spoken, seed=seed, nbest=nbest, channel=channel, tracer=tracer
         )
 
     def transcribe_words(
@@ -124,10 +127,11 @@ class SimulatedAsrEngine:
         seed: int,
         nbest: int = 5,
         channel: AcousticChannel | None = None,
+        tracer=None,
     ) -> AsrResult:
         """Transcribe an explicit spoken word sequence."""
         rng = random.Random(seed)
-        heard = (channel or self.channel).corrupt(spoken, rng)
+        heard = (channel or self.channel).corrupt(spoken, rng, tracer=tracer)
         units = self._segment(heard)
         hypotheses = self._beam_decode(units, nbest=nbest)
         texts = tuple(" ".join(tokens) for tokens in hypotheses)

@@ -8,6 +8,11 @@ Subcommands:
   raw transcription texts (``--workers N`` fans a batch over threads).
 - ``schema``   — print a built-in schema (tables, columns, types).
 - ``speak``    — show the spoken-word rendering of a SQL query.
+
+``dictate`` and ``correct`` accept ``--search-kernel`` (compiled / flat
+/ reference), ``--trace-out FILE`` (JSON-lines spans), and
+``--metrics-out FILE`` (Prometheus text for ``.prom``/``.txt``, a human
+summary table otherwise) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -16,48 +21,95 @@ import argparse
 import sys
 
 from repro.asr import make_custom_engine, verbalize_sql
-from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLService
+from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLConfig, SpeakQLService
 from repro.dataset import build_employees_catalog, build_yelp_catalog
 from repro.dataset.spoken import make_spoken_dataset
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    write_metrics,
+    write_trace_jsonl,
+)
 from repro.sqlengine.executor import execute
 from repro.sqlengine.parser import parse_select
+from repro.structure.search import (
+    KERNEL_COMPILED,
+    KERNEL_FLAT,
+    KERNEL_REFERENCE,
+)
 
 _CATALOGS = {
     "employees": build_employees_catalog,
     "yelp": build_yelp_catalog,
 }
 
+_KERNELS = (KERNEL_COMPILED, KERNEL_FLAT, KERNEL_REFERENCE)
 
-def _build_pipeline(schema: str, train: int) -> SpeakQL:
+
+def _build_pipeline(
+    schema: str, train: int, kernel: str = KERNEL_COMPILED
+) -> SpeakQL:
     catalog = _CATALOGS[schema]()
     engine = None
     if train > 0:
         training = make_spoken_dataset("train", catalog, train, seed=7)
         engine = make_custom_engine([q.sql for q in training.queries])
     artifacts = SpeakQLArtifacts.build(engine=engine)
-    return SpeakQL(catalog, artifacts=artifacts)
+    config = SpeakQLConfig(search_kernel=kernel)
+    return SpeakQL(catalog, artifacts=artifacts, config=config)
+
+
+def _observability(args: argparse.Namespace) -> tuple[Tracer, MetricsRegistry | None]:
+    """Tracer/registry for a command, live only when an --out flag asks."""
+    tracer = Tracer(enabled=bool(args.trace_out))
+    metrics = MetricsRegistry() if args.metrics_out else None
+    return tracer, metrics
+
+
+def _export_observability(
+    args: argparse.Namespace,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None,
+) -> None:
+    if args.trace_out:
+        count = write_trace_jsonl(tracer, args.trace_out)
+        print(f"wrote {count} span(s) to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out and metrics is not None:
+        write_metrics(metrics, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 def _cmd_dictate(args: argparse.Namespace) -> int:
-    pipeline = _build_pipeline(args.schema, args.train)
-    out = pipeline.query_from_speech(args.sql, seed=args.seed)
+    pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
+    tracer, metrics = _observability(args)
+    out = pipeline.query_from_speech(
+        args.sql, seed=args.seed, tracer=tracer, metrics=metrics
+    )
     print(f"spoken : {' '.join(verbalize_sql(args.sql))}")
     print(f"heard  : {out.asr_text}")
     print(f"output : {out.sql}")
     print(f"latency: {out.timings.total_seconds * 1000:.0f} ms")
     if args.execute:
         _execute(out.sql, pipeline)
+    _export_observability(args, tracer, metrics)
     return 0
 
 
 def _cmd_correct(args: argparse.Namespace) -> int:
-    pipeline = _build_pipeline(args.schema, train=0)
+    pipeline = _build_pipeline(args.schema, train=0, kernel=args.search_kernel)
     service = SpeakQLService.from_pipeline(pipeline)
-    outputs = service.correct_batch(args.transcriptions, workers=args.workers)
+    tracer, metrics = _observability(args)
+    outputs = service.correct_batch(
+        args.transcriptions,
+        workers=args.workers,
+        tracer=tracer,
+        metrics=metrics,
+    )
     for out in outputs:
         print(out.sql)
         if args.execute:
             _execute(out.sql, pipeline)
+    _export_observability(args, tracer, metrics)
     return 0
 
 
@@ -94,6 +146,18 @@ def _execute(sql: str, pipeline: SpeakQL) -> None:
         print("  ", row)
 
 
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--search-kernel", choices=_KERNELS,
+                        default=KERNEL_COMPILED,
+                        help="structure-search kernel (all three return "
+                             "bit-identical results)")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write hierarchical spans as JSON lines")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write collected metrics (.prom/.txt = "
+                             "Prometheus text, else a summary table)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="speakql",
@@ -108,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     dictate.add_argument("--train", type=int, default=100,
                          help="training queries for the custom ASR model")
     dictate.add_argument("--execute", action="store_true")
+    _add_observability_args(dictate)
     dictate.set_defaults(func=_cmd_dictate)
 
     correct = sub.add_parser("correct", help="correct transcription(s)")
@@ -118,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     correct.add_argument("--workers", type=int, default=1,
                          help="worker threads for batch correction "
                               "(1 = serial, paper-faithful)")
+    _add_observability_args(correct)
     correct.set_defaults(func=_cmd_correct)
 
     schema = sub.add_parser("schema", help="print a built-in schema")

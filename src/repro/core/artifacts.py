@@ -20,6 +20,13 @@ different catalogs (the structure index is catalog-independent), across
 repeated sessions (``load_or_build`` caches the generated structures on
 disk), and across worker threads (all accessors are read-only after a
 lock-guarded first build).
+
+The bundle is also the source of truth for the observability layer's
+*size* gauges — :meth:`SpeakQLArtifacts.publish_metrics` exports the
+compiled index's structure/trie/node/token counts into a
+:class:`~repro.observability.metrics.MetricsRegistry`, which the batch
+service calls at the end of every metered batch so exported metrics
+always describe the index that actually served the traffic.
 """
 
 from __future__ import annotations
@@ -129,6 +136,17 @@ class SpeakQLArtifacts:
             training_sql=training_sql,
             structure_index=index,
         )
+
+    # -- observability -------------------------------------------------------
+
+    def publish_metrics(self, registry) -> None:
+        """Export the compiled index's size gauges into ``registry``.
+
+        Gauges merge by maximum, so repeated publication (every metered
+        batch) is idempotent for a fixed bundle.
+        """
+        for name, value in self.structure_index.compiled().metrics().items():
+            registry.gauge(name).set(value)
 
     # -- shared asset accessors --------------------------------------------
 

@@ -42,6 +42,9 @@ from repro.core.stages import (
 )
 from repro.grammar.generator import DEFAULT_MAX_TOKENS
 from repro.literal.determiner import LiteralDeterminer
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.phonetics.phonetic_index import PhoneticIndex
 from repro.sqlengine.catalog import Catalog
 from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
@@ -96,6 +99,11 @@ class SpeakQL:
         Shared compiled-asset bundle.  Pass one bundle to many pipelines
         to build the structure index once and share per-catalog phonetic
         indexes.
+    tracer / metrics:
+        Default observability handles for every query this pipeline
+        serves (see :mod:`repro.observability`).  The defaults are
+        strict no-ops; per-call ``tracer=``/``metrics=`` arguments
+        override them.
     """
 
     catalog: Catalog
@@ -104,6 +112,8 @@ class SpeakQL:
     config: SpeakQLConfig = field(default_factory=SpeakQLConfig)
     phonetic_index: PhoneticIndex | None = None
     artifacts: SpeakQLArtifacts | None = None
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry | None = None
     _searcher: StructureSearchEngine = field(init=False, repr=False)
     _determiner: LiteralDeterminer = field(init=False, repr=False)
     _mask_stage: MaskStage = field(init=False, repr=False)
@@ -164,14 +174,23 @@ class SpeakQL:
         seed: int,
         nbest: int | None = None,
         voice: "SpeakerProfile | None" = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> SpeakQLOutput:
         """Dictate ``sql_text`` through the simulated ASR and correct it.
 
         ``voice`` optionally selects a synthesized speaker profile (one
         of the eight Polly voices), which scales the acoustic channel.
+        ``tracer``/``metrics`` override the pipeline's observability
+        handles for this query.
         """
+        tracer = tracer if tracer is not None else self.tracer
+        metrics = metrics if metrics is not None else self.metrics
+        if metrics is not None:
+            metrics.counter(obs_names.QUERIES_TOTAL, mode="speech").inc()
         ctx = QueryContext(
-            seed=seed, nbest=nbest or self.config.top_k, voice=voice
+            seed=seed, nbest=nbest or self.config.top_k, voice=voice,
+            tracer=tracer, metrics=metrics,
         )
         asr = run_stages([self._transcribe_stage], sql_text, ctx)
         return self.process_asr_result(asr, ctx=ctx)
@@ -185,11 +204,12 @@ class SpeakQL:
         query list is the deduplicated sequence of corrected candidates
         (the "top 5 outputs" of Table 2).
         """
-        ctx = ctx or QueryContext()
+        if ctx is None:
+            ctx = QueryContext(tracer=self.tracer, metrics=self.metrics)
         queries: list[str] = []
         top: CorrectedQuery | None = None
         for rank, text in enumerate(asr.alternatives):
-            step_ctx = QueryContext()
+            step_ctx = QueryContext(tracer=ctx.tracer, metrics=ctx.metrics)
             corrected = self._correct_one(text, step_ctx)
             if rank == 0:
                 top = corrected
@@ -216,9 +236,24 @@ class SpeakQL:
             search_stats=ctx.search_stats,
         )
 
-    def correct_transcription(self, transcription: str) -> SpeakQLOutput:
-        """Correct a raw transcription text (no ASR step)."""
-        ctx = QueryContext()
+    def correct_transcription(
+        self,
+        transcription: str,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> SpeakQLOutput:
+        """Correct a raw transcription text (no ASR step).
+
+        ``tracer``/``metrics`` override the pipeline's observability
+        handles for this query.
+        """
+        tracer = tracer if tracer is not None else self.tracer
+        metrics = metrics if metrics is not None else self.metrics
+        if metrics is not None:
+            metrics.counter(
+                obs_names.QUERIES_TOTAL, mode="transcription"
+            ).inc()
+        ctx = QueryContext(tracer=tracer, metrics=metrics)
         corrected = self._correct_one(transcription, ctx)
         return SpeakQLOutput(
             asr_text=transcription,

@@ -9,16 +9,37 @@ through explicit per-query seeds, so ``run_batch(..., workers=N)``
 returns results in input order, bit-identical to the serial loop —
 parallelism changes wall-clock time, never output.
 
+Observability: ``run_batch(..., tracer=..., metrics=...)`` (or the
+pipeline's default handles) wraps the batch in a ``batch`` span with one
+child ``query`` span per request, and aggregates metrics **lock-free** —
+each worker thread records into its own private
+:class:`~repro.observability.metrics.MetricsRegistry`, and the per-
+thread registries are merged into the caller's registry once, at batch
+end (counter/histogram merging is commutative, so worker scheduling
+cannot change the totals).  Queue wait (submit → execution start) and
+execute time are reported separately per request as the
+``speakql_batch_queue_wait_seconds`` / ``speakql_batch_execute_seconds``
+histograms — the number that distinguishes "the pool is saturated" from
+"queries are slow".  With both handles off, batches take the original
+untouched fast path.
+
 Typical use::
 
     service = SpeakQLService(catalog, artifacts=artifacts)
     outputs = service.run_batch(
         [("SELECT Salary FROM Employees", 7), ...], workers=4
     )
+
+    registry = MetricsRegistry()
+    service.run_batch(queries, workers=4, metrics=registry)
+    registry.histogram("speakql_stage_seconds",
+                       stage="structure_search").quantile(0.95)
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -27,6 +48,9 @@ from typing import TYPE_CHECKING
 from repro.core.artifacts import SpeakQLArtifacts
 from repro.core.pipeline import SpeakQL, SpeakQLConfig
 from repro.core.result import SpeakQLOutput
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
 from repro.phonetics.phonetic_index import PhoneticIndex
 from repro.sqlengine.catalog import Catalog
 
@@ -100,6 +124,8 @@ class SpeakQLService:
         spoken_queries: Iterable[object],
         *,
         workers: int = 1,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[SpeakQLOutput]:
         """Run a batch of queries, fanning over ``workers`` threads.
 
@@ -109,20 +135,35 @@ class SpeakQLService:
         :class:`~repro.dataset.spoken.SpokenQuery`).  Results come back
         in input order and are bit-identical to the serial loop;
         ``workers=1`` (the default) is the paper-faithful serial path.
+
+        ``tracer``/``metrics`` override the pipeline's observability
+        handles for this batch (see the module docstring for the
+        span/metric layout and the lock-free aggregation scheme).
         """
+        tracer = tracer if tracer is not None else self.pipeline.tracer
+        metrics = metrics if metrics is not None else self.pipeline.metrics
         requests = [self._normalize(query) for query in spoken_queries]
-        if workers <= 1 or len(requests) <= 1:
-            return [self._run_one(request) for request in requests]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self._run_one, requests))
+        if not tracer.enabled and metrics is None:
+            if workers <= 1 or len(requests) <= 1:
+                return [self._run_one(request) for request in requests]
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(self._run_one, requests))
+        return self._run_batch_observed(requests, workers, tracer, metrics)
 
     def correct_batch(
-        self, transcriptions: Sequence[str], *, workers: int = 1
+        self,
+        transcriptions: Sequence[str],
+        *,
+        workers: int = 1,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> list[SpeakQLOutput]:
         """Correct raw transcriptions (no ASR step) as a batch."""
         return self.run_batch(
             [BatchRequest(text=text) for text in transcriptions],
             workers=workers,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     # -- internals -----------------------------------------------------------
@@ -141,12 +182,93 @@ class SpeakQLService:
             return BatchRequest(text=sql, seed=getattr(query, "seed", None))
         raise TypeError(f"cannot interpret batch request: {query!r}")
 
-    def _run_one(self, request: BatchRequest) -> SpeakQLOutput:
+    def _run_one(
+        self,
+        request: BatchRequest,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> SpeakQLOutput:
         if request.seed is None:
-            return self.pipeline.correct_transcription(request.text)
+            return self.pipeline.correct_transcription(
+                request.text, tracer=tracer, metrics=metrics
+            )
         return self.pipeline.query_from_speech(
             request.text,
             seed=request.seed,
             nbest=request.nbest,
             voice=request.voice,
+            tracer=tracer,
+            metrics=metrics,
         )
+
+    def _run_batch_observed(
+        self,
+        requests: list[BatchRequest],
+        workers: int,
+        tracer: Tracer,
+        metrics: MetricsRegistry | None,
+    ) -> list[SpeakQLOutput]:
+        """The traced/metered batch path.
+
+        Per-worker registries are created lazily (one small lock guards
+        only registry *creation*, never the recording hot path) and
+        merged into ``metrics`` after the pool drains, so worker threads
+        never contend on shared counters.
+        """
+        registries: list[MetricsRegistry] = []
+        creation_lock = threading.Lock()
+        local = threading.local()
+
+        def worker_registry() -> MetricsRegistry | None:
+            if metrics is None:
+                return None
+            registry = getattr(local, "registry", None)
+            if registry is None:
+                registry = MetricsRegistry()
+                with creation_lock:
+                    registries.append(registry)
+                local.registry = registry
+            return registry
+
+        effective_workers = max(1, min(workers, max(len(requests), 1)))
+        batch_start = time.perf_counter()
+        with tracer.span(
+            "batch", queries=len(requests), workers=effective_workers
+        ) as batch_span:
+            # Every request is enqueued up front (both the serial loop
+            # and ``pool.map`` submit immediately), so queue wait is
+            # execution start minus this instant.
+            enqueued = time.perf_counter()
+
+            def run(request: BatchRequest) -> SpeakQLOutput:
+                registry = worker_registry()
+                started = time.perf_counter()
+                mode = "transcription" if request.seed is None else "speech"
+                with tracer.span("query", parent=batch_span, mode=mode):
+                    output = self._run_one(request, tracer, registry)
+                if registry is not None:
+                    finished = time.perf_counter()
+                    registry.histogram(
+                        obs_names.BATCH_QUEUE_WAIT_SECONDS
+                    ).observe(started - enqueued)
+                    registry.histogram(
+                        obs_names.BATCH_EXECUTE_SECONDS
+                    ).observe(finished - started)
+                    registry.counter(obs_names.BATCH_QUERIES_TOTAL).inc()
+                return output
+
+            if effective_workers <= 1 or len(requests) <= 1:
+                outputs = [run(request) for request in requests]
+            else:
+                with ThreadPoolExecutor(max_workers=effective_workers) as pool:
+                    outputs = list(pool.map(run, requests))
+        if metrics is not None:
+            for registry in registries:
+                metrics.merge(registry)
+            metrics.histogram(obs_names.BATCH_SECONDS).observe(
+                time.perf_counter() - batch_start
+            )
+            metrics.gauge(obs_names.BATCH_WORKERS).set(effective_workers)
+            if self.artifacts is not None:
+                self.artifacts.publish_metrics(metrics)
+        return outputs

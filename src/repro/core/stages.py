@@ -10,6 +10,16 @@ read-only compiled assets they wrap (see
 statistics.  :func:`run_stages` threads a value through a stage chain,
 timing each stage into the context.
 
+The context also carries the query's observability handles: a
+:class:`~repro.observability.trace.Tracer` (default: the shared
+disabled :data:`~repro.observability.trace.NULL_TRACER`) and an
+optional :class:`~repro.observability.metrics.MetricsRegistry`.  When
+either is live, :func:`run_stages` wraps each stage in a
+``stage.<name>`` span and observes its wall seconds into the
+``speakql_stage_seconds`` histogram; when both are off it runs the
+original untraced loop, so the disabled path costs one extra branch per
+query (see ``tests/observability/test_tracer.py``).
+
 Because stages hold only immutable state and the context is per query,
 the same stage objects can serve many queries concurrently (see
 :class:`repro.core.service.SpeakQLService`).
@@ -30,6 +40,9 @@ from repro.core.result import (
     ComponentTimings,
 )
 from repro.literal.determiner import LiteralDeterminer, LiteralResult
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.structure.masking import (
     MaskedTranscription,
     collapse_literal_runs,
@@ -55,6 +68,9 @@ class QueryContext:
     voice: "SpeakerProfile | None" = None
     stage_seconds: dict[str, float] = field(default_factory=dict)
     search_stats: SearchStats | None = None
+    #: Observability handles; the defaults are strict no-ops.
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry | None = None
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` against ``stage``."""
@@ -81,11 +97,34 @@ class PipelineStage(Protocol):
 
 
 def run_stages(stages: list[PipelineStage], value: Any, ctx: QueryContext) -> Any:
-    """Thread ``value`` through ``stages``, timing each into ``ctx``."""
+    """Thread ``value`` through ``stages``, timing each into ``ctx``.
+
+    With the context's tracer disabled and no registry attached this is
+    the original untouched loop; otherwise each stage runs inside a
+    ``stage.<name>`` span and its wall seconds land in the
+    ``speakql_stage_seconds{stage=<name>}`` histogram.  Either way a
+    stage's seconds are recorded exactly once in ``ctx`` — fallbacks
+    inside a stage (e.g. the search kernel's DAP fallback) surface as
+    span attributes, never as overlapping timings.
+    """
+    tracer = ctx.tracer
+    metrics = ctx.metrics
+    if not tracer.enabled and metrics is None:
+        for stage in stages:
+            start = time.perf_counter()
+            value = stage.run(value, ctx)
+            ctx.record(stage.name, time.perf_counter() - start)
+        return value
     for stage in stages:
-        start = time.perf_counter()
-        value = stage.run(value, ctx)
-        ctx.record(stage.name, time.perf_counter() - start)
+        with tracer.span(obs_names.STAGE_SPAN_PREFIX + stage.name):
+            start = time.perf_counter()
+            value = stage.run(value, ctx)
+            elapsed = time.perf_counter() - start
+        ctx.record(stage.name, elapsed)
+        if metrics is not None:
+            metrics.histogram(
+                obs_names.STAGE_SECONDS, stage=stage.name
+            ).observe(elapsed)
     return value
 
 
@@ -147,6 +186,7 @@ class TranscribeStage:
             seed=ctx.seed,
             nbest=ctx.nbest or self.default_nbest,
             channel=channel,
+            tracer=ctx.tracer,
         )
 
 
@@ -181,6 +221,14 @@ class StructureSearchStage:
     def run(self, value: MaskedQuery, ctx: QueryContext) -> StructureMatches:
         results, stats = self.searcher.search(value.search_tokens, k=self.k)
         ctx.search_stats = stats
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.annotate("kernel_requested", self.searcher.kernel)
+            tracer.annotate("kernel_used", stats.kernel or self.searcher.kernel)
+            if stats.dap_fallback:
+                tracer.annotate("dap_fallback", True)
+        if ctx.metrics is not None:
+            _publish_search_stats(ctx.metrics, stats)
         return StructureMatches(masked=value, results=tuple(results))
 
 
@@ -196,6 +244,47 @@ class LiteralStage:
         if best is None:
             return CorrectedQuery(sql="", structure=None, literals=None)
         literals = self.determiner.determine(
-            list(value.masked.source), best.structure
+            list(value.masked.source), best.structure, tracer=ctx.tracer
         )
         return CorrectedQuery(sql=literals.sql(), structure=best, literals=literals)
+
+
+def _publish_search_stats(metrics: MetricsRegistry, stats: SearchStats) -> None:
+    """Fold one search's statistics into the registry.
+
+    Cache hits count as served searches (plus a cache-hit tick) but do
+    not re-count the original search's work counters.
+    """
+    metrics.counter(
+        obs_names.SEARCH_TOTAL, kernel=stats.kernel or "unknown"
+    ).inc()
+    if stats.result_cache_hit:
+        metrics.counter(obs_names.SEARCH_RESULT_CACHE_HITS).inc()
+        return
+    if stats.dap_fallback:
+        metrics.counter(obs_names.SEARCH_DAP_FALLBACK_TOTAL).inc()
+    metrics.counter(obs_names.SEARCH_NODES_VISITED).inc(stats.nodes_visited)
+    metrics.counter(obs_names.SEARCH_DP_CELLS).inc(stats.dp_cells)
+    metrics.counter(obs_names.SEARCH_TRIES_SEARCHED).inc(stats.tries_searched)
+    metrics.counter(obs_names.SEARCH_TRIES_SKIPPED).inc(stats.tries_skipped)
+    metrics.counter(
+        obs_names.SEARCH_CANDIDATES_SCORED
+    ).inc(stats.candidates_scored)
+    if stats.levels_visited:
+        metrics.counter(
+            obs_names.SEARCH_LEVELS_VISITED
+        ).inc(stats.levels_visited)
+    if stats.rows_pruned:
+        metrics.counter(obs_names.SEARCH_ROWS_PRUNED).inc(stats.rows_pruned)
+    if stats.beam_bound_updates:
+        metrics.counter(
+            obs_names.SEARCH_BEAM_BOUND_UPDATES
+        ).inc(stats.beam_bound_updates)
+    if stats.inv_cache_hits:
+        metrics.counter(
+            obs_names.SEARCH_INV_CACHE_HITS
+        ).inc(stats.inv_cache_hits)
+    if stats.inv_cache_builds:
+        metrics.counter(
+            obs_names.SEARCH_INV_CACHE_BUILDS
+        ).inc(stats.inv_cache_builds)

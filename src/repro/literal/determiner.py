@@ -26,6 +26,7 @@ from repro.literal.segmentation import (
 from repro.literal.alignment import placeholder_windows
 from repro.literal.values import is_number_token, recover_date, recover_value
 from repro.literal.voting import literal_assignment, score_assignment
+from repro.observability.trace import NULL_TRACER, Tracer
 from repro.structure.masking import mask_literals
 from repro.phonetics.phonetic_index import PhoneticIndex
 from repro.sqlengine.catalog import Catalog
@@ -102,37 +103,53 @@ class LiteralDeterminer:
     # -- public API ----------------------------------------------------------
 
     def determine(
-        self, transcription_tokens: list[str], structure: tuple[str, ...]
+        self,
+        transcription_tokens: list[str],
+        structure: tuple[str, ...],
+        tracer: Tracer | None = None,
     ) -> LiteralResult:
         """Fill every placeholder of ``structure``.
 
         ``transcription_tokens`` is the SplChar-handled raw transcription
-        (MaskedTranscription.source).
+        (MaskedTranscription.source).  With an enabled ``tracer`` the
+        whole determination runs in a ``literal.determine`` span, each
+        pass of the walk in a ``literal.walk`` span (``phase`` 1 or 2).
         """
+        if tracer is None:
+            tracer = NULL_TRACER
         categories = assign_categories(structure)
         value_types = self._value_types(structure, categories)
 
-        # Pass 1: category-selected candidate sets (the paper's set B).
-        first = self._walk(
-            transcription_tokens, structure, categories, value_types, tables=None
-        )
-        if not self.narrow_attributes:
-            return LiteralResult(structure=structure, literals=first)
-        tables = [
-            lit.text
-            for lit in first
-            if lit.category is LiteralCategory.TABLE and lit.text
-        ]
-        if not tables or not any(
-            c is LiteralCategory.ATTRIBUTE for c in categories
-        ):
-            return LiteralResult(structure=structure, literals=first)
-        # Pass 2 (optional): attribute candidates narrowed to the chosen
-        # FROM tables.
-        second = self._walk(
-            transcription_tokens, structure, categories, value_types, tables=tables
-        )
-        return LiteralResult(structure=structure, literals=second)
+        with tracer.span(
+            "literal.determine", placeholders=len(categories)
+        ) as span:
+            # Pass 1: category-selected candidate sets (the paper's set B).
+            with tracer.span("literal.walk", phase=1):
+                first = self._walk(
+                    transcription_tokens, structure, categories, value_types,
+                    tables=None,
+                )
+            tables = [
+                lit.text
+                for lit in first
+                if lit.category is LiteralCategory.TABLE and lit.text
+            ]
+            if (
+                not self.narrow_attributes
+                or not tables
+                or not any(c is LiteralCategory.ATTRIBUTE for c in categories)
+            ):
+                span.set("narrowed", False)
+                return LiteralResult(structure=structure, literals=first)
+            # Pass 2 (optional): attribute candidates narrowed to the
+            # chosen FROM tables.
+            with tracer.span("literal.walk", phase=2):
+                second = self._walk(
+                    transcription_tokens, structure, categories, value_types,
+                    tables=tables,
+                )
+            span.set("narrowed", True)
+            return LiteralResult(structure=structure, literals=second)
 
     # -- walk ------------------------------------------------------------------
 

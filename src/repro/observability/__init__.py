@@ -1,0 +1,40 @@
+"""Unified observability: hierarchical tracing + a metrics registry.
+
+See ``docs/observability.md`` for the operations guide (every span,
+metric, label, and exporter format, with worked examples).
+"""
+
+from repro.observability.export import (
+    read_trace_jsonl,
+    summary_table,
+    to_prometheus,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "GLOBAL_REGISTRY",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "read_trace_jsonl",
+    "summary_table",
+    "to_prometheus",
+    "write_metrics",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,139 @@
+"""Exporters: JSON-lines traces, Prometheus text, human summary table.
+
+Three pluggable sinks over the same in-memory state:
+
+- :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — one finished
+  span per line, round-trippable (the round-trip invariant — parsed
+  spans re-sum to the batch wall time — is tested in
+  ``tests/observability/test_trace_roundtrip.py``);
+- :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``_bucket{le=...}``/``_sum``/``_count`` series
+  for histograms), scrape-ready;
+- :func:`summary_table` — an aligned human table with per-histogram
+  p50/p95/p99, for terminals and CI logs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.metrics.report import format_table
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.trace import Tracer
+
+
+# -- traces -------------------------------------------------------------------
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Write every finished span as one JSON object per line.
+
+    Returns the number of spans written.
+    """
+    dicts = tracer.to_dicts()
+    text = "".join(json.dumps(d, sort_keys=True) + "\n" for d in dicts)
+    Path(path).write_text(text, encoding="utf-8")
+    return len(dicts)
+
+
+def read_trace_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines trace file back into span dicts."""
+    spans = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+# -- prometheus text format ---------------------------------------------------
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str], extra: dict[str, str] | None = None
+                   ) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for name, labels, metric in registry.collect():
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                le = _format_labels(labels, {"le": _format_value(bound)})
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            le = _format_labels(labels, {"le": "+Inf"})
+            lines.append(f"{name}_bucket{le} {metric.count}")
+            label_str = _format_labels(labels)
+            lines.append(f"{name}_sum{label_str} {_format_value(metric.sum)}")
+            lines.append(f"{name}_count{label_str} {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            label_str = _format_labels(labels)
+            lines.append(f"{name}{label_str} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human summary ------------------------------------------------------------
+
+def summary_table(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """An aligned table: one row per instrument, quantiles for histograms."""
+    headers = ["name", "labels", "kind", "value/count", "p50", "p95", "p99"]
+    rows: list[list[object]] = []
+    for name, labels, metric in registry.collect():
+        label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if isinstance(metric, Histogram):
+            rows.append([
+                name, label_str, metric.kind, metric.count,
+                f"{metric.quantile(0.50):.6f}" if metric.count else "-",
+                f"{metric.quantile(0.95):.6f}" if metric.count else "-",
+                f"{metric.quantile(0.99):.6f}" if metric.count else "-",
+            ])
+        else:
+            rows.append([
+                name, label_str, metric.kind,
+                _format_value(metric.value), "-", "-", "-",
+            ])
+    return format_table(headers, rows, title=title)
+
+
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write the registry to ``path``.
+
+    ``.prom``/``.txt`` suffixes get Prometheus text format; anything
+    else gets the human summary table.
+    """
+    path = Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry), encoding="utf-8")
+    else:
+        path.write_text(summary_table(registry) + "\n", encoding="utf-8")

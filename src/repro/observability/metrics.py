@@ -1,0 +1,269 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds named instruments, each keyed by its
+name plus a frozen label set (Prometheus-style dimensional metrics):
+
+- :class:`Counter` — a monotonically increasing total;
+- :class:`Gauge` — a point-in-time value (workers, index sizes);
+- :class:`Histogram` — fixed upper-bound buckets with a running sum and
+  count, giving ``fraction ≤ bound`` exactly at the bucket bounds and
+  interpolated p50/p95/p99 estimates **without storing samples** —
+  memory stays O(buckets) regardless of traffic.
+
+Registries are deliberately *not* internally locked: the serving layer
+gives each worker thread its own registry and merges them at batch end
+(:meth:`MetricsRegistry.merge`), which keeps the hot path lock-free.
+Merging is commutative for counters and histograms (integer-valued
+increments merge to bit-identical totals in any order); gauges merge by
+maximum so the result is order-independent.
+
+Canonical metric names live in :mod:`repro.observability.names` and are
+catalogued in ``docs/observability.md`` (enforced by a test).
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left, bisect_right
+from typing import Iterator
+
+#: Default latency buckets (seconds) — spaced for the paper's
+#: sub-2-second interactive regime, from 1 ms to 10 s.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 1.5, 2.5, 5.0, 10.0,
+)
+
+_INF = float("inf")
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time value; merges by maximum (order-independent)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = max(self.value, other.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative ``≤ bound`` counts, no samples.
+
+    ``buckets`` is an ascending tuple of inclusive upper bounds; an
+    implicit overflow bucket catches everything beyond the last bound.
+    ``fraction_le`` is exact at the configured bounds; ``quantile``
+    interpolates linearly inside the containing bucket (clamped to the
+    observed min/max), the standard Prometheus estimation.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(float(b) for b in buckets)
+        if not ordered or list(ordered) != sorted(set(ordered)):
+            raise ValueError("buckets must be distinct and ascending")
+        self.buckets = ordered
+        self.counts = [0] * (len(ordered) + 1)  # +1: overflow bucket
+        self.sum = 0.0
+        self.count = 0
+        self.min = _INF
+        self.max = -_INF
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def fraction_le(self, bound: float) -> float:
+        """Fraction of observations ≤ ``bound``.
+
+        Exact whenever ``bound`` is one of the configured bucket bounds
+        (or ≥ the largest); otherwise the fraction at the largest
+        configured bound not exceeding ``bound`` (a lower bound on the
+        true fraction).
+        """
+        if self.count == 0:
+            return 0.0
+        covered = bisect_right(self.buckets, bound)
+        if bound >= self.max:
+            return 1.0
+        return sum(self.counts[:covered]) / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 ≤ q ≤ 1) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.buckets[i - 1] if i > 0 else self.min
+                hi = self.buckets[i] if i < len(self.buckets) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                inside = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * max(inside, 0.0)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - q == 1 handled above
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class _Timer:
+    """Context manager observing its wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named, labelled instruments; one registry per thread of work.
+
+    Not internally locked — confine a registry to one thread and
+    :meth:`merge` at a synchronization point (see
+    :class:`repro.core.service.SpeakQLService`).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+
+    # -- instrument accessors (get-or-create) -------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(buckets or DEFAULT_BUCKETS)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise ValueError(f"{name} already registered as {metric.kind}")
+        return metric
+
+    def time(self, name: str, buckets: tuple[float, ...] | None = None,
+             **labels) -> _Timer:
+        """A context manager timing its body into histogram ``name``."""
+        return _Timer(self.histogram(name, buckets=buckets, **labels))
+
+    def _get(self, name: str, labels: dict, cls):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(f"{name} already registered as {metric.kind}")
+        return metric
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (see module docstring)."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(metric, Histogram):
+                    mine = Histogram(metric.buckets)
+                else:
+                    mine = type(metric)()
+                self._metrics[key] = mine
+            elif type(mine) is not type(metric):
+                raise ValueError(
+                    f"{key[0]} registered as {mine.kind} here "
+                    f"but {metric.kind} in the merged registry"
+                )
+            mine.merge(metric)
+
+    def collect(self) -> Iterator[tuple[str, dict[str, str], object]]:
+        """Every ``(name, labels, instrument)``, deterministically sorted."""
+        for (name, label_key), metric in sorted(
+            self._metrics.items(), key=lambda item: item[0]
+        ):
+            yield name, dict(label_key), metric
+
+    def names(self) -> set[str]:
+        """The distinct metric names registered so far."""
+        return {name for name, _ in self._metrics}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The process-wide default registry (for callers that want one shared
+#: sink rather than per-batch registries).
+GLOBAL_REGISTRY = MetricsRegistry()

@@ -1,0 +1,132 @@
+"""The canonical catalog of span names, metric names, and labels.
+
+Every span the pipeline opens and every metric it registers MUST be
+listed here, and every entry here MUST appear in
+``docs/observability.md`` — both directions are enforced by
+``tests/observability/test_docs_coverage.py``.  Adding instrumentation
+therefore means: add the constant, emit it, document it.
+
+The values are one-line descriptions (used when generating docs or
+summaries); the keys are the wire names.
+"""
+
+from __future__ import annotations
+
+# -- span names --------------------------------------------------------------
+
+#: Prefix for the per-stage spans opened by ``run_stages``; the full
+#: span name is ``stage.<PipelineStage.name>``.
+STAGE_SPAN_PREFIX = "stage."
+
+SPAN_NAMES: dict[str, str] = {
+    "batch": "One SpeakQLService.run_batch call (whole-batch envelope).",
+    "query": "One batch item end to end (child of `batch`).",
+    "stage.transcribe": "Simulated ASR dictation of one query.",
+    "stage.mask": "SplChar handling + literal masking of one transcription.",
+    "stage.structure_search": "Similarity search over the structure index.",
+    "stage.literal_determination": "Placeholder filling via phonetic voting.",
+    "literal.determine": "The full LiteralFinder walk for one structure.",
+    "literal.walk": "One pass of the walk (phase 1: category candidate "
+                    "sets; phase 2: table-narrowed candidates).",
+    "asr.channel.corrupt": "Acoustic-channel corruption of the spoken words.",
+}
+
+#: Structured span attributes the pipeline sets (attribute -> meaning).
+SPAN_ATTRIBUTES: dict[str, str] = {
+    "queries": "`batch`: number of requests in the batch.",
+    "workers": "`batch`: worker-thread count.",
+    "mode": "`query`: `speech` (dictation) or `transcription` (correction).",
+    "kernel_requested": "`stage.structure_search`: the engine's configured "
+                        "search kernel.",
+    "kernel_used": "`stage.structure_search`: the kernel that actually ran.",
+    "dap_fallback": "`stage.structure_search`: present (true) when DAP "
+                    "forced the compiled kernel down to the flat kernel.",
+    "placeholders": "`literal.determine`: placeholder count of the structure.",
+    "narrowed": "`literal.determine`: whether pass 2 (table narrowing) ran.",
+    "phase": "`literal.walk`: 1 for the category pass, 2 for the "
+             "narrowed pass.",
+    "words_in": "`asr.channel.corrupt`: spoken words entering the channel.",
+    "words_out": "`asr.channel.corrupt`: heard words leaving the channel.",
+    "error": "Any span: repr of the exception that escaped it.",
+}
+
+# -- metric names ------------------------------------------------------------
+
+QUERIES_TOTAL = "speakql_queries_total"
+STAGE_SECONDS = "speakql_stage_seconds"
+
+BATCH_QUERIES_TOTAL = "speakql_batch_queries_total"
+BATCH_SECONDS = "speakql_batch_seconds"
+BATCH_WORKERS = "speakql_batch_workers"
+BATCH_QUEUE_WAIT_SECONDS = "speakql_batch_queue_wait_seconds"
+BATCH_EXECUTE_SECONDS = "speakql_batch_execute_seconds"
+
+SEARCH_TOTAL = "speakql_search_total"
+SEARCH_SECONDS = "speakql_search_seconds"
+SEARCH_NODES_VISITED = "speakql_search_nodes_visited_total"
+SEARCH_DP_CELLS = "speakql_search_dp_cells_total"
+SEARCH_TRIES_SEARCHED = "speakql_search_tries_searched_total"
+SEARCH_TRIES_SKIPPED = "speakql_search_tries_skipped_total"
+SEARCH_CANDIDATES_SCORED = "speakql_search_candidates_scored_total"
+SEARCH_LEVELS_VISITED = "speakql_search_levels_visited_total"
+SEARCH_ROWS_PRUNED = "speakql_search_rows_pruned_total"
+SEARCH_BEAM_BOUND_UPDATES = "speakql_search_beam_bound_updates_total"
+SEARCH_RESULT_CACHE_HITS = "speakql_search_result_cache_hits_total"
+SEARCH_INV_CACHE_HITS = "speakql_search_inv_cache_hits_total"
+SEARCH_INV_CACHE_BUILDS = "speakql_search_inv_cache_builds_total"
+SEARCH_DAP_FALLBACK_TOTAL = "speakql_search_dap_fallback_total"
+
+INDEX_STRUCTURES = "speakql_index_structures"
+INDEX_TRIES = "speakql_index_tries"
+INDEX_TRIE_NODES = "speakql_index_trie_nodes"
+INDEX_TOKENS = "speakql_index_tokens"
+
+METRIC_NAMES: dict[str, str] = {
+    QUERIES_TOTAL: "counter — queries processed, by `mode`.",
+    STAGE_SECONDS: "histogram — wall seconds per pipeline stage, by "
+                   "`stage` (every ASR alternative counts).",
+    BATCH_QUERIES_TOTAL: "counter — batch items processed.",
+    BATCH_SECONDS: "histogram — whole-batch wall seconds.",
+    BATCH_WORKERS: "gauge — worker threads of the last batch (merge: max).",
+    BATCH_QUEUE_WAIT_SECONDS: "histogram — seconds a request waited "
+                              "between batch submit and execution start.",
+    BATCH_EXECUTE_SECONDS: "histogram — seconds a request spent executing.",
+    SEARCH_TOTAL: "counter — structure searches served, by `kernel`.",
+    SEARCH_SECONDS: "histogram — per-search wall seconds (benchmark use, "
+                    "by `config`).",
+    SEARCH_NODES_VISITED: "counter — trie nodes whose DP column was "
+                          "computed (uncached searches).",
+    SEARCH_DP_CELLS: "counter — DP cells computed.",
+    SEARCH_TRIES_SEARCHED: "counter — per-length tries actually searched.",
+    SEARCH_TRIES_SKIPPED: "counter — tries skipped by the BDB bound.",
+    SEARCH_CANDIDATES_SCORED: "counter — terminal structures offered to "
+                              "the top-k.",
+    SEARCH_LEVELS_VISITED: "counter — breadth-first levels processed by "
+                           "the compiled kernel.",
+    SEARCH_ROWS_PRUNED: "counter — node rows compacted away by the "
+                        "compiled kernel's band/threshold prune.",
+    SEARCH_BEAM_BOUND_UPDATES: "counter — beam-probe prune bounds seeded "
+                               "by the compiled kernel.",
+    SEARCH_RESULT_CACHE_HITS: "counter — searches served from the LRU "
+                              "result cache.",
+    SEARCH_INV_CACHE_HITS: "counter — INV subindexes reused from the LRU.",
+    SEARCH_INV_CACHE_BUILDS: "counter — INV subindexes built (LRU misses).",
+    SEARCH_DAP_FALLBACK_TOTAL: "counter — searches where DAP forced the "
+                               "compiled kernel down to `flat`.",
+    INDEX_STRUCTURES: "gauge — structures in the compiled index.",
+    INDEX_TRIES: "gauge — per-length tries in the compiled index.",
+    INDEX_TRIE_NODES: "gauge — total compiled trie nodes.",
+    INDEX_TOKENS: "gauge — interned tokens in the compiled index.",
+}
+
+#: Label keys in use (label -> meaning).
+METRIC_LABELS: dict[str, str] = {
+    "mode": f"`{QUERIES_TOTAL}`: `speech` or `transcription`.",
+    "stage": f"`{STAGE_SECONDS}`: the `PipelineStage.name` "
+             "(`transcribe`, `mask`, `structure_search`, "
+             "`literal_determination`).",
+    "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "
+              "(`compiled`, `flat`, `reference`).",
+    "config": f"`{SEARCH_SECONDS}` and benchmark counters: the ablation "
+              "configuration being measured.",
+}

@@ -165,6 +165,16 @@ class CompiledStructureIndex:
             return 0
         return max(trie.node_count for trie in self.tries.values())
 
+    def metrics(self) -> dict[str, int]:
+        """Size gauges for the observability layer, by canonical metric
+        name (see :mod:`repro.observability.names`)."""
+        return {
+            "speakql_index_structures": len(self.sentences),
+            "speakql_index_tries": len(self.tries),
+            "speakql_index_trie_nodes": self.node_count(),
+            "speakql_index_tokens": len(self.tokens),
+        }
+
     # -- construction -------------------------------------------------------
 
     @classmethod

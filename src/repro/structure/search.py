@@ -43,6 +43,7 @@ available as flags:
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -86,6 +87,15 @@ class SearchStats:
     ``nodes_visited`` / ``dp_cells`` / ``candidates_scored`` for the
     same bit-identical results.  ``tries_searched`` / ``tries_skipped``
     agree across all three kernels.
+
+    ``levels_visited`` / ``rows_pruned`` / ``beam_bound_updates`` are
+    phases of the compiled kernel only (zero elsewhere).  ``kernel`` is
+    the kernel that actually ran, and ``dap_fallback`` marks a search
+    where a ``compiled`` engine with ``use_dap`` dropped to the flat
+    kernel (DAP's tie order is traversal-dependent) — both excluded
+    from equality so the flat/reference parity assertions stay exact.
+    ``result_cache_hit`` marks stats returned from the LRU result cache
+    (the counters then describe the original, cached search).
     """
 
     nodes_visited: int = 0
@@ -93,6 +103,14 @@ class SearchStats:
     tries_searched: int = 0
     tries_skipped: int = 0
     candidates_scored: int = 0
+    levels_visited: int = 0
+    rows_pruned: int = 0
+    beam_bound_updates: int = 0
+    inv_cache_hits: int = 0
+    inv_cache_builds: int = 0
+    kernel: str = field(default="", compare=False)
+    dap_fallback: bool = field(default=False, compare=False)
+    result_cache_hit: bool = field(default=False, compare=False)
 
 
 @dataclass
@@ -179,7 +197,10 @@ class StructureSearchEngine:
             cached = self._cache.get((masked, k))
             if cached is not None:
                 self._cache.move_to_end((masked, k))
-                return cached
+                results, stats = cached
+                hit_stats = copy.copy(stats)
+                hit_stats.result_cache_hit = True
+                return results, hit_stats
         results, stats = self._search_uncached(masked, k)
         if self.cache_results:
             self._cache[(masked, k)] = (results, stats)
@@ -194,7 +215,7 @@ class StructureSearchEngine:
         top = _TopK(k=max(k, 1))
 
         if self.use_inv:
-            subindex = self._rarest_keyword_subindex(masked)
+            subindex = self._rarest_keyword_subindex(masked, stats)
             if subindex is not None:
                 self._search_index(subindex, masked, top, stats)
                 return top.results(), stats
@@ -203,7 +224,7 @@ class StructureSearchEngine:
         return top.results(), stats
 
     def _rarest_keyword_subindex(
-        self, masked: tuple[str, ...]
+        self, masked: tuple[str, ...], stats: SearchStats
     ) -> StructureIndex | None:
         """INV: lazy per-keyword trie subindex over the rarest present
         keyword's postings (Appendix D.3), kept in a bounded LRU."""
@@ -219,6 +240,7 @@ class StructureSearchEngine:
             return None
         subindex = self._inv_subindexes.get(best_keyword)
         if subindex is None:
+            stats.inv_cache_builds += 1
             subindex = StructureIndex.from_structures(
                 self.index.inverted[best_keyword]
             )
@@ -226,6 +248,7 @@ class StructureSearchEngine:
             while len(self._inv_subindexes) > self.max_inv_subindexes:
                 self._inv_subindexes.popitem(last=False)
         else:
+            stats.inv_cache_hits += 1
             self._inv_subindexes.move_to_end(best_keyword)
         return subindex
 
@@ -245,10 +268,14 @@ class StructureSearchEngine:
             # level-synchronous kernel cannot reproduce; keep results
             # bit-identical by using the scalar flat walk for DAP.
             if self.kernel == KERNEL_FLAT or self.use_dap:
+                stats.kernel = KERNEL_FLAT
+                stats.dap_fallback = self.kernel == KERNEL_COMPILED
                 self._search_flat(compiled, masked, top, stats)
             else:
+                stats.kernel = KERNEL_COMPILED
                 self._search_vector(compiled, masked, top, stats)
             return
+        stats.kernel = KERNEL_REFERENCE
         lengths = self._search_order(len(masked), index.lengths)
         min_literal_weight = self.weights.min_weight
         for length in lengths:
@@ -333,6 +360,8 @@ class StructureSearchEngine:
                 bound = self._beam_bound(
                     trie, masked_ids, mask_weights, list(first_col), top.k
                 )
+                if bound != _INF:
+                    stats.beam_bound_updates += 1
             # DP band for this trie: a cell at masked position i and trie
             # depth d has true value >= |i - d| * min_weight, so cells
             # outside the band can keep their insert-only initialization
@@ -379,6 +408,7 @@ class StructureSearchEngine:
                     sentence_id = level.sentence_id[idx]
                 plevel = level
                 width = len(order)
+                stats.levels_visited += 1
                 if banded:
                     blo = depth - delta
                     if blo < 0:
@@ -464,8 +494,10 @@ class StructureSearchEngine:
                     keep = cmin <= cut
                     kidx = keep.nonzero()[0]
                     if kidx.size == 0:
+                        stats.rows_pruned += width
                         break
                     if kidx.size < width:
+                        stats.rows_pruned += width - int(kidx.size)
                         alive_idx = kidx if idx is None else idx[kidx]
                         prev = col[:, kidx]
                         continue

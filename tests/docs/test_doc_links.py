@@ -1,0 +1,54 @@
+"""The repo's markdown docs must not contain broken intra-repo links."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+def test_default_doc_set_is_nonempty():
+    paths = check_docs.default_doc_set()
+    names = {p.name for p in paths}
+    assert "README.md" in names
+    assert "observability.md" in names
+    assert "architecture.md" in names
+
+
+def test_repo_docs_have_no_broken_links():
+    problems = check_docs.check(check_docs.default_doc_set())
+    assert problems == []
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](#anchor) [ext](https://example.com) [bad](gone.md)",
+        encoding="utf-8",
+    )
+    problems = check_docs.broken_links(doc)
+    assert len(problems) == 1
+    assert problems[0][0] == "gone.md"
+
+
+def test_checker_accepts_valid_relative_links(tmp_path):
+    (tmp_path / "other.md").write_text("hi", encoding="utf-8")
+    doc = tmp_path / "doc.md"
+    doc.write_text("[sibling](other.md) [anchored](other.md#part)",
+                   encoding="utf-8")
+    assert check_docs.broken_links(doc) == []

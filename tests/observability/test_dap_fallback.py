@@ -1,0 +1,116 @@
+"""Regression: the DAP kernel fallback is reported, never double-timed.
+
+A ``compiled``-kernel engine with ``use_dap`` cannot run the vector
+kernel (DAP changes traversal order), so it drops to the flat kernel.
+The fallback must surface as a distinct span attribute and counter —
+with the stage's seconds still recorded exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLConfig
+from repro.core.result import STRUCTURE_STAGE
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+from repro.structure.masking import preprocess_transcription
+from repro.structure.search import (
+    KERNEL_COMPILED,
+    KERNEL_FLAT,
+    StructureSearchEngine,
+)
+
+TRANSCRIPTION = "select first name from employees"
+
+
+class TestEngineStats:
+    def test_compiled_with_dap_reports_fallback(self, small_index):
+        engine = StructureSearchEngine(
+            index=small_index, kernel=KERNEL_COMPILED, use_dap=True,
+            cache_results=False,
+        )
+        masked = preprocess_transcription(TRANSCRIPTION).masked
+        _, stats = engine.search(masked, k=1)
+        assert stats.kernel == KERNEL_FLAT  # what actually ran
+        assert stats.dap_fallback is True
+
+    def test_flat_with_dap_is_not_a_fallback(self, small_index):
+        engine = StructureSearchEngine(
+            index=small_index, kernel=KERNEL_FLAT, use_dap=True,
+            cache_results=False,
+        )
+        masked = preprocess_transcription(TRANSCRIPTION).masked
+        _, stats = engine.search(masked, k=1)
+        assert stats.kernel == KERNEL_FLAT
+        assert stats.dap_fallback is False  # flat was asked for
+
+    def test_compiled_without_dap_runs_compiled(self, small_index):
+        engine = StructureSearchEngine(
+            index=small_index, kernel=KERNEL_COMPILED, cache_results=False
+        )
+        masked = preprocess_transcription(TRANSCRIPTION).masked
+        _, stats = engine.search(masked, k=1)
+        assert stats.kernel == KERNEL_COMPILED
+        assert stats.dap_fallback is False
+
+
+class TestPipelineSurface:
+    @pytest.fixture()
+    def observed_run(self, small_catalog, small_index):
+        artifacts = SpeakQLArtifacts.build(structure_index=small_index)
+        pipeline = SpeakQL(
+            small_catalog,
+            artifacts=artifacts,
+            config=SpeakQLConfig(
+                search_kernel=KERNEL_COMPILED, use_dap=True
+            ),
+        )
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        output = pipeline.correct_transcription(
+            TRANSCRIPTION, tracer=tracer, metrics=registry
+        )
+        return tracer, registry, output
+
+    def test_fallback_is_a_span_attribute(self, observed_run):
+        tracer, _, _ = observed_run
+        stage_name = obs_names.STAGE_SPAN_PREFIX + STRUCTURE_STAGE
+        search_spans = [s for s in tracer.spans if s.name == stage_name]
+        assert len(search_spans) == 1  # one span, one timing
+        (span,) = search_spans
+        assert span.attributes["kernel_requested"] == KERNEL_COMPILED
+        assert span.attributes["kernel_used"] == KERNEL_FLAT
+        assert span.attributes["dap_fallback"] is True
+
+    def test_fallback_is_a_counter_not_a_second_timing(self, observed_run):
+        _, registry, output = observed_run
+        fallback = registry.counter(obs_names.SEARCH_DAP_FALLBACK_TOTAL)
+        assert fallback.value == 1
+        # The search was attributed to the kernel that ran, and the
+        # stage histogram holds exactly one observation whose value is
+        # the single timing the output reports — no overlap.
+        served = registry.counter(obs_names.SEARCH_TOTAL, kernel=KERNEL_FLAT)
+        assert served.value == 1
+        hist = registry.histogram(
+            obs_names.STAGE_SECONDS, stage=STRUCTURE_STAGE
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(
+            output.timings.stage_seconds(STRUCTURE_STAGE), rel=1e-9
+        )
+
+    def test_no_fallback_attribute_without_dap(self, small_catalog, small_index):
+        artifacts = SpeakQLArtifacts.build(structure_index=small_index)
+        pipeline = SpeakQL(
+            small_catalog,
+            artifacts=artifacts,
+            config=SpeakQLConfig(search_kernel=KERNEL_COMPILED),
+        )
+        tracer = Tracer()
+        pipeline.correct_transcription(TRANSCRIPTION, tracer=tracer)
+        stage_name = obs_names.STAGE_SPAN_PREFIX + STRUCTURE_STAGE
+        (span,) = [s for s in tracer.spans if s.name == stage_name]
+        assert span.attributes["kernel_used"] == KERNEL_COMPILED
+        assert "dap_fallback" not in span.attributes

@@ -1,0 +1,127 @@
+"""docs/observability.md and the names catalog must not drift.
+
+Three-way contract:
+
+1. every catalogued span/metric/attribute/label name appears literally
+   in ``docs/observability.md``;
+2. the doc mentions no ``speakql_*`` metric or known-shaped span name
+   that the catalog lacks (stale docs fail too);
+3. an instrumented end-to-end run emits only catalogued names.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+DOC_PATH = Path(__file__).resolve().parents[2] / "docs" / "observability.md"
+
+
+@pytest.fixture(scope="module")
+def doc_text() -> str:
+    assert DOC_PATH.is_file(), f"missing {DOC_PATH}"
+    return DOC_PATH.read_text(encoding="utf-8")
+
+
+def test_every_span_name_is_documented(doc_text):
+    missing = [name for name in obs_names.SPAN_NAMES if name not in doc_text]
+    assert not missing, f"spans absent from docs/observability.md: {missing}"
+
+
+def test_every_span_attribute_is_documented(doc_text):
+    missing = [
+        attr for attr in obs_names.SPAN_ATTRIBUTES if attr not in doc_text
+    ]
+    assert not missing, f"attributes absent from the doc: {missing}"
+
+
+def test_every_metric_name_is_documented(doc_text):
+    missing = [
+        name for name in obs_names.METRIC_NAMES if name not in doc_text
+    ]
+    assert not missing, f"metrics absent from the doc: {missing}"
+
+
+def test_every_label_is_documented(doc_text):
+    missing = [
+        label
+        for label in obs_names.METRIC_LABELS
+        if f"`{label}`" not in doc_text
+    ]
+    assert not missing, f"labels absent from the doc: {missing}"
+
+
+def test_doc_mentions_no_unknown_metric(doc_text):
+    """Stale direction: any speakql_* token in the doc must still exist.
+
+    Prometheus suffixes (`_bucket`/`_sum`/`_count`) attach to a base
+    metric name, so they are stripped before the lookup.
+    """
+    mentioned = set(re.findall(r"\bspeakql_[a-z0-9_]+\b", doc_text))
+    known = set(obs_names.METRIC_NAMES)
+    unknown = set()
+    for name in mentioned:
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in known and base not in known:
+            unknown.add(name)
+    assert not unknown, f"doc mentions uncatalogued metrics: {unknown}"
+
+
+def test_doc_mentions_no_unknown_span(doc_text):
+    mentioned = set(re.findall(r"\bstage\.[a-z_]+\b", doc_text))
+    mentioned.discard(obs_names.STAGE_SPAN_PREFIX + "<PipelineStage")
+    unknown = {
+        name
+        for name in mentioned
+        if name not in obs_names.SPAN_NAMES and name != "stage.<PipelineStage"
+    }
+    assert not unknown, f"doc mentions uncatalogued stage spans: {unknown}"
+
+
+def test_instrumented_run_emits_only_catalogued_names(request):
+    """100%-coverage direction: a real dictation + correction batch may
+    only emit names the catalog (and therefore the doc) knows."""
+    small_catalog = request.getfixturevalue("small_catalog")
+    small_index = request.getfixturevalue("small_index")
+    artifacts = SpeakQLArtifacts.build(
+        structure_index=small_index,
+        training_sql=["SELECT FirstName FROM Employees"],
+    )
+    service = SpeakQLService(small_catalog, artifacts=artifacts)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    service.run_batch(
+        [
+            ("SELECT FirstName FROM Employees", 7),  # dictation path
+            "select salary from salaries",  # correction path
+        ],
+        workers=2,
+        tracer=tracer,
+        metrics=registry,
+    )
+
+    emitted_spans = {span.name for span in tracer.spans}
+    unknown_spans = emitted_spans - set(obs_names.SPAN_NAMES)
+    assert not unknown_spans, f"uncatalogued spans emitted: {unknown_spans}"
+
+    emitted_attrs = {
+        key for span in tracer.spans for key in span.attributes
+    }
+    unknown_attrs = emitted_attrs - set(obs_names.SPAN_ATTRIBUTES)
+    assert not unknown_attrs, f"uncatalogued attributes: {unknown_attrs}"
+
+    unknown_metrics = registry.names() - set(obs_names.METRIC_NAMES)
+    assert not unknown_metrics, f"uncatalogued metrics: {unknown_metrics}"
+
+    emitted_labels = {
+        label for _, labels, _ in registry.collect() for label in labels
+    }
+    unknown_labels = emitted_labels - set(obs_names.METRIC_LABELS)
+    assert not unknown_labels, f"uncatalogued labels: {unknown_labels}"

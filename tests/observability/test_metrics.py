@@ -1,0 +1,200 @@
+"""Registry instruments: bucket math, quantiles, merge determinism."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        assert g.value == 7.0
+
+    def test_merge_takes_max(self):
+        a, b = Gauge(), Gauge()
+        a.set(3)
+        b.set(8)
+        a.merge(b)
+        assert a.value == 8.0
+        b.merge(a)
+        assert b.value == 8.0  # order-independent
+
+
+class TestHistogramBuckets:
+    def test_rejects_unsorted_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_observations_land_in_le_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+            h.observe(value)
+        # value == bound lands in that bound's bucket (<= semantics).
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.sum == pytest.approx(108.0)
+        assert h.min == 0.5
+        assert h.max == 100.0
+
+    def test_fraction_le_exact_at_bounds(self):
+        h = Histogram(buckets=(0.01, 0.1, 1.0))
+        samples = [0.005, 0.01, 0.05, 0.5, 2.0]
+        for s in samples:
+            h.observe(s)
+        for bound in (0.01, 0.1, 1.0):
+            expected = sum(1 for s in samples if s <= bound) / len(samples)
+            assert h.fraction_le(bound) == expected
+        assert h.fraction_le(100.0) == 1.0
+
+    def test_fraction_le_empty(self):
+        assert Histogram().fraction_le(1.0) == 0.0
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+        assert h.min <= h.quantile(0.5) <= h.max
+
+    def test_quantile_single_bucket_interpolates(self):
+        h = Histogram(buckets=(10.0,))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 4.0
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_quantile_empty_is_zero(self):
+        assert Histogram().quantile(0.9) == 0.0
+
+    def test_merge_requires_identical_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).merge(Histogram(buckets=(2.0,)))
+
+    def test_merge_sums_counts(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.min == 0.5
+        assert a.max == 5.0
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.counter("x", a="1") is not r.counter("x", a="2")
+        # Label order never splits a series.
+        assert r.counter("y", a="1", b="2") is r.counter("y", b="2", a="1")
+
+    def test_kind_conflicts_raise(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+        with pytest.raises(ValueError):
+            r.histogram("x")
+
+    def test_timer_observes(self):
+        r = MetricsRegistry()
+        with r.time("t"):
+            pass
+        assert r.histogram("t").count == 1
+
+    def test_collect_sorted_and_names(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a", z="1")
+        collected = list(r.collect())
+        assert [name for name, _, _ in collected] == ["a", "b"]
+        assert collected[0][1] == {"z": "1"}
+        assert r.names() == {"a", "b"}
+        assert len(r) == 2
+
+    def test_merge_is_deterministic_over_thread_split(self):
+        """Splitting integer-valued work across per-thread registries and
+        merging gives bit-identical totals regardless of split or order —
+        the contract the batch service's lock-free aggregation relies on."""
+        def record(registry, values):
+            for v in values:
+                registry.counter("work").inc(1)
+                registry.histogram("lat", buckets=DEFAULT_BUCKETS).observe(v)
+
+        values = [0.001 * i for i in range(1, 101)]
+        serial = MetricsRegistry()
+        record(serial, values)
+
+        for split in (1, 3, 7):
+            parts = [MetricsRegistry() for _ in range(split)]
+            threads = [
+                threading.Thread(
+                    target=record, args=(parts[i], values[i::split])
+                )
+                for i in range(split)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for order in (parts, list(reversed(parts))):
+                merged = MetricsRegistry()
+                for part in order:
+                    merged.merge(part)
+                assert merged.counter("work").value == 100
+                h = merged.histogram("lat", buckets=DEFAULT_BUCKETS)
+                s = serial.histogram("lat", buckets=DEFAULT_BUCKETS)
+                assert h.counts == s.counts
+                assert h.count == s.count
+                assert h.min == s.min
+                assert h.max == s.max
+
+    def test_merge_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ValueError):
+            a.merge(b)

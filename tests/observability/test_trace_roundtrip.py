@@ -1,0 +1,119 @@
+"""End-to-end: an instrumented batch exports, parses back, and adds up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.observability import names as obs_names
+from repro.observability.export import (
+    read_trace_jsonl,
+    to_prometheus,
+    write_trace_jsonl,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+TRANSCRIPTIONS = [
+    "select first name from employees",
+    "select star from employees where salary greater than 70000",
+    "select salary from salaries",
+]
+
+
+@pytest.fixture(scope="module")
+def service(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    small_index = request.getfixturevalue("small_index")
+    artifacts = SpeakQLArtifacts.build(structure_index=small_index)
+    return SpeakQLService(small_catalog, artifacts=artifacts)
+
+
+@pytest.fixture()
+def traced_batch(service):
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    outputs = service.correct_batch(
+        TRANSCRIPTIONS, workers=1, tracer=tracer, metrics=registry
+    )
+    return tracer, registry, outputs
+
+
+def test_jsonl_round_trip_is_lossless(traced_batch, tmp_path):
+    tracer, _, _ = traced_batch
+    path = tmp_path / "trace.jsonl"
+    written = write_trace_jsonl(tracer, path)
+    parsed = read_trace_jsonl(path)
+    assert written == len(parsed) == len(tracer.spans)
+    assert parsed == tracer.to_dicts()
+
+
+def test_exported_spans_reconstruct_the_hierarchy(traced_batch, tmp_path):
+    tracer, _, _ = traced_batch
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(tracer, path)
+    spans = read_trace_jsonl(path)
+
+    batches = [s for s in spans if s["name"] == "batch"]
+    queries = [s for s in spans if s["name"] == "query"]
+    assert len(batches) == 1
+    assert len(queries) == len(TRANSCRIPTIONS)
+    (batch,) = batches
+    assert batch["attributes"]["queries"] == len(TRANSCRIPTIONS)
+    assert all(q["parent_id"] == batch["span_id"] for q in queries)
+    assert all(q["attributes"]["mode"] == "transcription" for q in queries)
+
+    by_id = {s["span_id"]: s for s in spans}
+    stage_spans = [
+        s for s in spans if s["name"].startswith(obs_names.STAGE_SPAN_PREFIX)
+    ]
+    assert stage_spans, "no stage spans exported"
+    for stage in stage_spans:
+        assert by_id[stage["parent_id"]]["name"] == "query"
+
+
+def test_query_durations_sum_to_batch_wall_time(traced_batch):
+    """Serial batch: the batch span is the query spans plus only
+    scheduling overhead, so durations must add up within tolerance."""
+    tracer, registry, _ = traced_batch
+    batch = next(s for s in tracer.spans if s.name == "batch")
+    query_total = sum(
+        s.duration for s in tracer.spans if s.name == "query"
+    )
+    assert query_total <= batch.duration
+    assert batch.duration - query_total < 0.05  # 50 ms overhead budget
+
+    # The registry's batch histogram measured the same interval.
+    batch_hist = registry.histogram(obs_names.BATCH_SECONDS)
+    assert batch_hist.count == 1
+    assert abs(batch_hist.sum - batch.duration) < 0.05
+
+    # Each query span in turn encloses its stage spans.
+    for query in (s for s in tracer.spans if s.name == "query"):
+        stage_total = sum(
+            s.duration
+            for s in tracer.spans
+            if s.name.startswith(obs_names.STAGE_SPAN_PREFIX)
+            and s.parent_id == query.span_id
+        )
+        assert stage_total <= query.duration + 1e-6
+
+
+def test_registry_matches_per_output_timings(traced_batch):
+    """The registry's stage histogram aggregates exactly the per-query
+    timings each output reports — one source of truth, two views."""
+    _, registry, outputs = traced_batch
+    for stage in ("mask", "structure_search", "literal_determination"):
+        hist = registry.histogram(obs_names.STAGE_SECONDS, stage=stage)
+        assert hist.count == len(outputs)
+        per_output = sum(o.timings.stage_seconds(stage) for o in outputs)
+        assert hist.sum == pytest.approx(per_output, rel=1e-9)
+
+
+def test_prometheus_export_renders(traced_batch):
+    _, registry, _ = traced_batch
+    text = to_prometheus(registry)
+    assert f"# TYPE {obs_names.BATCH_SECONDS} histogram" in text
+    assert f'{obs_names.BATCH_SECONDS}_bucket{{le="+Inf"}}' in text
+    assert obs_names.QUERIES_TOTAL in text
+    assert obs_names.INDEX_STRUCTURES in text  # published from artifacts

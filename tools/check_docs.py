@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check intra-repository links in the project's markdown docs.
+
+Scans the given markdown files (default: ``README.md`` plus every
+``.md`` under ``docs/``) for ``[text](target)`` links, resolves each
+relative target against the linking file, and reports targets that do
+not exist.  External links (``http[s]://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a ``path#anchor`` target is
+checked for the path only.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).  Run from anywhere::
+
+    python tools/check_docs.py            # default doc set
+    python tools/check_docs.py README.md docs/observability.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — non-greedy text, target up to the closing paren.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_doc_set(root: Path = REPO_ROOT) -> list[Path]:
+    """README plus every markdown file under ``docs/``."""
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    readme = root / "README.md"
+    return ([readme] if readme.is_file() else []) + docs
+
+
+def iter_links(markdown: str):
+    """Yield every link target in ``markdown``, in order."""
+    for match in _LINK.finditer(markdown):
+        yield match.group(1)
+
+
+def broken_links(path: Path) -> list[tuple[str, str]]:
+    """``(target, reason)`` for each unresolvable link in ``path``."""
+    problems = []
+    in_repo = REPO_ROOT in path.resolve().parents
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"missing: {resolved}"))
+        elif in_repo and REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            # A repo doc linking outside the repo would break on clone.
+            problems.append((target, f"escapes the repository: {resolved}"))
+    return problems
+
+
+def check(paths: list[Path]) -> list[str]:
+    """Human-readable problem lines for every broken link in ``paths``."""
+    lines = []
+    for path in paths:
+        if not path.is_file():
+            lines.append(f"{path}: file not found")
+            continue
+        for target, reason in broken_links(path):
+            lines.append(f"{path.relative_to(REPO_ROOT)}: ({target}) {reason}")
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    paths = [Path(arg).resolve() for arg in argv] or default_doc_set()
+    problems = check(paths)
+    for line in problems:
+        print(line, file=sys.stderr)
+    if not problems:
+        print(f"checked {len(paths)} file(s): all links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
