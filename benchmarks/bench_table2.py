@@ -12,6 +12,9 @@ from benchmarks.conftest import record_report
 from repro.metrics import aggregate_metrics, score_query
 from repro.metrics.report import format_table
 from repro.metrics.token_metrics import best_of
+from repro.observability import names as obs_names
+from repro.observability.forensics import ATTRIBUTION_CAUSES, attribute_records
+from repro.observability.metrics import MetricsRegistry
 
 
 def _column(runs, top_k):
@@ -53,6 +56,39 @@ def test_table2_end_to_end_accuracy(state, benchmark):
         "Table 2: end-to-end mean accuracy (SpeakQL-corrected)",
         format_table(headers, rows),
     )
+
+    # -- miss attribution (forensics) ------------------------------------
+    # Classify every top-1 miss into the ATTRIBUTION_CAUSES taxonomy from
+    # the recorded decision provenance, and publish the per-class
+    # counters into a MetricsRegistry.
+    registry = MetricsRegistry()
+    datasets = {
+        "Employees Train": state.train_runs,
+        "Employees Test": state.test_runs,
+        "Yelp Test": state.yelp_runs,
+    }
+    attr_rows = []
+    for label, runs in datasets.items():
+        summary = attribute_records(
+            [run.record for run in runs],
+            [run.query.sql for run in runs],
+            metrics=registry,
+        )
+        # The taxonomy is total: every miss lands in exactly one class.
+        assert sum(summary.counts.values()) == summary.misses
+        attr_rows.append(
+            [label, summary.total, summary.misses]
+            + [summary.counts[cause] for cause in ATTRIBUTION_CAUSES]
+        )
+    record_report(
+        "Table 2 (supplement): top-1 miss attribution by cause",
+        format_table(
+            ["Dataset", "queries", "misses"] + list(ATTRIBUTION_CAUSES),
+            attr_rows,
+        ),
+    )
+    attributed = registry.counter(obs_names.ATTRIBUTION_QUERIES_TOTAL).value
+    assert attributed == sum(len(runs) for runs in datasets.values())
 
     top1_test = columns[("Top 1", "Employees Test")]
     top5_test = columns[("Top 5", "Employees Test")]

@@ -8,9 +8,12 @@ precision/recall improve with the custom model (0.62->0.67 WPR,
 0.65->0.73 WRR in the paper).
 """
 
+from collections import Counter
+
 from benchmarks.conftest import record_report
 from repro.metrics import aggregate_metrics, score_query
 from repro.metrics.report import format_table
+from repro.observability.forensics import Recorder
 
 
 def test_table4_fig13_generic_vs_custom(state, benchmark):
@@ -20,8 +23,14 @@ def test_table4_fig13_generic_vs_custom(state, benchmark):
 
     custom_scores = []
     generic_scores = []
+    recorder = Recorder()
     for query in state.test.queries:
-        custom_text = state.engine.transcribe(query.sql, seed=query.seed).text
+        record = recorder.start(
+            mode="speech", input_text=query.sql, seed=query.seed
+        )
+        custom_text = state.engine.transcribe(
+            query.sql, seed=query.seed, record=record
+        ).text
         generic_text = state.generic_engine.transcribe(
             query.sql, seed=query.seed
         ).text
@@ -29,6 +38,28 @@ def test_table4_fig13_generic_vs_custom(state, benchmark):
         generic_scores.append(score_query(query.sql, generic_text))
     custom = aggregate_metrics(custom_scores)
     generic = aggregate_metrics(generic_scores)
+
+    # Injected-error profile (from the forensic records): which channel
+    # error classes the raw-accuracy numbers above are absorbing.
+    kinds = Counter(
+        event.kind
+        for record in recorder.records
+        for event in record.asr_events
+    )
+    record_report(
+        "Table 4 (supplement): injected channel errors by kind "
+        f"({len(recorder)} queries)",
+        format_table(
+            ["kind", "events", "per query"],
+            [
+                [kind, count, round(count / len(recorder), 3)]
+                for kind, count in kinds.most_common()
+            ],
+        ),
+    )
+    # The channel must actually be injecting noise for the comparison
+    # above to mean anything.
+    assert sum(kinds.values()) > 0
 
     metric_names = ["KPR", "SPR", "LPR", "KRR", "SRR", "LRR", "WPR", "WRR"]
     rows = [

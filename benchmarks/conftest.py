@@ -24,6 +24,7 @@ from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLService
 from repro.core.result import SpeakQLOutput
 from repro.dataset import build_employees_catalog, build_yelp_catalog
 from repro.dataset.spoken import SpokenDataset, SpokenQuery, make_spoken_dataset
+from repro.observability.forensics import QueryRecord, Recorder
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
 
@@ -51,10 +52,17 @@ def pytest_terminal_summary(terminalreporter):
 
 @dataclass
 class PipelineRun:
-    """One query's full trace through the pipeline."""
+    """One query's full trace through the pipeline.
+
+    ``record`` is the forensic decision provenance (channel events,
+    structure candidates, voting tallies) captured alongside the output;
+    recording is observational, so outputs are bit-identical to an
+    unrecorded run.
+    """
 
     query: SpokenQuery
     output: SpeakQLOutput
+    record: QueryRecord | None = None
 
 
 @dataclass
@@ -118,8 +126,13 @@ def state() -> ExperimentState:
 
 
 def _run_all(service: SpeakQLService, dataset: SpokenDataset) -> list[PipelineRun]:
-    outputs = service.run_batch(dataset.queries, workers=WORKERS)
+    recorder = Recorder()
+    outputs = service.run_batch(
+        dataset.queries, workers=WORKERS, recorder=recorder
+    )
     return [
-        PipelineRun(query=query, output=output)
-        for query, output in zip(dataset.queries, outputs)
+        PipelineRun(query=query, output=output, record=record)
+        for query, output, record in zip(
+            dataset.queries, outputs, recorder.records
+        )
     ]

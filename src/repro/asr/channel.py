@@ -37,6 +37,22 @@ from repro.asr.numbers import is_number_word
 #: boundary and never emit it.
 PAUSE = "<pause>"
 
+
+@dataclass(frozen=True)
+class AsrEvent:
+    """One injected acoustic error (forensics provenance).
+
+    ``kind`` is the error-class name (``date_mangle``,
+    ``number_regroup``, ``merge``, ``deletion``, ``substitution``,
+    ``jitter``); ``before``/``after`` are the affected word spans.  The
+    channel appends these to an optional event sink without consuming
+    any extra randomness, so recording never changes the realization.
+    """
+
+    kind: str
+    before: tuple[str, ...]
+    after: tuple[str, ...]
+
 _VOWELS = "aeiou"
 _JITTER_SWAPS = {
     "b": "p", "p": "b", "d": "t", "t": "d", "g": "k", "k": "g",
@@ -83,27 +99,38 @@ class AcousticChannel:
     profile: ChannelProfile = ChannelProfile()
 
     def corrupt(
-        self, words: list[str], rng: random.Random, tracer=None
+        self,
+        words: list[str],
+        rng: random.Random,
+        tracer=None,
+        events: list[AsrEvent] | None = None,
     ) -> list[str]:
         """Return the heard word sequence for ``words``.
 
         With an enabled ``tracer`` the corruption runs inside an
         ``asr.channel.corrupt`` span carrying ``words_in``/``words_out``
-        attributes; noise realization is unaffected either way.
+        attributes.  ``events`` optionally collects one
+        :class:`AsrEvent` per injected error.  Neither observer draws
+        from ``rng``, so the noise realization is unaffected either way.
         """
         if tracer is not None and tracer.enabled:
             with tracer.span(
                 "asr.channel.corrupt", words_in=len(words)
             ) as span:
-                heard = self._corrupt(words, rng)
+                heard = self._corrupt(words, rng, events)
                 span.set("words_out", len(heard))
             return heard
-        return self._corrupt(words, rng)
+        return self._corrupt(words, rng, events)
 
-    def _corrupt(self, words: list[str], rng: random.Random) -> list[str]:
-        heard = self._corrupt_dates(list(words), rng)
-        heard = self._corrupt_numbers(heard, rng)
-        heard = self._merge_pieces(heard, rng)
+    def _corrupt(
+        self,
+        words: list[str],
+        rng: random.Random,
+        events: list[AsrEvent] | None = None,
+    ) -> list[str]:
+        heard = self._corrupt_dates(list(words), rng, events)
+        heard = self._corrupt_numbers(heard, rng, events)
+        heard = self._merge_pieces(heard, rng, events)
         out: list[str] = []
         for word in heard:
             if word == PAUSE:
@@ -111,14 +138,24 @@ class AcousticChannel:
                 continue
             roll = rng.random()
             if roll < self.profile.deletion_prob:
+                if events is not None:
+                    events.append(AsrEvent("deletion", (word,), ()))
                 continue
             roll -= self.profile.deletion_prob
             if roll < self.profile.substitution_prob:
-                out.append(self._substitute(word, rng))
+                substituted = self._substitute(word, rng)
+                if events is not None and substituted != word:
+                    events.append(
+                        AsrEvent("substitution", (word,), (substituted,))
+                    )
+                out.append(substituted)
                 continue
             roll -= self.profile.substitution_prob
             if roll < self.profile.jitter_prob and not is_number_word(word):
-                out.append(self._jitter(word, rng))
+                jittered = self._jitter(word, rng)
+                if events is not None and jittered != word:
+                    events.append(AsrEvent("jitter", (word,), (jittered,)))
+                out.append(jittered)
                 continue
             out.append(word)
         return out
@@ -153,7 +190,12 @@ class AcousticChannel:
                 chars.append("s")
         return "".join(chars)
 
-    def _merge_pieces(self, words: list[str], rng: random.Random) -> list[str]:
+    def _merge_pieces(
+        self,
+        words: list[str],
+        rng: random.Random,
+        events: list[AsrEvent] | None = None,
+    ) -> list[str]:
         """Fuse adjacent split-identifier pieces into a heard word.
 
         Only pairs whose fusion is itself confusable (present in the
@@ -175,14 +217,26 @@ class AcousticChannel:
                 and not is_number_word(words[i + 1])
                 and rng.random() < self.profile.merge_prob / 5
             ):
-                out.append(words[i] + words[i + 1])
+                fused = words[i] + words[i + 1]
+                if events is not None:
+                    events.append(
+                        AsrEvent(
+                            "merge", (words[i], words[i + 1]), (fused,)
+                        )
+                    )
+                out.append(fused)
                 i += 2
                 continue
             out.append(words[i])
             i += 1
         return out
 
-    def _corrupt_numbers(self, words: list[str], rng: random.Random) -> list[str]:
+    def _corrupt_numbers(
+        self,
+        words: list[str],
+        rng: random.Random,
+        events: list[AsrEvent] | None = None,
+    ) -> list[str]:
         """Insert pause markers inside long number-word runs."""
         out: list[str] = []
         run: list[str] = []
@@ -191,13 +245,18 @@ class AcousticChannel:
                 run.append(word)
                 continue
             if run:
-                out.extend(self._regroup_run(run, rng))
+                out.extend(self._regroup_run(run, rng, events))
                 run = []
             if word:
                 out.append(word)
         return out
 
-    def _regroup_run(self, run: list[str], rng: random.Random) -> list[str]:
+    def _regroup_run(
+        self,
+        run: list[str],
+        rng: random.Random,
+        events: list[AsrEvent] | None = None,
+    ) -> list[str]:
         if len(run) < 3 or rng.random() >= self.profile.number_regroup_prob:
             return run
         # Prefer to break right after a scale word ("thousand", "hundred"),
@@ -210,9 +269,19 @@ class AcousticChannel:
         cut = rng.choice(scale_positions) if scale_positions else rng.randrange(
             1, len(run)
         )
-        return run[:cut] + [PAUSE] + run[cut:]
+        regrouped = run[:cut] + [PAUSE] + run[cut:]
+        if events is not None:
+            events.append(
+                AsrEvent("number_regroup", tuple(run), tuple(regrouped))
+            )
+        return regrouped
 
-    def _corrupt_dates(self, words: list[str], rng: random.Random) -> list[str]:
+    def _corrupt_dates(
+        self,
+        words: list[str],
+        rng: random.Random,
+        events: list[AsrEvent] | None = None,
+    ) -> list[str]:
         """Mangle spoken dates: drop/cardinalize a part (Table 1)."""
         out: list[str] = []
         i = 0
@@ -228,7 +297,14 @@ class AcousticChannel:
                 j += 1
             date_run = words[i:j]
             if rng.random() < self.profile.date_mangle_prob:
-                date_run = self._mangle_date_run(date_run, rng)
+                mangled = self._mangle_date_run(date_run, rng)
+                if events is not None and mangled != date_run:
+                    events.append(
+                        AsrEvent(
+                            "date_mangle", tuple(date_run), tuple(mangled)
+                        )
+                    )
+                date_run = mangled
             out.extend(date_run)
             i = j
         return out

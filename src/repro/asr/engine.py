@@ -107,6 +107,7 @@ class SimulatedAsrEngine:
         nbest: int = 5,
         channel: AcousticChannel | None = None,
         tracer=None,
+        record=None,
     ) -> AsrResult:
         """Dictate ``sql_text`` and return its transcription.
 
@@ -114,11 +115,18 @@ class SimulatedAsrEngine:
         overrides the engine's acoustic channel (per-speaker voices).
         The decode itself is deterministic given the heard words.
         ``tracer`` (a :class:`repro.observability.trace.Tracer`) scopes
-        the channel corruption in an ``asr.channel.corrupt`` span.
+        the channel corruption in an ``asr.channel.corrupt`` span;
+        ``record`` (a forensics ``QueryRecord``) captures the spoken and
+        heard words plus every injected channel error event.
         """
         spoken = self.verbalizer.verbalize(sql_text)
         return self.transcribe_words(
-            spoken, seed=seed, nbest=nbest, channel=channel, tracer=tracer
+            spoken,
+            seed=seed,
+            nbest=nbest,
+            channel=channel,
+            tracer=tracer,
+            record=record,
         )
 
     def transcribe_words(
@@ -128,10 +136,17 @@ class SimulatedAsrEngine:
         nbest: int = 5,
         channel: AcousticChannel | None = None,
         tracer=None,
+        record=None,
     ) -> AsrResult:
         """Transcribe an explicit spoken word sequence."""
         rng = random.Random(seed)
-        heard = (channel or self.channel).corrupt(spoken, rng, tracer=tracer)
+        events = record.asr_events if record is not None else None
+        heard = (channel or self.channel).corrupt(
+            spoken, rng, tracer=tracer, events=events
+        )
+        if record is not None:
+            record.spoken = tuple(spoken)
+            record.heard = tuple(heard)
         units = self._segment(heard)
         hypotheses = self._beam_decode(units, nbest=nbest)
         texts = tuple(" ".join(tokens) for tokens in hypotheses)

@@ -8,11 +8,16 @@ Subcommands:
   raw transcription texts (``--workers N`` fans a batch over threads).
 - ``schema``   — print a built-in schema (tables, columns, types).
 - ``speak``    — show the spoken-word rendering of a SQL query.
+- ``replay``   — re-execute queries from a replay bundle, asserting
+  bit-identical output (non-zero exit on any drift).
+- ``explain``  — render one recorded query as a human-readable
+  forensic narrative (channel events, candidates, voting).
 
 ``dictate`` and ``correct`` accept ``--search-kernel`` (compiled / flat
-/ reference), ``--trace-out FILE`` (JSON-lines spans), and
-``--metrics-out FILE`` (Prometheus text for ``.prom``/``.txt``, a human
-summary table otherwise) — see ``docs/observability.md``.
+/ reference), ``--trace-out FILE`` (JSON-lines spans), ``--metrics-out
+FILE`` (Prometheus text for ``.prom``/``.txt``, a human summary table
+otherwise), and ``--record-out FILE`` (a forensic replay bundle for
+``replay``/``explain``) — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -26,7 +31,12 @@ from repro.dataset import build_employees_catalog, build_yelp_catalog
 from repro.dataset.spoken import make_spoken_dataset
 from repro.observability import (
     MetricsRegistry,
+    Recorder,
+    ReplayBundle,
+    ReplayError,
     Tracer,
+    render_record,
+    replay_bundle,
     write_metrics,
     write_trace_jsonl,
 )
@@ -79,11 +89,43 @@ def _export_observability(
         print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
+def _write_bundle(
+    args: argparse.Namespace,
+    pipeline: SpeakQL,
+    recorder: Recorder | None,
+    train: int,
+) -> None:
+    """Write the recorded queries as a replay bundle at ``--record-out``."""
+    if recorder is None or not args.record_out:
+        return
+    service = SpeakQLService.from_pipeline(pipeline)
+    service.write_replay_bundle(
+        args.record_out,
+        recorder,
+        environment={
+            "schema": args.schema,
+            "train": train,
+            "search_kernel": args.search_kernel,
+        },
+    )
+    print(
+        f"wrote {len(recorder)} record(s) to {args.record_out}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_dictate(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
     tracer, metrics = _observability(args)
+    recorder = Recorder() if args.record_out else None
+    record = None
+    if recorder is not None:
+        record = recorder.start(
+            mode="speech", input_text=args.sql, seed=args.seed
+        )
     out = pipeline.query_from_speech(
-        args.sql, seed=args.seed, tracer=tracer, metrics=metrics
+        args.sql, seed=args.seed, tracer=tracer, metrics=metrics,
+        record=record,
     )
     print(f"spoken : {' '.join(verbalize_sql(args.sql))}")
     print(f"heard  : {out.asr_text}")
@@ -92,6 +134,7 @@ def _cmd_dictate(args: argparse.Namespace) -> int:
     if args.execute:
         _execute(out.sql, pipeline)
     _export_observability(args, tracer, metrics)
+    _write_bundle(args, pipeline, recorder, train=args.train)
     return 0
 
 
@@ -99,17 +142,71 @@ def _cmd_correct(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args.schema, train=0, kernel=args.search_kernel)
     service = SpeakQLService.from_pipeline(pipeline)
     tracer, metrics = _observability(args)
+    recorder = Recorder() if args.record_out else None
     outputs = service.correct_batch(
         args.transcriptions,
         workers=args.workers,
         tracer=tracer,
         metrics=metrics,
+        recorder=recorder,
     )
     for out in outputs:
         print(out.sql)
         if args.execute:
             _execute(out.sql, pipeline)
     _export_observability(args, tracer, metrics)
+    _write_bundle(args, pipeline, recorder, train=0)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        bundle = ReplayBundle.load(args.bundle)
+    except (OSError, ValueError) as error:
+        print(f"cannot load bundle: {error}", file=sys.stderr)
+        return 1
+    env = bundle.environment
+    pipeline = _build_pipeline(
+        env.get("schema", "employees"),
+        int(env.get("train", 0)),
+        env.get("search_kernel", KERNEL_COMPILED),
+    )
+    try:
+        results = replay_bundle(pipeline, bundle, index=args.index)
+    except ReplayError as error:
+        print(f"replay failed: {error}", file=sys.stderr)
+        return 1
+    drifted = 0
+    for position, (record, output, mismatches) in enumerate(results):
+        label = args.index if args.index is not None else position
+        if mismatches:
+            drifted += 1
+            print(f"record {label}: DRIFT")
+            for mismatch in mismatches:
+                print(f"  {mismatch}")
+        else:
+            print(f"record {label}: OK  {output.sql}")
+    print(f"{len(results) - drifted}/{len(results)} record(s) bit-identical")
+    return 1 if drifted else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        bundle = ReplayBundle.load(args.bundle)
+    except (OSError, ValueError) as error:
+        print(f"cannot load bundle: {error}", file=sys.stderr)
+        return 1
+    if not bundle.records:
+        print("bundle has no records", file=sys.stderr)
+        return 1
+    if not 0 <= args.index < len(bundle.records):
+        print(
+            f"record index {args.index} out of range (bundle has "
+            f"{len(bundle.records)} record(s))",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_record(bundle.records[args.index], gold_sql=args.gold))
     return 0
 
 
@@ -131,7 +228,11 @@ def _cmd_repl(args: argparse.Namespace) -> int:
     from repro.interface.repl import ReplSession
 
     pipeline = _build_pipeline(args.schema, args.train)
-    ReplSession(pipeline=pipeline, seed=args.seed).run()
+    metrics = MetricsRegistry() if args.metrics_out else None
+    ReplSession(pipeline=pipeline, seed=args.seed, metrics=metrics).run()
+    if args.metrics_out and metrics is not None:
+        write_metrics(metrics, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -156,6 +257,9 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", metavar="FILE", default=None,
                         help="write collected metrics (.prom/.txt = "
                              "Prometheus text, else a summary table)")
+    parser.add_argument("--record-out", metavar="FILE", default=None,
+                        help="write forensic query records as a replay "
+                             "bundle (see the replay/explain subcommands)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,10 +298,32 @@ def build_parser() -> argparse.ArgumentParser:
     speak.add_argument("sql")
     speak.set_defaults(func=_cmd_speak)
 
+    replay = sub.add_parser(
+        "replay", help="re-execute a replay bundle, asserting bit-identity"
+    )
+    replay.add_argument("bundle", help="replay bundle written by --record-out")
+    replay.add_argument("--index", type=int, default=None,
+                        help="replay only the record at this index")
+    replay.set_defaults(func=_cmd_replay)
+
+    explain = sub.add_parser(
+        "explain", help="render one recorded query as a forensic narrative"
+    )
+    explain.add_argument("bundle", help="replay bundle written by --record-out")
+    explain.add_argument("--index", type=int, default=0,
+                         help="record to explain (default: 0)")
+    explain.add_argument("--gold", default=None, metavar="SQL",
+                         help="ground-truth SQL: adds a miss-attribution "
+                              "verdict to the narrative")
+    explain.set_defaults(func=_cmd_explain)
+
     repl = sub.add_parser("repl", help="interactive SpeakQL session")
     repl.add_argument("--schema", choices=_CATALOGS, default="employees")
     repl.add_argument("--train", type=int, default=100)
     repl.add_argument("--seed", type=int, default=1)
+    repl.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="write session metrics on exit (also prints a "
+                           "summary table)")
     repl.set_defaults(func=_cmd_repl)
     return parser
 

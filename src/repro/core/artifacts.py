@@ -139,6 +139,21 @@ class SpeakQLArtifacts:
 
     # -- observability -------------------------------------------------------
 
+    def fingerprint(self) -> dict:
+        """Identity of the compiled assets, for replay-bundle checking.
+
+        Two bundles with equal fingerprints index the same structures
+        with the same vocabulary and ASR engine, so a recorded query
+        replays bit-identically against either.  The compiled index's
+        size gauges double as cheap content proxies (structure, trie,
+        node, and token counts all shift on any grammar change).
+        """
+        out = dict(self.structure_index.compiled().metrics())
+        out["max_structure_tokens"] = self.max_structure_tokens
+        out["engine"] = self.engine.name
+        out["engine_vocabulary"] = len(self.engine.lm.vocabulary())
+        return out
+
     def publish_metrics(self, registry) -> None:
         """Export the compiled index's size gauges into ``registry``.
 

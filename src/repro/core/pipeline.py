@@ -43,6 +43,7 @@ from repro.core.stages import (
 from repro.grammar.generator import DEFAULT_MAX_TOKENS
 from repro.literal.determiner import LiteralDeterminer
 from repro.observability import names as obs_names
+from repro.observability.forensics import QueryRecord
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NULL_TRACER, Tracer
 from repro.phonetics.phonetic_index import PhoneticIndex
@@ -176,13 +177,16 @@ class SpeakQL:
         voice: "SpeakerProfile | None" = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        record: QueryRecord | None = None,
     ) -> SpeakQLOutput:
         """Dictate ``sql_text`` through the simulated ASR and correct it.
 
         ``voice`` optionally selects a synthesized speaker profile (one
         of the eight Polly voices), which scales the acoustic channel.
         ``tracer``/``metrics`` override the pipeline's observability
-        handles for this query.
+        handles for this query; ``record`` (from
+        :meth:`~repro.observability.forensics.Recorder.start`) captures
+        full decision provenance without altering the output.
         """
         tracer = tracer if tracer is not None else self.tracer
         metrics = metrics if metrics is not None else self.metrics
@@ -190,7 +194,7 @@ class SpeakQL:
             metrics.counter(obs_names.QUERIES_TOTAL, mode="speech").inc()
         ctx = QueryContext(
             seed=seed, nbest=nbest or self.config.top_k, voice=voice,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, query_record=record,
         )
         asr = run_stages([self._transcribe_stage], sql_text, ctx)
         return self.process_asr_result(asr, ctx=ctx)
@@ -209,7 +213,13 @@ class SpeakQL:
         queries: list[str] = []
         top: CorrectedQuery | None = None
         for rank, text in enumerate(asr.alternatives):
-            step_ctx = QueryContext(tracer=ctx.tracer, metrics=ctx.metrics)
+            # The forensic record follows the rank-0 alternative only —
+            # that is the correction the output's winner comes from.
+            step_ctx = QueryContext(
+                tracer=ctx.tracer,
+                metrics=ctx.metrics,
+                query_record=ctx.query_record if rank == 0 else None,
+            )
             corrected = self._correct_one(text, step_ctx)
             if rank == 0:
                 top = corrected
@@ -226,6 +236,12 @@ class SpeakQL:
                     queries.append(candidate)
                 if len(queries) >= self.config.top_k:
                     break
+        if ctx.query_record is not None:
+            rec = ctx.query_record
+            rec.asr_text = asr.text
+            rec.asr_alternatives = tuple(asr.alternatives)
+            rec.queries = tuple(queries)
+            rec.sql = queries[0] if queries else ""
         return SpeakQLOutput(
             asr_text=asr.text,
             asr_alternatives=asr.alternatives,
@@ -241,11 +257,13 @@ class SpeakQL:
         transcription: str,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        record: QueryRecord | None = None,
     ) -> SpeakQLOutput:
         """Correct a raw transcription text (no ASR step).
 
         ``tracer``/``metrics`` override the pipeline's observability
-        handles for this query.
+        handles for this query; ``record`` captures decision provenance
+        (see :mod:`repro.observability.forensics`).
         """
         tracer = tracer if tracer is not None else self.tracer
         metrics = metrics if metrics is not None else self.metrics
@@ -253,8 +271,13 @@ class SpeakQL:
             metrics.counter(
                 obs_names.QUERIES_TOTAL, mode="transcription"
             ).inc()
-        ctx = QueryContext(tracer=tracer, metrics=metrics)
+        ctx = QueryContext(tracer=tracer, metrics=metrics, query_record=record)
         corrected = self._correct_one(transcription, ctx)
+        if record is not None:
+            record.asr_text = transcription
+            record.asr_alternatives = (transcription,)
+            record.queries = (corrected.sql,) if corrected.sql else ()
+            record.sql = corrected.sql
         return SpeakQLOutput(
             asr_text=transcription,
             asr_alternatives=(transcription,),

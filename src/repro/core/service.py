@@ -42,13 +42,15 @@ import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.artifacts import SpeakQLArtifacts
 from repro.core.pipeline import SpeakQL, SpeakQLConfig
 from repro.core.result import SpeakQLOutput
 from repro.observability import names as obs_names
+from repro.observability.forensics import QueryRecord, Recorder, ReplayBundle
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import Tracer
 from repro.phonetics.phonetic_index import PhoneticIndex
@@ -126,6 +128,7 @@ class SpeakQLService:
         workers: int = 1,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        recorder: Recorder | None = None,
     ) -> list[SpeakQLOutput]:
         """Run a batch of queries, fanning over ``workers`` threads.
 
@@ -138,17 +141,23 @@ class SpeakQLService:
 
         ``tracer``/``metrics`` override the pipeline's observability
         handles for this batch (see the module docstring for the
-        span/metric layout and the lock-free aggregation scheme).
+        span/metric layout and the lock-free aggregation scheme).  A
+        ``recorder`` captures one forensic
+        :class:`~repro.observability.forensics.QueryRecord` per request,
+        in input order, without changing any output (see
+        :meth:`write_replay_bundle`).
         """
         tracer = tracer if tracer is not None else self.pipeline.tracer
         metrics = metrics if metrics is not None else self.pipeline.metrics
         requests = [self._normalize(query) for query in spoken_queries]
-        if not tracer.enabled and metrics is None:
+        if not tracer.enabled and metrics is None and recorder is None:
             if workers <= 1 or len(requests) <= 1:
                 return [self._run_one(request) for request in requests]
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(self._run_one, requests))
-        return self._run_batch_observed(requests, workers, tracer, metrics)
+        return self._run_batch_observed(
+            requests, workers, tracer, metrics, recorder
+        )
 
     def correct_batch(
         self,
@@ -157,6 +166,7 @@ class SpeakQLService:
         workers: int = 1,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        recorder: Recorder | None = None,
     ) -> list[SpeakQLOutput]:
         """Correct raw transcriptions (no ASR step) as a batch."""
         return self.run_batch(
@@ -164,6 +174,7 @@ class SpeakQLService:
             workers=workers,
             tracer=tracer,
             metrics=metrics,
+            recorder=recorder,
         )
 
     # -- internals -----------------------------------------------------------
@@ -187,10 +198,11 @@ class SpeakQLService:
         request: BatchRequest,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        record: QueryRecord | None = None,
     ) -> SpeakQLOutput:
         if request.seed is None:
             return self.pipeline.correct_transcription(
-                request.text, tracer=tracer, metrics=metrics
+                request.text, tracer=tracer, metrics=metrics, record=record
             )
         return self.pipeline.query_from_speech(
             request.text,
@@ -199,6 +211,7 @@ class SpeakQLService:
             voice=request.voice,
             tracer=tracer,
             metrics=metrics,
+            record=record,
         )
 
     def _run_batch_observed(
@@ -207,6 +220,7 @@ class SpeakQLService:
         workers: int,
         tracer: Tracer,
         metrics: MetricsRegistry | None,
+        recorder: Recorder | None = None,
     ) -> list[SpeakQLOutput]:
         """The traced/metered batch path.
 
@@ -231,44 +245,101 @@ class SpeakQLService:
             return registry
 
         effective_workers = max(1, min(workers, max(len(requests), 1)))
+        # Forensic records are started up front, in input order, so
+        # ``recorder.records`` aligns with the outputs regardless of how
+        # the pool schedules the work.
+        records: list[QueryRecord | None]
+        if recorder is not None:
+            records = [
+                recorder.start(
+                    mode="transcription" if req.seed is None else "speech",
+                    input_text=req.text,
+                    seed=req.seed,
+                    nbest=req.nbest,
+                    voice=req.voice.name if req.voice is not None else None,
+                )
+                for req in requests
+            ]
+        else:
+            records = [None] * len(requests)
         batch_start = time.perf_counter()
-        with tracer.span(
-            "batch", queries=len(requests), workers=effective_workers
-        ) as batch_span:
-            # Every request is enqueued up front (both the serial loop
-            # and ``pool.map`` submit immediately), so queue wait is
-            # execution start minus this instant.
-            enqueued = time.perf_counter()
+        try:
+            with tracer.span(
+                "batch", queries=len(requests), workers=effective_workers
+            ) as batch_span:
+                # Every request is enqueued up front (both the serial loop
+                # and ``pool.map`` submit immediately), so queue wait is
+                # execution start minus this instant.
+                enqueued = time.perf_counter()
 
-            def run(request: BatchRequest) -> SpeakQLOutput:
-                registry = worker_registry()
-                started = time.perf_counter()
-                mode = "transcription" if request.seed is None else "speech"
-                with tracer.span("query", parent=batch_span, mode=mode):
-                    output = self._run_one(request, tracer, registry)
-                if registry is not None:
-                    finished = time.perf_counter()
-                    registry.histogram(
-                        obs_names.BATCH_QUEUE_WAIT_SECONDS
-                    ).observe(started - enqueued)
-                    registry.histogram(
-                        obs_names.BATCH_EXECUTE_SECONDS
-                    ).observe(finished - started)
-                    registry.counter(obs_names.BATCH_QUERIES_TOTAL).inc()
-                return output
+                def run(item: tuple[int, BatchRequest]) -> SpeakQLOutput:
+                    index, request = item
+                    registry = worker_registry()
+                    started = time.perf_counter()
+                    mode = "transcription" if request.seed is None else "speech"
+                    with tracer.span("query", parent=batch_span, mode=mode):
+                        output = self._run_one(
+                            request, tracer, registry, records[index]
+                        )
+                    if registry is not None:
+                        finished = time.perf_counter()
+                        registry.histogram(
+                            obs_names.BATCH_QUEUE_WAIT_SECONDS
+                        ).observe(started - enqueued)
+                        registry.histogram(
+                            obs_names.BATCH_EXECUTE_SECONDS
+                        ).observe(finished - started)
+                        registry.counter(obs_names.BATCH_QUERIES_TOTAL).inc()
+                    return output
 
-            if effective_workers <= 1 or len(requests) <= 1:
-                outputs = [run(request) for request in requests]
-            else:
-                with ThreadPoolExecutor(max_workers=effective_workers) as pool:
-                    outputs = list(pool.map(run, requests))
-        if metrics is not None:
-            for registry in registries:
-                metrics.merge(registry)
-            metrics.histogram(obs_names.BATCH_SECONDS).observe(
-                time.perf_counter() - batch_start
-            )
-            metrics.gauge(obs_names.BATCH_WORKERS).set(effective_workers)
-            if self.artifacts is not None:
-                self.artifacts.publish_metrics(metrics)
+                items = list(enumerate(requests))
+                if effective_workers <= 1 or len(requests) <= 1:
+                    outputs = [run(item) for item in items]
+                else:
+                    with ThreadPoolExecutor(
+                        max_workers=effective_workers
+                    ) as pool:
+                        outputs = list(pool.map(run, items))
+        finally:
+            # Merge in a ``finally`` so a raising query still folds the
+            # completed workers' registries into the caller's view — a
+            # mid-batch failure must not silently drop the metrics of
+            # every request that finished before it.
+            if metrics is not None:
+                for registry in registries:
+                    metrics.merge(registry)
+                metrics.histogram(obs_names.BATCH_SECONDS).observe(
+                    time.perf_counter() - batch_start
+                )
+                metrics.gauge(obs_names.BATCH_WORKERS).set(effective_workers)
+                if self.artifacts is not None:
+                    self.artifacts.publish_metrics(metrics)
         return outputs
+
+    # -- forensics ------------------------------------------------------------
+
+    def write_replay_bundle(
+        self,
+        path: str | Path,
+        recorder: Recorder,
+        *,
+        environment: dict | None = None,
+    ) -> ReplayBundle:
+        """Write ``recorder``'s records as a replay bundle at ``path``.
+
+        The bundle carries the pipeline configuration, the artifact
+        fingerprint (checked on replay — see
+        :func:`~repro.observability.forensics.replay_bundle`), and an
+        optional ``environment`` dict describing how to rebuild the
+        pipeline (e.g. CLI schema/train/kernel arguments).
+        """
+        bundle = ReplayBundle(
+            config=asdict(self.pipeline.config),
+            fingerprint=self.artifacts.fingerprint()
+            if self.artifacts is not None
+            else {},
+            records=list(recorder.records),
+            environment=dict(environment or {}),
+        )
+        bundle.write(path)
+        return bundle

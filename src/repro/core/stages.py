@@ -28,7 +28,7 @@ the same stage objects can serve many queries concurrently (see
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from repro.asr.engine import AsrResult, SimulatedAsrEngine
@@ -41,6 +41,7 @@ from repro.core.result import (
 )
 from repro.literal.determiner import LiteralDeterminer, LiteralResult
 from repro.observability import names as obs_names
+from repro.observability.forensics import QueryRecord, StructureCandidate
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NULL_TRACER, Tracer
 from repro.structure.masking import (
@@ -71,6 +72,11 @@ class QueryContext:
     #: Observability handles; the defaults are strict no-ops.
     tracer: Tracer = NULL_TRACER
     metrics: MetricsRegistry | None = None
+    #: Forensic provenance record the stages fill in when recording is
+    #: on (see :mod:`repro.observability.forensics`).  Stages only ever
+    #: *add* observations; the pipeline's outputs are bit-identical with
+    #: or without a record attached.
+    query_record: QueryRecord | None = None
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` against ``stage``."""
@@ -187,6 +193,7 @@ class TranscribeStage:
             nbest=ctx.nbest or self.default_nbest,
             channel=channel,
             tracer=ctx.tracer,
+            record=ctx.query_record,
         )
 
 
@@ -202,7 +209,11 @@ class MaskStage:
         tokens = masked.masked
         if self.literal_focused:
             tokens = collapse_literal_runs(tokens)
-        return MaskedQuery(masked=masked, search_tokens=tuple(tokens))
+        result = MaskedQuery(masked=masked, search_tokens=tuple(tokens))
+        if ctx.query_record is not None:
+            ctx.query_record.source_tokens = tuple(masked.source)
+            ctx.query_record.masked = result.search_tokens
+        return result
 
 
 @dataclass(frozen=True)
@@ -221,6 +232,21 @@ class StructureSearchStage:
     def run(self, value: MaskedQuery, ctx: QueryContext) -> StructureMatches:
         results, stats = self.searcher.search(value.search_tokens, k=self.k)
         ctx.search_stats = stats
+        record = ctx.query_record
+        if record is not None:
+            # The record wants the ranked top-k context, not just the
+            # winner the stage needs.  Run a *separate* search at the
+            # record's k — the stage's own k=1 call above stays exactly
+            # as in the unrecorded path (same cache key, same result),
+            # so recording never perturbs the output.
+            topk, _ = self.searcher.search(
+                value.search_tokens, k=max(record.top_k, self.k)
+            )
+            record.candidates = tuple(
+                StructureCandidate(structure=tuple(r.structure), distance=r.distance)
+                for r in topk
+            )
+            record.search_stats = asdict(stats)
         tracer = ctx.tracer
         if tracer.enabled:
             tracer.annotate("kernel_requested", self.searcher.kernel)
@@ -244,7 +270,10 @@ class LiteralStage:
         if best is None:
             return CorrectedQuery(sql="", structure=None, literals=None)
         literals = self.determiner.determine(
-            list(value.masked.source), best.structure, tracer=ctx.tracer
+            list(value.masked.source),
+            best.structure,
+            tracer=ctx.tracer,
+            record=ctx.query_record,
         )
         return CorrectedQuery(sql=literals.sql(), structure=best, literals=literals)
 

@@ -13,6 +13,10 @@ Commands inside the session:
 - ``:top``             — show the current n-best candidates
 - ``:schema``          — print the schema
 - ``:quit``            — leave
+
+With a :class:`~repro.observability.metrics.MetricsRegistry` attached
+(the CLI's ``repl --metrics-out``), every query records into it and the
+session prints a metrics summary table on exit.
 """
 
 from __future__ import annotations
@@ -24,6 +28,8 @@ from typing import Callable, TextIO
 import sys
 
 from repro.core.pipeline import SpeakQL
+from repro.observability.export import summary_table
+from repro.observability.metrics import MetricsRegistry
 from repro.sqlengine.executor import execute
 from repro.sqlengine.parser import parse_select
 
@@ -36,6 +42,9 @@ class ReplSession:
     stdin: TextIO = field(default_factory=lambda: sys.stdin)
     stdout: TextIO = field(default_factory=lambda: sys.stdout)
     seed: int = 1
+    #: Optional session-wide registry; every dictation/correction
+    #: records into it and a summary table prints on exit.
+    metrics: MetricsRegistry | None = None
     _current: str = ""
     _candidates: list[str] = field(default_factory=list)
     _rng: random.Random = field(init=False)
@@ -64,6 +73,8 @@ class ReplSession:
         while True:
             line = self._prompt()
             if line is None or line == ":quit":
+                if self.metrics is not None:
+                    self._say(summary_table(self.metrics))
                 self._say("bye")
                 return
             if not line:
@@ -89,13 +100,15 @@ class ReplSession:
 
     def _dictate(self, sql: str) -> None:
         out = self.pipeline.query_from_speech(
-            sql, seed=self._rng.randrange(1 << 30)
+            sql, seed=self._rng.randrange(1 << 30), metrics=self.metrics
         )
         self._say(f"heard  : {out.asr_text}")
         self._set_result(out.queries)
 
     def _correct(self, transcription: str) -> None:
-        out = self.pipeline.correct_transcription(transcription)
+        out = self.pipeline.correct_transcription(
+            transcription, metrics=self.metrics
+        )
         self._set_result(out.queries)
 
     def _set_result(self, queries: list[str]) -> None:

@@ -26,6 +26,7 @@ from repro.literal.segmentation import (
 from repro.literal.alignment import placeholder_windows
 from repro.literal.values import is_number_token, recover_date, recover_value
 from repro.literal.voting import literal_assignment, score_assignment
+from repro.observability.forensics import PlaceholderTrace
 from repro.observability.trace import NULL_TRACER, Tracer
 from repro.structure.masking import mask_literals
 from repro.phonetics.phonetic_index import PhoneticIndex
@@ -107,6 +108,7 @@ class LiteralDeterminer:
         transcription_tokens: list[str],
         structure: tuple[str, ...],
         tracer: Tracer | None = None,
+        record=None,
     ) -> LiteralResult:
         """Fill every placeholder of ``structure``.
 
@@ -114,11 +116,15 @@ class LiteralDeterminer:
         (MaskedTranscription.source).  With an enabled ``tracer`` the
         whole determination runs in a ``literal.determine`` span, each
         pass of the walk in a ``literal.walk`` span (``phase`` 1 or 2).
+        ``record`` (a forensics ``QueryRecord``) captures the voting
+        tally of every placeholder of the *final* pass — the one whose
+        literals reach the output SQL.
         """
         if tracer is None:
             tracer = NULL_TRACER
         categories = assign_categories(structure)
         value_types = self._value_types(structure, categories)
+        trace = [] if record is not None else None
 
         with tracer.span(
             "literal.determine", placeholders=len(categories)
@@ -127,7 +133,7 @@ class LiteralDeterminer:
             with tracer.span("literal.walk", phase=1):
                 first = self._walk(
                     transcription_tokens, structure, categories, value_types,
-                    tables=None,
+                    tables=None, trace=trace,
                 )
             tables = [
                 lit.text
@@ -140,15 +146,21 @@ class LiteralDeterminer:
                 or not any(c is LiteralCategory.ATTRIBUTE for c in categories)
             ):
                 span.set("narrowed", False)
+                if record is not None:
+                    record.placeholders = trace
                 return LiteralResult(structure=structure, literals=first)
             # Pass 2 (optional): attribute candidates narrowed to the
             # chosen FROM tables.
+            if trace is not None:
+                trace = []
             with tracer.span("literal.walk", phase=2):
                 second = self._walk(
                     transcription_tokens, structure, categories, value_types,
-                    tables=tables,
+                    tables=tables, trace=trace,
                 )
             span.set("narrowed", True)
+            if record is not None:
+                record.placeholders = trace
             return LiteralResult(structure=structure, literals=second)
 
     # -- walk ------------------------------------------------------------------
@@ -160,6 +172,7 @@ class LiteralDeterminer:
         categories: list[LiteralCategory],
         value_types: list[str | None],
         tables: list[str] | None,
+        trace: list | None = None,
     ) -> list[FilledLiteral]:
         aligned_windows: list[tuple[int, int]] | None = None
         if self.window_strategy == "aligned":
@@ -188,6 +201,7 @@ class LiteralDeterminer:
                 value_type,
                 tables,
                 numeric_only=self._needs_numeric_argument(structure, positions[idx]),
+                trace=trace,
             )
             filled.append(literal)
             if category is LiteralCategory.ATTRIBUTE and literal.text:
@@ -215,16 +229,48 @@ class LiteralDeterminer:
         value_type: str | None,
         tables: list[str] | None,
         numeric_only: bool = False,
+        trace: list | None = None,
     ) -> FilledLiteral:
         assert self.index is not None
         window_tokens = tokens[begin:end]
+
+        def emit(
+            literal: FilledLiteral,
+            outcome=None,
+            pool: int = 0,
+            typed: bool = False,
+        ) -> FilledLiteral:
+            """Append the placeholder's forensics trace, when asked."""
+            if trace is not None:
+                ranking: tuple[str, ...] = ()
+                votes: dict[str, int] = {}
+                if outcome is not None:
+                    ranking = tuple(outcome.top(8))
+                    votes = {
+                        lit: outcome.votes.get(lit, 0) for lit in ranking
+                    }
+                trace.append(
+                    PlaceholderTrace(
+                        index=idx,
+                        category=category.name,
+                        window=literal.window,
+                        window_tokens=tuple(window_tokens),
+                        chosen=literal.text,
+                        value_type=literal.value_type,
+                        typed=typed,
+                        ranking=ranking,
+                        votes=votes,
+                        pool_size=pool,
+                    )
+                )
+            return literal
 
         if category is LiteralCategory.VALUE:
             typed = self._resolve_typed_value(
                 window_tokens, begin, idx, value_type
             )
             if typed is not None:
-                return typed
+                return emit(typed, typed=True)
             if value_type in ("int", "float"):
                 # Numeric slot with no numeric evidence (e.g. ASR lost the
                 # LIMIT count): emit a syntactically valid default the
@@ -232,13 +278,16 @@ class LiteralDeterminer:
                 fallback = next(
                     (t for t in window_tokens if is_number_token(t)), "1"
                 )
-                return FilledLiteral(
-                    index=idx,
-                    category=category,
-                    text=fallback,
-                    candidates=(fallback,),
-                    window=(begin, begin + 1 if window_tokens else begin),
-                    value_type=value_type,
+                return emit(
+                    FilledLiteral(
+                        index=idx,
+                        category=category,
+                        text=fallback,
+                        candidates=(fallback,),
+                        window=(begin, begin + 1 if window_tokens else begin),
+                        value_type=value_type,
+                    ),
+                    typed=True,
                 )
 
         segments = enumerate_strings(tokens, begin, end, self.window_size)
@@ -261,13 +310,17 @@ class LiteralDeterminer:
         winner = outcome.winner
         if winner is not None and segments:
             consumed = outcome.location + 1 if outcome.location >= begin else begin + 1
-            return FilledLiteral(
-                index=idx,
-                category=category,
-                text=winner.literal,
-                candidates=tuple(outcome.top(self.top_k)),
-                window=(begin, consumed),
-                value_type=value_type,
+            return emit(
+                FilledLiteral(
+                    index=idx,
+                    category=category,
+                    text=winner.literal,
+                    candidates=tuple(outcome.top(self.top_k)),
+                    window=(begin, consumed),
+                    value_type=value_type,
+                ),
+                outcome=outcome,
+                pool=len(candidates),
             )
         # Fallback: no candidates or an empty window.  Table/attribute
         # slots must still render valid SQL, so take the first candidate
@@ -275,13 +328,17 @@ class LiteralDeterminer:
         raw = window_tokens[0] if window_tokens else ""
         if not raw and category is not LiteralCategory.VALUE and candidates:
             raw = min(candidates, key=lambda e: e.literal.lower()).literal
-        return FilledLiteral(
-            index=idx,
-            category=category,
-            text=raw,
-            candidates=(raw,) if raw else (),
-            window=(begin, begin + 1 if window_tokens else begin),
-            value_type=value_type,
+        return emit(
+            FilledLiteral(
+                index=idx,
+                category=category,
+                text=raw,
+                candidates=(raw,) if raw else (),
+                window=(begin, begin + 1 if window_tokens else begin),
+                value_type=value_type,
+            ),
+            outcome=outcome if candidates else None,
+            pool=len(candidates),
         )
 
     def _resolve_typed_value(

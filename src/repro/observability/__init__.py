@@ -4,6 +4,24 @@ See ``docs/observability.md`` for the operations guide (every span,
 metric, label, and exporter format, with worked examples).
 """
 
+from repro.observability.forensics import (
+    ATTRIBUTION_CAUSES,
+    Attribution,
+    AttributionSummary,
+    FingerprintMismatchError,
+    PlaceholderTrace,
+    QueryRecord,
+    Recorder,
+    ReplayBundle,
+    ReplayError,
+    StructureCandidate,
+    attribute,
+    attribute_records,
+    check_fingerprint,
+    render_record,
+    replay_bundle,
+    replay_record,
+)
 from repro.observability.export import (
     read_trace_jsonl,
     summary_table,
@@ -22,7 +40,23 @@ from repro.observability.metrics import (
 from repro.observability.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
+    "ATTRIBUTION_CAUSES",
+    "Attribution",
+    "AttributionSummary",
     "Counter",
+    "FingerprintMismatchError",
+    "PlaceholderTrace",
+    "QueryRecord",
+    "Recorder",
+    "ReplayBundle",
+    "ReplayError",
+    "StructureCandidate",
+    "attribute",
+    "attribute_records",
+    "check_fingerprint",
+    "render_record",
+    "replay_bundle",
+    "replay_record",
     "DEFAULT_BUCKETS",
     "GLOBAL_REGISTRY",
     "Gauge",

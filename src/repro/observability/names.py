@@ -47,7 +47,10 @@ SPAN_ATTRIBUTES: dict[str, str] = {
              "narrowed pass.",
     "words_in": "`asr.channel.corrupt`: spoken words entering the channel.",
     "words_out": "`asr.channel.corrupt`: heard words leaving the channel.",
-    "error": "Any span: repr of the exception that escaped it.",
+    "error": "Any span: `true` when an exception escaped it.",
+    "exception_type": "Any failed span: class name of the escaping "
+                      "exception.",
+    "exception": "Any failed span: repr of the escaping exception.",
 }
 
 # -- metric names ------------------------------------------------------------
@@ -75,6 +78,9 @@ SEARCH_RESULT_CACHE_HITS = "speakql_search_result_cache_hits_total"
 SEARCH_INV_CACHE_HITS = "speakql_search_inv_cache_hits_total"
 SEARCH_INV_CACHE_BUILDS = "speakql_search_inv_cache_builds_total"
 SEARCH_DAP_FALLBACK_TOTAL = "speakql_search_dap_fallback_total"
+
+ATTRIBUTION_QUERIES_TOTAL = "speakql_attribution_queries_total"
+ATTRIBUTION_MISSES_TOTAL = "speakql_attribution_misses_total"
 
 INDEX_STRUCTURES = "speakql_index_structures"
 INDEX_TRIES = "speakql_index_tries"
@@ -113,6 +119,9 @@ METRIC_NAMES: dict[str, str] = {
     SEARCH_INV_CACHE_BUILDS: "counter — INV subindexes built (LRU misses).",
     SEARCH_DAP_FALLBACK_TOTAL: "counter — searches where DAP forced the "
                                "compiled kernel down to `flat`.",
+    ATTRIBUTION_QUERIES_TOTAL: "counter — queries attributed against "
+                               "ground truth by the forensics engine.",
+    ATTRIBUTION_MISSES_TOTAL: "counter — attributed misses, by `cause`.",
     INDEX_STRUCTURES: "gauge — structures in the compiled index.",
     INDEX_TRIES: "gauge — per-length tries in the compiled index.",
     INDEX_TRIE_NODES: "gauge — total compiled trie nodes.",
@@ -129,4 +138,8 @@ METRIC_LABELS: dict[str, str] = {
               "(`compiled`, `flat`, `reference`).",
     "config": f"`{SEARCH_SECONDS}` and benchmark counters: the ablation "
               "configuration being measured.",
+    "cause": f"`{ATTRIBUTION_MISSES_TOTAL}`: the miss-taxonomy class "
+             "(`asr_unrecoverable`, `structure_not_in_topk`, "
+             "`structure_ranked_low`, `literal_category`, "
+             "`literal_voting`).",
 }

@@ -106,7 +106,12 @@ class Span:
         tracer = self._tracer
         self.end = time.perf_counter() - tracer._t0
         if exc is not None:
-            self.attributes["error"] = repr(exc)
+            # Failure path: the span still closes (and reaches the
+            # finished list) with structured error attributes, so a
+            # raising stage never leaks an open span.
+            self.attributes["error"] = True
+            self.attributes["exception_type"] = type(exc).__name__
+            self.attributes["exception"] = repr(exc)
         stack = tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()

@@ -70,3 +70,59 @@ class TestSession:
         out = run_session(pipeline, "select zzz from employees\n:run\n:quit\n")
         # whatever literal got picked, either runs or reports an error
         assert "query  :" in out
+
+
+class TestSessionMetrics:
+    def run_with_metrics(self, pipeline, script: str):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stdout = io.StringIO()
+        session = ReplSession(
+            pipeline=pipeline,
+            stdin=io.StringIO(script),
+            stdout=stdout,
+            metrics=registry,
+        )
+        session.run()
+        return stdout.getvalue(), registry
+
+    def test_queries_record_into_session_registry(self, pipeline):
+        from repro.observability import names as obs_names
+
+        out, registry = self.run_with_metrics(
+            pipeline,
+            "select first name from employees\n"
+            "!SELECT salary FROM Salaries\n:quit\n",
+        )
+        modes = {
+            labels.get("mode"): metric.value
+            for name, labels, metric in registry.collect()
+            if name == obs_names.QUERIES_TOTAL
+        }
+        assert modes == {"transcription": 1, "speech": 1}
+
+    def test_summary_table_prints_on_quit(self, pipeline):
+        from repro.observability import names as obs_names
+
+        out, _ = self.run_with_metrics(
+            pipeline, "select first name from employees\n:quit\n"
+        )
+        assert obs_names.QUERIES_TOTAL in out
+        assert obs_names.STAGE_SECONDS in out
+        # The summary comes before the farewell.
+        assert out.index(obs_names.QUERIES_TOTAL) < out.index("bye")
+
+    def test_summary_prints_on_eof_too(self, pipeline):
+        from repro.observability import names as obs_names
+
+        # No :quit — the session ends on EOF and still prints the table.
+        out, _ = self.run_with_metrics(
+            pipeline, "select first name from employees\n"
+        )
+        assert obs_names.QUERIES_TOTAL in out
+        assert "bye" in out
+
+    def test_no_metrics_no_table(self, pipeline):
+        out = run_session(pipeline, "select first name from employees\n:quit\n")
+        assert "speakql_queries_total" not in out

@@ -1,0 +1,116 @@
+"""Failure paths: a raising query must not destroy observability.
+
+Two contracts (documented in docs/observability.md):
+
+- a span an exception escapes from is still closed, with ``error=True``
+  plus the exception type/repr as attributes;
+- when a query raises mid-batch, the per-worker metric registries of
+  every request that already finished are still merged into the
+  caller's registry at batch end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpeakQL, SpeakQLService
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+
+@pytest.fixture(scope="module")
+def service(request) -> SpeakQLService:
+    small_catalog = request.getfixturevalue("small_catalog")
+    medium_index = request.getfixturevalue("medium_index")
+    return SpeakQLService.from_pipeline(
+        SpeakQL(small_catalog, structure_index=medium_index)
+    )
+
+
+POISON = "select poison from nowhere"
+
+
+@pytest.fixture()
+def poisoned(service, monkeypatch):
+    """Make the correction path raise for the POISON transcription."""
+    original = service.pipeline.correct_transcription
+
+    def toxic(transcription, *args, **kwargs):
+        if transcription == POISON:
+            raise RuntimeError("stage blew up")
+        return original(transcription, *args, **kwargs)
+
+    monkeypatch.setattr(service.pipeline, "correct_transcription", toxic)
+    return service
+
+
+GOOD = [
+    "select salary from celeries",
+    "select first name from employees",
+    "select last name from employees",
+]
+
+
+class TestMidBatchFailure:
+    def test_completed_workers_metrics_still_merge(self, poisoned):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError, match="stage blew up"):
+            # Serial path: the three good queries finish before the
+            # poison one raises.
+            poisoned.correct_batch(
+                GOOD + [POISON], workers=1, metrics=registry
+            )
+        counter = registry.counter(obs_names.BATCH_QUERIES_TOTAL)
+        assert counter.value == len(GOOD)
+        stage = registry.histogram(
+            obs_names.STAGE_SECONDS, stage="structure_search"
+        )
+        assert stage.count >= len(GOOD)
+        # Batch-level instruments are recorded even for a failed batch.
+        assert registry.histogram(obs_names.BATCH_SECONDS).count == 1
+        assert registry.gauge(obs_names.BATCH_WORKERS).value == 1
+
+    def test_parallel_batch_merges_despite_failure(self, poisoned):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError, match="stage blew up"):
+            poisoned.correct_batch(
+                GOOD * 3 + [POISON], workers=3, metrics=registry
+            )
+        # The pool drains before the exception propagates, so every
+        # non-poison request was counted by some worker registry.
+        counter = registry.counter(obs_names.BATCH_QUERIES_TOTAL)
+        assert counter.value == len(GOOD) * 3
+
+    def test_failed_spans_close_with_error_attributes(self, poisoned):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            poisoned.correct_batch(GOOD[:1] + [POISON], tracer=tracer)
+        spans = {span.name: span for span in tracer.spans}
+        batch = spans["batch"]
+        assert batch.attributes["error"] is True
+        assert batch.attributes["exception_type"] == "RuntimeError"
+        assert "stage blew up" in batch.attributes["exception"]
+        assert batch.end >= batch.start
+        failed_queries = [
+            span
+            for span in tracer.spans
+            if span.name == "query" and span.attributes.get("error")
+        ]
+        assert len(failed_queries) == 1
+        assert failed_queries[0].attributes["exception_type"] == "RuntimeError"
+        # The successful query's span carries no error markers.
+        ok_queries = [
+            span
+            for span in tracer.spans
+            if span.name == "query" and not span.attributes.get("error")
+        ]
+        assert len(ok_queries) == 1
+
+    def test_output_unaffected_for_non_poisoned_batch(self, poisoned):
+        registry = MetricsRegistry()
+        outputs = poisoned.correct_batch(GOOD, workers=2, metrics=registry)
+        assert len(outputs) == len(GOOD)
+        assert registry.counter(obs_names.BATCH_QUERIES_TOTAL).value == len(
+            GOOD
+        )

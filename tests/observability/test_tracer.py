@@ -122,7 +122,9 @@ class TestEnabledTracer:
             with tracer.span("boom"):
                 raise RuntimeError("kaput")
         span = tracer.spans[0]
-        assert "kaput" in span.attributes["error"]
+        assert span.attributes["error"] is True
+        assert span.attributes["exception_type"] == "RuntimeError"
+        assert "kaput" in span.attributes["exception"]
         assert span.end >= span.start
 
     def test_span_ids_unique_and_reset_drops_finished(self):

@@ -65,6 +65,82 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1 row(s)" in out
 
+    def test_correct_record_explain_replay(self, capsys, tmp_path):
+        """End-to-end forensics loop: record, explain, replay."""
+        bundle_path = tmp_path / "bundle.json"
+        transcriptions = [
+            "select salary from celeries",
+            "select first name from employees",
+        ]
+        assert main(
+            ["correct", *transcriptions, "--record-out", str(bundle_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "SELECT salary FROM Salaries" in captured.out
+        assert f"wrote 2 record(s) to {bundle_path}" in captured.err
+        assert bundle_path.is_file()
+
+        assert main(
+            [
+                "explain",
+                str(bundle_path),
+                "--index", "1",
+                "--gold", "SELECT FirstName FROM Employees",
+            ]
+        ) == 0
+        narrative = capsys.readouterr().out
+        assert "mode   : transcription" in narrative
+        assert "-- structure search --" in narrative
+        assert "-- literal determination --" in narrative
+        assert "verdict: correct" in narrative
+
+        assert main(["replay", str(bundle_path)]) == 0
+        replay_out = capsys.readouterr().out
+        assert "record 0: OK" in replay_out
+        assert "2/2 record(s) bit-identical" in replay_out
+
+    def test_replay_single_index(self, capsys, tmp_path):
+        bundle_path = tmp_path / "bundle.json"
+        assert main(
+            ["correct", "select salary from celeries",
+             "--record-out", str(bundle_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["replay", str(bundle_path), "--index", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 record(s) bit-identical" in out
+
+    def test_replay_tampered_fingerprint_fails(self, capsys, tmp_path):
+        import json
+
+        bundle_path = tmp_path / "bundle.json"
+        assert main(
+            ["correct", "select salary from celeries",
+             "--record-out", str(bundle_path)]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads(bundle_path.read_text())
+        data["fingerprint"]["speakql_index_structures"] = 1
+        bundle_path.write_text(json.dumps(data))
+        assert main(["replay", str(bundle_path)]) == 1
+        err = capsys.readouterr().err
+        assert "replay failed" in err
+        assert "speakql_index_structures" in err
+
+    def test_replay_missing_bundle_fails(self, capsys, tmp_path):
+        assert main(["replay", str(tmp_path / "nope.json")]) == 1
+        assert "cannot load bundle" in capsys.readouterr().err
+
+    def test_explain_index_out_of_range(self, capsys, tmp_path):
+        bundle_path = tmp_path / "bundle.json"
+        assert main(
+            ["correct", "select salary from celeries",
+             "--record-out", str(bundle_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["explain", str(bundle_path), "--index", "5"]) == 1
+        assert "out of range" in capsys.readouterr().err
+
     def test_dictate(self, capsys):
         code = main(
             [

@@ -1,0 +1,181 @@
+"""Benchmark trajectory log: keying, regression gate, exit codes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_bench_history():
+    spec = importlib.util.spec_from_file_location(
+        "bench_history", REPO_ROOT / "tools" / "bench_history.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_history = _load_bench_history()
+
+
+def _report(median_ms=5.0, max_tokens=15, speedup=4.0):
+    return {
+        "benchmark": "structure_search_kernels",
+        "max_tokens": max_tokens,
+        "primary_k": 3,
+        "results": {
+            "k=3": {
+                "compiled": {
+                    "queries": 60,
+                    "median_ms": median_ms,
+                    "p95_ms": median_ms * 2,
+                },
+                "median_speedup": speedup,
+            }
+        },
+    }
+
+
+class TestEntryFromReport:
+    def test_extracts_primary_k_compiled_numbers(self):
+        entry = bench_history.entry_from_report(_report(), "smoke.json")
+        assert entry["key"] == "structure_search_kernels@max15"
+        assert entry["median_ms"] == 5.0
+        assert entry["p95_ms"] == 10.0
+        assert entry["queries"] == 60
+        assert entry["median_speedup"] == 4.0
+        assert entry["source"] == "smoke.json"
+        assert entry["recorded_at"].endswith("Z")
+
+    def test_key_includes_workload_size(self):
+        small = bench_history.entry_from_report(_report(max_tokens=15), "s")
+        full = bench_history.entry_from_report(_report(max_tokens=20), "f")
+        assert small["key"] != full["key"]
+
+    def test_malformed_report_raises_key_error(self):
+        with pytest.raises(KeyError):
+            bench_history.entry_from_report({"benchmark": "x"}, "bad.json")
+
+
+class TestCheckRegression:
+    def test_first_run_for_key_passes(self):
+        entry = bench_history.entry_from_report(_report(), "s")
+        assert bench_history.check_regression(entry, []) is None
+
+    def test_within_threshold_passes(self):
+        history = [bench_history.entry_from_report(_report(median_ms=4.0), "s")]
+        entry = bench_history.entry_from_report(_report(median_ms=5.0), "s")
+        # 25% slower == the boundary: allowed.
+        assert bench_history.check_regression(entry, history) is None
+
+    def test_beyond_threshold_flags(self):
+        history = [bench_history.entry_from_report(_report(median_ms=4.0), "s")]
+        entry = bench_history.entry_from_report(_report(median_ms=5.1), "s")
+        verdict = bench_history.check_regression(entry, history)
+        assert verdict is not None
+        assert "slower" in verdict
+
+    def test_other_keys_never_compared(self):
+        # A fast full-size entry must not gate a slow smoke run.
+        history = [
+            bench_history.entry_from_report(
+                _report(median_ms=1.0, max_tokens=20), "full"
+            )
+        ]
+        entry = bench_history.entry_from_report(
+            _report(median_ms=50.0, max_tokens=15), "smoke"
+        )
+        assert bench_history.check_regression(entry, history) is None
+
+    def test_compares_against_most_recent_same_key(self):
+        history = [
+            bench_history.entry_from_report(_report(median_ms=1.0), "old"),
+            bench_history.entry_from_report(_report(median_ms=5.0), "new"),
+        ]
+        entry = bench_history.entry_from_report(_report(median_ms=5.5), "s")
+        # vs the 5.0 baseline this is +10%: fine; vs 1.0 it would fail.
+        assert bench_history.check_regression(entry, history) is None
+
+    def test_zero_baseline_is_ignored(self):
+        history = [bench_history.entry_from_report(_report(median_ms=0.0), "s")]
+        entry = bench_history.entry_from_report(_report(median_ms=5.0), "s")
+        assert bench_history.check_regression(entry, history) is None
+
+
+class TestMain:
+    def _run(self, tmp_path, report, history_name="history.jsonl"):
+        report_path = tmp_path / "report.json"
+        report_path.write_text(json.dumps(report), encoding="utf-8")
+        history_path = tmp_path / history_name
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        )
+        return code, bench_history.read_history(history_path)
+
+    def test_first_run_appends_and_passes(self, tmp_path):
+        code, history = self._run(tmp_path, _report())
+        assert code == 0
+        assert len(history) == 1
+        assert history[0]["key"] == "structure_search_kernels@max15"
+
+    def test_regression_appends_and_fails(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        history_path = tmp_path / "history.jsonl"
+        report_path.write_text(json.dumps(_report(median_ms=4.0)))
+        assert bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        ) == 0
+        report_path.write_text(json.dumps(_report(median_ms=6.0)))
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        )
+        assert code == 1
+        # Appended even on regression: the exit code is the gate, the
+        # trajectory records every run.
+        assert len(bench_history.read_history(history_path)) == 2
+
+    def test_custom_threshold(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        history_path = tmp_path / "history.jsonl"
+        report_path.write_text(json.dumps(_report(median_ms=4.0)))
+        bench_history.main([str(report_path), "--history", str(history_path)])
+        report_path.write_text(json.dumps(_report(median_ms=6.0)))
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path),
+             "--max-regression", "0.6"]
+        )
+        assert code == 0  # +50% allowed under a 60% threshold
+
+    def test_missing_report_is_exit_2(self, tmp_path):
+        code = bench_history.main(
+            [str(tmp_path / "nope.json"),
+             "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert code == 2
+
+    def test_malformed_report_is_exit_2(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        report_path.write_text(json.dumps({"benchmark": "x"}))
+        code = bench_history.main(
+            [str(report_path), "--history", str(tmp_path / "h.jsonl")]
+        )
+        assert code == 2
+        # Nothing appended for unusable input.
+        assert bench_history.read_history(tmp_path / "h.jsonl") == []
+
+
+def test_committed_history_is_valid_jsonl():
+    """The seeded BENCH_history.jsonl must parse and carry the full-size
+    key, so CI smoke runs (max15) never compare against it."""
+    entries = bench_history.read_history(REPO_ROOT / "BENCH_history.jsonl")
+    assert entries, "BENCH_history.jsonl must be seeded"
+    for entry in entries:
+        assert {"key", "median_ms", "median_speedup"} <= set(entry)
+    assert all("@max" in entry["key"] for entry in entries)

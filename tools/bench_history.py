@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Append a benchmark run to the trajectory log and gate on regression.
+
+Reads a ``BENCH_*.json`` report (the output of
+``benchmarks/bench_search_perf.py``), appends one compact line to a
+JSON-lines history file, and exits non-zero when the new run's primary
+median latency regressed by more than the allowed fraction against the
+*previous* entry with the same key.
+
+The key includes the workload size (``structure_search_kernels@max15``),
+so a CI smoke run at ``--max-tokens 15`` is only ever compared against
+earlier smoke runs — never against the committed full-size report.
+
+Exit status: 0 (appended, no regression or first run for the key),
+1 (appended, regression beyond the threshold), 2 (unusable input).
+Run from anywhere::
+
+    python tools/bench_history.py BENCH_structure_search.json
+    python tools/bench_history.py /tmp/bench_smoke.json \
+        --history BENCH_history.jsonl --max-regression 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: Allowed fractional slowdown of the primary median before exit 1.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def entry_from_report(report: dict, source: str) -> dict:
+    """One history line from a bench report (raises KeyError when malformed)."""
+    primary_k = report["primary_k"]
+    primary = report["results"][f"k={primary_k}"]
+    return {
+        "key": f"{report['benchmark']}@max{report['max_tokens']}",
+        "benchmark": report["benchmark"],
+        "max_tokens": report["max_tokens"],
+        "primary_k": primary_k,
+        "queries": primary["compiled"]["queries"],
+        "median_ms": primary["compiled"]["median_ms"],
+        "p95_ms": primary["compiled"]["p95_ms"],
+        "median_speedup": primary["median_speedup"],
+        "source": source,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def read_history(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def append_entry(path: Path, entry: dict) -> None:
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def check_regression(
+    entry: dict,
+    history: list[dict],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> str | None:
+    """A human-readable verdict when ``entry`` regressed, else ``None``.
+
+    Compares against the most recent earlier entry sharing the key.
+    """
+    previous = next(
+        (e for e in reversed(history) if e.get("key") == entry["key"]), None
+    )
+    if previous is None:
+        return None
+    baseline = previous.get("median_ms")
+    if not baseline or baseline <= 0:
+        return None
+    ratio = entry["median_ms"] / baseline
+    if ratio > 1.0 + max_regression:
+        return (
+            f"{entry['key']}: median {entry['median_ms']:.2f} ms is "
+            f"{(ratio - 1.0) * 100:.0f}% slower than the previous entry "
+            f"({baseline:.2f} ms; allowed +{max_regression * 100:.0f}%)"
+        )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_*.json report to append")
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY),
+        help="JSON-lines trajectory file (default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional median slowdown vs the previous entry "
+             "with the same key (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    report_path = Path(args.report)
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        entry = entry_from_report(report, source=report_path.name)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"unusable bench report {args.report}: {error!r}",
+              file=sys.stderr)
+        return 2
+
+    history_path = Path(args.history)
+    history = read_history(history_path)
+    verdict = check_regression(entry, history, args.max_regression)
+    # Append even on regression: the trajectory must record every run,
+    # the exit code is the gate.
+    append_entry(history_path, entry)
+    print(
+        f"appended {entry['key']} (median {entry['median_ms']:.2f} ms, "
+        f"speedup {entry['median_speedup']:.2f}x) to {history_path}"
+    )
+    if verdict is not None:
+        print(f"REGRESSION: {verdict}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
