@@ -1,0 +1,132 @@
+"""Serving-throughput benchmark: the runtime under a fixed deadline.
+
+Runs a spoken-query workload through :class:`repro.serving.ServingRuntime`
+with every request carrying the same latency budget, and reports
+throughput, per-request wall latency, and the outcome mix.  This is the
+serving-layer counterpart of ``bench_search_perf.py``: where that one
+measures a kernel in isolation, this one measures what a client actually
+experiences — admission, the ladder, and cooperative deadlines included.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --queries 40 --deadline-ms 250 --out BENCH_serving.json
+
+The report feeds ``tools/bench_history.py`` (key
+``serving_throughput@q<queries>ms<deadline>``).  ``--min-answered``
+turns the answered fraction (served + degraded) into a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.api import QueryRequest
+from repro.asr import make_custom_engine
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.dataset import build_employees_catalog
+from repro.dataset.spoken import make_spoken_dataset
+from repro.grammar.generator import StructureGenerator
+from repro.serving import ServingRuntime
+from repro.structure.indexer import StructureIndex
+
+
+def run(args: argparse.Namespace) -> dict:
+    catalog = build_employees_catalog()
+    dataset = make_spoken_dataset(
+        "serving-bench", catalog, args.queries, seed=args.seed
+    )
+    index = StructureIndex.build(
+        StructureGenerator(max_tokens=args.max_tokens)
+    )
+    engine = make_custom_engine([q.sql for q in dataset.queries])
+    artifacts = SpeakQLArtifacts.build(engine=engine, structure_index=index)
+    service = SpeakQLService(catalog, artifacts=artifacts)
+    runtime = ServingRuntime(service, queue_limit=args.queue_limit)
+
+    deadline = (
+        args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+    )
+    requests = [
+        QueryRequest(text=q.sql, seed=q.seed, deadline=deadline)
+        for q in dataset.queries
+    ]
+    # Warm the pipeline (index compilation, caches) outside the clock.
+    runtime.submit(QueryRequest(text=requests[0].text, seed=requests[0].seed))
+
+    start = time.perf_counter()
+    responses = runtime.serve_batch(requests, workers=args.workers)
+    total_s = time.perf_counter() - start
+
+    outcomes = Counter(response.outcome for response in responses)
+    answered = outcomes["served"] + outcomes["degraded"]
+    latencies = sorted(r.wall_seconds for r in responses)
+    return {
+        "benchmark": "serving_throughput",
+        "queries": len(requests),
+        "workers": args.workers,
+        "deadline_ms": args.deadline_ms,
+        "queue_limit": args.queue_limit,
+        "max_tokens": args.max_tokens,
+        "seed": args.seed,
+        "outcomes": dict(sorted(outcomes.items())),
+        "answered": answered,
+        "answered_fraction": answered / len(requests),
+        "throughput_qps": len(requests) / total_s,
+        "median_ms": statistics.median(latencies) * 1e3,
+        "p95_ms": latencies[min(len(latencies) - 1,
+                                int(len(latencies) * 0.95))] * 1e3,
+        "total_s": total_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=40)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request latency budget (default: none)")
+    parser.add_argument("--queue-limit", type=int, default=16)
+    parser.add_argument("--max-tokens", type=int, default=15,
+                        help="structure-generator token cap (index size)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    parser.add_argument("--min-answered", type=float, default=None,
+                        help="exit non-zero if the answered fraction "
+                        "(served + degraded) falls below this (CI gate)")
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    mix = ", ".join(f"{k}={v}" for k, v in report["outcomes"].items())
+    print(
+        f"{report['queries']} queries @ "
+        f"{report['deadline_ms'] or 'no'} ms deadline, "
+        f"{report['workers']} worker(s): "
+        f"{report['throughput_qps']:.1f} q/s, "
+        f"median {report['median_ms']:.2f} ms, "
+        f"p95 {report['p95_ms']:.2f} ms ({mix}); "
+        f"report written to {args.out}"
+    )
+    if (
+        args.min_answered is not None
+        and report["answered_fraction"] < args.min_answered
+    ):
+        print(
+            f"FAIL: answered fraction {report['answered_fraction']:.2f} < "
+            f"required {args.min_answered:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import pytest
 
+from repro.api import QueryRequest
 from repro.asr import make_custom_engine, make_generic_engine
 from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLService
 from repro.core.result import SpeakQLOutput
@@ -127,9 +128,11 @@ def state() -> ExperimentState:
 
 def _run_all(service: SpeakQLService, dataset: SpokenDataset) -> list[PipelineRun]:
     recorder = Recorder()
-    outputs = service.run_batch(
-        dataset.queries, workers=WORKERS, recorder=recorder
-    )
+    requests = [
+        QueryRequest(text=query.sql, seed=query.seed)
+        for query in dataset.queries
+    ]
+    outputs = service.run_batch(requests, workers=WORKERS, recorder=recorder)
     return [
         PipelineRun(query=query, output=output, record=record)
         for query, output, record in zip(

@@ -1,0 +1,253 @@
+"""The unified request/response API of the serving surface.
+
+Every way of asking SpeakQL a question — the batch service, the serving
+runtime, the CLI, the REPL, the JSON-lines daemon — speaks the same two
+frozen dataclasses:
+
+- :class:`QueryRequest` — what to run: the input text, the dictation
+  seed (``None`` = correct a raw transcription), an optional speaker
+  profile, an optional **deadline** (a latency budget in seconds,
+  enforced cooperatively at stage boundaries), and per-request
+  **config overrides** applied on top of the serving pipeline's
+  :class:`~repro.core.pipeline.SpeakQLConfig`.
+- :class:`QueryResponse` — what happened: the pipeline output (when one
+  was produced), a first-class **outcome** (one of :data:`OUTCOMES`),
+  the per-stage timings, the optional forensic record, and — for
+  degraded service — which rung of the degradation ladder answered.
+
+The historical ``(sql, seed)`` tuple calling convention survives only
+as a deprecation shim in :func:`QueryRequest.from_legacy`; every call
+site in the repository constructs :class:`QueryRequest` directly.
+
+Config overrides flow through the versioned
+:meth:`~repro.core.pipeline.SpeakQLConfig.to_dict` /
+:meth:`~repro.core.pipeline.SpeakQLConfig.from_dict` serialization (the
+same format replay bundles store), so a request that asks for
+``{"search_kernel": "flat", "top_k": 1}`` is reproducible from its
+serialized form byte for byte.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.core.result import ComponentTimings, SpeakQLOutput
+from repro.errors import DeadlineExceededError
+
+if TYPE_CHECKING:
+    from repro.asr.speakers import SpeakerProfile
+    from repro.observability.forensics import QueryRecord
+
+# -- outcomes ----------------------------------------------------------------
+
+#: Request answered at full fidelity by the requested configuration.
+OUTCOME_SERVED = "served"
+#: Request answered, but by a cheaper rung of the degradation ladder.
+OUTCOME_DEGRADED = "degraded"
+#: Request rejected at admission (queue full) — never executed.
+OUTCOME_SHED = "shed"
+#: Request stopped at a stage boundary after its deadline passed.
+OUTCOME_TIMEOUT = "timeout"
+#: Every ladder rung raised; the error of the last attempt is reported.
+OUTCOME_FAILED = "failed"
+
+#: Every outcome a :class:`QueryResponse` can carry, exactly one per
+#: request — their counts sum to the requests submitted.
+OUTCOMES = (
+    OUTCOME_SERVED,
+    OUTCOME_DEGRADED,
+    OUTCOME_SHED,
+    OUTCOME_TIMEOUT,
+    OUTCOME_FAILED,
+)
+
+
+class BatchQueryError(RuntimeError):
+    """A batch worker raised; carries the failing request's input index.
+
+    The original exception is chained as ``__cause__`` and its message
+    is embedded, so existing ``match=``-style assertions on the
+    underlying error keep working while the traceback now names which
+    request died.
+    """
+
+    def __init__(self, index: int, request: "QueryRequest",
+                 error: BaseException) -> None:
+        preview = request.text if len(request.text) <= 60 else (
+            request.text[:57] + "...")
+        super().__init__(
+            f"batch request #{index} ({preview!r}, seed={request.seed}) "
+            f"failed: {error}"
+        )
+        self.index = index
+        self.request = request
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work for any SpeakQL serving surface.
+
+    ``seed`` selects the dictation path (speech simulation); ``None``
+    treats ``text`` as a raw ASR transcription to correct.  ``deadline``
+    is a latency budget in **seconds from submission** (``None`` = no
+    deadline); ``overrides`` are :class:`SpeakQLConfig` field overrides
+    applied for this request only, stored as a sorted tuple of pairs so
+    the request stays frozen and hashable.
+    """
+
+    text: str
+    seed: int | None = None
+    nbest: int | None = None
+    speaker: "SpeakerProfile | None" = None
+    deadline: float | None = None
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.overrides, Mapping):
+            object.__setattr__(
+                self, "overrides", tuple(sorted(self.overrides.items()))
+            )
+        elif not isinstance(self.overrides, tuple):
+            object.__setattr__(
+                self, "overrides", tuple(sorted(dict(self.overrides).items()))
+            )
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be a non-negative budget in seconds")
+
+    @property
+    def mode(self) -> str:
+        """``"speech"`` (dictation) or ``"transcription"`` (correction)."""
+        return "transcription" if self.seed is None else "speech"
+
+    @property
+    def voice(self) -> "SpeakerProfile | None":
+        """Legacy alias of :attr:`speaker`."""
+        return self.speaker
+
+    def overrides_dict(self) -> dict[str, object]:
+        """The per-request config overrides as a plain dict."""
+        return dict(self.overrides)
+
+    def with_overrides(self, **overrides: object) -> "QueryRequest":
+        """A copy with ``overrides`` merged over the existing ones."""
+        merged = self.overrides_dict()
+        merged.update(overrides)
+        return replace(self, overrides=tuple(sorted(merged.items())))
+
+    @classmethod
+    def from_legacy(cls, query: object) -> "QueryRequest":
+        """Normalize a legacy request shape into a :class:`QueryRequest`.
+
+        Accepts a :class:`QueryRequest` (returned as-is), a bare string
+        (corrected without an ASR step), an object with ``sql``/``seed``
+        attributes (e.g. :class:`~repro.dataset.spoken.SpokenQuery`), or
+        the **deprecated** ``(sql_text, seed)`` tuple — the tuple form
+        emits a :class:`DeprecationWarning` and exists only so pre-API
+        callers keep working.
+        """
+        if isinstance(query, cls):
+            return query
+        if isinstance(query, str):
+            return cls(text=query)
+        if isinstance(query, tuple) and len(query) == 2:
+            warnings.warn(
+                "(sql, seed) tuple requests are deprecated; construct "
+                "repro.api.QueryRequest(text=..., seed=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            text, seed = query
+            return cls(text=text, seed=seed)
+        sql = getattr(query, "sql", None)
+        if isinstance(sql, str):
+            return cls(text=sql, seed=getattr(query, "seed", None))
+        raise TypeError(f"cannot interpret query request: {query!r}")
+
+
+# -- responses ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """What one :class:`QueryRequest` produced.
+
+    ``output`` is present for ``served``/``degraded`` outcomes and
+    ``None`` for ``shed``/``timeout``/``failed``; ``rung`` is the
+    degradation-ladder rung that answered (0 = the requested config);
+    ``error`` carries the final error string of a ``failed`` (or the
+    boundary description of a ``timeout``) response.
+    """
+
+    request: QueryRequest
+    outcome: str
+    output: SpeakQLOutput | None = None
+    record: "QueryRecord | None" = None
+    rung: int = 0
+    attempts: int = 1
+    error: str | None = None
+    wall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown outcome {self.outcome!r}; expected one of {OUTCOMES}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """Whether an answer was produced (served or degraded)."""
+        return self.output is not None
+
+    @property
+    def sql(self) -> str:
+        """The top-1 corrected SQL ("" when no answer was produced)."""
+        return self.output.sql if self.output is not None else ""
+
+    @property
+    def timings(self) -> ComponentTimings:
+        """Per-stage timings (empty when the query never executed)."""
+        if self.output is not None:
+            return self.output.timings
+        return ComponentTimings()
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the daemon's wire format)."""
+        return {
+            "outcome": self.outcome,
+            "sql": self.sql,
+            "queries": list(self.output.queries) if self.output else [],
+            "rung": self.rung,
+            "attempts": self.attempts,
+            "error": self.error,
+            "wall_ms": round(self.wall_seconds * 1000.0, 3),
+        }
+
+
+#: Convenience shed/timeout constructors used by the serving runtime.
+def shed_response(request: QueryRequest) -> QueryResponse:
+    """The response for a request rejected at admission."""
+    return QueryResponse(
+        request=request, outcome=OUTCOME_SHED, attempts=0,
+        error="queue full: request shed at admission",
+    )
+
+
+__all__ = [
+    "BatchQueryError",
+    "DeadlineExceededError",
+    "OUTCOMES",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_FAILED",
+    "OUTCOME_SERVED",
+    "OUTCOME_SHED",
+    "OUTCOME_TIMEOUT",
+    "QueryRequest",
+    "QueryResponse",
+    "shed_response",
+]

@@ -12,6 +12,10 @@ Subcommands:
   bit-identical output (non-zero exit on any drift).
 - ``explain``  — render one recorded query as a human-readable
   forensic narrative (channel events, candidates, voting).
+- ``serve``    — run the resilient serving daemon: JSON-lines requests
+  on stdin, responses on stdout, with per-request deadlines, load
+  shedding, degraded-mode fallbacks, and HTTP health/readiness probes
+  (see ``docs/serving.md``).
 
 ``dictate`` and ``correct`` accept ``--search-kernel`` (compiled / flat
 / reference), ``--trace-out FILE`` (JSON-lines spans), ``--metrics-out
@@ -25,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import QueryRequest
 from repro.asr import make_custom_engine, verbalize_sql
 from repro.core import SpeakQL, SpeakQLArtifacts, SpeakQLConfig, SpeakQLService
 from repro.dataset import build_employees_catalog, build_yelp_catalog
@@ -114,23 +119,38 @@ def _write_bundle(
     )
 
 
+def _deadline_seconds(args: argparse.Namespace) -> float | None:
+    deadline_ms = getattr(args, "deadline_ms", None)
+    return deadline_ms / 1000.0 if deadline_ms is not None else None
+
+
 def _cmd_dictate(args: argparse.Namespace) -> int:
     pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
     tracer, metrics = _observability(args)
     recorder = Recorder() if args.record_out else None
-    record = None
-    if recorder is not None:
-        record = recorder.start(
-            mode="speech", input_text=args.sql, seed=args.seed
-        )
-    out = pipeline.query_from_speech(
-        args.sql, seed=args.seed, tracer=tracer, metrics=metrics,
-        record=record,
+    request = QueryRequest(
+        text=args.sql, seed=args.seed, deadline=_deadline_seconds(args)
     )
+    record = recorder.start_request(request) if recorder is not None else None
+    from repro.serving import ServingRuntime
+
+    runtime = ServingRuntime(
+        SpeakQLService.from_pipeline(pipeline), tracer=tracer
+    )
+    response = runtime.submit(request, record=record, pipeline_metrics=metrics)
+    if not response.ok:
+        print(f"outcome: {response.outcome} ({response.error})",
+              file=sys.stderr)
+        _export_observability(args, tracer, metrics)
+        return 1
+    out = response.output
     print(f"spoken : {' '.join(verbalize_sql(args.sql))}")
     print(f"heard  : {out.asr_text}")
     print(f"output : {out.sql}")
     print(f"latency: {out.timings.total_seconds * 1000:.0f} ms")
+    if response.outcome != "served":
+        print(f"outcome: {response.outcome} (rung {response.rung})",
+              file=sys.stderr)
     if args.execute:
         _execute(out.sql, pipeline)
     _export_observability(args, tracer, metrics)
@@ -143,8 +163,12 @@ def _cmd_correct(args: argparse.Namespace) -> int:
     service = SpeakQLService.from_pipeline(pipeline)
     tracer, metrics = _observability(args)
     recorder = Recorder() if args.record_out else None
-    outputs = service.correct_batch(
-        args.transcriptions,
+    requests = [
+        QueryRequest(text=text, deadline=_deadline_seconds(args))
+        for text in args.transcriptions
+    ]
+    outputs = service.run_batch(
+        requests,
         workers=args.workers,
         tracer=tracer,
         metrics=metrics,
@@ -157,6 +181,36 @@ def _cmd_correct(args: argparse.Namespace) -> int:
     _export_observability(args, tracer, metrics)
     _write_bundle(args, pipeline, recorder, train=0)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import ServingDaemon, ServingRuntime
+
+    pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
+    metrics = MetricsRegistry() if args.metrics_out else None
+    runtime = ServingRuntime(
+        SpeakQLService.from_pipeline(pipeline),
+        queue_limit=args.queue_limit,
+        degrade_below=(
+            args.degrade_below_ms / 1000.0
+            if args.degrade_below_ms is not None
+            else None
+        ),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        metrics=metrics,
+    )
+    daemon = ServingDaemon(runtime, health_port=args.health_port)
+    if args.health_port is not None:
+        daemon.start_health_server()
+        host, port = daemon.health_address
+        print(f"health: http://{host}:{port}", file=sys.stderr, flush=True)
+    print("ready", file=sys.stderr, flush=True)
+    code = daemon.run(sys.stdin, sys.stdout)
+    if args.metrics_out and metrics is not None:
+        write_metrics(metrics, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    return code
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -276,6 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     dictate.add_argument("--train", type=int, default=100,
                          help="training queries for the custom ASR model")
     dictate.add_argument("--execute", action="store_true")
+    dictate.add_argument("--deadline-ms", type=float, default=None,
+                         help="latency budget; past-deadline queries stop "
+                              "at the next stage boundary")
     _add_observability_args(dictate)
     dictate.set_defaults(func=_cmd_dictate)
 
@@ -287,8 +344,36 @@ def build_parser() -> argparse.ArgumentParser:
     correct.add_argument("--workers", type=int, default=1,
                          help="worker threads for batch correction "
                               "(1 = serial, paper-faithful)")
+    correct.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request latency budget in milliseconds")
     _add_observability_args(correct)
     correct.set_defaults(func=_cmd_correct)
+
+    serve = sub.add_parser(
+        "serve", help="JSON-lines serving daemon (see docs/serving.md)"
+    )
+    serve.add_argument("--schema", choices=_CATALOGS, default="employees")
+    serve.add_argument("--train", type=int, default=0,
+                       help="training queries for the custom ASR model")
+    serve.add_argument("--search-kernel", choices=_KERNELS,
+                       default=KERNEL_COMPILED)
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="max in-flight requests before shedding")
+    serve.add_argument("--degrade-below-ms", type=float, default=None,
+                       help="requests with a smaller deadline budget start "
+                            "degraded (skip the requested config)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive failures that trip a rung's "
+                            "circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=int, default=8,
+                       help="requests a tripped rung sits out before its "
+                            "half-open trial")
+    serve.add_argument("--health-port", type=int, default=None,
+                       help="serve /healthz and /readyz on this port "
+                            "(0 = ephemeral; omit to disable)")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write serving metrics on exit")
+    serve.set_defaults(func=_cmd_serve)
 
     schema = sub.add_parser("schema", help="print a built-in schema")
     schema.add_argument("--schema", choices=_CATALOGS, default="employees")

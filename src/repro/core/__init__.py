@@ -7,6 +7,12 @@ stages (:mod:`repro.core.stages`), and the parallel batch
 backward-compatible facade over the first two.
 """
 
+from repro.api import (
+    OUTCOMES,
+    BatchQueryError,
+    QueryRequest,
+    QueryResponse,
+)
 from repro.core.artifacts import SpeakQLArtifacts
 from repro.core.pipeline import SpeakQL, SpeakQLConfig
 from repro.core.result import (
@@ -28,6 +34,10 @@ __all__ = [
     "SpeakQLArtifacts",
     "SpeakQLService",
     "BatchRequest",
+    "BatchQueryError",
+    "QueryRequest",
+    "QueryResponse",
+    "OUTCOMES",
     "PipelineStage",
     "QueryContext",
     "run_stages",

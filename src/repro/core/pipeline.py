@@ -25,12 +25,13 @@ threads, repeated sessions), build the artifacts once and pass them in::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field, fields
 
 from repro.asr.engine import AsrResult, SimulatedAsrEngine
 from repro.asr.speakers import SpeakerProfile
 from repro.core.artifacts import SpeakQLArtifacts
-from repro.core.result import SpeakQLOutput
+from repro.core.result import LITERAL_STAGE, SpeakQLOutput
 from repro.core.stages import (
     CorrectedQuery,
     LiteralStage,
@@ -51,6 +52,12 @@ from repro.sqlengine.catalog import Catalog
 from repro.structure.edit_distance import DEFAULT_WEIGHTS, TokenWeights
 from repro.structure.indexer import StructureIndex
 from repro.structure.search import StructureSearchEngine
+
+
+#: Schema version of :meth:`SpeakQLConfig.to_dict`; bump on
+#: incompatible change.  Replay bundles and the serving degradation
+#: ladder both speak this format.
+CONFIG_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -75,6 +82,60 @@ class SpeakQLConfig:
     #: before the structure search, de-emphasizing structure relative to
     #: literals so ASR token-splitting cannot inflate the distance.
     literal_focused: bool = False
+
+    # -- versioned serialization ------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Versioned, JSON-ready form of every config knob.
+
+        The one config wire format: replay bundles store it
+        (:class:`~repro.observability.forensics.ReplayBundle`), the
+        serving degradation ladder derives cheaper configs through it,
+        and :meth:`from_dict` round-trips it exactly.
+        """
+        data = asdict(self)  # recursive: weights becomes a plain dict
+        data["version"] = CONFIG_VERSION
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SpeakQLConfig":
+        """Reconstruct a config from :meth:`to_dict` output.
+
+        Rejects unsupported versions and unknown keys loudly — a config
+        that silently dropped a knob would replay a bundle against the
+        wrong pipeline.
+        """
+        version = data.get("version")
+        if version != CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported SpeakQLConfig version {version!r} "
+                f"(this build reads version {CONFIG_VERSION})"
+            )
+        payload = {k: v for k, v in data.items() if k != "version"}
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown SpeakQLConfig keys: {unknown}")
+        weights = payload.get("weights")
+        if isinstance(weights, Mapping):
+            payload["weights"] = TokenWeights(**weights)
+        return cls(**payload)
+
+    def with_overrides(self, overrides: Mapping | None) -> "SpeakQLConfig":
+        """A copy with ``overrides`` applied over this config's knobs.
+
+        Overrides flow through the versioned dict form, so any override
+        set a request (or ladder rung) can express is exactly the set a
+        serialized config can express.
+        """
+        if not overrides:
+            return self
+        data = self.to_dict()
+        for key, value in dict(overrides).items():
+            if key == "version" or key not in data:
+                raise ValueError(f"unknown SpeakQLConfig override {key!r}")
+            data[key] = value
+        return SpeakQLConfig.from_dict(data)
 
 
 @dataclass
@@ -178,6 +239,7 @@ class SpeakQL:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         record: QueryRecord | None = None,
+        deadline: float | None = None,
     ) -> SpeakQLOutput:
         """Dictate ``sql_text`` through the simulated ASR and correct it.
 
@@ -187,6 +249,10 @@ class SpeakQL:
         handles for this query; ``record`` (from
         :meth:`~repro.observability.forensics.Recorder.start`) captures
         full decision provenance without altering the output.
+        ``deadline`` is an **absolute** ``time.perf_counter()`` instant:
+        past it, the query stops at the next stage boundary with
+        :class:`~repro.errors.DeadlineExceededError` (see
+        :mod:`repro.serving` for budget-relative deadlines).
         """
         tracer = tracer if tracer is not None else self.tracer
         metrics = metrics if metrics is not None else self.metrics
@@ -195,6 +261,7 @@ class SpeakQL:
         ctx = QueryContext(
             seed=seed, nbest=nbest or self.config.top_k, voice=voice,
             tracer=tracer, metrics=metrics, query_record=record,
+            deadline=deadline,
         )
         asr = run_stages([self._transcribe_stage], sql_text, ctx)
         return self.process_asr_result(asr, ctx=ctx)
@@ -219,6 +286,7 @@ class SpeakQL:
                 tracer=ctx.tracer,
                 metrics=ctx.metrics,
                 query_record=ctx.query_record if rank == 0 else None,
+                deadline=ctx.deadline,
             )
             corrected = self._correct_one(text, step_ctx)
             if rank == 0:
@@ -231,7 +299,9 @@ class SpeakQL:
             # (the n-best list often differs only in literals, so its
             # corrections collapse to few distinct queries).
             skip = top.structure if top is not None else None
-            for candidate in self._structure_alternatives(asr.text, skip=skip):
+            for candidate in self._structure_alternatives(
+                asr.text, skip=skip, deadline=ctx.deadline
+            ):
                 if candidate and candidate not in queries:
                     queries.append(candidate)
                 if len(queries) >= self.config.top_k:
@@ -258,12 +328,15 @@ class SpeakQL:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         record: QueryRecord | None = None,
+        deadline: float | None = None,
     ) -> SpeakQLOutput:
         """Correct a raw transcription text (no ASR step).
 
         ``tracer``/``metrics`` override the pipeline's observability
         handles for this query; ``record`` captures decision provenance
-        (see :mod:`repro.observability.forensics`).
+        (see :mod:`repro.observability.forensics`); ``deadline`` is an
+        absolute ``time.perf_counter()`` cutoff enforced at stage
+        boundaries.
         """
         tracer = tracer if tracer is not None else self.tracer
         metrics = metrics if metrics is not None else self.metrics
@@ -271,7 +344,10 @@ class SpeakQL:
             metrics.counter(
                 obs_names.QUERIES_TOTAL, mode="transcription"
             ).inc()
-        ctx = QueryContext(tracer=tracer, metrics=metrics, query_record=record)
+        ctx = QueryContext(
+            tracer=tracer, metrics=metrics, query_record=record,
+            deadline=deadline,
+        )
         corrected = self._correct_one(transcription, ctx)
         if record is not None:
             record.asr_text = transcription
@@ -298,15 +374,19 @@ class SpeakQL:
             ctx,
         )
 
-    def _structure_alternatives(self, transcription: str, skip) -> list[str]:
+    def _structure_alternatives(
+        self, transcription: str, skip, deadline: float | None = None
+    ) -> list[str]:
         """Corrected queries for the runner-up structures of one text."""
-        ctx = QueryContext()
-        masked = self._mask_stage.run(transcription, ctx)
-        matches = StructureSearchStage(
+        ctx = QueryContext(deadline=deadline)
+        masked = run_stages([self._mask_stage], transcription, ctx)
+        search_stage = StructureSearchStage(
             searcher=self._searcher, k=self.config.top_k
-        ).run(masked, ctx)
+        )
+        matches = run_stages([search_stage], masked, ctx)
         out: list[str] = []
         for result in matches.results:
+            ctx.check_deadline(LITERAL_STAGE)
             if skip is not None and result.structure == skip.structure:
                 continue
             literals = self._determiner.determine(

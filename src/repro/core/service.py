@@ -23,11 +23,18 @@ histograms — the number that distinguishes "the pool is saturated" from
 "queries are slow".  With both handles off, batches take the original
 untouched fast path.
 
+Requests are :class:`~repro.api.QueryRequest` objects — the unified
+request type shared with the serving runtime, CLI, REPL, and daemon
+(see :mod:`repro.api`).  The historical ``(sql, seed)`` tuple form
+still normalizes, through a deprecation shim that warns once per call
+site; new code constructs requests explicitly.
+
 Typical use::
 
     service = SpeakQLService(catalog, artifacts=artifacts)
     outputs = service.run_batch(
-        [("SELECT Salary FROM Employees", 7), ...], workers=4
+        [QueryRequest(text="SELECT Salary FROM Employees", seed=7), ...],
+        workers=4,
     )
 
     registry = MetricsRegistry()
@@ -42,10 +49,10 @@ import threading
 import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.api import BatchQueryError, QueryRequest
 from repro.core.artifacts import SpeakQLArtifacts
 from repro.core.pipeline import SpeakQL, SpeakQLConfig
 from repro.core.result import SpeakQLOutput
@@ -58,22 +65,11 @@ from repro.sqlengine.catalog import Catalog
 
 if TYPE_CHECKING:
     from repro.asr.engine import SimulatedAsrEngine
-    from repro.asr.speakers import SpeakerProfile
 
 
-@dataclass(frozen=True)
-class BatchRequest:
-    """One unit of batch work.
-
-    ``seed`` selects the dictation path (``query_from_speech``); when it
-    is ``None``, ``text`` is treated as a raw ASR transcription and only
-    corrected (``correct_transcription``).
-    """
-
-    text: str
-    seed: int | None = None
-    nbest: int | None = None
-    voice: "SpeakerProfile | None" = None
+#: Legacy name for the batch request type; :class:`~repro.api.QueryRequest`
+#: is the same class under its unified-API name.
+BatchRequest = QueryRequest
 
 
 class SpeakQLService:
@@ -132,12 +128,16 @@ class SpeakQLService:
     ) -> list[SpeakQLOutput]:
         """Run a batch of queries, fanning over ``workers`` threads.
 
-        Accepts :class:`BatchRequest` objects, ``(sql_text, seed)``
-        pairs, bare transcription strings (corrected without an ASR
-        step), or any object with ``sql``/``seed`` attributes (e.g.
-        :class:`~repro.dataset.spoken.SpokenQuery`).  Results come back
-        in input order and are bit-identical to the serial loop;
-        ``workers=1`` (the default) is the paper-faithful serial path.
+        Accepts :class:`~repro.api.QueryRequest` objects, bare
+        transcription strings (corrected without an ASR step), or any
+        object with ``sql``/``seed`` attributes (e.g.
+        :class:`~repro.dataset.spoken.SpokenQuery`).  The historical
+        ``(sql_text, seed)`` tuple form still works through a
+        ``DeprecationWarning`` shim.  Results come back in input order
+        and are bit-identical to the serial loop; ``workers=1`` (the
+        default) is the paper-faithful serial path.  A worker exception
+        is re-raised as :class:`~repro.api.BatchQueryError` naming the
+        failing request's input index, chained from the original.
 
         ``tracer``/``metrics`` override the pipeline's observability
         handles for this batch (see the module docstring for the
@@ -151,10 +151,19 @@ class SpeakQLService:
         metrics = metrics if metrics is not None else self.pipeline.metrics
         requests = [self._normalize(query) for query in spoken_queries]
         if not tracer.enabled and metrics is None and recorder is None:
+
+            def run(item: tuple[int, QueryRequest]) -> SpeakQLOutput:
+                index, request = item
+                try:
+                    return self._run_one(request)
+                except Exception as error:
+                    raise BatchQueryError(index, request, error) from error
+
+            items = list(enumerate(requests))
             if workers <= 1 or len(requests) <= 1:
-                return [self._run_one(request) for request in requests]
+                return [run(item) for item in items]
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(self._run_one, requests))
+                return list(pool.map(run, items))
         return self._run_batch_observed(
             requests, workers, tracer, metrics, recorder
         )
@@ -180,43 +189,47 @@ class SpeakQLService:
     # -- internals -----------------------------------------------------------
 
     @staticmethod
-    def _normalize(query: object) -> BatchRequest:
-        if isinstance(query, BatchRequest):
-            return query
-        if isinstance(query, str):
-            return BatchRequest(text=query)
-        if isinstance(query, tuple) and len(query) == 2:
-            text, seed = query
-            return BatchRequest(text=text, seed=seed)
-        sql = getattr(query, "sql", None)
-        if isinstance(sql, str):
-            return BatchRequest(text=sql, seed=getattr(query, "seed", None))
-        raise TypeError(f"cannot interpret batch request: {query!r}")
+    def _normalize(query: object) -> QueryRequest:
+        return QueryRequest.from_legacy(query)
 
     def _run_one(
         self,
-        request: BatchRequest,
+        request: QueryRequest,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         record: QueryRecord | None = None,
     ) -> SpeakQLOutput:
+        # A request-level deadline is a relative budget; the pipeline
+        # wants an absolute ``perf_counter`` cutoff.  The clock starts
+        # when execution starts — admission latency is the serving
+        # runtime's concern, not the batch service's.
+        deadline = (
+            time.perf_counter() + request.deadline
+            if request.deadline is not None
+            else None
+        )
         if request.seed is None:
             return self.pipeline.correct_transcription(
-                request.text, tracer=tracer, metrics=metrics, record=record
+                request.text,
+                tracer=tracer,
+                metrics=metrics,
+                record=record,
+                deadline=deadline,
             )
         return self.pipeline.query_from_speech(
             request.text,
             seed=request.seed,
             nbest=request.nbest,
-            voice=request.voice,
+            voice=request.speaker,
             tracer=tracer,
             metrics=metrics,
             record=record,
+            deadline=deadline,
         )
 
     def _run_batch_observed(
         self,
-        requests: list[BatchRequest],
+        requests: list[QueryRequest],
         workers: int,
         tracer: Tracer,
         metrics: MetricsRegistry | None,
@@ -250,16 +263,7 @@ class SpeakQLService:
         # the pool schedules the work.
         records: list[QueryRecord | None]
         if recorder is not None:
-            records = [
-                recorder.start(
-                    mode="transcription" if req.seed is None else "speech",
-                    input_text=req.text,
-                    seed=req.seed,
-                    nbest=req.nbest,
-                    voice=req.voice.name if req.voice is not None else None,
-                )
-                for req in requests
-            ]
+            records = [recorder.start_request(req) for req in requests]
         else:
             records = [None] * len(requests)
         batch_start = time.perf_counter()
@@ -272,15 +276,22 @@ class SpeakQLService:
                 # execution start minus this instant.
                 enqueued = time.perf_counter()
 
-                def run(item: tuple[int, BatchRequest]) -> SpeakQLOutput:
+                def run(item: tuple[int, QueryRequest]) -> SpeakQLOutput:
                     index, request = item
                     registry = worker_registry()
                     started = time.perf_counter()
-                    mode = "transcription" if request.seed is None else "speech"
-                    with tracer.span("query", parent=batch_span, mode=mode):
-                        output = self._run_one(
-                            request, tracer, registry, records[index]
-                        )
+                    try:
+                        with tracer.span(
+                            "query", parent=batch_span, mode=request.mode
+                        ):
+                            output = self._run_one(
+                                request, tracer, registry, records[index]
+                            )
+                    except Exception as error:
+                        # The query span above already captured the
+                        # original exception; re-raise tagged with the
+                        # input index so callers know which request died.
+                        raise BatchQueryError(index, request, error) from error
                     if registry is not None:
                         finished = time.perf_counter()
                         registry.histogram(
@@ -334,7 +345,7 @@ class SpeakQLService:
         pipeline (e.g. CLI schema/train/kernel arguments).
         """
         bundle = ReplayBundle(
-            config=asdict(self.pipeline.config),
+            config=self.pipeline.config.to_dict(),
             fingerprint=self.artifacts.fingerprint()
             if self.artifacts is not None
             else {},

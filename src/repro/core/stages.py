@@ -32,6 +32,7 @@ from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from repro.asr.engine import AsrResult, SimulatedAsrEngine
+from repro.errors import DeadlineExceededError
 from repro.core.result import (
     LITERAL_STAGE,
     MASK_STAGE,
@@ -77,10 +78,27 @@ class QueryContext:
     #: *add* observations; the pipeline's outputs are bit-identical with
     #: or without a record attached.
     query_record: QueryRecord | None = None
+    #: Absolute ``time.perf_counter()`` cutoff for this query, or
+    #: ``None`` for no deadline.  Enforced *cooperatively*: the query is
+    #: only stopped between stages (:meth:`check_deadline`), never
+    #: mid-stage, so a timed-out query leaves no half-mutated state.
+    deadline: float | None = None
 
     def record(self, stage: str, seconds: float) -> None:
         """Accumulate ``seconds`` against ``stage``."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def check_deadline(self, boundary: str) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` when past due.
+
+        ``boundary`` names the stage that was about to run; it lands on
+        the exception (and in the serving runtime's timeout report).
+        """
+        if self.deadline is not None and time.perf_counter() >= self.deadline:
+            raise DeadlineExceededError(
+                f"deadline exceeded before stage {boundary!r}",
+                stage=boundary,
+            )
 
     def merge(self, other: "QueryContext") -> None:
         """Fold another context's timings and stats into this one."""
@@ -112,16 +130,31 @@ def run_stages(stages: list[PipelineStage], value: Any, ctx: QueryContext) -> An
     stage's seconds are recorded exactly once in ``ctx`` — fallbacks
     inside a stage (e.g. the search kernel's DAP fallback) surface as
     span attributes, never as overlapping timings.
+
+    Deadlines are enforced here, at stage boundaries: with
+    ``ctx.deadline`` set, each stage is preceded by a
+    :meth:`QueryContext.check_deadline` — a query past its cutoff stops
+    before the next stage starts (never mid-stage) and raises
+    :class:`~repro.errors.DeadlineExceededError` naming the boundary.
     """
     tracer = ctx.tracer
     metrics = ctx.metrics
     if not tracer.enabled and metrics is None:
+        if ctx.deadline is None:
+            for stage in stages:
+                start = time.perf_counter()
+                value = stage.run(value, ctx)
+                ctx.record(stage.name, time.perf_counter() - start)
+            return value
         for stage in stages:
+            ctx.check_deadline(stage.name)
             start = time.perf_counter()
             value = stage.run(value, ctx)
             ctx.record(stage.name, time.perf_counter() - start)
         return value
     for stage in stages:
+        if ctx.deadline is not None:
+            ctx.check_deadline(stage.name)
         with tracer.span(obs_names.STAGE_SPAN_PREFIX + stage.name):
             start = time.perf_counter()
             value = stage.run(value, ctx)

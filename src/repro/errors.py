@@ -29,3 +29,15 @@ class DatasetError(ReproError):
 
 class AsrError(ReproError):
     """Simulated speech pipeline failure."""
+
+
+class DeadlineExceededError(ReproError):
+    """A query ran past its deadline and was stopped between stages.
+
+    ``stage`` names the boundary where the expiry was detected — the
+    stage that was about to run (and never started).
+    """
+
+    def __init__(self, message: str, *, stage: str | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage

@@ -27,6 +27,7 @@ from typing import Callable, TextIO
 
 import sys
 
+from repro.api import QueryRequest
 from repro.core.pipeline import SpeakQL
 from repro.observability.export import summary_table
 from repro.observability.metrics import MetricsRegistry
@@ -36,7 +37,14 @@ from repro.sqlengine.parser import parse_select
 
 @dataclass
 class ReplSession:
-    """A scriptable interactive session (stdin/stdout injectable)."""
+    """A scriptable interactive session (stdin/stdout injectable).
+
+    Queries flow through a :class:`~repro.serving.ServingRuntime` as
+    :class:`~repro.api.QueryRequest` objects, so an interactive session
+    gets the same outcome semantics (degraded modes, circuit breaking)
+    as the daemon; ``deadline`` applies one latency budget (seconds) to
+    every query typed into the session.
+    """
 
     pipeline: SpeakQL
     stdin: TextIO = field(default_factory=lambda: sys.stdin)
@@ -45,12 +53,20 @@ class ReplSession:
     #: Optional session-wide registry; every dictation/correction
     #: records into it and a summary table prints on exit.
     metrics: MetricsRegistry | None = None
+    #: Optional per-query latency budget in seconds.
+    deadline: float | None = None
     _current: str = ""
     _candidates: list[str] = field(default_factory=list)
     _rng: random.Random = field(init=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        from repro.core.service import SpeakQLService
+        from repro.serving import ServingRuntime
+
+        self._runtime = ServingRuntime(
+            SpeakQLService.from_pipeline(self.pipeline)
+        )
 
     # -- I/O -----------------------------------------------------------------
 
@@ -99,17 +115,29 @@ class ReplSession:
     # -- actions ------------------------------------------------------------------
 
     def _dictate(self, sql: str) -> None:
-        out = self.pipeline.query_from_speech(
-            sql, seed=self._rng.randrange(1 << 30), metrics=self.metrics
+        request = QueryRequest(
+            text=sql,
+            seed=self._rng.randrange(1 << 30),
+            deadline=self.deadline,
         )
-        self._say(f"heard  : {out.asr_text}")
-        self._set_result(out.queries)
+        response = self._runtime.submit(request, pipeline_metrics=self.metrics)
+        if not response.ok:
+            self._say(f"outcome: {response.outcome} ({response.error})")
+            return
+        self._say(f"heard  : {response.output.asr_text}")
+        if response.outcome != "served":
+            self._say(f"outcome: {response.outcome} (rung {response.rung})")
+        self._set_result(response.output.queries)
 
     def _correct(self, transcription: str) -> None:
-        out = self.pipeline.correct_transcription(
-            transcription, metrics=self.metrics
-        )
-        self._set_result(out.queries)
+        request = QueryRequest(text=transcription, deadline=self.deadline)
+        response = self._runtime.submit(request, pipeline_metrics=self.metrics)
+        if not response.ok:
+            self._say(f"outcome: {response.outcome} ({response.error})")
+            return
+        if response.outcome != "served":
+            self._say(f"outcome: {response.outcome} (rung {response.rung})")
+        self._set_result(response.output.queries)
 
     def _set_result(self, queries: list[str]) -> None:
         self._candidates = list(queries)

@@ -292,6 +292,18 @@ class Recorder:
         self.records.append(record)
         return record
 
+    def start_request(self, request) -> QueryRecord:
+        """Create the record for one :class:`~repro.api.QueryRequest`."""
+        return self.start(
+            mode=request.mode,
+            input_text=request.text,
+            seed=request.seed,
+            nbest=request.nbest,
+            voice=request.speaker.name
+            if request.speaker is not None
+            else None,
+        )
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -354,6 +366,19 @@ class ReplayBundle:
         return cls.from_dict(
             json.loads(Path(path).read_text(encoding="utf-8"))
         )
+
+    def speakql_config(self):
+        """The bundle's config as a live, validated ``SpeakQLConfig``.
+
+        Goes through the versioned
+        :meth:`~repro.core.pipeline.SpeakQLConfig.from_dict`, so a
+        bundle written by an incompatible build fails loudly instead of
+        replaying with silently different settings.  (Lazy import: the
+        observability layer must not import the core at module scope.)
+        """
+        from repro.core.pipeline import SpeakQLConfig
+
+        return SpeakQLConfig.from_dict(self.config)
 
 
 def check_fingerprint(bundle: ReplayBundle, artifacts) -> None:

@@ -19,6 +19,8 @@ from __future__ import annotations
 STAGE_SPAN_PREFIX = "stage."
 
 SPAN_NAMES: dict[str, str] = {
+    "serve": "One ServingRuntime request end to end (admission through "
+             "outcome).",
     "batch": "One SpeakQLService.run_batch call (whole-batch envelope).",
     "query": "One batch item end to end (child of `batch`).",
     "stage.transcribe": "Simulated ASR dictation of one query.",
@@ -35,7 +37,13 @@ SPAN_NAMES: dict[str, str] = {
 SPAN_ATTRIBUTES: dict[str, str] = {
     "queries": "`batch`: number of requests in the batch.",
     "workers": "`batch`: worker-thread count.",
-    "mode": "`query`: `speech` (dictation) or `transcription` (correction).",
+    "mode": "`query`/`serve`: `speech` (dictation) or `transcription` "
+            "(correction).",
+    "outcome": "`serve`: the response outcome (`served`, `degraded`, "
+               "`shed`, `timeout`, `failed`).",
+    "rung": "`serve`: the degradation-ladder rung that answered "
+            "(0 = requested config).",
+    "attempts": "`serve`: ladder rungs actually attempted.",
     "kernel_requested": "`stage.structure_search`: the engine's configured "
                         "search kernel.",
     "kernel_used": "`stage.structure_search`: the kernel that actually ran.",
@@ -79,6 +87,14 @@ SEARCH_INV_CACHE_HITS = "speakql_search_inv_cache_hits_total"
 SEARCH_INV_CACHE_BUILDS = "speakql_search_inv_cache_builds_total"
 SEARCH_DAP_FALLBACK_TOTAL = "speakql_search_dap_fallback_total"
 
+SERVING_REQUESTS_TOTAL = "speakql_serving_requests_total"
+SERVING_OUTCOMES_TOTAL = "speakql_serving_outcomes_total"
+SERVING_RUNG_TOTAL = "speakql_serving_ladder_rung_total"
+SERVING_QUEUE_DEPTH = "speakql_serving_queue_depth"
+SERVING_BREAKER_STATE = "speakql_serving_breaker_state"
+SERVING_BREAKER_TRIPS_TOTAL = "speakql_serving_breaker_trips_total"
+SERVING_SECONDS = "speakql_serving_seconds"
+
 ATTRIBUTION_QUERIES_TOTAL = "speakql_attribution_queries_total"
 ATTRIBUTION_MISSES_TOTAL = "speakql_attribution_misses_total"
 
@@ -119,6 +135,20 @@ METRIC_NAMES: dict[str, str] = {
     SEARCH_INV_CACHE_BUILDS: "counter — INV subindexes built (LRU misses).",
     SEARCH_DAP_FALLBACK_TOTAL: "counter — searches where DAP forced the "
                                "compiled kernel down to `flat`.",
+    SERVING_REQUESTS_TOTAL: "counter — requests submitted to the serving "
+                            "runtime (admitted or shed).",
+    SERVING_OUTCOMES_TOTAL: "counter — responses by `outcome`; sums "
+                            "exactly to the requests submitted.",
+    SERVING_RUNG_TOTAL: "counter — answered requests by degradation-"
+                        "ladder `rung` (0 = requested config).",
+    SERVING_QUEUE_DEPTH: "gauge — requests in flight right now (merge: "
+                         "max).",
+    SERVING_BREAKER_STATE: "gauge — circuit-breaker state per ladder "
+                           "`stage` (0 closed, 1 half-open, 2 open).",
+    SERVING_BREAKER_TRIPS_TOTAL: "counter — breaker trips per ladder "
+                                 "`stage`.",
+    SERVING_SECONDS: "histogram — per-request serving wall seconds "
+                     "(admission to outcome).",
     ATTRIBUTION_QUERIES_TOTAL: "counter — queries attributed against "
                                "ground truth by the forensics engine.",
     ATTRIBUTION_MISSES_TOTAL: "counter — attributed misses, by `cause`.",
@@ -133,7 +163,13 @@ METRIC_LABELS: dict[str, str] = {
     "mode": f"`{QUERIES_TOTAL}`: `speech` or `transcription`.",
     "stage": f"`{STAGE_SECONDS}`: the `PipelineStage.name` "
              "(`transcribe`, `mask`, `structure_search`, "
-             "`literal_determination`).",
+             f"`literal_determination`); `{SERVING_BREAKER_STATE}` and "
+             f"`{SERVING_BREAKER_TRIPS_TOTAL}`: the ladder-rung name "
+             "the breaker guards.",
+    "outcome": f"`{SERVING_OUTCOMES_TOTAL}`: the response outcome "
+               "(`served`, `degraded`, `shed`, `timeout`, `failed`).",
+    "rung": f"`{SERVING_RUNG_TOTAL}`: degradation-ladder rung index "
+            "(0 = requested config).",
     "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "
               "(`compiled`, `flat`, `reference`).",
     "config": f"`{SEARCH_SECONDS}` and benchmark counters: the ablation "

@@ -1,0 +1,32 @@
+"""Resilient serving: deadlines, admission control, degraded modes.
+
+Layer 5 of the architecture: :class:`ServingRuntime` wraps the batch
+:class:`~repro.core.service.SpeakQLService` with per-request service
+levels (deadline budgets enforced at stage boundaries, load shedding
+under saturation, a degradation ladder of cheaper configurations, and
+per-rung circuit breakers), and :class:`ServingDaemon` exposes it as a
+JSON-lines daemon with HTTP health/readiness probes (``repro serve``).
+"""
+
+from repro.serving.daemon import ServingDaemon, request_from_wire
+from repro.serving.runtime import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DEFAULT_LADDER,
+    CircuitBreaker,
+    Rung,
+    ServingRuntime,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "Rung",
+    "ServingDaemon",
+    "ServingRuntime",
+    "request_from_wire",
+]

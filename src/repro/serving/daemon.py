@@ -1,0 +1,182 @@
+"""JSON-lines serving daemon with HTTP health/readiness probes.
+
+``repro serve`` runs this: one JSON object per stdin line in, one JSON
+object per stdout line out, until EOF.  The wire format is the
+:meth:`~repro.api.QueryResponse.to_dict` summary plus the request's
+``id`` echoed back, so callers can pipeline requests without waiting::
+
+    {"id": 1, "text": "SELECT Salary FROM Employees", "seed": 7}
+    {"id": 2, "text": "select salary from celeries"}
+    {"id": 3, "text": "...", "deadline_ms": 1}
+
+    {"id": 1, "outcome": "served", "sql": "...", ...}
+    {"id": 2, "outcome": "served", ...}
+    {"id": 3, "outcome": "timeout", "error": "deadline exceeded ...", ...}
+
+A malformed line produces ``{"error": ...}`` on stdout (the daemon
+never dies on bad input; exceptions escaping the runtime itself are
+reported the same way).  Requests are served serially in arrival order
+— admission control and deadlines still apply, so a saturated or slow
+queue degrades per the runtime's ladder rather than backing up
+silently.
+
+When ``health_port`` is non-zero a stdlib HTTP server on a daemon
+thread answers:
+
+- ``GET /healthz`` — 200 with the runtime's health snapshot (always,
+  while the process lives): liveness.
+- ``GET /readyz`` — 200 when artifacts are loaded and the queue has
+  headroom, 503 otherwise: readiness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO
+
+from repro.api import QueryRequest
+from repro.serving.runtime import ServingRuntime
+
+
+def request_from_wire(data: dict) -> QueryRequest:
+    """Build a :class:`QueryRequest` from one decoded wire object.
+
+    ``deadline_ms`` (milliseconds, wire-friendly) maps to the request's
+    ``deadline`` budget in seconds; ``overrides`` is an optional config
+    override mapping.  Unknown keys are rejected loudly — a typo'd
+    ``dedline_ms`` silently serving without a deadline would be worse.
+    """
+    allowed = {"id", "text", "seed", "nbest", "deadline_ms", "overrides"}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(f"unknown request key(s): {unknown}")
+    text = data.get("text")
+    if not isinstance(text, str) or not text:
+        raise ValueError("request needs a non-empty 'text' string")
+    deadline_ms = data.get("deadline_ms")
+    return QueryRequest(
+        text=text,
+        seed=data.get("seed"),
+        nbest=data.get("nbest"),
+        deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
+        overrides=data.get("overrides") or (),
+    )
+
+
+class _HealthHandler(BaseHTTPRequestHandler):
+    """Serves the runtime's health snapshot; bound via ``server.runtime``."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        runtime: ServingRuntime = self.server.runtime  # type: ignore[attr-defined]
+        health = runtime.health()
+        if self.path == "/healthz":
+            status = 200
+        elif self.path == "/readyz":
+            ready = health["ready"] and (
+                health["inflight"] < health["queue_limit"]
+            )
+            status = 200 if ready else 503
+        else:
+            self.send_error(404, "unknown probe (try /healthz or /readyz)")
+            return
+        body = json.dumps(health, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request access logging (stdout is the data plane)."""
+
+
+class ServingDaemon:
+    """Drives a :class:`ServingRuntime` over JSON-lines streams."""
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        *,
+        health_port: int | None = None,
+    ) -> None:
+        """``health_port``: ``None`` disables the probe server; ``0``
+        binds an ephemeral port (read it back from
+        :attr:`health_address`)."""
+        self.runtime = runtime
+        self.health_port = health_port
+        self._health_server: ThreadingHTTPServer | None = None
+
+    @property
+    def health_address(self) -> tuple[str, int] | None:
+        """The bound (host, port) of the probe server, once started."""
+        if self._health_server is None:
+            return None
+        return self._health_server.server_address[:2]
+
+    def start_health_server(self) -> None:
+        if self.health_port is None or self._health_server is not None:
+            return
+        server = ThreadingHTTPServer(
+            ("127.0.0.1", self.health_port), _HealthHandler
+        )
+        server.runtime = self.runtime  # type: ignore[attr-defined]
+        thread = threading.Thread(
+            target=server.serve_forever, name="serve-health", daemon=True
+        )
+        thread.start()
+        self._health_server = server
+
+    def stop_health_server(self) -> None:
+        if self._health_server is not None:
+            self._health_server.shutdown()
+            self._health_server.server_close()
+            self._health_server = None
+
+    def handle_line(self, line: str) -> dict:
+        """Serve one wire line; always returns a JSON-ready dict."""
+        line = line.strip()
+        if not line:
+            return {}
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("request must be a JSON object")
+            request = request_from_wire(data)
+        except (ValueError, TypeError) as error:
+            return {"id": _request_id(line), "error": str(error)}
+        response = self.runtime.submit(request)
+        out = response.to_dict()
+        if "id" in data:
+            out["id"] = data["id"]
+        return out
+
+    def run(self, stdin: IO[str], stdout: IO[str]) -> int:
+        """Serve until ``stdin`` EOF; returns a process exit code."""
+        if self.health_port is not None:
+            self.start_health_server()
+        try:
+            for line in stdin:
+                out = self.handle_line(line)
+                if not out:
+                    continue
+                stdout.write(json.dumps(out, sort_keys=True) + "\n")
+                stdout.flush()
+        finally:
+            self.stop_health_server()
+        return 0
+
+
+def _request_id(line: str):
+    """Best-effort id extraction for error replies on malformed lines."""
+    try:
+        data = json.loads(line)
+        if isinstance(data, dict):
+            return data.get("id")
+    except ValueError:
+        pass
+    return None
+
+
+__all__ = ["ServingDaemon", "request_from_wire"]

@@ -1,0 +1,612 @@
+"""The resilient serving runtime: deadlines, shedding, degraded modes.
+
+:class:`ServingRuntime` wraps a
+:class:`~repro.core.service.SpeakQLService` and turns the batch
+service's all-or-nothing contract ("every query succeeds or the batch
+raises") into per-request service levels.  Every
+:class:`~repro.api.QueryRequest` comes back as a
+:class:`~repro.api.QueryResponse` whose **outcome** is first class:
+
+``served``
+    Answered at full fidelity by the requested configuration (rung 0).
+``degraded``
+    Answered, but by a cheaper rung of the :data:`degradation ladder
+    <DEFAULT_LADDER>` — because an earlier rung failed, the rung's
+    circuit breaker was open, or the request arrived under deadline
+    pressure.
+``shed``
+    Rejected at admission: the bounded in-flight queue was full.  The
+    request never executed.
+``timeout``
+    The deadline passed while the query was running; the pipeline
+    stopped cooperatively at the next stage boundary
+    (:class:`~repro.errors.DeadlineExceededError`).
+``failed``
+    Every rung that was tried raised; the last error is reported.
+
+Deadlines are **cooperative**: a request's ``deadline`` is a relative
+budget in seconds, converted to an absolute ``time.perf_counter()``
+cutoff at admission and checked between pipeline stages (never inside
+one), so a timed-out query stops at a clean boundary with no partial
+state.
+
+The **degradation ladder** is an ordered tuple of :class:`Rung` objects,
+each naming a set of :class:`~repro.core.pipeline.SpeakQLConfig`
+overrides that trade answer quality for latency and resilience.  Rung 0
+is always the requested configuration; the default ladder then drops
+the compiled kernel for the scalar flat kernel, shrinks ``top_k`` to 1,
+and finally falls back to BDB-only pruning.  Derived pipelines share
+the base pipeline's artifact bundle, so climbing a rung never re-runs
+the offline step.
+
+Each rung carries a deterministic **circuit breaker** generalizing the
+DAP -> flat kernel fallback: after ``failure_threshold`` consecutive
+failures a rung is skipped ("open") for the next ``cooldown_requests``
+requests that consult it, then a single trial request is let through
+("half-open"); success closes the breaker, failure re-opens it.  The
+breaker counts requests, not wall-clock time, so trip/recover sequences
+are reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable, Mapping
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.api import (
+    OUTCOME_DEGRADED,
+    OUTCOME_FAILED,
+    OUTCOME_SERVED,
+    OUTCOME_TIMEOUT,
+    QueryRequest,
+    QueryResponse,
+    shed_response,
+)
+from repro.core.pipeline import SpeakQL
+from repro.core.service import SpeakQLService
+from repro.errors import DeadlineExceededError
+from repro.observability import names as obs_names
+from repro.observability.forensics import QueryRecord, Recorder
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+
+# -- the degradation ladder --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One rung of the degradation ladder.
+
+    ``name`` keys the rung's circuit breaker and metrics; ``overrides``
+    are the :class:`~repro.core.pipeline.SpeakQLConfig` fields this rung
+    forces (applied *over* any per-request overrides — degradation
+    wins).
+    """
+
+    name: str
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.overrides, Mapping):
+            object.__setattr__(
+                self, "overrides", tuple(sorted(self.overrides.items()))
+            )
+
+    def overrides_dict(self) -> dict[str, object]:
+        return dict(self.overrides)
+
+
+#: The default ladder: requested config, then flat kernel, then flat
+#: kernel with ``top_k=1``, then flat kernel + BDB-only pruning.  All
+#: rungs produce *valid* answers (the kernels are bit-identical; the
+#: cheaper rungs only shrink the candidate list and drop optimizations
+#: that can break or slow down).
+DEFAULT_LADDER: tuple[Rung, ...] = (
+    Rung("requested"),
+    Rung("flat_kernel", {"search_kernel": "flat"}),
+    Rung("reduced_top_k", {"search_kernel": "flat", "top_k": 1}),
+    Rung(
+        "bdb_only",
+        {
+            "search_kernel": "flat",
+            "top_k": 1,
+            "use_bdb": True,
+            "use_dap": False,
+            "use_inv": False,
+        },
+    ),
+)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states (exported as
+#: ``speakql_serving_breaker_state``).
+BREAKER_STATE_VALUES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """A deterministic, request-count-based circuit breaker.
+
+    One breaker instance tracks any number of keys (the runtime uses
+    ladder-rung names).  Per key:
+
+    - **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open.
+    - **open** — :meth:`allow` refuses (the runtime routes around the
+      rung) and counts down; after ``cooldown_requests`` refusals the
+      next request becomes the half-open trial.
+    - **half-open** — exactly one trial request is allowed; its success
+      closes the breaker, its failure re-opens it for a fresh cooldown.
+
+    The cooldown counts *requests that consulted the breaker*, not
+    seconds, so state transitions are reproducible under test.  All
+    methods are thread-safe.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown_requests: int = 8
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_requests < 1:
+            raise ValueError("cooldown_requests must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_requests = cooldown_requests
+        self._lock = threading.Lock()
+        self._state: dict[str, str] = {}
+        self._failures: dict[str, int] = {}
+        self._cooldown: dict[str, int] = {}
+        self._trips: dict[str, int] = {}
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            return self._state.get(key, BREAKER_CLOSED)
+
+    def trips(self, key: str) -> int:
+        with self._lock:
+            return self._trips.get(key, 0)
+
+    def states(self) -> dict[str, str]:
+        """A snapshot of every key's state (for health reporting)."""
+        with self._lock:
+            return dict(self._state)
+
+    def allow(self, key: str) -> bool:
+        """Whether a request may use ``key`` right now.
+
+        Consulting an open key counts against its cooldown; the call
+        that exhausts the cooldown flips the key to half-open and is
+        itself allowed (it is the trial).
+        """
+        with self._lock:
+            state = self._state.get(key, BREAKER_CLOSED)
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_HALF_OPEN:
+                # A trial is already in flight; refuse concurrent ones.
+                return False
+            remaining = self._cooldown.get(key, 0) - 1
+            if remaining > 0:
+                self._cooldown[key] = remaining
+                return False
+            self._state[key] = BREAKER_HALF_OPEN
+            return True
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            self._state[key] = BREAKER_CLOSED
+            self._failures[key] = 0
+
+    def record_failure(self, key: str) -> bool:
+        """Record a failure; returns ``True`` when this call trips open."""
+        with self._lock:
+            state = self._state.get(key, BREAKER_CLOSED)
+            if state == BREAKER_HALF_OPEN:
+                # The trial failed: straight back to open.
+                self._state[key] = BREAKER_OPEN
+                self._cooldown[key] = self.cooldown_requests
+                self._trips[key] = self._trips.get(key, 0) + 1
+                return True
+            failures = self._failures.get(key, 0) + 1
+            self._failures[key] = failures
+            if state == BREAKER_CLOSED and failures >= self.failure_threshold:
+                self._state[key] = BREAKER_OPEN
+                self._cooldown[key] = self.cooldown_requests
+                self._trips[key] = self._trips.get(key, 0) + 1
+                return True
+            return False
+
+
+# -- the runtime -------------------------------------------------------------
+
+
+class ServingRuntime:
+    """Per-request serving over a shared :class:`SpeakQLService`.
+
+    Parameters
+    ----------
+    service:
+        The batch service to wrap; rung 0 with no per-request overrides
+        runs on ``service.pipeline`` itself, so an unpressured runtime
+        is bit-identical to ``service.run_batch``.
+    queue_limit:
+        Maximum requests in flight at once; request ``queue_limit + 1``
+        is shed at admission.
+    ladder:
+        The degradation ladder (default :data:`DEFAULT_LADDER`).  Rung 0
+        must be the requested configuration (empty overrides).
+    degrade_below:
+        Deadline-pressure threshold in seconds: a request whose budget
+        is *below* this starts at rung 1 directly (skipping the
+        expensive requested config), and is reported ``degraded``.
+        ``None`` (default) disables pressure-based degradation.
+    breaker:
+        The shared :class:`CircuitBreaker` (a default one is built from
+        ``breaker_threshold``/``breaker_cooldown`` when omitted).
+    tracer / metrics:
+        Serving-level observability handles.  The runtime wraps every
+        request in a ``serve`` span and maintains the
+        ``speakql_serving_*`` instruments (guarded by the admission
+        lock — unlike pipeline metrics these are shared across worker
+        threads).
+    """
+
+    def __init__(
+        self,
+        service: SpeakQLService,
+        *,
+        queue_limit: int = 16,
+        ladder: Iterable[Rung] = DEFAULT_LADDER,
+        degrade_below: float | None = None,
+        breaker: CircuitBreaker | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 8,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.service = service
+        self.queue_limit = queue_limit
+        self.ladder = tuple(ladder)
+        if not self.ladder:
+            raise ValueError("the degradation ladder needs at least one rung")
+        if self.ladder[0].overrides:
+            raise ValueError(
+                "rung 0 must be the requested configuration (no overrides)"
+            )
+        self.degrade_below = degrade_below
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_requests=breaker_cooldown,
+        )
+        self.tracer = tracer if tracer is not None else service.pipeline.tracer
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._shed = 0
+        self._outcomes = {outcome: 0 for outcome in
+                          ("served", "degraded", "shed", "timeout", "failed")}
+        self._pipelines: dict[tuple, SpeakQL] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(
+        self,
+        query: object,
+        *,
+        record: QueryRecord | None = None,
+        pipeline_metrics: MetricsRegistry | None = None,
+    ) -> QueryResponse:
+        """Serve one request end to end; never raises for request errors.
+
+        ``pipeline_metrics`` (optional) receives the pipeline's own
+        stage/search instruments; confine it to the calling thread (the
+        runtime's serving counters live in ``self.metrics`` and are
+        lock-guarded instead).
+        """
+        request = QueryRequest.from_legacy(query)
+        with self._lock:
+            self._count(obs_names.SERVING_REQUESTS_TOTAL)
+            if self._inflight >= self.queue_limit:
+                self._shed += 1
+                self._outcomes["shed"] += 1
+                self._count(
+                    obs_names.SERVING_OUTCOMES_TOTAL, outcome="shed"
+                )
+                return shed_response(request)
+            self._inflight += 1
+            self._gauge(obs_names.SERVING_QUEUE_DEPTH, self._inflight)
+        try:
+            response = self._execute(request, record, pipeline_metrics)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._gauge(obs_names.SERVING_QUEUE_DEPTH, self._inflight)
+        with self._lock:
+            self._outcomes[response.outcome] += 1
+            self._count(
+                obs_names.SERVING_OUTCOMES_TOTAL, outcome=response.outcome
+            )
+            if response.ok:
+                self._count(
+                    obs_names.SERVING_RUNG_TOTAL, rung=str(response.rung)
+                )
+            self._observe(
+                obs_names.SERVING_SECONDS, response.wall_seconds
+            )
+        return response
+
+    def serve_batch(
+        self,
+        queries: Iterable[object],
+        *,
+        workers: int = 1,
+        recorder: Recorder | None = None,
+    ) -> list[QueryResponse]:
+        """Serve a batch, preserving input order.
+
+        With no deadlines, no pressure, and the default configuration
+        every response is ``served`` at rung 0 and ``[r.output for r in
+        responses]`` is bit-identical to ``service.run_batch`` on the
+        same inputs — the runtime adds service levels, never answers.
+        """
+        requests = [QueryRequest.from_legacy(q) for q in queries]
+        records: list[QueryRecord | None]
+        if recorder is not None:
+            records = [recorder.start_request(req) for req in requests]
+        else:
+            records = [None] * len(requests)
+        items = list(zip(requests, records))
+        if workers <= 1 or len(items) <= 1:
+            return [
+                self.submit(req, record=rec) for req, rec in items
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda item: self.submit(item[0], record=item[1]),
+                         items)
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(
+        self,
+        request: QueryRequest,
+        record: QueryRecord | None,
+        pipeline_metrics: MetricsRegistry | None,
+    ) -> QueryResponse:
+        admitted = time.perf_counter()
+        deadline_at = (
+            admitted + request.deadline
+            if request.deadline is not None
+            else None
+        )
+        start_rung = 0
+        if (
+            self.degrade_below is not None
+            and request.deadline is not None
+            and request.deadline < self.degrade_below
+            and len(self.ladder) > 1
+        ):
+            start_rung = 1
+        attempts = 0
+        last_error: BaseException | None = None
+        with self.tracer.span("serve", mode=request.mode) as span:
+            for index in range(start_rung, len(self.ladder)):
+                rung = self.ladder[index]
+                if deadline_at is not None and (
+                    time.perf_counter() >= deadline_at
+                ):
+                    response = self._finish(
+                        request, OUTCOME_TIMEOUT, rung=index,
+                        attempts=attempts, admitted=admitted,
+                        error=f"deadline exceeded before rung {rung.name!r}",
+                        record=record,
+                    )
+                    break
+                if not self.breaker.allow(rung.name):
+                    self._breaker_metrics(rung.name)
+                    continue
+                attempts += 1
+                try:
+                    output = self._attempt(
+                        request, index, deadline_at, record, pipeline_metrics
+                    )
+                except DeadlineExceededError as error:
+                    # Ran out of budget mid-flight: terminal by
+                    # definition (no budget left for a cheaper rung).
+                    # The breaker is *not* charged — the rung did not
+                    # malfunction, the clock ran out.
+                    response = self._finish(
+                        request, OUTCOME_TIMEOUT, rung=index,
+                        attempts=attempts, admitted=admitted,
+                        error=str(error), record=record,
+                    )
+                    break
+                except Exception as error:  # noqa: BLE001 - ladder boundary
+                    last_error = error
+                    tripped = self.breaker.record_failure(rung.name)
+                    if tripped:
+                        self._count_locked(
+                            obs_names.SERVING_BREAKER_TRIPS_TOTAL,
+                            stage=rung.name,
+                        )
+                    self._breaker_metrics(rung.name)
+                    continue
+                self.breaker.record_success(rung.name)
+                self._breaker_metrics(rung.name)
+                outcome = (
+                    OUTCOME_SERVED if index == 0 else OUTCOME_DEGRADED
+                )
+                response = self._finish(
+                    request, outcome, rung=index, attempts=attempts,
+                    admitted=admitted, output=output, record=record,
+                )
+                break
+            else:
+                detail = (
+                    f"all {len(self.ladder) - start_rung} rung(s) failed"
+                    + (f"; last error: {last_error}" if last_error else
+                       " (every rung's breaker was open)")
+                )
+                response = self._finish(
+                    request, OUTCOME_FAILED, rung=len(self.ladder) - 1,
+                    attempts=attempts, admitted=admitted, error=detail,
+                    record=record,
+                )
+            span.set("outcome", response.outcome)
+            span.set("rung", response.rung)
+            span.set("attempts", response.attempts)
+        return response
+
+    def _attempt(
+        self,
+        request: QueryRequest,
+        rung_index: int,
+        deadline_at: float | None,
+        record: QueryRecord | None,
+        pipeline_metrics: MetricsRegistry | None,
+    ):
+        pipeline = self._pipeline_for(request, rung_index)
+        if request.seed is None:
+            return pipeline.correct_transcription(
+                request.text,
+                tracer=self.tracer,
+                metrics=pipeline_metrics,
+                record=record,
+                deadline=deadline_at,
+            )
+        return pipeline.query_from_speech(
+            request.text,
+            seed=request.seed,
+            nbest=request.nbest,
+            voice=request.speaker,
+            tracer=self.tracer,
+            metrics=pipeline_metrics,
+            record=record,
+            deadline=deadline_at,
+        )
+
+    def _pipeline_for(self, request: QueryRequest, rung_index: int) -> SpeakQL:
+        """The pipeline serving ``request`` at ladder rung ``rung_index``.
+
+        Rung 0 with no per-request overrides is the base pipeline
+        itself — the bit-identity guarantee.  Every other combination is
+        a derived pipeline over the *same* artifact bundle, built once
+        and cached by its effective override set.
+        """
+        rung = self.ladder[rung_index]
+        merged = dict(request.overrides)
+        merged.update(rung.overrides_dict())  # degradation wins
+        if not merged:
+            return self.service.pipeline
+        key = tuple(sorted(merged.items()))
+        with self._lock:
+            pipeline = self._pipelines.get(key)
+        if pipeline is not None:
+            return pipeline
+        base = self.service.pipeline
+        config = base.config.with_overrides(merged)
+        pipeline = SpeakQL(
+            base.catalog,
+            engine=base.engine,
+            structure_index=base.structure_index,
+            config=config,
+            phonetic_index=base.phonetic_index,
+            artifacts=base.artifacts,
+        )
+        with self._lock:
+            return self._pipelines.setdefault(key, pipeline)
+
+    def _finish(
+        self,
+        request: QueryRequest,
+        outcome: str,
+        *,
+        rung: int,
+        attempts: int,
+        admitted: float,
+        output=None,
+        error: str | None = None,
+        record: QueryRecord | None = None,
+    ) -> QueryResponse:
+        return QueryResponse(
+            request=request,
+            outcome=outcome,
+            output=output,
+            record=record,
+            rung=rung,
+            attempts=attempts,
+            error=error,
+            wall_seconds=time.perf_counter() - admitted,
+        )
+
+    # -- health & metrics ----------------------------------------------------
+
+    def health(self) -> dict:
+        """A JSON-ready liveness/readiness snapshot (daemon probes)."""
+        with self._lock:
+            outcomes = dict(self._outcomes)
+            inflight = self._inflight
+        return {
+            "status": "ok",
+            "ready": self.service.artifacts is not None,
+            "inflight": inflight,
+            "queue_limit": self.queue_limit,
+            "outcomes": outcomes,
+            "breakers": self.breaker.states(),
+            "ladder": [rung.name for rung in self.ladder],
+        }
+
+    def _count(self, name: str, **labels: str) -> None:
+        """Bump a serving counter; caller holds ``self._lock``."""
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()
+
+    def _count_locked(self, name: str, **labels: str) -> None:
+        with self._lock:
+            self._count(name, **labels)
+
+    def _gauge(self, name: str, value: float, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    def _breaker_metrics(self, rung_name: str) -> None:
+        if self.metrics is None:
+            return
+        state = self.breaker.state(rung_name)
+        with self._lock:
+            self._gauge(
+                obs_names.SERVING_BREAKER_STATE,
+                BREAKER_STATE_VALUES[state],
+                stage=rung_name,
+            )
+
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BREAKER_STATE_VALUES",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "Rung",
+    "ServingRuntime",
+]

@@ -1,0 +1,163 @@
+"""Tests for the unified request/response API (``repro.api``).
+
+The deprecated ``(sql, seed)`` tuple shim is deliberately *not*
+exercised here — its one test lives in
+``tests/core/test_service.py::TestRequestNormalization``.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import (
+    OUTCOMES,
+    BatchQueryError,
+    QueryRequest,
+    QueryResponse,
+    shed_response,
+)
+from repro.core import SpeakQLArtifacts, SpeakQLService
+
+
+class TestQueryRequest:
+    def test_overrides_mapping_normalizes_to_sorted_pairs(self):
+        request = QueryRequest(
+            text="x", overrides={"top_k": 1, "search_kernel": "flat"}
+        )
+        assert request.overrides == (
+            ("search_kernel", "flat"), ("top_k", 1),
+        )
+        assert request.overrides_dict() == {
+            "search_kernel": "flat", "top_k": 1,
+        }
+
+    def test_requests_are_frozen_and_hashable(self):
+        request = QueryRequest(text="x", seed=7, overrides={"top_k": 1})
+        assert hash(request) == hash(
+            QueryRequest(text="x", seed=7, overrides={"top_k": 1})
+        )
+        with pytest.raises(AttributeError):
+            request.seed = 8
+
+    def test_mode_follows_seed(self):
+        assert QueryRequest(text="x", seed=7).mode == "speech"
+        assert QueryRequest(text="x").mode == "transcription"
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            QueryRequest(text="x", deadline=-0.1)
+
+    def test_with_overrides_merges(self):
+        request = QueryRequest(text="x", overrides={"top_k": 5})
+        merged = request.with_overrides(top_k=1, use_dap=False)
+        assert merged.overrides_dict() == {"top_k": 1, "use_dap": False}
+        assert request.overrides_dict() == {"top_k": 5}  # original untouched
+
+    def test_from_legacy_passthrough_and_string(self):
+        request = QueryRequest(text="x", seed=7)
+        assert QueryRequest.from_legacy(request) is request
+        corrected = QueryRequest.from_legacy("select salary")
+        assert corrected == QueryRequest(text="select salary")
+        assert corrected.mode == "transcription"
+
+    def test_from_legacy_sql_attribute_shape(self):
+        spoken = SimpleNamespace(sql="SELECT 1", seed=3)
+        request = QueryRequest.from_legacy(spoken)
+        assert request.text == "SELECT 1"
+        assert request.seed == 3
+
+    def test_from_legacy_rejects_unknown_shapes(self):
+        with pytest.raises(TypeError):
+            QueryRequest.from_legacy(42)
+
+
+class TestQueryResponse:
+    def test_outcome_validated(self):
+        request = QueryRequest(text="x")
+        with pytest.raises(ValueError, match="unknown outcome"):
+            QueryResponse(request=request, outcome="lost")
+        for outcome in OUTCOMES:
+            QueryResponse(request=request, outcome=outcome)
+
+    def test_answerless_response_defaults(self):
+        response = shed_response(QueryRequest(text="x"))
+        assert response.outcome == "shed"
+        assert response.ok is False
+        assert response.sql == ""
+        assert response.attempts == 0
+        assert response.timings.stages == {}
+
+    def test_to_dict_wire_shape(self):
+        response = QueryResponse(
+            request=QueryRequest(text="x"),
+            outcome="timeout",
+            rung=1,
+            attempts=2,
+            error="deadline exceeded before stage 'mask'",
+            wall_seconds=0.0123456,
+        )
+        assert response.to_dict() == {
+            "outcome": "timeout",
+            "sql": "",
+            "queries": [],
+            "rung": 1,
+            "attempts": 2,
+            "error": "deadline exceeded before stage 'mask'",
+            "wall_ms": 12.346,
+        }
+
+
+class TestBatchQueryError:
+    def test_message_names_index_and_request(self):
+        error = BatchQueryError(
+            3, QueryRequest(text="SELECT 1", seed=9), RuntimeError("boom")
+        )
+        assert "#3" in str(error)
+        assert "'SELECT 1'" in str(error)
+        assert "seed=9" in str(error)
+        assert "boom" in str(error)
+        assert error.index == 3
+        assert isinstance(error, RuntimeError)
+
+    def test_long_text_is_previewed(self):
+        error = BatchQueryError(
+            0, QueryRequest(text="x" * 100), RuntimeError("boom")
+        )
+        assert "x" * 57 + "..." in str(error)
+        assert "x" * 61 not in str(error)
+
+    def test_worker_failure_surfaces_input_index(self, request):
+        """A worker raising mid-batch names the failing input."""
+        small_catalog = request.getfixturevalue("small_catalog")
+        small_index = request.getfixturevalue("small_index")
+        artifacts = SpeakQLArtifacts.build(
+            structure_index=small_index,
+            training_sql=["SELECT FirstName FROM Employees"],
+        )
+        service = SpeakQLService(small_catalog, artifacts=artifacts)
+        real = service.pipeline.correct_transcription
+
+        def poisoned(text, **kwargs):
+            if text == "poison this one":
+                raise RuntimeError("stage blew up")
+            return real(text, **kwargs)
+
+        service.pipeline.correct_transcription = poisoned
+        try:
+            with pytest.raises(BatchQueryError) as excinfo:
+                service.run_batch(
+                    [
+                        "select salary from salaries",
+                        "poison this one",
+                        "select salary from salaries",
+                    ],
+                    workers=2,
+                )
+        finally:
+            del service.pipeline.correct_transcription
+        assert excinfo.value.index == 1
+        assert "#1" in str(excinfo.value)
+        assert "stage blew up" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)

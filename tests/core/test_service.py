@@ -9,10 +9,11 @@ from types import SimpleNamespace
 
 import pytest
 
+from repro.api import QueryRequest
 from repro.asr.engine import make_custom_engine
 from repro.core import BatchRequest, SpeakQL, SpeakQLArtifacts, SpeakQLService
 
-WORKLOAD = [
+CASES = [
     ("SELECT AVG ( salary ) FROM Salaries", 3),
     ("SELECT FirstName FROM Employees WHERE Gender = 'M'", 5),
     ("SELECT LastName FROM Employees natural join Salaries", 7),
@@ -21,6 +22,8 @@ WORKLOAD = [
     ("SELECT FirstName FROM Employees WHERE LastName = 'Facello'", 17),
     ("SELECT AVG ( salary ) FROM Salaries", 3),  # duplicate on purpose
 ]
+
+WORKLOAD = [QueryRequest(text=sql, seed=seed) for sql, seed in CASES]
 
 TRANSCRIPTIONS = [
     "select last name from employers wear first name equals Karsten",
@@ -32,7 +35,7 @@ TRANSCRIPTIONS = [
 @pytest.fixture(scope="module")
 def artifacts(request):
     medium_index = request.getfixturevalue("medium_index")
-    engine = make_custom_engine([sql for sql, _ in WORKLOAD])
+    engine = make_custom_engine([sql for sql, _ in CASES])
     return SpeakQLArtifacts.build(engine=engine, structure_index=medium_index)
 
 
@@ -68,7 +71,7 @@ class TestRunBatchDeterminism:
     def test_parallel_identical_to_serial(self, serial_pipeline, service):
         serial = [
             serial_pipeline.query_from_speech(sql, seed=seed)
-            for sql, seed in WORKLOAD
+            for sql, seed in CASES
         ]
         batch = service.run_batch(WORKLOAD, workers=4)
         assert_outputs_identical(batch, serial)
@@ -82,7 +85,7 @@ class TestRunBatchDeterminism:
 
     def test_results_in_input_order(self, service):
         outputs = service.run_batch(WORKLOAD, workers=4)
-        for (sql, seed), out in zip(WORKLOAD, outputs):
+        for (sql, seed), out in zip(CASES, outputs):
             reference = service.pipeline.query_from_speech(sql, seed=seed)
             assert out.asr_text == reference.asr_text
             assert out.queries == reference.queries
@@ -97,16 +100,24 @@ class TestRunBatchDeterminism:
 
 class TestRequestNormalization:
     def test_accepts_mixed_request_shapes(self, service):
-        sql, seed = WORKLOAD[0]
+        sql, seed = CASES[0]
         outputs = service.run_batch(
             [
-                (sql, seed),
-                BatchRequest(text=sql, seed=seed),
+                QueryRequest(text=sql, seed=seed),
+                BatchRequest(text=sql, seed=seed),  # legacy alias
                 SimpleNamespace(sql=sql, seed=seed),
             ],
             workers=2,
         )
         assert outputs[0].queries == outputs[1].queries == outputs[2].queries
+
+    def test_tuple_shim_warns_and_normalizes(self, service):
+        # The ONE test exercising the deprecated (sql, seed) tuple form.
+        sql, seed = CASES[0]
+        with pytest.warns(DeprecationWarning, match="tuple requests"):
+            [legacy] = service.run_batch([(sql, seed)])
+        [modern] = service.run_batch([QueryRequest(text=sql, seed=seed)])
+        assert legacy.queries == modern.queries
 
     def test_bare_string_is_corrected_without_asr(self, service):
         [out] = service.run_batch(["select salary from celeries"])
@@ -129,7 +140,7 @@ class TestServiceConstruction:
             SpeakQLService()
 
     def test_passthroughs(self, service):
-        sql, seed = WORKLOAD[0]
+        sql, seed = CASES[0]
         direct = service.pipeline.query_from_speech(sql, seed=seed)
         assert service.query_from_speech(sql, seed=seed).queries == direct.queries
         corrected = service.correct_transcription("select salary from celeries")

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import QueryRequest
 from repro.core import SpeakQLArtifacts, SpeakQLService
 from repro.observability import names as obs_names
 from repro.observability.metrics import MetricsRegistry
@@ -99,12 +100,26 @@ def test_instrumented_run_emits_only_catalogued_names(request):
     registry = MetricsRegistry()
     service.run_batch(
         [
-            ("SELECT FirstName FROM Employees", 7),  # dictation path
+            QueryRequest(
+                text="SELECT FirstName FROM Employees", seed=7
+            ),  # dictation path
             "select salary from salaries",  # correction path
         ],
         workers=2,
         tracer=tracer,
         metrics=registry,
+    )
+    # The serving runtime's names are held to the same contract: one
+    # served request (breaker-state gauge, rung counter) and one
+    # deadline-zero timeout (outcome counter, serve span attributes).
+    from repro.serving import ServingRuntime
+
+    runtime = ServingRuntime(service, tracer=tracer, metrics=registry)
+    runtime.submit(QueryRequest(text="select salary from salaries"))
+    runtime.submit(
+        QueryRequest(
+            text="SELECT FirstName FROM Employees", seed=7, deadline=0.0
+        )
     )
 
     emitted_spans = {span.name for span in tracer.spans}

@@ -89,8 +89,11 @@ class TestMidBatchFailure:
         spans = {span.name: span for span in tracer.spans}
         batch = spans["batch"]
         assert batch.attributes["error"] is True
-        assert batch.attributes["exception_type"] == "RuntimeError"
+        # The batch sees the index-tagged wrapper; the query span (below)
+        # keeps the original exception type.
+        assert batch.attributes["exception_type"] == "BatchQueryError"
         assert "stage blew up" in batch.attributes["exception"]
+        assert "#1" in batch.attributes["exception"]
         assert batch.end >= batch.start
         failed_queries = [
             span

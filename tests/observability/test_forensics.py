@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.api import QueryRequest
 from repro.core import SpeakQLService
 from repro.observability.forensics import (
     ATTRIBUTION_CAUSES,
@@ -39,16 +40,16 @@ def service(request) -> SpeakQLService:
 
 #: A 10-query batch mixing dictation (seeded) and raw correction.
 BATCH = [
-    ("SELECT salary FROM Salaries", 3),
-    ("SELECT FirstName FROM Employees", 5),
+    QueryRequest(text="SELECT salary FROM Salaries", seed=3),
+    QueryRequest(text="SELECT FirstName FROM Employees", seed=5),
     "select last name from employees",
-    ("SELECT Gender FROM Employees", 8),
+    QueryRequest(text="SELECT Gender FROM Employees", seed=8),
     "select salary from celeries",
-    ("SELECT FromDate FROM Salaries", 13),
-    ("SELECT LastName FROM Employees", 21),
+    QueryRequest(text="SELECT FromDate FROM Salaries", seed=13),
+    QueryRequest(text="SELECT LastName FROM Employees", seed=21),
     "select first name from employees",
-    ("SELECT ToDate FROM Salaries", 34),
-    ("SELECT EmployeeNumber FROM Employees", 55),
+    QueryRequest(text="SELECT ToDate FROM Salaries", seed=34),
+    QueryRequest(text="SELECT EmployeeNumber FROM Employees", seed=55),
 ]
 
 
@@ -65,10 +66,10 @@ class TestRecording:
         recorder = Recorder()
         outputs = service.run_batch(BATCH, workers=3, recorder=recorder)
         for request, record, output in zip(BATCH, recorder.records, outputs):
-            if isinstance(request, tuple):
+            if isinstance(request, QueryRequest):
                 assert record.mode == "speech"
-                assert record.input_text == request[0]
-                assert record.seed == request[1]
+                assert record.input_text == request.text
+                assert record.seed == request.seed
                 assert record.spoken  # channel provenance captured
                 assert record.heard
             else:
@@ -79,8 +80,10 @@ class TestRecording:
 
     def test_record_captures_provenance(self, service):
         recorder = Recorder(top_k=5)
-        service.run_batch([("SELECT salary FROM Salaries", 3)],
-                          recorder=recorder)
+        service.run_batch(
+            [QueryRequest(text="SELECT salary FROM Salaries", seed=3)],
+            recorder=recorder,
+        )
         record = recorder.records[0]
         assert record.masked  # masking captured
         assert record.candidates  # ranked structure candidates
@@ -319,8 +322,10 @@ class TestAttribution:
 class TestRenderRecord:
     def test_narrative_sections(self, service):
         recorder = Recorder()
-        service.run_batch([("SELECT salary FROM Salaries", 3)],
-                          recorder=recorder)
+        service.run_batch(
+            [QueryRequest(text="SELECT salary FROM Salaries", seed=3)],
+            recorder=recorder,
+        )
         text = render_record(recorder.records[0], gold_sql=GOLD)
         assert "-- acoustic channel --" in text
         assert "-- structure search --" in text

@@ -1,0 +1,146 @@
+"""Tests for the JSON-lines daemon and its health probes."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import QueryRequest
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.serving import ServingDaemon, ServingRuntime, request_from_wire
+
+
+@pytest.fixture(scope="module")
+def runtime(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    small_index = request.getfixturevalue("small_index")
+    artifacts = SpeakQLArtifacts.build(
+        structure_index=small_index,
+        training_sql=["SELECT FirstName FROM Employees"],
+    )
+    service = SpeakQLService(small_catalog, artifacts=artifacts)
+    return ServingRuntime(service)
+
+
+class TestWireFormat:
+    def test_minimal_request(self):
+        request = request_from_wire({"text": "select salary"})
+        assert request == QueryRequest(text="select salary")
+        assert request.deadline is None
+
+    def test_full_request(self):
+        request = request_from_wire(
+            {
+                "id": 4,
+                "text": "SELECT FirstName FROM Employees",
+                "seed": 7,
+                "nbest": 3,
+                "deadline_ms": 250,
+                "overrides": {"top_k": 1},
+            }
+        )
+        assert request.seed == 7
+        assert request.nbest == 3
+        assert request.deadline == 0.25
+        assert request.overrides_dict() == {"top_k": 1}
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="dedline_ms"):
+            request_from_wire({"text": "x", "dedline_ms": 1})
+
+    def test_text_required(self):
+        with pytest.raises(ValueError, match="text"):
+            request_from_wire({"seed": 7})
+        with pytest.raises(ValueError, match="text"):
+            request_from_wire({"text": ""})
+
+
+class TestHandleLine:
+    def test_served_response_echoes_id(self, runtime):
+        daemon = ServingDaemon(runtime)
+        out = daemon.handle_line(
+            json.dumps({"id": 9, "text": "select salary from salaries"})
+        )
+        assert out["id"] == 9
+        assert out["outcome"] == "served"
+        assert out["sql"] == "SELECT salary FROM Salaries"
+        assert out["rung"] == 0
+        assert out["error"] is None
+
+    def test_timeout_outcome_on_zero_deadline(self, runtime):
+        daemon = ServingDaemon(runtime)
+        out = daemon.handle_line(
+            json.dumps(
+                {"text": "SELECT FirstName FROM Employees",
+                 "seed": 7, "deadline_ms": 0}
+            )
+        )
+        assert out["outcome"] == "timeout"
+        assert out["sql"] == ""
+        assert "deadline exceeded" in out["error"]
+
+    def test_blank_line_is_skipped(self, runtime):
+        assert ServingDaemon(runtime).handle_line("   \n") == {}
+
+    def test_malformed_json_reports_error(self, runtime):
+        out = ServingDaemon(runtime).handle_line("{not json")
+        assert "error" in out
+        assert out["id"] is None
+
+    def test_non_object_reports_error(self, runtime):
+        out = ServingDaemon(runtime).handle_line("[1, 2]")
+        assert "JSON object" in out["error"]
+
+    def test_bad_request_keeps_id(self, runtime):
+        out = ServingDaemon(runtime).handle_line(
+            json.dumps({"id": 3, "text": "x", "bogus": 1})
+        )
+        assert out["id"] == 3
+        assert "bogus" in out["error"]
+
+
+class TestRunLoop:
+    def test_one_line_in_one_line_out(self, runtime):
+        stdin = io.StringIO(
+            json.dumps({"id": 1, "text": "select salary from salaries"})
+            + "\n\n"
+            + "{broken\n"
+        )
+        stdout = io.StringIO()
+        assert ServingDaemon(runtime).run(stdin, stdout) == 0
+        lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert len(lines) == 2  # the blank line produced no output
+        assert lines[0]["id"] == 1
+        assert lines[0]["outcome"] == "served"
+        assert "error" in lines[1]
+
+
+class TestHealthProbes:
+    def test_probe_endpoints(self, runtime):
+        daemon = ServingDaemon(runtime, health_port=0)
+        daemon.start_health_server()
+        try:
+            host, port = daemon.health_address
+            base = f"http://{host}:{port}"
+            with urllib.request.urlopen(base + "/healthz", timeout=5) as resp:
+                assert resp.status == 200
+                health = json.loads(resp.read())
+            assert health["status"] == "ok"
+            assert health["ready"] is True
+            with urllib.request.urlopen(base + "/readyz", timeout=5) as resp:
+                assert resp.status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(base + "/bogus", timeout=5)
+            assert excinfo.value.code == 404
+        finally:
+            daemon.stop_health_server()
+        assert daemon.health_address is None
+
+    def test_disabled_by_default(self, runtime):
+        daemon = ServingDaemon(runtime)
+        daemon.start_health_server()
+        assert daemon.health_address is None

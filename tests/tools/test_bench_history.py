@@ -64,6 +64,62 @@ class TestEntryFromReport:
             bench_history.entry_from_report({"benchmark": "x"}, "bad.json")
 
 
+def _serving_report(median_ms=140.0, queries=40, deadline_ms=50.0):
+    return {
+        "benchmark": "serving_throughput",
+        "queries": queries,
+        "workers": 2,
+        "deadline_ms": deadline_ms,
+        "outcomes": {"served": queries - 1, "timeout": 1},
+        "answered": queries - 1,
+        "answered_fraction": (queries - 1) / queries,
+        "throughput_qps": 11.5,
+        "median_ms": median_ms,
+        "p95_ms": median_ms * 2,
+    }
+
+
+class TestServingEntry:
+    def test_serving_shape_extracts_throughput_numbers(self):
+        entry = bench_history.entry_from_report(_serving_report(), "s.json")
+        assert entry["key"] == "serving_throughput@q40ms50"
+        assert entry["median_ms"] == 140.0
+        assert entry["throughput_qps"] == 11.5
+        assert entry["answered_fraction"] == 39 / 40
+        assert entry["outcomes"]["timeout"] == 1
+        assert "median_speedup" not in entry
+
+    def test_key_includes_workload_and_deadline(self):
+        tight = bench_history.entry_from_report(
+            _serving_report(deadline_ms=1.0), "s"
+        )
+        loose = bench_history.entry_from_report(
+            _serving_report(deadline_ms=None), "s"
+        )
+        assert tight["key"] == "serving_throughput@q40ms1"
+        assert loose["key"] == "serving_throughput@q40ms0"
+        assert tight["key"] != loose["key"]
+
+    def test_regression_gate_applies_to_serving_entries(self):
+        history = [
+            bench_history.entry_from_report(_serving_report(100.0), "old")
+        ]
+        entry = bench_history.entry_from_report(_serving_report(200.0), "new")
+        verdict = bench_history.check_regression(entry, history)
+        assert verdict is not None and "slower" in verdict
+
+    def test_main_appends_serving_entry(self, tmp_path):
+        report_path = tmp_path / "serving.json"
+        report_path.write_text(json.dumps(_serving_report()))
+        history_path = tmp_path / "history.jsonl"
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        )
+        assert code == 0
+        [entry] = bench_history.read_history(history_path)
+        assert entry["benchmark"] == "serving_throughput"
+
+
 class TestCheckRegression:
     def test_first_run_for_key_passes(self):
         entry = bench_history.entry_from_report(_report(), "s")

@@ -2,14 +2,16 @@
 """Append a benchmark run to the trajectory log and gate on regression.
 
 Reads a ``BENCH_*.json`` report (the output of
-``benchmarks/bench_search_perf.py``), appends one compact line to a
-JSON-lines history file, and exits non-zero when the new run's primary
-median latency regressed by more than the allowed fraction against the
-*previous* entry with the same key.
+``benchmarks/bench_search_perf.py`` or ``benchmarks/bench_serving.py``),
+appends one compact line to a JSON-lines history file, and exits
+non-zero when the new run's primary median latency regressed by more
+than the allowed fraction against the *previous* entry with the same
+key.
 
-The key includes the workload size (``structure_search_kernels@max15``),
-so a CI smoke run at ``--max-tokens 15`` is only ever compared against
-earlier smoke runs — never against the committed full-size report.
+The key includes the workload size (``structure_search_kernels@max15``,
+``serving_throughput@q40ms50``), so a CI smoke run is only ever
+compared against earlier smoke runs — never against the committed
+full-size report.
 
 Exit status: 0 (appended, no regression or first run for the key),
 1 (appended, regression beyond the threshold), 2 (unusable input).
@@ -37,7 +39,32 @@ DEFAULT_MAX_REGRESSION = 0.25
 
 
 def entry_from_report(report: dict, source: str) -> dict:
-    """One history line from a bench report (raises KeyError when malformed)."""
+    """One history line from a bench report (raises KeyError when malformed).
+
+    Two report shapes are understood: the search-kernel report of
+    ``benchmarks/bench_search_perf.py`` (the default) and the serving
+    throughput report of ``benchmarks/bench_serving.py``.  Both yield a
+    ``median_ms``, which is what the regression gate compares.
+    """
+    if report.get("benchmark") == "serving_throughput":
+        deadline_ms = report["deadline_ms"]
+        return {
+            "key": (
+                f"{report['benchmark']}@q{report['queries']}"
+                f"ms{deadline_ms if deadline_ms is not None else 0:g}"
+            ),
+            "benchmark": report["benchmark"],
+            "queries": report["queries"],
+            "deadline_ms": deadline_ms,
+            "workers": report["workers"],
+            "median_ms": report["median_ms"],
+            "p95_ms": report["p95_ms"],
+            "throughput_qps": report["throughput_qps"],
+            "answered_fraction": report["answered_fraction"],
+            "outcomes": report["outcomes"],
+            "source": source,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
     primary_k = report["primary_k"]
     primary = report["results"][f"k={primary_k}"]
     return {
@@ -126,9 +153,14 @@ def main(argv: list[str] | None = None) -> int:
     # Append even on regression: the trajectory must record every run,
     # the exit code is the gate.
     append_entry(history_path, entry)
+    extra = (
+        f"speedup {entry['median_speedup']:.2f}x"
+        if "median_speedup" in entry
+        else f"throughput {entry['throughput_qps']:.1f} q/s"
+    )
     print(
         f"appended {entry['key']} (median {entry['median_ms']:.2f} ms, "
-        f"speedup {entry['median_speedup']:.2f}x) to {history_path}"
+        f"{extra}) to {history_path}"
     )
     if verdict is not None:
         print(f"REGRESSION: {verdict}", file=sys.stderr)

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the ``repro serve`` daemon (CI).
+
+Spawns the daemon as a subprocess with an ephemeral health port, drives
+three requests over its JSON-lines stdin/stdout — a correction, a
+dictation, and a dictation with a 1 ms deadline — and asserts:
+
+- the first two come back ``served`` with non-empty SQL;
+- the 1 ms-deadline request comes back ``timeout`` (cooperative
+  deadline enforcement, no crash);
+- ``GET /healthz`` answers 200 with the matching outcome counts and
+  ``GET /readyz`` reports readiness;
+- the daemon exits cleanly on stdin EOF.
+
+Run from the repository root::
+
+    python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Whole-smoke watchdog; the daemon is killed when it expires.
+TIMEOUT_S = 180.0
+
+REQUESTS = [
+    {"id": 1, "text": "select salary from salaries"},
+    {"id": 2, "text": "SELECT FirstName FROM Employees", "seed": 7},
+    {"id": 3, "text": "SELECT FirstName FROM Employees", "seed": 7,
+     "deadline_ms": 1},
+]
+
+
+def fail(message: str) -> None:
+    print(f"serve smoke FAILED: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--schema", "employees", "--health-port", "0"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    watchdog = threading.Timer(TIMEOUT_S, proc.kill)
+    watchdog.start()
+    try:
+        # Startup banner on stderr: the health address, then "ready".
+        health_line = proc.stderr.readline().strip()
+        if not health_line.startswith("health: http://"):
+            fail(f"expected the health address first, got {health_line!r}")
+        health_url = health_line.split(" ", 1)[1]
+        if proc.stderr.readline().strip() != "ready":
+            fail("daemon never reported ready")
+
+        responses = []
+        for request in REQUESTS:
+            proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.flush()
+            line = proc.stdout.readline()
+            if not line:
+                fail(f"daemon died on request {request['id']}")
+            responses.append(json.loads(line))
+
+        for request, response in zip(REQUESTS[:2], responses[:2]):
+            if response.get("id") != request["id"]:
+                fail(f"id mismatch: sent {request['id']}, got {response}")
+            if response.get("outcome") != "served" or not response.get("sql"):
+                fail(f"request {request['id']} not served: {response}")
+        timed_out = responses[2]
+        if timed_out.get("outcome") != "timeout":
+            fail(f"1 ms deadline did not time out: {timed_out}")
+        if "deadline exceeded" not in (timed_out.get("error") or ""):
+            fail(f"timeout carries no deadline error: {timed_out}")
+
+        for probe in ("/healthz", "/readyz"):
+            with urllib.request.urlopen(health_url + probe, timeout=10) as r:
+                if r.status != 200:
+                    fail(f"{probe} answered {r.status}")
+                if probe == "/healthz":
+                    health = json.loads(r.read())
+        if health["outcomes"]["served"] != 2:
+            fail(f"healthz served count != 2: {health['outcomes']}")
+        if health["outcomes"]["timeout"] != 1:
+            fail(f"healthz timeout count != 1: {health['outcomes']}")
+
+        proc.stdin.close()
+        code = proc.wait(timeout=30)
+        if code != 0:
+            fail(f"daemon exited {code} on stdin EOF")
+    finally:
+        watchdog.cancel()
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    print(
+        "serve smoke OK: 2 served, 1 timeout, health and readiness probes "
+        "answered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
