@@ -15,6 +15,16 @@ Run as a script::
 The report feeds ``tools/bench_history.py`` (key
 ``serving_throughput@q<queries>ms<deadline>``).  ``--min-answered``
 turns the answered fraction (served + degraded) into a CI gate.
+
+``--shards K`` runs the same workload with the structure search on a
+K-worker shared-memory pool (``SpeakQLService.enable_sharding``), and
+``--scale-shards 0,1,2,4`` sweeps shard counts over one artifact build
+and emits a ``serving_shard_scaling`` report — one cores-vs-throughput
+row per shard count (0 = in-process), each becoming its own history
+entry (key suffix ``s<shards>``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --queries 40 --scale-shards 0,1,2,4 --out BENCH_shard_scaling.json
 """
 
 from __future__ import annotations
@@ -37,7 +47,7 @@ from repro.serving import ServingRuntime
 from repro.structure.indexer import StructureIndex
 
 
-def run(args: argparse.Namespace) -> dict:
+def _build_workload(args: argparse.Namespace):
     catalog = build_employees_catalog()
     dataset = make_spoken_dataset(
         "serving-bench", catalog, args.queries, seed=args.seed
@@ -47,9 +57,6 @@ def run(args: argparse.Namespace) -> dict:
     )
     engine = make_custom_engine([q.sql for q in dataset.queries])
     artifacts = SpeakQLArtifacts.build(engine=engine, structure_index=index)
-    service = SpeakQLService(catalog, artifacts=artifacts)
-    runtime = ServingRuntime(service, queue_limit=args.queue_limit)
-
     deadline = (
         args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
     )
@@ -57,24 +64,32 @@ def run(args: argparse.Namespace) -> dict:
         QueryRequest(text=q.sql, seed=q.seed, deadline=deadline)
         for q in dataset.queries
     ]
-    # Warm the pipeline (index compilation, caches) outside the clock.
-    runtime.submit(QueryRequest(text=requests[0].text, seed=requests[0].seed))
+    return catalog, artifacts, requests
 
-    start = time.perf_counter()
-    responses = runtime.serve_batch(requests, workers=args.workers)
-    total_s = time.perf_counter() - start
+
+def _run_workload(catalog, artifacts, requests, args, shards: int) -> dict:
+    """One timed pass over the workload; ``shards=0`` is in-process."""
+    service = SpeakQLService(catalog, artifacts=artifacts)
+    try:
+        if shards:
+            service.enable_sharding(shards)
+        runtime = ServingRuntime(service, queue_limit=args.queue_limit)
+        # Warm the pipeline (index compilation, worker engines, caches)
+        # outside the clock.
+        runtime.submit(
+            QueryRequest(text=requests[0].text, seed=requests[0].seed)
+        )
+        start = time.perf_counter()
+        responses = runtime.serve_batch(requests, workers=args.workers)
+        total_s = time.perf_counter() - start
+    finally:
+        service.close()
 
     outcomes = Counter(response.outcome for response in responses)
     answered = outcomes["served"] + outcomes["degraded"]
     latencies = sorted(r.wall_seconds for r in responses)
     return {
-        "benchmark": "serving_throughput",
-        "queries": len(requests),
-        "workers": args.workers,
-        "deadline_ms": args.deadline_ms,
-        "queue_limit": args.queue_limit,
-        "max_tokens": args.max_tokens,
-        "seed": args.seed,
+        "shards": shards,
         "outcomes": dict(sorted(outcomes.items())),
         "answered": answered,
         "answered_fraction": answered / len(requests),
@@ -86,10 +101,53 @@ def run(args: argparse.Namespace) -> dict:
     }
 
 
+def run(args: argparse.Namespace) -> dict:
+    catalog, artifacts, requests = _build_workload(args)
+    common = {
+        "queries": len(requests),
+        "workers": args.workers,
+        "deadline_ms": args.deadline_ms,
+        "queue_limit": args.queue_limit,
+        "max_tokens": args.max_tokens,
+        "seed": args.seed,
+    }
+    if args.scale_shards is not None:
+        # Cores-vs-throughput sweep: one row per shard count over the
+        # same artifact build, each row a fresh service + pool.
+        rows = [
+            _run_workload(catalog, artifacts, requests, args, shards)
+            for shards in args.scale_shards
+        ]
+        baseline = rows[0]["throughput_qps"]
+        for row in rows:
+            row["speedup_vs_first"] = (
+                row["throughput_qps"] / baseline if baseline else 0.0
+            )
+        return {"benchmark": "serving_shard_scaling", **common, "rows": rows}
+    result = _run_workload(catalog, artifacts, requests, args, args.shards)
+    return {"benchmark": "serving_throughput", **common, **result}
+
+
+def _parse_scale(text: str) -> list[int]:
+    counts = [int(part) for part in text.split(",") if part.strip() != ""]
+    if not counts or any(count < 0 for count in counts):
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of shard counts >= 0"
+        )
+    return counts
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--queries", type=int, default=40)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=0, metavar="K",
+                        help="run the structure search on a K-worker "
+                        "shared-memory pool (default: in-process)")
+    parser.add_argument("--scale-shards", type=_parse_scale, default=None,
+                        metavar="K0,K1,...",
+                        help="sweep shard counts (0 = in-process) and emit "
+                        "one cores-vs-throughput row per count")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request latency budget (default: none)")
     parser.add_argument("--queue-limit", type=int, default=16)
@@ -105,22 +163,24 @@ def main(argv: list[str] | None = None) -> int:
     report = run(args)
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
-    mix = ", ".join(f"{k}={v}" for k, v in report["outcomes"].items())
-    print(
-        f"{report['queries']} queries @ "
-        f"{report['deadline_ms'] or 'no'} ms deadline, "
-        f"{report['workers']} worker(s): "
-        f"{report['throughput_qps']:.1f} q/s, "
-        f"median {report['median_ms']:.2f} ms, "
-        f"p95 {report['p95_ms']:.2f} ms ({mix}); "
-        f"report written to {args.out}"
-    )
-    if (
-        args.min_answered is not None
-        and report["answered_fraction"] < args.min_answered
-    ):
+    rows = report.get("rows", [report])
+    for row in rows:
+        mix = ", ".join(f"{k}={v}" for k, v in row["outcomes"].items())
+        label = (
+            f"{row['shards']} shard(s)" if row["shards"] else "in-process"
+        )
         print(
-            f"FAIL: answered fraction {report['answered_fraction']:.2f} < "
+            f"{report['queries']} queries @ "
+            f"{report['deadline_ms'] or 'no'} ms deadline, {label}: "
+            f"{row['throughput_qps']:.1f} q/s, "
+            f"median {row['median_ms']:.2f} ms, "
+            f"p95 {row['p95_ms']:.2f} ms ({mix})"
+        )
+    print(f"report written to {args.out}")
+    worst = min(row["answered_fraction"] for row in rows)
+    if args.min_answered is not None and worst < args.min_answered:
+        print(
+            f"FAIL: answered fraction {worst:.2f} < "
             f"required {args.min_answered:.2f}",
             file=sys.stderr,
         )

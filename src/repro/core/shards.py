@@ -1,0 +1,812 @@
+"""Sharded multi-process structure search (scatter–gather coordinator).
+
+The hot DP kernel is GIL-bound, so thread-parallel serving cannot scale
+with cores.  This module shards the *compiled* structure index across a
+persistent pool of worker processes instead:
+
+- the coordinator copies the compiled arrays into one shared-memory
+  segment (:meth:`CompiledStructureIndex.to_shared`) and partitions the
+  per-length tries into K balanced shards
+  (:func:`~repro.structure.compiled.partition_lengths`);
+- each worker process attaches a zero-copy view of *its* shard's tries
+  (:func:`~repro.structure.compiled.from_shared`) and runs the ordinary
+  ``compiled`` kernel over them — N workers, one copy of the index;
+- :class:`ShardedSearchExecutor` routes each query to the shards its
+  BDB length bounds can touch, scatters it over the pool, and merges
+  the per-shard top-k lists with a fixed tie-break.
+
+**Bit-identity.**  The single-process kernel's top-k equals the k
+smallest candidates under the lexicographic key ``(distance, trie
+visit order, within-trie offer order)``, deduplicated by structure —
+pruning only ever removes strictly-worse candidates.  Trie visit order
+is ``sorted by (|length - m|, length)`` and each trie holds structures
+of exactly one length, so that key collapses to ``(distance,
+|len(structure) - m|, len(structure))`` across tries, with full-key
+ties possible only *within* one trie — which lives in exactly one
+shard, whose local top-k list already carries the within-trie order.
+A stable sort of the concatenated shard lists by that key therefore
+reproduces the global offer order exactly, and each global winner is
+guaranteed to appear in its shard's local top-k (fewer than k global
+candidates beat it, so fewer than k shard-local ones do).
+
+**Routing.**  A scalar beam probe of the globally closest-length trie
+yields an upper bound B on the k-th best distance; a shard none of
+whose lengths satisfies ``|m - length| * min_weight <= B`` cannot
+contribute (strict ``>`` is required to keep threshold ties exact) and
+is skipped without dispatch.
+
+**Degradation.**  Every shard has its own circuit breaker.  A leg that
+fails — worker dead, response over ``shard_timeout``, worker error, or
+breaker open — is re-run *in-process* on the coordinator's own compiled
+index restricted to that shard's tries, so a sick shard degrades alone
+while answers stay bit-identical.  Only a stopped pool or the death of
+every populated shard raises :class:`~repro.errors.ShardPoolError`,
+which the serving runtime's degradation ladder turns into a full
+in-process rung.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue as queue_module
+import threading
+import time
+
+from repro.errors import ShardPoolError
+from repro.observability import names as obs_names
+from repro.resilience import BREAKER_STATE_VALUES, CircuitBreaker
+from repro.structure.compiled import (
+    CompiledStructureIndex,
+    partition_lengths,
+    weights_key,
+)
+from repro.structure.indexer import StructureIndex
+from repro.structure.search import (
+    KERNEL_COMPILED,
+    KERNEL_SHARDED,
+    SearchResult,
+    SearchStats,
+    StructureSearchEngine,
+)
+
+_INF = float("inf")
+
+#: Gauge value for a dead shard worker (0-2 are the breaker states of a
+#: live one, see :data:`repro.resilience.BREAKER_STATE_VALUES`).
+SHARD_STATE_DEAD = 3
+
+#: SearchStats counters summed across shard legs into the merged stats.
+_STAT_COUNTERS = (
+    "nodes_visited",
+    "dp_cells",
+    "tries_searched",
+    "tries_skipped",
+    "candidates_scored",
+    "levels_visited",
+    "rows_pruned",
+    "beam_bound_updates",
+    "inv_cache_hits",
+    "inv_cache_builds",
+)
+
+
+def _stats_counters(stats: SearchStats) -> tuple[int, ...]:
+    return tuple(getattr(stats, name) for name in _STAT_COUNTERS)
+
+
+def _add_counters(stats: SearchStats, counters) -> None:
+    for name, value in zip(_STAT_COUNTERS, counters):
+        setattr(stats, name, getattr(stats, name) + int(value))
+
+
+def _merge_topk(
+    shard_lists, m: int, k: int
+) -> list[SearchResult]:
+    """Scatter–gather merge with the single-process tie-break.
+
+    ``shard_lists`` are per-shard ``(distance, structure)`` lists in
+    each shard's local offer order; the stable sort below restores the
+    global offer order (see the module docstring's bit-identity
+    argument), after which the first k distinct structures are the
+    single-process top-k.
+    """
+    candidates = []
+    for entries in shard_lists:
+        candidates.extend(entries)
+    candidates.sort(
+        key=lambda entry: (
+            entry[0],
+            abs(len(entry[1]) - m),
+            len(entry[1]),
+        )
+    )
+    merged: list[SearchResult] = []
+    seen: set = set()
+    for distance, structure in candidates:
+        if structure in seen:
+            continue
+        seen.add(structure)
+        merged.append(SearchResult(structure=structure, distance=distance))
+        if len(merged) >= k:
+            break
+    return merged
+
+
+def _shard_worker_main(
+    shard_id: int,
+    handle,
+    lengths,
+    use_bdb: bool,
+    request_queue,
+    response_queue,
+) -> None:
+    """Worker process loop: attach the shard view, serve searches.
+
+    Protocol: one ``("ready"| "init_error", shard_id, pid, detail)``
+    handshake message, then ``("ok" | "error", shard_id, request_id,
+    payload)`` per request.  ``None`` on the request queue is the clean
+    shutdown sentinel.  Worker exceptions are reported per request —
+    the loop itself never dies of one.
+    """
+    from repro.structure.compiled import from_shared
+
+    try:
+        view = from_shared(handle, lengths=lengths)
+        index = StructureIndex.from_compiled(view)
+        engine = StructureSearchEngine(
+            index=index,
+            weights=handle.weights,
+            use_bdb=use_bdb,
+            kernel=KERNEL_COMPILED,
+        )
+        response_queue.put(("ready", shard_id, os.getpid(), None))
+    except BaseException as error:  # noqa: BLE001 - reported to coordinator
+        response_queue.put(("init_error", shard_id, os.getpid(), repr(error)))
+        return
+    while True:
+        item = request_queue.get()
+        if item is None:
+            break
+        request_id, masked, k = item
+        try:
+            results, stats = engine.search(masked, k=k)
+            payload = (
+                [(r.distance, r.structure) for r in results],
+                _stats_counters(stats),
+            )
+            response_queue.put(("ok", shard_id, request_id, payload))
+        except BaseException as error:  # noqa: BLE001 - reported per request
+            response_queue.put(("error", shard_id, request_id, repr(error)))
+
+
+class _Gather:
+    """Per-request scatter bookkeeping: which shards still owe a reply."""
+
+    __slots__ = ("expected", "results", "event", "_lock")
+
+    def __init__(self, expected) -> None:
+        self.expected = set(expected)
+        self.results: dict[int, tuple[str, object]] = {}
+        self.event = threading.Event()
+        if not self.expected:
+            self.event.set()
+        self._lock = threading.Lock()
+
+    def deliver(self, shard_id: int, kind: str, payload) -> None:
+        with self._lock:
+            if shard_id not in self.expected or shard_id in self.results:
+                return
+            self.results[shard_id] = (kind, payload)
+            if len(self.results) >= len(self.expected):
+                self.event.set()
+
+    def drop(self, shard_id: int) -> None:
+        """Stop waiting on ``shard_id`` (dead or over deadline)."""
+        with self._lock:
+            if shard_id in self.results:
+                return
+            self.expected.discard(shard_id)
+            if len(self.results) >= len(self.expected):
+                self.event.set()
+
+
+class ShardedSearchExecutor:
+    """Scatter–gather structure search over a persistent process pool.
+
+    Built over one :class:`CompiledStructureIndex`; :meth:`start` places
+    the index in shared memory, forks one worker per shard, and waits
+    for every worker's ready handshake (raising
+    :class:`~repro.errors.ShardPoolError` otherwise — no silent
+    single-process fallback at startup).  :meth:`search` is the
+    :class:`~repro.structure.search.StructureSearchEngine`-facing entry
+    point and is thread-safe; :meth:`stop` propagates a clean shutdown
+    sentinel through the pool and releases the shared segment.
+
+    ``shared`` lends an existing
+    :class:`~repro.structure.compiled.SharedCompiledIndex` (e.g. the
+    artifact bundle's) instead of creating one; a lent segment is not
+    closed by :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledStructureIndex,
+        *,
+        shards: int = 2,
+        use_bdb: bool = True,
+        shared=None,
+        mp_context=None,
+        shard_timeout: float = 30.0,
+        start_timeout: float = 120.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: int = 8,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.compiled = compiled
+        self.shards = shards
+        self.use_bdb = use_bdb
+        self.shard_timeout = shard_timeout
+        self.start_timeout = start_timeout
+        self.partitions = partition_lengths(compiled, shards)
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_requests=breaker_cooldown,
+        )
+        self.metrics = metrics
+        self.tracer = tracer
+        self._mp_context = mp_context
+        self._min_weight = compiled.weights.min_weight
+        self._shared = shared
+        self._owns_shared = shared is None
+        self._procs: list = [None] * shards
+        self._request_queues: list = [None] * shards
+        self._response_queue = None
+        self._reader: threading.Thread | None = None
+        self._pending: dict[int, _Gather] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dead: set[int] = set()
+        self._local_engines: dict[int, StructureSearchEngine] = {}
+        self._local_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._counts_lock = threading.Lock()
+        self._requests = {s: 0 for s in range(shards)}
+        self._failures = {s: 0 for s in range(shards)}
+        self._fallbacks = {s: 0 for s in range(shards)}
+        self._started = False
+        self._stopped = False
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def weights_key(self):
+        return weights_key(self.compiled.weights)
+
+    def matches_config(self, config) -> bool:
+        """Whether an engine built from ``config`` may delegate here.
+
+        The executor bakes in one compiled index, weight setting, and
+        BDB flag; a pipeline whose effective config differs (other
+        kernel, DAP, other weights, BDB off) must search in-process.
+        """
+        return (
+            getattr(config, "search_kernel", None) == KERNEL_COMPILED
+            and not getattr(config, "use_dap", False)
+            and bool(getattr(config, "use_bdb", True)) == self.use_bdb
+            and weights_key(config.weights) == self.weights_key
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ShardedSearchExecutor":
+        """Start the worker pool; raises :class:`ShardPoolError` unless
+        every shard worker comes up ready within ``start_timeout``."""
+        if self._started or self._stopped:
+            raise ShardPoolError("shard pool already started")
+        ctx = self._resolve_context()
+        if self._shared is None:
+            self._shared = self.compiled.to_shared()
+            self._owns_shared = True
+        try:
+            self._response_queue = ctx.Queue()
+            for shard_id, lengths in enumerate(self.partitions):
+                request_queue = ctx.Queue()
+                self._request_queues[shard_id] = request_queue
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        shard_id,
+                        self._shared.handle,
+                        lengths,
+                        self.use_bdb,
+                        request_queue,
+                        self._response_queue,
+                    ),
+                    daemon=True,
+                    name=f"speakql-shard-{shard_id}",
+                )
+                proc.start()
+                self._procs[shard_id] = proc
+            ready: set[int] = set()
+            deadline = time.monotonic() + self.start_timeout
+            while len(ready) < self.shards:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardPoolError(
+                        f"shard pool start timed out: {len(ready)}/"
+                        f"{self.shards} workers ready"
+                    )
+                try:
+                    kind, shard_id, _pid, detail = self._response_queue.get(
+                        timeout=remaining
+                    )
+                except queue_module.Empty:
+                    continue
+                if kind == "ready":
+                    ready.add(shard_id)
+                else:
+                    raise ShardPoolError(
+                        f"shard {shard_id} failed to initialize: {detail}"
+                    )
+        except BaseException:
+            self._teardown_processes()
+            if self._owns_shared and self._shared is not None:
+                self._shared.close()
+                self._shared = None
+            raise
+        self._started = True
+        self._reader = threading.Thread(
+            target=self._drain_responses,
+            daemon=True,
+            name="speakql-shard-reader",
+        )
+        self._reader.start()
+        self._publish_pool_metrics()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Propagate a clean stop through the pool (idempotent).
+
+        Each worker gets the shutdown sentinel and is joined; stragglers
+        are terminated.  Pending gathers are released (their legs fall
+        back locally), the reader thread is unblocked, and an owned
+        shared segment is unlinked.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        for request_queue in self._request_queues:
+            if request_queue is not None:
+                try:
+                    request_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        self._teardown_processes(timeout=timeout)
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for gather in pending:
+            for shard_id in list(gather.expected):
+                gather.drop(shard_id)
+        if self._response_queue is not None:
+            try:
+                self._response_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        if self._reader is not None:
+            self._reader.join(timeout=timeout)
+            self._reader = None
+        if self._response_queue is not None:
+            self._response_queue.cancel_join_thread()
+            self._response_queue.close()
+            self._response_queue = None
+        for i, request_queue in enumerate(self._request_queues):
+            if request_queue is not None:
+                request_queue.cancel_join_thread()
+                request_queue.close()
+                self._request_queues[i] = None
+        if self._owns_shared and self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self._publish_pool_metrics()
+
+    def _teardown_processes(self, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+        for shard_id, proc in enumerate(self._procs):
+            if proc is None:
+                continue
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+            self._dead.add(shard_id)
+            self._procs[shard_id] = None
+
+    def _resolve_context(self):
+        import multiprocessing
+
+        context = self._mp_context
+        if context is None:
+            # Prefer fork where available: workers inherit the warm
+            # interpreter (numpy etc.) and start in milliseconds.
+            try:
+                return multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platform
+                return multiprocessing.get_context()
+        if isinstance(context, str):
+            return multiprocessing.get_context(context)
+        return context
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """Started, not stopped, and >= 1 populated shard worker alive."""
+        if not self._started or self._stopped:
+            return False
+        populated = [
+            shard_id
+            for shard_id, lengths in enumerate(self.partitions)
+            if lengths
+        ]
+        if not populated:
+            return True
+        return any(self._worker_alive(shard_id) for shard_id in populated)
+
+    def _worker_alive(self, shard_id: int) -> bool:
+        if shard_id in self._dead:
+            return False
+        proc = self._procs[shard_id]
+        if proc is None or not proc.is_alive():
+            self._dead.add(shard_id)
+            return False
+        return True
+
+    # -- search --------------------------------------------------------------
+
+    def search(
+        self,
+        masked,
+        k: int = 1,
+        stats: SearchStats | None = None,
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Scatter ``masked`` over the routed shards, gather, merge.
+
+        Bit-identical to the single-process ``compiled`` kernel over the
+        same index (see the module docstring).  Raises
+        :class:`ShardPoolError` only when the pool is stopped or every
+        populated shard's worker has died; individual sick shards are
+        served by the coordinator's in-process per-shard fallback.
+        """
+        masked = tuple(masked)
+        k = max(k, 1)
+        if stats is None:
+            stats = SearchStats()
+        if not self._started or self._stopped:
+            raise ShardPoolError("shard pool is not running")
+        populated = [
+            shard_id
+            for shard_id, lengths in enumerate(self.partitions)
+            if lengths
+        ]
+        if populated and not any(
+            self._worker_alive(shard_id) for shard_id in populated
+        ):
+            self._publish_pool_metrics()
+            raise ShardPoolError(
+                f"all {len(populated)} shard worker(s) have died"
+            )
+
+        m = len(masked)
+        routed = self._route(masked, m, k, populated)
+        stats.shards_total = len(populated)
+        stats.shards_searched = len(routed)
+        stats.kernel = KERNEL_SHARDED
+
+        tracer = self.tracer
+        trace_on = tracer is not None and getattr(tracer, "enabled", False)
+        parent = tracer.current_span() if trace_on else None
+
+        remote: list[int] = []
+        local_legs: list[tuple[int, str]] = []
+        for shard_id in routed:
+            if not self._worker_alive(shard_id):
+                local_legs.append((shard_id, "dead"))
+            elif not self.breaker.allow(str(shard_id)):
+                local_legs.append((shard_id, "breaker_open"))
+            else:
+                remote.append(shard_id)
+
+        gather = _Gather(remote)
+        request_id = next(self._ids)
+        spans: dict[int, object] = {}
+        shard_lists: dict[int, list] = {}
+        failed_legs: list[tuple[int, str]] = []
+        try:
+            if remote:
+                with self._pending_lock:
+                    self._pending[request_id] = gather
+                for shard_id in remote:
+                    if trace_on:
+                        spans[shard_id] = tracer.span(
+                            obs_names.SPAN_SHARD_SEARCH,
+                            parent=parent,
+                            shard=shard_id,
+                            fallback=False,
+                        ).__enter__()
+                    self._request_queues[shard_id].put(
+                        (request_id, masked, k)
+                    )
+                self._await_gather(gather, remote, failed_legs)
+            for shard_id, (kind, payload) in sorted(gather.results.items()):
+                if kind == "ok":
+                    entries, counters = payload
+                    shard_lists[shard_id] = entries
+                    _add_counters(stats, counters)
+                    self.breaker.record_success(str(shard_id))
+                    self._close_span(spans, shard_id, "ok")
+                else:
+                    failed_legs.append((shard_id, str(payload)))
+        finally:
+            with self._pending_lock:
+                self._pending.pop(request_id, None)
+
+        for shard_id, reason in failed_legs:
+            self.breaker.record_failure(str(shard_id))
+            self._close_span(spans, shard_id, reason)
+        for shard_id in list(spans):  # pragma: no cover - defensive
+            self._close_span(spans, shard_id, "unresolved")
+
+        fallback_legs = local_legs + [
+            (shard_id, reason) for shard_id, reason in failed_legs
+        ]
+        stats.shards_failed = len(fallback_legs)
+        for shard_id, reason in sorted(fallback_legs):
+            engine = self._local_engine(shard_id)
+            span = (
+                tracer.span(
+                    obs_names.SPAN_SHARD_SEARCH,
+                    parent=parent,
+                    shard=shard_id,
+                    fallback=True,
+                    outcome=reason,
+                )
+                if trace_on
+                else None
+            )
+            if span is not None:
+                span.__enter__()
+            try:
+                results, leg_stats = engine.search(masked, k=k)
+            finally:
+                if span is not None:
+                    span.__exit__(None, None, None)
+            shard_lists[shard_id] = [
+                (r.distance, r.structure) for r in results
+            ]
+            _add_counters(stats, _stats_counters(leg_stats))
+
+        self._account(routed, failed_legs, fallback_legs)
+        ordered = [shard_lists[s] for s in sorted(shard_lists)]
+        return _merge_topk(ordered, m, k), stats
+
+    def _route(
+        self, masked, m: int, k: int, populated: list[int]
+    ) -> list[int]:
+        """Shards whose length bounds can touch the final top-k."""
+        if not self.use_bdb or not populated:
+            return list(populated)
+        bound = self._route_bound(masked, m, k)
+        if bound == _INF:
+            return list(populated)
+        routed = []
+        for shard_id in populated:
+            lower = (
+                min(abs(m - length) for length in self.partitions[shard_id])
+                * self._min_weight
+            )
+            # Strict >: a tie with the bound can still enter the top-k
+            # (the k-th best may sit exactly at the bound).
+            if lower > bound:
+                continue
+            routed.append(shard_id)
+        return routed
+
+    def _route_bound(self, masked, m: int, k: int) -> float:
+        """Beam-probe upper bound on the k-th best distance (or inf)."""
+        compiled = self.compiled
+        lengths = compiled.lengths
+        if not lengths:
+            return _INF
+        closest = min(lengths, key=lambda j: (abs(j - m), j))
+        token_ids = compiled.token_ids
+        weights_of = compiled.weights.of
+        masked_ids = [token_ids.get(t, -1) for t in masked]
+        mask_weights = [weights_of(t) for t in masked]
+        first_col = [0.0] * (m + 1)
+        acc = 0.0
+        for i in range(m):
+            acc += mask_weights[i]
+            first_col[i + 1] = acc
+        return StructureSearchEngine._beam_bound(
+            compiled.tries[closest], masked_ids, mask_weights, first_col, k
+        )
+
+    def _await_gather(
+        self,
+        gather: _Gather,
+        remote: list[int],
+        failed_legs: list[tuple[int, str]],
+    ) -> None:
+        """Wait for every remote leg, dropping dead/late shards early."""
+        deadline = time.monotonic() + self.shard_timeout
+        while not gather.event.wait(timeout=0.02):
+            for shard_id in remote:
+                if shard_id in gather.results or shard_id not in (
+                    gather.expected
+                ):
+                    continue
+                if not self._worker_alive(shard_id):
+                    gather.drop(shard_id)
+                    failed_legs.append((shard_id, "worker died"))
+            if time.monotonic() >= deadline:
+                for shard_id in remote:
+                    if (
+                        shard_id not in gather.results
+                        and shard_id in gather.expected
+                    ):
+                        gather.drop(shard_id)
+                        failed_legs.append(
+                            (shard_id, "shard timeout")
+                        )
+                break
+        gather.event.wait(timeout=0.001)
+
+    def _drain_responses(self) -> None:
+        """Reader thread: route worker replies to their gathers."""
+        while True:
+            try:
+                message = self._response_queue.get()
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            if message is None:
+                return
+            kind, shard_id, request_id, payload = message
+            with self._pending_lock:
+                gather = self._pending.get(request_id)
+            if gather is not None:
+                gather.deliver(shard_id, kind, payload)
+
+    def _local_engine(self, shard_id: int) -> StructureSearchEngine:
+        """In-process engine over this shard's tries (degraded mode).
+
+        The restricted index is a zero-copy :meth:`subset` view sharing
+        the coordinator's own compiled arrays and cached level plans,
+        so degraded answers are produced by the very same kernel and
+        data the worker would have used.
+        """
+        with self._local_lock:
+            engine = self._local_engines.get(shard_id)
+            if engine is None:
+                view = self.compiled.subset(self.partitions[shard_id])
+                engine = StructureSearchEngine(
+                    index=StructureIndex.from_compiled(view),
+                    weights=self.compiled.weights,
+                    use_bdb=self.use_bdb,
+                    kernel=KERNEL_COMPILED,
+                )
+                self._local_engines[shard_id] = engine
+            return engine
+
+    def _close_span(self, spans: dict, shard_id: int, outcome: str) -> None:
+        span = spans.pop(shard_id, None)
+        if span is not None:
+            span.set("outcome", outcome)
+            span.__exit__(None, None, None)
+
+    # -- health & metrics ----------------------------------------------------
+
+    def shard_state(self, shard_id: int) -> str:
+        """``empty`` | ``dead`` | breaker state (``closed``/...)."""
+        if not self.partitions[shard_id]:
+            return "empty"
+        if not self._worker_alive(shard_id):
+            return "dead"
+        return self.breaker.state(str(shard_id))
+
+    def health(self) -> dict:
+        """A JSON-ready snapshot for ``/healthz``/``/readyz``."""
+        with self._counts_lock:
+            requests = dict(self._requests)
+            failures = dict(self._failures)
+            fallbacks = dict(self._fallbacks)
+        states = {
+            str(shard_id): self.shard_state(shard_id)
+            for shard_id in range(self.shards)
+        }
+        alive_workers = sum(
+            1
+            for shard_id, lengths in enumerate(self.partitions)
+            if lengths and self._worker_alive(shard_id)
+        )
+        return {
+            "shards": self.shards,
+            "alive": self.alive,
+            "alive_workers": alive_workers,
+            "states": states,
+            "partitions": {
+                str(shard_id): list(lengths)
+                for shard_id, lengths in enumerate(self.partitions)
+            },
+            "requests": {str(s): n for s, n in requests.items()},
+            "failures": {str(s): n for s, n in failures.items()},
+            "fallbacks": {str(s): n for s, n in fallbacks.items()},
+        }
+
+    def _account(self, routed, failed_legs, fallback_legs) -> None:
+        with self._counts_lock:
+            for shard_id in routed:
+                self._requests[shard_id] += 1
+            for shard_id, _ in failed_legs:
+                self._failures[shard_id] += 1
+            for shard_id, _ in fallback_legs:
+                self._fallbacks[shard_id] += 1
+        if self.metrics is None:
+            return
+        with self._metrics_lock:
+            for shard_id in routed:
+                self.metrics.counter(
+                    obs_names.SHARD_REQUESTS_TOTAL, shard=str(shard_id)
+                ).inc()
+            for shard_id, _ in failed_legs:
+                self.metrics.counter(
+                    obs_names.SHARD_FAILURES_TOTAL, shard=str(shard_id)
+                ).inc()
+            for shard_id, _ in fallback_legs:
+                self.metrics.counter(
+                    obs_names.SHARD_FALLBACK_TOTAL, shard=str(shard_id)
+                ).inc()
+            for shard_id in routed:
+                self.metrics.gauge(
+                    obs_names.SHARD_STATE, shard=str(shard_id)
+                ).set(self._state_value(shard_id))
+        self._publish_pool_metrics()
+
+    def _state_value(self, shard_id: int) -> int:
+        state = self.shard_state(shard_id)
+        if state == "dead":
+            return SHARD_STATE_DEAD
+        return BREAKER_STATE_VALUES.get(state, 0)
+
+    def _publish_pool_metrics(self) -> None:
+        if self.metrics is None:
+            return
+        alive_workers = sum(
+            1
+            for shard_id, lengths in enumerate(self.partitions)
+            if lengths and self._worker_alive(shard_id)
+        )
+        with self._metrics_lock:
+            self.metrics.gauge(obs_names.SHARD_POOL_WORKERS).set(
+                alive_workers
+            )
+
+    def __enter__(self) -> "ShardedSearchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = [
+    "SHARD_STATE_DEAD",
+    "ShardPoolError",
+    "ShardedSearchExecutor",
+]

@@ -31,7 +31,12 @@ SPAN_NAMES: dict[str, str] = {
     "literal.walk": "One pass of the walk (phase 1: category candidate "
                     "sets; phase 2: table-narrowed candidates).",
     "asr.channel.corrupt": "Acoustic-channel corruption of the spoken words.",
+    "shard.search": "One shard's leg of a scatter–gather sharded search "
+                    "(child of the span active at dispatch).",
 }
+
+#: Per-shard leg of a sharded search (module-level constant for emitters).
+SPAN_SHARD_SEARCH = "shard.search"
 
 #: Structured span attributes the pipeline sets (attribute -> meaning).
 SPAN_ATTRIBUTES: dict[str, str] = {
@@ -40,7 +45,8 @@ SPAN_ATTRIBUTES: dict[str, str] = {
     "mode": "`query`/`serve`: `speech` (dictation) or `transcription` "
             "(correction).",
     "outcome": "`serve`: the response outcome (`served`, `degraded`, "
-               "`shed`, `timeout`, `failed`).",
+               "`shed`, `timeout`, `failed`); `shard.search`: `ok` or "
+               "the failure reason (`worker died`, `shard timeout`, ...).",
     "rung": "`serve`: the degradation-ladder rung that answered "
             "(0 = requested config).",
     "attempts": "`serve`: ladder rungs actually attempted.",
@@ -55,6 +61,11 @@ SPAN_ATTRIBUTES: dict[str, str] = {
              "narrowed pass.",
     "words_in": "`asr.channel.corrupt`: spoken words entering the channel.",
     "words_out": "`asr.channel.corrupt`: heard words leaving the channel.",
+    "shard": "`shard.search`: the shard index the leg ran against; also "
+             "a label on the `speakql_shard_*` metrics.",
+    "fallback": "`shard.search`: `true` when the leg ran in-process on "
+                "the coordinator (worker dead, timed out, errored, or "
+                "breaker open) instead of on the shard's worker.",
     "error": "Any span: `true` when an exception escaped it.",
     "exception_type": "Any failed span: class name of the escaping "
                       "exception.",
@@ -94,6 +105,12 @@ SERVING_QUEUE_DEPTH = "speakql_serving_queue_depth"
 SERVING_BREAKER_STATE = "speakql_serving_breaker_state"
 SERVING_BREAKER_TRIPS_TOTAL = "speakql_serving_breaker_trips_total"
 SERVING_SECONDS = "speakql_serving_seconds"
+
+SHARD_REQUESTS_TOTAL = "speakql_shard_requests_total"
+SHARD_FAILURES_TOTAL = "speakql_shard_failures_total"
+SHARD_FALLBACK_TOTAL = "speakql_shard_fallback_total"
+SHARD_STATE = "speakql_shard_state"
+SHARD_POOL_WORKERS = "speakql_shard_pool_workers"
 
 ATTRIBUTION_QUERIES_TOTAL = "speakql_attribution_queries_total"
 ATTRIBUTION_MISSES_TOTAL = "speakql_attribution_misses_total"
@@ -149,6 +166,16 @@ METRIC_NAMES: dict[str, str] = {
                                  "`stage`.",
     SERVING_SECONDS: "histogram — per-request serving wall seconds "
                      "(admission to outcome).",
+    SHARD_REQUESTS_TOTAL: "counter — search legs routed to each `shard` "
+                          "(remote or fallback).",
+    SHARD_FAILURES_TOTAL: "counter — failed remote legs per `shard` "
+                          "(worker died, timed out, or errored).",
+    SHARD_FALLBACK_TOTAL: "counter — legs served in-process on the "
+                          "coordinator per `shard`.",
+    SHARD_STATE: "gauge — per-`shard` health (0 closed, 1 half-open, "
+                 "2 open, 3 worker dead).",
+    SHARD_POOL_WORKERS: "gauge — live shard workers in the pool "
+                        "(merge: max).",
     ATTRIBUTION_QUERIES_TOTAL: "counter — queries attributed against "
                                "ground truth by the forensics engine.",
     ATTRIBUTION_MISSES_TOTAL: "counter — attributed misses, by `cause`.",
@@ -171,7 +198,10 @@ METRIC_LABELS: dict[str, str] = {
     "rung": f"`{SERVING_RUNG_TOTAL}`: degradation-ladder rung index "
             "(0 = requested config).",
     "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "
-              "(`compiled`, `flat`, `reference`).",
+              "(`compiled`, `flat`, `reference`, `sharded`).",
+    "shard": f"`{SHARD_REQUESTS_TOTAL}`, `{SHARD_FAILURES_TOTAL}`, "
+             f"`{SHARD_FALLBACK_TOTAL}`, `{SHARD_STATE}`: the shard "
+             "index.",
     "config": f"`{SEARCH_SECONDS}` and benchmark counters: the ablation "
               "configuration being measured.",
     "cause": f"`{ATTRIBUTION_MISSES_TOTAL}`: the miss-taxonomy class "

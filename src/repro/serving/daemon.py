@@ -74,8 +74,14 @@ class _HealthHandler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             status = 200
         elif self.path == "/readyz":
-            ready = health["ready"] and (
-                health["inflight"] < health["queue_limit"]
+            ready = (
+                health["ready"]
+                and health["inflight"] < health["queue_limit"]
+                # Sharded daemons are ready only while the shard pool
+                # has a live worker (a dead pool still serves degraded
+                # via the in_process rung, but should shed new traffic
+                # to a healthy replica).
+                and health.get("shard_pool_ok", True)
             )
             status = 200 if ready else 503
         else:
@@ -165,6 +171,11 @@ class ServingDaemon:
                 stdout.flush()
         finally:
             self.stop_health_server()
+            # A clean EOF shutdown propagates through the runtime to
+            # the service's shard pool (workers get the stop sentinel
+            # and the shared segment is unlinked) — exiting must not
+            # leak worker processes or /dev/shm segments.
+            self.runtime.shutdown()
         return 0
 
 

@@ -68,6 +68,13 @@ from repro.api import (
 from repro.core.pipeline import SpeakQL
 from repro.core.service import SpeakQLService
 from repro.errors import DeadlineExceededError
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_VALUES,
+    CircuitBreaker,
+)
 from repro.observability import names as obs_names
 from repro.observability.forensics import QueryRecord, Recorder
 from repro.observability.metrics import MetricsRegistry
@@ -122,111 +129,11 @@ DEFAULT_LADDER: tuple[Rung, ...] = (
 
 
 # -- circuit breaker ---------------------------------------------------------
-
-BREAKER_CLOSED = "closed"
-BREAKER_OPEN = "open"
-BREAKER_HALF_OPEN = "half_open"
-
-#: Gauge encoding of breaker states (exported as
-#: ``speakql_serving_breaker_state``).
-BREAKER_STATE_VALUES = {
-    BREAKER_CLOSED: 0,
-    BREAKER_HALF_OPEN: 1,
-    BREAKER_OPEN: 2,
-}
-
-
-class CircuitBreaker:
-    """A deterministic, request-count-based circuit breaker.
-
-    One breaker instance tracks any number of keys (the runtime uses
-    ladder-rung names).  Per key:
-
-    - **closed** — requests flow; ``failure_threshold`` *consecutive*
-      failures trip the breaker open.
-    - **open** — :meth:`allow` refuses (the runtime routes around the
-      rung) and counts down; after ``cooldown_requests`` refusals the
-      next request becomes the half-open trial.
-    - **half-open** — exactly one trial request is allowed; its success
-      closes the breaker, its failure re-opens it for a fresh cooldown.
-
-    The cooldown counts *requests that consulted the breaker*, not
-    seconds, so state transitions are reproducible under test.  All
-    methods are thread-safe.
-    """
-
-    def __init__(
-        self, failure_threshold: int = 3, cooldown_requests: int = 8
-    ) -> None:
-        if failure_threshold < 1:
-            raise ValueError("failure_threshold must be >= 1")
-        if cooldown_requests < 1:
-            raise ValueError("cooldown_requests must be >= 1")
-        self.failure_threshold = failure_threshold
-        self.cooldown_requests = cooldown_requests
-        self._lock = threading.Lock()
-        self._state: dict[str, str] = {}
-        self._failures: dict[str, int] = {}
-        self._cooldown: dict[str, int] = {}
-        self._trips: dict[str, int] = {}
-
-    def state(self, key: str) -> str:
-        with self._lock:
-            return self._state.get(key, BREAKER_CLOSED)
-
-    def trips(self, key: str) -> int:
-        with self._lock:
-            return self._trips.get(key, 0)
-
-    def states(self) -> dict[str, str]:
-        """A snapshot of every key's state (for health reporting)."""
-        with self._lock:
-            return dict(self._state)
-
-    def allow(self, key: str) -> bool:
-        """Whether a request may use ``key`` right now.
-
-        Consulting an open key counts against its cooldown; the call
-        that exhausts the cooldown flips the key to half-open and is
-        itself allowed (it is the trial).
-        """
-        with self._lock:
-            state = self._state.get(key, BREAKER_CLOSED)
-            if state == BREAKER_CLOSED:
-                return True
-            if state == BREAKER_HALF_OPEN:
-                # A trial is already in flight; refuse concurrent ones.
-                return False
-            remaining = self._cooldown.get(key, 0) - 1
-            if remaining > 0:
-                self._cooldown[key] = remaining
-                return False
-            self._state[key] = BREAKER_HALF_OPEN
-            return True
-
-    def record_success(self, key: str) -> None:
-        with self._lock:
-            self._state[key] = BREAKER_CLOSED
-            self._failures[key] = 0
-
-    def record_failure(self, key: str) -> bool:
-        """Record a failure; returns ``True`` when this call trips open."""
-        with self._lock:
-            state = self._state.get(key, BREAKER_CLOSED)
-            if state == BREAKER_HALF_OPEN:
-                # The trial failed: straight back to open.
-                self._state[key] = BREAKER_OPEN
-                self._cooldown[key] = self.cooldown_requests
-                self._trips[key] = self._trips.get(key, 0) + 1
-                return True
-            failures = self._failures.get(key, 0) + 1
-            self._failures[key] = failures
-            if state == BREAKER_CLOSED and failures >= self.failure_threshold:
-                self._state[key] = BREAKER_OPEN
-                self._cooldown[key] = self.cooldown_requests
-                self._trips[key] = self._trips.get(key, 0) + 1
-                return True
-            return False
+#
+# The breaker grew a second consumer (the sharded search executor keeps
+# one per shard) and now lives in :mod:`repro.resilience`; it is
+# re-exported here because serving code and tests have always imported
+# it from this module.
 
 
 # -- the runtime -------------------------------------------------------------
@@ -286,6 +193,19 @@ class ServingRuntime:
         if self.ladder[0].overrides:
             raise ValueError(
                 "rung 0 must be the requested configuration (no overrides)"
+            )
+        if (
+            self.ladder == DEFAULT_LADDER
+            and getattr(service, "search_executor", None) is not None
+        ):
+            # A sharded service gets one extra rung between "requested"
+            # and the flat kernel: the same compiled kernel run in
+            # process, so a dead/ sick worker pool degrades to identical
+            # answers before any quality is traded away.
+            self.ladder = (
+                self.ladder[0],
+                Rung("in_process", {"use_sharded": False}),
+                *self.ladder[1:],
             )
         self.degrade_below = degrade_below
         self.breaker = breaker or CircuitBreaker(
@@ -527,6 +447,7 @@ class ServingRuntime:
             config=config,
             phonetic_index=base.phonetic_index,
             artifacts=base.artifacts,
+            search_executor=base.search_executor,
         )
         with self._lock:
             return self._pipelines.setdefault(key, pipeline)
@@ -561,6 +482,8 @@ class ServingRuntime:
         with self._lock:
             outcomes = dict(self._outcomes)
             inflight = self._inflight
+        executor = getattr(self.service, "search_executor", None)
+        shards = executor.health() if executor is not None else None
         return {
             "status": "ok",
             "ready": self.service.artifacts is not None,
@@ -569,7 +492,17 @@ class ServingRuntime:
             "outcomes": outcomes,
             "breakers": self.breaker.states(),
             "ladder": [rung.name for rung in self.ladder],
+            "shards": shards,
+            # Readiness as far as the shard pool is concerned: an
+            # unsharded service is trivially ok; a sharded one needs at
+            # least one populated shard worker alive (a dead pool still
+            # *serves* — via the in_process rung — but is not "ready").
+            "shard_pool_ok": executor is None or executor.alive,
         }
+
+    def shutdown(self) -> None:
+        """Release owned resources (the service's shard pool, if any)."""
+        self.service.close()
 
     def _count(self, name: str, **labels: str) -> None:
         """Bump a serving counter; caller holds ``self._lock``."""

@@ -1,0 +1,164 @@
+"""Scatter–gather parity: the sharded executor must be bit-identical to
+the single-process ``compiled`` kernel.
+
+The acceptance bar is exact equality — float distances, structures, and
+top-k order — over randomized queries for K ∈ {1, 2, 4}, including an
+adversarial unit-weight setting where many candidates tie on distance
+and only the offer-order tie-break separates them.  Degradation paths
+(a killed worker, a stopped pool) are exercised against the same bar:
+answers never change, only where they are computed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.shards import ShardedSearchExecutor
+from repro.errors import ShardPoolError
+from repro.structure.edit_distance import UNIT_WEIGHTS
+from repro.structure.indexer import StructureIndex
+from repro.structure.search import (
+    KERNEL_COMPILED,
+    KERNEL_SHARDED,
+    SearchStats,
+    StructureSearchEngine,
+)
+
+
+def _random_queries(compiled, count: int, seed: int):
+    rng = random.Random(seed)
+    vocab = list(compiled.tokens) + ["zz", "qq"]  # include OOV tokens
+    queries = []
+    for _ in range(count):
+        n = rng.randint(1, max(compiled.lengths) + 2)
+        queries.append(tuple(rng.choice(vocab) for _ in range(n)))
+    return queries
+
+
+def _entries(results):
+    return [(r.distance, r.structure) for r in results]
+
+
+@pytest.fixture(scope="module")
+def compiled(request):
+    return request.getfixturevalue("small_index").compiled()
+
+
+@pytest.fixture(scope="module")
+def baseline(compiled):
+    return StructureSearchEngine(
+        StructureIndex.from_compiled(compiled),
+        kernel=KERNEL_COMPILED,
+        cache_results=False,
+    )
+
+
+class TestScatterGatherParity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_randomized_parity(self, compiled, baseline, shards):
+        with ShardedSearchExecutor(compiled, shards=shards) as executor:
+            executor.start()
+            for masked in _random_queries(compiled, 20, seed=shards):
+                for k in (1, 3, 5):
+                    want, _ = baseline.search(masked, k=k)
+                    got, stats = executor.search(masked, k=k)
+                    assert _entries(got) == _entries(want), (masked, k)
+                    assert stats.kernel == KERNEL_SHARDED
+
+    def test_adversarial_tie_distances(self, request):
+        # Unit weights collapse every operation to cost 1.0: whole bands
+        # of candidates tie exactly, so only the offer-order tie-break
+        # (|len - m|, then len, then within-trie order) separates the
+        # merged top-k from a wrong-but-same-distance one.
+        small_index = request.getfixturevalue("small_index")
+        compiled = small_index.compiled(UNIT_WEIGHTS)
+        engine = StructureSearchEngine(
+            StructureIndex.from_compiled(compiled),
+            weights=UNIT_WEIGHTS,
+            kernel=KERNEL_COMPILED,
+            cache_results=False,
+        )
+        with ShardedSearchExecutor(compiled, shards=3) as executor:
+            executor.start()
+            for masked in _random_queries(compiled, 15, seed=99):
+                want, _ = engine.search(masked, k=5)
+                got, _ = executor.search(masked, k=5)
+                assert _entries(got) == _entries(want), masked
+
+    def test_stats_report_shard_routing(self, compiled):
+        with ShardedSearchExecutor(compiled, shards=2) as executor:
+            executor.start()
+            stats = SearchStats()
+            executor.search(("SELECT", "x", "FROM", "x"), 3, stats=stats)
+            assert stats.shards_total == 2
+            assert 1 <= stats.shards_searched <= 2
+            assert stats.shards_failed == 0
+            assert stats.candidates_scored > 0
+
+
+class TestDegradation:
+    def test_killed_worker_degrades_alone_with_identical_answers(
+        self, compiled, baseline
+    ):
+        with ShardedSearchExecutor(compiled, shards=2) as executor:
+            executor.start()
+            executor._procs[0].kill()
+            executor._procs[0].join(timeout=10)
+            for masked in _random_queries(compiled, 8, seed=5):
+                want, _ = baseline.search(masked, k=5)
+                stats = SearchStats()
+                got = executor.search(masked, 5, stats=stats)[0]
+                assert _entries(got) == _entries(want), masked
+            assert executor.alive  # one worker still up
+            health = executor.health()
+            assert health["states"]["0"] == "dead"
+            assert health["alive_workers"] == 1
+            assert sum(health["fallbacks"].values()) > 0
+
+    def test_all_workers_dead_raises_pool_error(self, compiled):
+        with ShardedSearchExecutor(compiled, shards=2) as executor:
+            executor.start()
+            for proc in executor._procs:
+                proc.kill()
+                proc.join(timeout=10)
+            assert not executor.alive
+            with pytest.raises(ShardPoolError):
+                executor.search(("SELECT", "x"), 1)
+
+    def test_search_after_stop_raises(self, compiled):
+        executor = ShardedSearchExecutor(compiled, shards=2)
+        executor.start()
+        executor.stop()
+        with pytest.raises(ShardPoolError):
+            executor.search(("SELECT", "x"), 1)
+        executor.stop()  # idempotent
+
+    def test_stop_joins_every_worker(self, compiled):
+        executor = ShardedSearchExecutor(compiled, shards=2)
+        executor.start()
+        procs = [p for p in executor._procs if p is not None]
+        executor.stop()
+        assert procs and all(not p.is_alive() for p in procs)
+
+
+class TestStartupStrictness:
+    def test_worker_init_failure_fails_start(self, compiled, monkeypatch):
+        import repro.core.shards as shards_mod
+
+        def broken_worker(shard_id, handle, lengths, use_bdb, requests, responses):
+            import os
+
+            responses.put(("init_error", shard_id, os.getpid(), "boom"))
+
+        monkeypatch.setattr(shards_mod, "_shard_worker_main", broken_worker)
+        executor = ShardedSearchExecutor(compiled, shards=2)
+        with pytest.raises(ShardPoolError, match="boom"):
+            executor.start()
+
+    def test_double_start_rejected(self, compiled):
+        with ShardedSearchExecutor(compiled, shards=1) as executor:
+            executor.start()
+            with pytest.raises(ShardPoolError):
+                executor.start()

@@ -120,6 +120,84 @@ class TestServingEntry:
         assert entry["benchmark"] == "serving_throughput"
 
 
+def _scaling_report(shard_counts=(0, 2), queries=40):
+    rows = [
+        {
+            "shards": shards,
+            "outcomes": {"served": queries},
+            "answered": queries,
+            "answered_fraction": 1.0,
+            "throughput_qps": 10.0 + index,
+            "median_ms": 100.0 - index,
+            "p95_ms": 200.0,
+            "total_s": queries / (10.0 + index),
+            "speedup_vs_first": (10.0 + index) / 10.0,
+        }
+        for index, shards in enumerate(shard_counts)
+    ]
+    return {
+        "benchmark": "serving_shard_scaling",
+        "queries": queries,
+        "workers": 2,
+        "deadline_ms": None,
+        "rows": rows,
+    }
+
+
+class TestShardScalingEntries:
+    def test_one_entry_per_shard_count_with_distinct_keys(self):
+        entries = bench_history.entries_from_report(
+            _scaling_report((0, 1, 2, 4)), "scale.json"
+        )
+        assert [e["shards"] for e in entries] == [0, 1, 2, 4]
+        assert [e["key"] for e in entries] == [
+            "serving_shard_scaling@q40ms0s0",
+            "serving_shard_scaling@q40ms0s1",
+            "serving_shard_scaling@q40ms0s2",
+            "serving_shard_scaling@q40ms0s4",
+        ]
+        assert all(e["source"] == "scale.json" for e in entries)
+        assert entries[1]["speedup_vs_first"] == pytest.approx(1.1)
+
+    def test_single_reports_pass_through_unchanged(self):
+        [entry] = bench_history.entries_from_report(_serving_report(), "s")
+        assert entry == bench_history.entry_from_report(_serving_report(), "s")
+
+    def test_scaling_report_rejected_by_single_entry_path(self):
+        with pytest.raises(KeyError, match="entries_from_report"):
+            bench_history.entry_from_report(_scaling_report(), "s")
+
+    def test_main_appends_every_row(self, tmp_path):
+        report_path = tmp_path / "scale.json"
+        report_path.write_text(json.dumps(_scaling_report((0, 2, 4))))
+        history_path = tmp_path / "history.jsonl"
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        )
+        assert code == 0
+        entries = bench_history.read_history(history_path)
+        assert [e["key"][-2:] for e in entries] == ["s0", "s2", "s4"]
+
+    def test_rows_gate_against_their_own_shard_count(self, tmp_path):
+        history_path = tmp_path / "history.jsonl"
+        first = tmp_path / "first.json"
+        first.write_text(json.dumps(_scaling_report((0, 2))))
+        assert bench_history.main(
+            [str(first), "--history", str(history_path)]
+        ) == 0
+        # Second sweep: the s2 row regresses far beyond the allowance,
+        # the s0 row does not — the gate must still trip.
+        regressed = _scaling_report((0, 2))
+        regressed["rows"][1]["median_ms"] = 500.0
+        second = tmp_path / "second.json"
+        second.write_text(json.dumps(regressed))
+        code = bench_history.main(
+            [str(second), "--history", str(history_path)]
+        )
+        assert code == 1
+        assert len(bench_history.read_history(history_path)) == 4
+
+
 class TestCheckRegression:
     def test_first_run_for_key_passes(self):
         entry = bench_history.entry_from_report(_report(), "s")
@@ -228,10 +306,17 @@ class TestMain:
 
 
 def test_committed_history_is_valid_jsonl():
-    """The seeded BENCH_history.jsonl must parse and carry the full-size
-    key, so CI smoke runs (max15) never compare against it."""
+    """The seeded BENCH_history.jsonl must parse, and every entry must
+    carry its full-size workload key (max20 kernels, q40 serving), so CI
+    smoke runs (max15 / q12) never compare against it."""
     entries = bench_history.read_history(REPO_ROOT / "BENCH_history.jsonl")
     assert entries, "BENCH_history.jsonl must be seeded"
     for entry in entries:
-        assert {"key", "median_ms", "median_speedup"} <= set(entry)
-    assert all("@max" in entry["key"] for entry in entries)
+        assert {"key", "median_ms"} <= set(entry)
+        if entry["benchmark"] == "structure_search_kernels":
+            assert "median_speedup" in entry
+            assert "@max" in entry["key"]
+        else:
+            assert entry["benchmark"] == "serving_shard_scaling"
+            assert "throughput_qps" in entry
+            assert "@q40" in entry["key"]

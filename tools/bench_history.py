@@ -11,7 +11,10 @@ key.
 The key includes the workload size (``structure_search_kernels@max15``,
 ``serving_throughput@q40ms50``), so a CI smoke run is only ever
 compared against earlier smoke runs — never against the committed
-full-size report.
+full-size report.  A ``serving_shard_scaling`` report (the
+``--scale-shards`` sweep of ``bench_serving.py``) appends one entry
+per shard count, keyed ``serving_shard_scaling@q40ms0s2`` — each
+shard count tracks its own trajectory.
 
 Exit status: 0 (appended, no regression or first run for the key),
 1 (appended, regression beyond the threshold), 2 (unusable input).
@@ -46,6 +49,11 @@ def entry_from_report(report: dict, source: str) -> dict:
     throughput report of ``benchmarks/bench_serving.py``.  Both yield a
     ``median_ms``, which is what the regression gate compares.
     """
+    if report.get("benchmark") == "serving_shard_scaling":
+        raise KeyError(
+            "serving_shard_scaling reports expand to one entry per row; "
+            "use entries_from_report"
+        )
     if report.get("benchmark") == "serving_throughput":
         deadline_ms = report["deadline_ms"]
         return {
@@ -79,6 +87,37 @@ def entry_from_report(report: dict, source: str) -> dict:
         "source": source,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
+
+
+def entries_from_report(report: dict, source: str) -> list[dict]:
+    """All history lines from a report — usually one, but a
+    ``serving_shard_scaling`` sweep yields one per shard count."""
+    if report.get("benchmark") != "serving_shard_scaling":
+        return [entry_from_report(report, source)]
+    deadline_ms = report["deadline_ms"]
+    base_key = (
+        f"{report['benchmark']}@q{report['queries']}"
+        f"ms{deadline_ms if deadline_ms is not None else 0:g}"
+    )
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return [
+        {
+            "key": f"{base_key}s{row['shards']}",
+            "benchmark": report["benchmark"],
+            "queries": report["queries"],
+            "deadline_ms": deadline_ms,
+            "shards": row["shards"],
+            "median_ms": row["median_ms"],
+            "p95_ms": row["p95_ms"],
+            "throughput_qps": row["throughput_qps"],
+            "speedup_vs_first": row["speedup_vs_first"],
+            "answered_fraction": row["answered_fraction"],
+            "outcomes": row["outcomes"],
+            "source": source,
+            "recorded_at": recorded_at,
+        }
+        for row in report["rows"]
+    ]
 
 
 def read_history(path: Path) -> list[dict]:
@@ -141,7 +180,7 @@ def main(argv: list[str] | None = None) -> int:
     report_path = Path(args.report)
     try:
         report = json.loads(report_path.read_text(encoding="utf-8"))
-        entry = entry_from_report(report, source=report_path.name)
+        entries = entries_from_report(report, source=report_path.name)
     except (OSError, ValueError, KeyError) as error:
         print(f"unusable bench report {args.report}: {error!r}",
               file=sys.stderr)
@@ -149,23 +188,26 @@ def main(argv: list[str] | None = None) -> int:
 
     history_path = Path(args.history)
     history = read_history(history_path)
-    verdict = check_regression(entry, history, args.max_regression)
-    # Append even on regression: the trajectory must record every run,
-    # the exit code is the gate.
-    append_entry(history_path, entry)
-    extra = (
-        f"speedup {entry['median_speedup']:.2f}x"
-        if "median_speedup" in entry
-        else f"throughput {entry['throughput_qps']:.1f} q/s"
-    )
-    print(
-        f"appended {entry['key']} (median {entry['median_ms']:.2f} ms, "
-        f"{extra}) to {history_path}"
-    )
-    if verdict is not None:
+    verdicts = []
+    for entry in entries:
+        verdict = check_regression(entry, history, args.max_regression)
+        if verdict is not None:
+            verdicts.append(verdict)
+        # Append even on regression: the trajectory must record every
+        # run, the exit code is the gate.
+        append_entry(history_path, entry)
+        extra = (
+            f"speedup {entry['median_speedup']:.2f}x"
+            if "median_speedup" in entry
+            else f"throughput {entry['throughput_qps']:.1f} q/s"
+        )
+        print(
+            f"appended {entry['key']} (median {entry['median_ms']:.2f} ms, "
+            f"{extra}) to {history_path}"
+        )
+    for verdict in verdicts:
         print(f"REGRESSION: {verdict}", file=sys.stderr)
-        return 1
-    return 0
+    return 1 if verdicts else 0
 
 
 if __name__ == "__main__":

@@ -12,13 +12,20 @@ dictation, and a dictation with a 1 ms deadline — and asserts:
   ``GET /readyz`` reports readiness;
 - the daemon exits cleanly on stdin EOF.
 
+``--shards K`` runs the daemon with a sharded search pool; the same
+assertions apply (sharding is bit-identical and invisible on the wire),
+plus ``/healthz`` must report K shards with a live worker in each and
+the daemon must leave no worker processes behind after EOF.
+
 Run from the repository root::
 
     python tools/serve_smoke.py
+    python tools/serve_smoke.py --shards 2
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import subprocess
@@ -46,13 +53,20 @@ def fail(message: str) -> None:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=0,
+                        help="run the daemon with a K-worker shard pool")
+    args = parser.parse_args()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
     )
+    command = [sys.executable, "-m", "repro", "serve",
+               "--schema", "employees", "--health-port", "0"]
+    if args.shards:
+        command += ["--shards", str(args.shards)]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve",
-         "--schema", "employees", "--health-port", "0"],
+        command,
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -101,6 +115,12 @@ def main() -> int:
             fail(f"healthz served count != 2: {health['outcomes']}")
         if health["outcomes"]["timeout"] != 1:
             fail(f"healthz timeout count != 1: {health['outcomes']}")
+        if args.shards:
+            shards = health.get("shards") or {}
+            if shards.get("shards") != args.shards:
+                fail(f"expected {args.shards} shards in healthz: {shards}")
+            if not health.get("shard_pool_ok"):
+                fail(f"shard pool not healthy: {shards}")
 
         proc.stdin.close()
         code = proc.wait(timeout=30)
@@ -111,9 +131,10 @@ def main() -> int:
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+    suffix = f" ({args.shards} shards)" if args.shards else ""
     print(
         "serve smoke OK: 2 served, 1 timeout, health and readiness probes "
-        "answered"
+        f"answered{suffix}"
     )
     return 0
 
