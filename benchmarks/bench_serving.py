@@ -25,11 +25,23 @@ entry (key suffix ``s<shards>``)::
 
     PYTHONPATH=src python benchmarks/bench_serving.py \
         --queries 40 --scale-shards 0,1,2,4 --out BENCH_shard_scaling.json
+
+``--open-loop`` switches from the closed-loop capacity measurement to a
+seeded arrival schedule (``--arrivals`` poisson/burst/diurnal at
+``--rate`` q/s) fired through the micro-batching asyncio front end,
+sweeping the coalescing window over ``--batch-sizes`` — one row per
+batch size, p50/p95/p99 end-to-end latency pulled from the metrics
+registry (key ``serving_open_loop@q<queries>r<rate>b<batch>``)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --open-loop --queries 64 --rate 200 --batch-sizes 1,8 \
+        --out BENCH_open_loop.json
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import statistics
 import sys
@@ -43,8 +55,10 @@ from repro.core import SpeakQLArtifacts, SpeakQLService
 from repro.dataset import build_employees_catalog
 from repro.dataset.spoken import make_spoken_dataset
 from repro.grammar.generator import StructureGenerator
-from repro.serving import ServingRuntime
+from repro.observability.metrics import MetricsRegistry
+from repro.serving import MicroBatcher, ServingRuntime
 from repro.structure.indexer import StructureIndex
+from repro.workload import OpenLoopRunner, make_schedule, workload_report
 
 
 def _build_workload(args: argparse.Namespace):
@@ -101,6 +115,72 @@ def _run_workload(catalog, artifacts, requests, args, shards: int) -> dict:
     }
 
 
+def _run_open_loop(catalog, artifacts, requests, args, batch_size: int) -> dict:
+    """One open-loop pass at ``--rate`` through a ``batch_size`` batcher.
+
+    ``batch_size=1`` is the no-coalescing baseline: every submission
+    flushes immediately (reason ``full``) through the identical
+    batcher/dispatch path, so the sweep isolates coalescing itself.
+    """
+    schedule = make_schedule(
+        args.arrivals, args.rate, len(requests), seed=args.seed
+    )
+    service = SpeakQLService(catalog, artifacts=artifacts)
+    registry = MetricsRegistry()
+    try:
+        runtime = ServingRuntime(
+            service, queue_limit=args.queue_limit, metrics=registry
+        )
+        # Warm the pipeline (index compilation, caches) outside the run.
+        runtime.submit(
+            QueryRequest(text=requests[0].text, seed=requests[0].seed)
+        )
+
+        async def drive():
+            # Batcher and runner write into their own loop-confined
+            # registry, merged into the runtime's after the loop exits.
+            frontend = MetricsRegistry()
+            batcher = MicroBatcher(
+                runtime,
+                max_batch_size=batch_size,
+                max_wait_ms=args.batch_wait_ms,
+                metrics=frontend,
+            )
+            runner = OpenLoopRunner(batcher.submit, metrics=frontend)
+            try:
+                result = await runner.run(schedule, requests)
+            finally:
+                await batcher.close()
+            return result, batcher, frontend
+
+        result, batcher, frontend = asyncio.run(drive())
+        registry.merge(frontend)
+    finally:
+        service.close()
+
+    outcomes = result.outcomes
+    answered = outcomes.get("served", 0) + outcomes.get("degraded", 0)
+    summary = workload_report(registry)
+    e2e = summary["e2e"]
+    return {
+        "batch_size": batch_size,
+        "outcomes": dict(sorted(outcomes.items())),
+        "answered": answered,
+        "answered_fraction": answered / len(requests),
+        "offered_qps": schedule.offered_qps,
+        "throughput_qps": result.achieved_qps,
+        "median_ms": e2e.get("p50_ms", 0.0),
+        "p95_ms": e2e.get("p95_ms", 0.0),
+        "p99_ms": e2e.get("p99_ms", 0.0),
+        "batches": batcher.batches_dispatched,
+        "mean_batch_size": summary.get("mean_batch_size", 1.0),
+        "batch_flushes": summary.get("batch_flushes", {}),
+        "coalesce_wait": summary["coalesce_wait"],
+        "generator_lag": summary["generator_lag"],
+        "total_s": result.wall_seconds,
+    }
+
+
 def run(args: argparse.Namespace) -> dict:
     catalog, artifacts, requests = _build_workload(args)
     common = {
@@ -111,6 +191,26 @@ def run(args: argparse.Namespace) -> dict:
         "max_tokens": args.max_tokens,
         "seed": args.seed,
     }
+    if args.open_loop:
+        # Offered-load sweep: same schedule and requests per batch size,
+        # so rows differ only in the coalescing window.
+        rows = [
+            _run_open_loop(catalog, artifacts, requests, args, batch)
+            for batch in args.batch_sizes
+        ]
+        baseline = rows[0]["throughput_qps"]
+        for row in rows:
+            row["speedup_vs_first"] = (
+                row["throughput_qps"] / baseline if baseline else 0.0
+            )
+        return {
+            "benchmark": "serving_open_loop",
+            **common,
+            "rate": args.rate,
+            "arrivals": args.arrivals,
+            "batch_wait_ms": args.batch_wait_ms,
+            "rows": rows,
+        }
     if args.scale_shards is not None:
         # Cores-vs-throughput sweep: one row per shard count over the
         # same artifact build, each row a fresh service + pool.
@@ -148,6 +248,21 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="K0,K1,...",
                         help="sweep shard counts (0 = in-process) and emit "
                         "one cores-vs-throughput row per count")
+    parser.add_argument("--open-loop", action="store_true",
+                        help="fire requests on a seeded arrival schedule "
+                        "through the micro-batching front end instead of "
+                        "the closed-loop capacity run")
+    parser.add_argument("--rate", type=float, default=100.0,
+                        help="open-loop offered load (arrivals/second)")
+    parser.add_argument("--arrivals", default="poisson",
+                        choices=("poisson", "burst", "diurnal"),
+                        help="open-loop arrival process")
+    parser.add_argument("--batch-sizes", type=_parse_scale, default=[1, 8],
+                        metavar="B0,B1,...",
+                        help="open-loop sweep over micro-batch sizes "
+                        "(1 = no coalescing baseline)")
+    parser.add_argument("--batch-wait-ms", type=float, default=2.0,
+                        help="open-loop coalescing window per batch")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request latency budget (default: none)")
     parser.add_argument("--queue-limit", type=int, default=16)
@@ -166,6 +281,18 @@ def main(argv: list[str] | None = None) -> int:
     rows = report.get("rows", [report])
     for row in rows:
         mix = ", ".join(f"{k}={v}" for k, v in row["outcomes"].items())
+        if report["benchmark"] == "serving_open_loop":
+            print(
+                f"{report['queries']} {report['arrivals']} arrivals @ "
+                f"{row['offered_qps']:.0f} q/s offered, "
+                f"batch {row['batch_size']} "
+                f"(mean {row['mean_batch_size']:.2f}): "
+                f"{row['throughput_qps']:.1f} q/s achieved, "
+                f"e2e p50 {row['median_ms']:.2f} ms, "
+                f"p95 {row['p95_ms']:.2f} ms, "
+                f"p99 {row['p99_ms']:.2f} ms ({mix})"
+            )
+            continue
         label = (
             f"{row['shards']} shard(s)" if row["shards"] else "in-process"
         )

@@ -14,8 +14,9 @@ Subcommands:
   forensic narrative (channel events, candidates, voting).
 - ``serve``    — run the resilient serving daemon: JSON-lines requests
   on stdin, responses on stdout, with per-request deadlines, load
-  shedding, degraded-mode fallbacks, and HTTP health/readiness probes
-  (see ``docs/serving.md``).
+  shedding, degraded-mode fallbacks, and HTTP health/readiness probes;
+  ``--async`` swaps in the micro-batching asyncio front end (pipelined
+  stdin plus ``--port`` TCP) — see ``docs/serving.md``.
 
 ``dictate`` and ``correct`` accept ``--search-kernel`` (compiled / flat
 / reference), ``--trace-out FILE`` (JSON-lines spans), ``--metrics-out
@@ -185,7 +186,12 @@ def _cmd_correct(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.errors import ShardPoolError
-    from repro.serving import ServingDaemon, ServingRuntime
+    from repro.serving import (
+        AsyncServingDaemon,
+        ServingDaemon,
+        ServingRuntime,
+        run_async_daemon,
+    )
 
     pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
     metrics = MetricsRegistry() if args.metrics_out else None
@@ -211,14 +217,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown=args.breaker_cooldown,
         metrics=metrics,
     )
-    daemon = ServingDaemon(runtime, health_port=args.health_port)
-    if args.health_port is not None:
-        daemon.start_health_server()
-        host, port = daemon.health_address
-        print(f"health: http://{host}:{port}", file=sys.stderr, flush=True)
-    print("ready", file=sys.stderr, flush=True)
     try:
-        code = daemon.run(sys.stdin, sys.stdout)
+        if getattr(args, "use_async", False):
+            # The batcher writes into its own registry on the event-loop
+            # thread (registries are not locked); merged after the loop
+            # exits, before export.
+            frontend_metrics = MetricsRegistry() if metrics is not None else None
+            daemon = AsyncServingDaemon(
+                runtime,
+                health_port=args.health_port,
+                port=args.port,
+                max_batch_size=args.batch_size,
+                max_wait_ms=args.batch_wait_ms,
+                max_line_bytes=args.max_line_bytes,
+                metrics=frontend_metrics,
+            )
+            code = run_async_daemon(daemon)
+            if metrics is not None:
+                daemon.batcher.merge_metrics_into(metrics)
+        else:
+            daemon = ServingDaemon(
+                runtime,
+                health_port=args.health_port,
+                max_line_bytes=args.max_line_bytes,
+            )
+            if args.health_port is not None:
+                daemon.start_health_server()
+                host, port = daemon.health_address
+                print(f"health: http://{host}:{port}", file=sys.stderr,
+                      flush=True)
+            print("ready", file=sys.stderr, flush=True)
+            code = daemon.run(sys.stdin, sys.stdout)
     finally:
         service.close()  # idempotent; daemon.run normally shuts down first
     if args.metrics_out and metrics is not None:
@@ -331,6 +360,8 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.serving.daemon import DEFAULT_MAX_LINE_BYTES
+
     parser = argparse.ArgumentParser(
         prog="speakql",
         description="SpeakQL reproduction: speech-driven SQL querying.",
@@ -390,6 +421,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--health-port", type=int, default=None,
                        help="serve /healthz and /readyz on this port "
                             "(0 = ephemeral; omit to disable)")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="asyncio front end: concurrent requests "
+                            "(pipelined stdin and --port TCP) coalesce "
+                            "into micro-batches before dispatch")
+    serve.add_argument("--port", type=int, default=None,
+                       help="with --async: also accept JSON-lines "
+                            "connections on this TCP port (0 = ephemeral; "
+                            "stdin EOF still ends the daemon)")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="with --async: flush a micro-batch at this "
+                            "many coalesced requests")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="with --async: max time a request waits for "
+                            "batch-mates before a flush")
+    serve.add_argument("--max-line-bytes", type=int,
+                       default=DEFAULT_MAX_LINE_BYTES,
+                       help="largest accepted request line; longer lines "
+                            "get a structured invalid_request error")
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write serving metrics on exit")
     serve.set_defaults(func=_cmd_serve)

@@ -33,10 +33,16 @@ SPAN_NAMES: dict[str, str] = {
     "asr.channel.corrupt": "Acoustic-channel corruption of the spoken words.",
     "shard.search": "One shard's leg of a scatter–gather sharded search "
                     "(child of the span active at dispatch).",
+    "batch.flush": "One micro-batch dispatched by the async front end's "
+                   "coalescing batcher (covers the whole "
+                   "ServingRuntime.submit_batch call).",
 }
 
 #: Per-shard leg of a sharded search (module-level constant for emitters).
 SPAN_SHARD_SEARCH = "shard.search"
+
+#: One coalesced micro-batch dispatch (module-level constant for emitters).
+SPAN_BATCH_FLUSH = "batch.flush"
 
 #: Structured span attributes the pipeline sets (attribute -> meaning).
 SPAN_ATTRIBUTES: dict[str, str] = {
@@ -66,6 +72,11 @@ SPAN_ATTRIBUTES: dict[str, str] = {
     "fallback": "`shard.search`: `true` when the leg ran in-process on "
                 "the coordinator (worker dead, timed out, errored, or "
                 "breaker open) instead of on the shard's worker.",
+    "size": "`batch.flush`: requests coalesced into the dispatched "
+            "micro-batch.",
+    "reason": "`batch.flush`: why the batcher flushed (`full`, `wait`, "
+              "`deadline`, `drain`); also a label on "
+              "`speakql_batch_flush_total`.",
     "error": "Any span: `true` when an exception escaped it.",
     "exception_type": "Any failed span: class name of the escaping "
                       "exception.",
@@ -105,6 +116,14 @@ SERVING_QUEUE_DEPTH = "speakql_serving_queue_depth"
 SERVING_BREAKER_STATE = "speakql_serving_breaker_state"
 SERVING_BREAKER_TRIPS_TOTAL = "speakql_serving_breaker_trips_total"
 SERVING_SECONDS = "speakql_serving_seconds"
+
+BATCH_FLUSH_TOTAL = "speakql_batch_flush_total"
+BATCH_FLUSH_SIZE = "speakql_batch_flush_size"
+BATCH_COALESCE_WAIT_SECONDS = "speakql_batch_coalesce_wait_seconds"
+
+WORKLOAD_REQUESTS_TOTAL = "speakql_workload_requests_total"
+WORKLOAD_LAG_SECONDS = "speakql_workload_lag_seconds"
+WORKLOAD_E2E_SECONDS = "speakql_workload_e2e_seconds"
 
 SHARD_REQUESTS_TOTAL = "speakql_shard_requests_total"
 SHARD_FAILURES_TOTAL = "speakql_shard_failures_total"
@@ -166,6 +185,21 @@ METRIC_NAMES: dict[str, str] = {
                                  "`stage`.",
     SERVING_SECONDS: "histogram — per-request serving wall seconds "
                      "(admission to outcome).",
+    BATCH_FLUSH_TOTAL: "counter — micro-batches dispatched by the "
+                       "coalescing batcher, by flush `reason`.",
+    BATCH_FLUSH_SIZE: "histogram — requests per dispatched micro-batch "
+                      "(size buckets 1/2/4/8/...).",
+    BATCH_COALESCE_WAIT_SECONDS: "histogram — seconds a request waited in "
+                                 "the batcher between enqueue and its "
+                                 "batch's dispatch.",
+    WORKLOAD_REQUESTS_TOTAL: "counter — open-loop workload requests "
+                             "completed, by `outcome`.",
+    WORKLOAD_LAG_SECONDS: "histogram — how late the open-loop runner "
+                          "fired each request relative to its scheduled "
+                          "arrival (driver health, not system latency).",
+    WORKLOAD_E2E_SECONDS: "histogram — end-to-end seconds from a "
+                          "request's scheduled arrival to its response "
+                          "(batcher wait + serving included).",
     SHARD_REQUESTS_TOTAL: "counter — search legs routed to each `shard` "
                           "(remote or fallback).",
     SHARD_FAILURES_TOTAL: "counter — failed remote legs per `shard` "
@@ -193,8 +227,13 @@ METRIC_LABELS: dict[str, str] = {
              f"`literal_determination`); `{SERVING_BREAKER_STATE}` and "
              f"`{SERVING_BREAKER_TRIPS_TOTAL}`: the ladder-rung name "
              "the breaker guards.",
-    "outcome": f"`{SERVING_OUTCOMES_TOTAL}`: the response outcome "
+    "outcome": f"`{SERVING_OUTCOMES_TOTAL}` and "
+               f"`{WORKLOAD_REQUESTS_TOTAL}`: the response outcome "
                "(`served`, `degraded`, `shed`, `timeout`, `failed`).",
+    "reason": f"`{BATCH_FLUSH_TOTAL}`: why the batcher flushed "
+              "(`full` = batch filled, `wait` = max_wait_ms elapsed, "
+              "`deadline` = the oldest request's deadline neared, "
+              "`drain` = shutdown flush).",
     "rung": f"`{SERVING_RUNG_TOTAL}`: degradation-ladder rung index "
             "(0 = requested config).",
     "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "

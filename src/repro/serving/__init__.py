@@ -4,11 +4,20 @@ Layer 5 of the architecture: :class:`ServingRuntime` wraps the batch
 :class:`~repro.core.service.SpeakQLService` with per-request service
 levels (deadline budgets enforced at stage boundaries, load shedding
 under saturation, a degradation ladder of cheaper configurations, and
-per-rung circuit breakers), and :class:`ServingDaemon` exposes it as a
-JSON-lines daemon with HTTP health/readiness probes (``repro serve``).
+per-rung circuit breakers); :class:`ServingDaemon` exposes it as a
+serial JSON-lines daemon with HTTP health/readiness probes (``repro
+serve``), and :class:`AsyncServingDaemon` + :class:`MicroBatcher`
+(``repro serve --async``) as an asyncio front end that coalesces
+concurrent requests into micro-batches before dispatch.
 """
 
-from repro.serving.daemon import ServingDaemon, request_from_wire
+from repro.serving.async_daemon import AsyncServingDaemon, run_async_daemon
+from repro.serving.batcher import MicroBatcher, flush_by
+from repro.serving.daemon import (
+    DEFAULT_MAX_LINE_BYTES,
+    ServingDaemon,
+    request_from_wire,
+)
 from repro.serving.runtime import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
@@ -20,13 +29,18 @@ from repro.serving.runtime import (
 )
 
 __all__ = [
+    "AsyncServingDaemon",
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
     "CircuitBreaker",
     "DEFAULT_LADDER",
+    "DEFAULT_MAX_LINE_BYTES",
+    "MicroBatcher",
     "Rung",
     "ServingDaemon",
     "ServingRuntime",
+    "flush_by",
     "request_from_wire",
+    "run_async_daemon",
 ]

@@ -1,0 +1,347 @@
+"""Asyncio JSON-lines server with a coalescing micro-batch front end.
+
+:class:`AsyncServingDaemon` replaces the serial request loop of
+:class:`~repro.serving.daemon.ServingDaemon` with an event loop that
+accepts **concurrent** requests — pipelined on stdin and over any number
+of TCP connections — and funnels them through a
+:class:`~repro.serving.batcher.MicroBatcher`, so requests arriving
+within the coalescing window are dispatched as one
+:meth:`~repro.serving.runtime.ServingRuntime.submit_batch` call.
+
+Wire format is unchanged (one JSON object per line, ``id`` echoed back;
+see :mod:`repro.serving.daemon`), with two front-end differences:
+
+- responses on a connection come back **as they finish**, not in
+  request order — correlate by ``id`` (lockstep clients still work:
+  one request in, one response out);
+- protocol errors carry ``"error_kind": "invalid_request"`` and the
+  connection survives them, including frames beyond ``max_line_bytes``
+  (the TCP reader discards the oversized frame without buffering it).
+
+Lifecycle: the daemon serves until stdin EOF (the same contract as the
+serial daemon), then drains the batcher — pending requests flush with
+reason ``drain`` — closes TCP connections, and shuts the runtime down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from typing import IO, AsyncIterator
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.daemon import (
+    DEFAULT_MAX_LINE_BYTES,
+    invalid_request_reply,
+    oversized_line_reply,
+    request_from_wire,
+    start_health_server,
+)
+from repro.serving.runtime import ServingRuntime
+
+#: Chunk size of the bounded TCP line reader.
+_READ_CHUNK = 1 << 16
+
+#: Sentinel yielded by the bounded reader for an oversized line.
+_OVERSIZED = None
+
+
+async def read_bounded_lines(
+    reader: asyncio.StreamReader, max_line_bytes: int
+) -> AsyncIterator[bytes | None]:
+    """Yield newline-delimited frames, discarding oversized ones.
+
+    A frame longer than ``max_line_bytes`` is consumed (never buffered
+    whole — the reader holds at most ``max_line_bytes + _READ_CHUNK``
+    bytes) and yielded as ``None`` so the caller can answer with a
+    structured error while the connection stays alive.
+    """
+    buffer = bytearray()
+    overflow = False
+    while True:
+        chunk = await reader.read(_READ_CHUNK)
+        if not chunk:
+            if overflow:
+                yield _OVERSIZED
+            elif buffer:
+                # Final line without a trailing newline.
+                if len(buffer) > max_line_bytes:
+                    yield _OVERSIZED
+                else:
+                    yield bytes(buffer)
+            return
+        buffer.extend(chunk)
+        while True:
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                if overflow or len(buffer) > max_line_bytes:
+                    overflow = True
+                    buffer.clear()
+                break
+            if overflow:
+                del buffer[: newline + 1]
+                overflow = False
+                yield _OVERSIZED
+                continue
+            line = bytes(buffer[:newline])
+            del buffer[: newline + 1]
+            if len(line) > max_line_bytes:
+                yield _OVERSIZED
+            else:
+                yield line
+
+
+class AsyncServingDaemon:
+    """Micro-batching JSON-lines daemon over stdin and/or TCP.
+
+    Parameters mirror :class:`~repro.serving.daemon.ServingDaemon` plus
+    the batcher knobs.  ``port`` enables the TCP listener (0 =
+    ephemeral, read the bound address back from :attr:`tcp_address`);
+    stdin remains the lifetime control either way.
+    """
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        *,
+        health_port: int | None = None,
+        port: int | None = None,
+        host: str = "127.0.0.1",
+        max_batch_size: int = 8,
+        max_wait_ms: float = 2.0,
+        deadline_slack_ms: float = 5.0,
+        dispatch_workers: int = 2,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        if max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
+        self.runtime = runtime
+        self.health_port = health_port
+        self.port = port
+        self.host = host
+        self.max_line_bytes = max_line_bytes
+        self.batcher = MicroBatcher(
+            runtime,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            deadline_slack_ms=deadline_slack_ms,
+            dispatch_workers=dispatch_workers,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        self._health_server = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        self._connection_tasks: set[asyncio.Task] = set()
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def health_address(self) -> tuple[str, int] | None:
+        if self._health_server is None:
+            return None
+        return self._health_server.server_address[:2]
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        if self._tcp_server is None or not self._tcp_server.sockets:
+            return None
+        return self._tcp_server.sockets[0].getsockname()[:2]
+
+    # -- request handling ----------------------------------------------------
+
+    async def handle_line(self, line: str) -> dict:
+        """Parse, batch-submit, and format one wire line."""
+        line = line.strip()
+        if not line:
+            return {}
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError("request must be a JSON object")
+            request = request_from_wire(data)
+        except (ValueError, TypeError) as error:
+            request_id = None
+            if isinstance(data := _maybe_dict(line), dict):
+                request_id = data.get("id")
+            return invalid_request_reply(str(error), request_id)
+        response = await self.batcher.submit(request)
+        out = response.to_dict()
+        if "id" in data:
+            out["id"] = data["id"]
+        return out
+
+    # -- stdin / stdout ------------------------------------------------------
+
+    async def _stdin_loop(self, stdin: IO[str], stdout: IO[str]) -> None:
+        """Read stdin lines, serve each as its own task, until EOF.
+
+        Lines are read through the executor so a blocking ``readline``
+        never stalls the loop; responses are written as they complete
+        (atomic per line), so pipelined stdin requests batch together.
+        """
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def serve_one(line: str) -> None:
+            # Oversized stdin frames are length-checked post-read (text
+            # streams cannot be chunk-bounded the way sockets are).
+            if (
+                len(line.encode("utf-8", "surrogatepass"))
+                > self.max_line_bytes
+            ):
+                out = oversized_line_reply(self.max_line_bytes)
+            else:
+                out = await self.handle_line(line)
+            if not out:
+                return
+            async with write_lock:
+                stdout.write(json.dumps(out, sort_keys=True) + "\n")
+                stdout.flush()
+
+        while True:
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line:
+                break
+            task = asyncio.create_task(serve_one(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks)
+
+    # -- TCP -----------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def reply(out: dict) -> None:
+            if not out:
+                return
+            payload = (json.dumps(out, sort_keys=True) + "\n").encode("utf-8")
+            async with write_lock:
+                writer.write(payload)
+                await writer.drain()
+
+        async def serve_one(frame: bytes | None) -> None:
+            try:
+                if frame is _OVERSIZED:
+                    await reply(oversized_line_reply(self.max_line_bytes))
+                    return
+                await reply(
+                    await self.handle_line(frame.decode("utf-8", "replace"))
+                )
+            except ConnectionError:
+                pass  # client went away mid-reply; nothing to tell it
+
+        try:
+            async for frame in read_bounded_lines(
+                reader, self.max_line_bytes
+            ):
+                task = asyncio.create_task(serve_one(frame))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _track_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.create_task(self._handle_connection(reader, writer))
+        self._connection_tasks.add(task)
+        task.add_done_callback(self._connection_tasks.discard)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def run(
+        self,
+        stdin: IO[str],
+        stdout: IO[str],
+        *,
+        announce: IO[str] | None = None,
+    ) -> int:
+        """Serve until stdin EOF; returns a process exit code.
+
+        ``announce`` (usually stderr) receives the startup banner: the
+        health URL, the TCP address when listening, then ``ready`` —
+        the same contract smoke tests key on.
+        """
+        if self.health_port is not None and self._health_server is None:
+            self._health_server = start_health_server(
+                self.runtime, self.health_port
+            )
+            if announce is not None:
+                host, port = self.health_address
+                print(f"health: http://{host}:{port}", file=announce,
+                      flush=True)
+        if self.port is not None:
+            self._tcp_server = await asyncio.start_server(
+                self._track_connection, self.host, self.port
+            )
+            if announce is not None:
+                host, port = self.tcp_address
+                print(f"tcp: {host}:{port}", file=announce, flush=True)
+        if announce is not None:
+            print("ready", file=announce, flush=True)
+        try:
+            await self._stdin_loop(stdin, stdout)
+        finally:
+            await self.shutdown()
+        return 0
+
+    async def shutdown(self) -> None:
+        """Stop listeners, drain the batcher, shut the runtime down."""
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        if self._connection_tasks:
+            # Give in-flight connections a grace period, then cancel: a
+            # client that holds its socket open past stdin EOF must not
+            # pin the daemon alive.
+            done, pending = await asyncio.wait(
+                list(self._connection_tasks), timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.batcher.close()
+        if self._health_server is not None:
+            self._health_server.shutdown()
+            self._health_server.server_close()
+            self._health_server = None
+        self.runtime.shutdown()
+
+
+def _maybe_dict(line: str):
+    """Best-effort re-parse for id extraction on request errors."""
+    try:
+        return json.loads(line)
+    except ValueError:
+        return None
+
+
+def run_async_daemon(daemon: AsyncServingDaemon) -> int:
+    """Blocking entry point: drive ``daemon`` on a fresh event loop."""
+    return asyncio.run(daemon.run(sys.stdin, sys.stdout, announce=sys.stderr))
+
+
+__all__ = [
+    "AsyncServingDaemon",
+    "read_bounded_lines",
+    "run_async_daemon",
+]

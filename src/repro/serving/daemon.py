@@ -13,9 +13,10 @@ object per stdout line out, until EOF.  The wire format is the
     {"id": 2, "outcome": "served", ...}
     {"id": 3, "outcome": "timeout", "error": "deadline exceeded ...", ...}
 
-A malformed line produces ``{"error": ...}`` on stdout (the daemon
-never dies on bad input; exceptions escaping the runtime itself are
-reported the same way).  Requests are served serially in arrival order
+A malformed or oversized line (see ``max_line_bytes``) produces
+``{"error": ..., "error_kind": "invalid_request"}`` on stdout — the
+daemon never dies on bad input, and the connection stays alive.
+Requests are served serially in arrival order
 — admission control and deadlines still apply, so a saturated or slow
 queue degrades per the runtime's ladder rather than backing up
 silently.
@@ -38,6 +39,33 @@ from typing import IO
 
 from repro.api import QueryRequest
 from repro.serving.runtime import ServingRuntime
+
+#: Default bound on one JSON-lines request frame.  A frame beyond this
+#: is answered with a structured ``invalid_request`` error instead of
+#: being parsed (or worse, killing the daemon) — the connection stays
+#: alive.
+DEFAULT_MAX_LINE_BYTES = 1 << 20
+
+#: The ``error_kind`` value for client-side protocol errors (malformed
+#: JSON, unknown keys, oversized frames).  Runtime outcomes
+#: (``timeout``/``failed``/...) are *not* errors of this kind — they are
+#: valid responses.
+ERROR_INVALID_REQUEST = "invalid_request"
+
+
+def invalid_request_reply(message: str, request_id=None) -> dict:
+    """The structured error reply for an unusable request frame."""
+    return {
+        "id": request_id,
+        "error": message,
+        "error_kind": ERROR_INVALID_REQUEST,
+    }
+
+
+def oversized_line_reply(max_line_bytes: int) -> dict:
+    return invalid_request_reply(
+        f"request line exceeds max_line_bytes={max_line_bytes}"
+    )
 
 
 def request_from_wire(data: dict) -> QueryRequest:
@@ -98,6 +126,19 @@ class _HealthHandler(BaseHTTPRequestHandler):
         """Silence per-request access logging (stdout is the data plane)."""
 
 
+def start_health_server(
+    runtime: ServingRuntime, port: int
+) -> ThreadingHTTPServer:
+    """Start the probe server on a daemon thread; shared by both daemons."""
+    server = ThreadingHTTPServer(("127.0.0.1", port), _HealthHandler)
+    server.runtime = runtime  # type: ignore[attr-defined]
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-health", daemon=True
+    )
+    thread.start()
+    return server
+
+
 class ServingDaemon:
     """Drives a :class:`ServingRuntime` over JSON-lines streams."""
 
@@ -106,12 +147,17 @@ class ServingDaemon:
         runtime: ServingRuntime,
         *,
         health_port: int | None = None,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ) -> None:
         """``health_port``: ``None`` disables the probe server; ``0``
         binds an ephemeral port (read it back from
-        :attr:`health_address`)."""
+        :attr:`health_address`).  ``max_line_bytes`` bounds one request
+        frame; oversized frames get an ``invalid_request`` error."""
+        if max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
         self.runtime = runtime
         self.health_port = health_port
+        self.max_line_bytes = max_line_bytes
         self._health_server: ThreadingHTTPServer | None = None
 
     @property
@@ -124,15 +170,9 @@ class ServingDaemon:
     def start_health_server(self) -> None:
         if self.health_port is None or self._health_server is not None:
             return
-        server = ThreadingHTTPServer(
-            ("127.0.0.1", self.health_port), _HealthHandler
+        self._health_server = start_health_server(
+            self.runtime, self.health_port
         )
-        server.runtime = self.runtime  # type: ignore[attr-defined]
-        thread = threading.Thread(
-            target=server.serve_forever, name="serve-health", daemon=True
-        )
-        thread.start()
-        self._health_server = server
 
     def stop_health_server(self) -> None:
         if self._health_server is not None:
@@ -145,13 +185,15 @@ class ServingDaemon:
         line = line.strip()
         if not line:
             return {}
+        if len(line.encode("utf-8", "surrogatepass")) > self.max_line_bytes:
+            return oversized_line_reply(self.max_line_bytes)
         try:
             data = json.loads(line)
             if not isinstance(data, dict):
                 raise ValueError("request must be a JSON object")
             request = request_from_wire(data)
         except (ValueError, TypeError) as error:
-            return {"id": _request_id(line), "error": str(error)}
+            return invalid_request_reply(str(error), _request_id(line))
         response = self.runtime.submit(request)
         out = response.to_dict()
         if "id" in data:
@@ -190,4 +232,12 @@ def _request_id(line: str):
     return None
 
 
-__all__ = ["ServingDaemon", "request_from_wire"]
+__all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "ERROR_INVALID_REQUEST",
+    "ServingDaemon",
+    "invalid_request_reply",
+    "oversized_line_reply",
+    "request_from_wire",
+    "start_health_server",
+]

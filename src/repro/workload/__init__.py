@@ -1,0 +1,48 @@
+"""Open-loop load generation: seeded schedules, async runner, reporter.
+
+The workload layer answers "what does serving look like at a given
+*offered* load?" — as opposed to the closed-loop benchmarks, which
+measure capacity by running flat out.  Three pieces:
+
+- :mod:`repro.workload.schedule` — seeded arrival processes (Poisson,
+  burst, diurnal) as sorted offset tuples; the schedule, not the
+  server's speed, defines the load;
+- :mod:`repro.workload.runner` — :class:`OpenLoopRunner` fires requests
+  at their scheduled times regardless of completion, so queueing delay
+  is measured instead of hidden (no coordinated omission);
+- :mod:`repro.workload.reporter` — p50/p95/p99 pulled straight from the
+  metrics-registry histograms the run produced.
+
+``benchmarks/bench_serving.py --open-loop`` wires the three together
+against the micro-batching front end.
+"""
+
+from repro.workload.reporter import (
+    histogram_summary,
+    render_report,
+    workload_report,
+)
+from repro.workload.runner import OpenLoopRunner, RequestRecord, RunResult
+from repro.workload.schedule import (
+    SCHEDULE_KINDS,
+    ArrivalSchedule,
+    burst_schedule,
+    diurnal_schedule,
+    make_schedule,
+    poisson_schedule,
+)
+
+__all__ = [
+    "ArrivalSchedule",
+    "OpenLoopRunner",
+    "RequestRecord",
+    "RunResult",
+    "SCHEDULE_KINDS",
+    "burst_schedule",
+    "diurnal_schedule",
+    "histogram_summary",
+    "make_schedule",
+    "poisson_schedule",
+    "render_report",
+    "workload_report",
+]

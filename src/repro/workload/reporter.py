@@ -1,0 +1,127 @@
+"""Latency reporting straight from the metrics registry.
+
+The reporter does **not** keep its own samples: p50/p95/p99 come from
+the fixed-bucket histograms the batcher and runner already maintain
+(``speakql_workload_e2e_seconds``, ``speakql_batch_coalesce_wait_seconds``,
+``speakql_workload_lag_seconds``), so the numbers a benchmark prints are
+by construction the same numbers ``--metrics-out`` exports — one source
+of truth for latency, no parallel bookkeeping to drift.
+"""
+
+from __future__ import annotations
+
+from repro.observability import names as obs_names
+from repro.observability.metrics import Histogram, MetricsRegistry
+
+#: The quantiles every latency summary reports.
+QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def histogram_summary(histogram: Histogram | None) -> dict[str, float]:
+    """p50/p95/p99 (+ count, mean, max) of one histogram, in ms."""
+    if histogram is None or histogram.count == 0:
+        return {"count": 0}
+    summary: dict[str, float] = {
+        "count": histogram.count,
+        "mean_ms": 1000.0 * histogram.sum / histogram.count,
+        "max_ms": 1000.0 * histogram.max,
+    }
+    for label, q in QUANTILES:
+        summary[f"{label}_ms"] = 1000.0 * histogram.quantile(q)
+    return summary
+
+
+def _find_histogram(
+    registry: MetricsRegistry, name: str
+) -> Histogram | None:
+    for metric_name, _labels, metric in registry.collect():
+        if metric_name == name and isinstance(metric, Histogram):
+            return metric
+    return None
+
+
+def _outcome_counts(registry: MetricsRegistry, name: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for metric_name, labels, metric in registry.collect():
+        if metric_name == name and "outcome" in labels:
+            counts[labels["outcome"]] = int(metric.value)
+    return counts
+
+
+def workload_report(registry: MetricsRegistry) -> dict:
+    """Summarize one open-loop run from its merged metrics registry.
+
+    Expects the runner's and batcher's registries to have been merged
+    into ``registry`` (after the run completes — the repo-wide
+    thread-confinement discipline).
+    """
+    report = {
+        "outcomes": _outcome_counts(
+            registry, obs_names.WORKLOAD_REQUESTS_TOTAL
+        ),
+        "e2e": histogram_summary(
+            _find_histogram(registry, obs_names.WORKLOAD_E2E_SECONDS)
+        ),
+        "generator_lag": histogram_summary(
+            _find_histogram(registry, obs_names.WORKLOAD_LAG_SECONDS)
+        ),
+        "coalesce_wait": histogram_summary(
+            _find_histogram(
+                registry, obs_names.BATCH_COALESCE_WAIT_SECONDS
+            )
+        ),
+    }
+    flushes: dict[str, int] = {}
+    for metric_name, labels, metric in registry.collect():
+        if metric_name == obs_names.BATCH_FLUSH_TOTAL:
+            flushes[labels.get("reason", "")] = int(metric.value)
+    if flushes:
+        report["batch_flushes"] = flushes
+        size = _find_histogram(registry, obs_names.BATCH_FLUSH_SIZE)
+        if size is not None and size.count > 0:
+            report["mean_batch_size"] = size.sum / size.count
+    return report
+
+
+def render_report(report: dict, *, indent: str = "  ") -> str:
+    """A compact human-readable rendering of :func:`workload_report`."""
+    lines: list[str] = []
+    outcomes = report.get("outcomes", {})
+    total = sum(outcomes.values())
+    parts = ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+    lines.append(f"{indent}outcomes ({total}): {parts or 'none'}")
+    for key, label in (
+        ("e2e", "e2e latency"),
+        ("generator_lag", "generator lag"),
+        ("coalesce_wait", "coalesce wait"),
+    ):
+        summary = report.get(key, {})
+        if summary.get("count"):
+            lines.append(
+                f"{indent}{label}: "
+                + " ".join(
+                    f"{q}={summary[f'{q}_ms']:.1f}ms"
+                    for q, _ in QUANTILES
+                )
+                + f" max={summary['max_ms']:.1f}ms"
+            )
+    flushes = report.get("batch_flushes")
+    if flushes:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(flushes.items()))
+        lines.append(
+            f"{indent}batch flushes: {parts} "
+            f"(mean size {report.get('mean_batch_size', 0):.2f})"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "QUANTILES",
+    "histogram_summary",
+    "render_report",
+    "workload_report",
+]

@@ -1,0 +1,181 @@
+"""Open-loop workload runner: fire on schedule, measure honestly.
+
+:class:`OpenLoopRunner` drives an async ``submit`` callable (normally
+:meth:`~repro.serving.batcher.MicroBatcher.submit`) along an
+:class:`~repro.workload.schedule.ArrivalSchedule`.  Each request is
+fired at its scheduled offset **regardless of whether earlier requests
+have completed** — there is no closed loop, so a saturated server
+cannot slow the arrival process down and hide its own queueing delay
+(coordinated omission).  End-to-end latency is measured from the
+*scheduled* arrival, not the actual fire time, so any lag the load
+generator itself accrues is charged to the measurement, not hidden.
+
+Metrics (written into the runner's own registry — loop-thread-confined,
+same discipline as the batcher):
+
+- ``speakql_workload_requests_total{outcome=...}`` — completions by
+  serving outcome, plus ``outcome="error"`` for submissions that raised;
+- ``speakql_workload_lag_seconds`` — generator lag: actual fire time
+  minus scheduled time (should stay near zero; a growing lag means the
+  load harness itself, not the server, is the bottleneck);
+- ``speakql_workload_e2e_seconds`` — scheduled arrival to completion.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Sequence
+
+from repro.api import QueryRequest, QueryResponse
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.workload.schedule import ArrivalSchedule
+
+
+@dataclass
+class RequestRecord:
+    """One fired request: its timings and response (or error)."""
+
+    index: int
+    scheduled_at: float  # schedule offset, seconds from run start
+    fired_at: float  # actual offset the request went out
+    completed_at: float  # offset the response landed
+    response: QueryResponse | None
+    error: BaseException | None = None
+
+    @property
+    def lag(self) -> float:
+        """Generator lag: how late the request fired vs its schedule."""
+        return self.fired_at - self.scheduled_at
+
+    @property
+    def e2e(self) -> float:
+        """Scheduled arrival → completion (includes generator lag)."""
+        return self.completed_at - self.scheduled_at
+
+    @property
+    def outcome(self) -> str:
+        if self.response is not None:
+            return self.response.outcome
+        return "error"
+
+
+@dataclass
+class RunResult:
+    """The outcome of one open-loop run."""
+
+    schedule: ArrivalSchedule
+    records: list[RequestRecord]  # in schedule order
+    wall_seconds: float  # first fire to last completion
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completions per second of wall time (vs the offered rate)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.records) / self.wall_seconds
+
+
+class OpenLoopRunner:
+    """Fires requests along a schedule through an async submit callable.
+
+    Parameters
+    ----------
+    submit:
+        ``async (QueryRequest) -> QueryResponse``.  Point it at a
+        :class:`~repro.serving.batcher.MicroBatcher` to exercise the
+        coalescing front end, or at an executor-wrapped
+        ``ServingRuntime.submit`` for the batch-size-1 baseline.
+    metrics:
+        Registry for the workload metrics; confined to the event-loop
+        thread — merge it after :meth:`run` returns.
+    time_scale:
+        Multiplier on schedule offsets (0.5 = play the schedule at
+        double speed).  Tests use tiny scales to keep wall time down.
+    """
+
+    def __init__(
+        self,
+        submit: Callable[[QueryRequest], Awaitable[QueryResponse]],
+        *,
+        metrics: MetricsRegistry | None = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.submit = submit
+        self.metrics = metrics
+        self.time_scale = time_scale
+
+    async def run(
+        self,
+        schedule: ArrivalSchedule,
+        requests: Sequence[QueryRequest],
+    ) -> RunResult:
+        """Fire ``requests[i]`` at ``schedule.offsets[i]``; await all.
+
+        ``requests`` must match the schedule's length.  Returns records
+        in schedule order once every request has completed (the firing
+        itself never waits on completions).
+        """
+        if len(requests) != len(schedule):
+            raise ValueError(
+                f"schedule has {len(schedule)} arrivals but "
+                f"{len(requests)} requests were supplied"
+            )
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+
+        async def fire(index: int, offset: float) -> RequestRecord:
+            scheduled = offset * self.time_scale
+            delay = start + scheduled - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            fired = time.perf_counter() - start
+            response: QueryResponse | None = None
+            error: BaseException | None = None
+            try:
+                response = await self.submit(requests[index])
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                error = exc
+            completed = time.perf_counter() - start
+            record = RequestRecord(
+                index, scheduled, fired, completed, response, error
+            )
+            self._record(record)
+            return record
+
+        tasks = [
+            loop.create_task(fire(index, offset))
+            for index, offset in enumerate(schedule.offsets)
+        ]
+        records = list(await asyncio.gather(*tasks))
+        wall = time.perf_counter() - start
+        return RunResult(schedule, records, wall)
+
+    def _record(self, record: RequestRecord) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            obs_names.WORKLOAD_REQUESTS_TOTAL, outcome=record.outcome
+        ).inc()
+        self.metrics.histogram(obs_names.WORKLOAD_LAG_SECONDS).observe(
+            max(0.0, record.lag)
+        )
+        self.metrics.histogram(obs_names.WORKLOAD_E2E_SECONDS).observe(
+            record.e2e
+        )
+
+
+__all__ = ["OpenLoopRunner", "RequestRecord", "RunResult"]

@@ -1,0 +1,313 @@
+"""Tests for the coalescing micro-batcher: flush policy, deadline
+charging, metrics, and bit-identical parity with sequential ``submit``."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import QueryRequest, QueryResponse
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.serving import MicroBatcher, ServingRuntime, flush_by
+from repro.serving.batcher import (
+    FLUSH_DEADLINE,
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    FLUSH_WAIT,
+)
+
+
+@pytest.fixture(scope="module")
+def runtime(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    small_index = request.getfixturevalue("small_index")
+    artifacts = SpeakQLArtifacts.build(
+        structure_index=small_index,
+        training_sql=["SELECT FirstName FROM Employees"],
+    )
+    service = SpeakQLService(small_catalog, artifacts=artifacts)
+    return ServingRuntime(service)
+
+
+class FakeRuntime:
+    """Records dispatched batches; answers everything ``served``."""
+
+    def __init__(self):
+        self.batches: list[list[QueryRequest]] = []
+
+    def submit_batch(self, requests):
+        self.batches.append(list(requests))
+        return [QueryResponse(request=r, outcome="served") for r in requests]
+
+
+class FailingRuntime:
+    def submit_batch(self, requests):
+        raise RuntimeError("dispatch exploded")
+
+
+class TestFlushBy:
+    def test_no_deadline_flushes_on_wait(self):
+        request = QueryRequest(text="x")
+        cutoff, reason = flush_by(
+            request, 100.0, max_wait=0.002, deadline_slack=0.005
+        )
+        assert cutoff == pytest.approx(100.002)
+        assert reason == FLUSH_WAIT
+
+    def test_loose_deadline_still_flushes_on_wait(self):
+        request = QueryRequest(text="x", deadline=10.0)
+        cutoff, reason = flush_by(
+            request, 100.0, max_wait=0.002, deadline_slack=0.005
+        )
+        assert cutoff == pytest.approx(100.002)
+        assert reason == FLUSH_WAIT
+
+    def test_tight_deadline_flushes_earlier(self):
+        # Budget 4 ms, slack 3 ms: must flush 1 ms in, before the
+        # 2 ms coalescing window would.
+        request = QueryRequest(text="x", deadline=0.004)
+        cutoff, reason = flush_by(
+            request, 100.0, max_wait=0.002, deadline_slack=0.003
+        )
+        assert cutoff == pytest.approx(100.001)
+        assert reason == FLUSH_DEADLINE
+
+    def test_deadline_below_slack_flushes_immediately(self):
+        request = QueryRequest(text="x", deadline=0.001)
+        cutoff, reason = flush_by(
+            request, 100.0, max_wait=0.002, deadline_slack=0.005
+        )
+        assert cutoff == pytest.approx(100.0)
+        assert reason == FLUSH_DEADLINE
+
+
+class TestMicroBatcher:
+    def test_flush_on_full_coalesces_concurrent_submissions(self):
+        fake = FakeRuntime()
+        metrics = MetricsRegistry()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=3, max_wait_ms=10_000.0,
+                metrics=metrics,
+            )
+            responses = await asyncio.gather(
+                *(batcher.submit(QueryRequest(text=f"q{i}"))
+                  for i in range(3))
+            )
+            await batcher.close()
+            return responses
+
+        responses = asyncio.run(drive())
+        assert [r.outcome for r in responses] == ["served"] * 3
+        assert len(fake.batches) == 1
+        assert [r.text for r in fake.batches[0]] == ["q0", "q1", "q2"]
+        assert metrics.counter(
+            obs_names.BATCH_FLUSH_TOTAL, reason=FLUSH_FULL
+        ).value == 1
+        size = metrics.histogram(obs_names.BATCH_FLUSH_SIZE)
+        assert size.count == 1 and size.sum == 3
+
+    def test_flush_on_wait_dispatches_partial_batch(self):
+        fake = FakeRuntime()
+        metrics = MetricsRegistry()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=100, max_wait_ms=5.0, metrics=metrics
+            )
+            responses = await asyncio.gather(
+                batcher.submit(QueryRequest(text="a")),
+                batcher.submit(QueryRequest(text="b")),
+            )
+            await batcher.close()
+            return responses
+
+        responses = asyncio.run(drive())
+        assert all(r.outcome == "served" for r in responses)
+        assert len(fake.batches) == 1 and len(fake.batches[0]) == 2
+        assert metrics.counter(
+            obs_names.BATCH_FLUSH_TOTAL, reason=FLUSH_WAIT
+        ).value == 1
+
+    def test_flush_on_deadline_beats_the_wait_window(self):
+        fake = FakeRuntime()
+        metrics = MetricsRegistry()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=100, max_wait_ms=10_000.0,
+                deadline_slack_ms=5.0, metrics=metrics,
+            )
+            # 20 ms budget, 5 ms slack: flushes ~15 ms in, not in 10 s.
+            response = await asyncio.wait_for(
+                batcher.submit(QueryRequest(text="x", deadline=0.020)),
+                timeout=5.0,
+            )
+            await batcher.close()
+            return response
+
+        response = asyncio.run(drive())
+        assert response.outcome == "served"
+        assert metrics.counter(
+            obs_names.BATCH_FLUSH_TOTAL, reason=FLUSH_DEADLINE
+        ).value == 1
+
+    def test_front_end_wait_charged_against_deadline(self):
+        fake = FakeRuntime()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=100, max_wait_ms=30.0
+            )
+            await batcher.submit(QueryRequest(text="x", deadline=5.0))
+            await batcher.close()
+
+        asyncio.run(drive())
+        [batch] = fake.batches
+        # The ~30 ms coalescing wait must come out of the 5 s budget.
+        assert batch[0].deadline < 5.0
+        assert batch[0].deadline > 4.0
+
+    def test_drain_flushes_pending_with_drain_reason(self):
+        fake = FakeRuntime()
+        metrics = MetricsRegistry()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=100, max_wait_ms=10_000.0,
+                metrics=metrics,
+            )
+            task = asyncio.create_task(
+                batcher.submit(QueryRequest(text="x"))
+            )
+            await asyncio.sleep(0)  # let the submission enqueue
+            await batcher.close()
+            return await task
+
+        response = asyncio.run(drive())
+        assert response.outcome == "served"
+        assert metrics.counter(
+            obs_names.BATCH_FLUSH_TOTAL, reason=FLUSH_DRAIN
+        ).value == 1
+
+    def test_coalesce_wait_histogram_covers_every_request(self):
+        fake = FakeRuntime()
+        metrics = MetricsRegistry()
+
+        async def drive():
+            batcher = MicroBatcher(
+                fake, max_batch_size=2, max_wait_ms=10_000.0,
+                metrics=metrics,
+            )
+            await asyncio.gather(
+                batcher.submit(QueryRequest(text="a")),
+                batcher.submit(QueryRequest(text="b")),
+            )
+            await batcher.close()
+
+        asyncio.run(drive())
+        wait = metrics.histogram(obs_names.BATCH_COALESCE_WAIT_SECONDS)
+        assert wait.count == 2
+
+    def test_dispatch_error_propagates_to_every_waiter(self):
+        async def drive():
+            batcher = MicroBatcher(FailingRuntime(), max_batch_size=2)
+            results = await asyncio.gather(
+                batcher.submit(QueryRequest(text="a")),
+                batcher.submit(QueryRequest(text="b")),
+                return_exceptions=True,
+            )
+            await batcher.close()
+            return results
+
+        results = asyncio.run(drive())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_submit_after_close_raises(self):
+        async def drive():
+            batcher = MicroBatcher(FakeRuntime())
+            await batcher.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await batcher.submit(QueryRequest(text="x"))
+
+        asyncio.run(drive())
+
+    def test_constructor_validation(self):
+        fake = FakeRuntime()
+        with pytest.raises(ValueError, match="max_batch_size"):
+            MicroBatcher(fake, max_batch_size=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            MicroBatcher(fake, max_wait_ms=-1.0)
+        with pytest.raises(ValueError, match="dispatch_workers"):
+            MicroBatcher(fake, dispatch_workers=0)
+
+
+class TestParityWithSequentialSubmit:
+    TEXTS = [
+        "select salary from salaries",
+        "SELECT FirstName FROM Employees",
+        "select last name from employees",
+        "SELECT Salary FROM Employees",
+    ]
+
+    def test_batched_responses_bit_identical_to_submit(self, runtime):
+        requests = [
+            QueryRequest(text=text, seed=7) for text in self.TEXTS
+        ]
+        sequential = [runtime.submit(request) for request in requests]
+
+        async def drive():
+            batcher = MicroBatcher(
+                runtime, max_batch_size=len(requests),
+                max_wait_ms=10_000.0,
+            )
+            responses = await asyncio.gather(
+                *(batcher.submit(request) for request in requests)
+            )
+            await batcher.close()
+            return responses
+
+        batched = asyncio.run(drive())
+        for base, coalesced in zip(sequential, batched):
+            assert coalesced.outcome == base.outcome
+            assert coalesced.sql == base.sql
+            assert coalesced.rung == base.rung
+        assert any(r.sql for r in batched)
+
+    def test_batch_beyond_queue_limit_sheds_the_overflow(self, request):
+        small_catalog = request.getfixturevalue("small_catalog")
+        small_index = request.getfixturevalue("small_index")
+        artifacts = SpeakQLArtifacts.build(
+            structure_index=small_index,
+            training_sql=["SELECT FirstName FROM Employees"],
+        )
+        service = SpeakQLService(small_catalog, artifacts=artifacts)
+        tight = ServingRuntime(service, queue_limit=1)
+        responses = tight.submit_batch(
+            [QueryRequest(text="select salary from salaries")] * 3
+        )
+        outcomes = [r.outcome for r in responses]
+        assert outcomes.count("served") == 1
+        assert outcomes.count("shed") == 2
+
+    def test_in_batch_wait_charged_against_deadline(self, runtime):
+        # The second request's budget is consumed by waiting behind the
+        # first inside submit_batch: it must time out, not serve stale.
+        responses = runtime.submit_batch(
+            [
+                QueryRequest(
+                    text="SELECT FirstName FROM Employees", seed=7
+                ),
+                QueryRequest(
+                    text="SELECT FirstName FROM Employees",
+                    seed=7,
+                    deadline=0.001,
+                ),
+            ]
+        )
+        assert responses[0].outcome == "served"
+        assert responses[1].outcome == "timeout"

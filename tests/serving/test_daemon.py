@@ -89,7 +89,27 @@ class TestHandleLine:
     def test_malformed_json_reports_error(self, runtime):
         out = ServingDaemon(runtime).handle_line("{not json")
         assert "error" in out
+        assert out["error_kind"] == "invalid_request"
         assert out["id"] is None
+
+    def test_oversized_line_reports_structured_error(self, runtime):
+        daemon = ServingDaemon(runtime, max_line_bytes=64)
+        out = daemon.handle_line(
+            json.dumps({"id": 1, "text": "x" * 512})
+        )
+        assert out["error_kind"] == "invalid_request"
+        assert "max_line_bytes=64" in out["error"]
+
+    def test_line_at_the_bound_is_still_parsed(self, runtime):
+        line = json.dumps({"text": "select salary from salaries"})
+        daemon = ServingDaemon(
+            runtime, max_line_bytes=len(line.encode("utf-8"))
+        )
+        assert daemon.handle_line(line)["outcome"] == "served"
+
+    def test_max_line_bytes_validated(self, runtime):
+        with pytest.raises(ValueError, match="max_line_bytes"):
+            ServingDaemon(runtime, max_line_bytes=0)
 
     def test_non_object_reports_error(self, runtime):
         out = ServingDaemon(runtime).handle_line("[1, 2]")

@@ -198,6 +198,103 @@ class TestShardScalingEntries:
         assert len(bench_history.read_history(history_path)) == 4
 
 
+def _open_loop_report(batch_sizes=(1, 8), queries=64, rate=200.0):
+    rows = [
+        {
+            "batch_size": batch,
+            "outcomes": {"served": queries},
+            "answered": queries,
+            "answered_fraction": 1.0,
+            "throughput_qps": 50.0 * (index + 1),
+            "median_ms": 40.0 - index,
+            "p95_ms": 80.0,
+            "p99_ms": 120.0,
+            "total_s": queries / (50.0 * (index + 1)),
+            "speedup_vs_first": float(index + 1),
+        }
+        for index, batch in enumerate(batch_sizes)
+    ]
+    return {
+        "benchmark": "serving_open_loop",
+        "queries": queries,
+        "rate": rate,
+        "arrivals": "poisson",
+        "deadline_ms": None,
+        "batch_wait_ms": 2.0,
+        "rows": rows,
+    }
+
+
+class TestOpenLoopEntries:
+    def test_one_entry_per_batch_size_with_distinct_keys(self):
+        entries = bench_history.entries_from_report(
+            _open_loop_report((1, 4, 8)), "ol.json"
+        )
+        assert [e["batch_size"] for e in entries] == [1, 4, 8]
+        assert [e["key"] for e in entries] == [
+            "serving_open_loop@q64r200b1",
+            "serving_open_loop@q64r200b4",
+            "serving_open_loop@q64r200b8",
+        ]
+        for entry in entries:
+            assert entry["arrivals"] == "poisson"
+            assert entry["p99_ms"] == 120.0
+            assert entry["source"] == "ol.json"
+
+    def test_open_loop_rejected_by_single_entry_path(self):
+        with pytest.raises(KeyError, match="entries_from_report"):
+            bench_history.entry_from_report(_open_loop_report(), "s")
+
+    def test_main_appends_every_row(self, tmp_path):
+        report_path = tmp_path / "ol.json"
+        report_path.write_text(json.dumps(_open_loop_report((1, 8))))
+        history_path = tmp_path / "history.jsonl"
+        code = bench_history.main(
+            [str(report_path), "--history", str(history_path)]
+        )
+        assert code == 0
+        entries = bench_history.read_history(history_path)
+        assert [e["key"][-2:] for e in entries] == ["b1", "b8"]
+
+
+class TestMachineStamp:
+    def test_every_entry_shape_carries_nproc(self):
+        nproc = bench_history.machine_stamp()["nproc"]
+        single = bench_history.entry_from_report(_report(), "s")
+        assert single["nproc"] == nproc
+        for report in (_serving_report(), _scaling_report(),
+                       _open_loop_report()):
+            for entry in bench_history.entries_from_report(report, "s"):
+                assert entry["nproc"] == nproc
+
+    def test_cross_core_count_entries_never_compared(self):
+        baseline = bench_history.entry_from_report(
+            _report(median_ms=1.0), "old"
+        )
+        baseline["nproc"] = 16
+        entry = bench_history.entry_from_report(_report(median_ms=50.0), "new")
+        entry["nproc"] = 1
+        # 50x slower, but recorded on a different machine class: skip.
+        assert bench_history.check_regression(entry, [baseline]) is None
+
+    def test_pre_stamp_entries_match_any_core_count(self):
+        baseline = bench_history.entry_from_report(
+            _report(median_ms=1.0), "old"
+        )
+        del baseline["nproc"]
+        entry = bench_history.entry_from_report(_report(median_ms=50.0), "new")
+        verdict = bench_history.check_regression(entry, [baseline])
+        assert verdict is not None and "slower" in verdict
+
+    def test_same_core_count_still_gates(self):
+        baseline = bench_history.entry_from_report(
+            _report(median_ms=1.0), "old"
+        )
+        entry = bench_history.entry_from_report(_report(median_ms=50.0), "new")
+        verdict = bench_history.check_regression(entry, [baseline])
+        assert verdict is not None and "slower" in verdict
+
+
 class TestCheckRegression:
     def test_first_run_for_key_passes(self):
         entry = bench_history.entry_from_report(_report(), "s")
@@ -316,6 +413,9 @@ def test_committed_history_is_valid_jsonl():
         if entry["benchmark"] == "structure_search_kernels":
             assert "median_speedup" in entry
             assert "@max" in entry["key"]
+        elif entry["benchmark"] == "serving_open_loop":
+            assert "throughput_qps" in entry
+            assert "b" in entry["key"].rpartition("r")[2]
         else:
             assert entry["benchmark"] == "serving_shard_scaling"
             assert "throughput_qps" in entry

@@ -1,0 +1,141 @@
+"""Tests for the open-loop runner and the registry-backed reporter."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import QueryRequest, QueryResponse
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.workload import (
+    ArrivalSchedule,
+    OpenLoopRunner,
+    poisson_schedule,
+    render_report,
+    workload_report,
+)
+
+
+def _requests(count: int) -> list[QueryRequest]:
+    return [QueryRequest(text=f"query {i}") for i in range(count)]
+
+
+async def _instant_submit(request: QueryRequest) -> QueryResponse:
+    return QueryResponse(request=request, outcome="served")
+
+
+class TestOpenLoopRunner:
+    def test_fires_every_request_in_schedule_order(self):
+        schedule = poisson_schedule(500.0, 8, seed=3)
+        runner = OpenLoopRunner(_instant_submit)
+        result = asyncio.run(runner.run(schedule, _requests(8)))
+        assert [r.index for r in result.records] == list(range(8))
+        assert result.outcomes == {"served": 8}
+        assert result.achieved_qps > 0
+
+    def test_open_loop_does_not_wait_for_slow_requests(self):
+        # The first request stalls; later arrivals must still fire on
+        # schedule (an open loop never lets the server set the pace).
+        fire_order: list[int] = []
+
+        async def submit(request: QueryRequest) -> QueryResponse:
+            index = int(request.text.split()[-1])
+            fire_order.append(index)
+            if index == 0:
+                await asyncio.sleep(0.2)
+            return QueryResponse(request=request, outcome="served")
+
+        schedule = ArrivalSchedule(
+            "poisson", (0.0, 0.01, 0.02), seed=1
+        )
+        runner = OpenLoopRunner(submit)
+        result = asyncio.run(runner.run(schedule, _requests(3)))
+        assert fire_order == [0, 1, 2]
+        # Requests 1 and 2 completed long before request 0 did.
+        assert result.records[1].completed_at < result.records[0].completed_at
+        assert result.records[0].e2e == pytest.approx(0.2, abs=0.1)
+
+    def test_length_mismatch_rejected(self):
+        schedule = poisson_schedule(100.0, 4, seed=1)
+        runner = OpenLoopRunner(_instant_submit)
+        with pytest.raises(ValueError, match="4 arrivals"):
+            asyncio.run(runner.run(schedule, _requests(3)))
+
+    def test_submit_exception_becomes_error_outcome(self):
+        async def submit(request: QueryRequest) -> QueryResponse:
+            if request.text.endswith("1"):
+                raise RuntimeError("boom")
+            return QueryResponse(request=request, outcome="served")
+
+        schedule = poisson_schedule(500.0, 3, seed=2)
+        runner = OpenLoopRunner(submit)
+        result = asyncio.run(runner.run(schedule, _requests(3)))
+        assert result.outcomes == {"served": 2, "error": 1}
+        [failed] = [r for r in result.records if r.outcome == "error"]
+        assert isinstance(failed.error, RuntimeError)
+        assert failed.response is None
+
+    def test_time_scale_compresses_the_schedule(self):
+        schedule = ArrivalSchedule("poisson", (0.0, 1.0), seed=1)
+        runner = OpenLoopRunner(_instant_submit, time_scale=0.01)
+        result = asyncio.run(runner.run(schedule, _requests(2)))
+        assert result.wall_seconds < 0.5
+        assert result.records[1].scheduled_at == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="time_scale"):
+            OpenLoopRunner(_instant_submit, time_scale=0.0)
+
+    def test_metrics_written_per_request(self):
+        metrics = MetricsRegistry()
+        schedule = poisson_schedule(500.0, 5, seed=4)
+        runner = OpenLoopRunner(_instant_submit, metrics=metrics)
+        asyncio.run(runner.run(schedule, _requests(5)))
+        assert metrics.counter(
+            obs_names.WORKLOAD_REQUESTS_TOTAL, outcome="served"
+        ).value == 5
+        assert metrics.histogram(
+            obs_names.WORKLOAD_E2E_SECONDS
+        ).count == 5
+        assert metrics.histogram(
+            obs_names.WORKLOAD_LAG_SECONDS
+        ).count == 5
+
+
+class TestReporter:
+    def _run_registry(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        schedule = poisson_schedule(500.0, 6, seed=5)
+        runner = OpenLoopRunner(_instant_submit, metrics=metrics)
+        asyncio.run(runner.run(schedule, _requests(6)))
+        return metrics
+
+    def test_report_pulls_quantiles_from_the_registry(self):
+        report = workload_report(self._run_registry())
+        assert report["outcomes"] == {"served": 6}
+        assert report["e2e"]["count"] == 6
+        for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+            assert quantile in report["e2e"]
+        assert report["generator_lag"]["count"] == 6
+        # No batcher fed this registry: no flush section.
+        assert "batch_flushes" not in report
+        assert report["coalesce_wait"] == {"count": 0}
+
+    def test_report_includes_batch_section_when_present(self):
+        metrics = self._run_registry()
+        metrics.counter(
+            obs_names.BATCH_FLUSH_TOTAL, reason="full"
+        ).inc(2)
+        metrics.histogram(obs_names.BATCH_FLUSH_SIZE).observe(4)
+        report = workload_report(metrics)
+        assert report["batch_flushes"] == {"full": 2}
+        assert report["mean_batch_size"] == pytest.approx(4.0)
+
+    def test_render_report_is_compact_and_complete(self):
+        report = workload_report(self._run_registry())
+        text = render_report(report)
+        assert "outcomes (6): served=6" in text
+        assert "e2e latency" in text
+        assert "p99=" in text

@@ -1,0 +1,111 @@
+"""Tests for seeded open-loop arrival schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import (
+    ArrivalSchedule,
+    SCHEDULE_KINDS,
+    burst_schedule,
+    diurnal_schedule,
+    make_schedule,
+    poisson_schedule,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", SCHEDULE_KINDS)
+    def test_same_seed_same_offsets(self, kind):
+        first = make_schedule(kind, 50.0, 40, seed=7)
+        second = make_schedule(kind, 50.0, 40, seed=7)
+        assert first.offsets == second.offsets
+
+    @pytest.mark.parametrize("kind", SCHEDULE_KINDS)
+    def test_different_seed_different_offsets(self, kind):
+        first = make_schedule(kind, 50.0, 40, seed=7)
+        second = make_schedule(kind, 50.0, 40, seed=8)
+        assert first.offsets != second.offsets
+
+    @pytest.mark.parametrize("kind", SCHEDULE_KINDS)
+    def test_offsets_sorted_and_non_negative(self, kind):
+        schedule = make_schedule(kind, 50.0, 40, seed=3)
+        assert len(schedule) == 40
+        assert all(offset >= 0 for offset in schedule.offsets)
+        assert list(schedule.offsets) == sorted(schedule.offsets)
+
+
+class TestPoisson:
+    def test_starts_at_zero(self):
+        schedule = poisson_schedule(100.0, 10, seed=1)
+        assert schedule.offsets[0] == 0.0
+
+    def test_offered_qps_tracks_the_rate(self):
+        schedule = poisson_schedule(200.0, 2000, seed=1)
+        assert schedule.offered_qps == pytest.approx(200.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_qps"):
+            poisson_schedule(0.0, 10, seed=1)
+        with pytest.raises(ValueError, match="count"):
+            poisson_schedule(10.0, 0, seed=1)
+
+
+class TestBurst:
+    def test_count_preserved_including_remainder(self):
+        # 10 arrivals over 3 bursts: 3 + 3 + 4.
+        schedule = burst_schedule(10, bursts=3, seed=2)
+        assert len(schedule) == 10
+
+    def test_arrivals_cluster_within_the_span(self):
+        schedule = burst_schedule(
+            20, bursts=2, burst_span_s=0.05, gap_s=1.0, seed=5
+        )
+        first = [o for o in schedule.offsets if o < 0.5]
+        second = [o for o in schedule.offsets if o >= 0.5]
+        assert len(first) == len(second) == 10
+        assert max(first) <= 0.05
+        assert all(1.0 <= o <= 1.05 for o in second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bursts"):
+            burst_schedule(3, bursts=5, seed=1)
+        with pytest.raises(ValueError, match="gap_s"):
+            burst_schedule(3, bursts=1, gap_s=0.0, seed=1)
+
+
+class TestDiurnal:
+    def test_count_and_shape(self):
+        schedule = diurnal_schedule(
+            200, period_s=10.0, peak_qps=100.0, trough_qps=10.0, seed=4
+        )
+        assert len(schedule) == 200
+        # Thinning keeps the average between trough and peak.
+        assert 10.0 <= schedule.offered_qps <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="peak_qps"):
+            diurnal_schedule(5, peak_qps=1.0, trough_qps=2.0, seed=1)
+        with pytest.raises(ValueError, match="period_s"):
+            diurnal_schedule(5, period_s=0.0, seed=1)
+
+
+class TestScheduleContainer:
+    def test_rejects_unsorted_offsets(self):
+        with pytest.raises(ValueError, match="sorted"):
+            ArrivalSchedule("poisson", (1.0, 0.5), seed=1)
+
+    def test_rejects_negative_offsets(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ArrivalSchedule("poisson", (-0.1, 0.5), seed=1)
+
+    def test_describe_names_kind_seed_and_load(self):
+        schedule = poisson_schedule(50.0, 20, seed=9)
+        text = schedule.describe()
+        assert "poisson" in text
+        assert "seed=9" in text
+        assert "20 arrivals" in text
+
+    def test_make_schedule_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown schedule kind"):
+            make_schedule("sawtooth", 10.0, 5, seed=1)

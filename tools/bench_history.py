@@ -13,8 +13,16 @@ The key includes the workload size (``structure_search_kernels@max15``,
 compared against earlier smoke runs — never against the committed
 full-size report.  A ``serving_shard_scaling`` report (the
 ``--scale-shards`` sweep of ``bench_serving.py``) appends one entry
-per shard count, keyed ``serving_shard_scaling@q40ms0s2`` — each
-shard count tracks its own trajectory.
+per shard count, keyed ``serving_shard_scaling@q40ms0s2``, and a
+``serving_open_loop`` report (the ``--open-loop`` sweep) one entry per
+micro-batch size, keyed ``serving_open_loop@q64r200b8`` — each
+configuration tracks its own trajectory.
+
+Every entry is stamped with the machine's core count (``nproc``), and
+the regression gate only compares entries recorded on the same core
+count: a run on a 1-core CI box is never judged against a 16-core
+workstation's trajectory.  Entries predating the stamp compare against
+anything (there is nothing to disagree with).
 
 Exit status: 0 (appended, no regression or first run for the key),
 1 (appended, regression beyond the threshold), 2 (unusable input).
@@ -29,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -41,6 +50,11 @@ DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 DEFAULT_MAX_REGRESSION = 0.25
 
 
+def machine_stamp() -> dict:
+    """Hardware facts every entry carries (compare like with like)."""
+    return {"nproc": os.cpu_count()}
+
+
 def entry_from_report(report: dict, source: str) -> dict:
     """One history line from a bench report (raises KeyError when malformed).
 
@@ -49,9 +63,10 @@ def entry_from_report(report: dict, source: str) -> dict:
     throughput report of ``benchmarks/bench_serving.py``.  Both yield a
     ``median_ms``, which is what the regression gate compares.
     """
-    if report.get("benchmark") == "serving_shard_scaling":
+    if report.get("benchmark") in ("serving_shard_scaling",
+                                   "serving_open_loop"):
         raise KeyError(
-            "serving_shard_scaling reports expand to one entry per row; "
+            f"{report['benchmark']} reports expand to one entry per row; "
             "use entries_from_report"
         )
     if report.get("benchmark") == "serving_throughput":
@@ -72,6 +87,7 @@ def entry_from_report(report: dict, source: str) -> dict:
             "outcomes": report["outcomes"],
             "source": source,
             "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            **machine_stamp(),
         }
     primary_k = report["primary_k"]
     primary = report["results"][f"k={primary_k}"]
@@ -86,24 +102,54 @@ def entry_from_report(report: dict, source: str) -> dict:
         "median_speedup": primary["median_speedup"],
         "source": source,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **machine_stamp(),
     }
 
 
 def entries_from_report(report: dict, source: str) -> list[dict]:
-    """All history lines from a report — usually one, but a
-    ``serving_shard_scaling`` sweep yields one per shard count."""
-    if report.get("benchmark") != "serving_shard_scaling":
+    """All history lines from a report — usually one, but the
+    ``serving_shard_scaling`` and ``serving_open_loop`` sweeps yield one
+    per row (shard count / micro-batch size)."""
+    benchmark = report.get("benchmark")
+    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    stamp = machine_stamp()
+    if benchmark == "serving_open_loop":
+        base_key = (
+            f"{benchmark}@q{report['queries']}r{report['rate']:g}"
+        )
+        return [
+            {
+                "key": f"{base_key}b{row['batch_size']}",
+                "benchmark": benchmark,
+                "queries": report["queries"],
+                "rate": report["rate"],
+                "arrivals": report["arrivals"],
+                "deadline_ms": report["deadline_ms"],
+                "batch_size": row["batch_size"],
+                "median_ms": row["median_ms"],
+                "p95_ms": row["p95_ms"],
+                "p99_ms": row["p99_ms"],
+                "throughput_qps": row["throughput_qps"],
+                "speedup_vs_first": row["speedup_vs_first"],
+                "answered_fraction": row["answered_fraction"],
+                "outcomes": row["outcomes"],
+                "source": source,
+                "recorded_at": recorded_at,
+                **stamp,
+            }
+            for row in report["rows"]
+        ]
+    if benchmark != "serving_shard_scaling":
         return [entry_from_report(report, source)]
     deadline_ms = report["deadline_ms"]
     base_key = (
-        f"{report['benchmark']}@q{report['queries']}"
+        f"{benchmark}@q{report['queries']}"
         f"ms{deadline_ms if deadline_ms is not None else 0:g}"
     )
-    recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     return [
         {
             "key": f"{base_key}s{row['shards']}",
-            "benchmark": report["benchmark"],
+            "benchmark": benchmark,
             "queries": report["queries"],
             "deadline_ms": deadline_ms,
             "shards": row["shards"],
@@ -115,6 +161,7 @@ def entries_from_report(report: dict, source: str) -> list[dict]:
             "outcomes": row["outcomes"],
             "source": source,
             "recorded_at": recorded_at,
+            **stamp,
         }
         for row in report["rows"]
     ]
@@ -143,10 +190,22 @@ def check_regression(
 ) -> str | None:
     """A human-readable verdict when ``entry`` regressed, else ``None``.
 
-    Compares against the most recent earlier entry sharing the key.
+    Compares against the most recent earlier entry sharing the key
+    *and* core count — latency on a 1-core box is not a regression of a
+    16-core run.  Entries predating the ``nproc`` stamp match any core
+    count.
     """
     previous = next(
-        (e for e in reversed(history) if e.get("key") == entry["key"]), None
+        (
+            e
+            for e in reversed(history)
+            if e.get("key") == entry["key"]
+            and (
+                e.get("nproc") is None
+                or e.get("nproc") == entry.get("nproc")
+            )
+        ),
+        None,
     )
     if previous is None:
         return None

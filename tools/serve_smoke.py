@@ -17,10 +17,19 @@ assertions apply (sharding is bit-identical and invisible on the wire),
 plus ``/healthz`` must report K shards with a live worker in each and
 the daemon must leave no worker processes behind after EOF.
 
+``--async-batch`` smokes the micro-batching asyncio front end instead
+(``repro serve --async --port 0``): two concurrent TCP clients fire
+requests simultaneously (coalesced into shared batches), a 1 ms-deadline
+request still times out, a deliberately oversized (> 1 MiB) line gets a
+structured ``invalid_request`` error with the connection surviving to
+serve another request, and stdin EOF still shuts everything down
+cleanly.
+
 Run from the repository root::
 
     python tools/serve_smoke.py
     python tools/serve_smoke.py --shards 2
+    python tools/serve_smoke.py --async-batch
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import socket
 import subprocess
 import sys
 import threading
@@ -52,15 +62,164 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
+class _TcpClient:
+    """One JSON-lines TCP connection to the async daemon."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.sock = socket.create_connection(address, timeout=60)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def send(self, request: dict) -> None:
+        self.sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+
+    def send_raw(self, payload: bytes) -> None:
+        self.sock.sendall(payload)
+
+    def read(self) -> dict:
+        line = self.reader.readline()
+        if not line:
+            fail("async daemon closed a TCP connection mid-conversation")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.reader.close()
+        self.sock.close()
+
+
+def run_async_smoke(env: dict) -> int:
+    command = [sys.executable, "-m", "repro", "serve",
+               "--schema", "employees", "--health-port", "0",
+               "--async", "--port", "0",
+               "--batch-size", "4", "--batch-wait-ms", "5"]
+    proc = subprocess.Popen(
+        command,
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    watchdog = threading.Timer(TIMEOUT_S, proc.kill)
+    watchdog.start()
+    clients: list[_TcpClient] = []
+    try:
+        # Banner: health address, TCP address, then "ready".
+        health_line = proc.stderr.readline().strip()
+        if not health_line.startswith("health: http://"):
+            fail(f"expected the health address first, got {health_line!r}")
+        health_url = health_line.split(" ", 1)[1]
+        tcp_line = proc.stderr.readline().strip()
+        if not tcp_line.startswith("tcp: "):
+            fail(f"expected the tcp address next, got {tcp_line!r}")
+        host, _, port = tcp_line.split(" ", 1)[1].rpartition(":")
+        if proc.stderr.readline().strip() != "ready":
+            fail("async daemon never reported ready")
+        address = (host, int(port))
+
+        # Two clients fire concurrently so their requests coalesce into
+        # shared micro-batches; responses correlate by id.
+        clients = [_TcpClient(address), _TcpClient(address)]
+        batches = (
+            [{"id": "a1", "text": "select salary from salaries"},
+             {"id": "a2", "text": "SELECT FirstName FROM Employees",
+              "seed": 7}],
+            [{"id": "b1", "text": "select last name from employees"},
+             {"id": "b2", "text": "SELECT Salary FROM Employees",
+              "seed": 11}],
+        )
+
+        def drive(client: _TcpClient, requests: list[dict], out: dict):
+            for request in requests:
+                client.send(request)
+            for _ in requests:
+                response = client.read()
+                out[response.get("id")] = response
+
+        replies: dict = {}
+        threads = [
+            threading.Thread(target=drive, args=(c, b, replies))
+            for c, b in zip(clients, batches)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for batch in batches:
+            for request in batch:
+                response = replies.get(request["id"])
+                if response is None:
+                    fail(f"no reply for {request['id']}: {replies}")
+                if (response.get("outcome") != "served"
+                        or not response.get("sql")):
+                    fail(f"request {request['id']} not served: {response}")
+
+        # A 1 ms budget is consumed before the pipeline can finish: the
+        # batcher must flush it promptly and the runtime must time out.
+        clients[0].send({"id": "t1",
+                         "text": "SELECT FirstName FROM Employees",
+                         "seed": 7, "deadline_ms": 1})
+        timed_out = clients[0].read()
+        if timed_out.get("outcome") != "timeout":
+            fail(f"1 ms deadline did not time out: {timed_out}")
+
+        # An oversized frame (beyond the 1 MiB default) draws a
+        # structured error and the connection keeps serving.
+        clients[1].send_raw(b"\"" + b"x" * (1 << 20) + b"\"\n")
+        oversized = clients[1].read()
+        if oversized.get("error_kind") != "invalid_request":
+            fail(f"oversized line not rejected structurally: {oversized}")
+        clients[1].send({"id": "b3", "text": "select salary from salaries"})
+        after = clients[1].read()
+        if after.get("outcome") != "served":
+            fail(f"connection did not survive the oversized line: {after}")
+
+        with urllib.request.urlopen(health_url + "/healthz", timeout=10) as r:
+            if r.status != 200:
+                fail(f"/healthz answered {r.status}")
+            health = json.loads(r.read())
+        if health["outcomes"].get("served") != 5:
+            fail(f"healthz served count != 5: {health['outcomes']}")
+        if health["outcomes"].get("timeout") != 1:
+            fail(f"healthz timeout count != 1: {health['outcomes']}")
+
+        for client in clients:
+            client.close()
+        proc.stdin.close()
+        code = proc.wait(timeout=30)
+        if code != 0:
+            fail(f"async daemon exited {code} on stdin EOF")
+    finally:
+        watchdog.cancel()
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    print(
+        "serve smoke OK (async): 5 served over 2 concurrent TCP clients, "
+        "1 timeout, oversized line rejected without dropping the connection"
+    )
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--shards", type=int, default=0,
                         help="run the daemon with a K-worker shard pool")
+    parser.add_argument("--async-batch", action="store_true",
+                        help="smoke the micro-batching asyncio front end "
+                             "over concurrent TCP clients instead")
     args = parser.parse_args()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
     )
+    if args.async_batch:
+        return run_async_smoke(env)
     command = [sys.executable, "-m", "repro", "serve",
                "--schema", "employees", "--health-port", "0"]
     if args.shards:
