@@ -9,6 +9,7 @@ was customized on Employees), top-5 above top-1 everywhere.
 """
 
 from benchmarks.conftest import record_report
+from repro.execution import ExecutionScorer, SQLiteBackend
 from repro.metrics import aggregate_metrics, score_query
 from repro.metrics.report import format_table
 from repro.metrics.token_metrics import best_of
@@ -60,20 +61,24 @@ def test_table2_end_to_end_accuracy(state, benchmark):
     # -- miss attribution (forensics) ------------------------------------
     # Classify every top-1 miss into the ATTRIBUTION_CAUSES taxonomy from
     # the recorded decision provenance, and publish the per-class
-    # counters into a MetricsRegistry.
+    # counters into a MetricsRegistry.  Each dataset gets a real-engine
+    # executability predicate so the 6th class (invalid_sql) separates
+    # wrong-but-executable answers from SQL that never runs.
     registry = MetricsRegistry()
     datasets = {
-        "Employees Train": state.train_runs,
-        "Employees Test": state.test_runs,
-        "Yelp Test": state.yelp_runs,
+        "Employees Train": (state.train_runs, state.employees_catalog),
+        "Employees Test": (state.test_runs, state.employees_catalog),
+        "Yelp Test": (state.yelp_runs, state.yelp_catalog),
     }
     attr_rows = []
-    for label, runs in datasets.items():
-        summary = attribute_records(
-            [run.record for run in runs],
-            [run.query.sql for run in runs],
-            metrics=registry,
-        )
+    for label, (runs, catalog) in datasets.items():
+        with ExecutionScorer(SQLiteBackend(), catalog) as scorer:
+            summary = attribute_records(
+                [run.record for run in runs],
+                [run.query.sql for run in runs],
+                metrics=registry,
+                executable=scorer.executable,
+            )
         # The taxonomy is total: every miss lands in exactly one class.
         assert sum(summary.counts.values()) == summary.misses
         attr_rows.append(
@@ -88,7 +93,7 @@ def test_table2_end_to_end_accuracy(state, benchmark):
         ),
     )
     attributed = registry.counter(obs_names.ATTRIBUTION_QUERIES_TOTAL).value
-    assert attributed == sum(len(runs) for runs in datasets.values())
+    assert attributed == sum(len(runs) for runs, _ in datasets.values())
 
     top1_test = columns[("Top 1", "Employees Test")]
     top5_test = columns[("Top 5", "Employees Test")]

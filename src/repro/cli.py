@@ -12,6 +12,10 @@ Subcommands:
   bit-identical output (non-zero exit on any drift).
 - ``explain``  — render one recorded query as a human-readable
   forensic narrative (channel events, candidates, voting).
+- ``execute``  — run SQL on a real execution backend (``--db sqlite``
+  or ``--db duckdb``) loaded with the deterministic synthetic instance;
+  with ``--gold`` also prints the execution-accuracy verdict
+  (see ``docs/execution.md``).
 - ``serve``    — run the resilient serving daemon: JSON-lines requests
   on stdin, responses on stdout, with per-request deadlines, load
   shedding, degraded-mode fallbacks, and HTTP health/readiness probes;
@@ -307,6 +311,53 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_execute(args: argparse.Namespace) -> int:
+    from repro.errors import BackendUnavailableError
+    from repro.execution import (
+        ExecutionScorer,
+        available_backends,
+        backend_for,
+        build_instance_catalog,
+    )
+
+    tracer, metrics = _observability(args)
+    try:
+        backend = backend_for(args.db)
+    except BackendUnavailableError as error:
+        print(f"backend {args.db!r} unavailable: {error}", file=sys.stderr)
+        print(f"available: {', '.join(available_backends())}",
+              file=sys.stderr)
+        return 1
+    catalog = build_instance_catalog(args.schema, seed=args.seed)
+    timeout = args.timeout_ms / 1000.0 if args.timeout_ms else None
+    with ExecutionScorer(
+        backend, catalog, timeout=timeout, tracer=tracer, metrics=metrics
+    ) as scorer:
+        if args.gold is not None:
+            score = scorer.score(args.gold, args.sql)
+            print(f"verdict     : {score.verdict}")
+            print(f"string match: {score.string_match}")
+            print(f"gold rows   : {score.gold_rows}")
+            print(f"result rows : {score.predicted_rows}")
+            if score.reason:
+                print(f"why         : {score.reason}")
+            _export_observability(args, tracer, metrics)
+            return 0 if score.execution_match else 1
+        try:
+            result = backend.execute(args.sql, timeout=timeout)
+        except Exception as error:  # BackendError subclasses
+            print(f"execution failed: {error}", file=sys.stderr)
+            _export_observability(args, tracer, metrics)
+            return 1
+        print(f"-- {len(result.rows)} row(s): {result.columns}")
+        for row in result.rows[: args.limit]:
+            print("  ", row)
+        if len(result.rows) > args.limit:
+            print(f"   ... ({len(result.rows) - args.limit} more)")
+    _export_observability(args, tracer, metrics)
+    return 0
+
+
 def _cmd_schema(args: argparse.Namespace) -> int:
     catalog = _CATALOGS[args.schema]()
     for table_schema in catalog.schema():
@@ -442,6 +493,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write serving metrics on exit")
     serve.set_defaults(func=_cmd_serve)
+
+    execute = sub.add_parser(
+        "execute",
+        help="run SQL on a real execution backend (docs/execution.md)",
+    )
+    execute.add_argument("sql")
+    execute.add_argument("--db", choices=("sqlite", "duckdb"),
+                         default="sqlite",
+                         help="execution backend (duckdb requires the "
+                              "optional duckdb package)")
+    execute.add_argument("--schema", choices=_CATALOGS, default="employees")
+    execute.add_argument("--seed", type=int, default=None,
+                         help="instance seed (default: the schema's "
+                              "canonical seed)")
+    execute.add_argument("--gold", default=None, metavar="SQL",
+                         help="ground-truth SQL: print the execution-"
+                              "accuracy verdict instead of rows (exit 0 "
+                              "only on a match)")
+    execute.add_argument("--timeout-ms", type=float, default=5000.0,
+                         help="per-query execution timeout (0 disables)")
+    execute.add_argument("--limit", type=int, default=10,
+                         help="max rows to print")
+    execute.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write hierarchical spans as JSON lines")
+    execute.add_argument("--metrics-out", metavar="FILE", default=None,
+                         help="write collected metrics")
+    execute.set_defaults(func=_cmd_execute)
 
     schema = sub.add_parser("schema", help="print a built-in schema")
     schema.add_argument("--schema", choices=_CATALOGS, default="employees")

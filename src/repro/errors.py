@@ -41,6 +41,33 @@ class ShardPoolError(ReproError):
     """
 
 
+class BackendError(ReproError):
+    """Base class for query-execution backend errors."""
+
+
+class BackendUnavailableError(BackendError):
+    """The requested execution backend's driver is not installed.
+
+    Raised by :class:`~repro.execution.DuckDBBackend` when the optional
+    ``duckdb`` package is absent; callers that can should degrade to the
+    always-available SQLite backend.
+    """
+
+
+class BackendExecutionError(BackendError):
+    """A query failed inside an execution backend.
+
+    Covers engine-side parse errors, semantic errors (unknown table or
+    column), and resource-cap violations (oversized result sets).  The
+    scoring layer maps this to the ``invalid_sql`` verdict rather than
+    crashing the harness: mistranscribed queries are data, not bugs.
+    """
+
+
+class BackendTimeoutError(BackendExecutionError):
+    """A query ran past its per-query execution timeout and was killed."""
+
+
 class DeadlineExceededError(ReproError):
     """A query ran past its deadline and was stopped between stages.
 

@@ -1,0 +1,97 @@
+"""Pluggable query execution: real engines behind one backend interface.
+
+The layer that turns "the recovered SQL looks right" into "the
+recovered SQL *returns the right answer*" (the paper's Table 5
+criterion).  See ``docs/execution.md`` for the guide.
+
+- :mod:`~repro.execution.backend` — the :class:`ExecutionBackend`
+  contract and :class:`ExecutionResult`.
+- :mod:`~repro.execution.sqlite_backend` /
+  :mod:`~repro.execution.duckdb_backend` — the stdlib engine and the
+  optional, feature-gated one.
+- :mod:`~repro.execution.comparison` — normalized result-set equality
+  (order-insensitive, float-tolerant, NULL-aware).
+- :mod:`~repro.execution.instances` — deterministic synthetic instances
+  where every gold query returns a non-trivial result.
+- :mod:`~repro.execution.scoring` — the ``score_execution`` path:
+  verdicts, summaries, metrics, the ``execution.run`` span.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendUnavailableError
+from repro.execution.backend import (
+    ExecutionBackend,
+    ExecutionResult,
+)
+from repro.execution.comparison import (
+    ComparisonOutcome,
+    compare_results,
+    results_equal,
+)
+from repro.execution.duckdb_backend import DuckDBBackend
+from repro.execution.instances import (
+    build_instance_catalog,
+    instance_fingerprint,
+)
+from repro.execution.scoring import (
+    DEFAULT_TIMEOUT,
+    ExecutionScore,
+    ExecutionScorer,
+    ExecutionSummary,
+    VERDICTS,
+    score_execution,
+    string_match,
+)
+from repro.execution.sqlite_backend import SQLiteBackend
+
+#: Registered backends, keyed by the name the CLI / benchmarks accept.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SQLiteBackend.name: SQLiteBackend,
+    DuckDBBackend.name: DuckDBBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Backend names whose drivers are importable right now."""
+    return [name for name, cls in BACKENDS.items() if cls.is_available()]
+
+
+def backend_for(name: str) -> ExecutionBackend:
+    """Instantiate a backend by name.
+
+    Raises :class:`~repro.errors.BackendUnavailableError` for a known
+    backend whose driver is missing, ``ValueError`` for an unknown name.
+    """
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown execution backend {name!r} (known: {known})"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "ComparisonOutcome",
+    "DEFAULT_TIMEOUT",
+    "DuckDBBackend",
+    "ExecutionBackend",
+    "ExecutionResult",
+    "ExecutionScore",
+    "ExecutionScorer",
+    "ExecutionSummary",
+    "SQLiteBackend",
+    "VERDICTS",
+    "available_backends",
+    "backend_for",
+    "build_instance_catalog",
+    "compare_results",
+    "instance_fingerprint",
+    "results_equal",
+    "score_execution",
+    "string_match",
+]

@@ -1,0 +1,203 @@
+"""The pluggable query-execution backend interface.
+
+The paper's Table 5 reports *execution accuracy*: a recovered query is
+right when it returns the same answer as the gold query on a real
+database, not when its text matches.  This module defines the seam that
+makes that measurable against more than one engine:
+
+- :class:`ExecutionBackend` — the abstract contract: connect, load a
+  :class:`~repro.sqlengine.catalog.Catalog` into real tables, execute
+  SQL text with a per-query timeout, return an :class:`ExecutionResult`.
+- :class:`ExecutionResult` — column headers plus row tuples, the value
+  object the comparison layer (:mod:`repro.execution.comparison`)
+  normalizes and compares.
+
+Concrete engines live in sibling modules (``sqlite_backend`` — stdlib,
+always available — and ``duckdb_backend`` — optional, feature-gated);
+``repro.execution`` exposes a name-keyed registry over them.  Backends
+store **dates as ISO-8601 text** so equality and range predicates
+behave identically across engines (ISO strings sort lexicographically
+in date order), which is what makes the cross-engine parity suite
+(`tests/execution/test_parity.py`) a meaningful invariant.
+
+Adding a backend means subclassing :class:`ExecutionBackend` and
+implementing the four primitives (``connect`` / ``close`` /
+``_run_statement`` / ``_run_query``); ``load_catalog`` and the
+context-manager protocol are shared.  See ``docs/execution.md``.
+"""
+
+from __future__ import annotations
+
+import datetime
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError, BackendExecutionError
+from repro.sqlengine.catalog import Catalog
+
+#: Hard cap on rows fetched from any single query.  Mistranscribed
+#: queries can turn a join into a cross product; past this cap the
+#: backend raises :class:`~repro.errors.BackendExecutionError` (scored
+#: as ``invalid_sql``) instead of exhausting memory.
+MAX_RESULT_ROWS = 100_000
+
+#: Catalog type name -> portable column affinity used by ``load_catalog``.
+#: Dates map to text on purpose (see module docstring).
+PORTABLE_TYPES = {
+    "string": "text",
+    "int": "integer",
+    "float": "float",
+    "date": "text",
+}
+
+
+@dataclass
+class ExecutionResult:
+    """What one query returned: column headers plus row tuples.
+
+    ``rows`` hold backend-native Python values (int/float/str/None);
+    comparison-grade normalization (float quantization, NULL markers,
+    date canonicalization) is the comparison layer's job, not the
+    backend's.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def encode_value(value: object) -> object:
+    """Backend-portable encoding of one catalog cell value.
+
+    Dates become ISO text (both backends store them as text columns),
+    bools become ints; everything else passes through unchanged.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return value
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote an identifier (standard SQL; both engines accept it)."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+class ExecutionBackend(ABC):
+    """Abstract execution engine: connect, load, execute, compare.
+
+    Lifecycle::
+
+        with SQLiteBackend() as backend:        # connect ... close
+            backend.load_catalog(catalog)       # CREATE TABLE + INSERT
+            result = backend.execute(sql, timeout=2.0)
+
+    Implementations must be deterministic loaders: loading the same
+    catalog twice must produce byte-identical databases (the round-trip
+    tests in ``tests/execution/test_instances.py`` rely on it).
+    """
+
+    #: Registry key and metrics/span label value (``sqlite``, ``duckdb``).
+    name: str = "abstract"
+
+    #: Per-query row cap; see :data:`MAX_RESULT_ROWS`.
+    max_rows: int = MAX_RESULT_ROWS
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's driver is importable right now."""
+        return True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def connect(self) -> None:
+        """Open an in-memory database session (idempotent)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear the session down (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- engine primitives -------------------------------------------------
+
+    @abstractmethod
+    def _run_statement(self, sql: str, rows: list[tuple] | None = None) -> None:
+        """Run a DDL/DML statement (with optional executemany rows)."""
+
+    @abstractmethod
+    def _run_query(self, sql: str, timeout: float | None) -> ExecutionResult:
+        """Run a SELECT and fetch up to ``max_rows`` rows.
+
+        Must raise :class:`~repro.errors.BackendTimeoutError` when the
+        query exceeds ``timeout`` seconds and
+        :class:`~repro.errors.BackendExecutionError` on any engine-side
+        failure (parse, semantic, oversized result).
+        """
+
+    # -- shared behaviour --------------------------------------------------
+
+    def column_type(self, type_name: str) -> str:
+        """Engine column type for a catalog type name.
+
+        The default maps through :data:`PORTABLE_TYPES`; subclasses
+        override to spell engine-specific affinities.
+        """
+        return PORTABLE_TYPES.get(type_name, "text")
+
+    def load_catalog(self, catalog: Catalog) -> None:
+        """Materialize every table of ``catalog`` into the session.
+
+        Creates one engine table per catalog table (original-cased,
+        quoted identifiers) and inserts rows in catalog order, so the
+        loaded database is a deterministic function of the catalog.
+        """
+        for schema in catalog.schema():
+            table = catalog.table(schema.name)
+            columns = ", ".join(
+                f"{quote_identifier(col.name)} {self.column_type(col.type_name)}"
+                for col in schema.columns
+            )
+            self._run_statement(
+                f"CREATE TABLE {quote_identifier(schema.name)} ({columns})"
+            )
+            if not table.rows:
+                continue
+            placeholders = ", ".join("?" for _ in schema.columns)
+            keys = table.column_keys
+            encoded = [
+                tuple(encode_value(row[key]) for key in keys)
+                for row in table.rows
+            ]
+            self._run_statement(
+                f"INSERT INTO {quote_identifier(schema.name)} "
+                f"VALUES ({placeholders})",
+                rows=encoded,
+            )
+
+    def execute(
+        self, sql: str, timeout: float | None = None
+    ) -> ExecutionResult:
+        """Execute ``sql`` and return its result set.
+
+        ``timeout`` is wall seconds for this single query; ``None``
+        disables the watchdog.  All failures surface as
+        :class:`~repro.errors.BackendError` subclasses.
+        """
+        if not sql or not sql.strip():
+            raise BackendExecutionError("empty SQL text")
+        return self._run_query(sql, timeout)
+
+    def _overflow(self) -> BackendError:
+        return BackendExecutionError(
+            f"result exceeds the {self.max_rows}-row cap"
+        )

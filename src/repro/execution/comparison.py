@@ -1,0 +1,135 @@
+"""Normalized result-set comparison for execution accuracy.
+
+Two queries "execute to the same answer" (the Table 5 criterion) when
+their result sets are equal *after normalization*:
+
+- **Order-insensitive by default.** SQL result order is unspecified
+  without ``ORDER BY``, so rows are compared as a multiset.  When the
+  gold query does order its output (detected by the scoring layer from
+  the gold SQL text), pass ``ordered=True`` to compare row sequences.
+- **Float tolerance.** Engines disagree in the last few bits of
+  aggregates (``AVG`` over the same ints can differ between SQLite and
+  DuckDB summation orders).  Floats are quantized to
+  :data:`FLOAT_DECIMALS` decimal places before hashing into the
+  multiset, and a float that lands exactly on an integer collapses to
+  that int so ``4.0 == 4`` across engines.
+- **NULL handling.** ``NULL`` normalizes to a dedicated marker that is
+  equal only to itself — never to ``0``, ``''``, or ``'None'``.
+- **Headers are ignored.** Column *names* differ freely across engines
+  and aliases; only arity and values matter.
+
+The unit here is :class:`~repro.execution.backend.ExecutionResult`, but
+the functions accept any ``(columns, rows)``-shaped object.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.execution.backend import ExecutionResult
+
+#: Decimal places floats are rounded to before comparison.  Seven places
+#: is far tighter than any value our synthetic instances produce while
+#: absorbing cross-engine summation-order noise in aggregates.
+FLOAT_DECIMALS = 7
+
+#: Normalized stand-in for SQL NULL: equal only to itself.
+NULL_MARKER = ("<null>",)
+
+
+def normalize_value(value: object) -> object:
+    """Map one cell to its comparison-normal form.
+
+    ``None`` becomes :data:`NULL_MARKER`; bools become ints; floats are
+    rounded to :data:`FLOAT_DECIMALS` places and collapsed to int when
+    whole; dates arrive as ISO text already (backends store them that
+    way) and pass through as strings.
+    """
+    if value is None:
+        return NULL_MARKER
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        rounded = round(value, FLOAT_DECIMALS)
+        if rounded == int(rounded):
+            return int(rounded)
+        return rounded
+    return value
+
+
+def normalize_row(row: tuple) -> tuple:
+    """Normalize every cell of one row."""
+    return tuple(normalize_value(cell) for cell in row)
+
+
+def normalized_rows(result: ExecutionResult) -> list[tuple]:
+    """All rows of a result in comparison-normal form, in fetch order."""
+    return [normalize_row(row) for row in result.rows]
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """Verdict of one result-set comparison, with a human-readable why.
+
+    ``equal`` is the verdict; ``reason`` is a short diagnostic for the
+    "debugging a wrong-but-executable answer" workflow (``repro
+    execute``, docs/execution.md) — never parsed by code.
+    """
+
+    equal: bool
+    reason: str = ""
+
+
+def compare_results(
+    expected: ExecutionResult,
+    actual: ExecutionResult,
+    *,
+    ordered: bool = False,
+) -> ComparisonOutcome:
+    """Compare two result sets under the normalization rules above.
+
+    ``ordered=True`` compares row sequences (use when the gold query has
+    an ``ORDER BY``); the default compares multisets.
+    """
+    if expected.columns and actual.columns:
+        if len(expected.columns) != len(actual.columns):
+            return ComparisonOutcome(
+                False,
+                f"arity differs: {len(expected.columns)} vs "
+                f"{len(actual.columns)} columns",
+            )
+    if len(expected.rows) != len(actual.rows):
+        return ComparisonOutcome(
+            False,
+            f"row count differs: {len(expected.rows)} vs {len(actual.rows)}",
+        )
+    expected_rows = normalized_rows(expected)
+    actual_rows = normalized_rows(actual)
+    if ordered:
+        if expected_rows == actual_rows:
+            return ComparisonOutcome(True, "ordered rows identical")
+        for i, (want, got) in enumerate(zip(expected_rows, actual_rows)):
+            if want != got:
+                return ComparisonOutcome(
+                    False, f"first ordered mismatch at row {i}"
+                )
+        return ComparisonOutcome(False, "ordered rows differ")
+    if Counter(expected_rows) == Counter(actual_rows):
+        return ComparisonOutcome(True, "row multisets identical")
+    missing = Counter(expected_rows) - Counter(actual_rows)
+    sample = next(iter(missing), None)
+    return ComparisonOutcome(
+        False,
+        f"row multisets differ (e.g. expected row missing: {sample!r})",
+    )
+
+
+def results_equal(
+    expected: ExecutionResult,
+    actual: ExecutionResult,
+    *,
+    ordered: bool = False,
+) -> bool:
+    """Boolean shorthand for :func:`compare_results`."""
+    return compare_results(expected, actual, ordered=ordered).equal

@@ -1,0 +1,113 @@
+"""DuckDB execution backend — optional, feature-gated.
+
+DuckDB is *not* a dependency of this project.  When the ``duckdb``
+package is importable this backend offers a second real engine so the
+parity suite can prove our comparison semantics are engine-independent;
+when it is absent, :meth:`DuckDBBackend.is_available` returns ``False``
+and construction raises
+:class:`~repro.errors.BackendUnavailableError` — callers degrade to
+:class:`~repro.execution.sqlite_backend.SQLiteBackend`.
+
+Timeouts use a watchdog :class:`threading.Timer` calling
+``connection.interrupt()``; the interrupted query surfaces as a DuckDB
+InterruptException we re-raise as
+:class:`~repro.errors.BackendTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+
+from repro.errors import (
+    BackendExecutionError,
+    BackendTimeoutError,
+    BackendUnavailableError,
+)
+from repro.execution.backend import ExecutionBackend, ExecutionResult
+
+
+def _duckdb():
+    try:
+        import duckdb
+    except ImportError as exc:  # pragma: no cover - exercised via is_available
+        raise BackendUnavailableError(
+            "the optional 'duckdb' package is not installed; "
+            "install it (pip install duckdb) or use the sqlite backend"
+        ) from exc
+    return duckdb
+
+
+class DuckDBBackend(ExecutionBackend):
+    """In-memory DuckDB session implementing :class:`ExecutionBackend`."""
+
+    name = "duckdb"
+
+    #: DuckDB spells float columns DOUBLE; everything else matches the
+    #: portable map (dates stay text for cross-engine parity).
+    _TYPE_OVERRIDES = {"float": "double"}
+
+    def __init__(self) -> None:
+        _duckdb()  # fail fast with BackendUnavailableError
+        self._conn = None
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("duckdb") is not None
+
+    def connect(self) -> None:
+        if self._conn is None:
+            self._conn = _duckdb().connect(":memory:")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    @property
+    def connection(self):
+        if self._conn is None:
+            raise BackendExecutionError("backend is not connected")
+        return self._conn
+
+    def column_type(self, type_name: str) -> str:
+        return self._TYPE_OVERRIDES.get(
+            type_name, super().column_type(type_name)
+        )
+
+    def _run_statement(self, sql: str, rows: list[tuple] | None = None) -> None:
+        duckdb = _duckdb()
+        try:
+            if rows is None:
+                self.connection.execute(sql)
+            else:
+                self.connection.executemany(sql, rows)
+        except duckdb.Error as exc:
+            raise BackendExecutionError(f"duckdb: {exc}") from exc
+
+    def _run_query(self, sql: str, timeout: float | None) -> ExecutionResult:
+        duckdb = _duckdb()
+        conn = self.connection
+        watchdog: threading.Timer | None = None
+        if timeout is not None:
+            watchdog = threading.Timer(timeout, conn.interrupt)
+            watchdog.daemon = True
+            watchdog.start()
+        try:
+            cursor = conn.execute(sql)
+            rows = cursor.fetchmany(self.max_rows + 1)
+            if len(rows) > self.max_rows:
+                raise self._overflow()
+            columns = (
+                [d[0] for d in cursor.description] if cursor.description else []
+            )
+            return ExecutionResult(columns=columns, rows=[tuple(r) for r in rows])
+        except duckdb.InterruptException as exc:
+            raise BackendTimeoutError(
+                f"query exceeded {timeout:.3f}s execution timeout"
+            ) from exc
+        except duckdb.Error as exc:
+            raise BackendExecutionError(f"duckdb: {exc}") from exc
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()

@@ -1,0 +1,291 @@
+"""Execution-accuracy scoring: run gold and predicted SQL, compare answers.
+
+This is the Table 5 measurement the string-match score approximates:
+a recovered query counts as correct when it *executes to the same
+result* as the gold query on a real database.  String match both
+under-counts (aliasing, predicate reordering, equivalent literals) and
+over-counts nothing — so on clean inputs execution accuracy is always
+at least the string-match accuracy, an invariant the CI execution-smoke
+asserts.
+
+Every scored query lands in exactly one verdict:
+
+- ``match`` — predicted SQL executed and returned the gold answer.
+- ``mismatch`` — predicted SQL executed but returned a different
+  answer (*wrong-but-executable*; see the forensics 6-class taxonomy).
+- ``invalid_sql`` — the engine rejected the predicted SQL (parse or
+  semantic error) or it blew the result-size cap.
+- ``timeout`` — the predicted SQL ran past the per-query execution
+  timeout and was killed.
+- ``gold_error`` — the *gold* SQL failed, which is a harness bug, not
+  a pipeline miss; scored separately so it can never inflate accuracy.
+
+Observability: each scored query opens an ``execution.run`` span and
+feeds the ``speakql_execution_*`` metrics (catalogued in
+:mod:`repro.observability.names`, documented in
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import BackendExecutionError, BackendTimeoutError
+from repro.execution.backend import ExecutionBackend, ExecutionResult
+from repro.execution.comparison import compare_results
+from repro.grammar.vocabulary import normalize_token, tokenize_sql
+from repro.observability import names as obs_names
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+from repro.sqlengine.catalog import Catalog
+
+#: Default per-query execution timeout (wall seconds).  Generous for
+#: queries our instances can produce, tight enough that a mistranscribed
+#: cross product cannot stall a benchmark.
+DEFAULT_TIMEOUT = 5.0
+
+#: The closed verdict set (see module docstring).
+VERDICTS = ("match", "mismatch", "invalid_sql", "timeout", "gold_error")
+
+_ORDER_BY = re.compile(r"\border\s+by\b", re.IGNORECASE)
+
+
+def string_match(gold_sql: str, predicted_sql: str) -> bool:
+    """Token-normalized string equality — the pre-execution score.
+
+    Uses the same normalization as the forensics attribution engine so
+    "string-match accuracy" means the same thing in every report.
+    """
+    return [normalize_token(t) for t in tokenize_sql(predicted_sql)] == [
+        normalize_token(t) for t in tokenize_sql(gold_sql)
+    ]
+
+
+def has_order_by(sql: str) -> bool:
+    """Whether the query's result order is semantically meaningful."""
+    return bool(_ORDER_BY.search(sql))
+
+
+@dataclass(frozen=True)
+class ExecutionScore:
+    """The verdict for one (gold, predicted) pair."""
+
+    verdict: str
+    string_match: bool
+    gold_rows: int = 0
+    predicted_rows: int = 0
+    reason: str = ""
+    seconds: float = 0.0
+
+    @property
+    def execution_match(self) -> bool:
+        return self.verdict == "match"
+
+
+@dataclass
+class ExecutionSummary:
+    """Aggregate of a scored batch: both accuracies plus verdict counts."""
+
+    engine: str
+    total: int = 0
+    string_matches: int = 0
+    verdicts: dict[str, int] = field(
+        default_factory=lambda: {verdict: 0 for verdict in VERDICTS}
+    )
+    scores: list[ExecutionScore] = field(default_factory=list)
+
+    @property
+    def execution_matches(self) -> int:
+        return self.verdicts["match"]
+
+    @property
+    def string_accuracy(self) -> float:
+        return self.string_matches / self.total if self.total else 0.0
+
+    @property
+    def execution_accuracy(self) -> float:
+        return self.execution_matches / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "total": self.total,
+            "string_matches": self.string_matches,
+            "execution_matches": self.execution_matches,
+            "string_accuracy": self.string_accuracy,
+            "execution_accuracy": self.execution_accuracy,
+            "verdicts": dict(self.verdicts),
+        }
+
+
+class ExecutionScorer:
+    """Scores (gold, predicted) SQL pairs against one loaded backend.
+
+    The backend is connected and the catalog loaded at construction;
+    gold results are cached per gold-SQL text, so scoring N pipeline
+    outputs against the same 12 study queries executes each gold query
+    once.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        catalog: Catalog,
+        *,
+        timeout: float | None = DEFAULT_TIMEOUT,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.backend = backend
+        self.timeout = timeout
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics
+        self._gold_cache: dict[str, ExecutionResult | BackendExecutionError] = {}
+        backend.connect()
+        backend.load_catalog(catalog)
+
+    def __enter__(self) -> "ExecutionScorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def executable(self, sql: str) -> bool:
+        """Whether ``sql`` runs to completion on this backend.
+
+        The predicate behind the forensics ``invalid_sql`` attribution
+        class: timeouts count as not executable.
+        """
+        try:
+            self.backend.execute(sql, timeout=self.timeout)
+        except BackendExecutionError:
+            return False
+        return True
+
+    def _gold_result(self, gold_sql: str) -> ExecutionResult:
+        cached = self._gold_cache.get(gold_sql)
+        if cached is None:
+            try:
+                cached = self.backend.execute(gold_sql, timeout=self.timeout)
+            except BackendExecutionError as error:
+                cached = error
+            self._gold_cache[gold_sql] = cached
+        if isinstance(cached, BackendExecutionError):
+            raise cached
+        return cached
+
+    def score(self, gold_sql: str, predicted_sql: str) -> ExecutionScore:
+        """Score one pair; never raises for pipeline output, only counts.
+
+        A failing *gold* query is the exception to "never raises" in
+        spirit: it yields the ``gold_error`` verdict, which benchmark
+        assertions treat as a harness bug.
+        """
+        started = time.perf_counter()
+        with self.tracer.span(
+            "execution.run", engine=self.backend.name
+        ) as span:
+            matched_string = string_match(gold_sql, predicted_sql)
+            verdict, reason, gold_rows, predicted_rows = self._run_pair(
+                gold_sql, predicted_sql
+            )
+            span.set("verdict", verdict)
+            elapsed = time.perf_counter() - started
+        score = ExecutionScore(
+            verdict=verdict,
+            string_match=matched_string,
+            gold_rows=gold_rows,
+            predicted_rows=predicted_rows,
+            reason=reason,
+            seconds=elapsed,
+        )
+        self._publish(score)
+        return score
+
+    def _run_pair(
+        self, gold_sql: str, predicted_sql: str
+    ) -> tuple[str, str, int, int]:
+        try:
+            gold = self._gold_result(gold_sql)
+        except BackendExecutionError as error:
+            return "gold_error", f"gold query failed: {error}", 0, 0
+        try:
+            predicted = self.backend.execute(predicted_sql, timeout=self.timeout)
+        except BackendTimeoutError as error:
+            return "timeout", str(error), len(gold), 0
+        except BackendExecutionError as error:
+            return "invalid_sql", str(error), len(gold), 0
+        outcome = compare_results(
+            gold, predicted, ordered=has_order_by(gold_sql)
+        )
+        verdict = "match" if outcome.equal else "mismatch"
+        return verdict, outcome.reason, len(gold), len(predicted)
+
+    def _publish(self, score: ExecutionScore) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            obs_names.EXECUTION_QUERIES_TOTAL, engine=self.backend.name
+        ).inc()
+        self.metrics.counter(
+            obs_names.EXECUTION_VERDICTS_TOTAL, verdict=score.verdict
+        ).inc()
+        self.metrics.histogram(
+            obs_names.EXECUTION_SECONDS, engine=self.backend.name
+        ).observe(score.seconds)
+
+    # -- batches -----------------------------------------------------------
+
+    def score_batch(
+        self, pairs: list[tuple[str, str]]
+    ) -> ExecutionSummary:
+        """Score ``[(gold_sql, predicted_sql), ...]`` into a summary."""
+        summary = ExecutionSummary(engine=self.backend.name)
+        for gold_sql, predicted_sql in pairs:
+            score = self.score(gold_sql, predicted_sql)
+            summary.total += 1
+            summary.string_matches += int(score.string_match)
+            summary.verdicts[score.verdict] += 1
+            summary.scores.append(score)
+        return summary
+
+
+def score_execution(
+    pairs: list[tuple[str, str]],
+    *,
+    engine: str = "sqlite",
+    schema: str = "employees",
+    seed: int | None = None,
+    timeout: float | None = DEFAULT_TIMEOUT,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    catalog: Catalog | None = None,
+) -> ExecutionSummary:
+    """One-call execution scoring: build instance, load engine, score.
+
+    ``engine`` names a registered backend (``sqlite``, ``duckdb``);
+    ``catalog`` overrides the default synthetic instance for callers
+    that already built one.  This is the `score_execution` path the
+    study/benchmark code uses alongside string match.
+    """
+    from repro.execution import backend_for
+    from repro.execution.instances import build_instance_catalog
+
+    if catalog is None:
+        catalog = build_instance_catalog(schema, seed=seed)
+    backend = backend_for(engine)
+    with ExecutionScorer(
+        backend,
+        catalog,
+        timeout=timeout,
+        tracer=tracer,
+        metrics=metrics,
+    ) as scorer:
+        return scorer.score_batch(pairs)

@@ -1,0 +1,102 @@
+"""SQLite execution backend — stdlib, always available.
+
+This is the default engine for execution-accuracy scoring: every
+Python install has :mod:`sqlite3`, so the Table 5 benchmark and the
+CI execution-smoke never need optional dependencies.
+
+Timeouts use SQLite's progress handler: the handler runs every
+:data:`PROGRESS_OPCODES` virtual-machine opcodes and aborts the query
+once the wall-clock budget is spent, which surfaces as an
+``interrupted`` OperationalError we re-raise as
+:class:`~repro.errors.BackendTimeoutError`.
+
+``dump()`` exposes ``iterdump()`` output so the round-trip tests can
+assert that the same catalog + seed loads to a byte-identical database.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+from repro.errors import BackendExecutionError, BackendTimeoutError
+from repro.execution.backend import ExecutionBackend, ExecutionResult
+
+#: VM opcodes between progress-handler invocations.  Small enough to
+#: bound timeout overshoot to well under a millisecond on any query our
+#: instances can produce, large enough to keep handler overhead trivial.
+PROGRESS_OPCODES = 1000
+
+
+class SQLiteBackend(ExecutionBackend):
+    """In-memory SQLite session implementing :class:`ExecutionBackend`."""
+
+    name = "sqlite"
+
+    def __init__(self) -> None:
+        self._conn: sqlite3.Connection | None = None
+
+    def connect(self) -> None:
+        if self._conn is None:
+            self._conn = sqlite3.connect(":memory:")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise BackendExecutionError("backend is not connected")
+        return self._conn
+
+    def _run_statement(self, sql: str, rows: list[tuple] | None = None) -> None:
+        try:
+            if rows is None:
+                self.connection.execute(sql)
+            else:
+                self.connection.executemany(sql, rows)
+            self.connection.commit()
+        except sqlite3.Error as exc:
+            raise BackendExecutionError(f"sqlite: {exc}") from exc
+
+    def _run_query(self, sql: str, timeout: float | None) -> ExecutionResult:
+        conn = self.connection
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def watchdog() -> int:
+            # Non-zero return tells SQLite to abort the running query.
+            return 1 if time.monotonic() >= deadline else 0
+
+        if deadline is not None:
+            conn.set_progress_handler(watchdog, PROGRESS_OPCODES)
+        try:
+            cursor = conn.execute(sql)
+            rows = cursor.fetchmany(self.max_rows + 1)
+            if len(rows) > self.max_rows:
+                raise self._overflow()
+            columns = (
+                [d[0] for d in cursor.description] if cursor.description else []
+            )
+            return ExecutionResult(columns=columns, rows=[tuple(r) for r in rows])
+        except sqlite3.OperationalError as exc:
+            if "interrupted" in str(exc):
+                raise BackendTimeoutError(
+                    f"query exceeded {timeout:.3f}s execution timeout"
+                ) from exc
+            raise BackendExecutionError(f"sqlite: {exc}") from exc
+        except sqlite3.Error as exc:
+            raise BackendExecutionError(f"sqlite: {exc}") from exc
+        finally:
+            if deadline is not None:
+                conn.set_progress_handler(None, 0)
+
+    def dump(self) -> str:
+        """The full SQL dump of the session (``iterdump()`` text).
+
+        A deterministic function of the loaded catalog: the round-trip
+        tests compare dumps across loads to prove same seed →
+        byte-identical database.
+        """
+        return "\n".join(self.connection.iterdump())

@@ -66,12 +66,20 @@ BUNDLE_VERSION = 1
 #:   candidate set, or a typed-value recovery that missed).
 #: - ``literal_voting`` — right structure, gold literal was ranked, but
 #:   lost the phonetic vote.
+#: - ``invalid_sql`` — the produced SQL does not even *execute* on a
+#:   real engine (parse error, unknown table/column, or timeout).  Only
+#:   assigned when the caller supplies an ``executable`` predicate
+#:   (built from :class:`repro.execution.ExecutionScorer`); without one
+#:   the taxonomy degrades to the original five pipeline-stage classes.
+#:   The remaining five classes then cover the *wrong-but-executable*
+#:   misses — the query ran, but answered the wrong question.
 ATTRIBUTION_CAUSES = (
     "asr_unrecoverable",
     "structure_not_in_topk",
     "structure_ranked_low",
     "literal_category",
     "literal_voting",
+    "invalid_sql",
 )
 
 
@@ -504,15 +512,29 @@ def attribute(
     record: QueryRecord,
     gold_sql: str,
     weights: TokenWeights = DEFAULT_WEIGHTS,
+    executable=None,
 ) -> Attribution:
     """Classify ``record`` against its ground truth.
 
     Classification is *total*: every miss lands in exactly one class of
     :data:`ATTRIBUTION_CAUSES`, so per-class counts always sum to the
     miss count.
+
+    ``executable`` is an optional ``str -> bool`` predicate (does this
+    SQL run on a real engine?).  When given, a miss whose produced SQL
+    fails it is classed ``invalid_sql`` before any pipeline-stage
+    analysis — the sharpest split first: the query didn't just answer
+    the wrong question, it never ran.
     """
     if _normalized(record.sql) == _normalized(gold_sql):
         return Attribution(correct=True, cause=None)
+
+    if executable is not None and not executable(record.sql):
+        return Attribution(
+            correct=False,
+            cause="invalid_sql",
+            detail="produced SQL does not execute on the backend",
+        )
 
     gold_tokens = tokenize_sql(gold_sql)
     gold_masked = mask_literals(list(gold_tokens))
@@ -602,18 +624,21 @@ def attribute_records(
     gold_sqls: list[str],
     metrics: MetricsRegistry | None = None,
     weights: TokenWeights = DEFAULT_WEIGHTS,
+    executable=None,
 ) -> AttributionSummary:
     """Attribute a batch and (optionally) publish per-class counters.
 
     Publishes ``speakql_attribution_queries_total`` per record and
     ``speakql_attribution_misses_total{cause=...}`` per miss.
+    ``executable`` is passed through to :func:`attribute` to enable the
+    ``invalid_sql`` class.
     """
     if len(records) != len(gold_sqls):
         raise ValueError(
             f"{len(records)} record(s) vs {len(gold_sqls)} gold query(ies)"
         )
     attributions = [
-        attribute(record, gold, weights)
+        attribute(record, gold, weights, executable=executable)
         for record, gold in zip(records, gold_sqls)
     ]
     counts = {cause: 0 for cause in ATTRIBUTION_CAUSES}

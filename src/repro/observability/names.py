@@ -36,6 +36,9 @@ SPAN_NAMES: dict[str, str] = {
     "batch.flush": "One micro-batch dispatched by the async front end's "
                    "coalescing batcher (covers the whole "
                    "ServingRuntime.submit_batch call).",
+    "execution.run": "One (gold, predicted) pair scored against a real "
+                     "execution backend: run both queries, compare the "
+                     "normalized result sets.",
 }
 
 #: Per-shard leg of a sharded search (module-level constant for emitters).
@@ -77,6 +80,13 @@ SPAN_ATTRIBUTES: dict[str, str] = {
     "reason": "`batch.flush`: why the batcher flushed (`full`, `wait`, "
               "`deadline`, `drain`); also a label on "
               "`speakql_batch_flush_total`.",
+    "engine": "`execution.run`: the backend that ran the pair "
+              "(`sqlite`, `duckdb`); also a label on the "
+              "`speakql_execution_*` metrics.",
+    "verdict": "`execution.run`: the execution-scoring verdict "
+               "(`match`, `mismatch`, `invalid_sql`, `timeout`, "
+               "`gold_error`); also a label on "
+               "`speakql_execution_verdicts_total`.",
     "error": "Any span: `true` when an exception escaped it.",
     "exception_type": "Any failed span: class name of the escaping "
                       "exception.",
@@ -133,6 +143,10 @@ SHARD_POOL_WORKERS = "speakql_shard_pool_workers"
 
 ATTRIBUTION_QUERIES_TOTAL = "speakql_attribution_queries_total"
 ATTRIBUTION_MISSES_TOTAL = "speakql_attribution_misses_total"
+
+EXECUTION_QUERIES_TOTAL = "speakql_execution_queries_total"
+EXECUTION_VERDICTS_TOTAL = "speakql_execution_verdicts_total"
+EXECUTION_SECONDS = "speakql_execution_seconds"
 
 INDEX_STRUCTURES = "speakql_index_structures"
 INDEX_TRIES = "speakql_index_tries"
@@ -213,6 +227,14 @@ METRIC_NAMES: dict[str, str] = {
     ATTRIBUTION_QUERIES_TOTAL: "counter — queries attributed against "
                                "ground truth by the forensics engine.",
     ATTRIBUTION_MISSES_TOTAL: "counter — attributed misses, by `cause`.",
+    EXECUTION_QUERIES_TOTAL: "counter — (gold, predicted) pairs scored "
+                             "against an execution backend, by `engine`.",
+    EXECUTION_VERDICTS_TOTAL: "counter — execution-scoring verdicts, by "
+                              "`verdict`; sums exactly to the pairs "
+                              "scored.",
+    EXECUTION_SECONDS: "histogram — wall seconds to score one pair "
+                       "(gold + predicted execution and the result "
+                       "compare), by `engine`.",
     INDEX_STRUCTURES: "gauge — structures in the compiled index.",
     INDEX_TRIES: "gauge — per-length tries in the compiled index.",
     INDEX_TRIE_NODES: "gauge — total compiled trie nodes.",
@@ -246,5 +268,11 @@ METRIC_LABELS: dict[str, str] = {
     "cause": f"`{ATTRIBUTION_MISSES_TOTAL}`: the miss-taxonomy class "
              "(`asr_unrecoverable`, `structure_not_in_topk`, "
              "`structure_ranked_low`, `literal_category`, "
-             "`literal_voting`).",
+             "`literal_voting`, `invalid_sql`).",
+    "engine": f"`{EXECUTION_QUERIES_TOTAL}` and `{EXECUTION_SECONDS}`: "
+              "the execution backend that ran the pair (`sqlite`, "
+              "`duckdb`).",
+    "verdict": f"`{EXECUTION_VERDICTS_TOTAL}`: the execution-scoring "
+               "verdict (`match`, `mismatch`, `invalid_sql`, "
+               "`timeout`, `gold_error`).",
 }

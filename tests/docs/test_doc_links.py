@@ -52,3 +52,49 @@ def test_checker_accepts_valid_relative_links(tmp_path):
     doc.write_text("[sibling](other.md) [anchored](other.md#part)",
                    encoding="utf-8")
     assert check_docs.broken_links(doc) == []
+
+
+# -- auto-discovery (regression: the checker once took a hardcoded list,
+# -- so a newly added doc was never linted) ----------------------------------
+
+
+def test_default_doc_set_discovers_every_docs_markdown():
+    discovered = {p.resolve() for p in check_docs.default_doc_set()}
+    on_disk = {p.resolve() for p in (REPO_ROOT / "docs").rglob("*.md")}
+    assert on_disk <= discovered
+    assert (REPO_ROOT / "README.md").resolve() in discovered
+
+
+def test_default_doc_set_recurses_into_subdirectories(tmp_path):
+    (tmp_path / "README.md").write_text("root", encoding="utf-8")
+    nested = tmp_path / "docs" / "guides" / "deep"
+    nested.mkdir(parents=True)
+    (tmp_path / "docs" / "top.md").write_text("top", encoding="utf-8")
+    (nested / "buried.md").write_text("buried", encoding="utf-8")
+    names = {p.name for p in check_docs.default_doc_set(root=tmp_path)}
+    assert names == {"README.md", "top.md", "buried.md"}
+
+
+def test_directory_arguments_expand_to_their_markdown(tmp_path):
+    sub = tmp_path / "inner"
+    sub.mkdir()
+    (tmp_path / "a.md").write_text("a", encoding="utf-8")
+    (sub / "b.md").write_text("b", encoding="utf-8")
+    (tmp_path / "not_markdown.txt").write_text("x", encoding="utf-8")
+    expanded = check_docs.expand_args([str(tmp_path)])
+    assert {p.name for p in expanded} == {"a.md", "b.md"}
+    # Plain file arguments pass through untouched.
+    assert check_docs.expand_args([str(tmp_path / "a.md")]) == [
+        (tmp_path / "a.md").resolve()
+    ]
+
+
+def test_a_new_doc_with_a_broken_link_is_caught(tmp_path):
+    """End to end: drop a bad doc anywhere under docs/ and check() sees it."""
+    (tmp_path / "README.md").write_text("fine", encoding="utf-8")
+    sub = tmp_path / "docs" / "new"
+    sub.mkdir(parents=True)
+    (sub / "rotten.md").write_text("[dead](missing.md)", encoding="utf-8")
+    problems = check_docs.check(check_docs.default_doc_set(root=tmp_path))
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]

@@ -1,0 +1,109 @@
+"""ExecutionBackend contract: lifecycle, loading, errors, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BackendExecutionError,
+    BackendTimeoutError,
+    BackendUnavailableError,
+)
+from repro.execution import (
+    BACKENDS,
+    DuckDBBackend,
+    SQLiteBackend,
+    available_backends,
+    backend_for,
+    build_instance_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    backend = SQLiteBackend()
+    backend.connect()
+    backend.load_catalog(build_instance_catalog("employees"))
+    yield backend
+    backend.close()
+
+
+def test_load_and_execute(loaded):
+    result = loaded.execute("SELECT COUNT(*) FROM Employees")
+    assert result.columns == ["COUNT(*)"]
+    assert result.rows[0][0] > 120  # base instance + guarantee block
+
+
+def test_dates_are_stored_as_iso_text(loaded):
+    result = loaded.execute(
+        "SELECT HireDate FROM Employees WHERE FirstName = 'Patricio' "
+        "AND HireDate = '1996-05-10'"
+    )
+    assert result.rows, "guarantee block must provide this hire date"
+    assert all(isinstance(row[0], str) for row in result.rows)
+
+
+def test_invalid_sql_raises_execution_error(loaded):
+    with pytest.raises(BackendExecutionError):
+        loaded.execute("SELECT nope FROM nothing")
+    with pytest.raises(BackendExecutionError):
+        loaded.execute("THIS IS NOT SQL")
+
+
+def test_empty_sql_raises(loaded):
+    with pytest.raises(BackendExecutionError):
+        loaded.execute("   ")
+
+
+def test_timeout_kills_runaway_query(loaded):
+    with pytest.raises(BackendTimeoutError):
+        loaded.execute(
+            "SELECT COUNT(*) FROM Salaries a, Salaries b, Salaries c, "
+            "Salaries d",
+            timeout=0.05,
+        )
+    # The session survives the kill.
+    assert loaded.execute("SELECT 1").rows == [(1,)]
+
+
+def test_timeout_error_is_an_execution_error():
+    # Scoring catches BackendExecutionError for the invalid_sql verdict;
+    # the timeout subclass must be distinguishable yet still caught.
+    assert issubclass(BackendTimeoutError, BackendExecutionError)
+
+
+def test_row_cap_rejects_result_explosion():
+    backend = SQLiteBackend()
+    backend.max_rows = 10
+    with backend:
+        backend.load_catalog(build_instance_catalog("employees"))
+        with pytest.raises(BackendExecutionError, match="row cap"):
+            backend.execute("SELECT * FROM Employees")
+
+
+def test_context_manager_lifecycle():
+    with SQLiteBackend() as backend:
+        assert backend.execute("SELECT 41 + 1").rows == [(42,)]
+    with pytest.raises(BackendExecutionError):
+        backend.execute("SELECT 1")  # closed
+
+
+def test_registry_knows_both_backends():
+    assert set(BACKENDS) == {"sqlite", "duckdb"}
+    assert "sqlite" in available_backends()
+    assert isinstance(backend_for("sqlite"), SQLiteBackend)
+
+
+def test_registry_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        backend_for("postgres")
+
+
+def test_duckdb_is_feature_gated():
+    if DuckDBBackend.is_available():
+        backend = backend_for("duckdb")
+        assert isinstance(backend, DuckDBBackend)
+    else:
+        assert "duckdb" not in available_backends()
+        with pytest.raises(BackendUnavailableError):
+            backend_for("duckdb")

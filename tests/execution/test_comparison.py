@@ -1,0 +1,85 @@
+"""Result-set comparison semantics: ordering, floats, NULLs, arity."""
+
+from __future__ import annotations
+
+from repro.execution import ExecutionResult, compare_results, results_equal
+from repro.execution.comparison import (
+    NULL_MARKER,
+    normalize_row,
+    normalize_value,
+)
+
+
+def _rs(rows, columns=None):
+    return ExecutionResult(columns=columns or [], rows=rows)
+
+
+def test_order_insensitive_by_default():
+    a = _rs([(1, "x"), (2, "y")])
+    b = _rs([(2, "y"), (1, "x")])
+    assert results_equal(a, b)
+
+
+def test_ordered_compare_when_gold_orders():
+    a = _rs([(1,), (2,)])
+    b = _rs([(2,), (1,)])
+    assert results_equal(a, b, ordered=False)
+    assert not results_equal(a, b, ordered=True)
+
+
+def test_duplicates_are_multiset_significant():
+    a = _rs([(1,), (1,), (2,)])
+    b = _rs([(1,), (2,), (2,)])
+    assert not results_equal(a, b)
+
+
+def test_float_tolerance_absorbs_engine_noise():
+    a = _rs([(77000.0 + 1e-10,)])
+    b = _rs([(77000.0,)])
+    assert results_equal(a, b)
+
+
+def test_whole_floats_collapse_to_ints():
+    assert normalize_value(4.0) == 4
+    assert results_equal(_rs([(4.0,)]), _rs([(4,)]))
+
+
+def test_distinct_floats_stay_distinct():
+    assert not results_equal(_rs([(1.25,)]), _rs([(1.5,)]))
+
+
+def test_null_is_only_equal_to_null():
+    assert normalize_value(None) == NULL_MARKER
+    assert results_equal(_rs([(None,)]), _rs([(None,)]))
+    for impostor in (0, "", "None", "<null>"):
+        assert not results_equal(_rs([(None,)]), _rs([(impostor,)]))
+
+
+def test_bools_normalize_to_ints():
+    assert normalize_row((True, False)) == (1, 0)
+
+
+def test_column_names_are_ignored():
+    a = _rs([(1,)], columns=["COUNT(*)"])
+    b = _rs([(1,)], columns=["count_star()"])
+    assert results_equal(a, b)
+
+
+def test_arity_mismatch_is_reported():
+    a = _rs([(1, 2)], columns=["a", "b"])
+    b = _rs([(1,)], columns=["a"])
+    outcome = compare_results(a, b)
+    assert not outcome.equal
+    assert "arity" in outcome.reason
+
+
+def test_row_count_mismatch_is_reported():
+    outcome = compare_results(_rs([(1,), (2,)]), _rs([(1,)]))
+    assert not outcome.equal
+    assert "row count" in outcome.reason
+
+
+def test_mismatch_reason_names_a_missing_row():
+    outcome = compare_results(_rs([("gone",)]), _rs([("here",)]))
+    assert not outcome.equal
+    assert "gone" in outcome.reason

@@ -1,0 +1,215 @@
+"""Execution scoring: verdicts, summaries, observability, forensics tie-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution import (
+    ExecutionScorer,
+    SQLiteBackend,
+    VERDICTS,
+    build_instance_catalog,
+    score_execution,
+    string_match,
+)
+from repro.observability import names as obs_names
+from repro.observability.forensics import (
+    ATTRIBUTION_CAUSES,
+    QueryRecord,
+    attribute,
+    attribute_records,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Tracer
+from repro.study.queries import STUDY_QUERIES
+
+GOLD = "SELECT LastName FROM Employees WHERE FirstName = 'Karsten'"
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    with ExecutionScorer(
+        SQLiteBackend(), build_instance_catalog("employees")
+    ) as active:
+        yield active
+
+
+def test_identical_sql_matches(scorer):
+    score = scorer.score(GOLD, GOLD)
+    assert score.verdict == "match"
+    assert score.string_match
+    assert score.execution_match
+    assert score.gold_rows > 0
+
+
+def test_equivalent_sql_matches_without_string_match(scorer):
+    spaced = "SELECT  LastName  FROM  Employees WHERE FirstName='Karsten'"
+    score = scorer.score(GOLD, spaced)
+    assert score.verdict == "match"
+    # Tokenized normalization also accepts this — use a truly different
+    # but equivalent spelling to split the two accuracies.
+    aliased = (
+        "SELECT e.LastName FROM Employees e WHERE e.FirstName = 'Karsten'"
+    )
+    aliased_score = scorer.score(GOLD, aliased)
+    assert aliased_score.verdict == "match"
+    assert not aliased_score.string_match
+
+
+def test_wrong_answer_is_a_mismatch(scorer):
+    score = scorer.score(GOLD, "SELECT FirstName FROM Employees")
+    assert score.verdict == "mismatch"
+    assert not score.string_match
+    assert score.reason
+
+
+def test_broken_sql_is_invalid(scorer):
+    score = scorer.score(GOLD, "SELECT nope FROM nothing")
+    assert score.verdict == "invalid_sql"
+
+
+def test_gold_failure_is_scored_separately(scorer):
+    score = scorer.score("SELECT nope FROM nothing", GOLD)
+    assert score.verdict == "gold_error"
+    assert not score.execution_match
+
+
+def test_runaway_predicted_query_times_out():
+    with ExecutionScorer(
+        SQLiteBackend(), build_instance_catalog("employees"), timeout=0.05
+    ) as scorer:
+        score = scorer.score(
+            "SELECT COUNT(*) FROM Salaries",
+            "SELECT COUNT(*) FROM Salaries a, Salaries b, Salaries c, "
+            "Salaries d",
+        )
+    assert score.verdict == "timeout"
+
+
+def test_order_by_gold_requires_ordered_rows(scorer):
+    ordered_gold = (
+        "SELECT LastName FROM Employees WHERE FirstName = 'Karsten' "
+        "ORDER BY LastName"
+    )
+    reversed_pred = (
+        "SELECT LastName FROM Employees WHERE FirstName = 'Karsten' "
+        "ORDER BY LastName DESC"
+    )
+    assert scorer.score(ordered_gold, ordered_gold).verdict == "match"
+    score = scorer.score(ordered_gold, reversed_pred)
+    # Both multisets are equal; only the ordered compare can tell them
+    # apart (unless every surviving row pair happens to coincide).
+    assert score.verdict == "mismatch"
+
+
+def test_score_batch_sums_to_total(scorer):
+    pairs = [
+        (GOLD, GOLD),
+        (GOLD, "SELECT FirstName FROM Employees"),
+        (GOLD, "SELECT broken FROM"),
+    ]
+    summary = scorer.score_batch(pairs)
+    assert summary.total == 3
+    assert sum(summary.verdicts.values()) == summary.total
+    assert set(summary.verdicts) == set(VERDICTS)
+    assert summary.execution_matches == 1
+    assert summary.string_matches == 1
+    data = summary.to_dict()
+    assert data["execution_accuracy"] == pytest.approx(1 / 3)
+
+
+def test_string_match_uses_token_normalization():
+    assert string_match("SELECT AVG ( salary ) FROM Salaries",
+                        "select avg(salary) from salaries")
+    assert not string_match(GOLD, "SELECT LastName FROM Employees")
+
+
+def test_scoring_emits_catalogued_observability():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with ExecutionScorer(
+        SQLiteBackend(),
+        build_instance_catalog("employees"),
+        tracer=tracer,
+        metrics=registry,
+    ) as scorer:
+        scorer.score(GOLD, GOLD)
+        scorer.score(GOLD, "SELECT broken FROM")
+    spans = [span for span in tracer.spans if span.name == "execution.run"]
+    assert len(spans) == 2
+    assert {span.attributes["verdict"] for span in spans} == {
+        "match", "invalid_sql",
+    }
+    assert all(span.attributes["engine"] == "sqlite" for span in spans)
+    assert (
+        registry.counter(
+            obs_names.EXECUTION_QUERIES_TOTAL, engine="sqlite"
+        ).value
+        == 2
+    )
+    verdict_total = sum(
+        instrument.value
+        for name, labels, instrument in registry.collect()
+        if name == obs_names.EXECUTION_VERDICTS_TOTAL
+    )
+    assert verdict_total == 2
+    # Lockstep: nothing emitted here may be uncatalogued.
+    assert not registry.names() - set(obs_names.METRIC_NAMES)
+    assert not {s.name for s in tracer.spans} - set(obs_names.SPAN_NAMES)
+
+
+def test_score_execution_one_call_path():
+    pairs = [(q.sql, q.sql) for q in STUDY_QUERIES]
+    summary = score_execution(pairs, engine="sqlite", schema="employees")
+    assert summary.total == len(STUDY_QUERIES)
+    assert summary.execution_accuracy == 1.0
+    assert summary.string_accuracy == 1.0
+
+
+# -- forensics: the 6th attribution class ------------------------------------
+
+
+def _record(sql: str) -> QueryRecord:
+    return QueryRecord(mode="transcription", input_text="whatever", sql=sql)
+
+
+def test_taxonomy_has_six_classes_ending_in_invalid_sql():
+    assert len(ATTRIBUTION_CAUSES) == 6
+    assert ATTRIBUTION_CAUSES[-1] == "invalid_sql"
+
+
+def test_invalid_sql_attribution_requires_the_predicate(scorer):
+    record = _record("SELECT broken FROM")
+    # Without a predicate: the legacy 5-class path (no candidates here).
+    legacy = attribute(record, GOLD)
+    assert legacy.cause != "invalid_sql"
+    # With the real-engine predicate: invalid_sql wins.
+    verdict = attribute(record, GOLD, executable=scorer.executable)
+    assert not verdict.correct
+    assert verdict.cause == "invalid_sql"
+
+
+def test_executable_misses_never_class_as_invalid(scorer):
+    record = _record("SELECT FirstName FROM Employees")
+    verdict = attribute(record, GOLD, executable=scorer.executable)
+    assert not verdict.correct
+    assert verdict.cause != "invalid_sql"
+
+
+def test_attribution_still_sums_exactly_to_misses(scorer):
+    records = [
+        _record(GOLD),                              # correct
+        _record("SELECT broken FROM"),              # invalid_sql
+        _record("SELECT FirstName FROM Employees"), # wrong-but-executable
+    ]
+    registry = MetricsRegistry()
+    summary = attribute_records(
+        records,
+        [GOLD] * 3,
+        metrics=registry,
+        executable=scorer.executable,
+    )
+    assert summary.misses == 2
+    assert sum(summary.counts.values()) == summary.misses
+    assert summary.counts["invalid_sql"] == 1
+    assert set(summary.counts) == set(ATTRIBUTION_CAUSES)

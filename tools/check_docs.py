@@ -2,17 +2,20 @@
 """Check intra-repository links in the project's markdown docs.
 
 Scans the given markdown files (default: ``README.md`` plus every
-``.md`` under ``docs/``) for ``[text](target)`` links, resolves each
-relative target against the linking file, and reports targets that do
-not exist.  External links (``http[s]://``, ``mailto:``) and pure
-in-page anchors (``#section``) are skipped; a ``path#anchor`` target is
-checked for the path only.
+``.md`` anywhere under ``docs/``, subdirectories included — new docs
+are discovered automatically and can't silently rot) for
+``[text](target)`` links, resolves each relative target against the
+linking file, and reports targets that do not exist.  External links
+(``http[s]://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a ``path#anchor`` target is checked for the path only.
+A directory argument expands to every markdown file under it.
 
 Exit status: 0 when every link resolves, 1 otherwise (one line per
 broken link).  Run from anywhere::
 
     python tools/check_docs.py            # default doc set
     python tools/check_docs.py README.md docs/observability.md
+    python tools/check_docs.py docs/      # everything under docs/
 """
 
 from __future__ import annotations
@@ -30,10 +33,28 @@ _EXTERNAL = ("http://", "https://", "mailto:")
 
 
 def default_doc_set(root: Path = REPO_ROOT) -> list[Path]:
-    """README plus every markdown file under ``docs/``."""
-    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    """README plus every markdown file anywhere under ``docs/``.
+
+    Discovery is recursive on purpose: a doc added in a subdirectory
+    (or a brand-new doc) is linted from its first commit without anyone
+    remembering to point the checker at it.
+    """
+    docs_dir = root / "docs"
+    docs = sorted(docs_dir.rglob("*.md")) if docs_dir.is_dir() else []
     readme = root / "README.md"
     return ([readme] if readme.is_file() else []) + docs
+
+
+def expand_args(args: list[str]) -> list[Path]:
+    """Resolve CLI arguments; directories expand to their markdown files."""
+    paths: list[Path] = []
+    for arg in args:
+        path = Path(arg).resolve()
+        if path.is_dir():
+            paths.extend(sorted(path.rglob("*.md")))
+        else:
+            paths.append(path)
+    return paths
 
 
 def iter_links(markdown: str):
@@ -68,13 +89,17 @@ def check(paths: list[Path]) -> list[str]:
         if not path.is_file():
             lines.append(f"{path}: file not found")
             continue
+        try:
+            shown = path.relative_to(REPO_ROOT)
+        except ValueError:  # a doc outside the repo: show it absolute
+            shown = path
         for target, reason in broken_links(path):
-            lines.append(f"{path.relative_to(REPO_ROOT)}: ({target}) {reason}")
+            lines.append(f"{shown}: ({target}) {reason}")
     return lines
 
 
 def main(argv: list[str]) -> int:
-    paths = [Path(arg).resolve() for arg in argv] or default_doc_set()
+    paths = expand_args(argv) or default_doc_set()
     problems = check(paths)
     for line in problems:
         print(line, file=sys.stderr)
