@@ -98,7 +98,10 @@ class QueryRequest:
     is a latency budget in **seconds from submission** (``None`` = no
     deadline); ``overrides`` are :class:`SpeakQLConfig` field overrides
     applied for this request only, stored as a sorted tuple of pairs so
-    the request stays frozen and hashable.
+    the request stays frozen and hashable.  ``trace_id`` is the
+    wire-level correlation id: clients may supply one, the daemons
+    generate one otherwise, and it is echoed on the response and stamped
+    on every span the request opens.
     """
 
     text: str
@@ -107,6 +110,7 @@ class QueryRequest:
     speaker: "SpeakerProfile | None" = None
     deadline: float | None = None
     overrides: tuple[tuple[str, object], ...] = ()
+    trace_id: str | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.overrides, Mapping):
@@ -226,6 +230,7 @@ class QueryResponse:
             "attempts": self.attempts,
             "error": self.error,
             "wall_ms": round(self.wall_seconds * 1000.0, 3),
+            "trace_id": self.request.trace_id,
         }
 
 

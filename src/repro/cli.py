@@ -188,24 +188,41 @@ def _cmd_correct(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Terminated(SystemExit):
+    """Raised by the serve SIGTERM handler so ``finally`` blocks run."""
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.errors import ShardPoolError
+    from repro.observability import RotatingTraceSink
     from repro.serving import (
         AsyncServingDaemon,
         ServingDaemon,
         ServingRuntime,
+        TelemetryPlane,
         run_async_daemon,
     )
 
     pipeline = _build_pipeline(args.schema, args.train, args.search_kernel)
-    metrics = MetricsRegistry() if args.metrics_out else None
+    # The registry is always live: the telemetry plane scrapes it via
+    # GET /metrics, independent of whether an exit dump was requested.
+    metrics = MetricsRegistry()
+    tracer = Tracer(enabled=bool(args.trace_out))
+    trace_sink = (
+        RotatingTraceSink(args.trace_out, max_bytes=args.trace_max_bytes)
+        if args.trace_out
+        else None
+    )
     service = SpeakQLService.from_pipeline(pipeline)
     if args.shards:
         # A pool that cannot start is a hard startup error: exiting
         # non-zero beats silently serving single-process when the
         # operator asked for shards.
         try:
-            service.enable_sharding(args.shards, metrics=metrics)
+            service.enable_sharding(args.shards, metrics=metrics,
+                                    tracer=tracer)
         except (ShardPoolError, ValueError) as error:
             print(f"shard pool failed to start: {error}", file=sys.stderr)
             return 1
@@ -219,14 +236,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        tracer=tracer,
         metrics=metrics,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_sink=trace_sink,
     )
+    use_async = getattr(args, "use_async", False)
+    frontend_metrics = None
+    daemon = None
+    code = 0
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        raise _Terminated(0)
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
-        if getattr(args, "use_async", False):
+        if use_async:
             # The batcher writes into its own registry on the event-loop
-            # thread (registries are not locked); merged after the loop
-            # exits, before export.
-            frontend_metrics = MetricsRegistry() if metrics is not None else None
+            # thread (registries are not locked); the telemetry plane
+            # snapshots it on the loop, and it is merged into the main
+            # registry after the loop exits, before export.
+            frontend_metrics = MetricsRegistry()
+            telemetry = TelemetryPlane(runtime, registries=(frontend_metrics,))
             daemon = AsyncServingDaemon(
                 runtime,
                 health_port=args.health_port,
@@ -235,28 +266,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_wait_ms=args.batch_wait_ms,
                 max_line_bytes=args.max_line_bytes,
                 metrics=frontend_metrics,
+                telemetry_port=args.telemetry_port,
+                telemetry=telemetry,
             )
             code = run_async_daemon(daemon)
-            if metrics is not None:
-                daemon.batcher.merge_metrics_into(metrics)
         else:
+            telemetry = TelemetryPlane(runtime)
             daemon = ServingDaemon(
                 runtime,
                 health_port=args.health_port,
                 max_line_bytes=args.max_line_bytes,
+                telemetry_port=args.telemetry_port,
+                telemetry=telemetry,
             )
             if args.health_port is not None:
                 daemon.start_health_server()
                 host, port = daemon.health_address
                 print(f"health: http://{host}:{port}", file=sys.stderr,
                       flush=True)
+            daemon.start_telemetry_server()
+            if daemon.telemetry_address is not None:
+                host, port = daemon.telemetry_address
+                print(f"telemetry: http://{host}:{port}", file=sys.stderr,
+                      flush=True)
             print("ready", file=sys.stderr, flush=True)
             code = daemon.run(sys.stdin, sys.stdout)
+    except (KeyboardInterrupt, _Terminated):
+        # Orchestrator stop (SIGTERM) or ^C: exit cleanly so the
+        # finally block below flushes every requested output.
+        code = 0
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        if use_async and daemon is not None and frontend_metrics is not None:
+            daemon.batcher.merge_metrics_into(metrics)
+        runtime.flush_traces()
         service.close()  # idempotent; daemon.run normally shuts down first
-    if args.metrics_out and metrics is not None:
-        write_metrics(metrics, args.metrics_out)
-        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        if args.metrics_out:
+            write_metrics(metrics, args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+        if trace_sink is not None:
+            trace_sink.close()
+            print(f"wrote traces to {args.trace_out}", file=sys.stderr)
     return code
 
 
@@ -492,6 +542,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "get a structured invalid_request error")
     serve.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="write serving metrics on exit")
+    serve.add_argument("--telemetry-port", type=int, default=None,
+                       help="serve GET /metrics and /statusz on this "
+                            "dedicated port (0 = ephemeral); with "
+                            "--health-port the probe port serves them "
+                            "too in non-async mode")
+    serve.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="stream sampled request traces as JSON-lines "
+                            "spans into a size-capped rotating file")
+    serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                       help="fraction of requests to trace when "
+                            "--trace-out is set (0.0-1.0)")
+    serve.add_argument("--trace-max-bytes", type=int, default=16 << 20,
+                       help="rotate the --trace-out file before a write "
+                            "would exceed this size")
     serve.set_defaults(func=_cmd_serve)
 
     execute = sub.add_parser(

@@ -91,6 +91,13 @@ _STAT_COUNTERS = (
 )
 
 
+#: Positions of the per-shard kernel counters surfaced as labelled
+#: metrics (the rest merge only into the request's SearchStats).
+_IDX_NODES_VISITED = _STAT_COUNTERS.index("nodes_visited")
+_IDX_ROWS_PRUNED = _STAT_COUNTERS.index("rows_pruned")
+_IDX_BEAM_BOUND = _STAT_COUNTERS.index("beam_bound_updates")
+
+
 def _stats_counters(stats: SearchStats) -> tuple[int, ...]:
     return tuple(getattr(stats, name) for name in _STAT_COUNTERS)
 
@@ -148,7 +155,16 @@ def _shard_worker_main(
     payload)`` per request.  ``None`` on the request queue is the clean
     shutdown sentinel.  Worker exceptions are reported per request —
     the loop itself never dies of one.
+
+    Each request optionally carries a trace context (the coordinator's
+    ``trace_id``); when present the worker records its own
+    ``shard.worker.search`` span and ships the finished-span dicts back
+    inside the ``ok`` payload — a compact telemetry frame — so the
+    coordinator can re-parent them under its ``shard.search`` span.
+    The kernel counters always ride along (they feed the per-shard
+    metrics even when tracing is off).
     """
+    from repro.observability.trace import Tracer
     from repro.structure.compiled import from_shared
 
     try:
@@ -168,12 +184,24 @@ def _shard_worker_main(
         item = request_queue.get()
         if item is None:
             break
-        request_id, masked, k = item
+        request_id, masked, k = item[:3]
+        trace_ctx = item[3] if len(item) > 3 else None
         try:
-            results, stats = engine.search(masked, k=k)
+            span_dicts: list[dict] = []
+            if trace_ctx is not None:
+                worker_tracer = Tracer(enabled=True)
+                worker_tracer.set_trace_id(trace_ctx.get("trace_id"))
+                with worker_tracer.span(
+                    obs_names.SPAN_SHARD_WORKER, shard=shard_id
+                ):
+                    results, stats = engine.search(masked, k=k)
+                span_dicts = worker_tracer.to_dicts()
+            else:
+                results, stats = engine.search(masked, k=k)
             payload = (
                 [(r.distance, r.structure) for r in results],
                 _stats_counters(stats),
+                span_dicts,
             )
             response_queue.put(("ok", shard_id, request_id, payload))
         except BaseException as error:  # noqa: BLE001 - reported per request
@@ -528,7 +556,11 @@ class ShardedSearchExecutor:
         request_id = next(self._ids)
         spans: dict[int, object] = {}
         shard_lists: dict[int, list] = {}
+        leg_counters: dict[int, tuple] = {}
         failed_legs: list[tuple[int, str]] = []
+        trace_ctx = (
+            {"trace_id": tracer.trace_id()} if trace_on else None
+        )
         try:
             if remote:
                 with self._pending_lock:
@@ -542,14 +574,23 @@ class ShardedSearchExecutor:
                             fallback=False,
                         ).__enter__()
                     self._request_queues[shard_id].put(
-                        (request_id, masked, k)
+                        (request_id, masked, k, trace_ctx)
                     )
                 self._await_gather(gather, remote, failed_legs)
             for shard_id, (kind, payload) in sorted(gather.results.items()):
                 if kind == "ok":
-                    entries, counters = payload
+                    if len(payload) == 3:
+                        entries, counters, worker_spans = payload
+                    else:  # pragma: no cover - pre-telemetry frame
+                        entries, counters = payload
+                        worker_spans = []
                     shard_lists[shard_id] = entries
+                    leg_counters[shard_id] = counters
                     _add_counters(stats, counters)
+                    if worker_spans and trace_on:
+                        leg_span = spans.get(shard_id)
+                        if leg_span is not None:
+                            tracer.adopt(worker_spans, parent=leg_span)
                     self.breaker.record_success(str(shard_id))
                     self._close_span(spans, shard_id, "ok")
                 else:
@@ -591,9 +632,11 @@ class ShardedSearchExecutor:
             shard_lists[shard_id] = [
                 (r.distance, r.structure) for r in results
             ]
-            _add_counters(stats, _stats_counters(leg_stats))
+            counters = _stats_counters(leg_stats)
+            leg_counters[shard_id] = counters
+            _add_counters(stats, counters)
 
-        self._account(routed, failed_legs, fallback_legs)
+        self._account(routed, failed_legs, fallback_legs, leg_counters)
         ordered = [shard_lists[s] for s in sorted(shard_lists)]
         return _merge_topk(ordered, m, k), stats
 
@@ -750,7 +793,9 @@ class ShardedSearchExecutor:
             "fallbacks": {str(s): n for s, n in fallbacks.items()},
         }
 
-    def _account(self, routed, failed_legs, fallback_legs) -> None:
+    def _account(
+        self, routed, failed_legs, fallback_legs, leg_counters=None
+    ) -> None:
         with self._counts_lock:
             for shard_id in routed:
                 self._requests[shard_id] += 1
@@ -765,6 +810,20 @@ class ShardedSearchExecutor:
                 self.metrics.counter(
                     obs_names.SHARD_REQUESTS_TOTAL, shard=str(shard_id)
                 ).inc()
+            for shard_id, counters in sorted((leg_counters or {}).items()):
+                # Kernel work done inside the worker process (or the
+                # in-process fallback leg), surfaced per shard — without
+                # the telemetry frame these died with the child.
+                label = str(shard_id)
+                self.metrics.counter(
+                    obs_names.SHARD_NODES_VISITED, shard=label
+                ).inc(counters[_IDX_NODES_VISITED])
+                self.metrics.counter(
+                    obs_names.SHARD_ROWS_PRUNED, shard=label
+                ).inc(counters[_IDX_ROWS_PRUNED])
+                self.metrics.counter(
+                    obs_names.SHARD_BEAM_BOUND_UPDATES, shard=label
+                ).inc(counters[_IDX_BEAM_BOUND])
             for shard_id, _ in failed_legs:
                 self.metrics.counter(
                     obs_names.SHARD_FAILURES_TOTAL, shard=str(shard_id)

@@ -23,6 +23,7 @@ from repro.observability.forensics import (
     replay_record,
 )
 from repro.observability.export import (
+    RotatingTraceSink,
     read_trace_jsonl,
     summary_table,
     to_prometheus,
@@ -36,6 +37,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RollingHistogram,
 )
 from repro.observability.trace import NULL_SPAN, NULL_TRACER, Span, Tracer
 
@@ -64,6 +66,8 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_TRACER",
+    "RollingHistogram",
+    "RotatingTraceSink",
     "Span",
     "Tracer",
     "read_trace_jsonl",

@@ -25,6 +25,7 @@ from repro.observability.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RollingHistogram,
 )
 from repro.observability.trace import Tracer
 
@@ -40,6 +41,70 @@ def write_trace_jsonl(tracer: Tracer, path: str | Path) -> int:
     text = "".join(json.dumps(d, sort_keys=True) + "\n" for d in dicts)
     Path(path).write_text(text, encoding="utf-8")
     return len(dicts)
+
+
+class RotatingTraceSink:
+    """A size-capped, rotating JSON-lines span sink.
+
+    Appends span dicts one JSON object per line.  When appending would
+    push the current file past ``max_bytes``, the file rotates first
+    (``path`` -> ``path.1`` -> ... up to ``backups``; the oldest backup
+    is dropped), so an always-on production trace stream is bounded at
+    roughly ``max_bytes * (backups + 1)`` on disk.
+    """
+
+    def __init__(self, path: str | Path, *, max_bytes: int = 16 << 20,
+                 backups: int = 1) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self.written = 0
+        self._size = self.path.stat().st_size if self.path.exists() else 0
+        self._handle = None
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            for i in range(self.backups, 1, -1):
+                older = self.path.with_name(self.path.name + f".{i - 1}")
+                if older.exists():
+                    older.replace(self.path.with_name(self.path.name + f".{i}"))
+            if self.path.exists():
+                self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._size = 0
+
+    def write_spans(self, span_dicts: list[dict]) -> int:
+        """Append ``span_dicts`` as JSON lines, rotating beforehand if
+        the file would exceed the cap.  Returns the count written."""
+        if not span_dicts:
+            return 0
+        payload = "".join(
+            json.dumps(d, sort_keys=True) + "\n" for d in span_dicts
+        )
+        data = payload.encode("utf-8")
+        if self._size and self._size + len(data) > self.max_bytes:
+            self._rotate()
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(payload)
+        self._handle.flush()
+        self._size += len(data)
+        self.written += len(span_dicts)
+        return len(span_dicts)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def read_trace_jsonl(path: str | Path) -> list[dict]:
@@ -65,6 +130,18 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be escaped or the emitted
+    line is unparseable."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: dict[str, str], extra: dict[str, str] | None = None
                    ) -> str:
     merged = dict(labels)
@@ -73,7 +150,8 @@ def _format_labels(labels: dict[str, str], extra: dict[str, str] | None = None
     if not merged:
         return ""
     body = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(merged.items())
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
     )
     return "{" + body + "}"
 
@@ -86,6 +164,11 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         if name not in typed:
             typed.add(name)
             lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, RollingHistogram):
+            # Export the live window as a plain histogram: same series
+            # shape as the cumulative metric, values cover only the
+            # trailing window.
+            metric = metric.snapshot()
         if isinstance(metric, Histogram):
             cumulative = 0
             for bound, count in zip(metric.buckets, metric.counts):
@@ -111,6 +194,8 @@ def summary_table(registry: MetricsRegistry, title: str = "metrics") -> str:
     rows: list[list[object]] = []
     for name, labels, metric in registry.collect():
         label_str = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if isinstance(metric, RollingHistogram):
+            metric = metric.snapshot()
         if isinstance(metric, Histogram):
             rows.append([
                 name, label_str, metric.kind, metric.count,

@@ -159,6 +159,89 @@ class Histogram:
         self.max = max(self.max, other.max)
 
 
+class RollingHistogram:
+    """Windowed histogram: a ring of epoch-aligned sub-window histograms.
+
+    The window of ``window_seconds`` is divided into ``slots`` equal
+    sub-windows. Each observation lands in the sub-window covering the
+    current time; sub-windows older than the window are discarded on the
+    next observation or snapshot. :meth:`snapshot` merges the live
+    sub-windows into a plain :class:`Histogram`, so windowed quantiles
+    use exactly the same interpolation as the cumulative series.
+
+    Time comes from the injected ``clock`` (``time.monotonic`` by
+    default): under a fake clock the rotation — and therefore every
+    windowed percentile — is fully deterministic. Sub-windows are keyed
+    by their absolute epoch ``int(now // sub_width)``, which makes
+    :meth:`merge` well-defined between registries sharing a clock.
+    """
+
+    __slots__ = ("buckets", "window_seconds", "slots", "_width", "_ring", "_clock")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        *,
+        window_seconds: float = 60.0,
+        slots: int = 6,
+        clock=time.monotonic,
+    ) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.buckets = Histogram(buckets).buckets  # validates ordering
+        self.window_seconds = float(window_seconds)
+        self.slots = int(slots)
+        self._width = self.window_seconds / self.slots
+        self._ring: dict[int, Histogram] = {}
+        self._clock = clock
+
+    def _prune(self, epoch: int) -> None:
+        floor = epoch - self.slots + 1
+        for stale in [e for e in self._ring if e < floor]:
+            del self._ring[stale]
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        now = self._clock() if now is None else now
+        epoch = int(now // self._width)
+        self._prune(epoch)
+        sub = self._ring.get(epoch)
+        if sub is None:
+            sub = Histogram(self.buckets)
+            self._ring[epoch] = sub
+        sub.observe(value)
+
+    def snapshot(self, now: float | None = None) -> Histogram:
+        """The live window merged into one plain :class:`Histogram`."""
+        now = self._clock() if now is None else now
+        self._prune(int(now // self._width))
+        merged = Histogram(self.buckets)
+        for epoch in sorted(self._ring):
+            merged.merge(self._ring[epoch])
+        return merged
+
+    def quantile(self, q: float, now: float | None = None) -> float:
+        return self.snapshot(now).quantile(q)
+
+    @property
+    def count(self) -> int:
+        return sum(sub.count for sub in self._ring.values())
+
+    def merge(self, other: "RollingHistogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge rolling histograms with different buckets")
+        if abs(other._width - self._width) > 1e-12:
+            raise ValueError("cannot merge rolling histograms with different sub-windows")
+        for epoch, sub in other._ring.items():
+            mine = self._ring.get(epoch)
+            if mine is None:
+                mine = Histogram(self.buckets)
+                self._ring[epoch] = mine
+            mine.merge(sub)
+
+
 class _Timer:
     """Context manager observing its wall time into a histogram."""
 
@@ -215,6 +298,32 @@ class MetricsRegistry:
             raise ValueError(f"{name} already registered as {metric.kind}")
         return metric
 
+    def rolling_histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        *,
+        window_seconds: float = 60.0,
+        slots: int = 6,
+        clock=time.monotonic,
+        **labels,
+    ) -> RollingHistogram:
+        """Get or create a :class:`RollingHistogram` (first creation wins
+        the window/clock configuration)."""
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = RollingHistogram(
+                buckets or DEFAULT_BUCKETS,
+                window_seconds=window_seconds,
+                slots=slots,
+                clock=clock,
+            )
+            self._metrics[key] = metric
+        elif not isinstance(metric, RollingHistogram):
+            raise ValueError(f"{name} already registered as {metric.kind}")
+        return metric
+
     def time(self, name: str, buckets: tuple[float, ...] | None = None,
              **labels) -> _Timer:
         """A context manager timing its body into histogram ``name``."""
@@ -237,7 +346,14 @@ class MetricsRegistry:
         for key, metric in other._metrics.items():
             mine = self._metrics.get(key)
             if mine is None:
-                if isinstance(metric, Histogram):
+                if isinstance(metric, RollingHistogram):
+                    mine = RollingHistogram(
+                        metric.buckets,
+                        window_seconds=metric.window_seconds,
+                        slots=metric.slots,
+                        clock=metric._clock,
+                    )
+                elif isinstance(metric, Histogram):
                     mine = Histogram(metric.buckets)
                 else:
                     mine = type(metric)()
@@ -248,6 +364,25 @@ class MetricsRegistry:
                     f"but {metric.kind} in the merged registry"
                 )
             mine.merge(metric)
+
+    def snapshot(self) -> "MetricsRegistry":
+        """A point-in-time copy, tolerant of concurrent registration.
+
+        Registries are not locked; a scraper copying one while a writer
+        registers a new instrument can see the underlying dict mutate.
+        Retry the copy a few times rather than locking the hot path —
+        individual instrument values may still tear (a histogram's sum
+        vs counts observed mid-update), which is acceptable for a scrape.
+        """
+        last_error: RuntimeError | None = None
+        for _ in range(8):
+            try:
+                fresh = MetricsRegistry()
+                fresh.merge(self)
+                return fresh
+            except RuntimeError as exc:  # dict mutated during iteration
+                last_error = exc
+        raise last_error  # pragma: no cover - needs pathological churn
 
     def collect(self) -> Iterator[tuple[str, dict[str, str], object]]:
         """Every ``(name, labels, instrument)``, deterministically sorted."""

@@ -33,6 +33,10 @@ SPAN_NAMES: dict[str, str] = {
     "asr.channel.corrupt": "Acoustic-channel corruption of the spoken words.",
     "shard.search": "One shard's leg of a scatter–gather sharded search "
                     "(child of the span active at dispatch).",
+    "shard.worker.search": "The worker-process side of one remote shard "
+                           "leg, recorded in the child and re-parented "
+                           "under the coordinator's `shard.search` span "
+                           "when the result frame returns.",
     "batch.flush": "One micro-batch dispatched by the async front end's "
                    "coalescing batcher (covers the whole "
                    "ServingRuntime.submit_batch call).",
@@ -46,6 +50,9 @@ SPAN_SHARD_SEARCH = "shard.search"
 
 #: One coalesced micro-batch dispatch (module-level constant for emitters).
 SPAN_BATCH_FLUSH = "batch.flush"
+
+#: Worker-process side of a remote shard leg (module-level constant).
+SPAN_SHARD_WORKER = "shard.worker.search"
 
 #: Structured span attributes the pipeline sets (attribute -> meaning).
 SPAN_ATTRIBUTES: dict[str, str] = {
@@ -87,6 +94,12 @@ SPAN_ATTRIBUTES: dict[str, str] = {
                "(`match`, `mismatch`, `invalid_sql`, `timeout`, "
                "`gold_error`); also a label on "
                "`speakql_execution_verdicts_total`.",
+    "trace_ids": "`batch.flush`: the wire trace ids of the requests "
+                 "coalesced into the dispatched micro-batch.",
+    "trace_id": "Any span: the wire-level trace id of the request that "
+                "opened it (present when the serving runtime sampled "
+                "the request for tracing); the same id is echoed on the "
+                "daemon's JSON-lines reply.",
     "error": "Any span: `true` when an exception escaped it.",
     "exception_type": "Any failed span: class name of the escaping "
                       "exception.",
@@ -126,6 +139,7 @@ SERVING_QUEUE_DEPTH = "speakql_serving_queue_depth"
 SERVING_BREAKER_STATE = "speakql_serving_breaker_state"
 SERVING_BREAKER_TRIPS_TOTAL = "speakql_serving_breaker_trips_total"
 SERVING_SECONDS = "speakql_serving_seconds"
+SERVING_E2E_WINDOW_SECONDS = "speakql_serving_e2e_window_seconds"
 
 BATCH_FLUSH_TOTAL = "speakql_batch_flush_total"
 BATCH_FLUSH_SIZE = "speakql_batch_flush_size"
@@ -139,6 +153,9 @@ SHARD_REQUESTS_TOTAL = "speakql_shard_requests_total"
 SHARD_FAILURES_TOTAL = "speakql_shard_failures_total"
 SHARD_FALLBACK_TOTAL = "speakql_shard_fallback_total"
 SHARD_STATE = "speakql_shard_state"
+SHARD_NODES_VISITED = "speakql_shard_nodes_visited_total"
+SHARD_ROWS_PRUNED = "speakql_shard_rows_pruned_total"
+SHARD_BEAM_BOUND_UPDATES = "speakql_shard_beam_bound_updates_total"
 SHARD_POOL_WORKERS = "speakql_shard_pool_workers"
 
 ATTRIBUTION_QUERIES_TOTAL = "speakql_attribution_queries_total"
@@ -199,6 +216,15 @@ METRIC_NAMES: dict[str, str] = {
                                  "`stage`.",
     SERVING_SECONDS: "histogram — per-request serving wall seconds "
                      "(admission to outcome).",
+    SERVING_E2E_WINDOW_SECONDS: "rolling histogram — the same per-request "
+                                "end-to-end seconds as "
+                                "`speakql_serving_seconds`, but over a "
+                                "trailing window (default 60 s in 6 "
+                                "sub-windows) so /metrics and /statusz "
+                                "report *current* p50/p95/p99 rather "
+                                "than since-start aggregates; exported "
+                                "as a plain histogram of the live "
+                                "window.",
     BATCH_FLUSH_TOTAL: "counter — micro-batches dispatched by the "
                        "coalescing batcher, by flush `reason`.",
     BATCH_FLUSH_SIZE: "histogram — requests per dispatched micro-batch "
@@ -222,6 +248,14 @@ METRIC_NAMES: dict[str, str] = {
                           "coordinator per `shard`.",
     SHARD_STATE: "gauge — per-`shard` health (0 closed, 1 half-open, "
                  "2 open, 3 worker dead).",
+    SHARD_NODES_VISITED: "counter — trie nodes visited by each `shard`'s "
+                         "kernel (remote legs report via the result "
+                         "frame; fallback legs count on the "
+                         "coordinator).",
+    SHARD_ROWS_PRUNED: "counter — node rows pruned by each `shard`'s "
+                       "compiled kernel (band/threshold prune).",
+    SHARD_BEAM_BOUND_UPDATES: "counter — beam-probe bound updates seeded "
+                              "by each `shard`'s kernel.",
     SHARD_POOL_WORKERS: "gauge — live shard workers in the pool "
                         "(merge: max).",
     ATTRIBUTION_QUERIES_TOTAL: "counter — queries attributed against "
@@ -261,8 +295,9 @@ METRIC_LABELS: dict[str, str] = {
     "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "
               "(`compiled`, `flat`, `reference`, `sharded`).",
     "shard": f"`{SHARD_REQUESTS_TOTAL}`, `{SHARD_FAILURES_TOTAL}`, "
-             f"`{SHARD_FALLBACK_TOTAL}`, `{SHARD_STATE}`: the shard "
-             "index.",
+             f"`{SHARD_FALLBACK_TOTAL}`, `{SHARD_STATE}`, "
+             f"`{SHARD_NODES_VISITED}`, `{SHARD_ROWS_PRUNED}`, "
+             f"`{SHARD_BEAM_BOUND_UPDATES}`: the shard index.",
     "config": f"`{SEARCH_SECONDS}` and benchmark counters: the ablation "
               "configuration being measured.",
     "cause": f"`{ATTRIBUTION_MISSES_TOTAL}`: the miss-taxonomy class "

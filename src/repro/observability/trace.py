@@ -98,6 +98,9 @@ class Span:
         stack = tracer._stack()
         if self.parent_id is None and stack:
             self.parent_id = stack[-1].span_id
+        trace_id = getattr(tracer._local, "trace_id", None)
+        if trace_id is not None and "trace_id" not in self.attributes:
+            self.attributes["trace_id"] = trace_id
         stack.append(self)
         self.start = time.perf_counter() - tracer._t0
         return self
@@ -174,6 +177,62 @@ class Tracer:
             return NULL_SPAN
         parent_id = parent.span_id if isinstance(parent, Span) else None
         return Span(self, name, next(self._ids), parent_id, attributes)
+
+    def set_trace_id(self, trace_id: str | None) -> None:
+        """Bind (or clear) the wire-level trace id for this thread.
+
+        While set, every span entered on this thread is stamped with a
+        ``trace_id`` attribute, correlating in-process spans with the
+        id echoed on the daemon's JSON-lines reply.  No-op when
+        disabled.
+        """
+        if not self.enabled:
+            return
+        self._local.trace_id = trace_id
+
+    def trace_id(self) -> str | None:
+        """The trace id bound to this thread, if any."""
+        return getattr(self._local, "trace_id", None)
+
+    def adopt(self, span_dicts: list[dict], *, parent: Span) -> list[Span]:
+        """Graft foreign finished spans (e.g. from a shard worker
+        process) under ``parent``.
+
+        Each dict must come from :meth:`Span.to_dict` on the foreign
+        tracer.  Ids are remapped into this tracer's id space (parent
+        links *within* the batch are preserved; roots re-parent under
+        ``parent``), and times are rebased so the earliest foreign span
+        starts at ``parent.start`` — the foreign process has its own
+        ``_t0``, so only relative timing is meaningful here.
+        """
+        if not self.enabled or not span_dicts:
+            return []
+        base = min(d["start"] for d in span_dicts)
+        shift = parent.start - base
+        id_map: dict[int, int] = {}
+        adopted: list[tuple[dict, Span]] = []
+        for d in span_dicts:
+            span = Span(self, d["name"], next(self._ids), None,
+                        dict(d.get("attributes") or {}))
+            span.start = d["start"] + shift
+            span.end = d["end"] + shift
+            span.thread = d.get("thread", span.thread)
+            id_map[d["span_id"]] = span.span_id
+            adopted.append((d, span))
+        for d, span in adopted:
+            span.parent_id = id_map.get(d.get("parent_id"), parent.span_id)
+            self.spans.append(span)
+        return [span for _, span in adopted]
+
+    def drain(self) -> list[Span]:
+        """Atomically take (and clear) the finished-span list.
+
+        Best-effort under concurrency: a thread holding a reference to
+        the old list can finish a span into it just after the swap; such
+        a span is dropped.  Fine for a telemetry sink, not for tests.
+        """
+        spans, self.spans = self.spans, []
+        return spans
 
     def annotate(self, key: str, value) -> None:
         """Set an attribute on the innermost open span of this thread.

@@ -104,6 +104,10 @@ def nysiis(word: str) -> str:
         key.pop()
     if len(key) >= 2 and key[-2:] == ["A", "Y"]:
         key = key[:-2] + ["Y"]
+        # The collapse can butt the Y against a preceding Y ("YAY"),
+        # re-breaking the no-adjacent-duplicates invariant.
+        if len(key) >= 2 and key[-2] == "Y":
+            key.pop()
     if key and key[-1] == "A" and len(key) > 1:
         key.pop()
     return "".join(key)

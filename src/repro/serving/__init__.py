@@ -16,7 +16,13 @@ from repro.serving.batcher import MicroBatcher, flush_by
 from repro.serving.daemon import (
     DEFAULT_MAX_LINE_BYTES,
     ServingDaemon,
+    ensure_trace_id,
     request_from_wire,
+)
+from repro.serving.telemetry import (
+    AsyncTelemetryServer,
+    TelemetryPlane,
+    telemetry_response,
 )
 from repro.serving.runtime import (
     BREAKER_CLOSED,
@@ -30,6 +36,7 @@ from repro.serving.runtime import (
 
 __all__ = [
     "AsyncServingDaemon",
+    "AsyncTelemetryServer",
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
@@ -40,7 +47,10 @@ __all__ = [
     "Rung",
     "ServingDaemon",
     "ServingRuntime",
+    "TelemetryPlane",
+    "ensure_trace_id",
     "flush_by",
     "request_from_wire",
     "run_async_daemon",
+    "telemetry_response",
 ]

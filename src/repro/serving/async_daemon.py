@@ -33,6 +33,7 @@ from typing import IO, AsyncIterator
 from repro.serving.batcher import MicroBatcher
 from repro.serving.daemon import (
     DEFAULT_MAX_LINE_BYTES,
+    ensure_trace_id,
     invalid_request_reply,
     oversized_line_reply,
     request_from_wire,
@@ -106,6 +107,8 @@ class AsyncServingDaemon:
         runtime: ServingRuntime,
         *,
         health_port: int | None = None,
+        telemetry_port: int | None = None,
+        telemetry=None,
         port: int | None = None,
         host: str = "127.0.0.1",
         max_batch_size: int = 8,
@@ -120,6 +123,8 @@ class AsyncServingDaemon:
             raise ValueError("max_line_bytes must be >= 1")
         self.runtime = runtime
         self.health_port = health_port
+        self.telemetry_port = telemetry_port
+        self.telemetry = telemetry
         self.port = port
         self.host = host
         self.max_line_bytes = max_line_bytes
@@ -133,6 +138,7 @@ class AsyncServingDaemon:
             tracer=tracer,
         )
         self._health_server = None
+        self._telemetry_server = None
         self._tcp_server: asyncio.AbstractServer | None = None
         self._connection_tasks: set[asyncio.Task] = set()
 
@@ -143,6 +149,12 @@ class AsyncServingDaemon:
         if self._health_server is None:
             return None
         return self._health_server.server_address[:2]
+
+    @property
+    def telemetry_address(self) -> tuple[str, int] | None:
+        if self._telemetry_server is None:
+            return None
+        return self._telemetry_server.address
 
     @property
     def tcp_address(self) -> tuple[str, int] | None:
@@ -167,7 +179,11 @@ class AsyncServingDaemon:
             if isinstance(data := _maybe_dict(line), dict):
                 request_id = data.get("id")
             return invalid_request_reply(str(error), request_id)
+        request = ensure_trace_id(request)
         response = await self.batcher.submit(request)
+        # Stream sampled spans out as requests complete (no-op without
+        # a trace sink on the runtime).
+        self.runtime.flush_traces()
         out = response.to_dict()
         if "id" in data:
             out["id"] = data["id"]
@@ -287,6 +303,19 @@ class AsyncServingDaemon:
                 host, port = self.health_address
                 print(f"health: http://{host}:{port}", file=announce,
                       flush=True)
+        if self.telemetry_port is not None and self.telemetry is not None:
+            # Telemetry is served *on the event loop* — the only thread
+            # that may read the batcher's loop-confined registry.
+            from repro.serving.telemetry import AsyncTelemetryServer
+
+            self._telemetry_server = AsyncTelemetryServer(
+                self.telemetry, host=self.host, port=self.telemetry_port
+            )
+            await self._telemetry_server.start()
+            if announce is not None:
+                host, port = self.telemetry_address
+                print(f"telemetry: http://{host}:{port}", file=announce,
+                      flush=True)
         if self.port is not None:
             self._tcp_server = await asyncio.start_server(
                 self._track_connection, self.host, self.port
@@ -304,6 +333,9 @@ class AsyncServingDaemon:
 
     async def shutdown(self) -> None:
         """Stop listeners, drain the batcher, shut the runtime down."""
+        if self._telemetry_server is not None:
+            await self._telemetry_server.close()
+            self._telemetry_server = None
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()

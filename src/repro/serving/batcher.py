@@ -29,7 +29,7 @@ keeps meaning what it meant under the serial daemon: a request whose
 budget was consumed by queueing times out instead of serving stale.
 
 Observability: each dispatch opens a ``batch.flush`` span (``size``,
-``reason`` attributes) and maintains ``speakql_batch_flush_total`` /
+``reason``, and the carried wire ``trace_ids``) and maintains ``speakql_batch_flush_total`` /
 ``speakql_batch_flush_size`` / ``speakql_batch_coalesce_wait_seconds``.
 The batcher's registry writes are confined to the event-loop thread —
 give it its own :class:`~repro.observability.metrics.MetricsRegistry`
@@ -288,8 +288,15 @@ class MicroBatcher:
                     request, deadline=max(0.0, request.deadline - waited)
                 )
             requests.append(request)
+        # Wire-level correlation: the flush span names every trace id it
+        # carried, so a client-visible trace_id can be joined with the
+        # batch that served it.
+        trace_ids = [r.trace_id for r in requests if r.trace_id is not None]
         with self.tracer.span(
-            obs_names.SPAN_BATCH_FLUSH, size=len(requests), reason=reason
+            obs_names.SPAN_BATCH_FLUSH,
+            size=len(requests),
+            reason=reason,
+            trace_ids=trace_ids,
         ):
             return self.runtime.submit_batch(requests)
 

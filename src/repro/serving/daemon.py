@@ -28,12 +28,23 @@ thread answers:
   while the process lives): liveness.
 - ``GET /readyz`` — 200 when artifacts are loaded and the queue has
   headroom, 503 otherwise: readiness.
+- ``GET /metrics`` / ``GET /statusz`` — the live telemetry plane
+  (Prometheus text / JSON operator snapshot), served when a
+  :class:`~repro.serving.telemetry.TelemetryPlane` is attached; a
+  dedicated ``telemetry_port`` can expose only these two.
+
+Every request carries a ``trace_id``: supplied by the client on the
+wire, or generated at this edge.  It is echoed on the reply, stamped
+on every span the request opens, and follows the request into the
+shard workers.
 """
 
 from __future__ import annotations
 
 import json
+import secrets
 import threading
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO
 
@@ -76,7 +87,8 @@ def request_from_wire(data: dict) -> QueryRequest:
     override mapping.  Unknown keys are rejected loudly — a typo'd
     ``dedline_ms`` silently serving without a deadline would be worse.
     """
-    allowed = {"id", "text", "seed", "nbest", "deadline_ms", "overrides"}
+    allowed = {"id", "text", "seed", "nbest", "deadline_ms", "overrides",
+               "trace_id"}
     unknown = sorted(set(data) - allowed)
     if unknown:
         raise ValueError(f"unknown request key(s): {unknown}")
@@ -84,13 +96,25 @@ def request_from_wire(data: dict) -> QueryRequest:
     if not isinstance(text, str) or not text:
         raise ValueError("request needs a non-empty 'text' string")
     deadline_ms = data.get("deadline_ms")
+    trace_id = data.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ValueError("'trace_id' must be a string")
     return QueryRequest(
         text=text,
         seed=data.get("seed"),
         nbest=data.get("nbest"),
         deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
         overrides=data.get("overrides") or (),
+        trace_id=trace_id,
     )
+
+
+def ensure_trace_id(request: QueryRequest) -> QueryRequest:
+    """The request with a trace id: the client's, or a fresh 64-bit hex
+    id generated at the daemon edge."""
+    if request.trace_id is not None:
+        return request
+    return replace(request, trace_id=secrets.token_hex(8))
 
 
 class _HealthHandler(BaseHTTPRequestHandler):
@@ -98,6 +122,19 @@ class _HealthHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         runtime: ServingRuntime = self.server.runtime  # type: ignore[attr-defined]
+        telemetry = getattr(self.server, "telemetry", None)
+        if telemetry is not None and self.path in ("/metrics", "/statusz"):
+            from repro.serving.telemetry import telemetry_response
+
+            status, content_type, body = telemetry_response(
+                telemetry, self.path
+            )
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         health = runtime.health()
         if self.path == "/healthz":
             status = 200
@@ -113,7 +150,12 @@ class _HealthHandler(BaseHTTPRequestHandler):
             )
             status = 200 if ready else 503
         else:
-            self.send_error(404, "unknown probe (try /healthz or /readyz)")
+            hint = (
+                "/healthz, /readyz, /metrics or /statusz"
+                if telemetry is not None
+                else "/healthz or /readyz"
+            )
+            self.send_error(404, f"unknown probe (try {hint})")
             return
         body = json.dumps(health, sort_keys=True).encode("utf-8")
         self.send_response(status)
@@ -127,11 +169,16 @@ class _HealthHandler(BaseHTTPRequestHandler):
 
 
 def start_health_server(
-    runtime: ServingRuntime, port: int
+    runtime: ServingRuntime, port: int, telemetry=None
 ) -> ThreadingHTTPServer:
-    """Start the probe server on a daemon thread; shared by both daemons."""
+    """Start the probe server on a daemon thread; shared by both daemons.
+
+    With a :class:`~repro.serving.telemetry.TelemetryPlane` attached the
+    same server also answers ``/metrics`` and ``/statusz``.
+    """
     server = ThreadingHTTPServer(("127.0.0.1", port), _HealthHandler)
     server.runtime = runtime  # type: ignore[attr-defined]
+    server.telemetry = telemetry  # type: ignore[attr-defined]
     thread = threading.Thread(
         target=server.serve_forever, name="serve-health", daemon=True
     )
@@ -147,18 +194,27 @@ class ServingDaemon:
         runtime: ServingRuntime,
         *,
         health_port: int | None = None,
+        telemetry_port: int | None = None,
+        telemetry=None,
         max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
     ) -> None:
         """``health_port``: ``None`` disables the probe server; ``0``
         binds an ephemeral port (read it back from
-        :attr:`health_address`).  ``max_line_bytes`` bounds one request
-        frame; oversized frames get an ``invalid_request`` error."""
+        :attr:`health_address`).  ``telemetry`` is an optional
+        :class:`~repro.serving.telemetry.TelemetryPlane`; when present
+        the probe server also answers ``/metrics``/``/statusz``, and a
+        non-``None`` ``telemetry_port`` binds a second server exposing
+        the same plane.  ``max_line_bytes`` bounds one request frame;
+        oversized frames get an ``invalid_request`` error."""
         if max_line_bytes < 1:
             raise ValueError("max_line_bytes must be >= 1")
         self.runtime = runtime
         self.health_port = health_port
+        self.telemetry_port = telemetry_port
+        self.telemetry = telemetry
         self.max_line_bytes = max_line_bytes
         self._health_server: ThreadingHTTPServer | None = None
+        self._telemetry_server: ThreadingHTTPServer | None = None
 
     @property
     def health_address(self) -> tuple[str, int] | None:
@@ -167,11 +223,29 @@ class ServingDaemon:
             return None
         return self._health_server.server_address[:2]
 
+    @property
+    def telemetry_address(self) -> tuple[str, int] | None:
+        """The bound (host, port) of the dedicated telemetry server."""
+        if self._telemetry_server is None:
+            return None
+        return self._telemetry_server.server_address[:2]
+
     def start_health_server(self) -> None:
         if self.health_port is None or self._health_server is not None:
             return
         self._health_server = start_health_server(
-            self.runtime, self.health_port
+            self.runtime, self.health_port, telemetry=self.telemetry
+        )
+
+    def start_telemetry_server(self) -> None:
+        if (
+            self.telemetry_port is None
+            or self.telemetry is None
+            or self._telemetry_server is not None
+        ):
+            return
+        self._telemetry_server = start_health_server(
+            self.runtime, self.telemetry_port, telemetry=self.telemetry
         )
 
     def stop_health_server(self) -> None:
@@ -179,6 +253,10 @@ class ServingDaemon:
             self._health_server.shutdown()
             self._health_server.server_close()
             self._health_server = None
+        if self._telemetry_server is not None:
+            self._telemetry_server.shutdown()
+            self._telemetry_server.server_close()
+            self._telemetry_server = None
 
     def handle_line(self, line: str) -> dict:
         """Serve one wire line; always returns a JSON-ready dict."""
@@ -194,6 +272,7 @@ class ServingDaemon:
             request = request_from_wire(data)
         except (ValueError, TypeError) as error:
             return invalid_request_reply(str(error), _request_id(line))
+        request = ensure_trace_id(request)
         response = self.runtime.submit(request)
         out = response.to_dict()
         if "id" in data:
@@ -204,6 +283,7 @@ class ServingDaemon:
         """Serve until ``stdin`` EOF; returns a process exit code."""
         if self.health_port is not None:
             self.start_health_server()
+        self.start_telemetry_server()
         try:
             for line in stdin:
                 out = self.handle_line(line)
@@ -211,6 +291,10 @@ class ServingDaemon:
                     continue
                 stdout.write(json.dumps(out, sort_keys=True) + "\n")
                 stdout.flush()
+                # Stream sampled spans to the trace sink as requests
+                # finish (no-op without a sink) — an orchestrator kill
+                # then loses at most the final request's spans.
+                self.runtime.flush_traces()
         finally:
             self.stop_health_server()
             # A clean EOF shutdown propagates through the runtime to
@@ -236,6 +320,7 @@ __all__ = [
     "DEFAULT_MAX_LINE_BYTES",
     "ERROR_INVALID_REQUEST",
     "ServingDaemon",
+    "ensure_trace_id",
     "invalid_request_reply",
     "oversized_line_reply",
     "request_from_wire",

@@ -50,6 +50,7 @@ are reproducible in tests.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections.abc import Iterable, Mapping
@@ -78,7 +79,7 @@ from repro.resilience import (
 from repro.observability import names as obs_names
 from repro.observability.forensics import QueryRecord, Recorder
 from repro.observability.metrics import MetricsRegistry
-from repro.observability.trace import Tracer
+from repro.observability.trace import NULL_TRACER, Tracer
 
 # -- the degradation ladder --------------------------------------------------
 
@@ -182,9 +183,17 @@ class ServingRuntime:
         breaker_cooldown: int = 8,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        window_seconds: float = 60.0,
+        window_slots: int = 6,
+        clock=time.monotonic,
+        trace_sample_rate: float = 1.0,
+        trace_sink=None,
+        sample_rng: random.Random | None = None,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
         self.service = service
         self.queue_limit = queue_limit
         self.ladder = tuple(ladder)
@@ -214,11 +223,19 @@ class ServingRuntime:
         )
         self.tracer = tracer if tracer is not None else service.pipeline.tracer
         self.metrics = metrics
+        self.window_seconds = float(window_seconds)
+        self.window_slots = int(window_slots)
+        self.trace_sample_rate = float(trace_sample_rate)
+        self.trace_sink = trace_sink
+        self._clock = clock
+        self._started = clock()
+        self._sample_rng = sample_rng if sample_rng is not None else random.Random()
         self._lock = threading.Lock()
         self._inflight = 0
         self._shed = 0
         self._outcomes = {outcome: 0 for outcome in
                           ("served", "degraded", "shed", "timeout", "failed")}
+        self._rungs: dict[int, int] = {}
         self._pipelines: dict[tuple, SpeakQL] = {}
 
     # -- admission -----------------------------------------------------------
@@ -256,17 +273,7 @@ class ServingRuntime:
                 self._inflight -= 1
                 self._gauge(obs_names.SERVING_QUEUE_DEPTH, self._inflight)
         with self._lock:
-            self._outcomes[response.outcome] += 1
-            self._count(
-                obs_names.SERVING_OUTCOMES_TOTAL, outcome=response.outcome
-            )
-            if response.ok:
-                self._count(
-                    obs_names.SERVING_RUNG_TOTAL, rung=str(response.rung)
-                )
-            self._observe(
-                obs_names.SERVING_SECONDS, response.wall_seconds
-            )
+            self._account_response(response)
         return response
 
     def submit_batch(
@@ -330,20 +337,7 @@ class ServingRuntime:
                 self._inflight -= len(admitted)
                 self._gauge(obs_names.SERVING_QUEUE_DEPTH, self._inflight)
                 for index in admitted[:executed]:
-                    response = responses[index]
-                    self._outcomes[response.outcome] += 1
-                    self._count(
-                        obs_names.SERVING_OUTCOMES_TOTAL,
-                        outcome=response.outcome,
-                    )
-                    if response.ok:
-                        self._count(
-                            obs_names.SERVING_RUNG_TOTAL,
-                            rung=str(response.rung),
-                        )
-                    self._observe(
-                        obs_names.SERVING_SECONDS, response.wall_seconds
-                    )
+                    self._account_response(responses[index])
         return responses
 
     def serve_batch(
@@ -401,7 +395,33 @@ class ServingRuntime:
             start_rung = 1
         attempts = 0
         last_error: BaseException | None = None
-        with self.tracer.span("serve", mode=request.mode) as span:
+        tracer = self._request_tracer()
+        bind_trace = tracer.enabled and request.trace_id is not None
+        if bind_trace:
+            tracer.set_trace_id(request.trace_id)
+        try:
+            response = self._run_ladder(
+                request, start_rung, deadline_at, admitted, attempts,
+                last_error, record, pipeline_metrics, tracer,
+            )
+        finally:
+            if bind_trace:
+                tracer.set_trace_id(None)
+        return response
+
+    def _run_ladder(
+        self,
+        request: QueryRequest,
+        start_rung: int,
+        deadline_at: float | None,
+        admitted: float,
+        attempts: int,
+        last_error: BaseException | None,
+        record: QueryRecord | None,
+        pipeline_metrics: MetricsRegistry | None,
+        tracer: Tracer,
+    ) -> QueryResponse:
+        with tracer.span("serve", mode=request.mode) as span:
             for index in range(start_rung, len(self.ladder)):
                 rung = self.ladder[index]
                 if deadline_at is not None and (
@@ -420,7 +440,8 @@ class ServingRuntime:
                 attempts += 1
                 try:
                     output = self._attempt(
-                        request, index, deadline_at, record, pipeline_metrics
+                        request, index, deadline_at, record,
+                        pipeline_metrics, tracer,
                     )
                 except DeadlineExceededError as error:
                     # Ran out of budget mid-flight: terminal by
@@ -476,12 +497,14 @@ class ServingRuntime:
         deadline_at: float | None,
         record: QueryRecord | None,
         pipeline_metrics: MetricsRegistry | None,
+        tracer: Tracer | None = None,
     ):
+        tracer = tracer if tracer is not None else self.tracer
         pipeline = self._pipeline_for(request, rung_index)
         if request.seed is None:
             return pipeline.correct_transcription(
                 request.text,
-                tracer=self.tracer,
+                tracer=tracer,
                 metrics=pipeline_metrics,
                 record=record,
                 deadline=deadline_at,
@@ -491,11 +514,25 @@ class ServingRuntime:
             seed=request.seed,
             nbest=request.nbest,
             voice=request.speaker,
-            tracer=self.tracer,
+            tracer=tracer,
             metrics=pipeline_metrics,
             record=record,
             deadline=deadline_at,
         )
+
+    def _request_tracer(self) -> Tracer:
+        """The tracer this request gets: the runtime's own, or the
+        shared :data:`NULL_TRACER` when the sampling coin says no."""
+        tracer = self.tracer
+        if not tracer.enabled:
+            return tracer
+        if self.trace_sample_rate >= 1.0:
+            return tracer
+        if self.trace_sample_rate <= 0.0:
+            return NULL_TRACER
+        if self._sample_rng.random() < self.trace_sample_rate:
+            return tracer
+        return NULL_TRACER
 
     def _pipeline_for(self, request: QueryRequest, rung_index: int) -> SpeakQL:
         """The pipeline serving ``request`` at ladder rung ``rung_index``.
@@ -577,9 +614,120 @@ class ServingRuntime:
             "shard_pool_ok": executor is None or executor.alive,
         }
 
+    def statusz(self) -> dict:
+        """A JSON-ready operator snapshot for ``GET /statusz``.
+
+        Everything :meth:`health` reports, plus uptime, queue depth vs
+        capacity, per-rung serve counts, per-rung and per-shard breaker
+        states, and rolling p50/p95/p99 end-to-end latency from the
+        windowed histogram (alongside the cumulative-since-start
+        figures).
+        """
+        now = self._clock()
+        rolling = cumulative = None
+        with self._lock:
+            outcomes = dict(self._outcomes)
+            inflight = self._inflight
+            rungs = {str(r): n for r, n in sorted(self._rungs.items())}
+            if self.metrics is not None:
+                rolling = self.metrics.rolling_histogram(
+                    obs_names.SERVING_E2E_WINDOW_SECONDS,
+                    window_seconds=self.window_seconds,
+                    slots=self.window_slots,
+                    clock=self._clock,
+                ).snapshot(now)
+                cumulative = self.metrics.histogram(obs_names.SERVING_SECONDS)
+        executor = getattr(self.service, "search_executor", None)
+
+        def _percentiles(histogram) -> dict:
+            if histogram is None or histogram.count == 0:
+                return {"count": 0, "p50_ms": None, "p95_ms": None,
+                        "p99_ms": None}
+            return {
+                "count": histogram.count,
+                "p50_ms": round(histogram.quantile(0.50) * 1000.0, 3),
+                "p95_ms": round(histogram.quantile(0.95) * 1000.0, 3),
+                "p99_ms": round(histogram.quantile(0.99) * 1000.0, 3),
+            }
+
+        return {
+            "status": "ok",
+            "ready": self.service.artifacts is not None,
+            "uptime_seconds": round(now - self._started, 3),
+            "queue": {"depth": inflight, "capacity": self.queue_limit},
+            "outcomes": outcomes,
+            "ladder": {
+                "rungs": [rung.name for rung in self.ladder],
+                "served_by_rung": rungs,
+                "breakers": self.breaker.states(),
+            },
+            "shards": executor.health() if executor is not None else None,
+            "shard_pool_ok": executor is None or executor.alive,
+            "latency": {
+                "window_seconds": self.window_seconds,
+                "rolling": _percentiles(rolling),
+                "cumulative": _percentiles(cumulative),
+            },
+            "trace": {
+                "sample_rate": self.trace_sample_rate,
+                "sink": (
+                    str(self.trace_sink.path)
+                    if self.trace_sink is not None else None
+                ),
+            },
+        }
+
+    def flush_traces(self) -> int:
+        """Drain finished spans into the trace sink (no-op without one).
+
+        Only spans carrying a ``trace_id`` attribute — i.e. belonging to
+        a sampled, correlated request — are written; the rest are
+        discarded with the drain.  Returns the spans written.
+        """
+        if self.trace_sink is None or not self.tracer.enabled:
+            return 0
+        spans = self.tracer.drain()
+        keep = [
+            span.to_dict()
+            for span in spans
+            if span.attributes.get("trace_id") is not None
+        ]
+        return self.trace_sink.write_spans(keep)
+
     def shutdown(self) -> None:
-        """Release owned resources (the service's shard pool, if any)."""
-        self.service.close()
+        """Release owned resources (the service's shard pool, if any),
+        flushing any traces still buffered on the tracer first."""
+        try:
+            self.flush_traces()
+        finally:
+            self.service.close()
+
+    def _account_response(self, response: QueryResponse) -> None:
+        """Fold one finished response into the counters; caller holds
+        ``self._lock``."""
+        self._outcomes[response.outcome] += 1
+        self._count(obs_names.SERVING_OUTCOMES_TOTAL,
+                    outcome=response.outcome)
+        if response.ok:
+            self._rungs[response.rung] = (
+                self._rungs.get(response.rung, 0) + 1
+            )
+            self._count(obs_names.SERVING_RUNG_TOTAL,
+                        rung=str(response.rung))
+        self._observe_e2e(response.wall_seconds)
+
+    def _observe_e2e(self, value: float) -> None:
+        """Record one end-to-end latency into both the cumulative and
+        the rolling-window histogram; caller holds ``self._lock``."""
+        if self.metrics is None:
+            return
+        self.metrics.histogram(obs_names.SERVING_SECONDS).observe(value)
+        self.metrics.rolling_histogram(
+            obs_names.SERVING_E2E_WINDOW_SECONDS,
+            window_seconds=self.window_seconds,
+            slots=self.window_slots,
+            clock=self._clock,
+        ).observe(value)
 
     def _count(self, name: str, **labels: str) -> None:
         """Bump a serving counter; caller holds ``self._lock``."""

@@ -91,7 +91,7 @@ class TestQueryResponse:
 
     def test_to_dict_wire_shape(self):
         response = QueryResponse(
-            request=QueryRequest(text="x"),
+            request=QueryRequest(text="x", trace_id="t-123"),
             outcome="timeout",
             rung=1,
             attempts=2,
@@ -106,7 +106,12 @@ class TestQueryResponse:
             "attempts": 2,
             "error": "deadline exceeded before stage 'mask'",
             "wall_ms": 12.346,
+            "trace_id": "t-123",
         }
+
+    def test_to_dict_trace_id_defaults_none(self):
+        response = shed_response(QueryRequest(text="x"))
+        assert response.to_dict()["trace_id"] is None
 
 
 class TestBatchQueryError:

@@ -1,0 +1,135 @@
+"""Exporter hardening: hostile label values and the rotating trace sink.
+
+A label value containing a quote, backslash, or newline must render as
+a parseable Prometheus text line (the original exporter emitted it raw,
+corrupting the whole scrape), and the size-capped trace sink must
+rotate instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    RotatingTraceSink,
+    to_prometheus,
+)
+from repro.observability.metrics import MetricsRegistry
+
+
+class TestLabelEscaping:
+    def test_quote_backslash_and_newline_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "hostile_total", text='he said "hi"\nback\\slash'
+        ).inc()
+        page = to_prometheus(registry)
+        line = next(
+            l for l in page.splitlines() if l.startswith("hostile_total{")
+        )
+        assert '\\"hi\\"' in line
+        assert "\\n" in line and "\n" not in line[:-1]
+        assert "back\\\\slash" in line
+        # The raw (unescaped) forms must be gone from the series line.
+        assert '"hi"' not in line.replace('\\"', "")
+
+    def test_escaped_line_round_trips_the_value(self):
+        """Unescaping the rendered value recovers the original."""
+        hostile = 'a\\b"c\nd'
+        registry = MetricsRegistry()
+        registry.counter("h_total", v=hostile).inc(3)
+        page = to_prometheus(registry)
+        line = next(
+            l for l in page.splitlines() if l.startswith("h_total{")
+        )
+        rendered = line.split('v="', 1)[1].rsplit('"}', 1)[0]
+        unescaped = (
+            rendered.replace("\\\\", "\0")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\0", "\\")
+        )
+        assert unescaped == hostile
+
+    def test_benign_labels_render_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", mode="speech").inc()
+        assert 'plain_total{mode="speech"} 1' in to_prometheus(registry)
+
+    def test_each_series_line_stays_single_line(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", note="line1\nline2").set(2)
+        page = to_prometheus(registry)
+        series = [l for l in page.splitlines() if l.startswith("g{")]
+        assert len(series) == 1  # the newline did not split the series
+
+
+def _span(i: int, size: int = 200) -> dict:
+    return {"name": "serve", "span_id": i, "pad": "x" * size}
+
+
+class TestRotatingTraceSink:
+    def test_appends_json_lines(self, tmp_path):
+        sink = RotatingTraceSink(tmp_path / "trace.jsonl")
+        written = sink.write_spans([_span(1), _span(2)])
+        sink.close()
+        assert written == 2 and sink.written == 2
+        lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+        assert [json.loads(l)["span_id"] for l in lines] == [1, 2]
+
+    def test_rotates_before_exceeding_the_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = RotatingTraceSink(path, max_bytes=1000, backups=1)
+        for i in range(12):
+            sink.write_spans([_span(i)])
+        sink.close()
+        rotated = path.with_name("trace.jsonl.1")
+        assert rotated.exists()
+        assert path.stat().st_size <= 1000
+        assert rotated.stat().st_size <= 1000
+        # No span line was torn by the rotation.
+        for file in (path, rotated):
+            for line in file.read_text().splitlines():
+                json.loads(line)
+
+    def test_backups_zero_truncates_instead_of_rotating(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = RotatingTraceSink(path, max_bytes=600, backups=0)
+        for i in range(8):
+            sink.write_spans([_span(i)])
+        sink.close()
+        assert not path.with_name("trace.jsonl.1").exists()
+        assert path.stat().st_size <= 600
+
+    def test_oldest_backup_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = RotatingTraceSink(path, max_bytes=400, backups=2)
+        for i in range(20):
+            sink.write_spans([_span(i)])
+        sink.close()
+        assert path.with_name("t.jsonl.1").exists()
+        assert path.with_name("t.jsonl.2").exists()
+        assert not path.with_name("t.jsonl.3").exists()
+
+    def test_resumes_against_an_existing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("x" * 900 + "\n")
+        sink = RotatingTraceSink(path, max_bytes=1000, backups=1)
+        sink.write_spans([_span(1)])  # 900 + ~230 > 1000: rotate first
+        sink.close()
+        assert path.with_name("trace.jsonl.1").read_text().startswith("x")
+        assert json.loads(path.read_text())["span_id"] == 1
+
+    def test_empty_write_is_free(self, tmp_path):
+        sink = RotatingTraceSink(tmp_path / "trace.jsonl")
+        assert sink.write_spans([]) == 0
+        sink.close()
+        assert not (tmp_path / "trace.jsonl").exists()
+
+    def test_rejects_bad_configuration(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            RotatingTraceSink(tmp_path / "t", max_bytes=0)
+        with pytest.raises(ValueError, match="backups"):
+            RotatingTraceSink(tmp_path / "t", backups=-1)

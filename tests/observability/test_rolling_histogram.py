@@ -1,0 +1,205 @@
+"""RollingHistogram: deterministic windowed percentiles under a fake
+clock.
+
+The rolling window is what makes ``/statusz`` report *current* latency
+instead of since-start aggregates, so its rotation must be exact: an
+observation lives for precisely its sub-window's slice of the window,
+the empty window reports zeroes rather than stale data, and a window
+that spans the whole run agrees bit-for-bit with the cumulative
+histogram (same buckets, same interpolation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    RollingHistogram,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRotation:
+    def test_observation_survives_until_the_window_passes(self):
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=60.0, slots=6, clock=clock
+        )
+        rolling.observe(1.0)
+        assert rolling.snapshot().count == 1
+        clock.advance(59.999)
+        assert rolling.snapshot().count == 1
+
+    def test_window_boundary_is_exact(self):
+        """An observation at t=0 leaves at exactly t=window, not one
+        sub-window early or late."""
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=10.0, slots=5, clock=clock
+        )
+        rolling.observe(3.0)
+        clock.now = 10.0 - 1e-6
+        assert rolling.snapshot().count == 1
+        clock.now = 10.0
+        assert rolling.snapshot().count == 0
+
+    def test_sub_windows_age_out_one_at_a_time(self):
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=6.0, slots=6, clock=clock
+        )
+        for second in range(6):
+            clock.now = float(second)
+            rolling.observe(float(second))
+        assert rolling.snapshot().count == 6
+        clock.now = 6.0  # the t=0 sub-window expires
+        assert rolling.snapshot().count == 5
+        clock.now = 8.0  # t=1 and t=2 gone too
+        assert rolling.snapshot().count == 3
+        clock.now = 11.0  # only t=5 left... and it expires at 11
+        assert rolling.snapshot().count == 0
+
+    def test_observe_prunes_as_well_as_snapshot(self):
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=4.0, slots=2, clock=clock
+        )
+        rolling.observe(1.0)
+        clock.now = 100.0
+        rolling.observe(2.0)
+        # The internal ring holds only the live sub-window now.
+        assert rolling.count == 1
+
+    def test_same_inputs_same_clock_same_percentiles(self):
+        """Full determinism: two instances fed identically agree."""
+
+        def build() -> RollingHistogram:
+            clock = FakeClock(0.0)
+            rolling = RollingHistogram(
+                window_seconds=30.0, slots=3, clock=clock
+            )
+            for i in range(50):
+                clock.now = i * 0.9
+                rolling.observe((i % 7) * 0.013)
+            return rolling
+
+        a, b = build(), build()
+        assert a.snapshot().counts == b.snapshot().counts
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == b.quantile(q)
+
+
+class TestQuantiles:
+    def test_empty_window_reports_zero_not_stale(self):
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=10.0, slots=5, clock=clock
+        )
+        for value in (0.1, 0.2, 0.9):
+            rolling.observe(value)
+        clock.now = 50.0
+        snapshot = rolling.snapshot()
+        assert snapshot.count == 0
+        assert rolling.quantile(0.5) == 0.0
+        assert rolling.quantile(0.99) == 0.0
+
+    def test_whole_run_window_agrees_with_cumulative(self):
+        """A window wider than the run is the cumulative histogram."""
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=3600.0, slots=6, clock=clock
+        )
+        cumulative = Histogram(rolling.buckets)
+        values = [0.003, 0.017, 0.017, 0.21, 0.08, 1.4, 0.0005]
+        for i, value in enumerate(values):
+            clock.now = i * 40.0  # spread over several sub-windows
+            rolling.observe(value)
+            cumulative.observe(value)
+        snapshot = rolling.snapshot()
+        assert snapshot.counts == cumulative.counts
+        assert snapshot.sum == cumulative.sum
+        for q in (0.0, 0.5, 0.9, 0.95, 0.99, 1.0):
+            assert snapshot.quantile(q) == cumulative.quantile(q)
+
+    def test_windowed_percentile_tracks_only_live_traffic(self):
+        """Old slow requests stop polluting the percentile once they
+        rotate out — the whole point of the rolling window."""
+        clock = FakeClock(0.0)
+        rolling = RollingHistogram(
+            window_seconds=10.0, slots=5, clock=clock
+        )
+        for _ in range(10):
+            rolling.observe(2.0)  # a slow burst at t=0
+        clock.now = 9.0
+        for _ in range(10):
+            rolling.observe(0.001)  # fast traffic later
+        assert rolling.quantile(0.95) >= 1.0  # burst still in window
+        clock.now = 12.0  # burst rotated out, fast traffic remains
+        assert rolling.snapshot().count == 10
+        assert rolling.quantile(0.95) < 0.1
+
+
+class TestConfigAndMerge:
+    def test_rejects_bad_window_and_slots(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            RollingHistogram(window_seconds=0.0)
+        with pytest.raises(ValueError, match="slots"):
+            RollingHistogram(slots=0)
+
+    def test_merge_requires_matching_buckets(self):
+        a = RollingHistogram(buckets=(1.0, 2.0))
+        b = RollingHistogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError, match="buckets"):
+            a.merge(b)
+
+    def test_merge_requires_matching_sub_windows(self):
+        a = RollingHistogram(window_seconds=60.0, slots=6)
+        b = RollingHistogram(window_seconds=60.0, slots=12)
+        with pytest.raises(ValueError, match="sub-window"):
+            a.merge(b)
+
+    def test_merge_folds_by_absolute_epoch(self):
+        """Two registries sharing a clock merge without double-counting
+        or time skew: same-epoch sub-windows fold together."""
+        clock = FakeClock(0.0)
+        a = RollingHistogram(window_seconds=10.0, slots=5, clock=clock)
+        b = RollingHistogram(window_seconds=10.0, slots=5, clock=clock)
+        a.observe(0.5)
+        b.observe(0.7)
+        clock.now = 4.0
+        b.observe(0.9)
+        a.merge(b)
+        assert a.snapshot().count == 3
+        clock.now = 10.0  # the t=0 observations (a's and b's) expire
+        assert a.snapshot().count == 1
+
+    def test_registry_get_or_create_and_merge(self):
+        clock = FakeClock(0.0)
+        registry = MetricsRegistry()
+        first = registry.rolling_histogram(
+            "x_seconds", window_seconds=20.0, slots=4, clock=clock
+        )
+        again = registry.rolling_histogram("x_seconds")
+        assert again is first  # first creation wins the configuration
+        first.observe(0.5)
+
+        other = MetricsRegistry()
+        other.rolling_histogram(
+            "x_seconds", window_seconds=20.0, slots=4, clock=clock
+        ).observe(1.5)
+        registry.merge(other)
+        assert first.snapshot().count == 2

@@ -1,0 +1,134 @@
+"""Wire-level trace correlation on the Tracer: thread-bound trace ids,
+cross-process span adoption, and the drain used by streaming sinks."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability.trace import NULL_TRACER, Tracer
+
+
+class TestTraceIdBinding:
+    def test_bound_id_stamps_every_span(self):
+        tracer = Tracer()
+        tracer.set_trace_id("t-1")
+        with tracer.span("serve"):
+            with tracer.span("stage.mask"):
+                pass
+        assert [s.attributes["trace_id"] for s in tracer.spans] == [
+            "t-1", "t-1",
+        ]
+
+    def test_clearing_stops_stamping(self):
+        tracer = Tracer()
+        tracer.set_trace_id("t-1")
+        with tracer.span("a"):
+            pass
+        tracer.set_trace_id(None)
+        with tracer.span("b"):
+            pass
+        assert "trace_id" not in tracer.spans[1].attributes
+
+    def test_explicit_attribute_wins_over_binding(self):
+        tracer = Tracer()
+        tracer.set_trace_id("bound")
+        with tracer.span("a", trace_id="explicit"):
+            pass
+        assert tracer.spans[0].attributes["trace_id"] == "explicit"
+
+    def test_binding_is_thread_local(self):
+        tracer = Tracer()
+        tracer.set_trace_id("main")
+        seen = {}
+
+        def work():
+            seen["other"] = tracer.trace_id()
+            tracer.set_trace_id("worker")
+            with tracer.span("w"):
+                pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert seen["other"] is None  # never saw the main thread's id
+        assert tracer.trace_id() == "main"
+        worker_span = next(s for s in tracer.spans if s.name == "w")
+        assert worker_span.attributes["trace_id"] == "worker"
+
+    def test_disabled_tracer_ignores_binding(self):
+        NULL_TRACER.set_trace_id("t-1")
+        assert NULL_TRACER.trace_id() is None
+
+
+class TestAdoption:
+    def _foreign_spans(self) -> list[dict]:
+        """Two spans from a 'worker process' tracer: a root and a child
+        with their own id space and their own t0."""
+        foreign = Tracer()
+        foreign.set_trace_id("t-9")
+        with foreign.span("shard.worker.search", shard=1) as root:
+            with foreign.span("stage.structure_search"):
+                pass
+        assert root.span_id != 0
+        return foreign.to_dicts()
+
+    def test_roots_reparent_and_links_survive(self):
+        coordinator = Tracer()
+        with coordinator.span("shard.search", shard=1) as leg:
+            adopted = coordinator.adopt(self._foreign_spans(), parent=leg)
+        by_name = {s.name: s for s in adopted}
+        worker = by_name["shard.worker.search"]
+        stage = by_name["stage.structure_search"]
+        assert worker.parent_id == leg.span_id
+        assert stage.parent_id == worker.span_id  # intra-batch link kept
+
+    def test_ids_are_remapped_into_the_local_space(self):
+        coordinator = Tracer()
+        with coordinator.span("shard.search") as leg:
+            adopted = coordinator.adopt(self._foreign_spans(), parent=leg)
+        local_ids = {s.span_id for s in coordinator.spans}
+        assert len(local_ids) == len(coordinator.spans)  # no collisions
+        assert {s.span_id for s in adopted} <= local_ids
+
+    def test_times_rebase_to_the_parent_start(self):
+        coordinator = Tracer()
+        with coordinator.span("shard.search") as leg:
+            adopted = coordinator.adopt(self._foreign_spans(), parent=leg)
+        earliest = min(s.start for s in adopted)
+        assert abs(earliest - leg.start) < 1e-9
+        for span in adopted:
+            assert span.end >= span.start
+
+    def test_attributes_and_trace_id_survive_adoption(self):
+        coordinator = Tracer()
+        with coordinator.span("shard.search") as leg:
+            adopted = coordinator.adopt(self._foreign_spans(), parent=leg)
+        worker = next(s for s in adopted if s.name == "shard.worker.search")
+        assert worker.attributes["shard"] == 1
+        assert worker.attributes["trace_id"] == "t-9"
+
+    def test_empty_and_disabled_adopt_are_noops(self):
+        coordinator = Tracer()
+        with coordinator.span("x") as parent:
+            assert coordinator.adopt([], parent=parent) == []
+        assert NULL_TRACER.adopt(self._foreign_spans(), parent=None) == []
+
+
+class TestDrain:
+    def test_drain_takes_and_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a"]
+        assert tracer.spans == []
+        assert tracer.drain() == []
+
+    def test_spans_finished_after_a_drain_accumulate_again(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.drain()
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans] == ["b"]

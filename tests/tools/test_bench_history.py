@@ -416,6 +416,11 @@ def test_committed_history_is_valid_jsonl():
         elif entry["benchmark"] == "serving_open_loop":
             assert "throughput_qps" in entry
             assert "b" in entry["key"].rpartition("r")[2]
+        elif entry["benchmark"] == "telemetry_overhead":
+            assert "throughput_qps" in entry
+            assert "overhead_vs_off" in entry
+            assert f"c{entry['config']}" in entry["key"]
+            assert "@q32" in entry["key"]
         else:
             assert entry["benchmark"] == "serving_shard_scaling"
             assert "throughput_qps" in entry

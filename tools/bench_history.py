@@ -15,8 +15,11 @@ full-size report.  A ``serving_shard_scaling`` report (the
 ``--scale-shards`` sweep of ``bench_serving.py``) appends one entry
 per shard count, keyed ``serving_shard_scaling@q40ms0s2``, and a
 ``serving_open_loop`` report (the ``--open-loop`` sweep) one entry per
-micro-batch size, keyed ``serving_open_loop@q64r200b8`` — each
-configuration tracks its own trajectory.
+micro-batch size, keyed ``serving_open_loop@q64r200b8``, and a
+``telemetry_overhead`` report (the ``--telemetry-overhead`` pricing of
+the live telemetry plane) one entry per observability configuration,
+keyed ``telemetry_overhead@q32cmetrics`` — each configuration tracks
+its own trajectory.
 
 Every entry is stamped with the machine's core count (``nproc``), and
 the regression gate only compares entries recorded on the same core
@@ -64,7 +67,8 @@ def entry_from_report(report: dict, source: str) -> dict:
     ``median_ms``, which is what the regression gate compares.
     """
     if report.get("benchmark") in ("serving_shard_scaling",
-                                   "serving_open_loop"):
+                                   "serving_open_loop",
+                                   "telemetry_overhead"):
         raise KeyError(
             f"{report['benchmark']} reports expand to one entry per row; "
             "use entries_from_report"
@@ -131,6 +135,32 @@ def entries_from_report(report: dict, source: str) -> list[dict]:
                 "p99_ms": row["p99_ms"],
                 "throughput_qps": row["throughput_qps"],
                 "speedup_vs_first": row["speedup_vs_first"],
+                "answered_fraction": row["answered_fraction"],
+                "outcomes": row["outcomes"],
+                "source": source,
+                "recorded_at": recorded_at,
+                **stamp,
+            }
+            for row in report["rows"]
+        ]
+    if benchmark == "telemetry_overhead":
+        # One entry per observability configuration (off / metrics /
+        # metrics+trace1pct), so each configuration's latency tracks
+        # its own trajectory and the regression gate compares like
+        # with like.
+        base_key = f"{benchmark}@q{report['queries']}"
+        return [
+            {
+                "key": f"{base_key}c{row['config']}",
+                "benchmark": benchmark,
+                "queries": report["queries"],
+                "deadline_ms": report["deadline_ms"],
+                "repeats": report["repeats"],
+                "config": row["config"],
+                "median_ms": row["median_ms"],
+                "p95_ms": row["p95_ms"],
+                "throughput_qps": row["throughput_qps"],
+                "overhead_vs_off": row["overhead_vs_off"],
                 "answered_fraction": row["answered_fraction"],
                 "outcomes": row["outcomes"],
                 "source": source,

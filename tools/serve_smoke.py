@@ -8,8 +8,15 @@ dictation, and a dictation with a 1 ms deadline — and asserts:
 - the first two come back ``served`` with non-empty SQL;
 - the 1 ms-deadline request comes back ``timeout`` (cooperative
   deadline enforcement, no crash);
+- every reply echoes a non-empty ``trace_id`` (the daemon generates one
+  when the client does not supply it);
 - ``GET /healthz`` answers 200 with the matching outcome counts and
   ``GET /readyz`` reports readiness;
+- ``GET /metrics`` serves Prometheus text naming the serving counters
+  and the rolling end-to-end window (plus the per-shard kernel counters
+  with ``shard=`` labels when ``--shards`` is on), and ``GET /statusz``
+  reports the degradation ladder, breaker states, queue occupancy, and
+  rolling latency percentiles;
 - the daemon exits cleanly on stdin EOF.
 
 ``--shards K`` runs the daemon with a sharded search pool; the same
@@ -62,6 +69,55 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
+def fetch(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=10) as r:
+        return r.status, r.read()
+
+
+def check_telemetry(base_url: str, *, shards: int = 0,
+                    expect_batcher: bool = False) -> None:
+    """Assert /metrics and /statusz on ``base_url`` look operable."""
+    status, body = fetch(base_url + "/metrics")
+    if status != 200:
+        fail(f"/metrics answered {status}")
+    page = body.decode("utf-8")
+    required = ["speakql_serving_requests_total",
+                "speakql_serving_outcomes_total",
+                "speakql_serving_e2e_window_seconds"]
+    if expect_batcher:
+        required.append("speakql_batch_flush_total")
+    if shards:
+        required += ["speakql_shard_nodes_visited_total",
+                     "speakql_shard_rows_pruned_total"]
+    for name in required:
+        if name not in page:
+            fail(f"/metrics is missing {name}")
+    if shards and f'shard="{shards - 1}"' not in page:
+        fail(f"/metrics has no shard=\"{shards - 1}\" labelled series")
+
+    status, body = fetch(base_url + "/statusz")
+    if status != 200:
+        fail(f"/statusz answered {status}")
+    statusz = json.loads(body)
+    for key in ("status", "uptime_seconds", "queue", "outcomes",
+                "ladder", "latency"):
+        if key not in statusz:
+            fail(f"/statusz is missing {key!r}: {sorted(statusz)}")
+    ladder = statusz["ladder"]
+    if not ladder.get("rungs") or "breakers" not in ladder:
+        fail(f"/statusz ladder lacks rungs/breakers: {ladder}")
+    for breaker in ladder["breakers"].values():
+        if breaker not in ("closed", "half-open", "open"):
+            fail(f"unexpected breaker state: {ladder['breakers']}")
+    latency = statusz["latency"]
+    for side in ("rolling", "cumulative"):
+        quantiles = latency.get(side) or {}
+        if not {"count", "p50_ms", "p95_ms", "p99_ms"} <= set(quantiles):
+            fail(f"/statusz latency.{side} incomplete: {latency}")
+    if shards and not statusz.get("shard_pool_ok", False):
+        fail(f"/statusz reports unhealthy shard pool: {statusz.get('shards')}")
+
+
 class _TcpClient:
     """One JSON-lines TCP connection to the async daemon."""
 
@@ -89,7 +145,7 @@ class _TcpClient:
 def run_async_smoke(env: dict) -> int:
     command = [sys.executable, "-m", "repro", "serve",
                "--schema", "employees", "--health-port", "0",
-               "--async", "--port", "0",
+               "--async", "--port", "0", "--telemetry-port", "0",
                "--batch-size", "4", "--batch-wait-ms", "5"]
     proc = subprocess.Popen(
         command,
@@ -104,11 +160,17 @@ def run_async_smoke(env: dict) -> int:
     watchdog.start()
     clients: list[_TcpClient] = []
     try:
-        # Banner: health address, TCP address, then "ready".
+        # Banner: health address, telemetry address, TCP address, then
+        # "ready".
         health_line = proc.stderr.readline().strip()
         if not health_line.startswith("health: http://"):
             fail(f"expected the health address first, got {health_line!r}")
         health_url = health_line.split(" ", 1)[1]
+        telemetry_line = proc.stderr.readline().strip()
+        if not telemetry_line.startswith("telemetry: http://"):
+            fail(f"expected the telemetry address next, got "
+                 f"{telemetry_line!r}")
+        telemetry_url = telemetry_line.split(" ", 1)[1]
         tcp_line = proc.stderr.readline().strip()
         if not tcp_line.startswith("tcp: "):
             fail(f"expected the tcp address next, got {tcp_line!r}")
@@ -174,6 +236,11 @@ def run_async_smoke(env: dict) -> int:
         if after.get("outcome") != "served":
             fail(f"connection did not survive the oversized line: {after}")
 
+        # Every batched reply must still echo a wire trace id.
+        for key, response in replies.items():
+            if not response.get("trace_id"):
+                fail(f"reply {key} carries no trace_id: {response}")
+
         with urllib.request.urlopen(health_url + "/healthz", timeout=10) as r:
             if r.status != 200:
                 fail(f"/healthz answered {r.status}")
@@ -182,6 +249,10 @@ def run_async_smoke(env: dict) -> int:
             fail(f"healthz served count != 5: {health['outcomes']}")
         if health["outcomes"].get("timeout") != 1:
             fail(f"healthz timeout count != 1: {health['outcomes']}")
+
+        # The dedicated telemetry port runs on the event loop and must
+        # see the batcher's loop-confined flush counters live.
+        check_telemetry(telemetry_url, expect_batcher=True)
 
         for client in clients:
             client.close()
@@ -263,6 +334,9 @@ def main() -> int:
             fail(f"1 ms deadline did not time out: {timed_out}")
         if "deadline exceeded" not in (timed_out.get("error") or ""):
             fail(f"timeout carries no deadline error: {timed_out}")
+        for response in responses:
+            if not response.get("trace_id"):
+                fail(f"reply carries no trace_id: {response}")
 
         for probe in ("/healthz", "/readyz"):
             with urllib.request.urlopen(health_url + probe, timeout=10) as r:
@@ -280,6 +354,9 @@ def main() -> int:
                 fail(f"expected {args.shards} shards in healthz: {shards}")
             if not health.get("shard_pool_ok"):
                 fail(f"shard pool not healthy: {shards}")
+
+        # The probe port doubles as the telemetry plane in serial mode.
+        check_telemetry(health_url, shards=args.shards)
 
         proc.stdin.close()
         code = proc.wait(timeout=30)
