@@ -240,6 +240,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
         trace_sample_rate=args.trace_sample_rate,
         trace_sink=trace_sink,
+        session_ttl=args.session_ttl,
+        session_limit=args.session_limit,
     )
     use_async = getattr(args, "use_async", False)
     frontend_metrics = None
@@ -519,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--breaker-cooldown", type=int, default=8,
                        help="requests a tripped rung sits out before its "
                             "half-open trial")
+    serve.add_argument("--session-ttl", type=float, default=900.0,
+                       metavar="SECONDS",
+                       help="idle correction sessions expire after this "
+                            "many seconds (default 900)")
+    serve.add_argument("--session-limit", type=int, default=64,
+                       metavar="N",
+                       help="live correction sessions kept before LRU "
+                            "eviction (default 64)")
     serve.add_argument("--health-port", type=int, default=None,
                        help="serve /healthz and /readyz on this port "
                             "(0 = ephemeral; omit to disable)")

@@ -40,7 +40,9 @@ class ClauseKind(enum.Enum):
     TAIL = "tail"  # GROUP BY / ORDER BY / LIMIT fragments
 
 
-_CLAUSE_TO_KIND = {
+#: Which clause grammar serves each display clause — public so the
+#: serving layer's session decoder segments exactly like dictation.
+CLAUSE_TO_KIND = {
     Clause.SELECT: ClauseKind.SELECT,
     Clause.FROM: ClauseKind.FROM,
     Clause.WHERE: ClauseKind.WHERE,
@@ -48,6 +50,9 @@ _CLAUSE_TO_KIND = {
     Clause.ORDER_BY: ClauseKind.TAIL,
     Clause.LIMIT: ClauseKind.TAIL,
 }
+
+#: Backwards-compatible private alias.
+_CLAUSE_TO_KIND = CLAUSE_TO_KIND
 
 _KIND_START = {
     ClauseKind.SELECT: S,
@@ -147,19 +152,50 @@ class ClauseSpeakQL:
         tables_context: list[str] | None = None,
     ) -> str:
         """Structure + literal determination for a clause fragment."""
+        sql, _, _ = self.decode_clause(
+            transcription, kind, tables_context=tables_context
+        )
+        return sql
+
+    def decode_clause(
+        self,
+        transcription: str,
+        kind: ClauseKind,
+        *,
+        k: int = 1,
+        tables_context: list[str] | None = None,
+    ):
+        """Decode one clause span and expose the search evidence.
+
+        Returns ``(sql, results, stats)``: the corrected clause text,
+        the top-``k`` :class:`~repro.structure.search.SearchResult`
+        candidates, and the span's
+        :class:`~repro.structure.search.SearchStats` (``None`` only
+        when masking produced no tokens).  This is the serving layer's
+        session entry point — a cached span replays ``results``/``stats``
+        verbatim, so splicing them is bit-identical to re-decoding.
+
+        ``tables_context`` narrows attribute candidates to the display's
+        FROM tables, exactly as whole-query mode does; it is part of the
+        span's cache key because a changed FROM clause changes this
+        clause's literal determination.
+        """
         masked = preprocess_transcription(transcription)
-        results, _ = self._searcher(kind).search(masked.masked, k=1)
+        results, stats = self._searcher(kind).search_span(masked.masked, k=k)
         if not results:
-            return transcription
+            return transcription, [], stats
         structure = results[0].structure
-        literals = self._determiner.determine(list(masked.source), structure)
         if tables_context:
-            # Re-run with the display's FROM tables as narrowing context:
+            # The display's FROM tables act as narrowing context:
             # pass-2 narrowing inside determine() only sees this clause.
             literals = self._determine_with_tables(
-                list(masked.source), structure, tables_context
+                list(masked.source), structure, list(tables_context)
             )
-        return literals.sql()
+        else:
+            literals = self._determiner.determine(
+                list(masked.source), structure
+            )
+        return literals.sql(), results, stats
 
     def _determine_with_tables(self, tokens, structure, tables):
         from repro.grammar.categorizer import assign_categories

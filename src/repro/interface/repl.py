@@ -9,10 +9,18 @@ Commands inside the session:
 
 - ``<transcription>``  — correct a raw transcription
 - ``!<sql>``           — dictate SQL through the noisy channel first
+- ``:fix CLAUSE text`` — re-dictate one clause as a correction turn
+- ``:patch CLAUSE text`` — token-patch one clause via the SQL keyboard
 - ``:run``             — execute the displayed query
 - ``:top``             — show the current n-best candidates
 - ``:schema``          — print the schema
 - ``:quit``            — leave
+
+``:fix``/``:patch`` ride the serving stack's correction sessions: the
+first one lazily opens a session (turn 0 re-decodes the last
+transcription), and each subsequent turn ships a
+:class:`~repro.api.ClauseEdit` so the server re-searches only the
+edited clause and reports which spans it reused.
 
 With a :class:`~repro.observability.metrics.MetricsRegistry` attached
 (the CLI's ``repl --metrics-out``), every query records into it and the
@@ -27,7 +35,7 @@ from typing import Callable, TextIO
 
 import sys
 
-from repro.api import QueryRequest
+from repro.api import CLAUSE_NAMES, QueryRequest
 from repro.core.pipeline import SpeakQL
 from repro.observability.export import summary_table
 from repro.observability.metrics import MetricsRegistry
@@ -67,6 +75,10 @@ class ReplSession:
         self._runtime = ServingRuntime(
             SpeakQLService.from_pipeline(self.pipeline)
         )
+        #: Correction-session state: the last transcription seeds the
+        #: lazy turn-0 decode the first time :fix/:patch is used.
+        self._session = None
+        self._last_text = ""
 
     # -- I/O -----------------------------------------------------------------
 
@@ -105,6 +117,9 @@ class ReplSession:
             self._show_candidates()
         elif line == ":schema":
             self._show_schema()
+        elif line.startswith(":fix ") or line.startswith(":patch "):
+            command, _, rest = line.partition(" ")
+            self._correction_turn(command[1:], rest.strip())
         elif line.startswith(":"):
             self._say(f"unknown command {line}")
         elif line.startswith("!"):
@@ -127,6 +142,7 @@ class ReplSession:
         self._say(f"heard  : {response.output.asr_text}")
         if response.outcome != "served":
             self._say(f"outcome: {response.outcome} (rung {response.rung})")
+        self._reset_session(response.output.asr_text)
         self._set_result(response.output.queries)
 
     def _correct(self, transcription: str) -> None:
@@ -137,7 +153,60 @@ class ReplSession:
             return
         if response.outcome != "served":
             self._say(f"outcome: {response.outcome} (rung {response.rung})")
+        self._reset_session(transcription)
         self._set_result(response.output.queries)
+
+    def _reset_session(self, transcription: str) -> None:
+        """A fresh base query invalidates any running correction session."""
+        self._session = None
+        self._last_text = transcription
+
+    def _correction_turn(self, kind: str, rest: str) -> None:
+        clause, text = self._parse_clause_edit(rest)
+        if clause is None:
+            self._say(
+                f"usage: :{kind} CLAUSE text  (CLAUSE one of "
+                f"{', '.join(CLAUSE_NAMES)})"
+            )
+            return
+        if self._session is None:
+            if not self._last_text:
+                self._say("no query yet to correct")
+                return
+            from repro.interface.session import ServingCorrectionSession
+
+            session = ServingCorrectionSession(
+                self._runtime, deadline=self.deadline
+            )
+            cold = session.start(self._last_text)
+            if not cold.ok:
+                self._say(f"outcome: {cold.outcome} ({cold.error})")
+                return
+            self._session = session
+        turn = (
+            self._session.redictate(clause, text)
+            if kind == "fix"
+            else self._session.patch(clause, text)
+        )
+        if not turn.ok:
+            self._say(f"outcome: {turn.outcome} ({turn.error})")
+            return
+        if turn.reused_spans:
+            self._say(f"reused : {', '.join(turn.reused_spans)}")
+        self._set_result(turn.output.queries)
+
+    @staticmethod
+    def _parse_clause_edit(rest: str) -> tuple[str | None, str]:
+        """Split ``rest`` into (clause name, replacement text).
+
+        Two-word clause heads (GROUP BY / ORDER BY) are matched before
+        single-word ones; clause names are case-insensitive.
+        """
+        for name in sorted(CLAUSE_NAMES, key=len, reverse=True):
+            prefix = name.lower() + " "
+            if rest.lower().startswith(prefix) and rest[len(prefix):].strip():
+                return name, rest[len(prefix):].strip()
+        return None, ""
 
     def _set_result(self, queries: list[str]) -> None:
         self._candidates = list(queries)

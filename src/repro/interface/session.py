@@ -1,16 +1,31 @@
-"""Interactive correction session.
+"""Interactive correction sessions.
 
-Models how a study participant brings the displayed query to their
-intended query: badly wrong clauses are re-dictated (the clause record
-buttons), stray tokens are fixed in place with the SQL keyboard.  All
-interactions are logged as effort units.
+Two layers model the paper's correction loop:
+
+- :class:`CorrectionSession` (legacy, effort-model study): brings a
+  *displayed* query to the intended query offline, logging every touch
+  and keystroke as effort units.  It never talks to the serving stack.
+- :class:`ServingCorrectionSession`: drives first-class correction
+  turns through a :class:`~repro.serving.ServingRuntime` — turn 0 is
+  the cold dictation, each :meth:`~ServingCorrectionSession.redictate`
+  or :meth:`~ServingCorrectionSession.patch` ships a
+  :class:`~repro.api.ClauseEdit` so the server re-searches only the
+  edited clause span and splices cached decodes for the rest.
 """
 
 from __future__ import annotations
 
+import uuid
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.api import (
+    EDIT_REDICTATE,
+    EDIT_TOKEN_PATCH,
+    ClauseEdit,
+    QueryRequest,
+    QueryResponse,
+)
 from repro.grammar.vocabulary import normalize_token, tokenize_sql
 from repro.interface.display import Clause, QueryDisplay, split_clauses
 from repro.interface.effort import EffortLog, Interaction
@@ -85,6 +100,76 @@ def edit_script(
     ops.extend(("delete", t) for t in hypothesis[i:])
     ops.extend(("insert", t) for t in reference[j:])
     return ops
+
+
+@dataclass
+class ServingCorrectionSession:
+    """A client-side handle on one server-side correction session.
+
+    Wraps anything with a ``submit(request) -> QueryResponse`` method
+    (normally a :class:`~repro.serving.ServingRuntime`), tracking the
+    ``session_id``/``turn`` pair the wire protocol requires: turn 0 is
+    the cold dictation, every later turn carries exactly one
+    :class:`~repro.api.ClauseEdit`.  The caller reads ``reused_spans``
+    off the returned :class:`~repro.api.QueryResponse` to see how much
+    of the previous decode the server spliced back in.
+    """
+
+    runtime: object
+    #: Optional per-turn latency budget in seconds.
+    deadline: float | None = None
+    session_id: str = field(
+        default_factory=lambda: f"corr-{uuid.uuid4().hex[:12]}"
+    )
+    turn: int = field(default=-1, init=False)
+
+    @property
+    def started(self) -> bool:
+        return self.turn >= 0
+
+    def start(self, transcription: str) -> QueryResponse:
+        """Cold decode (turn 0) establishing the session on the server."""
+        if self.started:
+            raise RuntimeError(
+                "session already started; use redictate()/patch() for "
+                "correction turns"
+            )
+        return self._submit(QueryRequest(
+            text=transcription,
+            session_id=self.session_id,
+            turn=0,
+            deadline=self.deadline,
+        ))
+
+    def redictate(self, clause: str, text: str) -> QueryResponse:
+        """Re-dictate one clause (the clause record button)."""
+        return self._turn(ClauseEdit(EDIT_REDICTATE, clause, text))
+
+    def patch(self, clause: str, text: str) -> QueryResponse:
+        """Replace one clause's tokens via the SQL keyboard."""
+        return self._turn(ClauseEdit(EDIT_TOKEN_PATCH, clause, text))
+
+    def _turn(self, edit: ClauseEdit) -> QueryResponse:
+        if not self.started:
+            raise RuntimeError(
+                "no cold decode yet; call start() before correcting"
+            )
+        return self._submit(QueryRequest(
+            text="",
+            session_id=self.session_id,
+            turn=self.turn + 1,
+            edit=edit,
+            deadline=self.deadline,
+        ))
+
+    def _submit(self, request: QueryRequest) -> QueryResponse:
+        response = self.runtime.submit(request)
+        if response.ok:
+            # Only advance on success: a failed turn (deadline, conflict)
+            # leaves the server-side turn counter where it was, so the
+            # client retries with the same turn number.
+            self.turn = request.turn
+        return response
 
 
 @dataclass

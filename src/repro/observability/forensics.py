@@ -196,6 +196,10 @@ class QueryRecord:
     # -- output --
     queries: tuple[str, ...] = ()
     sql: str = ""
+    # -- correction session (additive; absent in pre-session bundles) --
+    session_id: str | None = None
+    turn: int = 0
+    reused_spans: tuple[str, ...] = ()
 
     @property
     def top_structure(self) -> tuple[str, ...] | None:
@@ -222,6 +226,9 @@ class QueryRecord:
             "placeholders": [p.to_dict() for p in self.placeholders],
             "queries": list(self.queries),
             "sql": self.sql,
+            "session_id": self.session_id,
+            "turn": self.turn,
+            "reused_spans": list(self.reused_spans),
         }
 
     @classmethod
@@ -264,6 +271,11 @@ class QueryRecord:
             ],
             queries=tuple(data.get("queries", ())),
             sql=data.get("sql", ""),
+            # Additive session fields: old bundles (same RECORD_VERSION,
+            # recorded pre-sessions) read back with the defaults.
+            session_id=data.get("session_id"),
+            turn=data.get("turn", 0),
+            reused_spans=tuple(data.get("reused_spans", ())),
         )
 
 
@@ -287,6 +299,8 @@ class Recorder:
         seed: int | None = None,
         nbest: int | None = None,
         voice: str | None = None,
+        session_id: str | None = None,
+        turn: int = 0,
     ) -> QueryRecord:
         """Create (and keep) the record for one query."""
         record = QueryRecord(
@@ -296,12 +310,19 @@ class Recorder:
             nbest=nbest,
             voice=voice,
             top_k=self.top_k,
+            session_id=session_id,
+            turn=turn,
         )
         self.records.append(record)
         return record
 
     def start_request(self, request) -> QueryRecord:
-        """Create the record for one :class:`~repro.api.QueryRequest`."""
+        """Create the record for one :class:`~repro.api.QueryRequest`.
+
+        Records of one correction session share a ``session_id`` and
+        order by ``turn``, so a session's whole trajectory can be
+        reassembled from a bundle.
+        """
         return self.start(
             mode=request.mode,
             input_text=request.text,
@@ -310,6 +331,8 @@ class Recorder:
             voice=request.speaker.name
             if request.speaker is not None
             else None,
+            session_id=getattr(request, "session_id", None),
+            turn=getattr(request, "turn", 0),
         )
 
     def __len__(self) -> int:

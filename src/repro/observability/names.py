@@ -43,6 +43,10 @@ SPAN_NAMES: dict[str, str] = {
     "execution.run": "One (gold, predicted) pair scored against a real "
                      "execution backend: run both queries, compare the "
                      "normalized result sets.",
+    "session.turn": "One correction-session turn served by the runtime's "
+                    "incremental decoder (cold turn 0 or a clause edit).",
+    "session.span": "One clause span searched by the session decoder "
+                    "(reused spans open no span — reuse is free).",
 }
 
 #: Per-shard leg of a sharded search (module-level constant for emitters).
@@ -85,8 +89,16 @@ SPAN_ATTRIBUTES: dict[str, str] = {
     "size": "`batch.flush`: requests coalesced into the dispatched "
             "micro-batch.",
     "reason": "`batch.flush`: why the batcher flushed (`full`, `wait`, "
-              "`deadline`, `drain`); also a label on "
+              "`deadline`, `turn`, `drain`); also a label on "
               "`speakql_batch_flush_total`.",
+    "session_id": "`session.turn`: the correction session the turn "
+                  "belongs to (echoed on the wire reply).",
+    "turn": "`session.turn`: the 0-based turn number within its session.",
+    "clause": "`session.span`: the clause the span decodes (`SELECT`, "
+              "`FROM`, `WHERE`, `GROUP BY`, `ORDER BY`, `LIMIT`).",
+    "spans": "`session.turn`: clause spans in the turn's segmentation.",
+    "reused": "`session.turn`: how many spans were spliced from the "
+              "session cache instead of searched.",
     "engine": "`execution.run`: the backend that ran the pair "
               "(`sqlite`, `duckdb`); also a label on the "
               "`speakql_execution_*` metrics.",
@@ -100,6 +112,8 @@ SPAN_ATTRIBUTES: dict[str, str] = {
                 "opened it (present when the serving runtime sampled "
                 "the request for tracing); the same id is echoed on the "
                 "daemon's JSON-lines reply.",
+    "kind": "`session.span`: the clause-grammar kind serving the span "
+            "(`select`, `from`, `where`, `tail`).",
     "error": "Any span: `true` when an exception escaped it.",
     "exception_type": "Any failed span: class name of the escaping "
                       "exception.",
@@ -164,6 +178,13 @@ ATTRIBUTION_MISSES_TOTAL = "speakql_attribution_misses_total"
 EXECUTION_QUERIES_TOTAL = "speakql_execution_queries_total"
 EXECUTION_VERDICTS_TOTAL = "speakql_execution_verdicts_total"
 EXECUTION_SECONDS = "speakql_execution_seconds"
+
+SESSION_TURNS_TOTAL = "speakql_session_turns_total"
+SESSION_SPANS_DECODED_TOTAL = "speakql_session_spans_decoded_total"
+SESSION_SPANS_REUSED_TOTAL = "speakql_session_spans_reused_total"
+SESSION_LIVE = "speakql_session_live"
+SESSION_EVICTIONS_TOTAL = "speakql_session_evictions_total"
+SESSION_TURN_SECONDS = "speakql_session_turn_seconds"
 
 INDEX_STRUCTURES = "speakql_index_structures"
 INDEX_TRIES = "speakql_index_tries"
@@ -269,6 +290,21 @@ METRIC_NAMES: dict[str, str] = {
     EXECUTION_SECONDS: "histogram — wall seconds to score one pair "
                        "(gold + predicted execution and the result "
                        "compare), by `engine`.",
+    SESSION_TURNS_TOTAL: "counter — correction-session turns served, by "
+                         "turn `kind` (`cold`, `redictate`, "
+                         "`token_patch`).",
+    SESSION_SPANS_DECODED_TOTAL: "counter — clause spans actually "
+                                 "searched by the session decoder "
+                                 "(cache misses).",
+    SESSION_SPANS_REUSED_TOTAL: "counter — clause spans spliced from the "
+                                "session cache (no search ran).",
+    SESSION_LIVE: "gauge — correction sessions currently held by the "
+                  "store (merge: max).",
+    SESSION_EVICTIONS_TOTAL: "counter — sessions dropped by the store, by "
+                             "`reason` (`lru` = over the limit, `ttl` = "
+                             "idle past the TTL).",
+    SESSION_TURN_SECONDS: "histogram — wall seconds to decode one "
+                          "session turn (cold and warm alike).",
     INDEX_STRUCTURES: "gauge — structures in the compiled index.",
     INDEX_TRIES: "gauge — per-length tries in the compiled index.",
     INDEX_TRIE_NODES: "gauge — total compiled trie nodes.",
@@ -289,7 +325,11 @@ METRIC_LABELS: dict[str, str] = {
     "reason": f"`{BATCH_FLUSH_TOTAL}`: why the batcher flushed "
               "(`full` = batch filled, `wait` = max_wait_ms elapsed, "
               "`deadline` = the oldest request's deadline neared, "
-              "`drain` = shutdown flush).",
+              "`turn` = a session correction turn arrived, "
+              f"`drain` = shutdown flush); `{SESSION_EVICTIONS_TOTAL}`: "
+              "why the store dropped the session (`lru`, `ttl`).",
+    "kind": f"`{SESSION_TURNS_TOTAL}`: the turn kind (`cold` = turn 0, "
+            "`redictate`, `token_patch`).",
     "rung": f"`{SERVING_RUNG_TOTAL}`: degradation-ladder rung index "
             "(0 = requested config).",
     "kernel": f"`{SEARCH_TOTAL}`: the kernel that ran "

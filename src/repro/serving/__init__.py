@@ -9,6 +9,12 @@ serial JSON-lines daemon with HTTP health/readiness probes (``repro
 serve``), and :class:`AsyncServingDaemon` + :class:`MicroBatcher`
 (``repro serve --async``) as an asyncio front end that coalesces
 concurrent requests into micro-batches before dispatch.
+
+Both daemons speak the shared versioned wire codec of
+:mod:`repro.serving.protocol`, and correction sessions
+(:mod:`repro.serving.sessions`) make the paper's clause-level
+re-dictation loop incremental: a turn re-searches only the edited
+clause span and splices cached decodes for the rest.
 """
 
 from repro.serving.async_daemon import AsyncServingDaemon, run_async_daemon
@@ -18,6 +24,18 @@ from repro.serving.daemon import (
     ServingDaemon,
     ensure_trace_id,
     request_from_wire,
+)
+from repro.serving.protocol import (
+    ERROR_KINDS,
+    PROTOCOL_VERSION,
+    decode_request,
+    encode_response,
+)
+from repro.serving.sessions import (
+    SessionDecoder,
+    SessionStore,
+    TurnConflictError,
+    UnknownSessionError,
 )
 from repro.serving.telemetry import (
     AsyncTelemetryServer,
@@ -43,11 +61,19 @@ __all__ = [
     "CircuitBreaker",
     "DEFAULT_LADDER",
     "DEFAULT_MAX_LINE_BYTES",
+    "ERROR_KINDS",
     "MicroBatcher",
+    "PROTOCOL_VERSION",
     "Rung",
     "ServingDaemon",
     "ServingRuntime",
+    "SessionDecoder",
+    "SessionStore",
     "TelemetryPlane",
+    "TurnConflictError",
+    "UnknownSessionError",
+    "decode_request",
+    "encode_response",
     "ensure_trace_id",
     "flush_by",
     "request_from_wire",

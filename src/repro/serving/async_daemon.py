@@ -31,13 +31,14 @@ import sys
 from typing import IO, AsyncIterator
 
 from repro.serving.batcher import MicroBatcher
-from repro.serving.daemon import (
-    DEFAULT_MAX_LINE_BYTES,
+from repro.serving.daemon import DEFAULT_MAX_LINE_BYTES, start_health_server
+from repro.serving.protocol import (
+    decode_request,
     ensure_trace_id,
-    invalid_request_reply,
+    error_kind_of,
+    error_reply,
     oversized_line_reply,
-    request_from_wire,
-    start_health_server,
+    response_frames,
 )
 from repro.serving.runtime import ServingRuntime
 
@@ -164,30 +165,34 @@ class AsyncServingDaemon:
 
     # -- request handling ----------------------------------------------------
 
-    async def handle_line(self, line: str) -> dict:
-        """Parse, batch-submit, and format one wire line."""
+    async def handle_frames(self, line: str) -> list[dict]:
+        """Parse, batch-submit, and format one wire line as its ordered
+        reply frames (partial frames, then the final reply)."""
         line = line.strip()
         if not line:
-            return {}
+            return []
         try:
             data = json.loads(line)
             if not isinstance(data, dict):
                 raise ValueError("request must be a JSON object")
-            request = request_from_wire(data)
+            request = decode_request(data)
         except (ValueError, TypeError) as error:
             request_id = None
             if isinstance(data := _maybe_dict(line), dict):
                 request_id = data.get("id")
-            return invalid_request_reply(str(error), request_id)
+            return [error_reply(error_kind_of(error), str(error), request_id)]
         request = ensure_trace_id(request)
         response = await self.batcher.submit(request)
         # Stream sampled spans out as requests complete (no-op without
         # a trace sink on the runtime).
         self.runtime.flush_traces()
-        out = response.to_dict()
-        if "id" in data:
-            out["id"] = data["id"]
-        return out
+        return response_frames(response, request_id=data.get("id"))
+
+    async def handle_line(self, line: str) -> dict:
+        """Parse, batch-submit, and format one wire line (final reply
+        only; partial frames are dropped — use :meth:`handle_frames`)."""
+        frames = await self.handle_frames(line)
+        return frames[-1] if frames else {}
 
     # -- stdin / stdout ------------------------------------------------------
 
@@ -209,13 +214,16 @@ class AsyncServingDaemon:
                 len(line.encode("utf-8", "surrogatepass"))
                 > self.max_line_bytes
             ):
-                out = oversized_line_reply(self.max_line_bytes)
+                frames = [oversized_line_reply(self.max_line_bytes)]
             else:
-                out = await self.handle_line(line)
-            if not out:
+                frames = await self.handle_frames(line)
+            if not frames:
                 return
+            # One request's frames write contiguously (partials, then
+            # the final reply) so interleaved requests stay parseable.
             async with write_lock:
-                stdout.write(json.dumps(out, sort_keys=True) + "\n")
+                for out in frames:
+                    stdout.write(json.dumps(out, sort_keys=True) + "\n")
                 stdout.flush()
 
         while True:
@@ -236,10 +244,13 @@ class AsyncServingDaemon:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
 
-        async def reply(out: dict) -> None:
-            if not out:
+        async def reply(frames: list[dict]) -> None:
+            if not frames:
                 return
-            payload = (json.dumps(out, sort_keys=True) + "\n").encode("utf-8")
+            payload = b"".join(
+                (json.dumps(out, sort_keys=True) + "\n").encode("utf-8")
+                for out in frames
+            )
             async with write_lock:
                 writer.write(payload)
                 await writer.drain()
@@ -247,10 +258,10 @@ class AsyncServingDaemon:
         async def serve_one(frame: bytes | None) -> None:
             try:
                 if frame is _OVERSIZED:
-                    await reply(oversized_line_reply(self.max_line_bytes))
+                    await reply([oversized_line_reply(self.max_line_bytes)])
                     return
                 await reply(
-                    await self.handle_line(frame.decode("utf-8", "replace"))
+                    await self.handle_frames(frame.decode("utf-8", "replace"))
                 )
             except ConnectionError:
                 pass  # client went away mid-reply; nothing to tell it

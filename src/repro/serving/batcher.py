@@ -54,6 +54,7 @@ from repro.observability.trace import Tracer
 FLUSH_FULL = "full"
 FLUSH_WAIT = "wait"
 FLUSH_DEADLINE = "deadline"
+FLUSH_TURN = "turn"
 FLUSH_DRAIN = "drain"
 
 #: Batch-size histogram buckets (requests per flush, powers of two).
@@ -191,7 +192,12 @@ class MicroBatcher:
         )
         self._pending.append(pending)
         self.requests_submitted += 1
-        if len(self._pending) >= self.max_batch_size:
+        if request.session_id is not None:
+            # Correction turns are interactive by definition: a user is
+            # watching the clause they just re-dictated.  Never idle one
+            # in the coalescing window — flush the batch it joined now.
+            self._flush(FLUSH_TURN)
+        elif len(self._pending) >= self.max_batch_size:
             self._flush(FLUSH_FULL)
         else:
             self._arm_timer(loop, cutoff)
@@ -341,6 +347,7 @@ __all__ = [
     "FLUSH_DEADLINE",
     "FLUSH_DRAIN",
     "FLUSH_FULL",
+    "FLUSH_TURN",
     "FLUSH_WAIT",
     "MicroBatcher",
     "flush_by",

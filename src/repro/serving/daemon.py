@@ -42,13 +42,21 @@ shard workers.
 from __future__ import annotations
 
 import json
-import secrets
 import threading
-from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO
 
 from repro.api import QueryRequest
+from repro.serving.protocol import (
+    ERROR_INVALID_REQUEST,
+    decode_request,
+    ensure_trace_id,
+    error_kind_of,
+    error_reply,
+    invalid_request_reply,
+    oversized_line_reply,
+    response_frames,
+)
 from repro.serving.runtime import ServingRuntime
 
 #: Default bound on one JSON-lines request frame.  A frame beyond this
@@ -57,64 +65,10 @@ from repro.serving.runtime import ServingRuntime
 #: alive.
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 
-#: The ``error_kind`` value for client-side protocol errors (malformed
-#: JSON, unknown keys, oversized frames).  Runtime outcomes
-#: (``timeout``/``failed``/...) are *not* errors of this kind — they are
-#: valid responses.
-ERROR_INVALID_REQUEST = "invalid_request"
-
-
-def invalid_request_reply(message: str, request_id=None) -> dict:
-    """The structured error reply for an unusable request frame."""
-    return {
-        "id": request_id,
-        "error": message,
-        "error_kind": ERROR_INVALID_REQUEST,
-    }
-
-
-def oversized_line_reply(max_line_bytes: int) -> dict:
-    return invalid_request_reply(
-        f"request line exceeds max_line_bytes={max_line_bytes}"
-    )
-
 
 def request_from_wire(data: dict) -> QueryRequest:
-    """Build a :class:`QueryRequest` from one decoded wire object.
-
-    ``deadline_ms`` (milliseconds, wire-friendly) maps to the request's
-    ``deadline`` budget in seconds; ``overrides`` is an optional config
-    override mapping.  Unknown keys are rejected loudly — a typo'd
-    ``dedline_ms`` silently serving without a deadline would be worse.
-    """
-    allowed = {"id", "text", "seed", "nbest", "deadline_ms", "overrides",
-               "trace_id"}
-    unknown = sorted(set(data) - allowed)
-    if unknown:
-        raise ValueError(f"unknown request key(s): {unknown}")
-    text = data.get("text")
-    if not isinstance(text, str) or not text:
-        raise ValueError("request needs a non-empty 'text' string")
-    deadline_ms = data.get("deadline_ms")
-    trace_id = data.get("trace_id")
-    if trace_id is not None and not isinstance(trace_id, str):
-        raise ValueError("'trace_id' must be a string")
-    return QueryRequest(
-        text=text,
-        seed=data.get("seed"),
-        nbest=data.get("nbest"),
-        deadline=deadline_ms / 1000.0 if deadline_ms is not None else None,
-        overrides=data.get("overrides") or (),
-        trace_id=trace_id,
-    )
-
-
-def ensure_trace_id(request: QueryRequest) -> QueryRequest:
-    """The request with a trace id: the client's, or a fresh 64-bit hex
-    id generated at the daemon edge."""
-    if request.trace_id is not None:
-        return request
-    return replace(request, trace_id=secrets.token_hex(8))
+    """Compatibility alias of :func:`repro.serving.protocol.decode_request`."""
+    return decode_request(data)
 
 
 class _HealthHandler(BaseHTTPRequestHandler):
@@ -258,26 +212,39 @@ class ServingDaemon:
             self._telemetry_server.server_close()
             self._telemetry_server = None
 
-    def handle_line(self, line: str) -> dict:
-        """Serve one wire line; always returns a JSON-ready dict."""
+    def handle_frames(self, line: str) -> list[dict]:
+        """Serve one wire line; returns every reply frame in order.
+
+        Most lines yield exactly one frame; a session request with
+        ``partial: true`` yields one clause-level partial frame per
+        decoded span followed by the final reply.  An empty line yields
+        no frames.
+        """
         line = line.strip()
         if not line:
-            return {}
+            return []
         if len(line.encode("utf-8", "surrogatepass")) > self.max_line_bytes:
-            return oversized_line_reply(self.max_line_bytes)
+            return [oversized_line_reply(self.max_line_bytes)]
         try:
             data = json.loads(line)
             if not isinstance(data, dict):
                 raise ValueError("request must be a JSON object")
             request = request_from_wire(data)
         except (ValueError, TypeError) as error:
-            return invalid_request_reply(str(error), _request_id(line))
+            return [
+                error_reply(error_kind_of(error), str(error),
+                            _request_id(line))
+            ]
         request = ensure_trace_id(request)
         response = self.runtime.submit(request)
-        out = response.to_dict()
-        if "id" in data:
-            out["id"] = data["id"]
-        return out
+        return response_frames(response, request_id=data.get("id"))
+
+    def handle_line(self, line: str) -> dict:
+        """Serve one wire line; always returns the **final** JSON-ready
+        reply dict (partial frames, if any, are dropped — use
+        :meth:`handle_frames` for streaming)."""
+        frames = self.handle_frames(line)
+        return frames[-1] if frames else {}
 
     def run(self, stdin: IO[str], stdout: IO[str]) -> int:
         """Serve until ``stdin`` EOF; returns a process exit code."""
@@ -286,10 +253,8 @@ class ServingDaemon:
         self.start_telemetry_server()
         try:
             for line in stdin:
-                out = self.handle_line(line)
-                if not out:
-                    continue
-                stdout.write(json.dumps(out, sort_keys=True) + "\n")
+                for out in self.handle_frames(line):
+                    stdout.write(json.dumps(out, sort_keys=True) + "\n")
                 stdout.flush()
                 # Stream sampled spans to the trace sink as requests
                 # finish (no-op without a sink) — an orchestrator kill

@@ -80,6 +80,8 @@ from repro.observability import names as obs_names
 from repro.observability.forensics import QueryRecord, Recorder
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NULL_TRACER, Tracer
+from repro.serving.protocol import ERROR_INTERNAL
+from repro.serving.sessions import SessionDecoder, SessionError, SessionStore
 
 # -- the degradation ladder --------------------------------------------------
 
@@ -189,6 +191,8 @@ class ServingRuntime:
         trace_sample_rate: float = 1.0,
         trace_sink=None,
         sample_rng: random.Random | None = None,
+        session_ttl: float = 900.0,
+        session_limit: int = 64,
     ) -> None:
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
@@ -237,6 +241,11 @@ class ServingRuntime:
                           ("served", "degraded", "shed", "timeout", "failed")}
         self._rungs: dict[int, int] = {}
         self._pipelines: dict[tuple, SpeakQL] = {}
+        self.sessions = SessionStore(
+            limit=session_limit, ttl_seconds=session_ttl, clock=clock
+        )
+        self._session_decoder: SessionDecoder | None = None
+        self._session_evictions_seen = {"lru": 0, "ttl": 0}
 
     # -- admission -----------------------------------------------------------
 
@@ -400,14 +409,141 @@ class ServingRuntime:
         if bind_trace:
             tracer.set_trace_id(request.trace_id)
         try:
-            response = self._run_ladder(
-                request, start_rung, deadline_at, admitted, attempts,
-                last_error, record, pipeline_metrics, tracer,
-            )
+            if request.session_id is not None:
+                response = self._execute_session(
+                    request, admitted, deadline_at, record, tracer
+                )
+            else:
+                response = self._run_ladder(
+                    request, start_rung, deadline_at, admitted, attempts,
+                    last_error, record, pipeline_metrics, tracer,
+                )
         finally:
             if bind_trace:
                 tracer.set_trace_id(None)
         return response
+
+    def _execute_session(
+        self,
+        request: QueryRequest,
+        admitted: float,
+        deadline_at: float | None,
+        record: QueryRecord | None,
+        tracer: Tracer,
+    ) -> QueryResponse:
+        """Serve one correction-session turn via the incremental decoder.
+
+        The session path skips the degradation ladder: a clause-span
+        decode is already the cheap path, and splicing cached spans must
+        stay bit-identical to a cold decode — a rung swap mid-session
+        would silently break that.  Session-contract violations come
+        back as ``failed`` responses carrying the wire protocol's
+        ``error_kind`` (``unknown_session`` / ``turn_conflict``), never
+        as exceptions.
+        """
+        decoder = self._session_decoder_instance()
+        turn_kind = "cold" if request.edit is None else request.edit.kind
+        result = None
+        with tracer.span(
+            "session.turn", mode=request.mode,
+            session_id=request.session_id, turn=request.turn,
+        ) as span:
+            try:
+                result = decoder.decode(
+                    request,
+                    deadline_at=deadline_at,
+                    clock=time.perf_counter,
+                    tracer=tracer if tracer.enabled else None,
+                    collect_partials=request.stream,
+                )
+            except SessionError as error:
+                response = self._finish(
+                    request, OUTCOME_FAILED, rung=0, attempts=1,
+                    admitted=admitted, error=str(error), record=record,
+                )
+                response = replace(response, error_kind=error.kind)
+            except DeadlineExceededError as error:
+                response = self._finish(
+                    request, OUTCOME_TIMEOUT, rung=0, attempts=1,
+                    admitted=admitted, error=str(error), record=record,
+                )
+            except Exception as error:  # noqa: BLE001 - serving boundary
+                response = self._finish(
+                    request, OUTCOME_FAILED, rung=0, attempts=1,
+                    admitted=admitted, error=str(error), record=record,
+                )
+                response = replace(response, error_kind=ERROR_INTERNAL)
+            else:
+                span.set("spans", result.spans_total)
+                span.set("reused", len(result.reused_spans))
+                response = self._finish(
+                    request, OUTCOME_SERVED, rung=0, attempts=1,
+                    admitted=admitted, output=result.output, record=record,
+                )
+                response = replace(
+                    response,
+                    reused_spans=result.reused_spans,
+                    partials=result.partials,
+                )
+            span.set("outcome", response.outcome)
+        if record is not None:
+            record.session_id = request.session_id
+            record.turn = request.turn
+            record.reused_spans = response.reused_spans
+        self._session_metrics(turn_kind, result, response.wall_seconds)
+        return response
+
+    def _session_decoder_instance(self) -> SessionDecoder:
+        """The lazily built session decoder (clause indexes build on the
+        first session request, sharing the service's artifact bundle)."""
+        with self._lock:
+            if self._session_decoder is None:
+                from repro.core.clauses import ClauseSpeakQL
+
+                pipeline = self.service.pipeline
+                clauses = ClauseSpeakQL(
+                    catalog=pipeline.catalog,
+                    engine=pipeline.engine,
+                    phonetic_index=pipeline.phonetic_index,
+                    artifacts=pipeline.artifacts,
+                )
+                self._session_decoder = SessionDecoder(
+                    clauses, self.sessions
+                )
+            return self._session_decoder
+
+    def _session_metrics(
+        self, turn_kind: str, result, wall_seconds: float
+    ) -> None:
+        """Fold one session turn into the serving instruments."""
+        if self.metrics is None:
+            return
+        stats = self.sessions.stats()
+        with self._lock:
+            self._count(obs_names.SESSION_TURNS_TOTAL, kind=turn_kind)
+            if result is not None:
+                decoded = result.spans_total - len(result.reused_spans)
+                if decoded:
+                    self.metrics.counter(
+                        obs_names.SESSION_SPANS_DECODED_TOTAL
+                    ).inc(decoded)
+                if result.reused_spans:
+                    self.metrics.counter(
+                        obs_names.SESSION_SPANS_REUSED_TOTAL
+                    ).inc(len(result.reused_spans))
+            self._gauge(obs_names.SESSION_LIVE, stats["live"])
+            for reason, key in (
+                ("lru", "evicted_lru_total"), ("ttl", "expired_total"),
+            ):
+                delta = stats[key] - self._session_evictions_seen[reason]
+                if delta > 0:
+                    self.metrics.counter(
+                        obs_names.SESSION_EVICTIONS_TOTAL, reason=reason
+                    ).inc(delta)
+                    self._session_evictions_seen[reason] = stats[key]
+            self.metrics.histogram(
+                obs_names.SESSION_TURN_SECONDS
+            ).observe(wall_seconds)
 
     def _run_ladder(
         self,
@@ -607,6 +743,10 @@ class ServingRuntime:
             "breakers": self.breaker.states(),
             "ladder": [rung.name for rung in self.ladder],
             "shards": shards,
+            "sessions": {
+                "live": len(self.sessions),
+                "limit": self.sessions.limit,
+            },
             # Readiness as far as the shard pool is concerned: an
             # unsharded service is trivially ok; a sharded one needs at
             # least one populated shard worker alive (a dead pool still
@@ -663,6 +803,7 @@ class ServingRuntime:
             },
             "shards": executor.health() if executor is not None else None,
             "shard_pool_ok": executor is None or executor.alive,
+            "sessions": self.sessions.stats(),
             "latency": {
                 "window_seconds": self.window_seconds,
                 "rolling": _percentiles(rolling),

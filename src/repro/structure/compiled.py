@@ -56,6 +56,23 @@ def weights_key(weights: TokenWeights) -> tuple[float, float, float]:
     return (weights.keyword, weights.splchar, weights.literal)
 
 
+def span_state_key(
+    masked: tuple[str, ...] | list[str], weights: TokenWeights
+) -> tuple:
+    """Identity of one span's cached kernel decode state.
+
+    The compiled kernel's per-span DP/beam work is fully determined by
+    the masked span tokens and the edit weights in force (the level
+    plan and per-level weight tables are functions of the index +
+    weights).  The serving layer's
+    :class:`~repro.serving.sessions.SessionStore` keys cached span
+    decodes by this tuple, so reweighting the index (see
+    :meth:`CompiledStructureIndex.reweighted`) invalidates every cached
+    span rather than silently replaying stale distances.
+    """
+    return (tuple(masked), weights_key(weights))
+
+
 @dataclass(frozen=True)
 class TrieLevel:
     """One breadth-first level of a compiled trie, as numpy arrays.

@@ -231,6 +231,26 @@ class StructureSearchEngine:
                 self._cache.popitem(last=False)
         return results, stats
 
+    def search_span(
+        self, span_tokens: tuple[str, ...] | list[str], k: int = 1
+    ) -> tuple[list[SearchResult], SearchStats]:
+        """Span-scoped search: decode one clause span in isolation.
+
+        The serving layer's incremental session decoder calls this once
+        per clause span; the contract it adds over :meth:`search` is
+        **replayability** — for a fixed engine and index, the same span
+        tokens always yield the same results *and the same stats
+        counters* (an LRU result-cache hit replays the original
+        counters, flagging only the ``compare=False``
+        ``result_cache_hit`` bit).  A cached span decode spliced into a
+        later turn is therefore bit-identical to re-searching it, and a
+        correction turn only pays for the clause it changed.  The level
+        plan, per-level weight tables, and inverted subindexes of the
+        compiled/flat kernel are owned by the engine and reused across
+        spans automatically.
+        """
+        return self.search(span_tokens, k=k)
+
     def _search_uncached(
         self, masked: tuple[str, ...], k: int
     ) -> tuple[list[SearchResult], SearchStats]:

@@ -1,8 +1,7 @@
 """Tests for the unified request/response API (``repro.api``).
 
-The deprecated ``(sql, seed)`` tuple shim is deliberately *not*
-exercised here — its one test lives in
-``tests/core/test_service.py::TestRequestNormalization``.
+The removed ``(sql, seed)`` tuple form is exercised once (as a hard
+TypeError) in ``tests/core/test_service.py::TestRequestNormalization``.
 """
 
 from __future__ import annotations
@@ -12,8 +11,11 @@ from types import SimpleNamespace
 import pytest
 
 from repro.api import (
+    EDIT_REDICTATE,
+    EDIT_TOKEN_PATCH,
     OUTCOMES,
     BatchQueryError,
+    ClauseEdit,
     QueryRequest,
     QueryResponse,
     shed_response,
@@ -72,6 +74,66 @@ class TestQueryRequest:
         with pytest.raises(TypeError):
             QueryRequest.from_legacy(42)
 
+    def test_from_legacy_tuple_is_a_hard_error(self):
+        with pytest.raises(TypeError, match="QueryRequest\\(text=...,"):
+            QueryRequest.from_legacy(("SELECT 1", 7))
+
+    def test_overrides_pairs_accepted_without_sorting(self):
+        request = QueryRequest(
+            text="x", overrides=[("top_k", 1), ("search_kernel", "flat")]
+        )
+        assert request.overrides == (
+            ("top_k", 1), ("search_kernel", "flat"),
+        )
+
+    def test_overrides_rejects_unknown_container_types(self):
+        with pytest.raises(TypeError, match="overrides must be a mapping"):
+            QueryRequest(text="x", overrides=42)
+        with pytest.raises(TypeError, match="overrides must be a mapping"):
+            QueryRequest(text="x", overrides="top_k=1")
+        with pytest.raises(TypeError, match="pairs"):
+            QueryRequest(text="x", overrides=[("top_k", 1, "extra")])
+
+    def test_nbest_validated_at_construction(self):
+        with pytest.raises(ValueError, match="nbest"):
+            QueryRequest(text="x", nbest=0)
+        assert QueryRequest(text="x", nbest=3).nbest == 3
+
+
+class TestSessionFields:
+    def test_turn_requires_session(self):
+        with pytest.raises(ValueError, match="session_id"):
+            QueryRequest(text="x", turn=1)
+
+    def test_correction_turn_requires_edit(self):
+        with pytest.raises(ValueError, match="edit"):
+            QueryRequest(text="x", session_id="s", turn=1)
+
+    def test_edit_requires_correction_turn(self):
+        edit = ClauseEdit(EDIT_REDICTATE, "WHERE", "where salary above 10")
+        with pytest.raises(ValueError, match="turn"):
+            QueryRequest(text="x", edit=edit)
+        request = QueryRequest(text="", session_id="s", turn=1, edit=edit)
+        assert request.edit is edit
+
+    def test_sessions_are_transcription_mode_only(self):
+        with pytest.raises(ValueError, match="transcription"):
+            QueryRequest(text="x", session_id="s", seed=7)
+
+    def test_clause_edit_validates(self):
+        with pytest.raises(ValueError, match="kind"):
+            ClauseEdit("scribble", "WHERE", "x")
+        with pytest.raises(ValueError, match="clause"):
+            ClauseEdit(EDIT_REDICTATE, "HAVING", "x")
+        with pytest.raises(ValueError, match="text"):
+            ClauseEdit(EDIT_TOKEN_PATCH, "WHERE", "   ")
+
+    def test_clause_edit_round_trips_via_dict(self):
+        edit = ClauseEdit(EDIT_TOKEN_PATCH, "GROUP BY", "group by gender")
+        assert ClauseEdit.from_dict(edit.to_dict()) == edit
+        with pytest.raises(ValueError, match="unknown"):
+            ClauseEdit.from_dict({**edit.to_dict(), "extra": 1})
+
 
 class TestQueryResponse:
     def test_outcome_validated(self):
@@ -105,8 +167,13 @@ class TestQueryResponse:
             "rung": 1,
             "attempts": 2,
             "error": "deadline exceeded before stage 'mask'",
+            "error_kind": None,
             "wall_ms": 12.346,
             "trace_id": "t-123",
+            "session_id": None,
+            "turn": 0,
+            "reused_spans": [],
+            "partial": False,
         }
 
     def test_to_dict_trace_id_defaults_none(self):

@@ -111,13 +111,12 @@ class TestRequestNormalization:
         )
         assert outputs[0].queries == outputs[1].queries == outputs[2].queries
 
-    def test_tuple_shim_warns_and_normalizes(self, service):
-        # The ONE test exercising the deprecated (sql, seed) tuple form.
+    def test_tuple_shim_removed_with_migration_hint(self, service):
+        # The (sql, seed) tuple form is gone: a hard TypeError pointing
+        # at the QueryRequest constructor, not a silent normalization.
         sql, seed = CASES[0]
-        with pytest.warns(DeprecationWarning, match="tuple requests"):
-            [legacy] = service.run_batch([(sql, seed)])
-        [modern] = service.run_batch([QueryRequest(text=sql, seed=seed)])
-        assert legacy.queries == modern.queries
+        with pytest.raises(TypeError, match="QueryRequest"):
+            service.run_batch([(sql, seed)])
 
     def test_bare_string_is_corrected_without_asr(self, service):
         [out] = service.run_batch(["select salary from celeries"])

@@ -126,3 +126,61 @@ class TestSessionMetrics:
     def test_no_metrics_no_table(self, pipeline):
         out = run_session(pipeline, "select first name from employees\n:quit\n")
         assert "speakql_queries_total" not in out
+
+
+class TestCorrectionTurns:
+    def test_fix_reuses_unedited_clauses(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n"
+            ":fix WHERE where gender equals m\n"
+            ":quit\n",
+        )
+        assert "reused : SELECT, FROM" in out
+        assert "SELECT FirstName FROM Employees WHERE Gender = 'M'" in out
+
+    def test_patch_extends_the_same_session(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n"
+            ":fix WHERE where gender equals m\n"
+            ":patch SELECT select last name\n"
+            ":quit\n",
+        )
+        # The second turn edits SELECT, so FROM and WHERE (from turn 1)
+        # are spliced back in.
+        assert "reused : FROM, WHERE" in out
+        assert "SELECT LastName FROM Employees WHERE Gender = 'M'" in out
+
+    def test_fix_without_base_query(self, pipeline):
+        out = run_session(
+            pipeline, ":fix WHERE where gender equals m\n:quit\n"
+        )
+        assert "no query yet to correct" in out
+
+    def test_bad_clause_prints_usage(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n:fix BOGUS nothing\n:quit\n",
+        )
+        assert "usage: :fix CLAUSE text" in out
+        assert "GROUP BY" in out
+
+    def test_missing_text_prints_usage(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n:patch WHERE\n:quit\n",
+        )
+        assert "usage: :patch CLAUSE text" in out
+
+    def test_new_dictation_resets_session(self, pipeline):
+        out = run_session(
+            pipeline,
+            "select first name from employees\n"
+            ":fix WHERE where gender equals m\n"
+            "select salary from salaries\n"
+            ":fix WHERE where salary greater than 70000\n"
+            ":quit\n",
+        )
+        # The second :fix opens a fresh session over the new base query.
+        assert "SELECT salary FROM Salaries WHERE salary > 70000" in out

@@ -1,9 +1,15 @@
 """Tests for the correction session."""
 
+import pytest
+
 from repro.interface.display import QueryDisplay
 from repro.interface.effort import EffortLog, Interaction
 from repro.interface.keyboard import SqlKeyboard
-from repro.interface.session import CorrectionSession, edit_script
+from repro.interface.session import (
+    CorrectionSession,
+    ServingCorrectionSession,
+    edit_script,
+)
 
 
 class TestEditScript:
@@ -101,3 +107,69 @@ class TestCorrection:
         assert log.units_of_effort == 6
         assert log.touches == 5
         assert log.dictations == 1
+
+
+class TestServingCorrectionSession:
+    @pytest.fixture(scope="class")
+    def runtime(self, request):
+        from repro.core import SpeakQL
+        from repro.core.service import SpeakQLService
+        from repro.serving import ServingRuntime
+
+        small_catalog = request.getfixturevalue("small_catalog")
+        medium_index = request.getfixturevalue("medium_index")
+        pipeline = SpeakQL(small_catalog, structure_index=medium_index)
+        return ServingRuntime(SpeakQLService.from_pipeline(pipeline))
+
+    def test_turns_advance_only_on_success(self, runtime):
+        session = ServingCorrectionSession(runtime)
+        assert not session.started
+        cold = session.start("select first name from employees")
+        assert cold.ok
+        assert session.turn == 0
+        warm = session.redictate("WHERE", "where gender equals m")
+        assert warm.ok
+        assert session.turn == 1
+        assert warm.reused_spans == ("SELECT", "FROM")
+        assert warm.output.queries[0] == (
+            "SELECT FirstName FROM Employees WHERE Gender = 'M'"
+        )
+
+    def test_start_twice_raises(self, runtime):
+        session = ServingCorrectionSession(runtime)
+        session.start("select first name from employees")
+        with pytest.raises(RuntimeError, match="already started"):
+            session.start("select salary from salaries")
+
+    def test_correction_before_start_raises(self, runtime):
+        session = ServingCorrectionSession(runtime)
+        with pytest.raises(RuntimeError, match="no cold decode"):
+            session.redictate("WHERE", "where gender equals m")
+        with pytest.raises(RuntimeError, match="no cold decode"):
+            session.patch("SELECT", "select last name")
+
+    def test_failed_turn_keeps_counter_for_retry(self, runtime):
+        session = ServingCorrectionSession(runtime)
+        session.start("select first name from employees")
+        # An impossible deadline fails the turn; the client counter
+        # stays put so the retry reuses the same turn number.
+        session.deadline = 1e-9
+        failed = session.redictate("WHERE", "where gender equals m")
+        assert not failed.ok
+        assert session.turn == 0
+        session.deadline = None
+        retried = session.redictate("WHERE", "where gender equals m")
+        assert retried.ok
+        assert session.turn == 1
+
+    def test_sessions_are_isolated(self, runtime):
+        first = ServingCorrectionSession(runtime)
+        second = ServingCorrectionSession(runtime)
+        assert first.session_id != second.session_id
+        first.start("select first name from employees")
+        second.start("select salary from salaries")
+        warm = second.redictate("WHERE", "where salary greater than 70000")
+        assert warm.ok
+        assert warm.output.queries[0] == (
+            "SELECT salary FROM Salaries WHERE salary > 70000"
+        )

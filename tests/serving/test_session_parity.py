@@ -1,0 +1,163 @@
+"""Incremental-vs-cold parity: the tentpole invariant of sessions.
+
+A correction turn re-searches only the edited clause span and splices
+cached decodes for the rest — and the result must be *bit-identical* to
+a cold full decode of the same effective text: same ranked queries,
+same merged search-statistic counters, same per-span candidate
+distances.  Wall-clock timings are the one sanctioned difference.
+
+The randomized sweep drives every edit kind x clause position over a
+seed range; each warm turn is replayed as a fresh turn-0 decode of the
+text the session arrived at (``output.asr_text``) and compared.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import (
+    CLAUSE_NAMES,
+    EDIT_KINDS,
+    ClauseEdit,
+    QueryRequest,
+)
+from repro.core import SpeakQLArtifacts, SpeakQLService
+from repro.serving import ServingRuntime
+
+BASE_TEXTS = [
+    "select first name from employees where gender equals m",
+    "select salary from salaries",
+    "select first name from employees",
+]
+
+#: Replacement texts per clause — all within the small index's reach.
+CLAUSE_TEXTS = {
+    "SELECT": ["select last name", "select salary", "select first name"],
+    "FROM": ["from employees", "from salaries"],
+    "WHERE": ["where gender equals f", "where salary above 60000"],
+    "GROUP BY": ["group by gender"],
+    "ORDER BY": ["order by salary"],
+    "LIMIT": ["limit 5"],
+}
+
+
+@pytest.fixture(scope="module")
+def runtime(request):
+    small_catalog = request.getfixturevalue("small_catalog")
+    small_index = request.getfixturevalue("small_index")
+    artifacts = SpeakQLArtifacts.build(
+        structure_index=small_index,
+        training_sql=[
+            "SELECT FirstName FROM Employees",
+            "SELECT salary FROM Salaries",
+        ],
+    )
+    service = SpeakQLService(small_catalog, artifacts=artifacts)
+    return ServingRuntime(service, session_limit=256)
+
+
+def span_distances(runtime, session_id):
+    """Per-clause ranked candidate distances held by a session's cache."""
+    state = runtime.sessions.get(session_id)
+    assert state is not None
+    return {
+        clause: tuple(c.distance for c in span.candidates)
+        for clause, span in state.spans.items()
+    }
+
+
+def assert_warm_equals_cold(runtime, warm, cold_id):
+    """Replay the warm turn's text cold and compare everything."""
+    cold = runtime.submit(QueryRequest(
+        text=warm.output.asr_text, session_id=cold_id, turn=0
+    ))
+    assert cold.ok and warm.ok
+    assert warm.output.queries == cold.output.queries
+    assert warm.output.asr_text == cold.output.asr_text
+    assert warm.output.search_stats == cold.output.search_stats
+    assert span_distances(runtime, warm.session_id) == span_distances(
+        runtime, cold_id
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_edit_sweep_is_bit_identical_to_cold(self, runtime, seed):
+        rng = random.Random(seed)
+        session_id = f"parity-{seed}"
+        base = rng.choice(BASE_TEXTS)
+        turn0 = runtime.submit(
+            QueryRequest(text=base, session_id=session_id, turn=0)
+        )
+        assert turn0.ok
+        for turn in range(1, 4):
+            clause = rng.choice(CLAUSE_NAMES)
+            edit = ClauseEdit(
+                rng.choice(EDIT_KINDS),
+                clause,
+                rng.choice(CLAUSE_TEXTS[clause]),
+            )
+            warm = runtime.submit(QueryRequest(
+                text="", session_id=session_id, turn=turn, edit=edit
+            ))
+            assert warm.ok, warm.error
+            assert_warm_equals_cold(
+                runtime, warm, f"cold-{seed}-{turn}"
+            )
+
+    @pytest.mark.parametrize("clause", CLAUSE_NAMES)
+    def test_every_clause_position_edits_cleanly(self, runtime, clause):
+        session_id = f"pos-{clause.replace(' ', '_')}"
+        turn0 = runtime.submit(QueryRequest(
+            text="select first name from employees where gender equals m",
+            session_id=session_id,
+            turn=0,
+        ))
+        assert turn0.ok
+        warm = runtime.submit(QueryRequest(
+            text="",
+            session_id=session_id,
+            turn=1,
+            edit=ClauseEdit("redictate", clause, CLAUSE_TEXTS[clause][0]),
+        ))
+        assert warm.ok, warm.error
+        assert_warm_equals_cold(runtime, warm, f"pos-cold-{clause}")
+
+    def test_from_edit_invalidates_downstream_spans(self, runtime):
+        """Changing FROM re-decodes WHERE (tables context changed)."""
+        session_id = "from-edit"
+        runtime.submit(QueryRequest(
+            text="select salary from employees where gender equals m",
+            session_id=session_id,
+            turn=0,
+        ))
+        warm = runtime.submit(QueryRequest(
+            text="",
+            session_id=session_id,
+            turn=1,
+            edit=ClauseEdit("redictate", "FROM", "from salaries"),
+        ))
+        assert warm.ok
+        # SELECT precedes FROM, so only it can be reused; WHERE depends
+        # on the FROM tables and must be re-searched.
+        assert warm.reused_spans == ("SELECT",)
+        assert_warm_equals_cold(runtime, warm, "from-edit-cold")
+
+    def test_untouched_spans_are_reported_reused(self, runtime):
+        session_id = "reuse-report"
+        runtime.submit(QueryRequest(
+            text="select first name from employees where gender equals m",
+            session_id=session_id,
+            turn=0,
+        ))
+        warm = runtime.submit(QueryRequest(
+            text="",
+            session_id=session_id,
+            turn=1,
+            edit=ClauseEdit(
+                "token_patch", "WHERE", "where gender equals f"
+            ),
+        ))
+        assert warm.reused_spans == ("SELECT", "FROM")

@@ -19,7 +19,9 @@ micro-batch size, keyed ``serving_open_loop@q64r200b8``, and a
 ``telemetry_overhead`` report (the ``--telemetry-overhead`` pricing of
 the live telemetry plane) one entry per observability configuration,
 keyed ``telemetry_overhead@q32cmetrics`` — each configuration tracks
-its own trajectory.
+its own trajectory.  A ``session`` report (``bench_session.py``)
+appends one entry per phase — cold full decode vs warm correction
+turn — keyed ``session@q32m18pcold`` / ``session@q32m18pwarm``.
 
 Every entry is stamped with the machine's core count (``nproc``), and
 the regression gate only compares entries recorded on the same core
@@ -169,6 +171,29 @@ def entries_from_report(report: dict, source: str) -> list[dict]:
             }
             for row in report["rows"]
         ]
+    if benchmark == "session":
+        # One entry per phase (cold full decode vs warm correction
+        # turn), so each latency tracks its own trajectory and the
+        # regression gate never compares a clause-sized search against
+        # a query-sized one.
+        base_key = f"{benchmark}@q{report['queries']}m{report['max_tokens']}"
+        return [
+            {
+                "key": f"{base_key}p{row['phase']}",
+                "benchmark": benchmark,
+                "queries": report["queries"],
+                "max_tokens": report["max_tokens"],
+                "phase": row["phase"],
+                "median_ms": row["median_ms"],
+                "p95_ms": row["p95_ms"],
+                "speedup_p50": report["speedup_p50"],
+                "reused_span_fraction": row.get("reused_span_fraction"),
+                "source": source,
+                "recorded_at": recorded_at,
+                **stamp,
+            }
+            for row in report["rows"]
+        ]
     if benchmark != "serving_shard_scaling":
         return [entry_from_report(report, source)]
     deadline_ms = report["deadline_ms"]
@@ -285,11 +310,12 @@ def main(argv: list[str] | None = None) -> int:
         # Append even on regression: the trajectory must record every
         # run, the exit code is the gate.
         append_entry(history_path, entry)
-        extra = (
-            f"speedup {entry['median_speedup']:.2f}x"
-            if "median_speedup" in entry
-            else f"throughput {entry['throughput_qps']:.1f} q/s"
-        )
+        if "median_speedup" in entry:
+            extra = f"speedup {entry['median_speedup']:.2f}x"
+        elif "throughput_qps" in entry:
+            extra = f"throughput {entry['throughput_qps']:.1f} q/s"
+        else:
+            extra = f"speedup {entry['speedup_p50']:.1f}x cold/warm"
         print(
             f"appended {entry['key']} (median {entry['median_ms']:.2f} ms, "
             f"{extra}) to {history_path}"

@@ -10,6 +10,10 @@ dictation, and a dictation with a 1 ms deadline — and asserts:
   deadline enforcement, no crash);
 - every reply echoes a non-empty ``trace_id`` (the daemon generates one
   when the client does not supply it);
+- a two-turn correction session round-trips: a cold dictation opens the
+  session, a WHERE re-dictation comes back with non-empty
+  ``reused_spans``, and its final SQL matches a sessionless cold
+  recompute of the corrected text (both daemons);
 - ``GET /healthz`` answers 200 with the matching outcome counts and
   ``GET /readyz`` reports readiness;
 - ``GET /metrics`` serves Prometheus text naming the serving counters
@@ -62,6 +66,44 @@ REQUESTS = [
     {"id": 3, "text": "SELECT FirstName FROM Employees", "seed": 7,
      "deadline_ms": 1},
 ]
+
+#: The two-turn session exchange: cold dictation, WHERE re-dictation,
+#: then a sessionless full decode of the corrected text for parity.
+SESSION_BASE = "select first name from employees"
+SESSION_EDIT = {"kind": "redictate", "clause": "WHERE",
+                "text": "where gender equals f"}
+SESSION_FULL = "select first name from employees where gender equals f"
+
+
+def check_session_exchange(send, read, prefix: str) -> None:
+    """Drive a correction session over the wire and assert parity.
+
+    ``send``/``read`` are the transport (stdin/stdout lines or a TCP
+    client); the final SQL of the incremental turn must match a cold
+    sessionless recompute of the same corrected text, and the turn must
+    report the spans it spliced from the session cache.
+    """
+    send({"id": f"{prefix}0", "text": SESSION_BASE,
+          "session_id": f"{prefix}-smoke", "turn": 0})
+    cold0 = read()
+    if cold0.get("outcome") != "served" or cold0.get("turn") != 0:
+        fail(f"session turn 0 not served: {cold0}")
+    if cold0.get("protocol_version") != 1:
+        fail(f"reply carries no protocol_version: {cold0}")
+    send({"id": f"{prefix}1", "session_id": f"{prefix}-smoke", "turn": 1,
+          "edit": SESSION_EDIT})
+    warm = read()
+    if warm.get("outcome") != "served" or warm.get("turn") != 1:
+        fail(f"correction turn not served: {warm}")
+    if not warm.get("reused_spans"):
+        fail(f"correction turn reused no spans: {warm}")
+    send({"id": f"{prefix}2", "text": SESSION_FULL})
+    recompute = read()
+    if recompute.get("outcome") != "served":
+        fail(f"cold recompute not served: {recompute}")
+    if not warm.get("sql") or warm["sql"] != recompute.get("sql"):
+        fail(f"incremental SQL drifted from the cold recompute: "
+             f"{warm.get('sql')!r} vs {recompute.get('sql')!r}")
 
 
 def fail(message: str) -> None:
@@ -241,12 +283,18 @@ def run_async_smoke(env: dict) -> int:
             if not response.get("trace_id"):
                 fail(f"reply {key} carries no trace_id: {response}")
 
+        # A two-turn correction session over one connection: the
+        # incremental turn must reuse spans and match a cold recompute.
+        check_session_exchange(
+            clients[0].send, clients[0].read, prefix="as"
+        )
+
         with urllib.request.urlopen(health_url + "/healthz", timeout=10) as r:
             if r.status != 200:
                 fail(f"/healthz answered {r.status}")
             health = json.loads(r.read())
-        if health["outcomes"].get("served") != 5:
-            fail(f"healthz served count != 5: {health['outcomes']}")
+        if health["outcomes"].get("served") != 8:
+            fail(f"healthz served count != 8: {health['outcomes']}")
         if health["outcomes"].get("timeout") != 1:
             fail(f"healthz timeout count != 1: {health['outcomes']}")
 
@@ -271,8 +319,9 @@ def run_async_smoke(env: dict) -> int:
             proc.kill()
             proc.wait()
     print(
-        "serve smoke OK (async): 5 served over 2 concurrent TCP clients, "
-        "1 timeout, oversized line rejected without dropping the connection"
+        "serve smoke OK (async): 8 served over 2 concurrent TCP clients "
+        "(incl. a two-turn correction session), 1 timeout, oversized line "
+        "rejected without dropping the connection"
     )
     return 0
 
@@ -338,14 +387,27 @@ def main() -> int:
             if not response.get("trace_id"):
                 fail(f"reply carries no trace_id: {response}")
 
+        # The same two-turn session exchange the async smoke drives.
+        def send(request: dict) -> None:
+            proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.flush()
+
+        def read() -> dict:
+            line = proc.stdout.readline()
+            if not line:
+                fail("daemon died during the session exchange")
+            return json.loads(line)
+
+        check_session_exchange(send, read, prefix="s")
+
         for probe in ("/healthz", "/readyz"):
             with urllib.request.urlopen(health_url + probe, timeout=10) as r:
                 if r.status != 200:
                     fail(f"{probe} answered {r.status}")
                 if probe == "/healthz":
                     health = json.loads(r.read())
-        if health["outcomes"]["served"] != 2:
-            fail(f"healthz served count != 2: {health['outcomes']}")
+        if health["outcomes"]["served"] != 5:
+            fail(f"healthz served count != 5: {health['outcomes']}")
         if health["outcomes"]["timeout"] != 1:
             fail(f"healthz timeout count != 1: {health['outcomes']}")
         if args.shards:
@@ -369,8 +431,8 @@ def main() -> int:
             proc.wait()
     suffix = f" ({args.shards} shards)" if args.shards else ""
     print(
-        "serve smoke OK: 2 served, 1 timeout, health and readiness probes "
-        f"answered{suffix}"
+        "serve smoke OK: 5 served (incl. a two-turn correction session), "
+        f"1 timeout, health and readiness probes answered{suffix}"
     )
     return 0
 
